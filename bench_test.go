@@ -1,0 +1,389 @@
+// Benchmark harness: one benchmark per figure and table of the paper plus
+// the reproduction's ablations (see the experiment index in DESIGN.md).
+// Each benchmark regenerates its artefact and reports the headline numbers
+// as custom metrics, so `go test -bench=. -benchmem` prints the same rows
+// the paper reports next to throughput data.
+//
+// Expected shapes (paper -> metric):
+//
+//	Figure2  release-day jump 7.5x            -> release_ratio
+//	Figure3  almost all 401 districts active  -> districts_active
+//	Table2   presence quantiles 0.67/0.80     -> presence_p50 / presence_p75
+//	Table4   NRW tracks the nation            -> nrw_excess
+//	Table5   API listed, website never        -> api_listed_days / web_listed_days
+//	Table6   first keys June 23               -> first_keys_day_offset (0 = Jun 23)
+package cwatrace_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/ble"
+	"cwatrace/internal/core"
+	"cwatrace/internal/cwaserver"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/experiments"
+	"cwatrace/internal/exposure"
+)
+
+// suiteOnce shares one simulated data set across benchmarks; the per-bench
+// loops then measure the analysis stage itself.
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.RunSuite(experiments.QuickConfig())
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkFigure1Architecture exercises the system of the paper's Figure
+// 1 end to end: broadcast -> lab -> TAN -> upload -> download -> match,
+// over real HTTP.
+func BenchmarkFigure1Architecture(b *testing.B) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(9 * time.Hour))
+	backend, err := cwaserver.New(cwaserver.DefaultConfig(), clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(cwaserver.Handler(backend, nil))
+	defer srv.Close()
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store := exposure.NewKeyStore(nil)
+		bc := exposure.NewBroadcaster(store, exposure.Metadata{0x40, 8, 0, 0})
+		at := entime.IntervalOf(clock.Now().Add(-20 * time.Hour))
+		rpi, _, err := bc.Payload(at)
+		if err != nil {
+			b.Fatal(err)
+		}
+		token := backend.RegisterTest(cwaserver.ResultPositive, clock.Now().Add(-time.Hour))
+		tan, err := backend.IssueTAN(token)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nowI := entime.IntervalOf(clock.Now())
+		teks := store.KeysSince(nowI.Add(-exposure.StorageDays*entime.EKRollingPeriod), nowI)
+		var dks []exposure.DiagnosisKey
+		for _, k := range teks {
+			dks = append(dks, exposure.DiagnosisKey{TEK: k, TransmissionRiskLevel: 6})
+		}
+		payload, err := cwaserver.EncodeUpload(dks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, srv.URL+cwaserver.PathSubmission, bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set(cwaserver.HeaderTAN, tan)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("upload status %d", resp.StatusCode)
+		}
+		matcher := exposure.NewMatcher([]exposure.Encounter{{
+			RPI: rpi, Interval: at, DurationMin: 25, AttenuationDB: 48,
+		}})
+		matches, err := matcher.Match(dks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !exposure.DefaultRiskConfig().Score(matches).Elevated {
+			b.Fatal("round trip failed to elevate risk")
+		}
+	}
+}
+
+// BenchmarkFigure2Timeline regenerates the hourly flows/bytes series with
+// the download overlay.
+func BenchmarkFigure2Timeline(b *testing.B) {
+	s := benchSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *core.Figure2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = s.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ReleaseDayFlowRatio, "release_ratio")
+	b.ReportMetric(res.ResurgenceRatio, "resurgence_ratio")
+}
+
+// BenchmarkFigure3Heatmap regenerates the 10-day district aggregation.
+func BenchmarkFigure3Heatmap(b *testing.B) {
+	s := benchSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var active, total int
+	var router, similarity float64
+	for i := 0; i < b.N; i++ {
+		full, _, sim, err := s.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		active, total, router, similarity = full.ActiveDistricts, full.TotalDistricts, full.RouterShare, sim
+	}
+	b.ReportMetric(float64(active), "districts_active")
+	b.ReportMetric(float64(total), "districts_total")
+	b.ReportMetric(router*100, "router_truth_pct")
+	b.ReportMetric(similarity, "day1_similarity")
+}
+
+// BenchmarkTable1Dataset regenerates the filter census.
+func BenchmarkTable1Dataset(b *testing.B) {
+	s := benchSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var kept int
+	for i := 0; i < b.N; i++ {
+		_, census := core.ApplyFilter(s.Result.Records, core.DefaultFilter())
+		kept = census.Kept
+	}
+	b.ReportMetric(float64(kept), "kept_flows")
+	b.ReportMetric(float64(kept*s.Cfg.Scale), "kept_flows_scaled")
+}
+
+// BenchmarkTable2Persistence regenerates the prefix persistence quantiles.
+func BenchmarkTable2Persistence(b *testing.B) {
+	s := benchSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res core.PersistenceResult
+	for i := 0; i < b.N; i++ {
+		res = s.Persistence()
+	}
+	b.ReportMetric(res.MedianFraction, "presence_p50")
+	b.ReportMetric(res.P75Fraction, "presence_p75")
+	b.ReportMetric(float64(res.Prefixes), "prefixes")
+}
+
+// BenchmarkTable3Adoption regenerates the adoption anchors.
+func BenchmarkTable3Adoption(b *testing.B) {
+	s := benchSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tab experiments.AdoptionTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = s.Adoption()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tab.DownloadsAt36h/1e6, "downloads_36h_M")
+	b.ReportMetric(tab.DownloadsJul24/1e6, "downloads_jul24_M")
+	b.ReportMetric(tab.ReleaseDayFlowRatio, "release_ratio")
+}
+
+// BenchmarkTable4Outbreaks regenerates the outbreak non-effect analysis.
+func BenchmarkTable4Outbreaks(b *testing.B) {
+	s := benchSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep *core.OutbreakReport
+	for i := 0; i < b.N; i++ {
+		rep = s.Outbreaks()
+	}
+	b.ReportMetric(rep.NationalGrowth, "national_growth")
+	b.ReportMetric(rep.NRWExcess, "nrw_excess")
+	b.ReportMetric(rep.GueterslohGrowth, "guetersloh_growth")
+	if _, single := rep.BerlinSingleISP(0.15); single {
+		b.ReportMetric(1, "berlin_single_isp")
+	} else {
+		b.ReportMetric(0, "berlin_single_isp")
+	}
+}
+
+// BenchmarkTable5DNS regenerates the resolver verification and the
+// Umbrella-style top-list observation.
+func BenchmarkTable5DNS(b *testing.B) {
+	b.ReportAllocs()
+	var tab experiments.DNSTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = experiments.DNS(10_000, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tab.APIListed)), "api_listed_days")
+	b.ReportMetric(float64(len(tab.WebListed)), "web_listed_days")
+	if tab.Verify.Confirmed() {
+		b.ReportMetric(1, "prefixes_confirmed")
+	} else {
+		b.ReportMetric(0, "prefixes_confirmed")
+	}
+}
+
+// BenchmarkTable6FirstKeys regenerates the first-diagnosis-keys result.
+func BenchmarkTable6FirstKeys(b *testing.B) {
+	s := benchSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tab experiments.FirstKeysTable
+	for i := 0; i < b.N; i++ {
+		tab = s.FirstKeys()
+	}
+	// Day offset from the paper's June 23 (0 = exact match).
+	offset := 99.0
+	if tab.FirstDay != "" {
+		first, err := time.ParseInLocation("2006-01-02", tab.FirstDay, entime.Berlin)
+		if err == nil {
+			offset = first.Sub(entime.FirstKeysObserved).Hours() / 24
+		}
+	}
+	b.ReportMetric(offset, "first_keys_day_offset")
+	b.ReportMetric(float64(tab.Uploads), "uploads")
+}
+
+// BenchmarkAblationSampling sweeps the router sampling rate (A1); each
+// iteration re-simulates the capture at three rates.
+func BenchmarkAblationSampling(b *testing.B) {
+	base := experiments.QuickConfig()
+	var points []experiments.SamplingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.SamplingAblation(base, []int{1, 16, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := points[len(points)-1]
+	b.ReportMetric(last.SinglePacketShare, "one_pkt_share_1in256")
+	b.ReportMetric(last.MedianPresence, "presence_p50_1in256")
+	b.ReportMetric(points[0].MeanPktsPerFlow, "pkts_per_flow_unsampled")
+}
+
+// BenchmarkAblationCentralized contrasts the two architectures (A2).
+func BenchmarkAblationCentralized(b *testing.B) {
+	b.ReportAllocs()
+	var factor float64
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.Centralized()
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor, pairs = cmp.DownloadFactor, cmp.Centralized.ContactPairsRevealed
+	}
+	b.ReportMetric(factor, "decentralized_down_factor")
+	b.ReportMetric(float64(pairs), "centralized_pairs_revealed")
+}
+
+// BenchmarkAblationBackgroundBug sweeps the energy-saving bug share (A3);
+// each iteration re-simulates at three shares.
+func BenchmarkAblationBackgroundBug(b *testing.B) {
+	base := experiments.QuickConfig()
+	var points []experiments.BugPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.BackgroundBugAblation(base, []float64{0, 0.35, 0.7})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[0].SyncsPerDeviceDay, "syncs_per_dev_day_bug0")
+	b.ReportMetric(points[len(points)-1].SyncsPerDeviceDay, "syncs_per_dev_day_bug70")
+}
+
+// BenchmarkAblationAdoptionEfficacy quantifies the paper's motivation (A4):
+// the share of contacts detectable by the app scales with adoption squared.
+func BenchmarkAblationAdoptionEfficacy(b *testing.B) {
+	var points []ble.EfficacyPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Efficacy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Adoption == 0.28 { // Germany's late-July 2020 level
+			b.ReportMetric(p.DetectableShare, "detectable_at_28pct")
+		}
+	}
+	b.ReportMetric(points[len(points)-1].DetectableShare, "detectable_at_80pct")
+}
+
+// BenchmarkFutureWorkAppID runs the paper's future-work app identification
+// (FW1) over the shared trace and reports classifier quality.
+func BenchmarkFutureWorkAppID(b *testing.B) {
+	s := benchSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res experiments.AppIDResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = s.AppID()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Eval.Precision(), "precision")
+	b.ReportMetric(res.Eval.Recall(), "recall")
+}
+
+// BenchmarkFutureWorkNewsCorrelation quantifies FW2: media attention vs
+// traffic, from the trace and against ground truth.
+func BenchmarkFutureWorkNewsCorrelation(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var fromTrace, truth float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		fromTrace, truth, err = s.NewsCorrelation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fromTrace, "r_trace")
+	b.ReportMetric(truth, "r_ground_truth")
+}
+
+// BenchmarkFutureWorkLongTerm extends the window to four weeks (FW3) and
+// reports where traffic and human interest head after the launch spike.
+func BenchmarkFutureWorkLongTerm(b *testing.B) {
+	var res experiments.LongTermResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.LongTerm()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TrendRatio, "traffic_trend_w4_w2")
+	b.ReportMetric(res.InterestTrendRatio, "interest_trend_w4_w2")
+}
+
+// BenchmarkDownloadCurve measures the adoption curve evaluation itself.
+func BenchmarkDownloadCurve(b *testing.B) {
+	curve := adoption.DefaultCurve()
+	t := entime.AppRelease.Add(36 * time.Hour)
+	b.ReportAllocs()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = curve.Cumulative(t)
+	}
+	b.ReportMetric(v/1e6, "downloads_36h_M")
+}

@@ -1,0 +1,56 @@
+// Command cwabackend runs the Corona-Warn-App backend as a real HTTP
+// server: verification (test results + TANs), submission and distribution
+// services plus the website, all on one listener — mirroring how the
+// production system serves app API calls and website visits from the same
+// infrastructure.
+//
+// A second flag registers a demo positive test so a client walk-through
+// (see examples/quickstart) has something to work with:
+//
+//	cwabackend -addr :8080 -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"cwatrace/internal/cwaserver"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+		demo = flag.Bool("demo", false, "register a demo positive test and print its token")
+	)
+	flag.Parse()
+
+	backend, err := cwaserver.New(cwaserver.DefaultConfig(), nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cwabackend: %v\n", err)
+		os.Exit(1)
+	}
+	if *demo {
+		token := backend.RegisterTest(cwaserver.ResultPositive, time.Now())
+		fmt.Printf("demo positive test registered; registration token: %s\n", token)
+		fmt.Printf("  poll:   POST http://%s%s {\"registrationToken\":\"%s\"}\n",
+			*addr, cwaserver.PathTestResult, token)
+		fmt.Printf("  tan:    POST http://%s%s {\"registrationToken\":\"%s\"}\n",
+			*addr, cwaserver.PathTAN, token)
+		fmt.Printf("  upload: POST http://%s%s with header %s: <tan>\n",
+			*addr, cwaserver.PathSubmission, cwaserver.HeaderTAN)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           cwaserver.Handler(backend, cwaserver.DefaultWebsite()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("cwabackend listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("cwabackend: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+// Command cwanalyze runs the paper's measurement pipeline over a captured
+// trace: the data-set filter census (T1), the Figure-2 hourly series, the
+// Figure-3 district aggregation, the prefix-persistence statistics (T2)
+// and the outbreak analysis (T4).
+//
+// Usage:
+//
+//	cwanalyze -trace trace.cwaflow -geodb geodb.jsonl [-fig2] [-fig3]
+//	          [-persistence] [-outbreaks] [-census]
+//
+// Without selection flags every analysis runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/core"
+	"cwatrace/internal/geo"
+	"cwatrace/internal/geodb"
+	"cwatrace/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath   = flag.String("trace", "trace.cwaflow", "binary trace input")
+		geoPath     = flag.String("geodb", "geodb.jsonl", "geolocation sidecar input")
+		fig2        = flag.Bool("fig2", false, "hourly traffic series (Figure 2)")
+		fig3        = flag.Bool("fig3", false, "district heatmap (Figure 3)")
+		persistence = flag.Bool("persistence", false, "prefix persistence (T2)")
+		outbreaks   = flag.Bool("outbreaks", false, "outbreak analysis (T4)")
+		census      = flag.Bool("census", false, "filter census (T1)")
+		scale       = flag.Int("scale", 2000, "population scale of the trace, for scaled counts")
+	)
+	flag.Parse()
+	all := !*fig2 && !*fig3 && !*persistence && !*outbreaks && !*census
+
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		fatal("opening trace: %v", err)
+	}
+	defer tf.Close()
+	records, err := trace.ReadAll(tf)
+	if err != nil {
+		fatal("reading trace: %v", err)
+	}
+
+	gf, err := os.Open(*geoPath)
+	if err != nil {
+		fatal("opening geodb sidecar: %v", err)
+	}
+	defer gf.Close()
+	db, err := geodb.Read(gf)
+	if err != nil {
+		fatal("reading geodb sidecar: %v", err)
+	}
+
+	model := geo.Germany()
+	kept, cen := core.ApplyFilter(records, core.DefaultFilter())
+
+	if all || *census {
+		fmt.Println(core.RenderCensus(cen, *scale))
+	}
+	if all || *fig2 {
+		res, err := core.Figure2(kept, adoption.DefaultCurve())
+		if err != nil {
+			fatal("figure 2: %v", err)
+		}
+		fmt.Println(core.RenderFigure2(res))
+		fmt.Println(core.RenderFigure2Daily(core.DailyFlows(kept)))
+	}
+	if all || *fig3 {
+		from, to := core.StudyWindow()
+		res := core.Figure3(kept, db, model, from, to)
+		fmt.Println(core.RenderFigure3(res))
+
+		d1from, d1to := core.FirstDayWindow()
+		day1 := core.Figure3(kept, db, model, d1from, d1to)
+		if r, err := core.SpreadSimilarity(day1, res); err == nil {
+			fmt.Printf("day-one vs 10-day spread correlation: %.3f (paper: almost the same)\n\n", r)
+		}
+	}
+	if all || *persistence {
+		fmt.Println(core.RenderPersistence(core.PrefixPersistence(kept)))
+	}
+	if all || *outbreaks {
+		fmt.Println(core.RenderOutbreaks(core.AnalyzeOutbreaks(kept, db, model)))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cwanalyze: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command cwasim runs the full reproduction simulation and writes the
+// anonymized Netflow trace (binary format) plus the geolocation sidecar
+// that cwanalyze consumes — the synthetic stand-in for the data set the
+// paper captured at the CWA hosting infrastructure.
+//
+// Usage:
+//
+//	cwasim -out trace.cwaflow -geodb geodb.jsonl [-scale 2000] [-seed N]
+//	       [-sample 4] [-jsonl trace.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cwatrace/internal/sim"
+	"cwatrace/internal/trace"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "trace.cwaflow", "binary trace output path")
+		geoOut  = flag.String("geodb", "geodb.jsonl", "geolocation sidecar output path")
+		jsonl   = flag.String("jsonl", "", "optional JSONL trace output path")
+		scale   = flag.Int("scale", 0, "population scale (1 device per N real users; 0 = default)")
+		seed    = flag.Int64("seed", 0, "simulation seed (0 = default)")
+		sample  = flag.Int("sample", 0, "router packet sampling 1-in-N (0 = default)")
+		verbose = flag.Bool("v", false, "print run statistics")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *sample > 0 {
+		cfg.Netflow.SampleRate = *sample
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fatal("simulation: %v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("creating trace: %v", err)
+	}
+	if err := trace.WriteAll(f, res.Records); err != nil {
+		fatal("writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("closing trace: %v", err)
+	}
+
+	g, err := os.Create(*geoOut)
+	if err != nil {
+		fatal("creating geodb sidecar: %v", err)
+	}
+	if err := res.GeoDB.Write(g); err != nil {
+		fatal("writing geodb sidecar: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		fatal("closing geodb sidecar: %v", err)
+	}
+
+	if *jsonl != "" {
+		j, err := os.Create(*jsonl)
+		if err != nil {
+			fatal("creating jsonl trace: %v", err)
+		}
+		if err := trace.WriteJSONL(j, res.Records); err != nil {
+			fatal("writing jsonl trace: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			fatal("closing jsonl trace: %v", err)
+		}
+	}
+
+	fmt.Printf("wrote %d flow records to %s (scale 1:%d), geodb to %s\n",
+		len(res.Records), *out, cfg.Scale, *geoOut)
+	if *verbose {
+		s := res.Stats
+		fmt.Printf("devices=%d installed=%d exchanges=%d webVisits=%d uploads=%d fakeCalls=%d\n",
+			s.Devices, s.InstalledByEnd, s.Exchanges, s.WebVisits, s.Uploads, s.FakeCalls)
+		fmt.Printf("packets observed=%d sampled=%d, cdn cache hits=%d misses=%d\n",
+			s.PacketsObserved, s.PacketsSampled, s.CacheHits, s.CacheMisses)
+		fmt.Printf("diagnosis keys per day: %v\n", s.KeysByDay)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cwasim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command experiments regenerates every artefact of the paper in one run:
+// the three figures, the in-text tables (T1-T6) and the reproduction's
+// ablations (A1-A3), printing the full report to stdout. EXPERIMENTS.md
+// records a snapshot of this output next to the paper's numbers.
+//
+// Usage:
+//
+//	experiments [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/experiments"
+	"cwatrace/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced configuration (faster, coarser)")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+
+	fmt.Printf("=== cwatrace experiment suite (scale 1:%d, seed %d) ===\n\n", cfg.Scale, cfg.Seed)
+	suite, err := experiments.RunSuite(cfg)
+	if err != nil {
+		fatal("suite: %v", err)
+	}
+
+	// T1 — data set census.
+	fmt.Println(core.RenderCensus(suite.Census, cfg.Scale))
+
+	// F2 — temporal adoption.
+	fig2, err := suite.Figure2()
+	if err != nil {
+		fatal("figure 2: %v", err)
+	}
+	fmt.Println(core.RenderFigure2Daily(core.DailyFlows(suite.Kept)))
+	fmt.Printf("release-day flow increase: %.1fx (paper: 7.5x)\n", fig2.ReleaseDayFlowRatio)
+	fmt.Printf("resurgence Jun 23-25 vs Jun 20-22: %.2fx\n\n", fig2.ResurgenceRatio)
+
+	// F3 — geographic adoption.
+	full, dayOne, similarity, err := suite.Figure3()
+	if err != nil {
+		fatal("figure 3: %v", err)
+	}
+	fmt.Println(core.RenderFigure3(full))
+	fmt.Printf("day-one active districts: %d of %d; day-one vs 10-day correlation: %.3f\n\n",
+		dayOne.ActiveDistricts, dayOne.TotalDistricts, similarity)
+
+	// T2 — persistence.
+	fmt.Println(core.RenderPersistence(suite.Persistence()))
+
+	// T3 — adoption anchors.
+	adoption, err := suite.Adoption()
+	if err != nil {
+		fatal("adoption: %v", err)
+	}
+	fmt.Println(experiments.RenderAdoption(adoption))
+
+	// T4 — outbreaks.
+	fmt.Println(core.RenderOutbreaks(suite.Outbreaks()))
+
+	// T5 — DNS.
+	dns, err := experiments.DNS(10_000, cfg.Seed)
+	if err != nil {
+		fatal("dns: %v", err)
+	}
+	fmt.Println(experiments.RenderDNS(dns))
+
+	// T6 — first keys.
+	fmt.Println(experiments.RenderFirstKeys(suite.FirstKeys()))
+
+	// A1 — sampling sweep.
+	base := experiments.QuickConfig()
+	sampling, err := experiments.SamplingAblation(base, []int{1, 4, 16, 64, 256, 1024})
+	if err != nil {
+		fatal("sampling ablation: %v", err)
+	}
+	fmt.Println(experiments.RenderSampling(sampling))
+
+	// A2 — architecture comparison.
+	cmp, err := experiments.Centralized()
+	if err != nil {
+		fatal("centralized ablation: %v", err)
+	}
+	fmt.Println(experiments.RenderCentralized(cmp))
+
+	// A3 — background bug sweep.
+	bug, err := experiments.BackgroundBugAblation(base, []float64{0, 0.35, 0.7})
+	if err != nil {
+		fatal("bug ablation: %v", err)
+	}
+	fmt.Println(experiments.RenderBug(bug))
+
+	// A4 — adoption efficacy (the paper's motivation).
+	eff, err := experiments.Efficacy()
+	if err != nil {
+		fatal("efficacy: %v", err)
+	}
+	fmt.Println(experiments.RenderEfficacy(eff))
+
+	// FW1 — app identification from periodic requests (future work).
+	appID, err := suite.AppID()
+	if err != nil {
+		fatal("app identification: %v", err)
+	}
+	fmt.Println(experiments.RenderAppID(appID))
+
+	// FW3 — long-term interest (future work).
+	longTerm, err := experiments.LongTerm()
+	if err != nil {
+		fatal("long term: %v", err)
+	}
+	fmt.Println(experiments.RenderLongTerm(longTerm))
+
+	// FW2 — news attention vs traffic (future work).
+	if fromTrace, truth, err := suite.NewsCorrelation(); err == nil {
+		fmt.Println("News attention vs traffic (FW2 — the paper's future work)")
+		fmt.Printf("  attention vs daily traffic growth (trace only):   r = %.3f\n", fromTrace)
+		fmt.Printf("  attention vs true website visits (ground truth):  r = %.3f\n", truth)
+		fmt.Println("  (news strongly drives human visits; the app's automatic syncs and growing")
+		fmt.Println("   key packages dilute that signal in the aggregate trace — quantifying why")
+		fmt.Println("   the paper's proposed news-interest analysis is hard at the flow level)")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

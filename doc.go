@@ -1,0 +1,13 @@
+// Package cwatrace reproduces "Corona-Warn-App: Tracing the Start of the
+// Official COVID-19 Exposure Notification App for Germany" (Reelfs,
+// Hohlfeld, Poese — SIGCOMM '20 Posters): a Netflow-based measurement
+// study of the app's early adoption, rebuilt end to end in Go.
+//
+// The repository contains the full substrate the study depends on — the
+// GAEN exposure-notification cryptography, the CWA backend and CDN, a
+// German population/epidemic/adoption simulation, an ISP access network
+// with sampled Netflow export and Crypto-PAn anonymization — plus the
+// paper's measurement pipeline (internal/core) and a benchmark harness
+// that regenerates every figure and table. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package cwatrace

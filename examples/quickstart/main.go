@@ -1,0 +1,153 @@
+// Quickstart walks the complete Corona-Warn-App protocol loop of the
+// paper's Figure 1 against a live, in-process HTTP backend:
+//
+//  1. Two phones meet; the future patient's Bluetooth broadcast (rolling
+//     proximity identifier) lands in the contact's encounter history.
+//  2. A lab registers a positive SARS-CoV-2 test ("lab testing").
+//  3. The patient's app polls the test result, fetches a TAN and uploads
+//     its temporary exposure keys ("report infection").
+//  4. The contact's app downloads the day's diagnosis-key package from the
+//     distribution endpoint, matches it locally and scores the risk
+//     ("detect infection").
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"cwatrace/internal/cwaserver"
+	"cwatrace/internal/diagkeys"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+func main() {
+	// The study clock: the day the first diagnosis keys appeared.
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(9 * time.Hour))
+	backend, err := cwaserver.New(cwaserver.DefaultConfig(), clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(cwaserver.Handler(backend, cwaserver.DefaultWebsite()))
+	defer srv.Close()
+	fmt.Printf("backend serving at %s (verification + submission + distribution + website)\n\n", srv.URL)
+
+	// --- 1. Bluetooth contact, yesterday afternoon. ---
+	patientKeys := exposure.NewKeyStore(nil)
+	broadcaster := exposure.NewBroadcaster(patientKeys, exposure.Metadata{0x40, 8, 0, 0})
+	contactAt := entime.IntervalOf(clock.Now().Add(-20 * time.Hour))
+	rpi, _, err := broadcaster.Payload(contactAt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contactHistory := []exposure.Encounter{{
+		RPI:           rpi,
+		Interval:      contactAt,
+		DurationMin:   25,
+		AttenuationDB: 48,
+	}}
+	fmt.Printf("1. contact recorded: RPI %x… for 25 min at 48 dB\n", rpi[:4])
+
+	// --- 2. Lab registers the positive test. ---
+	token := backend.RegisterTest(cwaserver.ResultPositive, clock.Now().Add(-time.Hour))
+	fmt.Printf("2. lab registered positive test, registration token %s…\n", token[:8])
+
+	// --- 3. Patient polls, fetches TAN, uploads keys. ---
+	var pollRes struct {
+		TestResult int `json:"testResult"`
+	}
+	postJSON(srv.URL+cwaserver.PathTestResult, map[string]string{"registrationToken": token}, &pollRes)
+	fmt.Printf("3. app polled test result: %d (2 = positive)\n", pollRes.TestResult)
+
+	var tanRes struct {
+		TAN string `json:"tan"`
+	}
+	postJSON(srv.URL+cwaserver.PathTAN, map[string]string{"registrationToken": token}, &tanRes)
+
+	nowI := entime.IntervalOf(clock.Now())
+	teks := patientKeys.KeysSince(nowI.Add(-exposure.StorageDays*entime.EKRollingPeriod), nowI)
+	var dks []exposure.DiagnosisKey
+	for _, k := range teks {
+		dks = append(dks, exposure.DiagnosisKey{TEK: k, TransmissionRiskLevel: 6})
+	}
+	payload, err := cwaserver.EncodeUpload(dks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+cwaserver.PathSubmission, bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set(cwaserver.HeaderTAN, tanRes.TAN)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("   uploaded %d diagnosis keys with TAN %s… (status %d, %d byte payload)\n",
+		len(dks), tanRes.TAN[:8], resp.StatusCode, len(payload))
+
+	// --- 4. Contact downloads the package and matches locally. ---
+	resp, err = http.Get(srv.URL + cwaserver.PathDatePrefix + "DE/date")
+	if err != nil {
+		log.Fatal(err)
+	}
+	idxData, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	idx, err := diagkeys.UnmarshalIndex(idxData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4. distribution index lists days: %v\n", idx.Days)
+
+	resp, err = http.Get(srv.URL + cwaserver.PathDatePrefix + "DE/date/" + idx.Days[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	export, err := diagkeys.Unmarshal(pkg, backend.Signer())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   downloaded %d bytes, %d keys (real + plausible-deniability padding), signature ok\n",
+		len(pkg), len(export.Keys))
+
+	matcher := exposure.NewMatcher(contactHistory)
+	matches, err := matcher.Match(export.Keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	risk := exposure.DefaultRiskConfig().Score(matches)
+	fmt.Printf("   local matching found %d exposure(s); risk score %.1f -> elevated=%v\n",
+		len(matches), risk.Score, risk.Elevated)
+	if risk.Elevated {
+		fmt.Println("\nthe contact's app would now warn: exposure to a person later tested positive")
+	}
+}
+
+func postJSON(url string, body, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package adoption models how Germany installed the Corona-Warn-App: the
+// national cumulative download curve (calibrated to the officially reported
+// store numbers the paper overlays on Figure 2), a media-attention signal
+// with pulses at the app release and at the June-23 outbreak news, and the
+// allocation of installs to districts.
+//
+// The paper's anchors: "36 hours after its release, the CWA was downloaded
+// 6.4M times (16.2M total downloads by July 24)" and store reporting starts
+// June 17. The curve below interpolates public Statista day-level numbers
+// between those anchors.
+package adoption
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/geo"
+)
+
+// Anchor is one (time, cumulative installs) calibration point.
+type Anchor struct {
+	T   time.Time
+	Cum float64
+}
+
+// Curve interpolates cumulative national downloads between anchors.
+type Curve struct {
+	anchors []Anchor
+}
+
+// NewCurve builds a curve from anchors, which must be strictly increasing
+// in both time and value (cumulative counts cannot decrease).
+func NewCurve(anchors []Anchor) (*Curve, error) {
+	if len(anchors) < 2 {
+		return nil, fmt.Errorf("adoption: need at least 2 anchors")
+	}
+	sorted := make([]Anchor, len(anchors))
+	copy(sorted, anchors)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].T.Before(sorted[j].T) })
+	for i := 1; i < len(sorted); i++ {
+		if !sorted[i].T.After(sorted[i-1].T) {
+			return nil, fmt.Errorf("adoption: duplicate anchor time %s", sorted[i].T)
+		}
+		if sorted[i].Cum < sorted[i-1].Cum {
+			return nil, fmt.Errorf("adoption: cumulative count decreases at %s", sorted[i].T)
+		}
+	}
+	return &Curve{anchors: sorted}, nil
+}
+
+// day returns midnight Berlin time of June day d, 2020.
+func day(d int) time.Time {
+	return time.Date(2020, time.June, d, 0, 0, 0, 0, entime.Berlin)
+}
+
+// DefaultCurve returns the calibrated CWA download curve. The +36h point
+// (June 17, 14:00) hits the paper's 6.4M; July 24 hits 16.2M.
+func DefaultCurve() *Curve {
+	c, err := NewCurve([]Anchor{
+		{entime.AppRelease, 0},
+		{entime.AppRelease.Add(36 * time.Hour), 6_400_000}, // paper anchor
+		{day(19), 8_200_000},
+		{day(21), 10_100_000},
+		{day(23), 11_000_000},
+		{day(24), 11_900_000}, // post-lockdown-news bump
+		{day(26), 12_600_000},
+		{day(30), 13_600_000},
+		{time.Date(2020, time.July, 10, 0, 0, 0, 0, entime.Berlin), 15_200_000},
+		{time.Date(2020, time.July, 24, 0, 0, 0, 0, entime.Berlin), 16_200_000}, // paper anchor
+	})
+	if err != nil {
+		panic("adoption: default curve invalid: " + err.Error())
+	}
+	return c
+}
+
+// Cumulative returns total downloads by t (0 before the first anchor, the
+// final value after the last).
+func (c *Curve) Cumulative(t time.Time) float64 {
+	a := c.anchors
+	if !t.After(a[0].T) {
+		return a[0].Cum
+	}
+	if !t.Before(a[len(a)-1].T) {
+		return a[len(a)-1].Cum
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i].T.After(t) })
+	lo, hi := a[i-1], a[i]
+	frac := float64(t.Sub(lo.T)) / float64(hi.T.Sub(lo.T))
+	return lo.Cum + frac*(hi.Cum-lo.Cum)
+}
+
+// InstallsBetween returns new downloads in [from, to).
+func (c *Curve) InstallsBetween(from, to time.Time) float64 {
+	if to.Before(from) {
+		return 0
+	}
+	return c.Cumulative(to) - c.Cumulative(from)
+}
+
+// Final returns the last anchor's cumulative value.
+func (c *Curve) Final() float64 { return c.anchors[len(c.anchors)-1].Cum }
+
+// MediaPulse is one news event driving attention.
+type MediaPulse struct {
+	At time.Time
+	// Amplitude is the attention multiple added at the pulse peak.
+	Amplitude float64
+	// DecayDays is the exponential decay constant.
+	DecayDays float64
+}
+
+// Attention models nation-wide media attention to the CWA; it multiplies
+// website visits and install propensity in the simulator. The paper
+// hypothesizes that "nation-wide news reports on outbreaks might contribute
+// to growing app interest across Germany" — attention is deliberately a
+// national (not regional) signal.
+type Attention struct {
+	Baseline float64
+	Pulses   []MediaPulse
+}
+
+// DefaultAttention has the three events of the study window: the
+// announcement buzz in the days before launch (the reason the paper's
+// June-15 baseline is not near zero — its Figure 2 shows a 7.5x jump, not
+// hundreds-fold), the release itself, and the June-23 lockdown coverage.
+func DefaultAttention() Attention {
+	return Attention{
+		Baseline: 1,
+		Pulses: []MediaPulse{
+			{At: entime.StudyStart, Amplitude: 6, DecayDays: 1.5},
+			{At: entime.AppRelease, Amplitude: 9, DecayDays: 1.8},
+			{At: entime.OutbreakGuetersloh, Amplitude: 3.5, DecayDays: 2.2},
+		},
+	}
+}
+
+// At evaluates the attention signal at time t.
+func (a Attention) At(t time.Time) float64 {
+	v := a.Baseline
+	for _, p := range a.Pulses {
+		if t.Before(p.At) {
+			continue
+		}
+		days := t.Sub(p.At).Hours() / 24
+		v += p.Amplitude * math.Exp(-days/p.DecayDays)
+	}
+	return v
+}
+
+// Diurnal is the intra-day activity shape applied to installs and website
+// visits: minimal at night, peaking in the evening. It integrates to ~1
+// over 24 hours (each hourly weight averages 1).
+func Diurnal(hour int) float64 {
+	// Two-humped day: small morning bump, broad evening peak.
+	h := float64(hour)
+	morning := 0.6 * math.Exp(-((h-10)*(h-10))/18)
+	evening := 1.1 * math.Exp(-((h-19)*(h-19))/22)
+	night := 0.25
+	v := night + morning + evening
+	return v / 0.785994 // normalization constant: mean over hours 0..23
+}
+
+// DistrictWeights returns the probability of a new install landing in each
+// district: population share with a mild urban skew (early adopters
+// concentrate in cities), normalized to sum to 1. Order matches
+// model.Districts().
+func DistrictWeights(model *geo.Model) []float64 {
+	ds := model.Districts()
+	weights := make([]float64, len(ds))
+	var sum float64
+	for i, d := range ds {
+		w := float64(d.Population)
+		if d.Urban {
+			w *= 1.15
+		}
+		weights[i] = w
+		sum += w
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	return weights
+}
+
+// Sampler draws district indices according to weights using the alias-free
+// cumulative method; deterministic given the rng.
+type Sampler struct {
+	cum []float64
+}
+
+// NewSampler prepares a sampler over the given weights.
+func NewSampler(weights []float64) (*Sampler, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("adoption: empty weights")
+	}
+	cum := make([]float64, len(weights))
+	var run float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("adoption: negative weight at %d", i)
+		}
+		run += w
+		cum[i] = run
+	}
+	if run <= 0 {
+		return nil, fmt.Errorf("adoption: weights sum to zero")
+	}
+	// Normalize the cumulative boundary exactly to the total.
+	for i := range cum {
+		cum[i] /= run
+	}
+	return &Sampler{cum: cum}, nil
+}
+
+// Draw returns a weighted district index.
+func (s *Sampler) Draw(rng *rand.Rand) int {
+	x := rng.Float64()
+	return sort.SearchFloat64s(s.cum, x)
+}

@@ -1,0 +1,209 @@
+package adoption
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/geo"
+)
+
+func TestDefaultCurveAnchors(t *testing.T) {
+	c := DefaultCurve()
+	// Paper: 6.4M downloads 36 hours after release.
+	got := c.Cumulative(entime.AppRelease.Add(36 * time.Hour))
+	if math.Abs(got-6_400_000) > 1 {
+		t.Fatalf("36h downloads = %.0f, want 6.4M", got)
+	}
+	// Paper: 16.2M total by July 24.
+	jul24 := time.Date(2020, time.July, 24, 0, 0, 0, 0, entime.Berlin)
+	if got := c.Cumulative(jul24); math.Abs(got-16_200_000) > 1 {
+		t.Fatalf("July 24 downloads = %.0f, want 16.2M", got)
+	}
+	if got := c.Cumulative(entime.AppRelease); got != 0 {
+		t.Fatalf("downloads at release = %.0f, want 0", got)
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	c := DefaultCurve()
+	prev := -1.0
+	for ts := entime.StudyStart; ts.Before(entime.StudyEnd); ts = ts.Add(time.Hour) {
+		v := c.Cumulative(ts)
+		if v < prev {
+			t.Fatalf("curve decreases at %s: %f < %f", ts, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCurveClamping(t *testing.T) {
+	c := DefaultCurve()
+	if got := c.Cumulative(entime.AppRelease.Add(-24 * time.Hour)); got != 0 {
+		t.Fatalf("pre-release = %.0f", got)
+	}
+	far := time.Date(2021, time.January, 1, 0, 0, 0, 0, entime.Berlin)
+	if got := c.Cumulative(far); got != c.Final() {
+		t.Fatalf("post-curve = %.0f, want final %.0f", got, c.Final())
+	}
+}
+
+func TestInstallsBetween(t *testing.T) {
+	c := DefaultCurve()
+	day1 := c.InstallsBetween(entime.AppRelease, entime.AppRelease.Add(24*time.Hour))
+	if day1 < 3_000_000 {
+		t.Fatalf("first-day installs = %.0f, expected millions", day1)
+	}
+	if got := c.InstallsBetween(entime.AppRelease.Add(time.Hour), entime.AppRelease); got != 0 {
+		t.Fatalf("inverted window = %f, want 0", got)
+	}
+	// Additivity.
+	mid := entime.AppRelease.Add(12 * time.Hour)
+	end := entime.AppRelease.Add(24 * time.Hour)
+	sum := c.InstallsBetween(entime.AppRelease, mid) + c.InstallsBetween(mid, end)
+	if math.Abs(sum-day1) > 1e-6 {
+		t.Fatalf("windows must be additive: %f vs %f", sum, day1)
+	}
+}
+
+func TestNewCurveValidation(t *testing.T) {
+	t0 := entime.AppRelease
+	if _, err := NewCurve([]Anchor{{t0, 0}}); err == nil {
+		t.Error("single anchor must fail")
+	}
+	if _, err := NewCurve([]Anchor{{t0, 0}, {t0, 5}}); err == nil {
+		t.Error("duplicate times must fail")
+	}
+	if _, err := NewCurve([]Anchor{{t0, 10}, {t0.Add(time.Hour), 5}}); err == nil {
+		t.Error("decreasing cumulative must fail")
+	}
+}
+
+func TestAttentionPulses(t *testing.T) {
+	a := DefaultAttention()
+	before := a.At(entime.AppRelease.Add(-time.Hour))
+	atRelease := a.At(entime.AppRelease)
+	if atRelease <= before*3 {
+		t.Fatalf("release pulse too weak: %f -> %f", before, atRelease)
+	}
+	// Attention decays after the release...
+	day20 := a.At(day(20))
+	if day20 >= atRelease/2 {
+		t.Fatalf("attention must decay: %f at release, %f on June 20", atRelease, day20)
+	}
+	// ...and resurges with the June 23 lockdown news.
+	day23 := a.At(entime.OutbreakGuetersloh.Add(2 * time.Hour))
+	if day23 <= day20 {
+		t.Fatalf("June 23 news must lift attention: %f vs %f", day23, day20)
+	}
+}
+
+func TestAttentionBaseline(t *testing.T) {
+	a := Attention{Baseline: 2}
+	if got := a.At(day(15)); got != 2 {
+		t.Fatalf("pulse-free attention = %f, want baseline", got)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	var sum float64
+	for h := 0; h < 24; h++ {
+		v := Diurnal(h)
+		if v <= 0 {
+			t.Fatalf("Diurnal(%d) = %f, must be positive", h, v)
+		}
+		sum += v
+	}
+	if mean := sum / 24; math.Abs(mean-1) > 0.01 {
+		t.Fatalf("diurnal mean = %f, want ~1", mean)
+	}
+	if Diurnal(19) <= Diurnal(3) {
+		t.Fatal("evening must out-weigh night")
+	}
+}
+
+func TestDistrictWeights(t *testing.T) {
+	model := geo.Germany()
+	w := DistrictWeights(model)
+	if len(w) != model.NumDistricts() {
+		t.Fatalf("weights = %d, want %d", len(w), model.NumDistricts())
+	}
+	var sum float64
+	for _, v := range w {
+		if v <= 0 {
+			t.Fatal("all weights must be positive")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %f", sum)
+	}
+	// Berlin (3.7M, urban) must far outweigh a small rural district.
+	ds := model.Districts()
+	var berlinW, minW float64 = 0, 1
+	for i, d := range ds {
+		if d.Name == "Berlin" {
+			berlinW = w[i]
+		}
+		if w[i] < minW {
+			minW = w[i]
+		}
+	}
+	if berlinW < minW*20 {
+		t.Fatalf("Berlin weight %f vs min %f: urban skew missing", berlinW, minW)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	weights := []float64{0.5, 0.3, 0.2}
+	s, err := NewSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, 3)
+	const draws = 30000
+	for i := 0; i < draws; i++ {
+		idx := s.Draw(rng)
+		if idx < 0 || idx >= 3 {
+			t.Fatalf("draw out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	for i, want := range weights {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("bucket %d: drawn %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(nil); err == nil {
+		t.Error("empty weights must fail")
+	}
+	if _, err := NewSampler([]float64{1, -1}); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := NewSampler([]float64{0, 0}); err == nil {
+		t.Error("zero-sum weights must fail")
+	}
+}
+
+func TestSamplerUnnormalizedWeights(t *testing.T) {
+	s, err := NewSampler([]float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	counts := make([]int, 2)
+	for i := 0; i < 10000; i++ {
+		counts[s.Draw(rng)]++
+	}
+	ratio := float64(counts[0]) / 10000
+	if math.Abs(ratio-0.5) > 0.03 {
+		t.Fatalf("unnormalized weights mishandled: %f", ratio)
+	}
+}

@@ -1,0 +1,213 @@
+// Package appid implements the paper's future-work idea: "Periodic request
+// pattern by CWA might thus be used in future work for app identification."
+//
+// App installations download diagnosis keys roughly once every 24 hours;
+// website visitors show up irregularly and rarely. Given only the
+// anonymized, filtered flow trace, the classifier groups flows per client
+// address into sync events, measures how daily-periodic those events are,
+// and labels addresses as app clients or not. The simulator exports ground
+// truth (sim.Result.Labels), so precision/recall of the approach — under
+// the sampling and churn that also limited the paper — are measurable.
+package appid
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+// Config tunes the classifier.
+type Config struct {
+	// EventGap merges flows closer than this into one client event (one
+	// app sync opens several connections back to back).
+	EventGap time.Duration
+	// PeriodLow/PeriodHigh bound an inter-event gap that counts as
+	// "daily": the framework schedules syncs every ~24h with jitter, and
+	// a missed day yields ~48h.
+	PeriodLow, PeriodHigh time.Duration
+	// MinEvents is the minimum number of events before an address can be
+	// classified at all (short-lived addresses stay Unknown).
+	MinEvents int
+	// MinPeriodicity is the minimum share of daily-looking gaps for an
+	// app verdict.
+	MinPeriodicity float64
+}
+
+// DefaultConfig matches the CWA sync behaviour.
+func DefaultConfig() Config {
+	return Config{
+		EventGap:       15 * time.Minute,
+		PeriodLow:      18 * time.Hour,
+		PeriodHigh:     30 * time.Hour,
+		MinEvents:      3,
+		MinPeriodicity: 0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.EventGap <= 0 {
+		return fmt.Errorf("appid: EventGap must be positive")
+	}
+	if c.PeriodLow <= 0 || c.PeriodHigh <= c.PeriodLow {
+		return fmt.Errorf("appid: period window [%v, %v] invalid", c.PeriodLow, c.PeriodHigh)
+	}
+	if c.MinEvents < 2 {
+		return fmt.Errorf("appid: MinEvents must be >= 2")
+	}
+	if c.MinPeriodicity < 0 || c.MinPeriodicity > 1 {
+		return fmt.Errorf("appid: MinPeriodicity out of range")
+	}
+	return nil
+}
+
+// Verdict is a classification outcome.
+type Verdict int
+
+// Verdicts.
+const (
+	Unknown Verdict = iota // too little signal
+	App                    // periodic daily pattern
+	NonApp                 // present but not periodic
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case App:
+		return "app"
+	case NonApp:
+		return "non-app"
+	default:
+		return "unknown"
+	}
+}
+
+// Classification is the result for one client address.
+type Classification struct {
+	Addr        netip.Addr
+	Events      int
+	DaysPresent int
+	// Periodicity is the share of inter-event gaps inside the daily
+	// window.
+	Periodicity float64
+	Verdict     Verdict
+}
+
+// Classify groups the (already filtered, downstream) records by client
+// address and classifies each address. Results are ordered by address.
+func Classify(records []netflow.Record, cfg Config) ([]Classification, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Gather flow start times per client.
+	times := make(map[netip.Addr][]time.Time)
+	for _, r := range records {
+		times[r.Dst] = append(times[r.Dst], r.First)
+	}
+
+	out := make([]Classification, 0, len(times))
+	for addr, ts := range times {
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+
+		// Merge into events and count distinct days.
+		var events []time.Time
+		days := make(map[string]bool)
+		for _, t := range ts {
+			days[t.Format("2006-01-02")] = true
+			if len(events) == 0 || t.Sub(events[len(events)-1]) > cfg.EventGap {
+				events = append(events, t)
+			} else {
+				events[len(events)-1] = t // extend the running event
+			}
+		}
+
+		c := Classification{
+			Addr:        addr,
+			Events:      len(events),
+			DaysPresent: len(days),
+		}
+		if len(events) >= 2 {
+			daily := 0
+			for i := 1; i < len(events); i++ {
+				gap := events[i].Sub(events[i-1])
+				if gap >= cfg.PeriodLow && gap <= cfg.PeriodHigh {
+					daily++
+				}
+			}
+			c.Periodicity = float64(daily) / float64(len(events)-1)
+		}
+		switch {
+		case c.Events < cfg.MinEvents:
+			c.Verdict = Unknown
+		case c.Periodicity >= cfg.MinPeriodicity:
+			c.Verdict = App
+		default:
+			c.Verdict = NonApp
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Compare(out[j].Addr) < 0 })
+	return out, nil
+}
+
+// Evaluation is the classifier quality against ground truth.
+type Evaluation struct {
+	TruePositives  int // classified app, labelled app
+	FalsePositives int // classified app, labelled web-only
+	TrueNegatives  int // classified non-app, labelled web-only
+	FalseNegatives int // classified non-app, labelled app
+	Unknowns       int // below the event floor
+	Unlabelled     int // address missing from the ground truth
+}
+
+// Precision is TP / (TP + FP).
+func (e Evaluation) Precision() float64 {
+	if e.TruePositives+e.FalsePositives == 0 {
+		return 0
+	}
+	return float64(e.TruePositives) / float64(e.TruePositives+e.FalsePositives)
+}
+
+// Recall is TP / (TP + FN).
+func (e Evaluation) Recall() float64 {
+	if e.TruePositives+e.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(e.TruePositives) / float64(e.TruePositives+e.FalseNegatives)
+}
+
+// Evaluate scores classifications against ground-truth labels (bitmask per
+// address: bit 0 app, bit 1 web; see sim.LabelApp/LabelWeb). Addresses used
+// by both kinds count toward the app side — identifying them as app clients
+// is correct.
+func Evaluate(cls []Classification, labels map[netip.Addr]byte, appBit, webBit byte) Evaluation {
+	var ev Evaluation
+	for _, c := range cls {
+		label, ok := labels[c.Addr]
+		if !ok {
+			ev.Unlabelled++
+			continue
+		}
+		if c.Verdict == Unknown {
+			ev.Unknowns++
+			continue
+		}
+		isApp := label&appBit != 0
+		saysApp := c.Verdict == App
+		switch {
+		case saysApp && isApp:
+			ev.TruePositives++
+		case saysApp && !isApp:
+			ev.FalsePositives++
+		case !saysApp && !isApp:
+			ev.TrueNegatives++
+		default:
+			ev.FalseNegatives++
+		}
+	}
+	return ev
+}

@@ -1,0 +1,194 @@
+package appid
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/netsim"
+)
+
+var base = time.Date(2020, time.June, 16, 19, 0, 0, 0, time.UTC)
+
+func flow(addr string, at time.Time) netflow.Record {
+	return netflow.Record{
+		Key: netflow.Key{
+			Src:     netsim.CDNAddr(0),
+			Dst:     netip.MustParseAddr(addr),
+			SrcPort: 443, DstPort: 51000, Proto: netflow.ProtoTCP,
+		},
+		Packets: 3, Bytes: 9000, First: at, Last: at.Add(time.Second),
+	}
+}
+
+// dailyClient produces n days of sync events with small jitter, several
+// flows per sync (index + packages), like an app client.
+func dailyClient(addr string, days int) []netflow.Record {
+	var out []netflow.Record
+	for d := 0; d < days; d++ {
+		at := base.AddDate(0, 0, d).Add(time.Duration(d%3) * 20 * time.Minute)
+		out = append(out, flow(addr, at), flow(addr, at.Add(5*time.Second)), flow(addr, at.Add(10*time.Second)))
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.EventGap = 0 },
+		func(c *Config) { c.PeriodHigh = c.PeriodLow },
+		func(c *Config) { c.MinEvents = 1 },
+		func(c *Config) { c.MinPeriodicity = 1.5 },
+	}
+	for i, mut := range cases {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+	if _, err := Classify(nil, Config{}); err == nil {
+		t.Error("invalid config must fail Classify")
+	}
+}
+
+func TestDailyPatternClassifiedAsApp(t *testing.T) {
+	records := dailyClient("20.0.1.5", 8)
+	cls, err := Classify(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != 1 {
+		t.Fatalf("classifications = %d", len(cls))
+	}
+	c := cls[0]
+	if c.Verdict != App {
+		t.Fatalf("daily client classified %s (periodicity %.2f, events %d)",
+			c.Verdict, c.Periodicity, c.Events)
+	}
+	if c.Events != 8 || c.DaysPresent != 8 {
+		t.Fatalf("events = %d, days = %d", c.Events, c.DaysPresent)
+	}
+}
+
+func TestOneOffVisitorUnknown(t *testing.T) {
+	records := []netflow.Record{flow("20.0.2.9", base)}
+	cls, err := Classify(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls[0].Verdict != Unknown {
+		t.Fatalf("one-off visitor classified %s", cls[0].Verdict)
+	}
+}
+
+func TestIrregularVisitorNonApp(t *testing.T) {
+	// Several visits within one afternoon plus one a week later: enough
+	// events, no daily rhythm.
+	records := []netflow.Record{
+		flow("20.0.3.3", base),
+		flow("20.0.3.3", base.Add(2*time.Hour)),
+		flow("20.0.3.3", base.Add(5*time.Hour)),
+		flow("20.0.3.3", base.AddDate(0, 0, 7)),
+	}
+	cls, err := Classify(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls[0].Verdict != NonApp {
+		t.Fatalf("irregular visitor classified %s (periodicity %.2f)",
+			cls[0].Verdict, cls[0].Periodicity)
+	}
+}
+
+func TestMissedDaysStillApp(t *testing.T) {
+	// A bug-affected device syncing every other day: gaps ~48h are
+	// outside the daily window, so pad with enough on-schedule days.
+	var records []netflow.Record
+	for _, d := range []int{0, 1, 2, 4, 5, 6} {
+		at := base.AddDate(0, 0, d)
+		records = append(records, flow("20.0.4.4", at))
+	}
+	cls, err := Classify(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls[0].Verdict != App {
+		t.Fatalf("mostly-daily client classified %s (periodicity %.2f)",
+			cls[0].Verdict, cls[0].Periodicity)
+	}
+}
+
+func TestEventMergingWithinGap(t *testing.T) {
+	// Five flows within a minute are one event.
+	var records []netflow.Record
+	for i := 0; i < 5; i++ {
+		records = append(records, flow("20.0.5.5", base.Add(time.Duration(i)*10*time.Second)))
+	}
+	cls, err := Classify(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls[0].Events != 1 {
+		t.Fatalf("events = %d, want 1", cls[0].Events)
+	}
+}
+
+func TestClassifyOrderedByAddress(t *testing.T) {
+	records := append(dailyClient("20.0.9.9", 4), dailyClient("20.0.1.1", 4)...)
+	cls, err := Classify(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != 2 || cls[0].Addr.Compare(cls[1].Addr) >= 0 {
+		t.Fatalf("classifications unordered: %v", cls)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	appAddr := netip.MustParseAddr("20.0.1.5")
+	webAddr := netip.MustParseAddr("20.0.3.3")
+	missedApp := netip.MustParseAddr("20.0.4.4")
+	strangeAddr := netip.MustParseAddr("20.0.7.7")
+
+	cls := []Classification{
+		{Addr: appAddr, Verdict: App},
+		{Addr: webAddr, Verdict: NonApp},
+		{Addr: missedApp, Verdict: NonApp},
+		{Addr: strangeAddr, Verdict: App},
+		{Addr: netip.MustParseAddr("20.0.8.8"), Verdict: Unknown},
+		{Addr: netip.MustParseAddr("20.9.9.9"), Verdict: App}, // unlabelled
+	}
+	labels := map[netip.Addr]byte{
+		appAddr:                         1,
+		webAddr:                         2,
+		missedApp:                       1,
+		strangeAddr:                     2,
+		netip.MustParseAddr("20.0.8.8"): 2,
+	}
+	ev := Evaluate(cls, labels, 1, 2)
+	if ev.TruePositives != 1 || ev.FalsePositives != 1 ||
+		ev.TrueNegatives != 1 || ev.FalseNegatives != 1 ||
+		ev.Unknowns != 1 || ev.Unlabelled != 1 {
+		t.Fatalf("evaluation = %+v", ev)
+	}
+	if ev.Precision() != 0.5 || ev.Recall() != 0.5 {
+		t.Fatalf("precision %.2f recall %.2f", ev.Precision(), ev.Recall())
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	ev := Evaluate(nil, nil, 1, 2)
+	if ev.Precision() != 0 || ev.Recall() != 0 {
+		t.Fatal("empty evaluation must be zero")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if App.String() != "app" || NonApp.String() != "non-app" || Unknown.String() != "unknown" {
+		t.Fatal("verdict strings wrong")
+	}
+}

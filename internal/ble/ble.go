@@ -1,0 +1,197 @@
+// Package ble simulates the Bluetooth Low Energy proximity layer of the
+// paper's Figure 1 ("Bluetooth Scanning"): a contact process that brings
+// phones near each other, a radio model that turns distance into the
+// attenuation the framework reports, and the encounter logging a phone
+// performs.
+//
+// It also carries the paper's motivation: "Since widespread adoption is key
+// to the app's success [Ferretti et al. 2020]" — a contact is only
+// *detectable* when both sides run the app, so the detectable share of
+// contacts scales with the square of adoption. EfficacyCurve quantifies
+// that, and the repository-level bench reports it.
+package ble
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+// RadioModel converts physical distance into the attenuation value (TX
+// power minus RSSI) the Exposure Notification framework reports.
+type RadioModel struct {
+	// PathLossExponent models the environment (2 free space, ~2.7
+	// indoors with obstructions).
+	PathLossExponent float64
+	// ReferenceLossDB is the attenuation at 1 m.
+	ReferenceLossDB float64
+	// ShadowSigmaDB is the log-normal shadowing spread.
+	ShadowSigmaDB float64
+}
+
+// DefaultRadioModel matches indoor BLE measurements used for the GAEN
+// calibration effort.
+func DefaultRadioModel() RadioModel {
+	return RadioModel{PathLossExponent: 2.7, ReferenceLossDB: 40, ShadowSigmaDB: 4}
+}
+
+// AttenuationDB returns a sampled attenuation for a contact at the given
+// distance in meters.
+func (m RadioModel) AttenuationDB(rng *rand.Rand, meters float64) int {
+	if meters < 0.1 {
+		meters = 0.1
+	}
+	mean := m.ReferenceLossDB + 10*m.PathLossExponent*math.Log10(meters)
+	att := mean + rng.NormFloat64()*m.ShadowSigmaDB
+	if att < 0 {
+		att = 0
+	}
+	return int(att)
+}
+
+// Contact is one physical meeting between two people.
+type Contact struct {
+	A, B        int // person indices
+	Interval    entime.Interval
+	DurationMin int
+	Meters      float64
+}
+
+// ContactConfig drives the daily contact process.
+type ContactConfig struct {
+	// People is the population size.
+	People int
+	// MeanContactsPerDay is the average number of close contacts per
+	// person per day.
+	MeanContactsPerDay float64
+	// CloseShare is the fraction of contacts within 2 m (the
+	// epidemiologically relevant ones).
+	CloseShare float64
+	Seed       int64
+}
+
+// Validate reports configuration errors.
+func (c ContactConfig) Validate() error {
+	if c.People < 2 {
+		return fmt.Errorf("ble: need at least 2 people")
+	}
+	if c.MeanContactsPerDay < 0 {
+		return fmt.Errorf("ble: negative contact rate")
+	}
+	if c.CloseShare < 0 || c.CloseShare > 1 {
+		return fmt.Errorf("ble: close share out of range")
+	}
+	return nil
+}
+
+// DailyContacts draws one day of contacts for the population under random
+// mixing. day anchors the EN intervals of the contacts.
+func DailyContacts(cfg ContactConfig, day entime.Interval, rng *rand.Rand) ([]Contact, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Total contacts: each of the People draws half the mean (each
+	// contact involves two people).
+	n := int(float64(cfg.People) * cfg.MeanContactsPerDay / 2)
+	out := make([]Contact, 0, n)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(cfg.People)
+		b := rng.Intn(cfg.People)
+		if a == b {
+			continue
+		}
+		meters := 0.5 + rng.Float64()*1.5 // close contact
+		if rng.Float64() >= cfg.CloseShare {
+			meters = 2 + rng.Float64()*6 // distant contact
+		}
+		out = append(out, Contact{
+			A: a, B: b,
+			Interval:    day.Add(rng.Intn(entime.EKRollingPeriod)),
+			DurationMin: 5 + rng.Intn(40),
+			Meters:      meters,
+		})
+	}
+	return out, nil
+}
+
+// Scanner is one phone's BLE receive side: it turns nearby broadcasts into
+// encounter-history entries.
+type Scanner struct {
+	radio RadioModel
+	rng   *rand.Rand
+	log   []exposure.Encounter
+}
+
+// NewScanner creates a Scanner.
+func NewScanner(radio RadioModel, rng *rand.Rand) *Scanner {
+	return &Scanner{radio: radio, rng: rng}
+}
+
+// Observe records the reception of a broadcast payload during a contact.
+func (s *Scanner) Observe(rpi exposure.RPI, c Contact) {
+	s.log = append(s.log, exposure.Encounter{
+		RPI:           rpi,
+		Interval:      c.Interval,
+		DurationMin:   c.DurationMin,
+		AttenuationDB: s.radio.AttenuationDB(s.rng, c.Meters),
+	})
+}
+
+// History returns the accumulated encounter log.
+func (s *Scanner) History() []exposure.Encounter {
+	out := make([]exposure.Encounter, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// EfficacyPoint is one row of the adoption-efficacy analysis.
+type EfficacyPoint struct {
+	Adoption float64
+	// DetectableShare is the measured fraction of contacts where both
+	// sides run the app.
+	DetectableShare float64
+	// Quadratic is the analytic adoption^2 reference.
+	Quadratic float64
+}
+
+// EfficacyCurve measures, by Monte Carlo over the contact process, the
+// share of contacts that contact tracing can possibly detect at each
+// adoption level — the paper's "widespread adoption is key" argument in
+// numbers. Both contact endpoints must have the app installed.
+func EfficacyCurve(cfg ContactConfig, adoptions []float64) ([]EfficacyPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	day := entime.IntervalOf(entime.AppRelease).KeyPeriodStart()
+	out := make([]EfficacyPoint, 0, len(adoptions))
+	for _, p := range adoptions {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("ble: adoption %f out of range", p)
+		}
+		// Assign the app to a random share p of the population.
+		hasApp := make([]bool, cfg.People)
+		for i := range hasApp {
+			hasApp[i] = rng.Float64() < p
+		}
+		contacts, err := DailyContacts(cfg, day, rng)
+		if err != nil {
+			return nil, err
+		}
+		detectable := 0
+		for _, c := range contacts {
+			if hasApp[c.A] && hasApp[c.B] {
+				detectable++
+			}
+		}
+		pt := EfficacyPoint{Adoption: p, Quadratic: p * p}
+		if len(contacts) > 0 {
+			pt.DetectableShare = float64(detectable) / float64(len(contacts))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package ble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+func TestRadioModelMonotoneInDistance(t *testing.T) {
+	m := DefaultRadioModel()
+	m.ShadowSigmaDB = 0 // deterministic for the monotonicity check
+	rng := rand.New(rand.NewSource(1))
+	prev := -1
+	for _, d := range []float64{0.5, 1, 2, 5, 10} {
+		att := m.AttenuationDB(rng, d)
+		if att <= prev {
+			t.Fatalf("attenuation must grow with distance: %d at %.1fm after %d", att, d, prev)
+		}
+		prev = att
+	}
+}
+
+func TestRadioModelCloseContactBelowThreshold(t *testing.T) {
+	m := DefaultRadioModel()
+	rng := rand.New(rand.NewSource(2))
+	risk := exposure.DefaultRiskConfig()
+	// 1m contacts should mostly land in the close/mid buckets (below the
+	// far threshold).
+	below := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if m.AttenuationDB(rng, 1) <= risk.AttenuationThresholds[1] {
+			below++
+		}
+	}
+	if below < n*9/10 {
+		t.Fatalf("only %d/%d 1m contacts below far threshold", below, n)
+	}
+}
+
+func TestRadioModelClampsNegative(t *testing.T) {
+	m := RadioModel{PathLossExponent: 2, ReferenceLossDB: 0, ShadowSigmaDB: 50}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if m.AttenuationDB(rng, 0.01) < 0 {
+			t.Fatal("attenuation must clamp at 0")
+		}
+	}
+}
+
+func TestContactConfigValidate(t *testing.T) {
+	good := ContactConfig{People: 100, MeanContactsPerDay: 5, CloseShare: 0.5, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*ContactConfig){
+		func(c *ContactConfig) { c.People = 1 },
+		func(c *ContactConfig) { c.MeanContactsPerDay = -1 },
+		func(c *ContactConfig) { c.CloseShare = 1.5 },
+	}
+	for i, mut := range cases {
+		cfg := good
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d must fail validation", i)
+		}
+	}
+}
+
+func TestDailyContacts(t *testing.T) {
+	cfg := ContactConfig{People: 1000, MeanContactsPerDay: 6, CloseShare: 0.5, Seed: 4}
+	day := entime.IntervalOf(entime.AppRelease).KeyPeriodStart()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	contacts, err := DailyContacts(cfg, day, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 * 6 / 2
+	if len(contacts) < want*9/10 || len(contacts) > want {
+		t.Fatalf("contacts = %d, want ~%d", len(contacts), want)
+	}
+	close := 0
+	for _, c := range contacts {
+		if c.A == c.B {
+			t.Fatal("self contact")
+		}
+		if c.Interval < day || c.Interval >= day.Add(entime.EKRollingPeriod) {
+			t.Fatalf("contact interval %d outside day", c.Interval)
+		}
+		if c.DurationMin < 5 || c.Meters <= 0 {
+			t.Fatalf("implausible contact %+v", c)
+		}
+		if c.Meters < 2 {
+			close++
+		}
+	}
+	share := float64(close) / float64(len(contacts))
+	if math.Abs(share-cfg.CloseShare) > 0.05 {
+		t.Fatalf("close share %.2f, configured %.2f", share, cfg.CloseShare)
+	}
+}
+
+func TestScannerFeedsMatcher(t *testing.T) {
+	// A full BLE -> matching loop: the infected phone broadcasts, the
+	// scanner logs, the matcher finds it after key publication.
+	store := exposure.NewKeyStore(rand.New(rand.NewSource(5)))
+	bc := exposure.NewBroadcaster(store, exposure.Metadata{0x40, 8, 0, 0})
+	day := entime.IntervalOf(entime.AppRelease).KeyPeriodStart()
+	contact := Contact{A: 0, B: 1, Interval: day.Add(60), DurationMin: 25, Meters: 1}
+
+	rpi, _, err := bc.Payload(contact.Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanner := NewScanner(DefaultRadioModel(), rand.New(rand.NewSource(6)))
+	scanner.Observe(rpi, contact)
+
+	tek, err := store.ActiveKey(contact.Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := exposure.NewMatcher(scanner.History()).Match([]exposure.DiagnosisKey{
+		{TEK: tek, TransmissionRiskLevel: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	if matches[0].DurationMin != 25 {
+		t.Fatalf("duration lost: %+v", matches[0])
+	}
+}
+
+func TestEfficacyCurveQuadratic(t *testing.T) {
+	cfg := ContactConfig{People: 20000, MeanContactsPerDay: 8, CloseShare: 0.5, Seed: 7}
+	points, err := EfficacyCurve(cfg, []float64{0, 0.2, 0.5, 0.8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if math.Abs(p.DetectableShare-p.Quadratic) > 0.03 {
+			t.Fatalf("adoption %.1f: detectable %.3f vs p^2 %.3f",
+				p.Adoption, p.DetectableShare, p.Quadratic)
+		}
+	}
+	// Monotone increasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].DetectableShare < points[i-1].DetectableShare {
+			t.Fatal("efficacy must grow with adoption")
+		}
+	}
+	// Full adoption detects everything; zero detects nothing.
+	if points[0].DetectableShare != 0 {
+		t.Fatalf("zero adoption detectable = %f", points[0].DetectableShare)
+	}
+	if points[len(points)-1].DetectableShare != 1 {
+		t.Fatalf("full adoption detectable = %f", points[len(points)-1].DetectableShare)
+	}
+}
+
+func TestEfficacyCurveValidation(t *testing.T) {
+	cfg := ContactConfig{People: 100, MeanContactsPerDay: 5, CloseShare: 0.5, Seed: 8}
+	if _, err := EfficacyCurve(cfg, []float64{1.5}); err == nil {
+		t.Fatal("adoption > 1 must fail")
+	}
+	bad := cfg
+	bad.People = 0
+	if _, err := EfficacyCurve(bad, []float64{0.5}); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+}

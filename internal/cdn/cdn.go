@@ -1,0 +1,233 @@
+// Package cdn models the content delivery layer in front of the CWA
+// backend. The paper's vantage point sits between this CDN and the users:
+// what it measures is precisely the HTTPS bytes the CDN sends downstream,
+// with website visits and app API calls indistinguishable on the wire.
+//
+// Edges cache the distribution objects (index documents, day packages, the
+// website) with a TTL; the submission and verification calls pass through
+// to the origin. The response-size model includes the TLS and HTTP framing
+// overhead that dominates small API exchanges.
+package cdn
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"cwatrace/internal/cwaserver"
+	"cwatrace/internal/diagkeys"
+	"cwatrace/internal/netsim"
+)
+
+// RequestType enumerates everything a client can ask of the hosting
+// infrastructure.
+type RequestType int
+
+// Request types.
+const (
+	ReqWebsite RequestType = iota
+	ReqIndex
+	ReqDayPackage
+	ReqHourPackage
+	ReqRegistration
+	ReqTestResult
+	ReqTAN
+	ReqSubmission
+)
+
+// String implements fmt.Stringer.
+func (rt RequestType) String() string {
+	switch rt {
+	case ReqWebsite:
+		return "website"
+	case ReqIndex:
+		return "index"
+	case ReqDayPackage:
+		return "day-package"
+	case ReqHourPackage:
+		return "hour-package"
+	case ReqRegistration:
+		return "registration"
+	case ReqTestResult:
+		return "test-result"
+	case ReqTAN:
+		return "tan"
+	case ReqSubmission:
+		return "submission"
+	default:
+		return "unknown"
+	}
+}
+
+// Downstream protocol overhead per HTTPS exchange (server->client): TLS
+// handshake with certificate chain plus response headers. These constants
+// size flows, not payloads; they are deliberately simple.
+const (
+	TLSServerOverhead = 4600
+	HTTPHeaderBytes   = 350
+	// SmallJSONReply is the payload of the tiny API answers (TAN, poll,
+	// submission ack, fake responses).
+	SmallJSONReply = 120
+)
+
+// Request is one client interaction.
+type Request struct {
+	Type RequestType
+	// Day selects the package for ReqDayPackage and ReqHourPackage.
+	Day string
+	// Hour selects the package for ReqHourPackage.
+	Hour int
+	// Fake marks plausible-deniability decoy calls.
+	Fake bool
+}
+
+// Response describes the downstream answer.
+type Response struct {
+	// Bytes is the total server->client byte count including TLS and
+	// HTTP overhead.
+	Bytes int
+	// Edge is the serving address inside the hosting prefixes.
+	Edge netip.Addr
+	// CacheHit reports whether an edge cache satisfied the request.
+	CacheHit bool
+}
+
+// Config tunes the CDN.
+type Config struct {
+	// Edges is the number of edge servers per service.
+	Edges int
+	// CacheTTL bounds how long distribution objects are served from
+	// cache before revalidation at the origin.
+	CacheTTL time.Duration
+}
+
+// DefaultConfig uses a small edge fleet with the CWA's half-hour package
+// freshness.
+func DefaultConfig() Config {
+	return Config{Edges: 8, CacheTTL: 30 * time.Minute}
+}
+
+type cacheEntry struct {
+	size    int
+	fetched time.Time
+}
+
+// CDN fronts a Backend.
+type CDN struct {
+	cfg     Config
+	backend *cwaserver.Backend
+	website []byte
+	cache   map[string]cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+// New creates a CDN over the given backend.
+func New(cfg Config, backend *cwaserver.Backend, website []byte) (*CDN, error) {
+	if cfg.Edges < 1 {
+		return nil, fmt.Errorf("cdn: need at least one edge")
+	}
+	if cfg.CacheTTL <= 0 {
+		return nil, fmt.Errorf("cdn: CacheTTL must be positive")
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("cdn: backend required")
+	}
+	return &CDN{
+		cfg:     cfg,
+		backend: backend,
+		website: website,
+		cache:   make(map[string]cacheEntry),
+	}, nil
+}
+
+// Serve answers one request at the given time. clientHash spreads clients
+// over edges (any stable per-client value works).
+func (c *CDN) Serve(now time.Time, clientHash uint64, req Request) (Response, error) {
+	edgeIdx := int(clientHash % uint64(c.cfg.Edges))
+	resp := Response{}
+	switch req.Type {
+	case ReqWebsite, ReqIndex, ReqDayPackage, ReqHourPackage:
+		resp.Edge = netsim.CDNAddr(edgeIdx)
+	default:
+		resp.Edge = netsim.SubmissionAddr(edgeIdx)
+	}
+
+	if req.Fake {
+		// Decoys mirror the real call shape downstream.
+		resp.Bytes = TLSServerOverhead + HTTPHeaderBytes + SmallJSONReply
+		return resp, nil
+	}
+
+	switch req.Type {
+	case ReqWebsite:
+		resp.Bytes = TLSServerOverhead + HTTPHeaderBytes + len(c.website)
+		resp.CacheHit = true // static content is always edge-resident
+	case ReqIndex:
+		size, hit, err := c.cached(now, edgeIdx, "index", func() (int, error) {
+			idx, err := c.backend.Index()
+			if err != nil {
+				return 0, err
+			}
+			data, err := diagkeys.MarshalIndex(idx)
+			return len(data), err
+		})
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Bytes = TLSServerOverhead + HTTPHeaderBytes + size
+		resp.CacheHit = hit
+	case ReqDayPackage:
+		size, hit, err := c.cached(now, edgeIdx, "day/"+req.Day, func() (int, error) {
+			data, err := c.backend.ExportForDay(req.Day)
+			if err != nil {
+				return 0, err
+			}
+			return len(data), nil
+		})
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Bytes = TLSServerOverhead + HTTPHeaderBytes + size
+		resp.CacheHit = hit
+	case ReqHourPackage:
+		size, hit, err := c.cached(now, edgeIdx, fmt.Sprintf("hour/%s/%d", req.Day, req.Hour), func() (int, error) {
+			data, err := c.backend.ExportForHour(req.Day, req.Hour)
+			if err != nil {
+				return 0, err
+			}
+			return len(data), nil
+		})
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Bytes = TLSServerOverhead + HTTPHeaderBytes + size
+		resp.CacheHit = hit
+	case ReqRegistration, ReqTestResult, ReqTAN, ReqSubmission:
+		// Pass-through services: tiny JSON responses.
+		resp.Bytes = TLSServerOverhead + HTTPHeaderBytes + SmallJSONReply
+	default:
+		return Response{}, fmt.Errorf("cdn: unknown request type %d", req.Type)
+	}
+	return resp, nil
+}
+
+// cached looks an object up in the per-edge cache, fetching from the origin
+// on miss or TTL expiry.
+func (c *CDN) cached(now time.Time, edge int, object string, fetch func() (int, error)) (size int, hit bool, err error) {
+	key := fmt.Sprintf("%d/%s", edge, object)
+	if e, ok := c.cache[key]; ok && now.Sub(e.fetched) < c.cfg.CacheTTL {
+		c.hits++
+		return e.size, true, nil
+	}
+	size, err = fetch()
+	if err != nil {
+		return 0, false, err
+	}
+	c.cache[key] = cacheEntry{size: size, fetched: now}
+	c.misses++
+	return size, false, nil
+}
+
+// Stats reports edge cache hits and misses.
+func (c *CDN) Stats() (hits, misses uint64) { return c.hits, c.misses }

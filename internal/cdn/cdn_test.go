@@ -1,0 +1,255 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"cwatrace/internal/cwaserver"
+	"cwatrace/internal/diagkeys"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+	"cwatrace/internal/netsim"
+)
+
+func newCDN(t *testing.T) (*CDN, *cwaserver.Backend, *entime.SimClock) {
+	t.Helper()
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(8 * time.Hour))
+	backend, err := cwaserver.New(cwaserver.DefaultConfig(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(DefaultConfig(), backend, cwaserver.DefaultWebsite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, backend, clock
+}
+
+func submitSomeKeys(t *testing.T, b *cwaserver.Backend, clock *entime.SimClock) string {
+	t.Helper()
+	token := b.RegisterTest(cwaserver.ResultPositive, clock.Now().Add(-time.Hour))
+	tan, err := b.IssueTAN(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := entime.IntervalOf(clock.Now()).KeyPeriodStart()
+	key := exposure.DiagnosisKey{
+		TEK: exposure.TEK{
+			RollingStart:  start,
+			RollingPeriod: entime.EKRollingPeriod,
+		},
+		TransmissionRiskLevel: 5,
+	}
+	key.Key[0] = 0x42
+	if err := b.SubmitKeys(tan, []exposure.DiagnosisKey{key}); err != nil {
+		t.Fatal(err)
+	}
+	return diagkeys.DayKey(clock.Now())
+}
+
+func TestNewValidation(t *testing.T) {
+	_, backend, _ := newCDN(t)
+	if _, err := New(Config{Edges: 0, CacheTTL: time.Minute}, backend, nil); err == nil {
+		t.Error("zero edges must fail")
+	}
+	if _, err := New(Config{Edges: 1, CacheTTL: 0}, backend, nil); err == nil {
+		t.Error("zero TTL must fail")
+	}
+	if _, err := New(DefaultConfig(), nil, nil); err == nil {
+		t.Error("nil backend must fail")
+	}
+}
+
+func TestWebsiteResponseSize(t *testing.T) {
+	c, _, clock := newCDN(t)
+	resp, err := c.Serve(clock.Now(), 1, Request{Type: ReqWebsite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bytes <= len(cwaserver.DefaultWebsite()) {
+		t.Fatalf("website response %d must include protocol overhead", resp.Bytes)
+	}
+	if !resp.CacheHit {
+		t.Fatal("website is static and must always hit")
+	}
+	if !netsim.IsCWAServer(resp.Edge) {
+		t.Fatalf("edge %s outside hosting prefixes", resp.Edge)
+	}
+}
+
+func TestDayPackageCaching(t *testing.T) {
+	c, backend, clock := newCDN(t)
+	day := submitSomeKeys(t, backend, clock)
+
+	r1, err := c.Serve(clock.Now(), 7, Request{Type: ReqDayPackage, Day: day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first fetch must miss")
+	}
+	r2, err := c.Serve(clock.Now().Add(time.Minute), 7, Request{Type: ReqDayPackage, Day: day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("second fetch within TTL must hit")
+	}
+	if r1.Bytes != r2.Bytes {
+		t.Fatalf("cached size differs: %d vs %d", r1.Bytes, r2.Bytes)
+	}
+	// After TTL expiry the edge revalidates.
+	r3, err := c.Serve(clock.Now().Add(DefaultConfig().CacheTTL+time.Minute), 7, Request{Type: ReqDayPackage, Day: day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Fatal("fetch after TTL must miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d hits/%d misses, want 1/2", hits, misses)
+	}
+}
+
+func TestPerEdgeCaches(t *testing.T) {
+	c, backend, clock := newCDN(t)
+	day := submitSomeKeys(t, backend, clock)
+	// Different client hashes land on different edges; each warms its own
+	// cache.
+	r1, err := c.Serve(clock.Now(), 0, Request{Type: ReqDayPackage, Day: day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Serve(clock.Now(), 1, Request{Type: ReqDayPackage, Day: day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit || r2.CacheHit {
+		t.Fatal("distinct edges must both miss initially")
+	}
+	if r1.Edge == r2.Edge {
+		t.Fatal("hashes 0 and 1 should map to distinct edges")
+	}
+}
+
+func TestDayPackageSizeGrowsWithKeys(t *testing.T) {
+	c, backend, clock := newCDN(t)
+	day := submitSomeKeys(t, backend, clock)
+	r1, err := c.Serve(clock.Now(), 3, Request{Type: ReqDayPackage, Day: day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding floor: 1 key still yields >= MinKeysPerExport records.
+	wantMin := diagkeys.WireSize(diagkeys.MinKeysPerExport)
+	if r1.Bytes < wantMin {
+		t.Fatalf("package %d bytes, padding floor implies >= %d", r1.Bytes, wantMin)
+	}
+}
+
+func TestMissingDayPropagatesError(t *testing.T) {
+	c, _, clock := newCDN(t)
+	if _, err := c.Serve(clock.Now(), 0, Request{Type: ReqDayPackage, Day: "1999-01-01"}); err == nil {
+		t.Fatal("missing day must error")
+	}
+}
+
+func TestAPIEndpointsUseSubmissionPrefix(t *testing.T) {
+	c, _, clock := newCDN(t)
+	for _, rt := range []RequestType{ReqRegistration, ReqTestResult, ReqTAN, ReqSubmission} {
+		resp, err := c.Serve(clock.Now(), 5, Request{Type: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !netsim.CWAServerPrefixes[1].Contains(resp.Edge) {
+			t.Fatalf("%s served from %s, want submission prefix", rt, resp.Edge)
+		}
+		if resp.Bytes < TLSServerOverhead {
+			t.Fatalf("%s response %d bytes below TLS floor", rt, resp.Bytes)
+		}
+	}
+}
+
+func TestFakeRequestsSizedLikeReal(t *testing.T) {
+	c, _, clock := newCDN(t)
+	real, err := c.Serve(clock.Now(), 2, Request{Type: ReqTAN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake, err := c.Serve(clock.Now(), 2, Request{Type: ReqTAN, Fake: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Bytes != fake.Bytes {
+		t.Fatalf("fake (%d) and real (%d) responses must be indistinguishable", fake.Bytes, real.Bytes)
+	}
+}
+
+func TestIndexCached(t *testing.T) {
+	c, backend, clock := newCDN(t)
+	submitSomeKeys(t, backend, clock)
+	r1, err := c.Serve(clock.Now(), 4, Request{Type: ReqIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Serve(clock.Now().Add(time.Second), 4, Request{Type: ReqIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit || !r2.CacheHit {
+		t.Fatalf("index caching broken: %v then %v", r1.CacheHit, r2.CacheHit)
+	}
+}
+
+func TestHourPackageServing(t *testing.T) {
+	c, backend, clock := newCDN(t)
+	day := submitSomeKeys(t, backend, clock)
+	hours := backend.AvailableHours(day)
+	if len(hours) == 0 {
+		t.Fatal("no hours after submission")
+	}
+	r1, err := c.Serve(clock.Now(), 9, Request{Type: ReqHourPackage, Day: day, Hour: hours[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first hour fetch must miss")
+	}
+	if !netsim.CWAServerPrefixes[0].Contains(r1.Edge) {
+		t.Fatalf("hour package served from %s, want CDN prefix", r1.Edge)
+	}
+	r2, err := c.Serve(clock.Now().Add(time.Minute), 9, Request{Type: ReqHourPackage, Day: day, Hour: hours[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r1.Bytes != r2.Bytes {
+		t.Fatalf("hour package caching broken: hit=%v sizes %d/%d", r2.CacheHit, r1.Bytes, r2.Bytes)
+	}
+	// Hour packages are unpadded and must be much smaller than the
+	// padded day package.
+	rd, err := c.Serve(clock.Now(), 9, Request{Type: ReqDayPackage, Day: day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Bytes >= rd.Bytes {
+		t.Fatalf("hour package (%d) should be smaller than padded day package (%d)", r1.Bytes, rd.Bytes)
+	}
+	// Missing hour errors.
+	if _, err := c.Serve(clock.Now(), 9, Request{Type: ReqHourPackage, Day: day, Hour: 23}); err == nil {
+		t.Fatal("missing hour must error")
+	}
+}
+
+func TestRequestTypeString(t *testing.T) {
+	names := map[RequestType]string{
+		ReqWebsite: "website", ReqIndex: "index", ReqDayPackage: "day-package",
+		ReqHourPackage: "hour-package", ReqRegistration: "registration",
+		ReqTestResult: "test-result", ReqTAN: "tan", ReqSubmission: "submission",
+		RequestType(99): "unknown",
+	}
+	for rt, want := range names {
+		if rt.String() != want {
+			t.Errorf("String(%d) = %q, want %q", rt, rt.String(), want)
+		}
+	}
+}

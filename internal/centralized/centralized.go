@@ -1,0 +1,154 @@
+// Package centralized implements the baseline the CWA's designers rejected:
+// a centralized contact-tracing architecture in which phones report their
+// encounter history to a central server that performs the matching and
+// pushes notifications. The paper motivates the decentralized design with
+// the privacy concerns this architecture raises ("Centralized contact
+// tracking by apps that report contacts to a central infrastructure raise
+// privacy concerns"); the A2 ablation bench contrasts the two on traffic
+// volume and on what the server learns.
+package centralized
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DeviceID is the server-assigned identity of a registered phone. Unlike
+// the decentralized design's rotating RPIs, it is stable — which is exactly
+// the privacy problem.
+type DeviceID uint64
+
+// Encounter is one reported contact: the reporting device saw the other
+// device's broadcast identifier.
+type Encounter struct {
+	Other       DeviceID
+	Day         int
+	DurationMin int
+}
+
+// encounterWireBytes is the upload size of one encounter record.
+const encounterWireBytes = 24
+
+// pushWireBytes is the size of one exposure push notification.
+const pushWireBytes = 512
+
+// registrationWireBytes is the one-time registration exchange size.
+const registrationWireBytes = 1024
+
+// Server is the central matching service.
+type Server struct {
+	mu     sync.Mutex
+	nextID DeviceID
+	known  map[DeviceID]bool
+	// graph accumulates every (reporter, contact) pair the server has
+	// learned — the privacy cost ledger.
+	graph map[[2]DeviceID]bool
+	// pendingNotify lists devices to be notified of exposure.
+	pendingNotify map[DeviceID]bool
+
+	uploads       int
+	bytesUp       int64
+	bytesDown     int64
+	notifications int
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{
+		known:         make(map[DeviceID]bool),
+		graph:         make(map[[2]DeviceID]bool),
+		pendingNotify: make(map[DeviceID]bool),
+	}
+}
+
+// Register enrolls a new device and returns its stable identity.
+func (s *Server) Register() DeviceID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.known[id] = true
+	s.bytesUp += registrationWireBytes / 2
+	s.bytesDown += registrationWireBytes / 2
+	return id
+}
+
+// ErrUnknownDevice is returned for uploads from unregistered devices.
+var ErrUnknownDevice = errors.New("centralized: unknown device")
+
+// ReportPositive uploads a positive device's full encounter history. The
+// server learns the reporter's social graph and schedules notifications
+// for every contact.
+func (s *Server) ReportPositive(reporter DeviceID, history []Encounter) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.known[reporter] {
+		return ErrUnknownDevice
+	}
+	s.uploads++
+	s.bytesUp += int64(len(history)*encounterWireBytes) + 256
+	for _, e := range history {
+		if !s.known[e.Other] {
+			return fmt.Errorf("centralized: history references unknown device %d", e.Other)
+		}
+		s.graph[[2]DeviceID{reporter, e.Other}] = true
+		if !s.pendingNotify[e.Other] {
+			s.pendingNotify[e.Other] = true
+		}
+	}
+	return nil
+}
+
+// Push delivers the pending exposure notifications and returns the set of
+// notified devices (sorted, for deterministic tests).
+func (s *Server) Push() []DeviceID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DeviceID, 0, len(s.pendingNotify))
+	for id := range s.pendingNotify {
+		out = append(out, id)
+		delete(s.pendingNotify, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	s.notifications += len(out)
+	s.bytesDown += int64(len(out) * pushWireBytes)
+	return out
+}
+
+// Stats summarizes the server's traffic and knowledge.
+type Stats struct {
+	Registered    int
+	Uploads       int
+	Notifications int
+	BytesUp       int64
+	BytesDown     int64
+	// KnownPairs is the number of (reporter, contact) edges the server
+	// has learned: the privacy exposure of the centralized design. The
+	// decentralized architecture's equivalent is zero by construction.
+	KnownPairs int
+	// IdentifiedDevices is how many distinct devices appear in the
+	// server's graph (as reporter or contact).
+	IdentifiedDevices int
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	devices := make(map[DeviceID]bool)
+	for pair := range s.graph {
+		devices[pair[0]] = true
+		devices[pair[1]] = true
+	}
+	return Stats{
+		Registered:        len(s.known),
+		Uploads:           s.uploads,
+		Notifications:     s.notifications,
+		BytesUp:           s.bytesUp,
+		BytesDown:         s.bytesDown,
+		KnownPairs:        len(s.graph),
+		IdentifiedDevices: len(devices),
+	}
+}

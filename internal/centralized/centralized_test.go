@@ -1,0 +1,163 @@
+package centralized
+
+import (
+	"testing"
+)
+
+func TestRegisterAssignsDistinctIDs(t *testing.T) {
+	s := NewServer()
+	a, b := s.Register(), s.Register()
+	if a == b {
+		t.Fatal("IDs must be distinct")
+	}
+	if s.Stats().Registered != 2 {
+		t.Fatalf("registered = %d", s.Stats().Registered)
+	}
+}
+
+func TestReportPositiveLearnsGraph(t *testing.T) {
+	s := NewServer()
+	a, b, c := s.Register(), s.Register(), s.Register()
+	history := []Encounter{
+		{Other: b, Day: 1, DurationMin: 20},
+		{Other: c, Day: 2, DurationMin: 10},
+	}
+	if err := s.ReportPositive(a, history); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.KnownPairs != 2 {
+		t.Fatalf("pairs = %d, want 2", st.KnownPairs)
+	}
+	if st.IdentifiedDevices != 3 {
+		t.Fatalf("identified = %d, want 3", st.IdentifiedDevices)
+	}
+	if st.Uploads != 1 {
+		t.Fatalf("uploads = %d", st.Uploads)
+	}
+}
+
+func TestReportPositiveUnknownDevices(t *testing.T) {
+	s := NewServer()
+	if err := s.ReportPositive(999, nil); err != ErrUnknownDevice {
+		t.Fatalf("unknown reporter: %v", err)
+	}
+	a := s.Register()
+	if err := s.ReportPositive(a, []Encounter{{Other: 777, Day: 1}}); err == nil {
+		t.Fatal("unknown contact must fail")
+	}
+}
+
+func TestPushNotifiesContactsOnce(t *testing.T) {
+	s := NewServer()
+	a, b, c := s.Register(), s.Register(), s.Register()
+	if err := s.ReportPositive(a, []Encounter{
+		{Other: b, Day: 1}, {Other: c, Day: 1}, {Other: b, Day: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	notified := s.Push()
+	if len(notified) != 2 {
+		t.Fatalf("notified = %v, want b and c once each", notified)
+	}
+	if notified[0] != b || notified[1] != c {
+		t.Fatalf("notified = %v", notified)
+	}
+	if again := s.Push(); len(again) != 0 {
+		t.Fatalf("second push must be empty, got %v", again)
+	}
+	if s.Stats().Notifications != 2 {
+		t.Fatalf("notifications = %d", s.Stats().Notifications)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	s := NewServer()
+	a, b := s.Register(), s.Register()
+	before := s.Stats()
+	if err := s.ReportPositive(a, []Encounter{{Other: b, Day: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Push()
+	after := s.Stats()
+	if after.BytesUp <= before.BytesUp {
+		t.Fatal("upload must count upstream bytes")
+	}
+	if after.BytesDown <= before.BytesDown {
+		t.Fatal("push must count downstream bytes")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	good := ScenarioConfig{Users: 100, Days: 5, EncountersPerDay: 3, PositivesPerDay: 1, KeysPerUpload: 10, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*ScenarioConfig){
+		func(c *ScenarioConfig) { c.Users = 1 },
+		func(c *ScenarioConfig) { c.Days = 0 },
+		func(c *ScenarioConfig) { c.EncountersPerDay = -1 },
+		func(c *ScenarioConfig) { c.PositivesPerDay = c.Users + 1 },
+		func(c *ScenarioConfig) { c.KeysPerUpload = 0 },
+	}
+	for i, mut := range cases {
+		cfg := good
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestComparisonShape verifies the architectural trade-off the paper's
+// design implies: the decentralized design moves far more bytes downstream
+// (everyone downloads all keys daily) but reveals no contact graph, while
+// the centralized baseline is cheap on traffic and expensive on privacy.
+func TestComparisonShape(t *testing.T) {
+	cmp, err := RunComparison(ScenarioConfig{
+		Users: 2000, Days: 10, EncountersPerDay: 4,
+		PositivesPerDay: 2, KeysPerUpload: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.DownloadFactor < 10 {
+		t.Fatalf("decentralized should dominate downstream bytes, factor %.1f", cmp.DownloadFactor)
+	}
+	if cmp.Centralized.ContactPairsRevealed == 0 {
+		t.Fatal("centralized server must learn contact pairs")
+	}
+	if cmp.Decentralized.ContactPairsRevealed != 0 {
+		t.Fatal("decentralized server must learn nothing")
+	}
+	if cmp.Centralized.NotifiedIdentified == 0 {
+		t.Fatal("centralized server identifies notified users")
+	}
+	if cmp.Decentralized.NotifiedIdentified != 0 {
+		t.Fatal("decentralized notifications are local to phones")
+	}
+}
+
+func TestComparisonDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{
+		Users: 500, Days: 5, EncountersPerDay: 3,
+		PositivesPerDay: 1, KeysPerUpload: 5, Seed: 11,
+	}
+	a, err := RunComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("nondeterministic comparison: %+v vs %+v", a, b)
+	}
+}
+
+func TestComparisonInvalidConfig(t *testing.T) {
+	if _, err := RunComparison(ScenarioConfig{}); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+}

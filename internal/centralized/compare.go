@@ -1,0 +1,139 @@
+package centralized
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cwatrace/internal/cdn"
+	"cwatrace/internal/diagkeys"
+)
+
+// ScenarioConfig describes a common workload to run through both
+// architectures: a population with daily encounters and a trickle of
+// positives, over a number of days.
+type ScenarioConfig struct {
+	Users            int
+	Days             int
+	EncountersPerDay int
+	// PositivesPerDay is the daily count of users who test positive and
+	// report.
+	PositivesPerDay int
+	// KeysPerUpload is the decentralized upload size in TEKs.
+	KeysPerUpload int
+	Seed          int64
+}
+
+// Validate reports configuration errors.
+func (c ScenarioConfig) Validate() error {
+	if c.Users <= 1 || c.Days <= 0 {
+		return fmt.Errorf("centralized: need users > 1 and days > 0")
+	}
+	if c.EncountersPerDay < 0 || c.PositivesPerDay < 0 {
+		return fmt.Errorf("centralized: negative workload")
+	}
+	if c.PositivesPerDay > c.Users {
+		return fmt.Errorf("centralized: more positives than users")
+	}
+	if c.KeysPerUpload <= 0 {
+		return fmt.Errorf("centralized: KeysPerUpload must be positive")
+	}
+	return nil
+}
+
+// ArchitectureCost is the per-architecture outcome of a scenario.
+type ArchitectureCost struct {
+	// ServerBytesDown is the total server->client volume (the direction
+	// the paper's vantage point measures).
+	ServerBytesDown int64
+	// ServerBytesUp is client->server volume.
+	ServerBytesUp int64
+	// ContactPairsRevealed is what the server learns about who met whom.
+	ContactPairsRevealed int
+	// NotifiedIdentified counts exposed users the server can identify.
+	NotifiedIdentified int
+}
+
+// Comparison holds both architectures' costs for one scenario.
+type Comparison struct {
+	Centralized   ArchitectureCost
+	Decentralized ArchitectureCost
+	// DownloadFactor is decentralized/centralized downstream bytes: the
+	// decentralized design trades mass daily downloads for privacy.
+	DownloadFactor float64
+}
+
+// RunComparison executes the scenario against the real centralized server
+// implementation and the decentralized cost model (derived from the actual
+// CWA wire formats in diagkeys/cdn).
+func RunComparison(cfg ScenarioConfig) (*Comparison, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// --- Centralized: drive the real server. ---
+	srv := NewServer()
+	ids := make([]DeviceID, cfg.Users)
+	for i := range ids {
+		ids[i] = srv.Register()
+	}
+	// Each user keeps a rolling 14-day encounter log.
+	logs := make([][]Encounter, cfg.Users)
+	for day := 0; day < cfg.Days; day++ {
+		for u := 0; u < cfg.Users; u++ {
+			for k := 0; k < cfg.EncountersPerDay; k++ {
+				other := rng.Intn(cfg.Users)
+				if other == u {
+					continue
+				}
+				logs[u] = append(logs[u], Encounter{
+					Other: ids[other], Day: day, DurationMin: 5 + rng.Intn(30),
+				})
+			}
+		}
+		for p := 0; p < cfg.PositivesPerDay; p++ {
+			u := rng.Intn(cfg.Users)
+			if err := srv.ReportPositive(ids[u], logs[u]); err != nil {
+				return nil, err
+			}
+		}
+		srv.Push()
+	}
+	cs := srv.Stats()
+
+	// --- Decentralized: cost model from the real wire formats. ---
+	// Every user downloads the day package daily; uploads are the only
+	// positive-user traffic. Package size uses the real export encoding
+	// with the padding floor.
+	var de ArchitectureCost
+	for day := 0; day < cfg.Days; day++ {
+		keys := cfg.PositivesPerDay * cfg.KeysPerUpload
+		if keys < diagkeys.MinKeysPerExport {
+			keys = diagkeys.MinKeysPerExport
+		}
+		pkg := diagkeys.WireSize(keys) + cdn.TLSServerOverhead + cdn.HTTPHeaderBytes
+		de.ServerBytesDown += int64(cfg.Users * pkg)
+		// Uploads: TAN + submission exchanges.
+		de.ServerBytesUp += int64(cfg.PositivesPerDay * (2800 + 512))
+		de.ServerBytesDown += int64(cfg.PositivesPerDay * 2 *
+			(cdn.TLSServerOverhead + cdn.HTTPHeaderBytes + cdn.SmallJSONReply))
+	}
+	// The decentralized server learns no contact pairs and cannot
+	// identify notified users: matching happens on the phones.
+	de.ContactPairsRevealed = 0
+	de.NotifiedIdentified = 0
+
+	cmp := &Comparison{
+		Centralized: ArchitectureCost{
+			ServerBytesDown:      cs.BytesDown,
+			ServerBytesUp:        cs.BytesUp,
+			ContactPairsRevealed: cs.KnownPairs,
+			NotifiedIdentified:   cs.Notifications,
+		},
+		Decentralized: de,
+	}
+	if cs.BytesDown > 0 {
+		cmp.DownloadFactor = float64(de.ServerBytesDown) / float64(cs.BytesDown)
+	}
+	return cmp, nil
+}

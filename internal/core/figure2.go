@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/stats"
+)
+
+// Fig2Point is one hourly sample of the paper's Figure 2: flows and bytes
+// from the CWA CDN to users, normed to the minimum, with the cumulative
+// official download count overlaid.
+type Fig2Point struct {
+	Hour  int       // bucket index from the study start
+	Time  time.Time // bucket start
+	Flows float64
+	Bytes float64
+	// FlowsNormed and BytesNormed divide by the smallest positive bin,
+	// the paper's "normed to the minimum" y-axis.
+	FlowsNormed float64
+	BytesNormed float64
+	// DownloadsM is the cumulative official app download count in
+	// millions at the bucket start (the right y-axis of Figure 2).
+	DownloadsM float64
+}
+
+// Figure2Result carries the series plus its headline statistics.
+type Figure2Result struct {
+	Points []Fig2Point
+	// ReleaseDayFlowRatio is flows(June 16)/flows(June 15); the paper
+	// reports a 7.5x increase of flows on the release day.
+	ReleaseDayFlowRatio float64
+	// PeakHour is the bucket with the most flows.
+	PeakHour int
+	// ResurgenceRatio compares mean daily flows of June 23-25 against
+	// June 20-22, capturing the outbreak-news resurgence.
+	ResurgenceRatio float64
+}
+
+// Figure2 builds the hourly series from filtered records. curve may be nil
+// to omit the download overlay.
+func Figure2(records []netflow.Record, curve *adoption.Curve) (*Figure2Result, error) {
+	hours := entime.StudyHours()
+	flows := stats.NewTimeSeries(entime.StudyStart, time.Hour, hours)
+	bytes := stats.NewTimeSeries(entime.StudyStart, time.Hour, hours)
+	for _, r := range records {
+		flows.Add(r.First, 1)
+		bytes.Add(r.First, float64(r.Bytes))
+	}
+
+	flowVals := flows.Values()
+	byteVals := bytes.Values()
+	flowNorm := stats.NormalizeToMin(flowVals)
+	byteNorm := stats.NormalizeToMin(byteVals)
+
+	res := &Figure2Result{Points: make([]Fig2Point, hours)}
+	var peak float64
+	for h := 0; h < hours; h++ {
+		p := Fig2Point{
+			Hour:        h,
+			Time:        entime.BucketTime(h),
+			Flows:       flowVals[h],
+			Bytes:       byteVals[h],
+			FlowsNormed: flowNorm[h],
+			BytesNormed: byteNorm[h],
+		}
+		if curve != nil {
+			p.DownloadsM = curve.Cumulative(p.Time) / 1e6
+		}
+		res.Points[h] = p
+		if p.Flows > peak {
+			peak = p.Flows
+			res.PeakHour = h
+		}
+	}
+
+	daily, err := flows.Rebin(24)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebinning figure 2: %w", err)
+	}
+	res.ReleaseDayFlowRatio = daily.DayOverDayRatio(1) // June 16 vs June 15
+
+	// Resurgence: June 23-25 (days 8-10) vs June 20-22 (days 5-7).
+	var before, after float64
+	for d := 5; d <= 7; d++ {
+		before += daily.Bin(d)
+	}
+	for d := 8; d <= 10; d++ {
+		after += daily.Bin(d)
+	}
+	if before > 0 {
+		res.ResurgenceRatio = after / before
+	}
+	return res, nil
+}
+
+// DailyFlows rebins the Figure-2 series per day; several analyses and the
+// report renderer reuse it.
+func DailyFlows(records []netflow.Record) []float64 {
+	daily := stats.NewTimeSeries(entime.StudyStart, 24*time.Hour, entime.StudyDays())
+	for _, r := range records {
+		daily.Add(r.First, 1)
+	}
+	return daily.Values()
+}
+
+// NewsCorrelation quantifies the paper's closing hypothesis — "nation-wide
+// news reports on outbreaks might contribute to growing app interest". News
+// drives *new* interest (installs, visits), while total traffic keeps
+// growing even as attention decays; the meaningful statistic is therefore
+// the Pearson correlation between daily attention and the day-over-day
+// traffic increment, not absolute volume.
+func NewsCorrelation(records []netflow.Record, att adoption.Attention) (float64, error) {
+	daily := DailyFlows(records)
+	if len(daily) < 3 {
+		return 0, fmt.Errorf("core: need at least 3 days for the news correlation")
+	}
+	var attention, growth []float64
+	for d := 1; d < len(daily); d++ {
+		noon := entime.StudyStart.AddDate(0, 0, d).Add(12 * time.Hour)
+		attention = append(attention, att.At(noon))
+		growth = append(growth, daily[d]-daily[d-1])
+	}
+	return stats.Pearson(attention, growth)
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+)
+
+// flowsAt builds n downstream records in the given hour bucket.
+func flowsAt(day, hour, n int) []netflow.Record {
+	at := entime.StudyStart.AddDate(0, 0, day).Add(time.Duration(hour) * time.Hour)
+	out := make([]netflow.Record, n)
+	for i := range out {
+		r := mkRec(nil)
+		r.First = at.Add(time.Duration(i) * time.Second)
+		r.Last = r.First.Add(time.Second)
+		r.Bytes = 5000
+		out[i] = r
+	}
+	return out
+}
+
+func TestFigure2Bucketing(t *testing.T) {
+	var records []netflow.Record
+	records = append(records, flowsAt(0, 10, 2)...)  // June 15, 10:00
+	records = append(records, flowsAt(1, 10, 15)...) // June 16, 10:00
+	res, err := Figure2(records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != entime.StudyHours() {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Points[10].Flows != 2 {
+		t.Fatalf("June 15 10h flows = %f", res.Points[10].Flows)
+	}
+	if res.Points[34].Flows != 15 {
+		t.Fatalf("June 16 10h flows = %f", res.Points[34].Flows)
+	}
+	if res.PeakHour != 34 {
+		t.Fatalf("peak hour = %d", res.PeakHour)
+	}
+}
+
+func TestFigure2NormedToMinimum(t *testing.T) {
+	var records []netflow.Record
+	records = append(records, flowsAt(0, 5, 4)...)
+	records = append(records, flowsAt(2, 12, 12)...)
+	res, err := Figure2(records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smallest positive bin is 4 flows -> normed 1; the 12-flow bin -> 3.
+	if got := res.Points[5].FlowsNormed; got != 1 {
+		t.Fatalf("min bin normed = %f", got)
+	}
+	if got := res.Points[2*24+12].FlowsNormed; got != 3 {
+		t.Fatalf("12-flow bin normed = %f", got)
+	}
+}
+
+func TestFigure2ReleaseRatio(t *testing.T) {
+	var records []netflow.Record
+	records = append(records, flowsAt(0, 9, 10)...) // June 15: 10 flows
+	records = append(records, flowsAt(1, 9, 75)...) // June 16: 75 flows
+	res, err := Figure2(records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ReleaseDayFlowRatio-7.5) > 1e-9 {
+		t.Fatalf("release ratio = %f, want 7.5", res.ReleaseDayFlowRatio)
+	}
+}
+
+func TestFigure2Resurgence(t *testing.T) {
+	var records []netflow.Record
+	for d := 5; d <= 7; d++ { // June 20-22: 10/day
+		records = append(records, flowsAt(d, 12, 10)...)
+	}
+	for d := 8; d <= 10; d++ { // June 23-25: 14/day
+		records = append(records, flowsAt(d, 12, 14)...)
+	}
+	res, err := Figure2(records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ResurgenceRatio-1.4) > 1e-9 {
+		t.Fatalf("resurgence = %f, want 1.4", res.ResurgenceRatio)
+	}
+}
+
+func TestFigure2DownloadOverlay(t *testing.T) {
+	res, err := Figure2(flowsAt(1, 9, 1), adoption.DefaultCurve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 36h after release (June 17, 14:00 local = hour 62) must read 6.4M.
+	h := entime.HourBucket(entime.AppRelease.Add(36 * time.Hour))
+	if got := res.Points[h].DownloadsM; math.Abs(got-6.4) > 0.01 {
+		t.Fatalf("downloads at +36h = %fM, want 6.4M", got)
+	}
+	// Pre-release hours must be 0.
+	if got := res.Points[0].DownloadsM; got != 0 {
+		t.Fatalf("downloads at study start = %fM", got)
+	}
+}
+
+func TestFigure2EmptyTrace(t *testing.T) {
+	res, err := Figure2(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReleaseDayFlowRatio != 0 {
+		t.Fatalf("empty trace ratio = %f", res.ReleaseDayFlowRatio)
+	}
+}
+
+func TestDailyFlows(t *testing.T) {
+	var records []netflow.Record
+	records = append(records, flowsAt(0, 1, 3)...)
+	records = append(records, flowsAt(0, 20, 2)...)
+	records = append(records, flowsAt(10, 5, 7)...)
+	daily := DailyFlows(records)
+	if len(daily) != entime.StudyDays() {
+		t.Fatalf("daily bins = %d", len(daily))
+	}
+	if daily[0] != 5 || daily[10] != 7 {
+		t.Fatalf("daily = %v", daily)
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	var records []netflow.Record
+	records = append(records, flowsAt(0, 9, 2)...)
+	records = append(records, flowsAt(1, 9, 15)...)
+	res, err := Figure2(records, adoption.DefaultCurve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFigure2(res)
+	for _, want := range []string{"Figure 2", "release-day flow increase", "7.5x", "resurgence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if !strings.Contains(RenderFigure2Daily(DailyFlows(records)), "Jun 16") {
+		t.Error("daily render missing day label")
+	}
+}

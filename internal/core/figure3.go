@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/geo"
+	"cwatrace/internal/geodb"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/stats"
+)
+
+// DistrictLoad is one cell of the paper's Figure-3 heatmap: a district's
+// request traffic, summed over the aggregation window and normalized by the
+// maximum district.
+type DistrictLoad struct {
+	District   geo.District
+	Flows      float64
+	Normalized float64
+}
+
+// Figure3Result is the geographic-adoption analysis.
+type Figure3Result struct {
+	// Loads has one entry per district, ordered by district ID.
+	Loads []DistrictLoad
+	// ActiveDistricts is the number of districts with any traffic; the
+	// paper observes "almost all districts emit requests".
+	ActiveDistricts int
+	// TotalDistricts is the geography size (401).
+	TotalDistricts int
+	// LocatedShare is the fraction of flows the geolocation database
+	// could place.
+	LocatedShare float64
+	// RouterShare is the fraction of located flows resolved via ISP
+	// router ground truth (paper: 18%).
+	RouterShare float64
+}
+
+// Figure3 aggregates filtered downstream flows per district between from
+// (inclusive) and to (exclusive). The paper sums over 10 days (June 16-25)
+// and separately notes the first-day spread matches.
+func Figure3(records []netflow.Record, db *geodb.DB, model *geo.Model, from, to time.Time) *Figure3Result {
+	byDistrict := make(map[string]float64)
+	var located, routerLocated, total float64
+	for _, r := range records {
+		if r.First.Before(from) || !r.First.Before(to) {
+			continue
+		}
+		total++
+		entry, ok := db.Locate(r.Dst)
+		if !ok {
+			continue
+		}
+		located++
+		if entry.Source == geodb.SourceRouter {
+			routerLocated++
+		}
+		byDistrict[entry.DistrictID]++
+	}
+
+	districts := model.Districts()
+	res := &Figure3Result{
+		Loads:          make([]DistrictLoad, len(districts)),
+		TotalDistricts: len(districts),
+	}
+	values := make([]float64, len(districts))
+	for i, d := range districts {
+		values[i] = byDistrict[d.ID]
+	}
+	normed := stats.NormalizeToMax(values)
+	for i, d := range districts {
+		res.Loads[i] = DistrictLoad{District: d, Flows: values[i], Normalized: normed[i]}
+		if values[i] > 0 {
+			res.ActiveDistricts++
+		}
+	}
+	if total > 0 {
+		res.LocatedShare = located / total
+	}
+	if located > 0 {
+		res.RouterShare = routerLocated / located
+	}
+	return res
+}
+
+// StudyWindow returns the paper's 10-day aggregation window (the app
+// period June 16 through June 25).
+func StudyWindow() (from, to time.Time) {
+	return time.Date(2020, time.June, 16, 0, 0, 0, 0, entime.Berlin), entime.StudyEnd
+}
+
+// FirstDayWindow returns release day only; the paper notes the first-day
+// geographic spread already matches the 10-day picture.
+func FirstDayWindow() (from, to time.Time) {
+	day := time.Date(2020, time.June, 16, 0, 0, 0, 0, entime.Berlin)
+	return day, day.AddDate(0, 0, 1)
+}
+
+// SpreadSimilarity compares two Figure-3 results (e.g. day one vs the full
+// window) by the Pearson correlation of their per-district loads. A value
+// near 1 reproduces the paper's "first day leads to almost the same
+// observation".
+func SpreadSimilarity(a, b *Figure3Result) (float64, error) {
+	xs := make([]float64, len(a.Loads))
+	ys := make([]float64, len(b.Loads))
+	for i := range a.Loads {
+		xs[i] = a.Loads[i].Normalized
+		ys[i] = b.Loads[i].Normalized
+	}
+	return stats.Pearson(xs, ys)
+}
+
+// TopDistricts returns the n busiest districts, descending.
+func (r *Figure3Result) TopDistricts(n int) []DistrictLoad {
+	sorted := make([]DistrictLoad, len(r.Loads))
+	copy(sorted, r.Loads)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Flows > sorted[j].Flows })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}

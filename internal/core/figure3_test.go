@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"cwatrace/internal/geo"
+	"cwatrace/internal/geodb"
+	"cwatrace/internal/netflow"
+)
+
+var model = geo.Germany()
+
+// buildDB maps prefix 20.0.X.0/24 to the X-th district (un-anonymized for
+// test simplicity), using "Blau" as partner ISP for every 4th prefix.
+func buildDB(t *testing.T, n int) *geodb.DB {
+	t.Helper()
+	districts := model.Districts()
+	var infos []geodb.PrefixInfo
+	for i := 0; i < n; i++ {
+		d := districts[i%len(districts)]
+		isp := "Magenta"
+		if i%4 == 0 {
+			isp = "Blau"
+		}
+		infos = append(infos, geodb.PrefixInfo{
+			Prefix:     netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i >> 8), byte(i), 0}), 24),
+			RouterID:   isp + "/" + d.ID,
+			DistrictID: d.ID,
+			ISPName:    isp,
+		})
+	}
+	cfg := geodb.DefaultConfig()
+	cfg.GeoIPErrorRate = 0 // exact mapping keeps the test assertions crisp
+	db, err := geodb.Build(model, infos, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// recAt creates a downstream record from district-prefix i at the given day.
+func recAt(i int, day int) netflow.Record {
+	r := mkRec(func(r *netflow.Record) {
+		r.Dst = netip.AddrFrom4([4]byte{20, byte(i >> 8), byte(i), 9})
+	})
+	r.First = tBase.AddDate(0, 0, day)
+	r.Last = r.First
+	return r
+}
+
+func TestFigure3Aggregation(t *testing.T) {
+	db := buildDB(t, 401)
+	var records []netflow.Record
+	// District 0 gets 10 flows, district 1 gets 5, district 2 gets 1.
+	for i := 0; i < 10; i++ {
+		records = append(records, recAt(0, 0))
+	}
+	for i := 0; i < 5; i++ {
+		records = append(records, recAt(1, 0))
+	}
+	records = append(records, recAt(2, 0))
+
+	from, to := StudyWindow()
+	res := Figure3(records, db, model, from, to)
+	if res.ActiveDistricts != 3 {
+		t.Fatalf("active districts = %d", res.ActiveDistricts)
+	}
+	if res.TotalDistricts != 401 {
+		t.Fatalf("total districts = %d", res.TotalDistricts)
+	}
+	if res.LocatedShare != 1 {
+		t.Fatalf("located share = %f", res.LocatedShare)
+	}
+	// Normalization by the max district (10 flows).
+	var max, second float64
+	for _, l := range res.Loads {
+		if l.Flows == 10 {
+			max = l.Normalized
+		}
+		if l.Flows == 5 {
+			second = l.Normalized
+		}
+	}
+	if max != 1 || second != 0.5 {
+		t.Fatalf("normalization wrong: max=%f second=%f", max, second)
+	}
+}
+
+func TestFigure3WindowFilter(t *testing.T) {
+	db := buildDB(t, 10)
+	records := []netflow.Record{
+		recAt(0, 0),  // June 16 (inside)
+		recAt(1, 20), // July (outside)
+	}
+	from, to := StudyWindow()
+	res := Figure3(records, db, model, from, to)
+	if res.ActiveDistricts != 1 {
+		t.Fatalf("window filter failed: %d active", res.ActiveDistricts)
+	}
+}
+
+func TestFigure3RouterShare(t *testing.T) {
+	db := buildDB(t, 400)
+	var records []netflow.Record
+	for i := 0; i < 400; i++ {
+		records = append(records, recAt(i, 1))
+	}
+	from, to := StudyWindow()
+	res := Figure3(records, db, model, from, to)
+	// Every 4th prefix is partner-ISP ground truth.
+	if res.RouterShare < 0.2 || res.RouterShare > 0.3 {
+		t.Fatalf("router share = %f, want ~0.25", res.RouterShare)
+	}
+}
+
+func TestFigure3UnknownPrefixesLowerCoverage(t *testing.T) {
+	db := buildDB(t, 5)
+	records := []netflow.Record{recAt(0, 0)}
+	unknown := mkRec(func(r *netflow.Record) {
+		r.Dst = netip.MustParseAddr("99.1.2.3")
+	})
+	unknown.First = tBase
+	records = append(records, unknown)
+	from, to := StudyWindow()
+	res := Figure3(records, db, model, from, to)
+	if res.LocatedShare != 0.5 {
+		t.Fatalf("located share = %f, want 0.5", res.LocatedShare)
+	}
+}
+
+func TestSpreadSimilarity(t *testing.T) {
+	db := buildDB(t, 401)
+	var win10, day1 []netflow.Record
+	// Same geographic pattern on day one and across the window.
+	for i := 0; i < 100; i++ {
+		weight := 1 + i%7
+		for w := 0; w < weight; w++ {
+			day1 = append(day1, recAt(i, 0))
+			win10 = append(win10, recAt(i, 0))
+			win10 = append(win10, recAt(i, 5))
+		}
+	}
+	fromAll, toAll := StudyWindow()
+	resAll := Figure3(win10, db, model, fromAll, toAll)
+	fromD1, toD1 := FirstDayWindow()
+	resD1 := Figure3(day1, db, model, fromD1, toD1)
+	r, err := SpreadSimilarity(resD1, resAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.99 {
+		t.Fatalf("identical patterns similarity = %f", r)
+	}
+}
+
+func TestTopDistricts(t *testing.T) {
+	db := buildDB(t, 401)
+	var records []netflow.Record
+	for i := 0; i < 20; i++ {
+		for w := 0; w <= i; w++ {
+			records = append(records, recAt(i, 0))
+		}
+	}
+	from, to := StudyWindow()
+	res := Figure3(records, db, model, from, to)
+	top := res.TopDistricts(5)
+	if len(top) != 5 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Flows > top[i-1].Flows {
+			t.Fatal("top districts not descending")
+		}
+	}
+	if top[0].Flows != 20 {
+		t.Fatalf("busiest district flows = %f", top[0].Flows)
+	}
+	// n larger than the district count clamps.
+	if got := len(res.TopDistricts(9999)); got != 401 {
+		t.Fatalf("clamped top = %d", got)
+	}
+}
+
+func TestRenderFigure3(t *testing.T) {
+	db := buildDB(t, 401)
+	var records []netflow.Record
+	for i := 0; i < 401; i++ {
+		records = append(records, recAt(i, 0))
+	}
+	from, to := StudyWindow()
+	out := RenderFigure3(Figure3(records, db, model, from, to))
+	for _, want := range []string{"Figure 3", "districts emitting requests: 401 of 401", "busiest districts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q\n%s", want, out[:200])
+		}
+	}
+	// All 16 states must appear.
+	for _, st := range model.States() {
+		if !strings.Contains(out, fmt.Sprintf("%-5s", st.Code)) {
+			t.Errorf("render missing state %s", st.Code)
+		}
+	}
+}

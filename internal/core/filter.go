@@ -1,0 +1,138 @@
+// Package core implements the paper's measurement methodology — the
+// primary contribution under reproduction. Given a Netflow trace captured
+// at the CWA hosting infrastructure it (1) filters the flows the way the
+// paper does (server prefixes, HTTPS tcp/443, IPv4, CDN-to-user
+// direction), (2) builds the hourly Figure-2 time series with the official
+// download overlay, (3) geolocates and aggregates traffic per district for
+// Figure 3, (4) computes the routing-prefix persistence statistics, and
+// (5) contrasts traffic around the two local COVID-19 outbreaks.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/netsim"
+)
+
+// DropReason classifies why a flow is excluded from the data set.
+type DropReason int
+
+// Drop reasons, in the order the paper's filters apply.
+const (
+	Kept DropReason = iota
+	DropNotServer
+	DropNotIPv4
+	DropNotTCP
+	DropNotHTTPS
+	DropUpstream
+)
+
+// String implements fmt.Stringer.
+func (d DropReason) String() string {
+	switch d {
+	case Kept:
+		return "kept"
+	case DropNotServer:
+		return "not-cwa-prefix"
+	case DropNotIPv4:
+		return "ipv6-omitted"
+	case DropNotTCP:
+		return "not-tcp"
+	case DropNotHTTPS:
+		return "not-443"
+	case DropUpstream:
+		return "upstream-direction"
+	default:
+		return "unknown"
+	}
+}
+
+// Filter reproduces the paper's data-set restriction: "We filter server
+// traffic using 2 IPv4 prefixes ... and omit IPv6. As both, app and
+// website, use HTTPS only, we restrict the data to encrypted HTTPS
+// (tcp/443) IPv4 flows from the CDN to the user."
+type Filter struct {
+	// ServerPrefixes identify the hosting infrastructure.
+	ServerPrefixes []netip.Prefix
+}
+
+// DefaultFilter uses the reproduction's two hosting prefixes.
+func DefaultFilter() Filter {
+	return Filter{ServerPrefixes: netsim.CWAServerPrefixes}
+}
+
+// isServer reports membership in the hosting prefixes.
+func (f Filter) isServer(a netip.Addr) bool {
+	for _, p := range f.ServerPrefixes {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Classify runs one record through the filter chain in the paper's order —
+// IPv6 is omitted first, then the hosting-prefix match, protocol, direction
+// and port — and returns the first reason the record would be dropped (or
+// Kept).
+func (f Filter) Classify(r netflow.Record) DropReason {
+	if !r.Src.Is4() || !r.Dst.Is4() {
+		return DropNotIPv4
+	}
+	srcIsServer := f.isServer(r.Src)
+	dstIsServer := f.isServer(r.Dst)
+	if !srcIsServer && !dstIsServer {
+		return DropNotServer
+	}
+	if r.Proto != netflow.ProtoTCP {
+		return DropNotTCP
+	}
+	// Downstream means the server side is the source. Upstream flows
+	// (user to CDN) are excluded: the paper measures CDN-to-user bytes.
+	if !srcIsServer {
+		return DropUpstream
+	}
+	if r.SrcPort != netflow.PortHTTPS {
+		return DropNotHTTPS
+	}
+	return Kept
+}
+
+// Census tallies filter outcomes; its Kept count is the paper's "≈3.3M
+// matching flows" figure (scaled).
+type Census struct {
+	Total   int
+	Kept    int
+	Dropped map[DropReason]int
+}
+
+// ApplyFilter partitions records into the kept data set and a census of the
+// drops.
+func ApplyFilter(records []netflow.Record, f Filter) ([]netflow.Record, Census) {
+	census := Census{Dropped: make(map[DropReason]int)}
+	kept := make([]netflow.Record, 0, len(records))
+	for _, r := range records {
+		census.Total++
+		reason := f.Classify(r)
+		if reason == Kept {
+			census.Kept++
+			kept = append(kept, r)
+			continue
+		}
+		census.Dropped[reason]++
+	}
+	return kept, census
+}
+
+// String renders the census as one line per stage.
+func (c Census) String() string {
+	s := fmt.Sprintf("total=%d kept=%d", c.Total, c.Kept)
+	for _, reason := range []DropReason{DropNotServer, DropNotIPv4, DropNotTCP, DropNotHTTPS, DropUpstream} {
+		if n := c.Dropped[reason]; n > 0 {
+			s += fmt.Sprintf(" %s=%d", reason, n)
+		}
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/netsim"
+)
+
+var tBase = entime.AppRelease.Add(10 * time.Hour)
+
+// mkRec builds a record with sensible downstream defaults that individual
+// tests then perturb.
+func mkRec(mut func(*netflow.Record)) netflow.Record {
+	r := netflow.Record{
+		Key: netflow.Key{
+			Src:     netsim.CDNAddr(0),
+			Dst:     netip.MustParseAddr("20.0.1.5"),
+			SrcPort: 443,
+			DstPort: 51234,
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets: 10, Bytes: 10000,
+		First: tBase, Last: tBase.Add(time.Second),
+		Exporter: "Magenta/NW-000",
+	}
+	if mut != nil {
+		mut(&r)
+	}
+	return r
+}
+
+func TestClassifyKept(t *testing.T) {
+	if got := DefaultFilter().Classify(mkRec(nil)); got != Kept {
+		t.Fatalf("downstream HTTPS flow classified %s", got)
+	}
+}
+
+func TestClassifyDropReasons(t *testing.T) {
+	f := DefaultFilter()
+	cases := []struct {
+		name string
+		mut  func(*netflow.Record)
+		want DropReason
+	}{
+		{"unrelated flow", func(r *netflow.Record) {
+			r.Src = netip.MustParseAddr("8.8.8.8")
+		}, DropNotServer},
+		{"ipv6", func(r *netflow.Record) {
+			r.Src = netip.MustParseAddr("2001:db8:ffff::10")
+			r.Dst = netip.MustParseAddr("2001:db8::1")
+		}, DropNotIPv4},
+		{"udp quic", func(r *netflow.Record) { r.Proto = netflow.ProtoUDP }, DropNotTCP},
+		{"port 80", func(r *netflow.Record) { r.SrcPort = 80 }, DropNotHTTPS},
+		{"upstream", func(r *netflow.Record) {
+			r.Src, r.Dst = r.Dst, r.Src
+			r.SrcPort, r.DstPort = r.DstPort, r.SrcPort
+		}, DropUpstream},
+	}
+	for _, tc := range cases {
+		if got := f.Classify(mkRec(tc.mut)); got != tc.want {
+			t.Errorf("%s: classified %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyIPv4MappedServerStillChecked(t *testing.T) {
+	// A v4-mapped v6 source inside the prefix is Is4In6, not Is4; the
+	// paper omits IPv6, so it must be dropped by the IPv4 stage.
+	r := mkRec(func(r *netflow.Record) {
+		r.Src = netip.AddrFrom16(netsim.CDNAddr(0).As16())
+	})
+	if got := DefaultFilter().Classify(r); got != DropNotIPv4 {
+		t.Fatalf("v4-mapped flow classified %s, want %s", got, DropNotIPv4)
+	}
+}
+
+func TestApplyFilterCensus(t *testing.T) {
+	records := []netflow.Record{
+		mkRec(nil),
+		mkRec(nil),
+		mkRec(func(r *netflow.Record) { r.Proto = netflow.ProtoUDP }),
+		mkRec(func(r *netflow.Record) { r.SrcPort = 80 }),
+		mkRec(func(r *netflow.Record) {
+			r.Src, r.Dst = r.Dst, r.Src
+			r.SrcPort, r.DstPort = r.DstPort, r.SrcPort
+		}),
+		mkRec(func(r *netflow.Record) { r.Src = netip.MustParseAddr("9.9.9.9") }),
+	}
+	kept, census := ApplyFilter(records, DefaultFilter())
+	if len(kept) != 2 || census.Kept != 2 || census.Total != 6 {
+		t.Fatalf("census = %+v, kept = %d", census, len(kept))
+	}
+	if census.Dropped[DropNotTCP] != 1 || census.Dropped[DropNotHTTPS] != 1 ||
+		census.Dropped[DropUpstream] != 1 || census.Dropped[DropNotServer] != 1 {
+		t.Fatalf("drop breakdown wrong: %+v", census.Dropped)
+	}
+	s := census.String()
+	for _, want := range []string{"total=6", "kept=2", "not-tcp=1", "upstream-direction=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("census string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDropReasonString(t *testing.T) {
+	for reason, want := range map[DropReason]string{
+		Kept: "kept", DropNotServer: "not-cwa-prefix", DropNotIPv4: "ipv6-omitted",
+		DropNotTCP: "not-tcp", DropNotHTTPS: "not-443", DropUpstream: "upstream-direction",
+		DropReason(99): "unknown",
+	} {
+		if reason.String() != want {
+			t.Errorf("String(%d) = %q, want %q", reason, reason.String(), want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/geo"
+	"cwatrace/internal/geodb"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/stats"
+)
+
+// GrowthWindow compares mean daily flows across two windows; the outbreak
+// analysis uses three-day windows around the event dates.
+type GrowthWindow struct {
+	BeforeStart, AfterStart time.Time
+	Days                    int
+}
+
+// OutbreakReport answers the paper's question: do local COVID-19 outbreaks
+// increase CWA traffic in the affected regions, or is the June-23 increase
+// nation-wide?
+type OutbreakReport struct {
+	// StateGrowth maps federal-state code to the June-23 growth ratio
+	// (flows after / flows before the lockdown news).
+	StateGrowth map[string]float64
+	// NationalGrowth is the same ratio over all of Germany.
+	NationalGrowth float64
+	// NRWExcess is StateGrowth["NW"] / NationalGrowth: ~1 means the home
+	// state of the outbreak grew no differently from the nation (the
+	// paper's key finding).
+	NRWExcess float64
+	// GueterslohGrowth and WarendorfGrowth are district-level ratios for
+	// the locked-down districts; the paper calls the Gütersloh increase
+	// "very slight and hardly noticeable".
+	GueterslohGrowth float64
+	WarendorfGrowth  float64
+	// BerlinISPGrowth maps ISP name to the Berlin June-18 growth ratio;
+	// the paper sees the outbreak "only ... for users of a single ISP".
+	BerlinISPGrowth map[string]float64
+	// BerlinOverallGrowth is Berlin's all-ISP June-18 ratio ("not in the
+	// overall traffic from Berlin-based users").
+	BerlinOverallGrowth float64
+}
+
+// exporterISP extracts the ISP from a router exporter ID ("ISP/district").
+func exporterISP(exporter string) string {
+	if i := strings.IndexByte(exporter, '/'); i > 0 {
+		return exporter[:i]
+	}
+	return exporter
+}
+
+// AnalyzeOutbreaks computes the report from filtered downstream records.
+func AnalyzeOutbreaks(records []netflow.Record, db *geodb.DB, model *geo.Model) *OutbreakReport {
+	rep := &OutbreakReport{
+		StateGrowth:     make(map[string]float64),
+		BerlinISPGrowth: make(map[string]float64),
+	}
+
+	// June-23 lockdown-news windows: before = June 20-22, after = June
+	// 23-25 (start-of-day local time).
+	day := func(d int) time.Time { return time.Date(2020, time.June, d, 0, 0, 0, 0, entime.Berlin) }
+	inWindow := func(t time.Time, start time.Time, days int) bool {
+		return !t.Before(start) && t.Before(start.AddDate(0, 0, days))
+	}
+
+	type counts struct{ before, after float64 }
+	byState := make(map[string]*counts)
+	byDistrict := make(map[string]*counts)
+	var national counts
+
+	// Berlin June-18 windows: before = June 16-17, after = June 18-19.
+	type berlinCounts struct{ before, after float64 }
+	berlinByISP := make(map[string]*berlinCounts)
+	var berlinAll berlinCounts
+
+	for _, r := range records {
+		entry, ok := db.Locate(r.Dst)
+		if !ok {
+			continue
+		}
+		d, ok := model.DistrictByID(entry.DistrictID)
+		if !ok {
+			continue
+		}
+		if inWindow(r.First, day(20), 3) || inWindow(r.First, day(23), 3) {
+			after := inWindow(r.First, day(23), 3)
+			sc := byState[d.StateCode]
+			if sc == nil {
+				sc = &counts{}
+				byState[d.StateCode] = sc
+			}
+			dc := byDistrict[d.Name]
+			if dc == nil {
+				dc = &counts{}
+				byDistrict[d.Name] = dc
+			}
+			if after {
+				sc.after++
+				dc.after++
+				national.after++
+			} else {
+				sc.before++
+				dc.before++
+				national.before++
+			}
+		}
+		if d.Name == "Berlin" && (inWindow(r.First, day(16), 2) || inWindow(r.First, day(18), 2)) {
+			after := inWindow(r.First, day(18), 2)
+			isp := exporterISP(r.Exporter)
+			bc := berlinByISP[isp]
+			if bc == nil {
+				bc = &berlinCounts{}
+				berlinByISP[isp] = bc
+			}
+			if after {
+				bc.after++
+				berlinAll.after++
+			} else {
+				bc.before++
+				berlinAll.before++
+			}
+		}
+	}
+
+	ratio := func(before, after float64) float64 {
+		if before <= 0 {
+			return 0
+		}
+		return after / before
+	}
+	for code, c := range byState {
+		rep.StateGrowth[code] = ratio(c.before, c.after)
+	}
+	rep.NationalGrowth = ratio(national.before, national.after)
+	if rep.NationalGrowth > 0 {
+		rep.NRWExcess = rep.StateGrowth["NW"] / rep.NationalGrowth
+	}
+	if c := byDistrict["Gütersloh"]; c != nil {
+		rep.GueterslohGrowth = ratio(c.before, c.after)
+	}
+	if c := byDistrict["Warendorf"]; c != nil {
+		rep.WarendorfGrowth = ratio(c.before, c.after)
+	}
+	for isp, c := range berlinByISP {
+		rep.BerlinISPGrowth[isp] = ratio(c.before, c.after)
+	}
+	rep.BerlinOverallGrowth = ratio(berlinAll.before, berlinAll.after)
+	return rep
+}
+
+// StatesAboveGrowth counts states whose June-23 growth exceeds the
+// threshold; the paper's "increase also occurs on federal state level
+// simultaneously" means (almost) all states clear a >1 bar together.
+func (r *OutbreakReport) StatesAboveGrowth(threshold float64) int {
+	n := 0
+	for _, g := range r.StateGrowth {
+		if g > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// GrowthDispersion returns the coefficient of variation of state growth
+// ratios: a small value means the June-23 rise was uniform across states
+// rather than NRW-specific.
+func (r *OutbreakReport) GrowthDispersion() float64 {
+	var xs []float64
+	for _, g := range r.StateGrowth {
+		xs = append(xs, g)
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mean, _ := stats.Mean(xs)
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(ss/float64(len(xs)-1)) / mean
+}
+
+// BerlinSingleISP reports whether the Berlin June-18 effect is confined to
+// a single provider: exactly one ISP grows by more than margin over the
+// overall Berlin ratio.
+func (r *OutbreakReport) BerlinSingleISP(margin float64) (string, bool) {
+	var outliers []string
+	for isp, g := range r.BerlinISPGrowth {
+		if g > r.BerlinOverallGrowth*(1+margin) {
+			outliers = append(outliers, isp)
+		}
+	}
+	sort.Strings(outliers)
+	if len(outliers) == 1 {
+		return outliers[0], true
+	}
+	return "", false
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+)
+
+// obRec creates a downstream record from district-prefix x via the given
+// exporter, on June day at noon.
+func obRec(x int, exporter string, juneDay int) netflow.Record {
+	r := mkRec(func(r *netflow.Record) {
+		r.Dst = netip.AddrFrom4([4]byte{20, byte(x >> 8), byte(x), 9})
+		r.Exporter = exporter
+	})
+	r.First = time.Date(2020, time.June, juneDay, 12, 0, 0, 0, entime.Berlin)
+	r.Last = r.First
+	return r
+}
+
+// districtIdx finds the model index of a named district so obRec addresses
+// resolve to it through buildDB's i%len(districts) layout.
+func districtIdx(t *testing.T, name string) int {
+	t.Helper()
+	for i, d := range model.Districts() {
+		if d.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("district %q not found", name)
+	return -1
+}
+
+func TestOutbreakNationwideGrowth(t *testing.T) {
+	db := buildDB(t, 401)
+	var records []netflow.Record
+	// Every district: 2 flows/day before (June 20-22), 3/day after
+	// (June 23-25) — a uniform nation-wide 1.5x.
+	for i := 0; i < 401; i++ {
+		for d := 20; d <= 22; d++ {
+			records = append(records, obRec(i, "Magenta/X", d), obRec(i, "Magenta/X", d))
+		}
+		for d := 23; d <= 25; d++ {
+			records = append(records, obRec(i, "Magenta/X", d), obRec(i, "Magenta/X", d), obRec(i, "Magenta/X", d))
+		}
+	}
+	rep := AnalyzeOutbreaks(records, db, model)
+	if math.Abs(rep.NationalGrowth-1.5) > 1e-9 {
+		t.Fatalf("national growth = %f", rep.NationalGrowth)
+	}
+	if math.Abs(rep.NRWExcess-1) > 1e-9 {
+		t.Fatalf("NRW excess = %f, want 1 (no local effect)", rep.NRWExcess)
+	}
+	if got := rep.StatesAboveGrowth(1.2); got != 16 {
+		t.Fatalf("states above 1.2x = %d, want 16", got)
+	}
+	if cv := rep.GrowthDispersion(); cv > 0.01 {
+		t.Fatalf("dispersion = %f for uniform growth", cv)
+	}
+}
+
+func TestOutbreakGueterslohSlight(t *testing.T) {
+	db := buildDB(t, 401)
+	gIdx := districtIdx(t, "Gütersloh")
+	var records []netflow.Record
+	// Background: flat 2/day everywhere.
+	for i := 0; i < 401; i++ {
+		n := 2
+		for d := 20; d <= 25; d++ {
+			extra := 0
+			if i == gIdx && d >= 23 {
+				extra = 1 // slight local increase
+			}
+			for k := 0; k < n+extra; k++ {
+				records = append(records, obRec(i, "Magenta/X", d))
+			}
+		}
+	}
+	rep := AnalyzeOutbreaks(records, db, model)
+	if rep.GueterslohGrowth <= rep.NationalGrowth {
+		t.Fatalf("Gütersloh %f must slightly exceed national %f",
+			rep.GueterslohGrowth, rep.NationalGrowth)
+	}
+	if rep.GueterslohGrowth > rep.NationalGrowth*2 {
+		t.Fatalf("Gütersloh effect too large: %f vs %f",
+			rep.GueterslohGrowth, rep.NationalGrowth)
+	}
+}
+
+func TestBerlinSingleISPDetection(t *testing.T) {
+	db := buildDB(t, 401)
+	bIdx := districtIdx(t, "Berlin")
+	var records []netflow.Record
+	// Berlin via three ISPs: flat for two, jump for RegioNet after Jun 18.
+	for d := 16; d <= 19; d++ {
+		for k := 0; k < 10; k++ {
+			records = append(records, obRec(bIdx, "Magenta/BE-000", d))
+			records = append(records, obRec(bIdx, "KabelNet/BE-000", d))
+		}
+		n := 5
+		if d >= 18 {
+			n = 15
+		}
+		for k := 0; k < n; k++ {
+			records = append(records, obRec(bIdx, "RegioNet/BE-000", d))
+		}
+	}
+	rep := AnalyzeOutbreaks(records, db, model)
+	isp, single := rep.BerlinSingleISP(0.15)
+	if !single || isp != "RegioNet" {
+		t.Fatalf("single-ISP detection = %q, %v; growths %v",
+			isp, single, rep.BerlinISPGrowth)
+	}
+	if rep.BerlinOverallGrowth > 1.5 {
+		t.Fatalf("overall Berlin growth %f should stay modest", rep.BerlinOverallGrowth)
+	}
+}
+
+func TestBerlinNoOutlierWhenUniform(t *testing.T) {
+	db := buildDB(t, 401)
+	bIdx := districtIdx(t, "Berlin")
+	var records []netflow.Record
+	for d := 16; d <= 19; d++ {
+		for k := 0; k < 10; k++ {
+			records = append(records, obRec(bIdx, "Magenta/BE-000", d))
+			records = append(records, obRec(bIdx, "KabelNet/BE-000", d))
+			records = append(records, obRec(bIdx, "RegioNet/BE-000", d))
+		}
+	}
+	rep := AnalyzeOutbreaks(records, db, model)
+	if _, single := rep.BerlinSingleISP(0.15); single {
+		t.Fatal("uniform Berlin traffic must not flag a single ISP")
+	}
+}
+
+func TestExporterISP(t *testing.T) {
+	if got := exporterISP("Magenta/NW-000"); got != "Magenta" {
+		t.Fatalf("exporterISP = %q", got)
+	}
+	if got := exporterISP("noslash"); got != "noslash" {
+		t.Fatalf("exporterISP fallback = %q", got)
+	}
+}
+
+func TestRenderOutbreaks(t *testing.T) {
+	db := buildDB(t, 401)
+	var records []netflow.Record
+	for i := 0; i < 401; i++ {
+		for d := 20; d <= 25; d++ {
+			records = append(records, obRec(i, "Magenta/X", d))
+		}
+	}
+	bIdx := districtIdx(t, "Berlin")
+	for d := 16; d <= 19; d++ {
+		records = append(records, obRec(bIdx, "RegioNet/BE-000", d))
+	}
+	out := RenderOutbreaks(AnalyzeOutbreaks(records, db, model))
+	for _, want := range []string{"Outbreak analysis", "national growth", "Gütersloh", "Berlin June 18", "outbreak state"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRenderCensus(t *testing.T) {
+	_, census := ApplyFilter([]netflow.Record{mkRec(nil)}, DefaultFilter())
+	out := RenderCensus(census, 2000)
+	if !strings.Contains(out, "kept x scale(2000): 2000 flows") {
+		t.Errorf("census render missing scaled count:\n%s", out)
+	}
+}

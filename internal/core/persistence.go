@@ -1,0 +1,75 @@
+package core
+
+import (
+	"net/netip"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/stats"
+)
+
+// PersistenceResult is the paper's routing-prefix persistence analysis:
+// "By knowing that customers of certain ISPs keep the same IP address over
+// time, we studied how regular routing prefixes communicate with the CWA
+// backend (fraction of individual first to last day observed). We observe
+// sustained interest as 50% (75%) of the prefixes occur in 67% (80%) of
+// possible days."
+type PersistenceResult struct {
+	// Prefixes is the number of distinct /24 client prefixes seen.
+	Prefixes int
+	// MedianFraction is the median of per-prefix presence fractions
+	// (paper: 0.67).
+	MedianFraction float64
+	// P75Fraction is the 75th percentile (paper: 0.80).
+	P75Fraction float64
+	// CDF is the full distribution for plotting.
+	CDF *stats.CDF
+}
+
+// PrefixPersistence computes presence fractions over the filtered
+// downstream records: for each /24 client prefix, the number of distinct
+// days it appears divided by the span from its first to its last day
+// (inclusive). Prefixes seen on a single day count as fraction 1 over a
+// 1-day span and are excluded from the statistics (no span to persist
+// over), matching the paper's "regular" prefixes framing.
+func PrefixPersistence(records []netflow.Record) PersistenceResult {
+	type span struct {
+		days              map[int]bool
+		firstDay, lastDay int
+	}
+	prefixes := make(map[netip.Prefix]*span)
+	for _, r := range records {
+		day := entime.DayBucket(r.First)
+		if day < 0 {
+			continue
+		}
+		p := netip.PrefixFrom(r.Dst, 24).Masked()
+		s, ok := prefixes[p]
+		if !ok {
+			s = &span{days: make(map[int]bool), firstDay: day, lastDay: day}
+			prefixes[p] = s
+		}
+		s.days[day] = true
+		if day < s.firstDay {
+			s.firstDay = day
+		}
+		if day > s.lastDay {
+			s.lastDay = day
+		}
+	}
+
+	res := PersistenceResult{CDF: &stats.CDF{}}
+	for _, s := range prefixes {
+		res.Prefixes++
+		spanDays := s.lastDay - s.firstDay + 1
+		if spanDays < 2 {
+			continue
+		}
+		res.CDF.Add(float64(len(s.days)) / float64(spanDays))
+	}
+	if res.CDF.Len() > 0 {
+		res.MedianFraction, _ = res.CDF.Quantile(0.5)
+		res.P75Fraction, _ = res.CDF.Quantile(0.75)
+	}
+	return res
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"cwatrace/internal/netflow"
+)
+
+// prefixRec creates a downstream record from host .9 of 20.0.X.0/24 on the
+// given study day.
+func prefixRec(x, day int) netflow.Record {
+	return recAt(x, day)
+}
+
+func TestPersistenceSingleDayExcluded(t *testing.T) {
+	records := []netflow.Record{prefixRec(0, 3)}
+	res := PrefixPersistence(records)
+	if res.Prefixes != 1 {
+		t.Fatalf("prefixes = %d", res.Prefixes)
+	}
+	if res.CDF.Len() != 0 {
+		t.Fatal("single-day prefix must not enter the CDF")
+	}
+}
+
+func TestPersistenceFullPresence(t *testing.T) {
+	var records []netflow.Record
+	for d := 0; d < 10; d++ {
+		records = append(records, prefixRec(1, d))
+	}
+	res := PrefixPersistence(records)
+	if res.CDF.Len() != 1 {
+		t.Fatalf("cdf size = %d", res.CDF.Len())
+	}
+	if math.Abs(res.MedianFraction-1) > 1e-9 {
+		t.Fatalf("every-day prefix fraction = %f", res.MedianFraction)
+	}
+}
+
+func TestPersistenceGaps(t *testing.T) {
+	// Present on days 0, 3, 9: 3 days over a 10-day span -> 0.3.
+	records := []netflow.Record{prefixRec(2, 0), prefixRec(2, 3), prefixRec(2, 9)}
+	res := PrefixPersistence(records)
+	if math.Abs(res.MedianFraction-0.3) > 1e-9 {
+		t.Fatalf("gap fraction = %f, want 0.3", res.MedianFraction)
+	}
+}
+
+func TestPersistenceQuantiles(t *testing.T) {
+	var records []netflow.Record
+	// Build 4 prefixes with fractions 0.2, 0.5, 0.8, 1.0 over 10-day spans.
+	patterns := [][]int{
+		{0, 9},                         // 2/10 = 0.2
+		{0, 2, 4, 6, 9},                // 5/10 = 0.5
+		{0, 1, 2, 3, 4, 5, 6, 9},       // 8/10 = 0.8
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, // 1.0
+	}
+	for p, days := range patterns {
+		for _, d := range days {
+			records = append(records, prefixRec(p, d))
+		}
+	}
+	res := PrefixPersistence(records)
+	if res.CDF.Len() != 4 {
+		t.Fatalf("cdf size = %d", res.CDF.Len())
+	}
+	if math.Abs(res.MedianFraction-0.65) > 1e-9 {
+		t.Fatalf("median = %f, want 0.65 (midpoint of 0.5/0.8)", res.MedianFraction)
+	}
+	if math.Abs(res.P75Fraction-0.85) > 1e-9 {
+		t.Fatalf("p75 = %f, want 0.85", res.P75Fraction)
+	}
+}
+
+func TestPersistenceMultipleFlowsSameDayCountOnce(t *testing.T) {
+	records := []netflow.Record{
+		prefixRec(3, 0), prefixRec(3, 0), prefixRec(3, 0),
+		prefixRec(3, 1),
+	}
+	res := PrefixPersistence(records)
+	if math.Abs(res.MedianFraction-1) > 1e-9 {
+		t.Fatalf("fraction = %f, want 1 (2 days over 2-day span)", res.MedianFraction)
+	}
+}
+
+func TestPersistenceDistinctHostsSamePrefix(t *testing.T) {
+	// Two different hosts inside one /24 are the same routing prefix.
+	a := mkRec(func(r *netflow.Record) { r.Dst = netip.MustParseAddr("20.0.7.10") })
+	a.First = tBase
+	b := mkRec(func(r *netflow.Record) { r.Dst = netip.MustParseAddr("20.0.7.200") })
+	b.First = tBase.AddDate(0, 0, 1)
+	res := PrefixPersistence([]netflow.Record{a, b})
+	if res.Prefixes != 1 {
+		t.Fatalf("prefixes = %d, want 1", res.Prefixes)
+	}
+}
+
+func TestPersistenceOutOfWindowIgnored(t *testing.T) {
+	r := prefixRec(4, 0)
+	r.First = r.First.AddDate(0, 1, 0) // July: outside study window
+	res := PrefixPersistence([]netflow.Record{r})
+	if res.Prefixes != 0 {
+		t.Fatalf("out-of-window record counted: %d", res.Prefixes)
+	}
+}
+
+func TestRenderPersistence(t *testing.T) {
+	var records []netflow.Record
+	for d := 0; d < 10; d++ {
+		records = append(records, prefixRec(0, d))
+	}
+	out := RenderPersistence(PrefixPersistence(records))
+	for _, want := range []string{"Prefix persistence", "median fraction", "75th percentile", "paper: 0.67"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

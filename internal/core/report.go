@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cwatrace/internal/entime"
+)
+
+// RenderFigure2 prints the hourly series as an ASCII chart plus the daily
+// table, mirroring the rows of the paper's Figure 2.
+func RenderFigure2(res *Figure2Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2 — hourly CWA CDN->user traffic (normed to minimum) + cumulative downloads\n")
+	sb.WriteString("hour  date        flows    bytes  flows/min  bytes/min  downloads[M]  chart(flows)\n")
+
+	var maxNorm float64
+	for _, p := range res.Points {
+		if p.FlowsNormed > maxNorm {
+			maxNorm = p.FlowsNormed
+		}
+	}
+	for _, p := range res.Points {
+		bar := ""
+		if maxNorm > 0 {
+			n := int(p.FlowsNormed / maxNorm * 40)
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&sb, "%4d  %s  %7.0f %8.0f  %9.2f  %9.2f  %12.2f  %s\n",
+			p.Hour, p.Time.Format("Jun 02 15h"), p.Flows, p.Bytes,
+			p.FlowsNormed, p.BytesNormed, p.DownloadsM, bar)
+	}
+	fmt.Fprintf(&sb, "\nrelease-day flow increase (Jun 16 vs Jun 15): %.1fx (paper: 7.5x)\n",
+		res.ReleaseDayFlowRatio)
+	fmt.Fprintf(&sb, "resurgence (Jun 23-25 vs Jun 20-22): %.2fx (paper: re-surge after outbreak news)\n",
+		res.ResurgenceRatio)
+	return sb.String()
+}
+
+// RenderFigure2Daily prints the compact per-day table.
+func RenderFigure2Daily(daily []float64) string {
+	var sb strings.Builder
+	sb.WriteString("day         flows\n")
+	for d, v := range daily {
+		fmt.Fprintf(&sb, "%s  %8.0f\n", entime.DayLabel(d), v)
+	}
+	return sb.String()
+}
+
+// RenderFigure3 prints the district heatmap as a per-state summary plus the
+// busiest districts, the textual equivalent of the paper's map.
+func RenderFigure3(res *Figure3Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3 — CWA traffic by district (normalized by maximum)\n")
+	fmt.Fprintf(&sb, "districts emitting requests: %d of %d (paper: almost all)\n",
+		res.ActiveDistricts, res.TotalDistricts)
+	fmt.Fprintf(&sb, "flows geolocated: %.1f%% — via ISP router ground truth: %.1f%% (paper: 18%%)\n\n",
+		res.LocatedShare*100, res.RouterShare*100)
+
+	type stateAgg struct {
+		flows float64
+		max   float64
+		n     int
+	}
+	states := make(map[string]*stateAgg)
+	for _, l := range res.Loads {
+		sa := states[l.District.StateCode]
+		if sa == nil {
+			sa = &stateAgg{}
+			states[l.District.StateCode] = sa
+		}
+		sa.flows += l.Flows
+		sa.n++
+		if l.Normalized > sa.max {
+			sa.max = l.Normalized
+		}
+	}
+	codes := make([]string, 0, len(states))
+	for c := range states {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	sb.WriteString("state  districts     flows   peak(norm)  heat\n")
+	for _, c := range codes {
+		sa := states[c]
+		bar := strings.Repeat("#", int(sa.max*30))
+		fmt.Fprintf(&sb, "%-5s  %9d  %8.0f  %10.3f  %s\n", c, sa.n, sa.flows, sa.max, bar)
+	}
+
+	sb.WriteString("\nbusiest districts:\n")
+	for _, l := range res.TopDistricts(10) {
+		fmt.Fprintf(&sb, "  %-28s %-3s %8.0f  %.3f\n",
+			l.District.Name, l.District.StateCode, l.Flows, l.Normalized)
+	}
+	return sb.String()
+}
+
+// RenderPersistence prints the prefix persistence table (paper's in-text
+// result T2).
+func RenderPersistence(p PersistenceResult) string {
+	var sb strings.Builder
+	sb.WriteString("Prefix persistence (fraction of days present between first and last day)\n")
+	fmt.Fprintf(&sb, "prefixes observed: %d (multi-day: %d)\n", p.Prefixes, p.CDF.Len())
+	fmt.Fprintf(&sb, "median fraction:   %.2f (paper: 0.67)\n", p.MedianFraction)
+	fmt.Fprintf(&sb, "75th percentile:   %.2f (paper: 0.80)\n", p.P75Fraction)
+	return sb.String()
+}
+
+// RenderOutbreaks prints the outbreak non-effect analysis (T4).
+func RenderOutbreaks(r *OutbreakReport) string {
+	var sb strings.Builder
+	sb.WriteString("Outbreak analysis — June 23 lockdown news (after Jun 23-25 vs before Jun 20-22)\n")
+	fmt.Fprintf(&sb, "national growth: %.2fx\n", r.NationalGrowth)
+	codes := make([]string, 0, len(r.StateGrowth))
+	for c := range r.StateGrowth {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		marker := ""
+		if c == "NW" {
+			marker = "  <- outbreak state"
+		}
+		fmt.Fprintf(&sb, "  state %s: %.2fx%s\n", c, r.StateGrowth[c], marker)
+	}
+	fmt.Fprintf(&sb, "NRW vs national: %.2f (paper: increase occurs in all states simultaneously)\n", r.NRWExcess)
+	fmt.Fprintf(&sb, "state growth dispersion (CoV): %.3f\n", r.GrowthDispersion())
+	fmt.Fprintf(&sb, "Gütersloh growth: %.2fx (paper: very slight increase)\n", r.GueterslohGrowth)
+	fmt.Fprintf(&sb, "Warendorf growth: %.2fx (paper: insufficient data)\n", r.WarendorfGrowth)
+	fmt.Fprintf(&sb, "\nBerlin June 18 (after Jun 18-19 vs before Jun 16-17):\n")
+	fmt.Fprintf(&sb, "  overall: %.2fx (paper: not visible overall)\n", r.BerlinOverallGrowth)
+	isps := make([]string, 0, len(r.BerlinISPGrowth))
+	for i := range r.BerlinISPGrowth {
+		isps = append(isps, i)
+	}
+	sort.Strings(isps)
+	for _, i := range isps {
+		fmt.Fprintf(&sb, "  ISP %-10s %.2fx\n", i, r.BerlinISPGrowth[i])
+	}
+	if isp, ok := r.BerlinSingleISP(0.15); ok {
+		fmt.Fprintf(&sb, "  -> visible for a single ISP only: %s (matches paper)\n", isp)
+	}
+	return sb.String()
+}
+
+// RenderCensus prints the data-set census (T1).
+func RenderCensus(c Census, scale int) string {
+	var sb strings.Builder
+	sb.WriteString("Data set census (paper: ≈3.3M matching flows, 2 IPv4 prefixes, tcp/443 only)\n")
+	fmt.Fprintf(&sb, "  %s\n", c.String())
+	if scale > 1 {
+		fmt.Fprintf(&sb, "  kept x scale(%d): %d flows (compare paper's ≈3.3M)\n", scale, c.Kept*scale)
+	}
+	return sb.String()
+}

@@ -1,0 +1,221 @@
+package cryptopan
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func testKey() []byte {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = byte(i*7 + 3)
+	}
+	return key
+}
+
+func newTestAnonymizer(t *testing.T) *Anonymizer {
+	t.Helper()
+	a, err := New(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewRejectsBadKeys(t *testing.T) {
+	for _, n := range []int{0, 16, 31, 33} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New with %d-byte key must fail", n)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := newTestAnonymizer(t)
+	addr := netip.MustParseAddr("203.0.113.7")
+	if a.Anonymize(addr) != a.Anonymize(addr) {
+		t.Fatal("anonymization must be deterministic")
+	}
+	b, err := New(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Anonymize(addr) != b.Anonymize(addr) {
+		t.Fatal("same key must produce same mapping")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	a := newTestAnonymizer(t)
+	key2 := testKey()
+	key2[0] ^= 0xFF
+	b, err := New(key2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := netip.MustParseAddr("10.20.30.40")
+	if a.Anonymize(addr) == b.Anonymize(addr) {
+		t.Fatal("different keys should (overwhelmingly) produce different mappings")
+	}
+}
+
+// commonPrefixLen32 counts the number of leading bits shared by two IPv4
+// addresses.
+func commonPrefixLen32(x, y netip.Addr) int {
+	a := binary.BigEndian.Uint32(x.AsSlice())
+	b := binary.BigEndian.Uint32(y.AsSlice())
+	n := 0
+	for n < 32 {
+		mask := uint32(1) << (31 - uint(n))
+		if a&mask != b&mask {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// TestPrefixPreservation is the core Crypto-PAn property: the anonymized
+// pair shares exactly as many prefix bits as the original pair.
+func TestPrefixPreservation(t *testing.T) {
+	a := newTestAnonymizer(t)
+	f := func(x, y uint32) bool {
+		var xb, yb [4]byte
+		binary.BigEndian.PutUint32(xb[:], x)
+		binary.BigEndian.PutUint32(yb[:], y)
+		ax := netip.AddrFrom4(xb)
+		ay := netip.AddrFrom4(yb)
+		want := commonPrefixLen32(ax, ay)
+		got := commonPrefixLen32(a.Anonymize(ax), a.Anonymize(ay))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBijective verifies injectivity on random pairs: distinct inputs map to
+// distinct outputs (Crypto-PAn is a bijection on the 32-bit space).
+func TestBijective(t *testing.T) {
+	a := newTestAnonymizer(t)
+	f := func(x, y uint32) bool {
+		if x == y {
+			return true
+		}
+		var xb, yb [4]byte
+		binary.BigEndian.PutUint32(xb[:], x)
+		binary.BigEndian.PutUint32(yb[:], y)
+		return a.Anonymize(netip.AddrFrom4(xb)) != a.Anonymize(netip.AddrFrom4(yb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv6(t *testing.T) {
+	a := newTestAnonymizer(t)
+	x := netip.MustParseAddr("2001:db8::1")
+	y := netip.MustParseAddr("2001:db8::2")
+	z := netip.MustParseAddr("2a00:1450::5")
+	ax, ay, az := a.Anonymize(x), a.Anonymize(y), a.Anonymize(z)
+	if !ax.Is6() || !ay.Is6() || !az.Is6() {
+		t.Fatal("IPv6 inputs must produce IPv6 outputs")
+	}
+	if ax == ay {
+		t.Fatal("distinct IPv6 addresses collided")
+	}
+	// x and y share a 126-bit prefix, x and z only high bits; the
+	// anonymized versions must reflect that ordering.
+	sharedXY := commonPrefixLen128(ax, ay)
+	sharedXZ := commonPrefixLen128(ax, az)
+	if sharedXY < 64 {
+		t.Fatalf("x,y share %d anonymized bits, expected long prefix", sharedXY)
+	}
+	if sharedXZ >= sharedXY {
+		t.Fatalf("x,z share %d bits >= x,y %d bits", sharedXZ, sharedXY)
+	}
+}
+
+func commonPrefixLen128(x, y netip.Addr) int {
+	xs, ys := x.As16(), y.As16()
+	n := 0
+	for i := 0; i < 16; i++ {
+		for b := 7; b >= 0; b-- {
+			if (xs[i]>>uint(b))&1 != (ys[i]>>uint(b))&1 {
+				return n
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func TestIPv4MappedTreatedAsIPv4(t *testing.T) {
+	a := newTestAnonymizer(t)
+	v4 := netip.MustParseAddr("192.0.2.1")
+	mapped := netip.AddrFrom16(v4.As16()) // ::ffff:192.0.2.1
+	if got := a.Anonymize(mapped); got != a.Anonymize(v4) {
+		t.Fatalf("mapped form anonymized differently: %s vs %s", got, a.Anonymize(v4))
+	}
+}
+
+func TestAnonymizePrefix(t *testing.T) {
+	a := newTestAnonymizer(t)
+	p := netip.MustParsePrefix("198.51.100.0/24")
+	ap := a.AnonymizePrefix(p)
+	if ap.Bits() != 24 {
+		t.Fatalf("prefix length changed: %d", ap.Bits())
+	}
+	if ap != ap.Masked() {
+		t.Fatal("anonymized prefix must be masked")
+	}
+	// Any address inside p must anonymize into ap.
+	for _, s := range []string{"198.51.100.1", "198.51.100.200", "198.51.100.77"} {
+		got := a.Anonymize(netip.MustParseAddr(s))
+		if !ap.Contains(got) {
+			t.Fatalf("anonymized %s = %s outside anonymized prefix %s", s, got, ap)
+		}
+	}
+	// An address outside p must anonymize outside ap.
+	out := a.Anonymize(netip.MustParseAddr("198.51.101.1"))
+	if ap.Contains(out) {
+		t.Fatal("address outside prefix anonymized into it")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	a := newTestAnonymizer(t)
+	addr := netip.MustParseAddr("100.64.12.34")
+	want := a.Anonymize(addr)
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func() {
+			ok := true
+			for j := 0; j < 200; j++ {
+				if a.Anonymize(addr) != want {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if !<-done {
+			t.Fatal("concurrent anonymization returned inconsistent results")
+		}
+	}
+}
+
+func BenchmarkAnonymizeIPv4(b *testing.B) {
+	a, err := New(testKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := netip.MustParseAddr("203.0.113.7")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Anonymize(addr)
+	}
+}

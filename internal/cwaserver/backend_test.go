@@ -1,0 +1,290 @@
+package cwaserver
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cwatrace/internal/diagkeys"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+func newBackend(t *testing.T, clock entime.Clock) *Backend {
+	t.Helper()
+	b, err := New(DefaultConfig(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sampleKeys(t *testing.T, now time.Time, days int) []exposure.DiagnosisKey {
+	t.Helper()
+	store := exposure.NewKeyStore(rand.New(rand.NewSource(77)))
+	nowI := entime.IntervalOf(now)
+	for d := days - 1; d >= 0; d-- {
+		if _, err := store.ActiveKey(nowI.Add(-d * entime.EKRollingPeriod)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	teks := store.KeysSince(nowI.Add(-days*entime.EKRollingPeriod), nowI)
+	out := make([]exposure.DiagnosisKey, len(teks))
+	for i, k := range teks {
+		out[i] = exposure.DiagnosisKey{TEK: k, TransmissionRiskLevel: 5}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Region = ""
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("empty region must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.SigningKey = nil
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("missing signing key must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.RetentionDays = 0
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("zero retention must fail")
+	}
+}
+
+func TestTestResultLifecycle(t *testing.T) {
+	clock := entime.NewSimClock(entime.AppRelease)
+	b := newBackend(t, clock)
+
+	token := b.RegisterTest(ResultPositive, clock.Now().Add(24*time.Hour))
+	res, err := b.PollResult(token)
+	if err != nil || res != ResultPending {
+		t.Fatalf("early poll = %v, %v; want pending", res, err)
+	}
+	if _, err := b.IssueTAN(token); !errors.Is(err, ErrNotPositive) {
+		t.Fatalf("TAN before availability: %v", err)
+	}
+
+	clock.Advance(25 * time.Hour)
+	res, err = b.PollResult(token)
+	if err != nil || res != ResultPositive {
+		t.Fatalf("poll after availability = %v, %v", res, err)
+	}
+	tan, err := b.IssueTAN(token)
+	if err != nil || tan == "" {
+		t.Fatalf("IssueTAN: %q, %v", tan, err)
+	}
+	// Second TAN for the same test must fail.
+	if _, err := b.IssueTAN(token); err == nil {
+		t.Fatal("duplicate TAN issuance must fail")
+	}
+}
+
+func TestPollUnknownToken(t *testing.T) {
+	b := newBackend(t, entime.NewSimClock(entime.AppRelease))
+	if _, err := b.PollResult("nope"); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := b.IssueTAN("nope"); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegativeResultNoTAN(t *testing.T) {
+	clock := entime.NewSimClock(entime.AppRelease)
+	b := newBackend(t, clock)
+	token := b.RegisterTest(ResultNegative, clock.Now())
+	if _, err := b.IssueTAN(token); !errors.Is(err, ErrNotPositive) {
+		t.Fatalf("negative test must not yield TAN: %v", err)
+	}
+}
+
+func TestSubmitKeysFlow(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(10 * time.Hour))
+	b := newBackend(t, clock)
+	token := b.RegisterTest(ResultPositive, clock.Now().Add(-time.Hour))
+	tan, err := b.IssueTAN(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sampleKeys(t, clock.Now(), 5)
+	if err := b.SubmitKeys(tan, keys); err != nil {
+		t.Fatal(err)
+	}
+	day := diagkeys.DayKey(clock.Now())
+	if got := b.KeyCount(day); got != len(keys) {
+		t.Fatalf("stored %d keys, want %d", got, len(keys))
+	}
+	// TAN is single use.
+	if err := b.SubmitKeys(tan, keys); !errors.Is(err, ErrInvalidTAN) {
+		t.Fatalf("TAN reuse: %v", err)
+	}
+	uploads, _ := b.Stats()
+	if uploads != 1 {
+		t.Fatalf("uploads = %d", uploads)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	clock := entime.NewSimClock(entime.AppRelease)
+	b := newBackend(t, clock)
+	token := b.RegisterTest(ResultPositive, clock.Now())
+	tan, _ := b.IssueTAN(token)
+
+	if err := b.SubmitKeys(tan, nil); !errors.Is(err, ErrInvalidUpload) {
+		t.Fatalf("empty upload: %v", err)
+	}
+	bad := sampleKeys(t, clock.Now(), 1)
+	bad[0].TransmissionRiskLevel = 99
+	if err := b.SubmitKeys(tan, bad); !errors.Is(err, ErrInvalidUpload) {
+		t.Fatalf("invalid key: %v", err)
+	}
+	if err := b.SubmitKeys("bogus-tan", sampleKeys(t, clock.Now(), 1)); !errors.Is(err, ErrInvalidTAN) {
+		t.Fatalf("bogus TAN: %v", err)
+	}
+}
+
+func TestExportPaddedAndSigned(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(10 * time.Hour))
+	b := newBackend(t, clock)
+	token := b.RegisterTest(ResultPositive, clock.Now().Add(-time.Hour))
+	tan, _ := b.IssueTAN(token)
+	keys := sampleKeys(t, clock.Now(), 3)
+	if err := b.SubmitKeys(tan, keys); err != nil {
+		t.Fatal(err)
+	}
+	day := diagkeys.DayKey(clock.Now())
+	data, err := b.ExportForDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export, err := diagkeys.Unmarshal(data, b.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(export.Keys) < diagkeys.MinKeysPerExport {
+		t.Fatalf("export has %d keys, padding floor is %d", len(export.Keys), diagkeys.MinKeysPerExport)
+	}
+	// The real keys must be present among the padded ones.
+	present := make(map[[16]byte]bool)
+	for _, k := range export.Keys {
+		present[k.Key] = true
+	}
+	for _, k := range keys {
+		if !present[k.Key] {
+			t.Fatal("submitted key missing from export")
+		}
+	}
+}
+
+func TestExportCacheInvalidation(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(10 * time.Hour))
+	b := newBackend(t, clock)
+	day := diagkeys.DayKey(clock.Now())
+
+	submit := func(n int) {
+		t.Helper()
+		token := b.RegisterTest(ResultPositive, clock.Now().Add(-time.Hour))
+		tan, err := b.IssueTAN(token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitKeys(tan, sampleKeys(t, clock.Now(), n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit(2)
+	d1, err := b.ExportForDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1again, err := b.ExportForDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d1again) {
+		t.Fatal("cache must return identical bytes")
+	}
+	submit(3)
+	d2, err := b.ExportForDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := diagkeys.Unmarshal(d2, b.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := diagkeys.Unmarshal(d1, b.Signer())
+	if b.KeyCount(day) != 5 {
+		t.Fatalf("KeyCount = %d, want 5", b.KeyCount(day))
+	}
+	if len(e2.Keys) < len(e1.Keys) {
+		t.Fatal("export shrank after new submission")
+	}
+}
+
+func TestExportNoSuchDay(t *testing.T) {
+	b := newBackend(t, entime.NewSimClock(entime.AppRelease))
+	if _, err := b.ExportForDay("2020-06-01"); !errors.Is(err, ErrNoSuchDay) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAvailableDaysRetention(t *testing.T) {
+	clock := entime.NewSimClock(entime.AppRelease)
+	b := newBackend(t, clock)
+
+	submitAt := func(ts time.Time) {
+		t.Helper()
+		clock.Set(ts)
+		token := b.RegisterTest(ResultPositive, ts.Add(-time.Hour))
+		tan, err := b.IssueTAN(token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitKeys(tan, sampleKeys(t, ts, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submitAt(entime.AppRelease.AddDate(0, 0, 7))
+	submitAt(entime.AppRelease.AddDate(0, 0, 8))
+	days := b.AvailableDays()
+	if len(days) != 2 {
+		t.Fatalf("AvailableDays = %v", days)
+	}
+	// Jump past the retention window: the old days must age out.
+	clock.Set(entime.AppRelease.AddDate(0, 0, 8+exposure.StorageDays+1))
+	if days := b.AvailableDays(); len(days) != 0 {
+		t.Fatalf("retention failed, still have %v", days)
+	}
+}
+
+func TestIndexDocument(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(10 * time.Hour))
+	b := newBackend(t, clock)
+	token := b.RegisterTest(ResultPositive, clock.Now().Add(-time.Hour))
+	tan, _ := b.IssueTAN(token)
+	if err := b.SubmitKeys(tan, sampleKeys(t, clock.Now(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := b.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Region != "DE" || len(idx.Days) != 1 || idx.Days[0] != "2020-06-23" {
+		t.Fatalf("index = %+v", idx)
+	}
+}
+
+func TestFakeCallCounter(t *testing.T) {
+	b := newBackend(t, entime.NewSimClock(entime.AppRelease))
+	b.RecordFakeCall()
+	b.RecordFakeCall()
+	_, fakes := b.Stats()
+	if fakes != 2 {
+		t.Fatalf("fakes = %d", fakes)
+	}
+}

@@ -1,0 +1,70 @@
+package cwaserver
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+)
+
+// TestConcurrentBackendAccess hammers the backend from parallel goroutines
+// the way the real service is hit: lab registrations, polls, TAN issuance,
+// submissions and downloads all at once. Run with -race.
+func TestConcurrentBackendAccess(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(12 * time.Hour))
+	b := newBackend(t, clock)
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				token := b.RegisterTest(ResultPositive, clock.Now().Add(-time.Hour))
+				if _, err := b.PollResult(token); err != nil {
+					errs <- err
+					return
+				}
+				tan, err := b.IssueTAN(token)
+				if err != nil {
+					errs <- err
+					return
+				}
+				keys := sampleKeys(t, clock.Now(), 1+i%3)
+				if err := b.SubmitKeys(tan, keys); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := b.Index(); err != nil {
+					errs <- err
+					return
+				}
+				for _, day := range b.AvailableDays() {
+					if _, err := b.ExportForDay(day); err != nil {
+						errs <- err
+						return
+					}
+				}
+				b.RecordFakeCall()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	uploads, fakes := b.Stats()
+	if uploads != workers*perWorker {
+		t.Fatalf("uploads = %d, want %d", uploads, workers*perWorker)
+	}
+	if fakes != workers*perWorker {
+		t.Fatalf("fakes = %d, want %d", fakes, workers*perWorker)
+	}
+}

@@ -1,0 +1,161 @@
+package cwaserver
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"cwatrace/internal/diagkeys"
+	"cwatrace/internal/entime"
+)
+
+// submitAtHour registers and uploads n keys at a specific hour of the
+// clock's current day.
+func submitAtHour(t *testing.T, b *Backend, clock *entime.SimClock, hour, n int) {
+	t.Helper()
+	local := clock.Now().In(entime.Berlin)
+	day := time.Date(local.Year(), local.Month(), local.Day(), 0, 0, 0, 0, entime.Berlin)
+	clock.Set(day.Add(time.Duration(hour)*time.Hour + 10*time.Minute))
+	token := b.RegisterTest(ResultPositive, clock.Now().Add(-time.Hour))
+	tan, err := b.IssueTAN(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SubmitKeys(tan, sampleKeys(t, clock.Now(), n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvailableHours(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved)
+	b := newBackend(t, clock)
+	day := diagkeys.DayKey(clock.Now())
+
+	if hours := b.AvailableHours(day); len(hours) != 0 {
+		t.Fatalf("hours before any submission: %v", hours)
+	}
+	submitAtHour(t, b, clock, 9, 1)
+	submitAtHour(t, b, clock, 14, 2)
+	submitAtHour(t, b, clock, 9, 1)
+	hours := b.AvailableHours(day)
+	if len(hours) != 2 || hours[0] != 9 || hours[1] != 14 {
+		t.Fatalf("hours = %v, want [9 14]", hours)
+	}
+}
+
+func TestExportForHour(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved)
+	b := newBackend(t, clock)
+	day := diagkeys.DayKey(clock.Now())
+	submitAtHour(t, b, clock, 9, 3)
+	submitAtHour(t, b, clock, 14, 2)
+
+	data, err := b.ExportForHour(day, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export, err := diagkeys.Unmarshal(data, b.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hour packages are unpadded: exactly the submitted keys.
+	if len(export.Keys) != 3 {
+		t.Fatalf("hour 9 keys = %d, want 3 (no padding)", len(export.Keys))
+	}
+	// The window must cover exactly that hour.
+	if export.End != export.Start.Add(6) {
+		t.Fatalf("hour window = [%d, %d), want 6 intervals", export.Start, export.End)
+	}
+}
+
+func TestExportForHourErrors(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved)
+	b := newBackend(t, clock)
+	if _, err := b.ExportForHour("2020-06-23", 9); !errors.Is(err, ErrNoSuchDay) {
+		t.Fatalf("unknown day: %v", err)
+	}
+	submitAtHour(t, b, clock, 9, 1)
+	if _, err := b.ExportForHour("2020-06-23", 10); !errors.Is(err, ErrNoSuchHour) {
+		t.Fatalf("unknown hour: %v", err)
+	}
+}
+
+func TestDayPackageAggregatesHours(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved)
+	b := newBackend(t, clock)
+	day := diagkeys.DayKey(clock.Now())
+	submitAtHour(t, b, clock, 9, 3)
+	submitAtHour(t, b, clock, 14, 2)
+	if got := b.KeyCount(day); got != 5 {
+		t.Fatalf("KeyCount = %d, want 5", got)
+	}
+	data, err := b.ExportForDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export, err := diagkeys.Unmarshal(data, b.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(export.Keys) < diagkeys.MinKeysPerExport {
+		t.Fatalf("day package must stay padded: %d keys", len(export.Keys))
+	}
+}
+
+func TestIndexIncludesCurrentDayHours(t *testing.T) {
+	clock := entime.NewSimClock(entime.FirstKeysObserved)
+	b := newBackend(t, clock)
+	submitAtHour(t, b, clock, 9, 1)
+	idx, err := b.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Hours) != 1 || idx.Hours[0] != 9 {
+		t.Fatalf("index hours = %v, want [9]", idx.Hours)
+	}
+}
+
+func TestHTTPHourEndpoint(t *testing.T) {
+	b, clock, srv := newServer(t)
+	day := diagkeys.DayKey(clock.Now())
+	submitAtHour(t, b, clock, 9, 2)
+
+	resp, err := http.Get(srv.URL + PathDatePrefix + "DE/date/" + day + "/hour/9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hour fetch status %d", resp.StatusCode)
+	}
+	export, err := diagkeys.Unmarshal(pkg, b.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(export.Keys) != 2 {
+		t.Fatalf("hour package keys = %d", len(export.Keys))
+	}
+
+	// Missing hour -> 404, bad hour -> 400.
+	resp, err = http.Get(srv.URL + PathDatePrefix + "DE/date/" + day + "/hour/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing hour status %d", resp.StatusCode)
+	}
+	for _, bad := range []string{"x", "-1", "24"} {
+		resp, err = http.Get(srv.URL + PathDatePrefix + "DE/date/" + day + "/hour/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad hour %q status %d", bad, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package cwaserver
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cwatrace/internal/diagkeys"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+// HeaderFake marks plausible-deniability dummy requests, as the real app
+// sets "cwa-fake: 1" on the decoy calls it issues alongside real ones.
+const HeaderFake = "cwa-fake"
+
+// HeaderTAN carries the upload authorization.
+const HeaderTAN = "cwa-authorization"
+
+// API paths (v1, region-scoped where applicable).
+const (
+	PathRegistrationToken = "/version/v1/registrationToken"
+	PathTestResult        = "/version/v1/testresult"
+	PathTAN               = "/version/v1/tan"
+	PathSubmission        = "/version/v1/diagnosis-keys"
+	PathIndexPrefix       = "/version/v1/index"
+	PathDatePrefix        = "/version/v1/diagnosis-keys/country/"
+)
+
+// uploadKeyJSON is the submission wire format for one key.
+type uploadKeyJSON struct {
+	Key                   string `json:"key"` // hex, 16 bytes
+	RollingStartNumber    uint32 `json:"rollingStartNumber"`
+	RollingPeriod         uint16 `json:"rollingPeriod"`
+	TransmissionRiskLevel uint8  `json:"transmissionRiskLevel"`
+}
+
+// UploadBody is the submission request payload. Padding blinds the
+// request size so uploads with few keys are indistinguishable from
+// uploads with many.
+type UploadBody struct {
+	Keys    []uploadKeyJSON `json:"keys"`
+	Padding string          `json:"padding,omitempty"`
+}
+
+// EncodeUpload renders diagnosis keys into the submission body, padding the
+// key list representation to the size of a full 14-key upload.
+func EncodeUpload(keys []exposure.DiagnosisKey) ([]byte, error) {
+	body := UploadBody{}
+	for _, k := range keys {
+		body.Keys = append(body.Keys, uploadKeyJSON{
+			Key:                   hex.EncodeToString(k.Key[:]),
+			RollingStartNumber:    uint32(k.RollingStart),
+			RollingPeriod:         k.RollingPeriod,
+			TransmissionRiskLevel: k.TransmissionRiskLevel,
+		})
+	}
+	if n := exposure.StorageDays + 1 - len(body.Keys); n > 0 {
+		// ~100 bytes per key entry on the wire.
+		body.Padding = strings.Repeat("0", n*100)
+	}
+	return json.Marshal(&body)
+}
+
+// DecodeUpload parses and validates a submission body.
+func DecodeUpload(data []byte) ([]exposure.DiagnosisKey, error) {
+	var body UploadBody
+	if err := json.Unmarshal(data, &body); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidUpload, err)
+	}
+	out := make([]exposure.DiagnosisKey, 0, len(body.Keys))
+	for i, jk := range body.Keys {
+		raw, err := hex.DecodeString(jk.Key)
+		if err != nil || len(raw) != exposure.KeyLength {
+			return nil, fmt.Errorf("%w: key %d not %d hex bytes", ErrInvalidUpload, i, exposure.KeyLength)
+		}
+		var k exposure.DiagnosisKey
+		copy(k.Key[:], raw)
+		k.RollingStart = entime.Interval(jk.RollingStartNumber)
+		k.RollingPeriod = jk.RollingPeriod
+		k.TransmissionRiskLevel = jk.TransmissionRiskLevel
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: key %d: %v", ErrInvalidUpload, i, err)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// Handler assembles the HTTP API over a Backend. website, when non-empty,
+// is served at "/" — app API calls and website visits share the hosting
+// infrastructure in the paper ("Website visits and CWA app API calls are
+// served by the same servers via HTTPS").
+func Handler(b *Backend, website []byte) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+
+	// isFake intercepts decoy requests: they are counted and answered
+	// with a placeholder of realistic size, never touching real state.
+	isFake := func(w http.ResponseWriter, r *http.Request) bool {
+		if r.Header.Get(HeaderFake) == "" {
+			return false
+		}
+		b.RecordFakeCall()
+		writeJSON(w, http.StatusOK, map[string]string{"ok": "1", "pad": strings.Repeat("0", 64)})
+		return true
+	}
+
+	mux.HandleFunc(PathRegistrationToken, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if isFake(w, r) {
+			return
+		}
+		// Registration binds a lab test GUID to a token. The reproduction
+		// issues tokens directly at lab registration (RegisterTest), so
+		// this endpoint only serves the decoy traffic pattern and
+		// API-compatible clients.
+		writeJSON(w, http.StatusOK, map[string]string{"registrationToken": randomToken()})
+	})
+
+	mux.HandleFunc(PathTestResult, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if isFake(w, r) {
+			return
+		}
+		var req struct {
+			RegistrationToken string `json:"registrationToken"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		res, err := b.PollResult(req.RegistrationToken)
+		if errors.Is(err, ErrUnknownToken) {
+			http.Error(w, "unknown token", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"testResult": int(res)})
+	})
+
+	mux.HandleFunc(PathTAN, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if isFake(w, r) {
+			return
+		}
+		var req struct {
+			RegistrationToken string `json:"registrationToken"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		tan, err := b.IssueTAN(req.RegistrationToken)
+		switch {
+		case errors.Is(err, ErrUnknownToken):
+			http.Error(w, "unknown token", http.StatusNotFound)
+		case errors.Is(err, ErrNotPositive), errors.Is(err, ErrInvalidTAN):
+			http.Error(w, "forbidden", http.StatusForbidden)
+		case err != nil:
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		default:
+			writeJSON(w, http.StatusOK, map[string]string{"tan": tan})
+		}
+	})
+
+	mux.HandleFunc(PathSubmission, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if isFake(w, r) {
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		keys, err := DecodeUpload(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := b.SubmitKeys(r.Header.Get(HeaderTAN), keys); err != nil {
+			if errors.Is(err, ErrInvalidTAN) {
+				http.Error(w, "forbidden", http.StatusForbidden)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"ok": "1"})
+	})
+
+	// Distribution: index, dated packages and hourly packages.
+	// GET .../country/{region}/date                      -> index (days + today's hours)
+	// GET .../country/{region}/date/{day}                -> day package
+	// GET .../country/{region}/date/{day}/hour/{hour}    -> hour package
+	mux.HandleFunc(PathDatePrefix, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, PathDatePrefix)
+		parts := strings.Split(rest, "/")
+		if len(parts) < 2 || parts[1] != "date" {
+			http.NotFound(w, r)
+			return
+		}
+		writePackage := func(data []byte, err error) {
+			if errors.Is(err, ErrNoSuchDay) || errors.Is(err, ErrNoSuchHour) {
+				http.NotFound(w, r)
+				return
+			}
+			if err != nil {
+				http.Error(w, "internal error", http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(data)
+		}
+		switch {
+		case len(parts) == 2: // index
+			idx, err := b.Index()
+			if err != nil {
+				http.Error(w, "internal error", http.StatusInternalServerError)
+				return
+			}
+			data, err := diagkeys.MarshalIndex(idx)
+			if err != nil {
+				http.Error(w, "internal error", http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+		case len(parts) == 3: // day package
+			writePackage(b.ExportForDay(parts[2]))
+		case len(parts) == 5 && parts[3] == "hour": // hour package
+			hour, err := strconv.Atoi(parts[4])
+			if err != nil || hour < 0 || hour > 23 {
+				http.Error(w, "bad hour", http.StatusBadRequest)
+				return
+			}
+			writePackage(b.ExportForHour(parts[2], hour))
+		default:
+			http.NotFound(w, r)
+		}
+	})
+
+	if len(website) > 0 {
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/" {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_, _ = w.Write(website)
+		})
+	}
+	return mux
+}
+
+// DefaultWebsite returns the simulated coronawarn.app landing page. Its
+// size matters more than its content: website visits and API calls share
+// the measured byte counts.
+func DefaultWebsite() []byte {
+	var sb strings.Builder
+	sb.WriteString("<!doctype html><html lang=\"de\"><head><title>Corona-Warn-App</title></head><body>\n")
+	sb.WriteString("<h1>Corona-Warn-App</h1>\n")
+	sb.WriteString("<p>Die offizielle COVID-19 Exposure-Notification-App.</p>\n")
+	// Filler approximating the landing page's ~55 kB transfer size.
+	for i := 0; i < 600; i++ {
+		fmt.Fprintf(&sb, "<p data-block=\"%03d\">Gemeinsam Corona bekämpfen — Abstand halten, Hygiene beachten, App nutzen.</p>\n", i)
+	}
+	sb.WriteString("</body></html>\n")
+	return []byte(sb.String())
+}

@@ -1,0 +1,357 @@
+package cwaserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cwatrace/internal/diagkeys"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+// newServer spins up the full HTTP API on a SimClock positioned after the
+// first-keys date.
+func newServer(t *testing.T) (*Backend, *entime.SimClock, *httptest.Server) {
+	t.Helper()
+	clock := entime.NewSimClock(entime.FirstKeysObserved.Add(9 * time.Hour))
+	b, err := New(DefaultConfig(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(b, DefaultWebsite()))
+	t.Cleanup(srv.Close)
+	return b, clock, srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPFullUploadDownloadRoundTrip(t *testing.T) {
+	b, clock, srv := newServer(t)
+
+	// Lab registers a positive test; the app polls, fetches a TAN,
+	// uploads keys; another app downloads and verifies the package.
+	token := b.RegisterTest(ResultPositive, clock.Now().Add(-time.Hour))
+
+	resp := postJSON(t, srv.URL+PathTestResult, map[string]string{"registrationToken": token})
+	var pollRes struct {
+		TestResult int `json:"testResult"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pollRes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pollRes.TestResult != int(ResultPositive) {
+		t.Fatalf("testResult = %d", pollRes.TestResult)
+	}
+
+	resp = postJSON(t, srv.URL+PathTAN, map[string]string{"registrationToken": token})
+	var tanRes struct {
+		TAN string `json:"tan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tanRes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tanRes.TAN == "" {
+		t.Fatal("no TAN issued")
+	}
+
+	keys := sampleKeys(t, clock.Now(), 4)
+	payload, err := EncodeUpload(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+PathSubmission, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderTAN, tanRes.TAN)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submission status = %d", resp.StatusCode)
+	}
+
+	// Index should list today.
+	resp, err = http.Get(srv.URL + PathDatePrefix + "DE/date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxData, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	idx, err := diagkeys.UnmarshalIndex(idxData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Days) != 1 || idx.Days[0] != "2020-06-23" {
+		t.Fatalf("index days = %v", idx.Days)
+	}
+
+	// Download the day package and verify the signature and contents.
+	resp, err = http.Get(srv.URL + PathDatePrefix + "DE/date/" + idx.Days[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	export, err := diagkeys.Unmarshal(pkg, b.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	want := make(map[[16]byte]bool)
+	for _, k := range keys {
+		want[k.Key] = true
+	}
+	for _, k := range export.Keys {
+		if want[k.Key] {
+			found++
+		}
+	}
+	if found != len(keys) {
+		t.Fatalf("found %d of %d uploaded keys in download", found, len(keys))
+	}
+}
+
+func TestHTTPFakeRequestsDoNotTouchState(t *testing.T) {
+	b, _, srv := newServer(t)
+	for _, path := range []string{PathRegistrationToken, PathTestResult, PathTAN, PathSubmission} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewReader([]byte("{}")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(HeaderFake, "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fake call to %s: status %d", path, resp.StatusCode)
+		}
+	}
+	uploads, fakes := b.Stats()
+	if uploads != 0 {
+		t.Fatalf("fake calls created %d uploads", uploads)
+	}
+	if fakes != 4 {
+		t.Fatalf("fakes = %d, want 4", fakes)
+	}
+}
+
+func TestHTTPWebsite(t *testing.T) {
+	_, _, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("website status = %d", resp.StatusCode)
+	}
+	if len(body) < 10_000 {
+		t.Fatalf("website only %d bytes; should be a realistic page", len(body))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestHTTPMethodChecks(t *testing.T) {
+	_, _, srv := newServer(t)
+	for _, path := range []string{PathTestResult, PathTAN, PathSubmission} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+PathDatePrefix+"DE/date", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST to distribution = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, _, srv := newServer(t)
+
+	// Unknown token.
+	resp := postJSON(t, srv.URL+PathTestResult, map[string]string{"registrationToken": "nope"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown token poll = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, srv.URL+PathTAN, map[string]string{"registrationToken": "nope"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown token tan = %d", resp.StatusCode)
+	}
+
+	// Submission without TAN.
+	payload, err := EncodeUpload(sampleKeys(t, entime.FirstKeysObserved, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+PathSubmission, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("TAN-less submission = %d, want 403", resp.StatusCode)
+	}
+
+	// Garbage upload body.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+PathSubmission, bytes.NewReader([]byte("not json")))
+	req.Header.Set(HeaderTAN, "whatever")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload = %d, want 400", resp.StatusCode)
+	}
+
+	// Missing day package.
+	resp, err = http.Get(srv.URL + PathDatePrefix + "DE/date/1999-01-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing day = %d, want 404", resp.StatusCode)
+	}
+
+	// Bad distribution path.
+	resp, err = http.Get(srv.URL + PathDatePrefix + "DE/notdate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad path = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestEncodeUploadPadsToConstantShape(t *testing.T) {
+	now := entime.FirstKeysObserved
+	small, err := EncodeUpload(sampleKeys(t, now, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := EncodeUpload(sampleKeys(t, now, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(small)) / float64(len(large))
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("upload sizes leak key count: %d vs %d bytes", len(small), len(large))
+	}
+}
+
+func TestDecodeUploadRejectsBadKeys(t *testing.T) {
+	if _, err := DecodeUpload([]byte(`{"keys":[{"key":"zz","rollingStartNumber":0,"rollingPeriod":144,"transmissionRiskLevel":5}]}`)); err == nil {
+		t.Fatal("bad hex must fail")
+	}
+	if _, err := DecodeUpload([]byte(`{"keys":[{"key":"00112233445566778899aabbccddeeff","rollingStartNumber":7,"rollingPeriod":144,"transmissionRiskLevel":5}]}`)); err == nil {
+		t.Fatal("unaligned rolling start must fail")
+	}
+}
+
+func TestUploadDownloadMatchEndToEnd(t *testing.T) {
+	// The full protocol loop of Figure 1: an infected user's broadcast is
+	// observed by a contact; the infected user uploads through HTTP; the
+	// contact downloads through HTTP and matches locally.
+	b, clock, srv := newServer(t)
+
+	infectedStore := exposure.NewKeyStore(nil)
+	broadcaster := exposure.NewBroadcaster(infectedStore, exposure.Metadata{0x40, 8, 0, 0})
+	contactInterval := entime.IntervalOf(clock.Now().Add(-24 * time.Hour))
+	rpi, _, err := broadcaster.Payload(contactInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := []exposure.Encounter{{
+		RPI: rpi, Interval: contactInterval, DurationMin: 25, AttenuationDB: 45,
+	}}
+
+	// Upload.
+	token := b.RegisterTest(ResultPositive, clock.Now().Add(-time.Hour))
+	tan, err := b.IssueTAN(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nowI := entime.IntervalOf(clock.Now())
+	teks := infectedStore.KeysSince(nowI.Add(-exposure.StorageDays*entime.EKRollingPeriod), nowI)
+	var dks []exposure.DiagnosisKey
+	for _, k := range teks {
+		dks = append(dks, exposure.DiagnosisKey{TEK: k, TransmissionRiskLevel: 6})
+	}
+	payload, err := EncodeUpload(dks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+PathSubmission, bytes.NewReader(payload))
+	req.Header.Set(HeaderTAN, tan)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	// Download + match.
+	resp, err = http.Get(srv.URL + PathDatePrefix + "DE/date/" + diagkeys.DayKey(clock.Now()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	export, err := diagkeys.Unmarshal(pkg, b.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher := exposure.NewMatcher(history)
+	matches, err := matcher.Match(export.Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d, want 1 (the padded dummies must not match)", len(matches))
+	}
+	risk := exposure.DefaultRiskConfig().Score(matches)
+	if !risk.Elevated {
+		t.Fatalf("25 close minutes must elevate risk, score %f", risk.Score)
+	}
+}

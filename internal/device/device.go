@@ -1,0 +1,353 @@
+// Package device models the phones running the Corona-Warn-App. A device
+// is a traffic agent: once installed, it syncs diagnosis keys once per day
+// (index fetch plus the day packages it has not seen), occasionally visits
+// the website, issues plausible-deniability decoy calls, and — when its
+// owner tests positive and consents — walks the poll/TAN/upload flow.
+//
+// Two empirical quirks the paper leans on are modelled explicitly:
+//
+//   - The background-restriction bug: on a share of Android and iOS phones,
+//     OS energy saving prevented the periodic background download ("energy
+//     saving settings prohibit background downloads on some Android and iOS
+//     phones, reported on July 24"). Affected devices only sync when the
+//     user opens the app.
+//   - Upload rate is low: only users with a positive lab test and upload
+//     consent share keys, which is why the first diagnosis keys appear a
+//     week after release.
+package device
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/cdn"
+	"cwatrace/internal/exposure"
+)
+
+// OS is the phone operating system.
+type OS int
+
+// Operating systems; the 2020 German market was roughly 3:1.
+const (
+	Android OS = iota
+	IOS
+)
+
+// String implements fmt.Stringer.
+func (o OS) String() string {
+	if o == IOS {
+		return "ios"
+	}
+	return "android"
+}
+
+// Params tunes the population-level behaviour mix.
+type Params struct {
+	// AndroidShare is the probability a new device is Android.
+	AndroidShare float64
+	// BackgroundBugShare is the fraction of devices whose background
+	// sync is broken by OS energy saving.
+	BackgroundBugShare float64
+	// OpenAppBase is the daily probability a user manually opens the
+	// app (the only sync trigger for bug-affected devices).
+	OpenAppBase float64
+	// InstallWebsiteProb is the probability a fresh install is preceded
+	// by a website visit.
+	InstallWebsiteProb float64
+	// DailyWebsiteRate is the per-day website visit probability of an
+	// installed user at attention 1.
+	DailyWebsiteRate float64
+	// FakeFlowProb is the daily probability of a decoy
+	// registration/poll/TAN/submission sequence.
+	FakeFlowProb float64
+	// UploadConsent is the probability a positive-tested user shares
+	// keys.
+	UploadConsent float64
+}
+
+// DefaultParams returns the calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		AndroidShare:       0.75,
+		BackgroundBugShare: 0.35,
+		OpenAppBase:        0.30,
+		InstallWebsiteProb: 0.45,
+		DailyWebsiteRate:   0.01,
+		FakeFlowProb:       0.01,
+		UploadConsent:      0.60,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	for name, v := range map[string]float64{
+		"AndroidShare":       p.AndroidShare,
+		"BackgroundBugShare": p.BackgroundBugShare,
+		"OpenAppBase":        p.OpenAppBase,
+		"InstallWebsiteProb": p.InstallWebsiteProb,
+		"DailyWebsiteRate":   p.DailyWebsiteRate,
+		"FakeFlowProb":       p.FakeFlowProb,
+		"UploadConsent":      p.UploadConsent,
+	} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("device: %s = %f out of [0,1]", name, v)
+		}
+	}
+	return nil
+}
+
+// Device is one simulated phone.
+type Device struct {
+	ID          int
+	DistrictIdx int
+	OS          OS
+	// BackgroundRestricted marks the energy-saving bug.
+	BackgroundRestricted bool
+	// InstalledAt is when the app was installed.
+	InstalledAt time.Time
+	// CheckMinute is the device's preferred sync minute-of-day,
+	// diurnal-weighted at creation.
+	CheckMinute int
+	// syncedThrough is the last package DayKey already fetched ("" until
+	// the first sync).
+	syncedThrough string
+}
+
+// New creates a device installed at installedAt in the given district.
+func New(id, districtIdx int, installedAt time.Time, p Params, rng *rand.Rand) *Device {
+	os := Android
+	if rng.Float64() >= p.AndroidShare {
+		os = IOS
+	}
+	return &Device{
+		ID:                   id,
+		DistrictIdx:          districtIdx,
+		OS:                   os,
+		BackgroundRestricted: rng.Float64() < p.BackgroundBugShare,
+		InstalledAt:          installedAt,
+		CheckMinute:          diurnalMinute(rng),
+	}
+}
+
+// diurnalMinute draws a minute-of-day weighted by the diurnal activity
+// shape, via rejection sampling against the shape's maximum.
+func diurnalMinute(rng *rand.Rand) int {
+	const maxWeight = 2.2 // conservative upper bound of adoption.Diurnal
+	for {
+		m := rng.Intn(24 * 60)
+		if rng.Float64()*maxWeight <= adoption.Diurnal(m/60) {
+			return m
+		}
+	}
+}
+
+// Event is one network interaction the device performs.
+type Event struct {
+	Time time.Time
+	Req  cdn.Request
+	// UploadKeys is the number of TEKs in a (real) submission.
+	UploadKeys int
+	// RealCount marks events that occur at real-world frequency rather
+	// than once per simulated device: the positive-test flows. Positives
+	// are so rare that the simulator assigns them at real counts (else
+	// they would round to zero at scale); the traffic synthesizer
+	// compensates by emitting their packets with probability 1/Scale,
+	// while the backend side effects (key submission) always run.
+	RealCount bool
+}
+
+// DayContext is everything a device needs to decide one day's behaviour.
+type DayContext struct {
+	// Day is local midnight of the simulated day.
+	Day time.Time
+	// Attention is the media-attention level.
+	Attention float64
+	// PublishedDays are the package DayKeys currently downloadable,
+	// ascending.
+	PublishedDays []string
+	// PositiveResultToday signals the owner received a positive lab
+	// result today.
+	PositiveResultToday bool
+	// RNG drives all stochastic choices.
+	RNG *rand.Rand
+}
+
+// DayEvents returns the device's interactions for one day, in time order.
+func (d *Device) DayEvents(p Params, ctx DayContext) []Event {
+	dayEnd := ctx.Day.AddDate(0, 0, 1)
+	if !d.InstalledAt.Before(dayEnd) {
+		return nil // not yet installed
+	}
+	installDay := d.InstalledAt.After(ctx.Day) || d.InstalledAt.Equal(ctx.Day)
+
+	var events []Event
+
+	// Install-day special events: a website visit shortly before the
+	// install (reading up on the app), then the first sync right after.
+	if installDay {
+		if ctx.RNG.Float64() < p.InstallWebsiteProb {
+			events = append(events, Event{
+				Time: d.InstalledAt.Add(-time.Duration(1+ctx.RNG.Intn(20)) * time.Minute),
+				Req:  cdn.Request{Type: cdn.ReqWebsite},
+			})
+		}
+		events = append(events, d.syncEvents(d.InstalledAt.Add(time.Duration(ctx.RNG.Intn(10))*time.Minute), ctx)...)
+	} else if d.shouldSync(p, ctx) {
+		at := ctx.Day.Add(time.Duration(d.CheckMinute)*time.Minute +
+			time.Duration(ctx.RNG.Intn(3600))*time.Second - 30*time.Minute)
+		if at.Before(ctx.Day) {
+			at = ctx.Day.Add(time.Duration(ctx.RNG.Intn(3600)) * time.Second)
+		}
+		events = append(events, d.syncEvents(at, ctx)...)
+	}
+
+	// Occasional website visit, scaled by media attention.
+	if !installDay && ctx.RNG.Float64() < clamp01(p.DailyWebsiteRate*ctx.Attention) {
+		events = append(events, Event{
+			Time: diurnalTime(ctx.Day, ctx.RNG),
+			Req:  cdn.Request{Type: cdn.ReqWebsite},
+		})
+	}
+
+	// Plausible-deniability decoys: the app fires a fake verification+
+	// submission sequence on random days so uploaders are hidden.
+	if ctx.RNG.Float64() < p.FakeFlowProb {
+		at := diurnalTime(ctx.Day, ctx.RNG)
+		for i, rt := range []cdn.RequestType{cdn.ReqRegistration, cdn.ReqTestResult, cdn.ReqTAN, cdn.ReqSubmission} {
+			events = append(events, Event{
+				Time: at.Add(time.Duration(i) * time.Second),
+				Req:  cdn.Request{Type: rt, Fake: true},
+			})
+		}
+	}
+
+	// Positive result: poll, fetch TAN, upload (with consent).
+	if ctx.PositiveResultToday {
+		at := diurnalTime(ctx.Day, ctx.RNG)
+		events = append(events, Event{Time: at, Req: cdn.Request{Type: cdn.ReqTestResult}, RealCount: true})
+		if ctx.RNG.Float64() < p.UploadConsent {
+			keys := daysSince(d.InstalledAt, ctx.Day) + 1
+			if keys > exposure.StorageDays {
+				keys = exposure.StorageDays
+			}
+			events = append(events,
+				Event{Time: at.Add(30 * time.Second), Req: cdn.Request{Type: cdn.ReqTAN}, RealCount: true},
+				Event{Time: at.Add(45 * time.Second), Req: cdn.Request{Type: cdn.ReqSubmission}, UploadKeys: keys, RealCount: true},
+			)
+		}
+	}
+
+	sortEvents(events)
+	return events
+}
+
+// shouldSync decides whether the daily key download happens. Healthy
+// devices auto-sync daily; bug-affected devices need the user to open the
+// app, which media attention makes slightly more likely.
+func (d *Device) shouldSync(p Params, ctx DayContext) bool {
+	if !d.BackgroundRestricted {
+		return true
+	}
+	prob := clamp01(p.OpenAppBase * (0.8 + 0.2*ctx.Attention))
+	return ctx.RNG.Float64() < prob
+}
+
+// syncEvents emits the index fetch plus one download per unseen published
+// day package.
+func (d *Device) syncEvents(at time.Time, ctx DayContext) []Event {
+	events := []Event{{Time: at, Req: cdn.Request{Type: cdn.ReqIndex}}}
+	n := 0
+	for _, day := range ctx.PublishedDays {
+		if day <= d.syncedThrough {
+			continue
+		}
+		n++
+		events = append(events, Event{
+			Time: at.Add(time.Duration(n) * 2 * time.Second),
+			Req:  cdn.Request{Type: cdn.ReqDayPackage, Day: day},
+		})
+		if n >= exposure.StorageDays {
+			break
+		}
+	}
+	if len(ctx.PublishedDays) > 0 {
+		last := ctx.PublishedDays[len(ctx.PublishedDays)-1]
+		if last > d.syncedThrough {
+			d.syncedThrough = last
+		}
+	}
+	return events
+}
+
+// SyncedThrough exposes the device's download watermark for tests and the
+// ablation bench.
+func (d *Device) SyncedThrough() string { return d.syncedThrough }
+
+// diurnalTime draws a diurnally weighted instant within the day.
+func diurnalTime(day time.Time, rng *rand.Rand) time.Time {
+	return day.Add(time.Duration(diurnalMinute(rng))*time.Minute +
+		time.Duration(rng.Intn(60))*time.Second)
+}
+
+func daysSince(from, to time.Time) int {
+	d := int(to.Sub(from) / (24 * time.Hour))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func sortEvents(events []Event) {
+	// Insertion sort: event lists are tiny (< 20 entries).
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].Time.Before(events[j-1].Time); j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// TrafficModel converts an HTTPS exchange into the packet counts a router
+// would see. The downstream (server->client) direction is what the paper
+// measures; sizes include TLS framing already (cdn package).
+type TrafficModel struct {
+	// MSS is the payload bytes per full packet.
+	MSS int
+	// UpstreamRequestBytes approximates the client->server direction of
+	// one exchange (handshake + request).
+	UpstreamRequestBytes int
+}
+
+// DefaultTrafficModel uses a 1400-byte MSS.
+func DefaultTrafficModel() TrafficModel {
+	return TrafficModel{MSS: 1400, UpstreamRequestBytes: 1800}
+}
+
+// DownstreamPackets returns the number of server->client packets for a
+// response of the given size, including ACK-only segments folded in.
+func (m TrafficModel) DownstreamPackets(respBytes int) int {
+	if respBytes <= 0 {
+		return 0
+	}
+	n := (respBytes + m.MSS - 1) / m.MSS
+	// TLS handshake flights arrive as separate segments.
+	return n + 2
+}
+
+// UpstreamPackets returns client->server packet count (requests + ACKs).
+func (m TrafficModel) UpstreamPackets(respBytes int) int {
+	// Roughly one ACK per two downstream segments plus the request
+	// packets themselves.
+	return m.DownstreamPackets(respBytes)/2 + 3
+}

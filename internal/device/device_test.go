@@ -1,0 +1,294 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cwatrace/internal/cdn"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+var day0 = time.Date(2020, time.June, 17, 0, 0, 0, 0, entime.Berlin)
+
+func newDevice(t *testing.T, seed int64, installedAt time.Time) (*Device, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := New(1, 10, installedAt, DefaultParams(), rng)
+	return d, rng
+}
+
+func ctxFor(day time.Time, rng *rand.Rand, published ...string) DayContext {
+	return DayContext{
+		Day:           day,
+		Attention:     1,
+		PublishedDays: published,
+		RNG:           rng,
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.UploadConsent = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range param must fail validation")
+	}
+}
+
+func TestNotInstalledNoEvents(t *testing.T) {
+	d, rng := newDevice(t, 1, day0.AddDate(0, 0, 5))
+	if evs := d.DayEvents(DefaultParams(), ctxFor(day0, rng)); len(evs) != 0 {
+		t.Fatalf("uninstalled device produced %d events", len(evs))
+	}
+}
+
+func TestInstallDaySyncs(t *testing.T) {
+	install := day0.Add(14 * time.Hour)
+	d, rng := newDevice(t, 2, install)
+	evs := d.DayEvents(DefaultParams(), ctxFor(day0, rng, "2020-06-16"))
+	var sawIndex, sawPackage bool
+	for _, e := range evs {
+		switch e.Req.Type {
+		case cdn.ReqIndex:
+			sawIndex = true
+		case cdn.ReqDayPackage:
+			sawPackage = true
+			if e.Req.Day != "2020-06-16" {
+				t.Fatalf("fetched wrong day %q", e.Req.Day)
+			}
+		}
+	}
+	if !sawIndex || !sawPackage {
+		t.Fatalf("install-day sync incomplete: index=%v package=%v (%d events)",
+			sawIndex, sawPackage, len(evs))
+	}
+	if d.SyncedThrough() != "2020-06-16" {
+		t.Fatalf("watermark = %q", d.SyncedThrough())
+	}
+}
+
+func TestSyncFetchesOnlyUnseenDays(t *testing.T) {
+	d, rng := newDevice(t, 3, day0)
+	d.BackgroundRestricted = false
+	// First day: fetch the one published package.
+	d.DayEvents(DefaultParams(), ctxFor(day0, rng, "2020-06-16"))
+	// Next day: two published; only the new one should be fetched.
+	evs := d.DayEvents(DefaultParams(), ctxFor(day0.AddDate(0, 0, 1), rng, "2020-06-16", "2020-06-17"))
+	var fetched []string
+	for _, e := range evs {
+		if e.Req.Type == cdn.ReqDayPackage {
+			fetched = append(fetched, e.Req.Day)
+		}
+	}
+	if len(fetched) != 1 || fetched[0] != "2020-06-17" {
+		t.Fatalf("fetched = %v, want only 2020-06-17", fetched)
+	}
+}
+
+func TestHealthyDeviceSyncsDaily(t *testing.T) {
+	d, rng := newDevice(t, 4, day0)
+	d.BackgroundRestricted = false
+	syncDays := 0
+	for i := 1; i <= 30; i++ {
+		day := day0.AddDate(0, 0, i)
+		evs := d.DayEvents(DefaultParams(), ctxFor(day, rng))
+		for _, e := range evs {
+			if e.Req.Type == cdn.ReqIndex {
+				syncDays++
+				break
+			}
+		}
+	}
+	if syncDays != 30 {
+		t.Fatalf("healthy device synced %d/30 days", syncDays)
+	}
+}
+
+func TestBuggedDeviceSyncsRarely(t *testing.T) {
+	d, rng := newDevice(t, 5, day0)
+	d.BackgroundRestricted = true
+	syncDays := 0
+	const days = 300
+	for i := 1; i <= days; i++ {
+		day := day0.AddDate(0, 0, i)
+		for _, e := range d.DayEvents(DefaultParams(), ctxFor(day, rng)) {
+			if e.Req.Type == cdn.ReqIndex {
+				syncDays++
+				break
+			}
+		}
+	}
+	rate := float64(syncDays) / days
+	// OpenAppBase 0.30 at attention 1.
+	if rate < 0.15 || rate > 0.45 {
+		t.Fatalf("bugged device sync rate %.2f, want ~0.30", rate)
+	}
+}
+
+func TestPositiveResultUploadFlow(t *testing.T) {
+	d, _ := newDevice(t, 6, day0)
+	p := DefaultParams()
+	p.UploadConsent = 1 // force consent for determinism
+	p.FakeFlowProb = 0
+	rng := rand.New(rand.NewSource(7))
+	ctx := ctxFor(day0.AddDate(0, 0, 3), rng)
+	ctx.PositiveResultToday = true
+	evs := d.DayEvents(p, ctx)
+	var poll, tan, submit, keys int
+	var tanAt, submitAt time.Time
+	for _, e := range evs {
+		switch e.Req.Type {
+		case cdn.ReqTestResult:
+			poll++
+		case cdn.ReqTAN:
+			tan++
+			tanAt = e.Time
+		case cdn.ReqSubmission:
+			submit++
+			keys = e.UploadKeys
+			submitAt = e.Time
+		}
+	}
+	if poll != 1 || tan != 1 || submit != 1 {
+		t.Fatalf("upload flow = poll %d, tan %d, submit %d", poll, tan, submit)
+	}
+	if keys != 4 {
+		t.Fatalf("upload keys = %d, want 4 (installed 3 days ago)", keys)
+	}
+	if !tanAt.Before(submitAt) {
+		t.Fatal("TAN must precede submission")
+	}
+}
+
+func TestUploadKeysCappedAtStorageDays(t *testing.T) {
+	d, _ := newDevice(t, 8, day0)
+	p := DefaultParams()
+	p.UploadConsent = 1
+	p.FakeFlowProb = 0
+	rng := rand.New(rand.NewSource(9))
+	ctx := ctxFor(day0.AddDate(0, 0, 60), rng)
+	ctx.PositiveResultToday = true
+	for _, e := range d.DayEvents(p, ctx) {
+		if e.Req.Type == cdn.ReqSubmission && e.UploadKeys > exposure.StorageDays {
+			t.Fatalf("upload keys = %d, cap is %d", e.UploadKeys, exposure.StorageDays)
+		}
+	}
+}
+
+func TestNoConsentNoUpload(t *testing.T) {
+	d, _ := newDevice(t, 10, day0)
+	p := DefaultParams()
+	p.UploadConsent = 0
+	p.FakeFlowProb = 0
+	rng := rand.New(rand.NewSource(11))
+	ctx := ctxFor(day0.AddDate(0, 0, 2), rng)
+	ctx.PositiveResultToday = true
+	for _, e := range d.DayEvents(p, ctx) {
+		if e.Req.Type == cdn.ReqSubmission || e.Req.Type == cdn.ReqTAN {
+			t.Fatalf("consent 0 must not produce %s", e.Req.Type)
+		}
+	}
+}
+
+func TestFakeFlowsMarkedFake(t *testing.T) {
+	d, _ := newDevice(t, 12, day0)
+	p := DefaultParams()
+	p.FakeFlowProb = 1
+	rng := rand.New(rand.NewSource(13))
+	evs := d.DayEvents(p, ctxFor(day0.AddDate(0, 0, 1), rng))
+	fakes := 0
+	for _, e := range evs {
+		if e.Req.Fake {
+			fakes++
+		}
+	}
+	if fakes != 4 {
+		t.Fatalf("fake sequence = %d events, want 4", fakes)
+	}
+}
+
+func TestEventsSortedByTime(t *testing.T) {
+	p := DefaultParams()
+	p.FakeFlowProb = 1
+	p.UploadConsent = 1
+	for seed := int64(0); seed < 20; seed++ {
+		d, _ := newDevice(t, seed, day0)
+		rng := rand.New(rand.NewSource(seed + 100))
+		ctx := ctxFor(day0.AddDate(0, 0, 1), rng, "2020-06-16", "2020-06-17")
+		ctx.PositiveResultToday = true
+		evs := d.DayEvents(p, ctx)
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time.Before(evs[i-1].Time) {
+				t.Fatalf("seed %d: events out of order", seed)
+			}
+		}
+	}
+}
+
+func TestOSDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := DefaultParams()
+	android := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if New(i, 0, day0, p, rng).OS == Android {
+			android++
+		}
+	}
+	share := float64(android) / n
+	if share < p.AndroidShare-0.02 || share > p.AndroidShare+0.02 {
+		t.Fatalf("android share %.3f, want ~%.2f", share, p.AndroidShare)
+	}
+}
+
+func TestCheckMinuteDiurnal(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	p := DefaultParams()
+	night, evening := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		m := New(i, 0, day0, p, rng).CheckMinute
+		if m < 0 || m >= 24*60 {
+			t.Fatalf("CheckMinute %d out of range", m)
+		}
+		h := m / 60
+		if h >= 2 && h < 6 {
+			night++
+		}
+		if h >= 17 && h < 21 {
+			evening++
+		}
+	}
+	if evening <= night*2 {
+		t.Fatalf("diurnal weighting missing: evening %d vs night %d", evening, night)
+	}
+}
+
+func TestOSString(t *testing.T) {
+	if Android.String() != "android" || IOS.String() != "ios" {
+		t.Fatal("OS String mismatch")
+	}
+}
+
+func TestTrafficModel(t *testing.T) {
+	m := DefaultTrafficModel()
+	if got := m.DownstreamPackets(0); got != 0 {
+		t.Fatalf("zero bytes = %d packets", got)
+	}
+	small := m.DownstreamPackets(500)
+	big := m.DownstreamPackets(100_000)
+	if small >= big {
+		t.Fatal("bigger responses need more packets")
+	}
+	// 100 kB at 1400 MSS is ~72 data packets + handshake.
+	if big < 70 || big > 80 {
+		t.Fatalf("100kB = %d packets, expected ~74", big)
+	}
+	if up := m.UpstreamPackets(100_000); up <= 3 || up >= big {
+		t.Fatalf("upstream packets = %d, want between ACK floor and downstream", up)
+	}
+}

@@ -1,0 +1,184 @@
+// Package diagkeys defines the diagnosis-key export format served by the
+// CWA distribution service: signed binary packages of the keys uploaded by
+// users who tested positive, binned by day and hour, plus the JSON index
+// documents the app uses to discover which packages exist.
+//
+// The real backend serves protobuf TemporaryExposureKeyExport files; this
+// reproduction uses an equivalent fixed-layout binary format built on
+// encoding/binary so the module stays stdlib-only. What matters for the
+// paper is preserved: package sizes grow with the number of shared keys,
+// empty days produce small (padded) packages, and every response carries a
+// verifiable signature.
+package diagkeys
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+// Magic identifies a key export file; it plays the role of the
+// "EK Export v1" header of the real format.
+var Magic = [8]byte{'C', 'W', 'A', 'K', 'E', 'Y', 'S', '1'}
+
+// FormatVersion is bumped on breaking layout changes.
+const FormatVersion uint16 = 1
+
+// recordSize is the wire size of one diagnosis key record: 16-byte key,
+// 4-byte rolling start, 2-byte rolling period, 1-byte risk level, 1 byte of
+// padding for alignment.
+const recordSize = 16 + 4 + 2 + 1 + 1
+
+// headerSize is magic + version + region (8 bytes, space padded) + start +
+// end interval + key count.
+const headerSize = 8 + 2 + 8 + 4 + 4 + 4
+
+// SignatureSize is the trailing HMAC-SHA256 signature length.
+const SignatureSize = sha256.Size
+
+// ErrBadSignature is returned when signature verification fails.
+var ErrBadSignature = errors.New("diagkeys: signature verification failed")
+
+// ErrMalformed is returned for structurally invalid packages.
+var ErrMalformed = errors.New("diagkeys: malformed package")
+
+// Export is one distributable package of diagnosis keys covering
+// [Start, End) intervals for a region.
+type Export struct {
+	Region string // e.g. "DE"; at most 8 bytes on the wire
+	Start  entime.Interval
+	End    entime.Interval
+	Keys   []exposure.DiagnosisKey
+}
+
+// Signer produces and verifies package signatures. The production CWA signs
+// exports with ECDSA through the Apple/Google framework; the simulation uses
+// an HMAC signer, which exercises the same verify-before-use code path.
+type Signer interface {
+	Sign(payload []byte) []byte
+	Verify(payload, sig []byte) bool
+}
+
+// HMACSigner signs packages with HMAC-SHA256 under a shared key.
+type HMACSigner struct {
+	key []byte
+}
+
+// NewHMACSigner creates a signer; the key is copied.
+func NewHMACSigner(key []byte) *HMACSigner {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &HMACSigner{key: k}
+}
+
+// Sign implements Signer.
+func (s *HMACSigner) Sign(payload []byte) []byte {
+	m := hmac.New(sha256.New, s.key)
+	m.Write(payload)
+	return m.Sum(nil)
+}
+
+// Verify implements Signer.
+func (s *HMACSigner) Verify(payload, sig []byte) bool {
+	return hmac.Equal(s.Sign(payload), sig)
+}
+
+// Marshal serializes and signs the export. Key order is preserved; the
+// caller is responsible for shuffling/padding (see Pad) before publishing so
+// upload order does not leak.
+func (e *Export) Marshal(signer Signer) ([]byte, error) {
+	if len(e.Region) > 8 {
+		return nil, fmt.Errorf("diagkeys: region %q longer than 8 bytes", e.Region)
+	}
+	if e.End < e.Start {
+		return nil, fmt.Errorf("diagkeys: end interval %d before start %d", e.End, e.Start)
+	}
+	if len(e.Keys) > 1<<20 {
+		return nil, fmt.Errorf("diagkeys: refusing to marshal %d keys", len(e.Keys))
+	}
+	var buf bytes.Buffer
+	buf.Grow(headerSize + recordSize*len(e.Keys) + SignatureSize)
+	buf.Write(Magic[:])
+	var tmp [8]byte
+	binary.BigEndian.PutUint16(tmp[:2], FormatVersion)
+	buf.Write(tmp[:2])
+	var region [8]byte
+	copy(region[:], e.Region)
+	for i := len(e.Region); i < 8; i++ {
+		region[i] = ' '
+	}
+	buf.Write(region[:])
+	binary.BigEndian.PutUint32(tmp[:4], uint32(e.Start))
+	buf.Write(tmp[:4])
+	binary.BigEndian.PutUint32(tmp[:4], uint32(e.End))
+	buf.Write(tmp[:4])
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(e.Keys)))
+	buf.Write(tmp[:4])
+	for _, k := range e.Keys {
+		buf.Write(k.Key[:])
+		binary.BigEndian.PutUint32(tmp[:4], uint32(k.RollingStart))
+		buf.Write(tmp[:4])
+		binary.BigEndian.PutUint16(tmp[:2], k.RollingPeriod)
+		buf.Write(tmp[:2])
+		buf.WriteByte(k.TransmissionRiskLevel)
+		buf.WriteByte(0)
+	}
+	payload := buf.Bytes()
+	sig := signer.Sign(payload)
+	if len(sig) != SignatureSize {
+		return nil, fmt.Errorf("diagkeys: signer produced %d-byte signature, want %d", len(sig), SignatureSize)
+	}
+	buf.Write(sig)
+	return buf.Bytes(), nil
+}
+
+// Unmarshal parses and verifies a signed export package.
+func Unmarshal(data []byte, signer Signer) (*Export, error) {
+	if len(data) < headerSize+SignatureSize {
+		return nil, ErrMalformed
+	}
+	payload := data[:len(data)-SignatureSize]
+	sig := data[len(data)-SignatureSize:]
+	if !signer.Verify(payload, sig) {
+		return nil, ErrBadSignature
+	}
+	if !bytes.Equal(payload[:8], Magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	if v := binary.BigEndian.Uint16(payload[8:10]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrMalformed, v)
+	}
+	e := &Export{
+		Region: string(bytes.TrimRight(payload[10:18], " ")),
+		Start:  entime.Interval(binary.BigEndian.Uint32(payload[18:22])),
+		End:    entime.Interval(binary.BigEndian.Uint32(payload[22:26])),
+	}
+	if e.End < e.Start {
+		return nil, fmt.Errorf("%w: inverted interval window", ErrMalformed)
+	}
+	n := int(binary.BigEndian.Uint32(payload[26:30]))
+	if len(payload) != headerSize+n*recordSize {
+		return nil, fmt.Errorf("%w: key count %d does not match payload size %d", ErrMalformed, n, len(payload))
+	}
+	e.Keys = make([]exposure.DiagnosisKey, n)
+	off := headerSize
+	for i := 0; i < n; i++ {
+		rec := payload[off : off+recordSize]
+		copy(e.Keys[i].Key[:], rec[:16])
+		e.Keys[i].RollingStart = entime.Interval(binary.BigEndian.Uint32(rec[16:20]))
+		e.Keys[i].RollingPeriod = binary.BigEndian.Uint16(rec[20:22])
+		e.Keys[i].TransmissionRiskLevel = rec[22]
+		off += recordSize
+	}
+	return e, nil
+}
+
+// WireSize returns the marshaled size in bytes for n keys; the CDN traffic
+// model uses it to size download responses without serializing.
+func WireSize(n int) int { return headerSize + n*recordSize + SignatureSize }

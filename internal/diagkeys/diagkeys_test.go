@@ -1,0 +1,269 @@
+package diagkeys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+func testSigner() Signer { return NewHMACSigner([]byte("test-signing-key")) }
+
+func sampleExport(n int) *Export {
+	rng := rand.New(rand.NewSource(42))
+	start := entime.IntervalOf(entime.StudyStart).KeyPeriodStart()
+	e := &Export{
+		Region: "DE",
+		Start:  start,
+		End:    start.Add(entime.EKRollingPeriod),
+	}
+	for i := 0; i < n; i++ {
+		var k exposure.DiagnosisKey
+		rng.Read(k.Key[:])
+		k.RollingStart = start
+		k.RollingPeriod = entime.EKRollingPeriod
+		k.TransmissionRiskLevel = uint8(1 + rng.Intn(8))
+		e.Keys = append(e.Keys, k)
+	}
+	return e
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := testSigner()
+	e := sampleExport(17)
+	data, err := e.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Region != e.Region || got.Start != e.Start || got.End != e.End {
+		t.Fatalf("header mismatch: %+v vs %+v", got, e)
+	}
+	if len(got.Keys) != len(e.Keys) {
+		t.Fatalf("key count %d, want %d", len(got.Keys), len(e.Keys))
+	}
+	for i := range e.Keys {
+		if got.Keys[i] != e.Keys[i] {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+}
+
+func TestMarshalEmptyExport(t *testing.T) {
+	s := testSigner()
+	e := sampleExport(0)
+	data, err := e.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != WireSize(0) {
+		t.Fatalf("empty export size %d, want %d", len(data), WireSize(0))
+	}
+	got, err := Unmarshal(data, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Keys) != 0 {
+		t.Fatal("expected no keys")
+	}
+}
+
+func TestWireSizeMatchesMarshal(t *testing.T) {
+	s := testSigner()
+	for _, n := range []int{0, 1, 5, 140, 1000} {
+		e := sampleExport(n)
+		data, err := e.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != WireSize(n) {
+			t.Fatalf("n=%d: size %d, want %d", n, len(data), WireSize(n))
+		}
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	s := testSigner()
+	data, err := sampleExport(3).Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 9, headerSize + 1, len(data) - 1} {
+		tampered := make([]byte, len(data))
+		copy(tampered, data)
+		tampered[off] ^= 0x01
+		if _, err := Unmarshal(tampered, s); err == nil {
+			t.Errorf("tampering at offset %d went undetected", off)
+		}
+	}
+}
+
+func TestWrongSignerRejected(t *testing.T) {
+	data, err := sampleExport(3).Marshal(testSigner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewHMACSigner([]byte("other-key"))
+	if _, err := Unmarshal(data, other); err != ErrBadSignature {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	s := testSigner()
+	data, err := sampleExport(3).Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, headerSize, len(data) - 1} {
+		if _, err := Unmarshal(data[:n], s); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	s := testSigner()
+	e := sampleExport(1)
+	e.Region = "TOOLONGREGION"
+	if _, err := e.Marshal(s); err == nil {
+		t.Error("overlong region must fail")
+	}
+	e = sampleExport(1)
+	e.End = e.Start.Add(-1)
+	if _, err := e.Marshal(s); err == nil {
+		t.Error("inverted window must fail")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := testSigner()
+	f := func(keyBytes [16]byte, startDay uint16, lvl uint8) bool {
+		start := entime.Interval(uint32(startDay)) * entime.EKRollingPeriod
+		e := &Export{
+			Region: "DE",
+			Start:  start,
+			End:    start.Add(entime.EKRollingPeriod),
+			Keys: []exposure.DiagnosisKey{{
+				TEK: exposure.TEK{
+					Key:           keyBytes,
+					RollingStart:  start,
+					RollingPeriod: entime.EKRollingPeriod,
+				},
+				TransmissionRiskLevel: lvl,
+			}},
+		}
+		data, err := e.Marshal(s)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data, s)
+		if err != nil {
+			return false
+		}
+		return got.Keys[0] == e.Keys[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := sampleExport(3)
+	Pad(e, MinKeysPerExport, rng)
+	if len(e.Keys) != MinKeysPerExport {
+		t.Fatalf("padded to %d keys, want %d", len(e.Keys), MinKeysPerExport)
+	}
+	for i, k := range e.Keys {
+		if err := k.Validate(); err != nil {
+			t.Fatalf("padded key %d invalid: %v", i, err)
+		}
+		if !(k.RollingStart >= e.Start.KeyPeriodStart() && k.RollingStart < e.End) {
+			t.Fatalf("dummy key %d outside window: %d", i, k.RollingStart)
+		}
+	}
+}
+
+func TestPadNoOpWhenAboveFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := sampleExport(200)
+	Pad(e, MinKeysPerExport, rng)
+	if len(e.Keys) != 200 {
+		t.Fatalf("padding must not touch large exports, got %d", len(e.Keys))
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := sampleExport(50)
+	before := make(map[[16]byte]int)
+	for _, k := range e.Keys {
+		before[k.Key]++
+	}
+	Shuffle(e, rng)
+	after := make(map[[16]byte]int)
+	for _, k := range e.Keys {
+		after[k.Key]++
+	}
+	if len(before) != len(after) {
+		t.Fatal("shuffle changed key set")
+	}
+	for k, n := range before {
+		if after[k] != n {
+			t.Fatal("shuffle changed key multiset")
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	idx := Index{
+		Region: "DE",
+		Days:   []string{"2020-06-23", "2020-06-24"},
+		Hours:  []int{0, 1, 2},
+	}
+	data, err := MarshalIndex(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Region != "DE" || len(got.Days) != 2 || len(got.Hours) != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestIndexSortedDeterministic(t *testing.T) {
+	a, err := MarshalIndex(Index{Region: "DE", Days: []string{"2020-06-24", "2020-06-23"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalIndex(Index{Region: "DE", Days: []string{"2020-06-23", "2020-06-24"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("index marshaling must be order independent")
+	}
+}
+
+func TestUnmarshalIndexError(t *testing.T) {
+	if _, err := UnmarshalIndex([]byte("{")); err == nil {
+		t.Fatal("invalid JSON must error")
+	}
+}
+
+func TestDayKeyUsesBerlinTime(t *testing.T) {
+	// FirstKeysObserved is June 23 00:00 Berlin time, which is still
+	// June 22 in UTC; DayKey must bucket by local calendar day.
+	if got := DayKey(entime.FirstKeysObserved.UTC()); got != "2020-06-23" {
+		t.Fatalf("DayKey = %q, want 2020-06-23", got)
+	}
+}

@@ -1,0 +1,44 @@
+package diagkeys
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"cwatrace/internal/entime"
+)
+
+// Index is the discovery document the app fetches before downloading key
+// packages: the list of days (and, for the current day, hours) for which
+// exports exist. The real service exposes
+// /version/v1/diagnosis-keys/country/DE/date and .../date/{date}/hour; this
+// index carries the same information in one JSON document.
+type Index struct {
+	Region string   `json:"region"`
+	Days   []string `json:"days"`            // "2006-01-02", sorted ascending
+	Hours  []int    `json:"hours,omitempty"` // hours of the current (partial) day
+}
+
+// MarshalIndex renders the index deterministically (sorted) so responses
+// are cacheable by the CDN.
+func MarshalIndex(idx Index) ([]byte, error) {
+	sort.Strings(idx.Days)
+	sort.Ints(idx.Hours)
+	return json.Marshal(idx)
+}
+
+// UnmarshalIndex parses an index document.
+func UnmarshalIndex(data []byte) (Index, error) {
+	var idx Index
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return Index{}, fmt.Errorf("diagkeys: parsing index: %w", err)
+	}
+	return idx, nil
+}
+
+// DayKey formats t's calendar day (in the Berlin study timezone) the way
+// the index and the distribution store key it.
+func DayKey(t time.Time) string {
+	return t.In(entime.Berlin).Format("2006-01-02")
+}

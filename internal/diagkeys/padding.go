@@ -1,0 +1,64 @@
+package diagkeys
+
+import (
+	"io"
+	"math/rand"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/exposure"
+)
+
+// MinKeysPerExport is the plausible-deniability floor: the CWA pads
+// published packages with fake keys so that days with very few submitters
+// do not reveal how many people uploaded (down to the individual). The real
+// backend shipped with a threshold of 140 keys; exports below the floor are
+// topped up with indistinguishable dummy records.
+const MinKeysPerExport = 140
+
+// Pad tops the export up to at least min keys with dummy diagnosis keys
+// drawn from rng (crypto-strength randomness is unnecessary for dummies in
+// the simulation; determinism is more valuable). Dummy keys carry plausible
+// rolling starts within the export window and random risk levels, so they
+// are not distinguishable from real keys on the wire.
+func Pad(e *Export, min int, rng *rand.Rand) {
+	if len(e.Keys) >= min {
+		return
+	}
+	dayStarts := coveredDayStarts(e.Start, e.End)
+	for len(e.Keys) < min {
+		var k exposure.DiagnosisKey
+		fillRandom(rng, k.Key[:])
+		k.RollingStart = dayStarts[rng.Intn(len(dayStarts))]
+		k.RollingPeriod = entime.EKRollingPeriod
+		k.TransmissionRiskLevel = uint8(1 + rng.Intn(8))
+		e.Keys = append(e.Keys, k)
+	}
+}
+
+// Shuffle randomizes key order so that upload order (and with it, upload
+// time) does not leak from package position.
+func Shuffle(e *Export, rng *rand.Rand) {
+	rng.Shuffle(len(e.Keys), func(i, j int) {
+		e.Keys[i], e.Keys[j] = e.Keys[j], e.Keys[i]
+	})
+}
+
+// coveredDayStarts lists the rolling-period starts intersecting [start, end)
+// so dummies land on valid day boundaries. A window shorter than one period
+// still yields its containing day.
+func coveredDayStarts(start, end entime.Interval) []entime.Interval {
+	first := start.KeyPeriodStart()
+	var out []entime.Interval
+	for d := first; d < end || len(out) == 0; d = d.Add(entime.EKRollingPeriod) {
+		out = append(out, d)
+		if len(out) > exposure.StorageDays+2 {
+			break // defensive bound; windows are at most days long
+		}
+	}
+	return out
+}
+
+func fillRandom(rng *rand.Rand, b []byte) {
+	// rand.Rand implements io.Reader since Go 1.6; Read never fails.
+	_, _ = io.ReadFull(rng, b)
+}

@@ -1,0 +1,227 @@
+// Package dnssim reproduces the paper's DNS-based methodology checks:
+//
+//   - Prefix verification: "We verified their usage by resolving the API
+//     and web site DNS names (obtained from the app source code) against
+//     10k open DNS resolvers from public-dns.info." A fleet of simulated
+//     open resolvers answers the CWA names with addresses inside (or, for
+//     a configurable misbehaving share, outside) the hosting prefixes.
+//   - Top-list observation: "the CWA API DNS name appeared in the Umbrella
+//     Top 1M domains on June 24, 27, ... while the website never
+//     appeared." An Umbrella-style list ranks names by resolver query
+//     volume; because every app instance hits the API daily while website
+//     visits are comparatively rare, the API name crosses the 1M cut on
+//     high-traffic days and the website does not.
+package dnssim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netsim"
+)
+
+// The DNS names of the hosting infrastructure, as found in the app source.
+const (
+	APIName     = "svc90.main.px.t-online.de"
+	WebsiteName = "www.coronawarn.app"
+)
+
+// Resolver is one simulated open resolver.
+type Resolver struct {
+	ID int
+	// Broken resolvers return wrong answers (NXDOMAIN-hijacking,
+	// middleboxes) — a real-world property of open-resolver scans.
+	Broken bool
+}
+
+// Fleet is a set of open resolvers, as harvested from public-dns.info.
+type Fleet struct {
+	resolvers []Resolver
+	rng       *rand.Rand
+}
+
+// NewFleet creates n resolvers of which brokenShare return garbage.
+func NewFleet(n int, brokenShare float64, seed int64) (*Fleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dnssim: need at least one resolver")
+	}
+	if brokenShare < 0 || brokenShare > 1 {
+		return nil, fmt.Errorf("dnssim: broken share %f out of range", brokenShare)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Fleet{rng: rng}
+	for i := 0; i < n; i++ {
+		f.resolvers = append(f.resolvers, Resolver{ID: i, Broken: rng.Float64() < brokenShare})
+	}
+	return f, nil
+}
+
+// Size returns the fleet size.
+func (f *Fleet) Size() int { return len(f.resolvers) }
+
+// Resolve asks one resolver for a name. Healthy resolvers return a correct
+// address: API names resolve into the submission/CDN prefixes, the website
+// into the CDN prefix. Broken resolvers return an unrelated address.
+func (f *Fleet) Resolve(r Resolver, name string) (netip.Addr, error) {
+	if r.Broken {
+		return netip.AddrFrom4([4]byte{
+			byte(10 + f.rng.Intn(200)), byte(f.rng.Intn(256)),
+			byte(f.rng.Intn(256)), byte(1 + f.rng.Intn(250)),
+		}), nil
+	}
+	switch name {
+	case APIName:
+		return netsim.CDNAddr(r.ID), nil
+	case WebsiteName:
+		return netsim.CDNAddr(r.ID + 7), nil
+	default:
+		return netip.Addr{}, fmt.Errorf("dnssim: NXDOMAIN for %q", name)
+	}
+}
+
+// VerifyResult summarizes a prefix-verification sweep.
+type VerifyResult struct {
+	Resolvers int
+	// InPrefix counts answers inside the documented hosting prefixes.
+	InPrefix int
+	// OutOfPrefix counts answers elsewhere (broken resolvers).
+	OutOfPrefix int
+	// Errors counts failed resolutions.
+	Errors int
+}
+
+// Confirmed reports whether the sweep confirms the prefixes: a strong
+// majority of resolvers must agree.
+func (v VerifyResult) Confirmed() bool {
+	return v.Resolvers > 0 && float64(v.InPrefix) >= 0.9*float64(v.Resolvers)
+}
+
+// VerifyPrefixes runs the paper's check for one name across the fleet.
+func (f *Fleet) VerifyPrefixes(name string) VerifyResult {
+	res := VerifyResult{Resolvers: len(f.resolvers)}
+	for _, r := range f.resolvers {
+		addr, err := f.Resolve(r, name)
+		if err != nil {
+			res.Errors++
+			continue
+		}
+		if netsim.IsCWAServer(addr) {
+			res.InPrefix++
+		} else {
+			res.OutOfPrefix++
+		}
+	}
+	return res
+}
+
+// TopList models an Umbrella-style popularity list: domains ranked by
+// daily resolver query volume, cut off at ListSize.
+type TopList struct {
+	// ListSize is the cut (1M for the Umbrella list).
+	ListSize int
+	// BaseVolumes maps the background internet's rank r to query volume;
+	// modelled as Zipf: volume(rank) = TopVolume / rank^alpha.
+	TopVolume float64
+	Alpha     float64
+}
+
+// DefaultTopList matches the reproduction's calibration: the 1M cut of the
+// Umbrella list with a Zipf tail placing the cutoff at ~1.15M observed
+// queries/day. The absolute numbers are modelling constants chosen so that
+// the API name crosses the cut only once adoption exceeds ~11M installs
+// (late study window, as in the paper) while the website's peak stays
+// below it.
+func DefaultTopList() TopList {
+	return TopList{ListSize: 1_000_000, TopVolume: 1.82e10, Alpha: 0.7}
+}
+
+// CutoffVolume is the query volume of the last listed rank: a domain
+// appears on the list when its daily volume exceeds this.
+func (tl TopList) CutoffVolume() float64 {
+	return tl.TopVolume / pow(float64(tl.ListSize), tl.Alpha)
+}
+
+// Appears reports whether a domain with the given daily query volume makes
+// the list.
+func (tl TopList) Appears(dailyQueries float64) bool {
+	return dailyQueries > tl.CutoffVolume()
+}
+
+// Rank estimates the list rank of a domain with the given volume (1-based);
+// ok is false if it misses the cut.
+func (tl TopList) Rank(dailyQueries float64) (rank int, ok bool) {
+	if !tl.Appears(dailyQueries) {
+		return 0, false
+	}
+	// Invert the Zipf curve: rank = (TopVolume/volume)^(1/alpha).
+	r := pow(tl.TopVolume/dailyQueries, 1/tl.Alpha)
+	rank = int(r)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > tl.ListSize {
+		rank = tl.ListSize
+	}
+	return rank, true
+}
+
+// DayObservation is one day's top-list outcome for both CWA names.
+type DayObservation struct {
+	Day        time.Time
+	APIQueries float64
+	WebQueries float64
+	APIListed  bool
+	APIRank    int
+	WebListed  bool
+	WebRank    int
+}
+
+// ObserveWindow runs the top-list check across the study window given
+// daily query-volume series for the API and website names (index 0 = study
+// start). Volumes are in the list builder's real-world units (queries/day).
+func (tl TopList) ObserveWindow(apiDaily, webDaily []float64) []DayObservation {
+	n := len(apiDaily)
+	if len(webDaily) < n {
+		n = len(webDaily)
+	}
+	out := make([]DayObservation, n)
+	for d := 0; d < n; d++ {
+		o := DayObservation{
+			Day:        entime.StudyStart.AddDate(0, 0, d),
+			APIQueries: apiDaily[d],
+			WebQueries: webDaily[d],
+		}
+		o.APIListed = tl.Appears(o.APIQueries)
+		if o.APIListed {
+			o.APIRank, _ = tl.Rank(o.APIQueries)
+		}
+		o.WebListed = tl.Appears(o.WebQueries)
+		if o.WebListed {
+			o.WebRank, _ = tl.Rank(o.WebQueries)
+		}
+		out[d] = o
+	}
+	return out
+}
+
+// ListedDays extracts the day labels on which the API name was listed.
+func ListedDays(obs []DayObservation) (api, web []string) {
+	for _, o := range obs {
+		if o.APIListed {
+			api = append(api, o.Day.Format("Jan 02"))
+		}
+		if o.WebListed {
+			web = append(web, o.Day.Format("Jan 02"))
+		}
+	}
+	sort.Strings(api)
+	sort.Strings(web)
+	return api, web
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }

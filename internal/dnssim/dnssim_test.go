@@ -1,0 +1,174 @@
+package dnssim
+
+import (
+	"testing"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netsim"
+)
+
+func TestNewFleetValidation(t *testing.T) {
+	if _, err := NewFleet(0, 0, 1); err == nil {
+		t.Error("zero resolvers must fail")
+	}
+	if _, err := NewFleet(10, -0.1, 1); err == nil {
+		t.Error("negative broken share must fail")
+	}
+	if _, err := NewFleet(10, 1.1, 1); err == nil {
+		t.Error("broken share > 1 must fail")
+	}
+}
+
+func TestVerifyPrefixesHealthyFleet(t *testing.T) {
+	f, err := NewFleet(10_000, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{APIName, WebsiteName} {
+		res := f.VerifyPrefixes(name)
+		if res.Resolvers != 10_000 || res.InPrefix != 10_000 {
+			t.Fatalf("%s: %+v", name, res)
+		}
+		if !res.Confirmed() {
+			t.Fatalf("%s not confirmed by a healthy fleet", name)
+		}
+	}
+}
+
+func TestVerifyPrefixesWithBrokenResolvers(t *testing.T) {
+	f, err := NewFleet(10_000, 0.05, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.VerifyPrefixes(APIName)
+	if !res.Confirmed() {
+		t.Fatalf("5%% broken resolvers must not defeat verification: %+v", res)
+	}
+	if res.OutOfPrefix == 0 {
+		t.Fatal("broken resolvers should produce out-of-prefix answers")
+	}
+	if res.InPrefix+res.OutOfPrefix+res.Errors != res.Resolvers {
+		t.Fatalf("counts do not add up: %+v", res)
+	}
+}
+
+func TestVerifyPrefixesMajorityBrokenFails(t *testing.T) {
+	f, err := NewFleet(1000, 0.5, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := f.VerifyPrefixes(APIName); res.Confirmed() {
+		t.Fatalf("half-broken fleet should not confirm: %+v", res)
+	}
+}
+
+func TestResolveUnknownName(t *testing.T) {
+	f, err := NewFleet(10, 0, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Resolve(Resolver{ID: 1}, "unknown.example"); err == nil {
+		t.Fatal("unknown name must NXDOMAIN")
+	}
+}
+
+func TestResolveAnswersInsidePrefixes(t *testing.T) {
+	f, err := NewFleet(100, 0, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := f.Resolve(Resolver{ID: 3}, APIName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !netsim.IsCWAServer(addr) {
+		t.Fatalf("API resolved outside hosting prefixes: %s", addr)
+	}
+}
+
+func TestTopListCutoff(t *testing.T) {
+	tl := DefaultTopList()
+	cut := tl.CutoffVolume()
+	if !tl.Appears(cut * 2) {
+		t.Fatal("volume above cutoff must appear")
+	}
+	if tl.Appears(cut / 2) {
+		t.Fatal("volume below cutoff must not appear")
+	}
+}
+
+func TestTopListRankMonotone(t *testing.T) {
+	tl := DefaultTopList()
+	cut := tl.CutoffVolume()
+	r1, ok1 := tl.Rank(cut * 100)
+	r2, ok2 := tl.Rank(cut * 2)
+	if !ok1 || !ok2 {
+		t.Fatal("both volumes must rank")
+	}
+	if r1 >= r2 {
+		t.Fatalf("more queries must rank better: %d vs %d", r1, r2)
+	}
+	if _, ok := tl.Rank(cut / 10); ok {
+		t.Fatal("sub-cutoff volume must not rank")
+	}
+	if r, _ := tl.Rank(tl.TopVolume * 10); r != 1 {
+		t.Fatalf("huge volume must rank 1, got %d", r)
+	}
+}
+
+// TestAPIListedWebsiteNever reproduces the paper's T5 observation: across
+// the study window the API name crosses the top-list cut on some (late)
+// days while the website never does.
+func TestAPIListedWebsiteNever(t *testing.T) {
+	api, web := QueryVolumes(adoption.DefaultCurve(), adoption.DefaultAttention(), entime.StudyDays())
+	obs := DefaultTopList().ObserveWindow(api, web)
+	apiDays, webDays := ListedDays(obs)
+	if len(apiDays) == 0 {
+		t.Fatal("API name never listed; paper sees it on several days")
+	}
+	if len(webDays) != 0 {
+		t.Fatalf("website listed on %v; paper: never", webDays)
+	}
+	// The API should not be listed before the app has meaningful
+	// adoption (paper: first appearance June 24).
+	if obs[0].APIListed {
+		t.Fatal("API listed on June 15, before release")
+	}
+	last := obs[len(obs)-1]
+	if !last.APIListed {
+		t.Fatal("API not listed at the end of the window despite millions of installs")
+	}
+	if last.APIRank < 1 || last.APIRank > DefaultTopList().ListSize {
+		t.Fatalf("API rank %d out of range", last.APIRank)
+	}
+}
+
+func TestQueryVolumesShape(t *testing.T) {
+	api, web := QueryVolumes(adoption.DefaultCurve(), adoption.DefaultAttention(), entime.StudyDays())
+	if len(api) != entime.StudyDays() || len(web) != entime.StudyDays() {
+		t.Fatal("length mismatch")
+	}
+	// API volume grows with installs.
+	if api[10] <= api[1] {
+		t.Fatalf("API volume must grow: day1=%f day10=%f", api[1], api[10])
+	}
+	// Website volume peaks at release, then decays (with a June-23 echo).
+	if web[1] <= web[0] {
+		t.Fatalf("website volume must spike at release: %f -> %f", web[0], web[1])
+	}
+	if web[6] >= web[1] {
+		t.Fatalf("website volume must decay after release: day1=%f day6=%f", web[1], web[6])
+	}
+	// By late window the API clearly dominates the website in queries.
+	if api[10] < web[10]*3 {
+		t.Fatalf("API (%0.f) should dominate website (%0.f) by June 25", api[10], web[10])
+	}
+}
+
+func TestObserveWindowLengthClamps(t *testing.T) {
+	obs := DefaultTopList().ObserveWindow([]float64{1, 2, 3}, []float64{1})
+	if len(obs) != 1 {
+		t.Fatalf("observe must clamp to shortest series, got %d", len(obs))
+	}
+}

@@ -1,0 +1,40 @@
+package dnssim
+
+import (
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/entime"
+)
+
+// QueryVolumes derives the daily DNS query volumes of the two CWA names
+// from the adoption model, in real-world units.
+//
+// The API name is resolved by every installed app roughly once per day
+// (before the daily key download); DNS caching at recursive resolvers
+// de-duplicates some of it. The website name is resolved per human visit,
+// which is orders of magnitude rarer. This asymmetry is exactly why the
+// paper finds the API "to be more popular than website visits in OpenDNS".
+func QueryVolumes(curve *adoption.Curve, att adoption.Attention, days int) (api, web []float64) {
+	const (
+		// apiQueriesPerInstall is the effective daily observed queries
+		// per installed device after resolver caching and the list
+		// builder's limited vantage (only a share of users send queries
+		// it can see).
+		apiQueriesPerInstall = 0.1
+		// webVisitsAtAttention1 is the daily nation-wide website visit
+		// volume at attention level 1.
+		webVisitsAtAttention1 = 180_000
+		// webCacheFactor de-duplicates website lookups at resolvers.
+		webCacheFactor = 0.4
+	)
+	api = make([]float64, days)
+	web = make([]float64, days)
+	for d := 0; d < days; d++ {
+		dayStart := entime.StudyStart.AddDate(0, 0, d)
+		installed := curve.Cumulative(dayStart.Add(24 * time.Hour))
+		api[d] = installed * apiQueriesPerInstall
+		web[d] = webVisitsAtAttention1 * att.At(dayStart.Add(12*time.Hour)) * webCacheFactor
+	}
+	return api, web
+}

@@ -1,0 +1,164 @@
+// Package entime provides the time primitives shared by the whole
+// reproduction: Exposure Notification interval numbers, the fixed study
+// window of the paper (June 15-25, 2020), and helpers for bucketing
+// simulation time into the hourly bins used by the paper's Figure 2.
+//
+// The Exposure Notification framework (GAEN) divides time into 10-minute
+// intervals counted from the Unix epoch. A temporary exposure key (TEK) is
+// valid for EKRollingPeriod consecutive intervals (24 hours). All protocol
+// code in internal/exposure is expressed in these units, so this package is
+// the single source of truth for the conversion.
+package entime
+
+import (
+	"fmt"
+	"time"
+)
+
+// IntervalLength is the duration of one EN interval.
+const IntervalLength = 10 * time.Minute
+
+// EKRollingPeriod is the number of intervals a temporary exposure key is
+// valid for: 144 intervals x 10 minutes = 24 hours.
+const EKRollingPeriod = 144
+
+// Interval is an Exposure Notification interval number ("ENIntervalNumber"
+// in the GAEN specification): the number of 10-minute periods since the
+// Unix epoch.
+type Interval uint32
+
+// IntervalOf returns the EN interval number containing t.
+func IntervalOf(t time.Time) Interval {
+	return Interval(t.Unix() / int64(IntervalLength/time.Second))
+}
+
+// Time returns the start time of the interval in UTC.
+func (i Interval) Time() time.Time {
+	return time.Unix(int64(i)*int64(IntervalLength/time.Second), 0).UTC()
+}
+
+// KeyPeriodStart rounds i down to the start of its rolling period, i.e. the
+// interval at which the TEK covering i was generated.
+func (i Interval) KeyPeriodStart() Interval {
+	return i / EKRollingPeriod * EKRollingPeriod
+}
+
+// Add returns the interval n steps later (n may be negative).
+func (i Interval) Add(n int) Interval { return Interval(int64(i) + int64(n)) }
+
+// String implements fmt.Stringer for debugging output.
+func (i Interval) String() string {
+	return fmt.Sprintf("en-interval(%d, %s)", uint32(i), i.Time().Format(time.RFC3339))
+}
+
+// Berlin is the timezone of the study. Germany observed CEST (UTC+2) during
+// the entire measurement window, so a fixed zone reproduces local-time
+// bucketing without the tzdata dependency (the module is offline).
+var Berlin = time.FixedZone("CEST", 2*60*60)
+
+// Study window constants. The paper captures Netflow within June 15-25 2020
+// and the app was released on June 16.
+var (
+	// StudyStart is the first instant of the measurement window
+	// (June 15, 2020 00:00 local time).
+	StudyStart = time.Date(2020, time.June, 15, 0, 0, 0, 0, Berlin)
+
+	// StudyEnd is the exclusive end of the measurement window
+	// (June 26, 2020 00:00 local time, so that June 25 is fully included).
+	StudyEnd = time.Date(2020, time.June, 26, 0, 0, 0, 0, Berlin)
+
+	// AppRelease is the official release instant of the Corona-Warn-App:
+	// June 16, 2020. The app became available in the stores in the very
+	// early morning; store reporting starts June 17.
+	AppRelease = time.Date(2020, time.June, 16, 2, 0, 0, 0, Berlin)
+
+	// FirstKeysObserved is when the paper's API monitor saw the first
+	// diagnosis keys become available (June 23).
+	FirstKeysObserved = time.Date(2020, time.June, 23, 0, 0, 0, 0, Berlin)
+
+	// OutbreakBerlin is the local COVID-19 outbreak in Berlin-Neukoelln
+	// reported June 18.
+	OutbreakBerlin = time.Date(2020, time.June, 18, 12, 0, 0, 0, Berlin)
+
+	// OutbreakGuetersloh is the lockdown announcement for the Guetersloh
+	// and Warendorf districts on June 23.
+	OutbreakGuetersloh = time.Date(2020, time.June, 23, 12, 0, 0, 0, Berlin)
+)
+
+// StudyHours returns the number of whole hours in [StudyStart, StudyEnd).
+func StudyHours() int {
+	return int(StudyEnd.Sub(StudyStart) / time.Hour)
+}
+
+// StudyDays returns the number of whole days in the study window.
+func StudyDays() int {
+	return int(StudyEnd.Sub(StudyStart) / (24 * time.Hour))
+}
+
+// HourBucket returns the index of the hourly bin containing t, counted from
+// StudyStart, or -1 if t falls outside the study window. Figure 2 of the
+// paper aggregates traffic into these bins.
+func HourBucket(t time.Time) int {
+	if t.Before(StudyStart) || !t.Before(StudyEnd) {
+		return -1
+	}
+	return int(t.Sub(StudyStart) / time.Hour)
+}
+
+// DayBucket returns the index of the day containing t, counted from
+// StudyStart (June 15 = day 0), or -1 outside the window.
+func DayBucket(t time.Time) int {
+	if t.Before(StudyStart) || !t.Before(StudyEnd) {
+		return -1
+	}
+	return int(t.Sub(StudyStart) / (24 * time.Hour))
+}
+
+// DayLabel renders a day bucket as the calendar date it covers, e.g.
+// "Jun 16". It is used by the report renderers.
+func DayLabel(day int) string {
+	return StudyStart.AddDate(0, 0, day).Format("Jan 02")
+}
+
+// BucketTime returns the start time of hourly bucket b.
+func BucketTime(b int) time.Time {
+	return StudyStart.Add(time.Duration(b) * time.Hour)
+}
+
+// Clock is a controllable source of simulation time. The simulator advances
+// it explicitly; production code paths (the HTTP backend) default to the
+// wall clock so the same handlers serve both tests and real requests.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is a Clock backed by time.Now.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// SimClock is a manually advanced Clock. It is not safe for concurrent
+// mutation; the discrete-event engine advances it from a single goroutine.
+type SimClock struct {
+	t time.Time
+}
+
+// NewSimClock returns a SimClock positioned at start.
+func NewSimClock(start time.Time) *SimClock { return &SimClock{t: start} }
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time { return c.t }
+
+// Advance moves the clock forward by d. Advancing by a negative duration
+// panics: the event queue must never run backwards.
+func (c *SimClock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("entime: SimClock.Advance called with negative duration")
+	}
+	c.t = c.t.Add(d)
+}
+
+// Set positions the clock at t. Unlike Advance it accepts any target; the
+// simulator uses it when jumping between scheduled events.
+func (c *SimClock) Set(t time.Time) { c.t = t }

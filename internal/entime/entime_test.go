@@ -1,0 +1,124 @@
+package entime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIntervalOfEpoch(t *testing.T) {
+	if got := IntervalOf(time.Unix(0, 0)); got != 0 {
+		t.Fatalf("IntervalOf(epoch) = %d, want 0", got)
+	}
+	if got := IntervalOf(time.Unix(600, 0)); got != 1 {
+		t.Fatalf("IntervalOf(epoch+10m) = %d, want 1", got)
+	}
+	if got := IntervalOf(time.Unix(599, 0)); got != 0 {
+		t.Fatalf("IntervalOf(epoch+9m59s) = %d, want 0", got)
+	}
+}
+
+func TestIntervalRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		i := Interval(n)
+		return IntervalOf(i.Time()) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyPeriodStart(t *testing.T) {
+	f := func(n uint32) bool {
+		start := Interval(n).KeyPeriodStart()
+		return uint32(start)%EKRollingPeriod == 0 && start <= Interval(n) &&
+			Interval(n)-start < EKRollingPeriod
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyWindow(t *testing.T) {
+	if got := StudyDays(); got != 11 {
+		t.Fatalf("StudyDays() = %d, want 11 (June 15-25 inclusive)", got)
+	}
+	if got := StudyHours(); got != 264 {
+		t.Fatalf("StudyHours() = %d, want 264", got)
+	}
+	if !AppRelease.After(StudyStart) || !AppRelease.Before(StudyEnd) {
+		t.Fatal("AppRelease must fall inside the study window")
+	}
+	if !FirstKeysObserved.After(AppRelease) {
+		t.Fatal("first diagnosis keys must appear after the release")
+	}
+}
+
+func TestHourBucket(t *testing.T) {
+	cases := []struct {
+		t    time.Time
+		want int
+	}{
+		{StudyStart, 0},
+		{StudyStart.Add(59 * time.Minute), 0},
+		{StudyStart.Add(time.Hour), 1},
+		{StudyEnd.Add(-time.Second), StudyHours() - 1},
+		{StudyEnd, -1},
+		{StudyStart.Add(-time.Second), -1},
+	}
+	for _, c := range cases {
+		if got := HourBucket(c.t); got != c.want {
+			t.Errorf("HourBucket(%s) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDayBucket(t *testing.T) {
+	if got := DayBucket(AppRelease); got != 1 {
+		t.Fatalf("DayBucket(release) = %d, want 1 (June 16)", got)
+	}
+	if got := DayBucket(OutbreakGuetersloh); got != 8 {
+		t.Fatalf("DayBucket(Guetersloh) = %d, want 8 (June 23)", got)
+	}
+	if lbl := DayLabel(1); lbl != "Jun 16" {
+		t.Fatalf("DayLabel(1) = %q, want Jun 16", lbl)
+	}
+}
+
+func TestBucketTimeInverse(t *testing.T) {
+	for b := 0; b < StudyHours(); b++ {
+		if got := HourBucket(BucketTime(b)); got != b {
+			t.Fatalf("HourBucket(BucketTime(%d)) = %d", b, got)
+		}
+	}
+}
+
+func TestSimClock(t *testing.T) {
+	c := NewSimClock(StudyStart)
+	if !c.Now().Equal(StudyStart) {
+		t.Fatal("new clock not at start")
+	}
+	c.Advance(90 * time.Minute)
+	if want := StudyStart.Add(90 * time.Minute); !c.Now().Equal(want) {
+		t.Fatalf("Now() = %s, want %s", c.Now(), want)
+	}
+	c.Set(StudyEnd)
+	if !c.Now().Equal(StudyEnd) {
+		t.Fatal("Set did not reposition clock")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) must panic")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestWallClock(t *testing.T) {
+	before := time.Now()
+	got := WallClock{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatal("WallClock.Now outside bracketing interval")
+	}
+}

@@ -1,0 +1,271 @@
+// Package epidemic simulates SARS-CoV-2 spread over the district geography
+// in June 2020: a per-district SEIR compartment model with injected local
+// outbreak events and a lab-testing pipeline that turns infections into
+// delayed positive test reports.
+//
+// Germany's June 2020 situation — a few hundred new cases per day
+// nationwide, declining — is the backdrop of the paper. Its two named
+// events are injected as superspreading outbreaks: Berlin-Neukölln around
+// June 18 and the large Gütersloh meat-plant outbreak announced with the
+// June 23 lockdown (which also spilled into neighboring Warendorf). The
+// positive-test series drives diagnosis-key uploads in the device layer,
+// reproducing the paper's observation that the first shared keys appear on
+// June 23.
+package epidemic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/geo"
+)
+
+// Outbreak is a local superspreading event: Infections people move from
+// susceptible to exposed in the district over DurationDays starting at Day
+// (day index relative to the simulation start).
+type Outbreak struct {
+	DistrictID   string
+	Day          int
+	Infections   float64
+	DurationDays int
+}
+
+// Config parameterizes the epidemic.
+type Config struct {
+	// Start is the first simulated day; the simulation usually starts
+	// well before the study window so compartments are warmed up.
+	Start time.Time
+	// Days is the number of simulated days.
+	Days int
+	// Rt is the effective reproduction number (Germany hovered around
+	// 0.8-1.0 in June 2020 outside outbreaks).
+	Rt float64
+	// IncubationDays is the mean E->I residence time.
+	IncubationDays float64
+	// InfectiousDays is the mean I->R residence time.
+	InfectiousDays float64
+	// InitialPrevalencePer100k seeds active infections at Start.
+	InitialPrevalencePer100k float64
+	// ReportingRate is the share of new infections that eventually get a
+	// positive lab test.
+	ReportingRate float64
+	// TestDelayDays is the lag from becoming infectious to the positive
+	// report (sampling + lab turnaround).
+	TestDelayDays int
+	// Outbreaks are injected events.
+	Outbreaks []Outbreak
+	// Seed drives the stochastic daily draws.
+	Seed int64
+}
+
+// DefaultConfig reproduces the paper's backdrop: simulation from June 1,
+// covering through end of June, with the Berlin and Gütersloh/Warendorf
+// events.
+func DefaultConfig() Config {
+	start := time.Date(2020, time.June, 1, 0, 0, 0, 0, entime.Berlin)
+	day := func(t time.Time) int { return int(t.Sub(start) / (24 * time.Hour)) }
+	return Config{
+		Start: start,
+		// 45 days: June plus the first half of July, so long-window
+		// simulations (the long-term-interest experiment) stay covered.
+		Days:                     45,
+		Rt:                       0.85,
+		IncubationDays:           3,
+		InfectiousDays:           7,
+		InitialPrevalencePer100k: 12,
+		ReportingRate:            0.5,
+		TestDelayDays:            3,
+		Outbreaks: []Outbreak{
+			// Gütersloh: the Tönnies plant outbreak, ~1500 confirmed
+			// cases, building up before the June 23 lockdown.
+			{DistrictID: "NW-000", Day: day(entime.OutbreakGuetersloh.AddDate(0, 0, -6)), Infections: 1500, DurationDays: 7},
+			// Warendorf: spillover from the same event.
+			{DistrictID: "NW-001", Day: day(entime.OutbreakGuetersloh.AddDate(0, 0, -5)), Infections: 300, DurationDays: 6},
+			// Berlin-Neukölln, reported June 18: a few hundred cases
+			// across quarantined housing blocks.
+			{DistrictID: "BE-000", Day: day(entime.OutbreakBerlin.AddDate(0, 0, -4)), Infections: 400, DurationDays: 5},
+		},
+		Seed: 20200616,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Days <= 0 {
+		return fmt.Errorf("epidemic: Days must be positive")
+	}
+	if c.Rt < 0 {
+		return fmt.Errorf("epidemic: negative Rt")
+	}
+	if c.IncubationDays <= 0 || c.InfectiousDays <= 0 {
+		return fmt.Errorf("epidemic: residence times must be positive")
+	}
+	if c.ReportingRate < 0 || c.ReportingRate > 1 {
+		return fmt.Errorf("epidemic: reporting rate %f out of range", c.ReportingRate)
+	}
+	if c.TestDelayDays < 0 {
+		return fmt.Errorf("epidemic: negative test delay")
+	}
+	return nil
+}
+
+// compartments holds one district's SEIR state in persons (continuous).
+type compartments struct {
+	S, E, I, R float64
+}
+
+func (cp compartments) total() float64 { return cp.S + cp.E + cp.I + cp.R }
+
+// Series is the simulated output: daily new infections and positive test
+// reports per district.
+type Series struct {
+	cfg       Config
+	districts []string
+	index     map[string]int
+	// newInfections[d][day] and positives[d][day].
+	newInfections [][]float64
+	positives     [][]float64
+}
+
+// Run simulates the epidemic over the model's districts.
+func Run(model *geo.Model, cfg Config) (*Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	districts := model.Districts()
+
+	s := &Series{
+		cfg:           cfg,
+		index:         make(map[string]int, len(districts)),
+		newInfections: make([][]float64, len(districts)),
+		positives:     make([][]float64, len(districts)),
+	}
+	state := make([]compartments, len(districts))
+	for i, d := range districts {
+		s.districts = append(s.districts, d.ID)
+		s.index[d.ID] = i
+		s.newInfections[i] = make([]float64, cfg.Days)
+		s.positives[i] = make([]float64, cfg.Days)
+		n := float64(d.Population)
+		i0 := n * cfg.InitialPrevalencePer100k / 100000
+		e0 := i0 * cfg.IncubationDays / cfg.InfectiousDays
+		state[i] = compartments{S: n - i0 - e0, E: e0, I: i0}
+	}
+
+	// Outbreak lookup: district index -> day -> daily seeding.
+	seeding := make(map[int]map[int]float64)
+	for _, ob := range cfg.Outbreaks {
+		di, ok := s.index[ob.DistrictID]
+		if !ok {
+			return nil, fmt.Errorf("epidemic: outbreak references unknown district %s", ob.DistrictID)
+		}
+		if ob.DurationDays <= 0 {
+			return nil, fmt.Errorf("epidemic: outbreak duration must be positive")
+		}
+		if seeding[di] == nil {
+			seeding[di] = make(map[int]float64)
+		}
+		perDay := ob.Infections / float64(ob.DurationDays)
+		for d := 0; d < ob.DurationDays; d++ {
+			seeding[di][ob.Day+d] += perDay
+		}
+	}
+
+	beta := cfg.Rt / cfg.InfectiousDays
+	sigma := 1 / cfg.IncubationDays
+	gamma := 1 / cfg.InfectiousDays
+
+	for day := 0; day < cfg.Days; day++ {
+		for i := range state {
+			cp := &state[i]
+			n := cp.total()
+			if n <= 0 {
+				continue
+			}
+			// Daily Euler step with a small stochastic wobble so
+			// district curves are not perfectly smooth.
+			wobble := 1 + 0.15*rng.NormFloat64()
+			if wobble < 0 {
+				wobble = 0
+			}
+			newExposed := beta * cp.S * cp.I / n * wobble
+			if seed := seeding[i][day]; seed > 0 {
+				newExposed += seed
+			}
+			if newExposed > cp.S {
+				newExposed = cp.S
+			}
+			becomeInfectious := sigma * cp.E
+			recover := gamma * cp.I
+
+			cp.S -= newExposed
+			cp.E += newExposed - becomeInfectious
+			cp.I += becomeInfectious - recover
+			cp.R += recover
+
+			s.newInfections[i][day] = becomeInfectious
+			reportDay := day + cfg.TestDelayDays
+			if reportDay < cfg.Days {
+				s.positives[i][reportDay] += becomeInfectious * cfg.ReportingRate
+			}
+		}
+	}
+	return s, nil
+}
+
+// Start returns the first simulated day.
+func (s *Series) Start() time.Time { return s.cfg.Start }
+
+// Days returns the number of simulated days.
+func (s *Series) Days() int { return s.cfg.Days }
+
+// DayOf converts a timestamp to a simulation day index (-1 outside range).
+func (s *Series) DayOf(t time.Time) int {
+	if t.Before(s.cfg.Start) {
+		return -1
+	}
+	d := int(t.Sub(s.cfg.Start) / (24 * time.Hour))
+	if d >= s.cfg.Days {
+		return -1
+	}
+	return d
+}
+
+// NewInfections returns district new infectious persons on day.
+func (s *Series) NewInfections(districtID string, day int) float64 {
+	i, ok := s.index[districtID]
+	if !ok || day < 0 || day >= s.cfg.Days {
+		return 0
+	}
+	return s.newInfections[i][day]
+}
+
+// Positives returns the district's positive lab reports on day.
+func (s *Series) Positives(districtID string, day int) float64 {
+	i, ok := s.index[districtID]
+	if !ok || day < 0 || day >= s.cfg.Days {
+		return 0
+	}
+	return s.positives[i][day]
+}
+
+// NationalPositives sums positive reports over all districts.
+func (s *Series) NationalPositives(day int) float64 {
+	var sum float64
+	for i := range s.positives {
+		if day >= 0 && day < s.cfg.Days {
+			sum += s.positives[i][day]
+		}
+	}
+	return sum
+}
+
+// Districts returns the district IDs in model order.
+func (s *Series) Districts() []string {
+	out := make([]string, len(s.districts))
+	copy(out, s.districts)
+	return out
+}

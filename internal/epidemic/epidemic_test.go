@@ -1,0 +1,196 @@
+package epidemic
+
+import (
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/geo"
+)
+
+var model = geo.Germany()
+
+func run(t *testing.T, cfg Config) *Series {
+	t.Helper()
+	s, err := Run(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero days", func(c *Config) { c.Days = 0 }},
+		{"negative Rt", func(c *Config) { c.Rt = -1 }},
+		{"zero incubation", func(c *Config) { c.IncubationDays = 0 }},
+		{"zero infectious", func(c *Config) { c.InfectiousDays = 0 }},
+		{"reporting > 1", func(c *Config) { c.ReportingRate = 1.5 }},
+		{"negative delay", func(c *Config) { c.TestDelayDays = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if _, err := Run(model, cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestUnknownOutbreakDistrict(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Outbreaks = []Outbreak{{DistrictID: "XX-000", Day: 1, Infections: 10, DurationDays: 1}}
+	if _, err := Run(model, cfg); err == nil {
+		t.Fatal("unknown outbreak district must fail")
+	}
+}
+
+func TestZeroDurationOutbreak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Outbreaks = []Outbreak{{DistrictID: "BE-000", Day: 1, Infections: 10, DurationDays: 0}}
+	if _, err := Run(model, cfg); err == nil {
+		t.Fatal("zero-duration outbreak must fail")
+	}
+}
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	a := run(t, cfg)
+	b := run(t, cfg)
+	for _, d := range []string{"BE-000", "NW-000", "BY-010"} {
+		for day := 0; day < cfg.Days; day++ {
+			if a.Positives(d, day) != b.Positives(d, day) {
+				t.Fatalf("nondeterministic positives for %s day %d", d, day)
+			}
+		}
+	}
+}
+
+func TestNationalBaselinePlausible(t *testing.T) {
+	s := run(t, DefaultConfig())
+	// Mid-June 2020 Germany reported roughly 300-600 new cases/day.
+	// Check a pre-outbreak day (June 10 = day 9).
+	got := s.NationalPositives(9)
+	if got < 100 || got > 3000 {
+		t.Fatalf("national positives on day 9 = %.0f, implausible", got)
+	}
+}
+
+func TestDecliningTrendWithoutOutbreaks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Outbreaks = nil
+	cfg.Seed = 7
+	s := run(t, cfg)
+	early := s.NationalPositives(5) + s.NationalPositives(6) + s.NationalPositives(7)
+	late := s.NationalPositives(25) + s.NationalPositives(26) + s.NationalPositives(27)
+	if late >= early {
+		t.Fatalf("Rt<1 must decline: early %.1f, late %.1f", early, late)
+	}
+}
+
+func TestOutbreakRaisesDistrictCases(t *testing.T) {
+	cfg := DefaultConfig()
+	s := run(t, cfg)
+	// Gütersloh outbreak seeds days ~16-22; with the 3-day test delay
+	// positives surge around days 20-25. Compare to its own baseline.
+	var before, during float64
+	for d := 5; d < 12; d++ {
+		before += s.Positives("NW-000", d)
+	}
+	for d := 20; d < 27; d++ {
+		during += s.Positives("NW-000", d)
+	}
+	if during < before*5 {
+		t.Fatalf("Gütersloh outbreak not visible: before %.1f, during %.1f", before, during)
+	}
+	// A remote district must not see a comparable surge.
+	var remoteBefore, remoteDuring float64
+	for d := 5; d < 12; d++ {
+		remoteBefore += s.Positives("BY-050", d)
+	}
+	for d := 20; d < 27; d++ {
+		remoteDuring += s.Positives("BY-050", d)
+	}
+	if remoteBefore > 0 && remoteDuring > remoteBefore*3 {
+		t.Fatalf("remote district surged without outbreak: %.1f -> %.1f", remoteBefore, remoteDuring)
+	}
+}
+
+func TestPopulationConservation(t *testing.T) {
+	// Conservation is structural (flows move between compartments), but
+	// verify via the series: cumulative new infections can never exceed
+	// district population.
+	cfg := DefaultConfig()
+	cfg.Days = 60
+	s := run(t, cfg)
+	for _, d := range model.Districts() {
+		var cum float64
+		for day := 0; day < cfg.Days; day++ {
+			cum += s.NewInfections(d.ID, day)
+		}
+		if cum > float64(d.Population) {
+			t.Fatalf("district %s: cumulative infections %.0f exceed population %d",
+				d.ID, cum, d.Population)
+		}
+	}
+}
+
+func TestPositivesLagInfections(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Outbreaks = []Outbreak{{DistrictID: "SL-001", Day: 10, Infections: 5000, DurationDays: 1}}
+	s := run(t, cfg)
+	// The infection spike feeds infectious transitions over the following
+	// days; positives must trail by the configured delay.
+	peakInfDay, peakPosDay := 0, 0
+	var maxInf, maxPos float64
+	for day := 0; day < cfg.Days; day++ {
+		if v := s.NewInfections("SL-001", day); v > maxInf {
+			maxInf, peakInfDay = v, day
+		}
+		if v := s.Positives("SL-001", day); v > maxPos {
+			maxPos, peakPosDay = v, day
+		}
+	}
+	if peakPosDay != peakInfDay+cfg.TestDelayDays {
+		t.Fatalf("positives peak day %d, infections peak %d, delay %d",
+			peakPosDay, peakInfDay, cfg.TestDelayDays)
+	}
+}
+
+func TestDayOf(t *testing.T) {
+	s := run(t, DefaultConfig())
+	if got := s.DayOf(s.Start()); got != 0 {
+		t.Fatalf("DayOf(start) = %d", got)
+	}
+	if got := s.DayOf(entime.AppRelease); got != 15 {
+		t.Fatalf("DayOf(release) = %d, want 15 (June 16 from June 1)", got)
+	}
+	if got := s.DayOf(s.Start().Add(-time.Hour)); got != -1 {
+		t.Fatal("before start must be -1")
+	}
+	if got := s.DayOf(s.Start().AddDate(0, 0, s.Days())); got != -1 {
+		t.Fatal("past end must be -1")
+	}
+}
+
+func TestQueriesOutOfRange(t *testing.T) {
+	s := run(t, DefaultConfig())
+	if s.Positives("BE-000", -1) != 0 || s.Positives("BE-000", 999) != 0 {
+		t.Fatal("out-of-range day must be 0")
+	}
+	if s.Positives("ZZ-000", 5) != 0 {
+		t.Fatal("unknown district must be 0")
+	}
+	if len(s.Districts()) != model.NumDistricts() {
+		t.Fatal("district list size mismatch")
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/geodb"
+	"cwatrace/internal/sim"
+	"cwatrace/internal/trace"
+)
+
+// tinyConfig is the smallest configuration that still exercises every
+// stage: very coarse scale, three days around the release.
+func tinyConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = 40000
+	cfg.End = cfg.Start.AddDate(0, 0, 3)
+	return cfg
+}
+
+var (
+	tinyOnce sync.Once
+	tinySt   *Suite
+	tinyErr  error
+)
+
+func tinySuite(t *testing.T) *Suite {
+	t.Helper()
+	tinyOnce.Do(func() { tinySt, tinyErr = RunSuite(tinyConfig()) })
+	if tinyErr != nil {
+		t.Fatal(tinyErr)
+	}
+	return tinySt
+}
+
+func TestRunSuite(t *testing.T) {
+	s := tinySuite(t)
+	if len(s.Kept) == 0 || s.Census.Kept != len(s.Kept) {
+		t.Fatalf("suite inconsistent: kept %d, census %d", len(s.Kept), s.Census.Kept)
+	}
+}
+
+func TestSuiteFigure2(t *testing.T) {
+	s := tinySuite(t)
+	fig2, err := s.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig2.Points) != entime.StudyHours() {
+		t.Fatalf("points = %d", len(fig2.Points))
+	}
+}
+
+func TestSuiteFigure3(t *testing.T) {
+	s := tinySuite(t)
+	full, dayOne, similarity, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ActiveDistricts == 0 || dayOne.ActiveDistricts == 0 {
+		t.Fatal("no active districts")
+	}
+	if similarity <= 0 {
+		t.Fatalf("similarity = %f", similarity)
+	}
+}
+
+func TestSuiteAdoption(t *testing.T) {
+	s := tinySuite(t)
+	tab, err := s.Adoption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.DownloadsAt36h != 6_400_000 || tab.DownloadsJul24 != 16_200_000 {
+		t.Fatalf("anchors wrong: %+v", tab)
+	}
+	out := RenderAdoption(tab)
+	if !strings.Contains(out, "6.4M") || !strings.Contains(out, "16.2M") {
+		t.Fatalf("render missing anchors:\n%s", out)
+	}
+}
+
+func TestDNSTableAndRender(t *testing.T) {
+	tab, err := DNS(2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Verify.Confirmed() {
+		t.Fatal("verification must confirm")
+	}
+	if len(tab.WebListed) != 0 {
+		t.Fatalf("website listed: %v", tab.WebListed)
+	}
+	out := RenderDNS(tab)
+	if !strings.Contains(out, "confirmed=true") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestSamplingAblationMonotone(t *testing.T) {
+	base := tinyConfig()
+	points, err := SamplingAblation(base, []int{1, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].KeptFlows <= points[1].KeptFlows {
+		t.Fatalf("sampling must reduce kept flows: %d vs %d",
+			points[0].KeptFlows, points[1].KeptFlows)
+	}
+	if points[0].MeanPktsPerFlow <= points[1].MeanPktsPerFlow {
+		t.Fatal("sampling must reduce packets per flow")
+	}
+	if points[0].SinglePacketShare >= points[1].SinglePacketShare {
+		t.Fatal("sampling must raise the single-packet share")
+	}
+	out := RenderSampling(points)
+	if !strings.Contains(out, "1:64") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestBackgroundBugAblationMonotone(t *testing.T) {
+	base := tinyConfig()
+	points, err := BackgroundBugAblation(base, []float64{0, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].SyncsPerDeviceDay <= points[1].SyncsPerDeviceDay {
+		t.Fatalf("bug share must suppress syncs: %.2f vs %.2f",
+			points[0].SyncsPerDeviceDay, points[1].SyncsPerDeviceDay)
+	}
+	out := RenderBug(points)
+	if !strings.Contains(out, "0.80") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestCentralizedAndRender(t *testing.T) {
+	cmp, err := Centralized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.DownloadFactor <= 1 {
+		t.Fatalf("factor = %f", cmp.DownloadFactor)
+	}
+	out := RenderCentralized(cmp)
+	if !strings.Contains(out, "centralized") || !strings.Contains(out, "decentralized") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestEfficacyAndRender(t *testing.T) {
+	points, err := Efficacy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no efficacy points")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].DetectableShare < points[i-1].DetectableShare {
+			t.Fatal("efficacy not monotone")
+		}
+	}
+	out := RenderEfficacy(points)
+	if !strings.Contains(out, "Ferretti") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAppIDOnSimulatedTrace(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.AppID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classified == 0 {
+		t.Fatal("nothing classified")
+	}
+	// Short 3-day window: precision should already be high; recall is
+	// window-limited (many installs are too young to show periodicity).
+	if res.Eval.TruePositives+res.Eval.FalsePositives > 0 && res.Eval.Precision() < 0.7 {
+		t.Fatalf("precision %.2f too low: %+v", res.Eval.Precision(), res.Eval)
+	}
+	out := RenderAppID(res)
+	if !strings.Contains(out, "precision") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestNewsCorrelation(t *testing.T) {
+	s := tinySuite(t)
+	fromTrace, truth, err := s.NewsCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= 0.5 {
+		t.Fatalf("ground-truth news correlation %.3f, expected strong positive", truth)
+	}
+	if fromTrace < -1 || fromTrace > 1 {
+		t.Fatalf("trace correlation %.3f out of range", fromTrace)
+	}
+	// The dilution effect: the trace-level signal must be weaker than
+	// the ground-truth signal.
+	if fromTrace >= truth {
+		t.Fatalf("trace correlation %.3f >= ground truth %.3f", fromTrace, truth)
+	}
+}
+
+func TestLongTermShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long window")
+	}
+	res, err := LongTerm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WeeklyFlows) != 4 || len(res.WeeklyWebVisits) != 4 {
+		t.Fatalf("weeks = %d/%d", len(res.WeeklyFlows), len(res.WeeklyWebVisits))
+	}
+	// Traffic grows with installs and key volume...
+	if res.TrendRatio <= 1 {
+		t.Fatalf("traffic trend %.2f, expected growth", res.TrendRatio)
+	}
+	// ...while human interest (website visits) fades with attention.
+	if res.InterestTrendRatio >= 1 {
+		t.Fatalf("interest trend %.2f, expected decline", res.InterestTrendRatio)
+	}
+	out := RenderLongTerm(res)
+	if !strings.Contains(out, "week 4 vs week 2") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderFirstKeys(t *testing.T) {
+	out := RenderFirstKeys(FirstKeysTable{FirstDay: "2020-06-23", Uploads: 5,
+		KeysByDay: map[string]int{"2020-06-23": 7}})
+	if !strings.Contains(out, "2020-06-23") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestDiskRoundTrip exercises the cwasim -> cwanalyze path: serialize the
+// trace and geolocation sidecar, read both back, and verify the analysis
+// reproduces byte-for-byte results against the in-memory pipeline.
+func TestDiskRoundTrip(t *testing.T) {
+	s := tinySuite(t)
+
+	var traceBuf, geoBuf bytes.Buffer
+	if err := trace.WriteAll(&traceBuf, s.Result.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Result.GeoDB.Write(&geoBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := trace.ReadAll(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := geodb.Read(&geoBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, census := core.ApplyFilter(records, core.DefaultFilter())
+	if census.Kept != s.Census.Kept {
+		t.Fatalf("census differs after disk round trip: %d vs %d", census.Kept, s.Census.Kept)
+	}
+
+	from := entime.StudyStart
+	to := from.AddDate(0, 0, 3)
+	mem := core.Figure3(s.Kept, s.Result.GeoDB, s.Result.Model, from, to)
+	disk := core.Figure3(kept, db, s.Result.Model, from, to)
+	if mem.ActiveDistricts != disk.ActiveDistricts {
+		t.Fatalf("figure 3 differs: %d vs %d active districts",
+			mem.ActiveDistricts, disk.ActiveDistricts)
+	}
+	for i := range mem.Loads {
+		if mem.Loads[i].Flows != disk.Loads[i].Flows {
+			t.Fatalf("district %s flows differ after round trip",
+				mem.Loads[i].District.ID)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package exposure
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+)
+
+// HKDF implements the HMAC-based key derivation function of RFC 5869 with
+// SHA-256, the construction the Exposure Notification specification uses to
+// derive the rolling proximity identifier key and the associated encrypted
+// metadata key from a temporary exposure key.
+//
+// salt may be nil (the GAEN key schedule uses an unsalted HKDF); info
+// domain-separates the derived keys; length is the number of output bytes.
+func HKDF(secret, salt, info []byte, length int) ([]byte, error) {
+	if length <= 0 {
+		return nil, errors.New("exposure: hkdf length must be positive")
+	}
+	hashLen := sha256.Size
+	if length > 255*hashLen {
+		return nil, errors.New("exposure: hkdf length too large")
+	}
+
+	// Extract: PRK = HMAC-Hash(salt, IKM). An absent salt is a string of
+	// zeros of hash length per the RFC.
+	if salt == nil {
+		salt = make([]byte, hashLen)
+	}
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+
+	// Expand: T(i) = HMAC-Hash(PRK, T(i-1) | info | i).
+	out := make([]byte, 0, length)
+	var prev []byte
+	for i := byte(1); len(out) < length; i++ {
+		exp := hmac.New(sha256.New, prk)
+		exp.Write(prev)
+		exp.Write(info)
+		exp.Write([]byte{i})
+		prev = exp.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length], nil
+}

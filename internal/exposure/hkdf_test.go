@@ -1,0 +1,87 @@
+package exposure
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// RFC 5869 Appendix A test vectors for HKDF-SHA256.
+func TestHKDFRFC5869Case1(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt, _ := hex.DecodeString("000102030405060708090a0b0c")
+	info, _ := hex.DecodeString("f0f1f2f3f4f5f6f7f8f9")
+	want, _ := hex.DecodeString(
+		"3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+	got, err := HKDF(ikm, salt, info, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HKDF = %x, want %x", got, want)
+	}
+}
+
+func TestHKDFRFC5869Case3NoSaltNoInfo(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	want, _ := hex.DecodeString(
+		"8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+	got, err := HKDF(ikm, nil, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HKDF = %x, want %x", got, want)
+	}
+}
+
+func TestHKDFRFC5869Case2LongInputs(t *testing.T) {
+	ikm := make([]byte, 80)
+	for i := range ikm {
+		ikm[i] = byte(i)
+	}
+	salt := make([]byte, 80)
+	for i := range salt {
+		salt[i] = byte(0x60 + i)
+	}
+	info := make([]byte, 80)
+	for i := range info {
+		info[i] = byte(0xb0 + i)
+	}
+	want, _ := hex.DecodeString(
+		"b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71cc30c58179ec3e87c14c01d5c1f3434f1d87")
+	got, err := HKDF(ikm, salt, info, 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HKDF = %x, want %x", got, want)
+	}
+}
+
+func TestHKDFErrors(t *testing.T) {
+	if _, err := HKDF([]byte{1}, nil, nil, 0); err == nil {
+		t.Error("zero length must error")
+	}
+	if _, err := HKDF([]byte{1}, nil, nil, -4); err == nil {
+		t.Error("negative length must error")
+	}
+	if _, err := HKDF([]byte{1}, nil, nil, 255*32+1); err == nil {
+		t.Error("overlong output must error")
+	}
+}
+
+func TestHKDFDomainSeparation(t *testing.T) {
+	secret := []byte("temporary exposure key material")
+	a, err := HKDF(secret, nil, []byte(rpikInfo), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HKDF(secret, nil, []byte(aemkInfo), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("different info strings must derive different keys")
+	}
+}

@@ -1,0 +1,84 @@
+package exposure
+
+import (
+	"cwatrace/internal/entime"
+)
+
+// Encounter is one BLE sighting stored in a phone's local encounter history:
+// the pseudonymous identifier received, when, for how long, and at what
+// estimated attenuation (TX power minus RSSI, a proximity proxy).
+type Encounter struct {
+	RPI           RPI
+	Interval      entime.Interval
+	DurationMin   int // contact duration attributed to this sighting, minutes
+	AttenuationDB int // estimated signal attenuation in dB
+}
+
+// Exposure is a confirmed match between an encounter and a diagnosis key.
+type Exposure struct {
+	Encounter
+	Key DiagnosisKey
+}
+
+// MatchTolerance is the clock-drift window: an RPI derived for interval i is
+// accepted if observed within ±MatchTolerance intervals (±2 hours), as the
+// framework tolerates devices with skewed clocks.
+const MatchTolerance = 12
+
+// Matcher checks a local encounter history against downloaded diagnosis
+// keys. It is the client-side half of the detection path in the paper's
+// Figure 1 ("detect infection: download diagnosis keys").
+//
+// The zero value is unusable; create one with NewMatcher.
+type Matcher struct {
+	// byRPI indexes the encounter history for O(1) probing while deriving
+	// candidate RPIs from diagnosis keys.
+	byRPI map[RPI][]Encounter
+}
+
+// NewMatcher builds a Matcher over the given encounter history.
+func NewMatcher(history []Encounter) *Matcher {
+	m := &Matcher{byRPI: make(map[RPI][]Encounter, len(history))}
+	for _, e := range history {
+		m.byRPI[e.RPI] = append(m.byRPI[e.RPI], e)
+	}
+	return m
+}
+
+// HistorySize returns the number of distinct RPIs in the history.
+func (m *Matcher) HistorySize() int { return len(m.byRPI) }
+
+// Match derives every RPI of every diagnosis key and reports the encounters
+// whose identifiers and timing line up. The work is proportional to
+// len(keys) x rolling period, matching how the framework re-derives
+// identifiers server-side keys locally.
+func (m *Matcher) Match(keys []DiagnosisKey) ([]Exposure, error) {
+	var out []Exposure
+	for _, key := range keys {
+		rpik, err := DeriveRPIK(key.TEK)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off < int(key.RollingPeriod); off++ {
+			interval := key.RollingStart.Add(off)
+			rpi, err := RPIAt(rpik, interval)
+			if err != nil {
+				return nil, err
+			}
+			for _, enc := range m.byRPI[rpi] {
+				if withinTolerance(enc.Interval, interval) {
+					out = append(out, Exposure{Encounter: enc, Key: key})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func withinTolerance(observed, derived entime.Interval) bool {
+	d := int64(observed) - int64(derived)
+	if d < 0 {
+		d = -d
+	}
+	return d <= MatchTolerance
+}

@@ -1,0 +1,138 @@
+package exposure
+
+import (
+	"testing"
+
+	"cwatrace/internal/entime"
+)
+
+// buildEncounter derives the true RPI for tek at interval i, as a nearby
+// phone would have received it.
+func buildEncounter(t *testing.T, tek TEK, i entime.Interval, durMin, attDB int) Encounter {
+	t.Helper()
+	rpik, err := DeriveRPIK(tek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpi, err := RPIAt(rpik, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Encounter{RPI: rpi, Interval: i, DurationMin: durMin, AttenuationDB: attDB}
+}
+
+func TestMatchFindsRealContact(t *testing.T) {
+	infected := fixedTEK(0x77)
+	contact := infected.RollingStart.Add(37)
+	history := []Encounter{
+		buildEncounter(t, infected, contact, 15, 48),
+		// Unrelated noise from another device.
+		buildEncounter(t, fixedTEK(0x88), contact, 5, 60),
+	}
+	m := NewMatcher(history)
+	keys := []DiagnosisKey{{TEK: infected, TransmissionRiskLevel: 6}}
+	got, err := m.Match(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d exposures, want 1", len(got))
+	}
+	if got[0].Interval != contact || got[0].DurationMin != 15 {
+		t.Fatalf("wrong exposure matched: %+v", got[0])
+	}
+}
+
+func TestMatchNoContactNoMatch(t *testing.T) {
+	history := []Encounter{
+		buildEncounter(t, fixedTEK(0x99), entime.IntervalOf(entime.AppRelease), 10, 50),
+	}
+	m := NewMatcher(history)
+	keys := []DiagnosisKey{{TEK: fixedTEK(0xAA), TransmissionRiskLevel: 4}}
+	got, err := m.Match(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unexpected exposures: %+v", got)
+	}
+}
+
+func TestMatchClockDriftTolerance(t *testing.T) {
+	infected := fixedTEK(0xBB)
+	derivedAt := infected.RollingStart.Add(50)
+	rpik, err := DeriveRPIK(infected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpi, err := RPIAt(rpik, derivedAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []DiagnosisKey{{TEK: infected, TransmissionRiskLevel: 5}}
+
+	within := Encounter{RPI: rpi, Interval: derivedAt.Add(MatchTolerance), DurationMin: 10, AttenuationDB: 50}
+	m := NewMatcher([]Encounter{within})
+	got, err := m.Match(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("drift within tolerance must match, got %d", len(got))
+	}
+
+	// 20 intervals beyond tolerance: the RPI exists in the index but the
+	// timing is implausible. (Offset chosen so the shifted observation
+	// still falls outside tolerance of every interval of the key.)
+	beyond := Encounter{RPI: rpi, Interval: derivedAt.Add(MatchTolerance + 200), DurationMin: 10, AttenuationDB: 50}
+	m = NewMatcher([]Encounter{beyond})
+	got, err = m.Match(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("drift beyond tolerance must not match, got %d", len(got))
+	}
+}
+
+func TestMatcherHistorySize(t *testing.T) {
+	e1 := buildEncounter(t, fixedTEK(0xCC), 2_000_010, 5, 50)
+	m := NewMatcher([]Encounter{e1, e1})
+	if m.HistorySize() != 1 {
+		t.Fatalf("HistorySize = %d, want 1 (deduplicated by RPI)", m.HistorySize())
+	}
+}
+
+func TestMatchMultipleSightingsSameRPI(t *testing.T) {
+	infected := fixedTEK(0xDD)
+	i := infected.RollingStart.Add(10)
+	e := buildEncounter(t, infected, i, 5, 45)
+	e2 := e
+	e2.DurationMin = 8
+	m := NewMatcher([]Encounter{e, e2})
+	got, err := m.Match([]DiagnosisKey{{TEK: infected, TransmissionRiskLevel: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("both sightings must match, got %d", len(got))
+	}
+}
+
+func TestMatchShortRollingPeriod(t *testing.T) {
+	// A same-day upload reports a short rolling period; intervals past it
+	// must not be derived.
+	infected := fixedTEK(0xEE)
+	infected.RollingPeriod = 36 // only 6 hours reported
+	late := infected.RollingStart.Add(100)
+	full := fixedTEK(0xEE) // same key material, full period
+	enc := buildEncounter(t, full, late, 10, 50)
+	m := NewMatcher([]Encounter{enc})
+	got, err := m.Match([]DiagnosisKey{{TEK: infected, TransmissionRiskLevel: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("interval beyond reported rolling period must not match, got %d", len(got))
+	}
+}

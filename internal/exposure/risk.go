@@ -1,0 +1,115 @@
+package exposure
+
+import (
+	"fmt"
+
+	"cwatrace/internal/entime"
+)
+
+// RiskConfig mirrors the tunable exposure configuration of the framework:
+// attenuation bucket edges with per-bucket weights, a per-day decay, and per
+// transmission-risk-level weights. The CWA ships such a configuration from
+// the backend; the defaults below follow its published v1 parameters in
+// spirit (low/mid/high attenuation buckets, 15-minute significance
+// threshold).
+type RiskConfig struct {
+	// AttenuationThresholds split encounters into three buckets:
+	// <= [0] dB (close), <= [1] dB (mid), else far.
+	AttenuationThresholds [2]int
+	// BucketWeights weight the minutes accumulated per bucket,
+	// close/mid/far.
+	BucketWeights [3]float64
+	// TransmissionWeights index by TransmissionRiskLevel-1.
+	TransmissionWeights [8]float64
+	// MinimumScore is the threshold below which the app shows no elevated
+	// risk.
+	MinimumScore float64
+	// MinutesSignificant caps how much contact time a single exposure can
+	// contribute (the framework reports duration in 5-minute increments
+	// capped at 30).
+	MinutesSignificant int
+}
+
+// DefaultRiskConfig returns the configuration used across the simulation.
+func DefaultRiskConfig() RiskConfig {
+	return RiskConfig{
+		AttenuationThresholds: [2]int{55, 70},
+		BucketWeights:         [3]float64{1.0, 0.5, 0.0},
+		TransmissionWeights:   [8]float64{0.4, 0.55, 0.7, 0.85, 1.0, 1.0, 1.0, 1.0},
+		MinimumScore:          15, // ~15 weighted close-contact minutes
+		MinutesSignificant:    30,
+	}
+}
+
+// Validate reports configuration errors (misordered thresholds, negative
+// weights) before a config is put into service.
+func (c RiskConfig) Validate() error {
+	if c.AttenuationThresholds[0] > c.AttenuationThresholds[1] {
+		return fmt.Errorf("exposure: attenuation thresholds misordered: %v", c.AttenuationThresholds)
+	}
+	for i, w := range c.BucketWeights {
+		if w < 0 {
+			return fmt.Errorf("exposure: negative bucket weight %d", i)
+		}
+	}
+	for i, w := range c.TransmissionWeights {
+		if w < 0 {
+			return fmt.Errorf("exposure: negative transmission weight %d", i)
+		}
+	}
+	if c.MinutesSignificant <= 0 {
+		return fmt.Errorf("exposure: MinutesSignificant must be positive")
+	}
+	return nil
+}
+
+// RiskResult summarizes the scored exposures of one device.
+type RiskResult struct {
+	Score float64
+	// Elevated is true when Score >= MinimumScore: the app would warn the
+	// user ("informs the user of having been exposed").
+	Elevated bool
+	// MostRecent is the interval of the latest contributing exposure, the
+	// zero Interval if none.
+	MostRecent entime.Interval
+	// Exposures is the number of contributing (non-zero weight) matches.
+	Exposures int
+}
+
+// Score aggregates matched exposures into a device-level risk result.
+func (c RiskConfig) Score(exposures []Exposure) RiskResult {
+	var res RiskResult
+	for _, e := range exposures {
+		minutes := e.DurationMin
+		if minutes > c.MinutesSignificant {
+			minutes = c.MinutesSignificant
+		}
+		w := c.BucketWeights[c.bucket(e.AttenuationDB)]
+		tw := 1.0
+		if lvl := e.Key.TransmissionRiskLevel; lvl >= 1 && lvl <= 8 {
+			tw = c.TransmissionWeights[lvl-1]
+		}
+		contrib := float64(minutes) * w * tw
+		if contrib <= 0 {
+			continue
+		}
+		res.Score += contrib
+		res.Exposures++
+		if e.Interval > res.MostRecent {
+			res.MostRecent = e.Interval
+		}
+	}
+	res.Elevated = res.Score >= c.MinimumScore
+	return res
+}
+
+func (c RiskConfig) bucket(attenuationDB int) int {
+	switch {
+	case attenuationDB <= c.AttenuationThresholds[0]:
+		return 0
+	case attenuationDB <= c.AttenuationThresholds[1]:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,135 @@
+package exposure
+
+import (
+	"testing"
+
+	"cwatrace/internal/entime"
+)
+
+func exposureWith(dur, att int, lvl uint8, i entime.Interval) Exposure {
+	return Exposure{
+		Encounter: Encounter{Interval: i, DurationMin: dur, AttenuationDB: att},
+		Key:       DiagnosisKey{TransmissionRiskLevel: lvl},
+	}
+}
+
+func TestDefaultRiskConfigValid(t *testing.T) {
+	if err := DefaultRiskConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRiskConfigValidate(t *testing.T) {
+	c := DefaultRiskConfig()
+	c.AttenuationThresholds = [2]int{80, 50}
+	if err := c.Validate(); err == nil {
+		t.Error("misordered thresholds must fail")
+	}
+	c = DefaultRiskConfig()
+	c.BucketWeights[1] = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative bucket weight must fail")
+	}
+	c = DefaultRiskConfig()
+	c.TransmissionWeights[0] = -0.5
+	if err := c.Validate(); err == nil {
+		t.Error("negative transmission weight must fail")
+	}
+	c = DefaultRiskConfig()
+	c.MinutesSignificant = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero MinutesSignificant must fail")
+	}
+}
+
+func TestScoreCloseLongContactElevated(t *testing.T) {
+	c := DefaultRiskConfig()
+	res := c.Score([]Exposure{exposureWith(25, 45, 5, 100)})
+	if !res.Elevated {
+		t.Fatalf("25 close minutes at full transmission weight must be elevated (score %g)", res.Score)
+	}
+	if res.Exposures != 1 {
+		t.Fatalf("Exposures = %d", res.Exposures)
+	}
+}
+
+func TestScoreFarContactNotElevated(t *testing.T) {
+	c := DefaultRiskConfig()
+	res := c.Score([]Exposure{exposureWith(30, 80, 8, 100)})
+	if res.Elevated || res.Score != 0 {
+		t.Fatalf("far-bucket contact must score 0, got %g", res.Score)
+	}
+	if res.Exposures != 0 {
+		t.Fatal("zero-weight exposures must not count")
+	}
+}
+
+func TestScoreBriefContactNotElevated(t *testing.T) {
+	c := DefaultRiskConfig()
+	res := c.Score([]Exposure{exposureWith(5, 45, 5, 100)})
+	if res.Elevated {
+		t.Fatalf("5 minutes must stay below threshold, score %g", res.Score)
+	}
+}
+
+func TestScoreDurationCap(t *testing.T) {
+	c := DefaultRiskConfig()
+	capped := c.Score([]Exposure{exposureWith(c.MinutesSignificant, 45, 5, 100)})
+	over := c.Score([]Exposure{exposureWith(c.MinutesSignificant*4, 45, 5, 100)})
+	if capped.Score != over.Score {
+		t.Fatalf("duration must cap at MinutesSignificant: %g vs %g", capped.Score, over.Score)
+	}
+}
+
+func TestScoreAccumulatesAndTracksMostRecent(t *testing.T) {
+	c := DefaultRiskConfig()
+	res := c.Score([]Exposure{
+		exposureWith(10, 45, 5, 100),
+		exposureWith(10, 45, 5, 300),
+		exposureWith(10, 45, 5, 200),
+	})
+	if res.Exposures != 3 {
+		t.Fatalf("Exposures = %d, want 3", res.Exposures)
+	}
+	if res.MostRecent != 300 {
+		t.Fatalf("MostRecent = %d, want 300", res.MostRecent)
+	}
+	single := c.Score([]Exposure{exposureWith(10, 45, 5, 100)})
+	if res.Score <= single.Score {
+		t.Fatal("multiple exposures must accumulate")
+	}
+}
+
+func TestScoreTransmissionWeighting(t *testing.T) {
+	c := DefaultRiskConfig()
+	low := c.Score([]Exposure{exposureWith(20, 45, 1, 100)})
+	high := c.Score([]Exposure{exposureWith(20, 45, 5, 100)})
+	if low.Score >= high.Score {
+		t.Fatalf("higher transmission risk must weigh more: %g vs %g", low.Score, high.Score)
+	}
+}
+
+func TestScoreMidBucketHalfWeight(t *testing.T) {
+	c := DefaultRiskConfig()
+	close := c.Score([]Exposure{exposureWith(20, c.AttenuationThresholds[0], 5, 100)})
+	mid := c.Score([]Exposure{exposureWith(20, c.AttenuationThresholds[1], 5, 100)})
+	if mid.Score*2 != close.Score {
+		t.Fatalf("mid bucket must weigh half: close %g, mid %g", close.Score, mid.Score)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	res := DefaultRiskConfig().Score(nil)
+	if res.Elevated || res.Score != 0 || res.Exposures != 0 {
+		t.Fatalf("empty exposure list must be zero result: %+v", res)
+	}
+}
+
+func TestScoreOutOfRangeRiskLevelDefaultsToFullWeight(t *testing.T) {
+	c := DefaultRiskConfig()
+	res := c.Score([]Exposure{exposureWith(20, 45, 0, 100)})
+	want := c.Score([]Exposure{exposureWith(20, 45, 5, 100)})
+	if res.Score != want.Score {
+		t.Fatalf("invalid level must default to weight 1.0: %g vs %g", res.Score, want.Score)
+	}
+}

@@ -1,0 +1,132 @@
+package exposure
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+
+	"cwatrace/internal/entime"
+)
+
+// RPI is a rolling proximity identifier: the pseudonymous 16-byte value a
+// phone broadcasts over Bluetooth Low Energy, changed every interval. It is
+// comparable, so it can key maps in the matcher.
+type RPI [16]byte
+
+// Metadata is the 4-byte associated metadata broadcast alongside the RPI:
+// protocol version and calibrated transmit power, which receivers combine
+// with RSSI into an attenuation estimate.
+type Metadata [4]byte
+
+const (
+	rpikInfo = "EN-RPIK"
+	aemkInfo = "EN-AEMK"
+	rpiPad   = "EN-RPI"
+)
+
+// DeriveRPIK derives the rolling proximity identifier key from a TEK:
+// RPIK = HKDF(tek, NULL, UTF8("EN-RPIK"), 16).
+func DeriveRPIK(tek TEK) ([16]byte, error) {
+	var out [16]byte
+	b, err := HKDF(tek.Key[:], nil, []byte(rpikInfo), 16)
+	if err != nil {
+		return out, err
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+// DeriveAEMK derives the associated encrypted metadata key from a TEK:
+// AEMK = HKDF(tek, NULL, UTF8("EN-AEMK"), 16).
+func DeriveAEMK(tek TEK) ([16]byte, error) {
+	var out [16]byte
+	b, err := HKDF(tek.Key[:], nil, []byte(aemkInfo), 16)
+	if err != nil {
+		return out, err
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+// RPIAt computes the rolling proximity identifier broadcast at interval i
+// under the given RPIK: RPI = AES128(RPIK, "EN-RPI" ‖ 0x000000000000 ‖
+// ENIN_le(i)).
+func RPIAt(rpik [16]byte, i entime.Interval) (RPI, error) {
+	var padded [16]byte
+	copy(padded[:], rpiPad)
+	binary.LittleEndian.PutUint32(padded[12:], uint32(i))
+
+	block, err := aes.NewCipher(rpik[:])
+	if err != nil {
+		return RPI{}, fmt.Errorf("exposure: rpi cipher: %w", err)
+	}
+	var out RPI
+	block.Encrypt(out[:], padded[:])
+	return out, nil
+}
+
+// EncryptMetadata encrypts the 4 metadata bytes with AES-CTR keyed by the
+// AEMK using the RPI as the initial counter block, per the specification.
+// The operation is its own inverse, so it also decrypts.
+func EncryptMetadata(aemk [16]byte, rpi RPI, meta Metadata) (Metadata, error) {
+	block, err := aes.NewCipher(aemk[:])
+	if err != nil {
+		return Metadata{}, fmt.Errorf("exposure: aem cipher: %w", err)
+	}
+	var stream [16]byte
+	block.Encrypt(stream[:], rpi[:])
+	var out Metadata
+	for i := 0; i < len(meta); i++ {
+		out[i] = meta[i] ^ stream[i]
+	}
+	return out, nil
+}
+
+// Broadcaster produces the BLE payload of a single device for a given
+// interval: RPI plus encrypted metadata. It caches derived keys per TEK so a
+// device advertising every interval does only one HKDF per day.
+type Broadcaster struct {
+	store *KeyStore
+
+	cachedStart  uint32
+	cachedValid  bool
+	cachedRPIK   [16]byte
+	cachedAEMK   [16]byte
+	transmitMeta Metadata
+}
+
+// NewBroadcaster creates a Broadcaster over the device's key store. meta is
+// the plaintext metadata (version + TX power) the device advertises.
+func NewBroadcaster(store *KeyStore, meta Metadata) *Broadcaster {
+	return &Broadcaster{store: store, transmitMeta: meta}
+}
+
+// Payload returns the advertisement payload for interval i.
+func (b *Broadcaster) Payload(i entime.Interval) (RPI, Metadata, error) {
+	tek, err := b.store.ActiveKey(i)
+	if err != nil {
+		return RPI{}, Metadata{}, err
+	}
+	if !b.cachedValid || b.cachedStart != uint32(tek.RollingStart) {
+		rpik, err := DeriveRPIK(tek)
+		if err != nil {
+			return RPI{}, Metadata{}, err
+		}
+		aemk, err := DeriveAEMK(tek)
+		if err != nil {
+			return RPI{}, Metadata{}, err
+		}
+		b.cachedRPIK, b.cachedAEMK = rpik, aemk
+		b.cachedStart = uint32(tek.RollingStart)
+		b.cachedValid = true
+	}
+	rpi, err := RPIAt(b.cachedRPIK, i)
+	if err != nil {
+		return RPI{}, Metadata{}, err
+	}
+	aem, err := EncryptMetadata(b.cachedAEMK, rpi, b.transmitMeta)
+	if err != nil {
+		return RPI{}, Metadata{}, err
+	}
+	return rpi, aem, nil
+}

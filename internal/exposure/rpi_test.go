@@ -1,0 +1,203 @@
+package exposure
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cwatrace/internal/entime"
+)
+
+func fixedTEK(b byte) TEK {
+	var k TEK
+	for i := range k.Key {
+		k.Key[i] = b
+	}
+	k.RollingStart = entime.IntervalOf(entime.StudyStart).KeyPeriodStart()
+	k.RollingPeriod = entime.EKRollingPeriod
+	return k
+}
+
+func TestDeriveKeysDeterministicAndDistinct(t *testing.T) {
+	tek := fixedTEK(0x11)
+	r1, err := DeriveRPIK(tek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DeriveRPIK(tek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("RPIK derivation not deterministic")
+	}
+	a, err := DeriveAEMK(tek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == r1 {
+		t.Fatal("RPIK and AEMK must differ")
+	}
+	other, err := DeriveRPIK(fixedTEK(0x22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == r1 {
+		t.Fatal("different TEKs must derive different RPIKs")
+	}
+}
+
+func TestRPIChangesEveryInterval(t *testing.T) {
+	rpik, err := DeriveRPIK(fixedTEK(0x33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[RPI]bool)
+	base := entime.Interval(2_000_000)
+	for off := 0; off < entime.EKRollingPeriod; off++ {
+		rpi, err := RPIAt(rpik, base.Add(off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[rpi] {
+			t.Fatalf("duplicate RPI at offset %d", off)
+		}
+		seen[rpi] = true
+	}
+}
+
+func TestRPIDeterministic(t *testing.T) {
+	rpik, _ := DeriveRPIK(fixedTEK(0x44))
+	f := func(i uint32) bool {
+		a, err1 := RPIAt(rpik, entime.Interval(i))
+		b, err2 := RPIAt(rpik, entime.Interval(i))
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	tek := fixedTEK(0x55)
+	aemk, err := DeriveAEMK(tek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpik, err := DeriveRPIK(tek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpi, err := RPIAt(rpik, 2_000_001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(m0, m1, m2, m3 byte) bool {
+		meta := Metadata{m0, m1, m2, m3}
+		enc, err := EncryptMetadata(aemk, rpi, meta)
+		if err != nil {
+			return false
+		}
+		dec, err := EncryptMetadata(aemk, rpi, enc)
+		return err == nil && dec == meta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadataCiphertextVariesWithRPI(t *testing.T) {
+	tek := fixedTEK(0x66)
+	aemk, _ := DeriveAEMK(tek)
+	rpik, _ := DeriveRPIK(tek)
+	meta := Metadata{0x40, 0x08, 0, 0} // version 1.0, TX power 8
+	r1, _ := RPIAt(rpik, 2_000_000)
+	r2, _ := RPIAt(rpik, 2_000_001)
+	c1, err := EncryptMetadata(aemk, r1, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := EncryptMetadata(aemk, r2, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("same plaintext under different RPIs should differ")
+	}
+}
+
+func TestBroadcasterPayload(t *testing.T) {
+	store := NewKeyStore(testRNG(7))
+	b := NewBroadcaster(store, Metadata{0x40, 8, 0, 0})
+	i := entime.IntervalOf(entime.AppRelease)
+	rpi1, aem1, err := b.Payload(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpi2, aem2, err := b.Payload(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpi1 != rpi2 || aem1 != aem2 {
+		t.Fatal("payload for the same interval must be stable")
+	}
+	rpi3, _, err := b.Payload(i.Add(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpi3 == rpi1 {
+		t.Fatal("payload must rotate every interval")
+	}
+}
+
+// TestBroadcasterMatchesManualDerivation pins the Broadcaster to the raw
+// primitives: a receiver deriving RPIs from the (later shared) TEK must
+// reproduce what was broadcast.
+func TestBroadcasterMatchesManualDerivation(t *testing.T) {
+	store := NewKeyStore(testRNG(8))
+	b := NewBroadcaster(store, Metadata{0x40, 8, 0, 0})
+	i := entime.IntervalOf(entime.AppRelease)
+	got, _, err := b.Payload(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tek, err := store.ActiveKey(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpik, err := DeriveRPIK(tek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RPIAt(rpik, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("broadcast RPI does not match manual derivation from TEK")
+	}
+}
+
+func TestBroadcasterCacheAcrossRollover(t *testing.T) {
+	store := NewKeyStore(testRNG(9))
+	b := NewBroadcaster(store, Metadata{})
+	i := entime.IntervalOf(entime.StudyStart).KeyPeriodStart()
+	r1, _, err := b.Payload(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossing into the next rolling period must refresh the cached keys.
+	r2, _, err := b.Payload(i.Add(entime.EKRollingPeriod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("RPIs across key rollover should differ")
+	}
+	// And the new day's RPI must match its own TEK.
+	tek, _ := store.ActiveKey(i.Add(entime.EKRollingPeriod))
+	rpik, _ := DeriveRPIK(tek)
+	want, _ := RPIAt(rpik, i.Add(entime.EKRollingPeriod))
+	if r2 != want {
+		t.Fatal("post-rollover RPI does not match new TEK")
+	}
+}

@@ -1,0 +1,145 @@
+// Package exposure implements the cryptography and matching logic of the
+// Apple/Google Exposure Notification framework (GAEN v1.2) that the
+// Corona-Warn-App is built on: temporary exposure keys, rolling proximity
+// identifiers, associated encrypted metadata, diagnosis-key matching, and
+// risk scoring.
+//
+// The paper under reproduction measures the *traffic* this protocol causes —
+// daily diagnosis-key downloads and infrequent uploads — so the protocol is
+// implemented in full rather than stubbed: package sizes, upload payloads
+// and match outcomes in the simulation all derive from these primitives.
+package exposure
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"cwatrace/internal/entime"
+)
+
+// KeyLength is the size of a temporary exposure key in bytes.
+const KeyLength = 16
+
+// StorageDays is how long phones retain keys and encounter history; the CWA
+// informs users of exposure to a person tested positive "within the past 14
+// days".
+const StorageDays = 14
+
+// TEK is a temporary exposure key: KeyLength random bytes valid for one
+// rolling period (24 hours) starting at RollingStart.
+type TEK struct {
+	Key          [KeyLength]byte
+	RollingStart entime.Interval
+	// RollingPeriod is the number of 10-minute intervals the key is valid
+	// for; entime.EKRollingPeriod (144) except for same-day uploads where
+	// a shorter period is reported.
+	RollingPeriod uint16
+}
+
+// Covers reports whether the key is valid at interval i.
+func (k TEK) Covers(i entime.Interval) bool {
+	return i >= k.RollingStart && i < k.RollingStart.Add(int(k.RollingPeriod))
+}
+
+// String renders the key for debugging; only a short key prefix is shown
+// because full keys identify infected users once uploaded.
+func (k TEK) String() string {
+	return fmt.Sprintf("tek(%s… start=%d period=%d)",
+		hex.EncodeToString(k.Key[:4]), k.RollingStart, k.RollingPeriod)
+}
+
+// KeyStore is the per-device rolling store of temporary exposure keys. It
+// generates a fresh key when a new rolling period begins and prunes keys
+// older than StorageDays. It is not safe for concurrent use; each simulated
+// device owns one store.
+type KeyStore struct {
+	rng  io.Reader
+	keys []TEK
+}
+
+// NewKeyStore creates a KeyStore drawing randomness from rng; a nil rng
+// selects crypto/rand. The simulator passes a seeded deterministic reader so
+// runs are reproducible.
+func NewKeyStore(rng io.Reader) *KeyStore {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	return &KeyStore{rng: rng}
+}
+
+// ActiveKey returns the TEK covering interval i, generating it (and any
+// bookkeeping pruning) as needed. The error path only triggers when the
+// randomness source fails.
+func (s *KeyStore) ActiveKey(i entime.Interval) (TEK, error) {
+	start := i.KeyPeriodStart()
+	for idx := len(s.keys) - 1; idx >= 0; idx-- {
+		if s.keys[idx].RollingStart == start {
+			return s.keys[idx], nil
+		}
+	}
+	var k TEK
+	if _, err := io.ReadFull(s.rng, k.Key[:]); err != nil {
+		return TEK{}, fmt.Errorf("exposure: generating TEK: %w", err)
+	}
+	k.RollingStart = start
+	k.RollingPeriod = entime.EKRollingPeriod
+	s.keys = append(s.keys, k)
+	s.prune(i)
+	return k, nil
+}
+
+// prune drops keys whose validity ended more than StorageDays before now.
+func (s *KeyStore) prune(now entime.Interval) {
+	horizon := now.Add(-StorageDays * entime.EKRollingPeriod)
+	kept := s.keys[:0]
+	for _, k := range s.keys {
+		if k.RollingStart.Add(int(k.RollingPeriod)) > horizon {
+			kept = append(kept, k)
+		}
+	}
+	s.keys = kept
+}
+
+// KeysSince returns the stored keys whose validity overlaps
+// [from, now], oldest first — the set a user shares on diagnosis. Keys are
+// copied so callers cannot mutate store state.
+func (s *KeyStore) KeysSince(from, now entime.Interval) []TEK {
+	var out []TEK
+	for _, k := range s.keys {
+		end := k.RollingStart.Add(int(k.RollingPeriod))
+		if end > from && k.RollingStart <= now {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained keys.
+func (s *KeyStore) Len() int { return len(s.keys) }
+
+// DiagnosisKey is a TEK shared by a user diagnosed with COVID-19, enriched
+// with the transmission risk metadata the CWA attaches on upload.
+type DiagnosisKey struct {
+	TEK
+	// TransmissionRiskLevel in 1..8 encodes how infectious the user
+	// presumably was while the key was active.
+	TransmissionRiskLevel uint8
+}
+
+// Validate checks the structural invariants enforced by the submission
+// service: aligned rolling start, sane rolling period and risk level.
+func (d DiagnosisKey) Validate() error {
+	if d.RollingStart%entime.EKRollingPeriod != 0 {
+		return errors.New("exposure: diagnosis key rolling start not period-aligned")
+	}
+	if d.RollingPeriod == 0 || d.RollingPeriod > entime.EKRollingPeriod {
+		return fmt.Errorf("exposure: invalid rolling period %d", d.RollingPeriod)
+	}
+	if d.TransmissionRiskLevel < 1 || d.TransmissionRiskLevel > 8 {
+		return fmt.Errorf("exposure: invalid transmission risk level %d", d.TransmissionRiskLevel)
+	}
+	return nil
+}

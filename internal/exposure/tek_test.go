@@ -1,0 +1,132 @@
+package exposure
+
+import (
+	"math/rand"
+	"testing"
+
+	"cwatrace/internal/entime"
+)
+
+// testRNG returns a deterministic randomness source for reproducible tests.
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestActiveKeyStablePerPeriod(t *testing.T) {
+	s := NewKeyStore(testRNG(1))
+	i := entime.Interval(2_650_000).KeyPeriodStart()
+	k1, err := s.ActiveKey(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := s.ActiveKey(i.Add(entime.EKRollingPeriod - 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("same rolling period must yield same TEK")
+	}
+	k3, err := s.ActiveKey(i.Add(entime.EKRollingPeriod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3.Key == k1.Key {
+		t.Fatal("next rolling period must yield a fresh TEK")
+	}
+	if k3.RollingStart != i.Add(entime.EKRollingPeriod) {
+		t.Fatalf("rolling start = %d", k3.RollingStart)
+	}
+}
+
+func TestKeyStorePrunes(t *testing.T) {
+	s := NewKeyStore(testRNG(2))
+	base := entime.IntervalOf(entime.StudyStart).KeyPeriodStart()
+	for day := 0; day < 30; day++ {
+		if _, err := s.ActiveKey(base.Add(day * entime.EKRollingPeriod)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() > StorageDays+1 {
+		t.Fatalf("store retains %d keys, want <= %d", s.Len(), StorageDays+1)
+	}
+}
+
+func TestKeysSince(t *testing.T) {
+	s := NewKeyStore(testRNG(3))
+	base := entime.IntervalOf(entime.StudyStart).KeyPeriodStart()
+	for day := 0; day < 10; day++ {
+		if _, err := s.ActiveKey(base.Add(day * entime.EKRollingPeriod)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := base.Add(9 * entime.EKRollingPeriod)
+	// Last 5 days: keys whose validity overlaps [now-5d, now].
+	got := s.KeysSince(now.Add(-5*entime.EKRollingPeriod), now)
+	if len(got) != 6 {
+		t.Fatalf("KeysSince returned %d keys, want 6", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].RollingStart <= got[i-1].RollingStart {
+			t.Fatal("keys must be ordered oldest first")
+		}
+	}
+}
+
+func TestTEKCovers(t *testing.T) {
+	k := TEK{RollingStart: 1440, RollingPeriod: entime.EKRollingPeriod}
+	if !k.Covers(1440) || !k.Covers(1440+entime.EKRollingPeriod-1) {
+		t.Fatal("key must cover its own period")
+	}
+	if k.Covers(1439) || k.Covers(1440+entime.EKRollingPeriod) {
+		t.Fatal("key must not cover outside its period")
+	}
+}
+
+func TestTEKStringRedacts(t *testing.T) {
+	k := TEK{RollingStart: 0, RollingPeriod: 144}
+	for i := range k.Key {
+		k.Key[i] = 0xAB
+	}
+	s := k.String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	// Only the first 4 bytes (8 hex chars) may appear.
+	if want, full := "abababab", "ababababab"; !contains(s, want) || contains(s, full) {
+		t.Fatalf("String %q must contain %q but not %q", s, want, full)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiagnosisKeyValidate(t *testing.T) {
+	good := DiagnosisKey{
+		TEK:                   TEK{RollingStart: 144 * 100, RollingPeriod: 144},
+		TransmissionRiskLevel: 5,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid key rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*DiagnosisKey)
+	}{
+		{"unaligned start", func(d *DiagnosisKey) { d.RollingStart = 7 }},
+		{"zero period", func(d *DiagnosisKey) { d.RollingPeriod = 0 }},
+		{"overlong period", func(d *DiagnosisKey) { d.RollingPeriod = 145 }},
+		{"risk too low", func(d *DiagnosisKey) { d.TransmissionRiskLevel = 0 }},
+		{"risk too high", func(d *DiagnosisKey) { d.TransmissionRiskLevel = 9 }},
+	}
+	for _, c := range cases {
+		d := good
+		c.mut(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}

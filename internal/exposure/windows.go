@@ -1,0 +1,241 @@
+package exposure
+
+import (
+	"fmt"
+	"sort"
+
+	"cwatrace/internal/entime"
+)
+
+// This file implements the Exposure Notification framework's v2 risk mode
+// ("exposure windows"), which the Corona-Warn-App migrated to after the
+// study period. Where v1 reports per-key aggregate durations, v2 delivers
+// up to 30-minute windows of individual BLE scan instances and computes
+// weighted exposure minutes over four attenuation ranges. Implementing it
+// here covers the protocol's forward evolution (the repository's extension
+// feature) and lets the tests contrast both scoring modes on the same
+// encounters.
+
+// Infectiousness classifies a diagnosis key's window by how close the
+// encounter was to symptom onset.
+type Infectiousness int
+
+// Infectiousness levels.
+const (
+	InfectiousnessStandard Infectiousness = iota
+	InfectiousnessHigh
+)
+
+// ReportType classifies how the diagnosis was established.
+type ReportType int
+
+// Report types.
+const (
+	ReportConfirmedTest ReportType = iota
+	ReportSelfReport
+)
+
+// ScanInstance is one BLE scan during an exposure window.
+type ScanInstance struct {
+	// TypicalAttenuationDB is the representative attenuation of the scan.
+	TypicalAttenuationDB int
+	// Seconds is the scan's contribution to contact time.
+	Seconds int
+}
+
+// ExposureWindow groups the scans of one encounter with one diagnosis key
+// within one day.
+type ExposureWindow struct {
+	// Day is the key-period start interval of the window's calendar day.
+	Day            entime.Interval
+	Infectiousness Infectiousness
+	ReportType     ReportType
+	Scans          []ScanInstance
+}
+
+// V2Config is the v2 risk-calculation parameter set. The defaults mirror
+// the CWA's published configuration: four attenuation ranges (immediate,
+// near, medium, other) with weights 1.0/1.0/0.5/0.0 and a 15-minute
+// high-risk threshold on weighted exposure time per day.
+type V2Config struct {
+	// AttenuationBucketEdges split scans into immediate (<= [0]),
+	// near (<= [1]), medium (<= [2]) and other.
+	AttenuationBucketEdges [3]int
+	// BucketWeights weight the seconds of each range.
+	BucketWeights [4]float64
+	// InfectiousnessWeights index by Infectiousness.
+	InfectiousnessWeights [2]float64
+	// ReportTypeWeights index by ReportType.
+	ReportTypeWeights [2]float64
+	// LowRiskMinutes and HighRiskMinutes are the per-day weighted-minute
+	// thresholds.
+	LowRiskMinutes  float64
+	HighRiskMinutes float64
+}
+
+// DefaultV2Config returns the CWA-like defaults.
+func DefaultV2Config() V2Config {
+	return V2Config{
+		AttenuationBucketEdges: [3]int{55, 63, 73},
+		BucketWeights:          [4]float64{1.0, 1.0, 0.5, 0.0},
+		InfectiousnessWeights:  [2]float64{0.8, 1.0},
+		ReportTypeWeights:      [2]float64{1.0, 0.6},
+		LowRiskMinutes:         5,
+		HighRiskMinutes:        15,
+	}
+}
+
+// Validate reports configuration errors.
+func (c V2Config) Validate() error {
+	if !(c.AttenuationBucketEdges[0] <= c.AttenuationBucketEdges[1] &&
+		c.AttenuationBucketEdges[1] <= c.AttenuationBucketEdges[2]) {
+		return fmt.Errorf("exposure: v2 bucket edges misordered: %v", c.AttenuationBucketEdges)
+	}
+	for i, w := range c.BucketWeights {
+		if w < 0 {
+			return fmt.Errorf("exposure: v2 negative bucket weight %d", i)
+		}
+	}
+	if c.LowRiskMinutes <= 0 || c.HighRiskMinutes < c.LowRiskMinutes {
+		return fmt.Errorf("exposure: v2 thresholds invalid: low %f high %f",
+			c.LowRiskMinutes, c.HighRiskMinutes)
+	}
+	return nil
+}
+
+// WeightedMinutes computes the weighted exposure minutes of one window.
+func (c V2Config) WeightedMinutes(w ExposureWindow) float64 {
+	var seconds float64
+	for _, s := range w.Scans {
+		seconds += float64(s.Seconds) * c.BucketWeights[c.bucketOf(s.TypicalAttenuationDB)]
+	}
+	minutes := seconds / 60
+	minutes *= c.InfectiousnessWeights[clampIdx(int(w.Infectiousness), 2)]
+	minutes *= c.ReportTypeWeights[clampIdx(int(w.ReportType), 2)]
+	return minutes
+}
+
+func (c V2Config) bucketOf(att int) int {
+	switch {
+	case att <= c.AttenuationBucketEdges[0]:
+		return 0
+	case att <= c.AttenuationBucketEdges[1]:
+		return 1
+	case att <= c.AttenuationBucketEdges[2]:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// DayRiskLevel is the per-day verdict of the v2 calculation.
+type DayRiskLevel int
+
+// Day risk levels, ordered.
+const (
+	RiskNone DayRiskLevel = iota
+	RiskLow
+	RiskHigh
+)
+
+// String implements fmt.Stringer.
+func (l DayRiskLevel) String() string {
+	switch l {
+	case RiskLow:
+		return "low"
+	case RiskHigh:
+		return "high"
+	default:
+		return "none"
+	}
+}
+
+// DayRisk is one day's aggregated v2 outcome.
+type DayRisk struct {
+	Day             entime.Interval
+	WeightedMinutes float64
+	Level           DayRiskLevel
+}
+
+// AggregateDays sums weighted minutes per calendar day and applies the
+// thresholds, returning days in chronological order — the v2 equivalent of
+// the v1 RiskResult.
+func (c V2Config) AggregateDays(windows []ExposureWindow) []DayRisk {
+	perDay := make(map[entime.Interval]float64)
+	for _, w := range windows {
+		perDay[w.Day.KeyPeriodStart()] += c.WeightedMinutes(w)
+	}
+	out := make([]DayRisk, 0, len(perDay))
+	for day, minutes := range perDay {
+		level := RiskNone
+		switch {
+		case minutes >= c.HighRiskMinutes:
+			level = RiskHigh
+		case minutes >= c.LowRiskMinutes:
+			level = RiskLow
+		}
+		out = append(out, DayRisk{Day: day, WeightedMinutes: minutes, Level: level})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
+	return out
+}
+
+// MaxLevel returns the highest level across days (what the app surfaces).
+func MaxLevel(days []DayRisk) DayRiskLevel {
+	max := RiskNone
+	for _, d := range days {
+		if d.Level > max {
+			max = d.Level
+		}
+	}
+	return max
+}
+
+// WindowsFromExposures bridges the v1 matcher output into v2 exposure
+// windows: matched encounters are grouped per (key, day) and their
+// durations become scan instances. Transmission risk levels >= 6 map to
+// high infectiousness, mirroring the CWA's mapping of its v1 levels.
+func WindowsFromExposures(exposures []Exposure) []ExposureWindow {
+	type groupKey struct {
+		tek TEK
+		day entime.Interval
+	}
+	groups := make(map[groupKey]*ExposureWindow)
+	var order []groupKey
+	for _, e := range exposures {
+		gk := groupKey{tek: e.Key.TEK, day: e.Interval.KeyPeriodStart()}
+		w, ok := groups[gk]
+		if !ok {
+			inf := InfectiousnessStandard
+			if e.Key.TransmissionRiskLevel >= 6 {
+				inf = InfectiousnessHigh
+			}
+			w = &ExposureWindow{
+				Day:            gk.day,
+				Infectiousness: inf,
+				ReportType:     ReportConfirmedTest,
+			}
+			groups[gk] = w
+			order = append(order, gk)
+		}
+		w.Scans = append(w.Scans, ScanInstance{
+			TypicalAttenuationDB: e.AttenuationDB,
+			Seconds:              e.DurationMin * 60,
+		})
+	}
+	out := make([]ExposureWindow, 0, len(order))
+	for _, gk := range order {
+		out = append(out, *groups[gk])
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package exposure
+
+import (
+	"math"
+	"testing"
+
+	"cwatrace/internal/entime"
+)
+
+func day0() entime.Interval {
+	return entime.IntervalOf(entime.AppRelease).KeyPeriodStart()
+}
+
+func TestDefaultV2ConfigValid(t *testing.T) {
+	if err := DefaultV2Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2ConfigValidate(t *testing.T) {
+	c := DefaultV2Config()
+	c.AttenuationBucketEdges = [3]int{70, 60, 50}
+	if err := c.Validate(); err == nil {
+		t.Error("misordered edges must fail")
+	}
+	c = DefaultV2Config()
+	c.BucketWeights[2] = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative weight must fail")
+	}
+	c = DefaultV2Config()
+	c.HighRiskMinutes = c.LowRiskMinutes - 1
+	if err := c.Validate(); err == nil {
+		t.Error("high < low must fail")
+	}
+	c = DefaultV2Config()
+	c.LowRiskMinutes = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero low threshold must fail")
+	}
+}
+
+func TestWeightedMinutesBuckets(t *testing.T) {
+	c := DefaultV2Config()
+	mk := func(att, seconds int) ExposureWindow {
+		return ExposureWindow{
+			Day:            day0(),
+			Infectiousness: InfectiousnessHigh, // weight 1.0
+			ReportType:     ReportConfirmedTest,
+			Scans:          []ScanInstance{{TypicalAttenuationDB: att, Seconds: seconds}},
+		}
+	}
+	// Immediate range: full weight.
+	if got := c.WeightedMinutes(mk(50, 600)); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("immediate 10min = %f", got)
+	}
+	// Medium range: half weight.
+	if got := c.WeightedMinutes(mk(70, 600)); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("medium 10min = %f", got)
+	}
+	// Other range: zero.
+	if got := c.WeightedMinutes(mk(90, 600)); got != 0 {
+		t.Fatalf("far contact = %f", got)
+	}
+}
+
+func TestWeightedMinutesModifiers(t *testing.T) {
+	c := DefaultV2Config()
+	base := ExposureWindow{
+		Day:            day0(),
+		Infectiousness: InfectiousnessHigh,
+		ReportType:     ReportConfirmedTest,
+		Scans:          []ScanInstance{{TypicalAttenuationDB: 50, Seconds: 600}},
+	}
+	std := base
+	std.Infectiousness = InfectiousnessStandard
+	if c.WeightedMinutes(std) >= c.WeightedMinutes(base) {
+		t.Fatal("standard infectiousness must weigh less than high")
+	}
+	self := base
+	self.ReportType = ReportSelfReport
+	if c.WeightedMinutes(self) >= c.WeightedMinutes(base) {
+		t.Fatal("self report must weigh less than confirmed test")
+	}
+}
+
+func TestAggregateDaysThresholds(t *testing.T) {
+	c := DefaultV2Config()
+	scan := func(sec int) []ScanInstance {
+		return []ScanInstance{{TypicalAttenuationDB: 50, Seconds: sec}}
+	}
+	windows := []ExposureWindow{
+		// Day 0: 20 close minutes -> high.
+		{Day: day0(), Infectiousness: InfectiousnessHigh, Scans: scan(1200)},
+		// Day 1: two windows of 4 minutes each -> 8 min -> low.
+		{Day: day0().Add(entime.EKRollingPeriod), Infectiousness: InfectiousnessHigh, Scans: scan(240)},
+		{Day: day0().Add(entime.EKRollingPeriod), Infectiousness: InfectiousnessHigh, Scans: scan(240)},
+		// Day 2: 2 minutes -> none.
+		{Day: day0().Add(2 * entime.EKRollingPeriod), Infectiousness: InfectiousnessHigh, Scans: scan(120)},
+	}
+	days := c.AggregateDays(windows)
+	if len(days) != 3 {
+		t.Fatalf("days = %d", len(days))
+	}
+	if days[0].Level != RiskHigh || days[1].Level != RiskLow || days[2].Level != RiskNone {
+		t.Fatalf("levels = %v %v %v", days[0].Level, days[1].Level, days[2].Level)
+	}
+	if days[0].Day >= days[1].Day || days[1].Day >= days[2].Day {
+		t.Fatal("days not chronological")
+	}
+	if MaxLevel(days) != RiskHigh {
+		t.Fatalf("max level = %v", MaxLevel(days))
+	}
+	if MaxLevel(nil) != RiskNone {
+		t.Fatal("empty max level must be none")
+	}
+}
+
+func TestWindowsFromExposuresGrouping(t *testing.T) {
+	tekA := fixedTEK(0x01)
+	tekB := fixedTEK(0x02)
+	d0 := day0()
+	exposures := []Exposure{
+		{Encounter: Encounter{Interval: d0.Add(10), DurationMin: 10, AttenuationDB: 50},
+			Key: DiagnosisKey{TEK: tekA, TransmissionRiskLevel: 7}},
+		{Encounter: Encounter{Interval: d0.Add(50), DurationMin: 5, AttenuationDB: 60},
+			Key: DiagnosisKey{TEK: tekA, TransmissionRiskLevel: 7}},
+		{Encounter: Encounter{Interval: d0.Add(20), DurationMin: 8, AttenuationDB: 45},
+			Key: DiagnosisKey{TEK: tekB, TransmissionRiskLevel: 3}},
+	}
+	windows := WindowsFromExposures(exposures)
+	if len(windows) != 2 {
+		t.Fatalf("windows = %d, want 2 (grouped per key+day)", len(windows))
+	}
+	if len(windows[0].Scans) != 2 || len(windows[1].Scans) != 1 {
+		t.Fatalf("scan counts = %d, %d", len(windows[0].Scans), len(windows[1].Scans))
+	}
+	if windows[0].Infectiousness != InfectiousnessHigh {
+		t.Fatal("risk level 7 must map to high infectiousness")
+	}
+	if windows[1].Infectiousness != InfectiousnessStandard {
+		t.Fatal("risk level 3 must map to standard infectiousness")
+	}
+}
+
+// TestV1VersusV2OnSameContact: both scoring modes agree on the verdict for
+// a clear-cut close long contact and a clear-cut negligible one.
+func TestV1VersusV2OnSameContact(t *testing.T) {
+	infected := fixedTEK(0x33)
+	strong := []Exposure{{
+		Encounter: Encounter{Interval: infected.RollingStart.Add(30), DurationMin: 25, AttenuationDB: 48},
+		Key:       DiagnosisKey{TEK: infected, TransmissionRiskLevel: 6},
+	}}
+	weak := []Exposure{{
+		Encounter: Encounter{Interval: infected.RollingStart.Add(30), DurationMin: 2, AttenuationDB: 85},
+		Key:       DiagnosisKey{TEK: infected, TransmissionRiskLevel: 2},
+	}}
+
+	v1 := DefaultRiskConfig()
+	v2 := DefaultV2Config()
+
+	if !v1.Score(strong).Elevated {
+		t.Fatal("v1 must elevate the strong contact")
+	}
+	if MaxLevel(v2.AggregateDays(WindowsFromExposures(strong))) != RiskHigh {
+		t.Fatal("v2 must mark the strong contact high")
+	}
+	if v1.Score(weak).Elevated {
+		t.Fatal("v1 must not elevate the weak contact")
+	}
+	if MaxLevel(v2.AggregateDays(WindowsFromExposures(weak))) != RiskNone {
+		t.Fatal("v2 must ignore the weak contact")
+	}
+}
+
+func TestDayRiskLevelString(t *testing.T) {
+	if RiskNone.String() != "none" || RiskLow.String() != "low" || RiskHigh.String() != "high" {
+		t.Fatal("level strings wrong")
+	}
+}

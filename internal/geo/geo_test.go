@@ -1,0 +1,191 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGermanyShape(t *testing.T) {
+	m := Germany()
+	if got := len(m.States()); got != 16 {
+		t.Fatalf("states = %d, want 16", got)
+	}
+	if got := m.NumDistricts(); got != 401 {
+		t.Fatalf("districts = %d, want 401", got)
+	}
+	pop := m.TotalPopulation()
+	if pop < 80_000_000 || pop > 86_000_000 {
+		t.Fatalf("total population %d implausible for Germany", pop)
+	}
+}
+
+func TestGermanyDeterministic(t *testing.T) {
+	a, b := Germany(), Germany()
+	da, db := a.Districts(), b.Districts()
+	if len(da) != len(db) {
+		t.Fatal("district counts differ across constructions")
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("district %d differs: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+}
+
+func TestNamedDistrictsPresent(t *testing.T) {
+	m := Germany()
+	for _, name := range []string{"Berlin", "Gütersloh", "Warendorf"} {
+		d, ok := m.DistrictByName(name)
+		if !ok {
+			t.Fatalf("district %q missing", name)
+		}
+		if d.Population <= 0 {
+			t.Fatalf("%s has no population", name)
+		}
+	}
+	b, _ := m.DistrictByName("Berlin")
+	if b.StateCode != "BE" || !b.Urban {
+		t.Fatalf("Berlin misclassified: %+v", b)
+	}
+	g, _ := m.DistrictByName("Gütersloh")
+	w, _ := m.DistrictByName("Warendorf")
+	if g.StateCode != "NW" || w.StateCode != "NW" {
+		t.Fatal("Gütersloh/Warendorf must be in NW")
+	}
+	if d := DistanceKm(g, w); d > 60 {
+		t.Fatalf("Gütersloh-Warendorf distance %f km, should be neighbors", d)
+	}
+}
+
+func TestDistrictCountsPerState(t *testing.T) {
+	m := Germany()
+	want := map[string]int{
+		"BW": 44, "BY": 96, "BE": 1, "BB": 18, "HB": 2, "HH": 1,
+		"HE": 26, "MV": 8, "NI": 45, "NW": 53, "RP": 36, "SL": 6,
+		"SN": 13, "ST": 14, "SH": 15, "TH": 23,
+	}
+	total := 0
+	for code, n := range want {
+		got := len(m.DistrictsOfState(code))
+		if got != n {
+			t.Errorf("state %s: %d districts, want %d", code, got, n)
+		}
+		total += got
+	}
+	if total != 401 {
+		t.Fatalf("sum = %d", total)
+	}
+}
+
+func TestStatePopulationsApproximatelyPreserved(t *testing.T) {
+	m := Germany()
+	for _, st := range m.States() {
+		var sum int
+		for _, d := range m.DistrictsOfState(st.Code) {
+			sum += d.Population
+		}
+		// The >=35k floor can push small-district states slightly over.
+		ratio := float64(sum) / float64(st.Population)
+		if ratio < 0.95 || ratio > 1.15 {
+			t.Errorf("state %s: district sum %d vs state %d (ratio %.3f)",
+				st.Code, sum, st.Population, ratio)
+		}
+	}
+}
+
+func TestDistrictByID(t *testing.T) {
+	m := Germany()
+	d, ok := m.DistrictByID("NW-000")
+	if !ok || d.Name != "Gütersloh" {
+		t.Fatalf("NW-000 = %+v, ok=%v", d, ok)
+	}
+	if _, ok := m.DistrictByID("XX-999"); ok {
+		t.Fatal("unknown ID must not resolve")
+	}
+}
+
+func TestDistrictIDsUniqueAndOrdered(t *testing.T) {
+	m := Germany()
+	seen := make(map[string]bool)
+	prev := ""
+	for _, d := range m.Districts() {
+		if seen[d.ID] {
+			t.Fatalf("duplicate ID %s", d.ID)
+		}
+		seen[d.ID] = true
+		if d.ID <= prev {
+			t.Fatalf("IDs not strictly ascending: %s after %s", d.ID, prev)
+		}
+		prev = d.ID
+	}
+}
+
+func TestDistrictFieldsPlausible(t *testing.T) {
+	m := Germany()
+	for _, d := range m.Districts() {
+		if d.Population < 30_000 {
+			t.Errorf("%s population %d too small", d.ID, d.Population)
+		}
+		if d.Lat < 47 || d.Lat > 56 || d.Lon < 5 || d.Lon > 16 {
+			t.Errorf("%s coordinates (%f, %f) outside Germany", d.ID, d.Lat, d.Lon)
+		}
+		if len(d.ZIP) != 5 {
+			t.Errorf("%s ZIP %q not 5 digits", d.ID, d.ZIP)
+		}
+		if _, ok := m.StateByCode(d.StateCode); !ok {
+			t.Errorf("%s references unknown state %s", d.ID, d.StateCode)
+		}
+	}
+}
+
+func TestStateByCode(t *testing.T) {
+	m := Germany()
+	st, ok := m.StateByCode("NW")
+	if !ok || st.Name != "Nordrhein-Westfalen" {
+		t.Fatalf("NW = %+v, ok=%v", st, ok)
+	}
+	if _, ok := m.StateByCode("ZZ"); ok {
+		t.Fatal("unknown state code must not resolve")
+	}
+}
+
+func TestDistanceKm(t *testing.T) {
+	m := Germany()
+	b, _ := m.DistrictByName("Berlin")
+	if d := DistanceKm(b, b); d != 0 {
+		t.Fatalf("self distance = %f", d)
+	}
+	g, _ := m.DistrictByName("Gütersloh")
+	d := DistanceKm(b, g)
+	// Berlin-Gütersloh is roughly 340 km.
+	if math.Abs(d-340) > 60 {
+		t.Fatalf("Berlin-Gütersloh = %f km, expected ~340", d)
+	}
+	if DistanceKm(g, b) != d {
+		t.Fatal("distance must be symmetric")
+	}
+}
+
+func TestDistrictsReturnsCopy(t *testing.T) {
+	m := Germany()
+	ds := m.Districts()
+	ds[0].Population = -1
+	if m.Districts()[0].Population == -1 {
+		t.Fatal("Districts must return a copy")
+	}
+}
+
+func TestUrbanShare(t *testing.T) {
+	m := Germany()
+	urban := 0
+	for _, d := range m.Districts() {
+		if d.Urban {
+			urban++
+		}
+	}
+	// Germany has ~80 urban districts (kreisfreie Städte >250k are fewer,
+	// but the synthesizer's tail should land in a sane band).
+	if urban < 10 || urban > 120 {
+		t.Fatalf("urban districts = %d, outside plausible band", urban)
+	}
+}

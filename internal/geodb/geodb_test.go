@@ -1,0 +1,238 @@
+package geodb
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"cwatrace/internal/cryptopan"
+	"cwatrace/internal/geo"
+)
+
+var model = geo.Germany()
+
+// buildInfos creates n prefixes spread over districts and two ISPs:
+// "Blau" (partner) for every 5th prefix, "Magenta" otherwise.
+func buildInfos(n int) []PrefixInfo {
+	districts := model.Districts()
+	out := make([]PrefixInfo, n)
+	for i := range out {
+		d := districts[i%len(districts)]
+		isp := "Magenta"
+		if i%5 == 0 {
+			isp = "Blau"
+		}
+		out[i] = PrefixInfo{
+			Prefix:     netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i >> 8), byte(i), 0}), 24),
+			RouterID:   fmt.Sprintf("%s/%s", isp, d.ID),
+			DistrictID: d.ID,
+			ISPName:    isp,
+		}
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GeoIPErrorRate = 1.5
+	if _, err := Build(model, nil, cfg, nil); err == nil {
+		t.Error("error rate > 1 must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.SameStateBias = -0.1
+	if _, err := Build(model, nil, cfg, nil); err == nil {
+		t.Error("negative bias must fail")
+	}
+	bad := []PrefixInfo{{
+		Prefix:     netip.MustParsePrefix("20.0.0.0/24"),
+		DistrictID: "XX-999",
+		ISPName:    "Magenta",
+	}}
+	if _, err := Build(model, bad, DefaultConfig(), nil); err == nil {
+		t.Error("unknown district must fail")
+	}
+}
+
+func TestPartnerISPIsGroundTruth(t *testing.T) {
+	infos := buildInfos(500)
+	db, err := Build(model, infos, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.ISPName != "Blau" {
+			continue
+		}
+		e, ok := db.LocatePrefix(info.Prefix)
+		if !ok {
+			t.Fatalf("partner prefix %s not in db", info.Prefix)
+		}
+		if e.Source != SourceRouter {
+			t.Fatalf("partner prefix %s has source %s", info.Prefix, e.Source)
+		}
+		if e.DistrictID != info.DistrictID {
+			t.Fatalf("partner prefix %s located to %s, truth %s",
+				info.Prefix, e.DistrictID, info.DistrictID)
+		}
+	}
+}
+
+func TestGeoIPErrorRateApproximatelyHolds(t *testing.T) {
+	infos := buildInfos(4000)
+	cfg := DefaultConfig()
+	db, err := Build(model, infos, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var geoip, wrong int
+	for _, info := range infos {
+		if info.ISPName == "Blau" {
+			continue
+		}
+		e, ok := db.LocatePrefix(info.Prefix)
+		if !ok {
+			t.Fatalf("prefix %s missing", info.Prefix)
+		}
+		if e.Source != SourceGeoIP {
+			t.Fatalf("non-partner prefix %s has source %s", info.Prefix, e.Source)
+		}
+		geoip++
+		if e.DistrictID != info.DistrictID {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / float64(geoip)
+	if rate < cfg.GeoIPErrorRate-0.05 || rate > cfg.GeoIPErrorRate+0.05 {
+		t.Fatalf("observed error rate %.3f, configured %.3f", rate, cfg.GeoIPErrorRate)
+	}
+}
+
+func TestErrorsMostlySameState(t *testing.T) {
+	infos := buildInfos(4000)
+	cfg := DefaultConfig()
+	db, err := Build(model, infos, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong, sameState int
+	for _, info := range infos {
+		if info.ISPName == "Blau" {
+			continue
+		}
+		e, _ := db.LocatePrefix(info.Prefix)
+		if e.DistrictID == info.DistrictID {
+			continue
+		}
+		wrong++
+		truth, _ := model.DistrictByID(info.DistrictID)
+		got, _ := model.DistrictByID(e.DistrictID)
+		if truth.StateCode == got.StateCode {
+			sameState++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("no errors to inspect")
+	}
+	share := float64(sameState) / float64(wrong)
+	// Multi-district states dominate the sample, so the observed share
+	// should be near the configured bias.
+	if share < cfg.SameStateBias-0.12 || share > cfg.SameStateBias+0.12 {
+		t.Fatalf("same-state error share %.3f, configured bias %.3f", share, cfg.SameStateBias)
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	infos := buildInfos(300)
+	a, err := Build(model, infos, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(model, infos, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		ea, _ := a.LocatePrefix(info.Prefix)
+		eb, _ := b.LocatePrefix(info.Prefix)
+		if ea != eb {
+			t.Fatalf("nondeterministic entry for %s: %+v vs %+v", info.Prefix, ea, eb)
+		}
+	}
+}
+
+func TestAnonymizedKeying(t *testing.T) {
+	key := make([]byte, cryptopan.KeySize)
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	anon, err := cryptopan.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := buildInfos(50)
+	db, err := Build(model, infos, DefaultConfig(), anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A client address inside a known prefix, anonymized the way the
+	// collector does it, must resolve.
+	clientAddr := netip.MustParseAddr("20.0.0.42") // inside infos[0] prefix
+	anonAddr := anon.Anonymize(clientAddr)
+	e, ok := db.Locate(anonAddr)
+	if !ok {
+		t.Fatal("anonymized client address did not resolve")
+	}
+	if e.DistrictID == "" {
+		t.Fatal("empty district")
+	}
+	// The raw (un-anonymized) address must NOT resolve: the DB is keyed
+	// by anonymized prefixes only.
+	if _, ok := db.Locate(clientAddr); ok {
+		t.Fatal("raw address resolved against anonymized database")
+	}
+}
+
+func TestLocateUnknown(t *testing.T) {
+	db, err := Build(model, buildInfos(10), DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Locate(netip.MustParseAddr("99.99.99.99")); ok {
+		t.Fatal("unknown prefix must not resolve")
+	}
+}
+
+func TestSourceShares(t *testing.T) {
+	db, err := Build(model, buildInfos(1000), DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := db.SourceShares()
+	// Every 5th prefix is partner → 20% router share here.
+	if shares[SourceRouter] < 0.15 || shares[SourceRouter] > 0.25 {
+		t.Fatalf("router share %.3f, want ~0.20", shares[SourceRouter])
+	}
+	if got := shares[SourceRouter] + shares[SourceGeoIP]; got < 0.999 || got > 1.001 {
+		t.Fatalf("shares must sum to 1, got %f", got)
+	}
+	if db.Len() != 1000 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestSourceSharesEmpty(t *testing.T) {
+	db, err := Build(model, nil, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.SourceShares()) != 0 {
+		t.Fatal("empty db must have empty shares")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SourceRouter.String() != "router" || SourceGeoIP.String() != "geoip" ||
+		SourceUnknown.String() != "unknown" {
+		t.Fatal("Source.String mismatch")
+	}
+}

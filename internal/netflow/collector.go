@@ -1,0 +1,59 @@
+package netflow
+
+import (
+	"net/netip"
+	"sort"
+
+	"cwatrace/internal/cryptopan"
+)
+
+// Collector accumulates exported records from every router at the vantage
+// point and applies the trace-release policy of the data set: client
+// addresses are prefix-preserving anonymized, server addresses (needed for
+// filtering) are left intact.
+type Collector struct {
+	anon *cryptopan.Anonymizer
+	// keep decides which addresses stay un-anonymized (the CWA hosting
+	// prefixes).
+	keep    func(netip.Addr) bool
+	records []Record
+}
+
+// NewCollector creates a collector. anon may be nil to disable
+// anonymization (useful in unit tests); keep may be nil to anonymize
+// everything.
+func NewCollector(anon *cryptopan.Anonymizer, keep func(netip.Addr) bool) *Collector {
+	if keep == nil {
+		keep = func(netip.Addr) bool { return false }
+	}
+	return &Collector{anon: anon, keep: keep}
+}
+
+// Ingest stores records after applying the anonymization policy.
+func (c *Collector) Ingest(recs []Record) {
+	for _, r := range recs {
+		if c.anon != nil {
+			if !c.keep(r.Src) {
+				r.Src = c.anon.Anonymize(r.Src)
+			}
+			if !c.keep(r.Dst) {
+				r.Dst = c.anon.Anonymize(r.Dst)
+			}
+		}
+		c.records = append(c.records, r)
+	}
+}
+
+// Len reports the number of collected records.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Records returns the collected records sorted under the package's total
+// record order (deterministic across identical runs). The slice is owned by
+// the collector until this call; callers must not Ingest afterwards while
+// holding it.
+func (c *Collector) Records() []Record {
+	sort.SliceStable(c.records, func(i, j int) bool {
+		return RecordLess(c.records[i], c.records[j])
+	})
+	return c.records
+}

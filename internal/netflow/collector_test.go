@@ -1,0 +1,103 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"cwatrace/internal/cryptopan"
+	"cwatrace/internal/netsim"
+)
+
+func testAnonymizer(t *testing.T) *cryptopan.Anonymizer {
+	t.Helper()
+	key := make([]byte, cryptopan.KeySize)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	a, err := cryptopan.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func rec(src, dst string, at time.Time) Record {
+	return Record{
+		Key: Key{
+			Src:     netip.MustParseAddr(src),
+			Dst:     netip.MustParseAddr(dst),
+			SrcPort: 443, DstPort: 51000, Proto: ProtoTCP,
+		},
+		Packets: 1, Bytes: 100, First: at, Last: at, Exporter: "r1",
+	}
+}
+
+func TestCollectorAnonymizesClientsOnly(t *testing.T) {
+	c := NewCollector(testAnonymizer(t), netsim.IsCWAServer)
+	server := "198.51.100.10"
+	client := "20.0.1.5"
+	c.Ingest([]Record{rec(server, client, t0)})
+	got := c.Records()
+	if len(got) != 1 {
+		t.Fatalf("records = %d", len(got))
+	}
+	if got[0].Src.String() != server {
+		t.Fatalf("server address must stay intact, got %s", got[0].Src)
+	}
+	if got[0].Dst.String() == client {
+		t.Fatal("client address must be anonymized")
+	}
+}
+
+func TestCollectorPrefixPreservationSurvives(t *testing.T) {
+	c := NewCollector(testAnonymizer(t), netsim.IsCWAServer)
+	c.Ingest([]Record{
+		rec("198.51.100.10", "20.0.1.5", t0),
+		rec("198.51.100.10", "20.0.1.77", t0.Add(time.Second)),
+		rec("198.51.100.10", "21.9.9.9", t0.Add(2*time.Second)),
+	})
+	got := c.Records()
+	p := netip.PrefixFrom(got[0].Dst, 24).Masked()
+	if !p.Contains(got[1].Dst) {
+		t.Fatal("same-/24 clients must stay in one anonymized /24")
+	}
+	if p.Contains(got[2].Dst) {
+		t.Fatal("different-prefix client must map elsewhere")
+	}
+}
+
+func TestCollectorNilAnonymizer(t *testing.T) {
+	c := NewCollector(nil, nil)
+	c.Ingest([]Record{rec("198.51.100.10", "20.0.1.5", t0)})
+	if got := c.Records(); got[0].Dst.String() != "20.0.1.5" {
+		t.Fatal("nil anonymizer must pass addresses through")
+	}
+}
+
+func TestCollectorNilKeepAnonymizesEverything(t *testing.T) {
+	c := NewCollector(testAnonymizer(t), nil)
+	c.Ingest([]Record{rec("198.51.100.10", "20.0.1.5", t0)})
+	got := c.Records()
+	if got[0].Src.String() == "198.51.100.10" {
+		t.Fatal("nil keep must anonymize server addresses too")
+	}
+}
+
+func TestCollectorSortsByTime(t *testing.T) {
+	c := NewCollector(nil, nil)
+	c.Ingest([]Record{
+		rec("198.51.100.10", "20.0.1.5", t0.Add(5*time.Second)),
+		rec("198.51.100.10", "20.0.1.6", t0),
+		rec("198.51.100.10", "20.0.1.7", t0.Add(2*time.Second)),
+	})
+	got := c.Records()
+	for i := 1; i < len(got); i++ {
+		if got[i].First.Before(got[i-1].First) {
+			t.Fatal("records not time ordered")
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}

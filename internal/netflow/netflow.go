@@ -1,0 +1,260 @@
+// Package netflow reproduces the vantage point of the paper: routers that
+// observe packets, sample them, aggregate sampled packets into flow-cache
+// entries, and export flow records when cache entries time out or are
+// evicted. The paper's key measurement caveats — packet sampling and "the
+// routers Netflow cache eviction settings ... result in only observing few
+// packets for most flows" — are explicit parameters here, so the ablation
+// benches can sweep them.
+package netflow
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Proto numbers for the records.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// PortHTTPS is the only destination port the study keeps ("the data [is
+// restricted] to encrypted HTTPS (tcp/443) IPv4 flows").
+const PortHTTPS uint16 = 443
+
+// Packet is one observed packet at a router.
+type Packet struct {
+	Time    time.Time
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+	Bytes   int
+}
+
+// Key is the flow five-tuple cache key.
+type Key struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Record is an exported flow record as the collector receives it.
+type Record struct {
+	Key
+	Packets  uint64
+	Bytes    uint64
+	First    time.Time
+	Last     time.Time
+	Exporter string // router ID of the exporting device
+}
+
+// keyLess is a total order over flow keys, used to keep export batches
+// deterministic regardless of map iteration order.
+func keyLess(a, b Key) bool {
+	if c := a.Src.Compare(b.Src); c != 0 {
+		return c < 0
+	}
+	if c := a.Dst.Compare(b.Dst); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
+// RecordLess is a total order over records: start time, then exporter, then
+// flow key. Identical simulation runs produce identical record sequences
+// under this order.
+func RecordLess(a, b Record) bool {
+	if !a.First.Equal(b.First) {
+		return a.First.Before(b.First)
+	}
+	if a.Exporter != b.Exporter {
+		return a.Exporter < b.Exporter
+	}
+	return keyLess(a.Key, b.Key)
+}
+
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return RecordLess(recs[i], recs[j]) })
+}
+
+// Config parameterizes a router's flow monitoring.
+type Config struct {
+	// SampleRate is 1-in-N packet sampling; 1 disables sampling. The
+	// paper's vantage point uses sampled Netflow.
+	SampleRate int
+	// ActiveTimeout chops long-lived flows into multiple records.
+	ActiveTimeout time.Duration
+	// InactiveTimeout expires idle entries.
+	InactiveTimeout time.Duration
+	// MaxEntries caps the cache; overflow evicts the longest-idle entry,
+	// producing the short truncated records the paper describes.
+	MaxEntries int
+}
+
+// DefaultConfig mirrors common carrier settings: 1:100 sampling, 60s/15s
+// timeouts, 64k entries.
+func DefaultConfig() Config {
+	return Config{
+		SampleRate:      100,
+		ActiveTimeout:   60 * time.Second,
+		InactiveTimeout: 15 * time.Second,
+		MaxEntries:      65536,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SampleRate < 1 {
+		return fmt.Errorf("netflow: SampleRate %d < 1", c.SampleRate)
+	}
+	if c.ActiveTimeout <= 0 || c.InactiveTimeout <= 0 {
+		return fmt.Errorf("netflow: timeouts must be positive")
+	}
+	if c.InactiveTimeout > c.ActiveTimeout {
+		return fmt.Errorf("netflow: inactive timeout exceeds active timeout")
+	}
+	if c.MaxEntries < 1 {
+		return fmt.Errorf("netflow: MaxEntries %d < 1", c.MaxEntries)
+	}
+	return nil
+}
+
+type entry struct {
+	rec Record
+}
+
+// Cache is one router's flow cache. It is not safe for concurrent use; the
+// simulator drives each router from its event loop.
+type Cache struct {
+	cfg      Config
+	exporter string
+	rng      *rand.Rand
+	entries  map[Key]*entry
+
+	// sampled and observed count packets for the census the ablation
+	// reports.
+	observed uint64
+	sampled  uint64
+}
+
+// NewCache creates a flow cache for the named exporter. rng drives the
+// sampling decision; passing a seeded source keeps runs reproducible.
+func NewCache(exporter string, cfg Config, rng *rand.Rand) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("netflow: rng must not be nil")
+	}
+	return &Cache{
+		cfg:      cfg,
+		exporter: exporter,
+		rng:      rng,
+		entries:  make(map[Key]*entry),
+	}, nil
+}
+
+// Observe feeds one packet through sampling into the cache. It returns any
+// records exported as a side effect (active-timeout splits, evictions);
+// usually nil.
+func (c *Cache) Observe(p Packet) []Record {
+	c.observed++
+	if c.cfg.SampleRate > 1 && c.rng.Intn(c.cfg.SampleRate) != 0 {
+		return nil
+	}
+	c.sampled++
+
+	var out []Record
+	k := Key{Src: p.Src, Dst: p.Dst, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Proto}
+	e, ok := c.entries[k]
+	if ok && p.Time.Sub(e.rec.First) >= c.cfg.ActiveTimeout {
+		// Active timeout: export the running record and restart it.
+		out = append(out, e.rec)
+		delete(c.entries, k)
+		ok = false
+	}
+	if !ok {
+		if len(c.entries) >= c.cfg.MaxEntries {
+			if victim := c.evict(); victim != nil {
+				out = append(out, *victim)
+			}
+		}
+		e = &entry{rec: Record{
+			Key:      k,
+			First:    p.Time,
+			Exporter: c.exporter,
+		}}
+		c.entries[k] = e
+	}
+	e.rec.Packets++
+	e.rec.Bytes += uint64(p.Bytes)
+	e.rec.Last = p.Time
+	return out
+}
+
+// evict removes and returns the longest-idle entry. Called only when the
+// cache is full, it produces the premature, packet-poor records the paper
+// attributes to "cache eviction settings". Idle-time ties break on the flow
+// key so eviction is deterministic.
+func (c *Cache) evict() *Record {
+	var victimKey Key
+	var victim *entry
+	for k, e := range c.entries {
+		if victim == nil || e.rec.Last.Before(victim.rec.Last) ||
+			(e.rec.Last.Equal(victim.rec.Last) && keyLess(k, victimKey)) {
+			victimKey, victim = k, e
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	delete(c.entries, victimKey)
+	rec := victim.rec
+	return &rec
+}
+
+// Sweep expires entries idle past the inactive timeout as of now and
+// returns their records in deterministic order. The simulator calls it
+// periodically.
+func (c *Cache) Sweep(now time.Time) []Record {
+	var out []Record
+	for k, e := range c.entries {
+		if now.Sub(e.rec.Last) >= c.cfg.InactiveTimeout {
+			out = append(out, e.rec)
+			delete(c.entries, k)
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+// Drain exports everything still cached in deterministic order; used at the
+// end of a capture.
+func (c *Cache) Drain() []Record {
+	out := make([]Record, 0, len(c.entries))
+	for k, e := range c.entries {
+		out = append(out, e.rec)
+		delete(c.entries, k)
+	}
+	sortRecords(out)
+	return out
+}
+
+// Len reports the number of live cache entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats reports the packets seen and the packets that passed sampling.
+func (c *Cache) Stats() (observed, sampled uint64) { return c.observed, c.sampled }

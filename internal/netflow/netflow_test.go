@@ -1,0 +1,247 @@
+package netflow
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var (
+	t0     = time.Date(2020, time.June, 16, 8, 0, 0, 0, time.UTC)
+	client = netip.MustParseAddr("20.0.0.1")
+	server = netip.MustParseAddr("198.51.100.10")
+)
+
+func pkt(at time.Time, bytes int) Packet {
+	return Packet{
+		Time: at, Src: server, Dst: client,
+		SrcPort: 443, DstPort: 52011, Proto: ProtoTCP, Bytes: bytes,
+	}
+}
+
+func unsampled() Config {
+	cfg := DefaultConfig()
+	cfg.SampleRate = 1
+	return cfg
+}
+
+func newCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := NewCache("r1", cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero sample rate", func(c *Config) { c.SampleRate = 0 }},
+		{"zero active", func(c *Config) { c.ActiveTimeout = 0 }},
+		{"zero inactive", func(c *Config) { c.InactiveTimeout = 0 }},
+		{"inactive > active", func(c *Config) { c.InactiveTimeout = c.ActiveTimeout * 2 }},
+		{"zero entries", func(c *Config) { c.MaxEntries = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCacheRejectsNilRNG(t *testing.T) {
+	if _, err := NewCache("r", DefaultConfig(), nil); err == nil {
+		t.Fatal("nil rng must fail")
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	c := newCache(t, unsampled())
+	for i := 0; i < 5; i++ {
+		if out := c.Observe(pkt(t0.Add(time.Duration(i)*time.Second), 1000)); out != nil {
+			t.Fatalf("unexpected export: %+v", out)
+		}
+	}
+	recs := c.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Packets != 5 || r.Bytes != 5000 {
+		t.Fatalf("aggregation wrong: %+v", r)
+	}
+	if !r.First.Equal(t0) || !r.Last.Equal(t0.Add(4*time.Second)) {
+		t.Fatalf("timestamps wrong: %+v", r)
+	}
+	if r.Exporter != "r1" {
+		t.Fatalf("exporter = %q", r.Exporter)
+	}
+}
+
+func TestDistinctFlowsDistinctEntries(t *testing.T) {
+	c := newCache(t, unsampled())
+	p1 := pkt(t0, 100)
+	p2 := pkt(t0, 100)
+	p2.DstPort = 52012
+	c.Observe(p1)
+	c.Observe(p2)
+	if c.Len() != 2 {
+		t.Fatalf("cache entries = %d, want 2", c.Len())
+	}
+}
+
+func TestActiveTimeoutSplitsLongFlows(t *testing.T) {
+	cfg := unsampled()
+	cfg.ActiveTimeout = 10 * time.Second
+	cfg.InactiveTimeout = 5 * time.Second
+	c := newCache(t, cfg)
+	c.Observe(pkt(t0, 100))
+	c.Observe(pkt(t0.Add(5*time.Second), 100))
+	out := c.Observe(pkt(t0.Add(11*time.Second), 100))
+	if len(out) != 1 {
+		t.Fatalf("active timeout should export 1 record, got %d", len(out))
+	}
+	if out[0].Packets != 2 {
+		t.Fatalf("first chunk packets = %d, want 2", out[0].Packets)
+	}
+	rest := c.Drain()
+	if len(rest) != 1 || rest[0].Packets != 1 {
+		t.Fatalf("second chunk wrong: %+v", rest)
+	}
+}
+
+func TestInactiveTimeoutSweep(t *testing.T) {
+	cfg := unsampled()
+	c := newCache(t, cfg)
+	c.Observe(pkt(t0, 500))
+	if out := c.Sweep(t0.Add(cfg.InactiveTimeout - time.Second)); len(out) != 0 {
+		t.Fatalf("early sweep exported %d records", len(out))
+	}
+	out := c.Sweep(t0.Add(cfg.InactiveTimeout))
+	if len(out) != 1 {
+		t.Fatalf("sweep after timeout exported %d records, want 1", len(out))
+	}
+	if c.Len() != 0 {
+		t.Fatal("entry must be gone after sweep")
+	}
+}
+
+func TestEvictionWhenFull(t *testing.T) {
+	cfg := unsampled()
+	cfg.MaxEntries = 3
+	c := newCache(t, cfg)
+	for i := 0; i < 3; i++ {
+		p := pkt(t0.Add(time.Duration(i)*time.Second), 100)
+		p.DstPort = uint16(50000 + i)
+		c.Observe(p)
+	}
+	// The 4th flow must evict the longest-idle entry (port 50000).
+	p := pkt(t0.Add(3*time.Second), 100)
+	p.DstPort = 50099
+	out := c.Observe(p)
+	if len(out) != 1 {
+		t.Fatalf("eviction should export 1 record, got %d", len(out))
+	}
+	if out[0].DstPort != 50000 {
+		t.Fatalf("evicted wrong entry: port %d", out[0].DstPort)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache size = %d, want 3", c.Len())
+	}
+}
+
+func TestSamplingReducesPackets(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleRate = 10
+	c := newCache(t, cfg)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		p := pkt(t0.Add(time.Duration(i)*time.Millisecond), 100)
+		c.Observe(p)
+	}
+	observed, sampled := c.Stats()
+	if observed != n {
+		t.Fatalf("observed = %d", observed)
+	}
+	// Expect ~1000 sampled; allow generous tolerance.
+	if sampled < n/20 || sampled > n/5 {
+		t.Fatalf("sampled = %d, want around %d", sampled, n/10)
+	}
+	recs := c.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Packets != sampled {
+		t.Fatalf("record packets %d != sampled %d", recs[0].Packets, sampled)
+	}
+}
+
+func TestSamplingRate1KeepsEverything(t *testing.T) {
+	c := newCache(t, unsampled())
+	for i := 0; i < 100; i++ {
+		c.Observe(pkt(t0.Add(time.Duration(i)*time.Millisecond), 10))
+	}
+	observed, sampled := c.Stats()
+	if observed != sampled {
+		t.Fatalf("unsampled cache dropped packets: %d vs %d", observed, sampled)
+	}
+}
+
+// TestAccountingInvariant: for an unsampled cache, the total packets and
+// bytes across all exported records must equal what was observed,
+// regardless of timeouts and evictions.
+func TestAccountingInvariant(t *testing.T) {
+	cfg := unsampled()
+	cfg.MaxEntries = 8
+	cfg.ActiveTimeout = 20 * time.Second
+	cfg.InactiveTimeout = 10 * time.Second
+	c := newCache(t, cfg)
+	rng := rand.New(rand.NewSource(99))
+
+	var wantPkts, wantBytes uint64
+	var got []Record
+	for i := 0; i < 5000; i++ {
+		p := pkt(t0.Add(time.Duration(i)*200*time.Millisecond), 40+rng.Intn(1400))
+		p.DstPort = uint16(50000 + rng.Intn(30))
+		wantPkts++
+		wantBytes += uint64(p.Bytes)
+		got = append(got, c.Observe(p)...)
+		if i%100 == 0 {
+			got = append(got, c.Sweep(p.Time)...)
+		}
+	}
+	got = append(got, c.Drain()...)
+
+	var gotPkts, gotBytes uint64
+	for _, r := range got {
+		gotPkts += r.Packets
+		gotBytes += r.Bytes
+	}
+	if gotPkts != wantPkts || gotBytes != wantBytes {
+		t.Fatalf("accounting broken: got %d pkts/%d bytes, want %d/%d",
+			gotPkts, gotBytes, wantPkts, wantBytes)
+	}
+}
+
+func TestDrainEmptiesCache(t *testing.T) {
+	c := newCache(t, unsampled())
+	c.Observe(pkt(t0, 1))
+	if got := c.Drain(); len(got) != 1 {
+		t.Fatalf("drain = %d records", len(got))
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache must be empty after drain")
+	}
+	if got := c.Drain(); len(got) != 0 {
+		t.Fatal("second drain must be empty")
+	}
+}

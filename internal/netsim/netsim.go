@@ -1,0 +1,339 @@
+// Package netsim models the German access-network side of the measurement:
+// ISPs with market shares and address-assignment policies, city-level
+// aggregation routers (the paper geolocates "local routers within an ISP
+// that connect customers"), IPv4 routing prefixes, and per-client address
+// assignment including the daily churn of dial-up-style ISPs.
+//
+// The paper's persistence analysis leans on the fact that "customers of
+// certain ISPs keep the same IP address over time" while others rotate
+// addresses; both policies are first-class here.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"cwatrace/internal/geo"
+)
+
+// ISP describes one access provider.
+type ISP struct {
+	Name string
+	ASN  uint32
+	// Share is the subscriber market share in [0,1]; shares of a Network's
+	// ISP set should sum to ~1.
+	Share float64
+	// StaticIP is true when customers keep their address across days
+	// (cable and fiber providers); false models daily reconnect dynamics.
+	StaticIP bool
+	// DailyChurn is the probability that a customer's address changes on
+	// any given day. Dynamic ISPs use ~1.0 (forced 24h reconnection),
+	// static ones a small residual (moves, modem restarts).
+	DailyChurn float64
+	// base is the first /8 octet of the ISP's synthetic address space.
+	base byte
+}
+
+// DefaultISPs returns the synthetic German ISP mix used throughout the
+// reproduction. Names are descriptive, not real brands; shares and
+// address policies mirror the German broadband market of 2020, where the
+// incumbent and cable providers hand out long-lived addresses and the
+// DSL resellers force daily reconnects.
+func DefaultISPs() []ISP {
+	return []ISP{
+		{Name: "Magenta", ASN: 64500, Share: 0.40, StaticIP: true, DailyChurn: 0.02},
+		{Name: "KabelNet", ASN: 64501, Share: 0.28, StaticIP: true, DailyChurn: 0.01},
+		{Name: "Blau", ASN: 64502, Share: 0.16, StaticIP: false, DailyChurn: 0.95},
+		{Name: "EinsDSL", ASN: 64503, Share: 0.10, StaticIP: false, DailyChurn: 0.90},
+		{Name: "RegioNet", ASN: 64504, Share: 0.06, StaticIP: true, DailyChurn: 0.02},
+	}
+}
+
+// CWAServerPrefixes are the two IPv4 prefixes of the simulated hosting
+// infrastructure. The paper filters its Netflow "using 2 IPv4 prefixes
+// mentioned in the CWA backend documentation"; the reproduction uses the
+// RFC 5737 documentation ranges so synthetic traffic is unmistakably
+// synthetic.
+var CWAServerPrefixes = []netip.Prefix{
+	netip.MustParsePrefix("198.51.100.0/24"), // CDN / distribution
+	netip.MustParsePrefix("203.0.113.0/24"),  // submission & verification
+}
+
+// CDNAddr returns the i-th CDN edge address inside the first server prefix.
+func CDNAddr(i int) netip.Addr {
+	a := CWAServerPrefixes[0].Addr().As4()
+	a[3] = byte(10 + i%200)
+	return netip.AddrFrom4(a)
+}
+
+// SubmissionAddr returns the i-th submission-service address inside the
+// second server prefix.
+func SubmissionAddr(i int) netip.Addr {
+	a := CWAServerPrefixes[1].Addr().As4()
+	a[3] = byte(10 + i%200)
+	return netip.AddrFrom4(a)
+}
+
+// IsCWAServer reports whether addr belongs to the hosting infrastructure —
+// the filter predicate of the measurement pipeline.
+func IsCWAServer(addr netip.Addr) bool {
+	for _, p := range CWAServerPrefixes {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// HostsPerPrefix is how many customers share one /24 routing prefix before
+// the router announces another one.
+const HostsPerPrefix = 200
+
+// routerBlockBits is the size of the address block reserved per router
+// (/18: 64 /24 prefixes, ~12.8k customers).
+const routerBlockBits = 18
+
+// Router is a city-level aggregation router (BNG) of one ISP: the exporter
+// whose Netflow the vantage point samples and whose location is ground
+// truth for geolocation.
+type Router struct {
+	ID         string
+	ISPName    string
+	ASN        uint32
+	DistrictID string
+	// Block is the router's reserved address block; announced /24
+	// prefixes are carved from it on demand.
+	Block netip.Prefix
+
+	prefixes []netip.Prefix
+	nextHost int
+}
+
+// Prefixes returns the routing prefixes announced so far.
+func (r *Router) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, len(r.prefixes))
+	copy(out, r.prefixes)
+	return out
+}
+
+// ClientAddr is a customer's current attachment: address, announced
+// routing prefix, and the router/ISP it hangs off.
+type ClientAddr struct {
+	Addr     netip.Addr
+	Prefix   netip.Prefix
+	RouterID string
+	ISPName  string
+}
+
+// Network is the assembled access network: one router per (ISP, district)
+// pair, covering the whole geography.
+type Network struct {
+	isps    []ISP
+	routers map[string]*Router
+	// routerIDs in stable order for deterministic iteration.
+	routerIDs []string
+	// byDistrict lists router IDs per district, one per ISP, ISP order.
+	byDistrict map[string][]string
+}
+
+// New assembles the network over the given geography and ISP mix. It errors
+// if the ISP list is empty, shares are non-positive, or the geography holds
+// more districts than the per-ISP address plan can back (a /8 per ISP
+// supports 1024 router blocks).
+func New(model *geo.Model, isps []ISP) (*Network, error) {
+	if len(isps) == 0 {
+		return nil, fmt.Errorf("netsim: need at least one ISP")
+	}
+	if model.NumDistricts() > 1024 {
+		return nil, fmt.Errorf("netsim: %d districts exceed the address plan", model.NumDistricts())
+	}
+	n := &Network{
+		isps:       make([]ISP, len(isps)),
+		routers:    make(map[string]*Router),
+		byDistrict: make(map[string][]string),
+	}
+	copy(n.isps, isps)
+	var total float64
+	for i := range n.isps {
+		if n.isps[i].Share <= 0 {
+			return nil, fmt.Errorf("netsim: ISP %s has non-positive share", n.isps[i].Name)
+		}
+		total += n.isps[i].Share
+		// Distinct /8 per ISP from the 20.0.0.0 region — synthetic,
+		// never overlapping the server documentation prefixes.
+		n.isps[i].base = byte(20 + i)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("netsim: ISP shares sum to %f", total)
+	}
+
+	districts := model.Districts()
+	for di, d := range districts {
+		for _, isp := range n.isps {
+			r := &Router{
+				ID:         fmt.Sprintf("%s/%s", isp.Name, d.ID),
+				ISPName:    isp.Name,
+				ASN:        isp.ASN,
+				DistrictID: d.ID,
+				Block:      routerBlock(isp.base, di),
+			}
+			n.routers[r.ID] = r
+			n.routerIDs = append(n.routerIDs, r.ID)
+			n.byDistrict[d.ID] = append(n.byDistrict[d.ID], r.ID)
+		}
+	}
+	sort.Strings(n.routerIDs)
+	return n, nil
+}
+
+// routerBlock carves the idx-th /18 out of the ISP's /8.
+func routerBlock(base byte, idx int) netip.Prefix {
+	// A /8 contains 2^(18-8) = 1024 /18 blocks; idx < 1024 guaranteed by New.
+	off := uint32(idx) << (32 - routerBlockBits)
+	addr := netip.AddrFrom4([4]byte{
+		base,
+		byte(off >> 16),
+		byte(off >> 8),
+		byte(off),
+	})
+	return netip.PrefixFrom(addr, routerBlockBits)
+}
+
+// ISPs returns the configured providers.
+func (n *Network) ISPs() []ISP {
+	out := make([]ISP, len(n.isps))
+	copy(out, n.isps)
+	return out
+}
+
+// PickISP draws an ISP according to market share.
+func (n *Network) PickISP(rng *rand.Rand) ISP {
+	var total float64
+	for _, isp := range n.isps {
+		total += isp.Share
+	}
+	x := rng.Float64() * total
+	for _, isp := range n.isps {
+		x -= isp.Share
+		if x < 0 {
+			return isp
+		}
+	}
+	return n.isps[len(n.isps)-1]
+}
+
+// Router returns the router with the given ID.
+func (n *Network) Router(id string) (*Router, bool) {
+	r, ok := n.routers[id]
+	return r, ok
+}
+
+// Routers returns all router IDs in stable order.
+func (n *Network) Routers() []string {
+	out := make([]string, len(n.routerIDs))
+	copy(out, n.routerIDs)
+	return out
+}
+
+// RouterFor returns the router of the given ISP in the given district.
+func (n *Network) RouterFor(ispName, districtID string) (*Router, bool) {
+	return n.Router(ispName + "/" + districtID)
+}
+
+// Attach assigns a new customer of isp in district an address. Customers
+// fill prefixes sequentially, so early prefixes are densely used — matching
+// how BNGs pool addresses.
+func (n *Network) Attach(isp ISP, districtID string) (ClientAddr, error) {
+	r, ok := n.RouterFor(isp.Name, districtID)
+	if !ok {
+		return ClientAddr{}, fmt.Errorf("netsim: no router for %s in %s", isp.Name, districtID)
+	}
+	return n.assign(r)
+}
+
+func (n *Network) assign(r *Router) (ClientAddr, error) {
+	prefixIdx := r.nextHost / HostsPerPrefix
+	hostIdx := r.nextHost % HostsPerPrefix
+	maxPrefixes := 1 << (24 - routerBlockBits)
+	if prefixIdx >= maxPrefixes {
+		return ClientAddr{}, fmt.Errorf("netsim: router %s address block exhausted", r.ID)
+	}
+	for len(r.prefixes) <= prefixIdx {
+		p, err := carvePrefix(r.Block, len(r.prefixes))
+		if err != nil {
+			return ClientAddr{}, err
+		}
+		r.prefixes = append(r.prefixes, p)
+	}
+	p := r.prefixes[prefixIdx]
+	a := p.Addr().As4()
+	a[3] = byte(1 + hostIdx) // hosts .1 .. .200
+	r.nextHost++
+	return ClientAddr{
+		Addr:     netip.AddrFrom4(a),
+		Prefix:   p,
+		RouterID: r.ID,
+		ISPName:  r.ISPName,
+	}, nil
+}
+
+// carvePrefix returns the idx-th /24 within the router block.
+func carvePrefix(block netip.Prefix, idx int) (netip.Prefix, error) {
+	if idx >= 1<<(24-routerBlockBits) {
+		return netip.Prefix{}, fmt.Errorf("netsim: block %s exhausted", block)
+	}
+	a := block.Addr().As4()
+	base := uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+	base += uint32(idx) << 8
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{
+		byte(base >> 24), byte(base >> 16), byte(base >> 8), byte(base),
+	}), 24), nil
+}
+
+// MaybeReassign rolls the daily churn dice for a customer and returns the
+// (possibly unchanged) attachment. Dynamic-ISP customers receive a fresh
+// address drawn from their router's already-announced prefixes, modelling
+// the overnight reconnect; the routing prefix set itself stays stable, as
+// in the real network.
+func (n *Network) MaybeReassign(rng *rand.Rand, c ClientAddr) ClientAddr {
+	isp, ok := n.ispByName(c.ISPName)
+	if !ok {
+		return c
+	}
+	if rng.Float64() >= isp.DailyChurn {
+		return c
+	}
+	r, ok := n.routers[c.RouterID]
+	if !ok || len(r.prefixes) == 0 {
+		return c
+	}
+	p := r.prefixes[rng.Intn(len(r.prefixes))]
+	a := p.Addr().As4()
+	a[3] = byte(1 + rng.Intn(HostsPerPrefix))
+	c.Addr = netip.AddrFrom4(a)
+	c.Prefix = p
+	return c
+}
+
+func (n *Network) ispByName(name string) (ISP, bool) {
+	for _, isp := range n.isps {
+		if isp.Name == name {
+			return isp, true
+		}
+	}
+	return ISP{}, false
+}
+
+// AllPrefixes returns every announced routing prefix with its router ID, in
+// stable order. The geolocation database is seeded from this inventory.
+func (n *Network) AllPrefixes() map[netip.Prefix]string {
+	out := make(map[netip.Prefix]string)
+	for _, id := range n.routerIDs {
+		for _, p := range n.routers[id].prefixes {
+			out[p] = id
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package netsim
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"cwatrace/internal/geo"
+)
+
+var model = geo.Germany()
+
+func newNetwork(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(model, DefaultISPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(model, nil); err == nil {
+		t.Error("empty ISP list must fail")
+	}
+	bad := DefaultISPs()
+	bad[0].Share = 0
+	if _, err := New(model, bad); err == nil {
+		t.Error("zero share must fail")
+	}
+}
+
+func TestRouterPerISPAndDistrict(t *testing.T) {
+	n := newNetwork(t)
+	want := model.NumDistricts() * len(DefaultISPs())
+	if got := len(n.Routers()); got != want {
+		t.Fatalf("routers = %d, want %d", got, want)
+	}
+	r, ok := n.RouterFor("Magenta", "NW-000")
+	if !ok {
+		t.Fatal("missing Magenta router in Gütersloh")
+	}
+	if r.DistrictID != "NW-000" || r.ISPName != "Magenta" {
+		t.Fatalf("router misconfigured: %+v", r)
+	}
+}
+
+func TestRouterBlocksDisjoint(t *testing.T) {
+	n := newNetwork(t)
+	var blocks []netip.Prefix
+	for _, id := range n.Routers() {
+		r, _ := n.Router(id)
+		blocks = append(blocks, r.Block)
+	}
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			if blocks[i].Overlaps(blocks[j]) {
+				t.Fatalf("blocks overlap: %s and %s", blocks[i], blocks[j])
+			}
+		}
+	}
+}
+
+func TestAttachAssignsWithinRouterBlock(t *testing.T) {
+	n := newNetwork(t)
+	isp := DefaultISPs()[0]
+	c, err := n.Attach(isp, "BE-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := n.RouterFor(isp.Name, "BE-000")
+	if !r.Block.Contains(c.Addr) {
+		t.Fatalf("address %s outside router block %s", c.Addr, r.Block)
+	}
+	if !c.Prefix.Contains(c.Addr) {
+		t.Fatalf("address %s outside own prefix %s", c.Addr, c.Prefix)
+	}
+	if c.Prefix.Bits() != 24 {
+		t.Fatalf("prefix length %d, want 24", c.Prefix.Bits())
+	}
+}
+
+func TestAttachUniqueAddressesUntilPrefixRolls(t *testing.T) {
+	n := newNetwork(t)
+	isp := DefaultISPs()[1]
+	seen := make(map[netip.Addr]bool)
+	var prefixes []netip.Prefix
+	for i := 0; i < HostsPerPrefix+10; i++ {
+		c, err := n.Attach(isp, "BY-010")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[c.Addr] {
+			t.Fatalf("duplicate address %s at attach %d", c.Addr, i)
+		}
+		seen[c.Addr] = true
+		if len(prefixes) == 0 || prefixes[len(prefixes)-1] != c.Prefix {
+			prefixes = append(prefixes, c.Prefix)
+		}
+	}
+	if len(prefixes) != 2 {
+		t.Fatalf("expected rollover to a second /24, saw %d prefixes", len(prefixes))
+	}
+}
+
+func TestAttachUnknownDistrict(t *testing.T) {
+	n := newNetwork(t)
+	if _, err := n.Attach(DefaultISPs()[0], "XX-123"); err == nil {
+		t.Fatal("unknown district must fail")
+	}
+}
+
+func TestPickISPShares(t *testing.T) {
+	n := newNetwork(t)
+	rng := rand.New(rand.NewSource(5))
+	counts := make(map[string]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[n.PickISP(rng).Name]++
+	}
+	for _, isp := range DefaultISPs() {
+		got := float64(counts[isp.Name]) / draws
+		if got < isp.Share-0.02 || got > isp.Share+0.02 {
+			t.Errorf("ISP %s drawn %.3f, share %.3f", isp.Name, got, isp.Share)
+		}
+	}
+}
+
+func TestMaybeReassignDynamicChurns(t *testing.T) {
+	n := newNetwork(t)
+	dynamic := DefaultISPs()[2] // Blau, DailyChurn 0.95
+	c, err := n.Attach(dynamic, "HE-003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	changed := 0
+	const days = 200
+	cur := c
+	for d := 0; d < days; d++ {
+		next := n.MaybeReassign(rng, cur)
+		if next.Addr != cur.Addr {
+			changed++
+		}
+		if next.RouterID != c.RouterID {
+			t.Fatal("reassignment must stay on the same router")
+		}
+		r, _ := n.Router(c.RouterID)
+		if !r.Block.Contains(next.Addr) {
+			t.Fatalf("churned address %s left block %s", next.Addr, r.Block)
+		}
+		cur = next
+	}
+	if changed < days/2 {
+		t.Fatalf("dynamic ISP churned only %d/%d days", changed, days)
+	}
+}
+
+func TestMaybeReassignStaticMostlyStable(t *testing.T) {
+	n := newNetwork(t)
+	static := DefaultISPs()[0] // Magenta, DailyChurn 0.02
+	c, err := n.Attach(static, "SH-002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	changed := 0
+	const days = 500
+	cur := c
+	for d := 0; d < days; d++ {
+		next := n.MaybeReassign(rng, cur)
+		if next.Addr != cur.Addr {
+			changed++
+		}
+		cur = next
+	}
+	if changed > days/10 {
+		t.Fatalf("static ISP churned %d/%d days, too unstable", changed, days)
+	}
+}
+
+func TestAllPrefixesInventory(t *testing.T) {
+	n := newNetwork(t)
+	isp := DefaultISPs()[0]
+	if _, err := n.Attach(isp, "SN-005"); err != nil {
+		t.Fatal(err)
+	}
+	inv := n.AllPrefixes()
+	if len(inv) == 0 {
+		t.Fatal("inventory empty after attach")
+	}
+	r, _ := n.RouterFor(isp.Name, "SN-005")
+	found := false
+	for p, id := range inv {
+		if id == r.ID {
+			found = true
+			if !r.Block.Contains(p.Addr()) {
+				t.Fatalf("prefix %s not in block %s", p, r.Block)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("attached router's prefix missing from inventory")
+	}
+}
+
+func TestServerPrefixHelpers(t *testing.T) {
+	if !IsCWAServer(CDNAddr(0)) {
+		t.Fatal("CDN address must be inside server prefixes")
+	}
+	if !IsCWAServer(SubmissionAddr(3)) {
+		t.Fatal("submission address must be inside server prefixes")
+	}
+	if IsCWAServer(netip.MustParseAddr("20.0.0.1")) {
+		t.Fatal("client space must not be server space")
+	}
+	if CDNAddr(0) == CDNAddr(1) {
+		t.Fatal("distinct edges must have distinct addresses")
+	}
+	// Server prefixes must not overlap each other or client space.
+	if CWAServerPrefixes[0].Overlaps(CWAServerPrefixes[1]) {
+		t.Fatal("server prefixes overlap")
+	}
+}
+
+func TestClientSpaceDisjointFromServerSpace(t *testing.T) {
+	n := newNetwork(t)
+	for _, ispName := range []int{0, 1, 2, 3, 4} {
+		isp := DefaultISPs()[ispName]
+		c, err := n.Attach(isp, "BW-001")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsCWAServer(c.Addr) {
+			t.Fatalf("client address %s inside server prefix", c.Addr)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCarvedPrefixesWithinBlock: every carvable /24 stays inside its
+// router block and distinct indices never overlap.
+func TestQuickCarvedPrefixesWithinBlock(t *testing.T) {
+	block := routerBlock(20, 37)
+	f := func(i, j uint8) bool {
+		maxIdx := 1 << (24 - routerBlockBits)
+		a, errA := carvePrefix(block, int(i)%maxIdx)
+		b, errB := carvePrefix(block, int(j)%maxIdx)
+		if errA != nil || errB != nil {
+			return false
+		}
+		if !block.Contains(a.Addr()) || !block.Contains(b.Addr()) {
+			return false
+		}
+		if int(i)%maxIdx != int(j)%maxIdx && a.Overlaps(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRouterBlocksDisjointAcrossIndices: distinct (base, index) pairs
+// produce non-overlapping blocks within an ISP.
+func TestQuickRouterBlocksDisjointAcrossIndices(t *testing.T) {
+	f := func(i, j uint16) bool {
+		a := routerBlock(21, int(i)%1024)
+		b := routerBlock(21, int(j)%1024)
+		if int(i)%1024 == int(j)%1024 {
+			return a == b
+		}
+		return !a.Overlaps(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCarveExhaustionErrors: indices past the block capacity error out
+// instead of silently wrapping into foreign space.
+func TestQuickCarveExhaustionErrors(t *testing.T) {
+	block := routerBlock(22, 0)
+	maxIdx := 1 << (24 - routerBlockBits)
+	if _, err := carvePrefix(block, maxIdx); err == nil {
+		t.Fatal("carve past capacity must fail")
+	}
+	if p, err := carvePrefix(block, maxIdx-1); err != nil || !block.Contains(p.Addr()) {
+		t.Fatalf("last valid carve failed: %v %v", p, err)
+	}
+}
+
+// TestQuickServerPrefixMembership: IsCWAServer agrees with the prefix
+// definitions for arbitrary addresses.
+func TestQuickServerPrefixMembership(t *testing.T) {
+	f := func(a, b, c, d byte) bool {
+		addr := netip.AddrFrom4([4]byte{a, b, c, d})
+		want := false
+		for _, p := range CWAServerPrefixes {
+			if p.Contains(addr) {
+				want = true
+			}
+		}
+		return IsCWAServer(addr) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package nfv9 implements the NetFlow version 9 export protocol (RFC 3954)
+// for the flow records of this reproduction: template and data FlowSets,
+// export packets with sequence numbers, and a UDP exporter/collector pair.
+//
+// The paper's vantage point receives "sampled Netflow traces from routers";
+// this package is the wire between internal/netflow (the router-side cache)
+// and the collector — the routers encode their records as v9 packets, the
+// collector decodes and hands them to the anonymization stage. The
+// implementation covers the subset of RFC 3954 needed for 5-tuple +
+// counters + timestamps records over IPv4 and IPv6.
+package nfv9
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+// Version is the NetFlow export format version.
+const Version uint16 = 9
+
+// RFC 3954 field type numbers used by this implementation.
+const (
+	fieldInBytes       = 1  // IN_BYTES
+	fieldInPkts        = 2  // IN_PKTS
+	fieldProtocol      = 4  // PROTOCOL
+	fieldL4SrcPort     = 7  // L4_SRC_PORT
+	fieldIPv4SrcAddr   = 8  // IPV4_SRC_ADDR
+	fieldL4DstPort     = 11 // L4_DST_PORT
+	fieldIPv4DstAddr   = 12 // IPV4_DST_ADDR
+	fieldLastSwitched  = 21 // LAST_SWITCHED (ms, uptime-based; we carry unix ms)
+	fieldFirstSwitched = 22 // FIRST_SWITCHED
+	fieldIPv6SrcAddr   = 27 // IPV6_SRC_ADDR
+	fieldIPv6DstAddr   = 28 // IPV6_DST_ADDR
+)
+
+// Template IDs for the two record layouts. Data FlowSet IDs must be > 255.
+const (
+	TemplateIPv4 uint16 = 256
+	TemplateIPv6 uint16 = 257
+)
+
+// v4RecordLen is bytes per IPv4 data record: 2x addr(4) + 2x port(2) +
+// proto(1) + pad(1) + bytes(8) + pkts(8) + first(8) + last(8).
+const v4RecordLen = 4 + 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8
+
+// v6RecordLen is bytes per IPv6 data record.
+const v6RecordLen = 16 + 16 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8
+
+// headerLen is the v9 packet header size.
+const headerLen = 20
+
+// Errors.
+var (
+	ErrShortPacket     = errors.New("nfv9: packet too short")
+	ErrBadVersion      = errors.New("nfv9: not a v9 packet")
+	ErrUnknownTemplate = errors.New("nfv9: data flowset references unknown template")
+)
+
+// Packet is one decoded export packet.
+type Packet struct {
+	SequenceNumber uint32
+	SourceID       uint32
+	ExportTime     time.Time
+	Records        []netflow.Record
+	// Templates counts template definitions seen in the packet.
+	Templates int
+}
+
+// Encoder builds export packets for one exporter (identified by SourceID).
+// It is not safe for concurrent use.
+type Encoder struct {
+	sourceID uint32
+	seq      uint32
+	// templatesSent tracks whether templates were included yet; RFC 3954
+	// requires periodic resends, which Reset triggers.
+	templatesSent bool
+}
+
+// NewEncoder creates an Encoder with the given observation-domain source
+// ID.
+func NewEncoder(sourceID uint32) *Encoder {
+	return &Encoder{sourceID: sourceID}
+}
+
+// Reset forces the next packet to carry template definitions again (the
+// periodic template refresh of RFC 3954).
+func (e *Encoder) Reset() { e.templatesSent = false }
+
+// Sequence returns the current sequence counter.
+func (e *Encoder) Sequence() uint32 { return e.seq }
+
+// Encode renders records into one export packet. The first packet (and any
+// packet after Reset) carries the template FlowSet. Records are split by
+// address family into the two data FlowSets. exportTime stamps the header.
+func (e *Encoder) Encode(records []netflow.Record, exportTime time.Time) ([]byte, error) {
+	var v4, v6 []netflow.Record
+	for _, r := range records {
+		switch {
+		case r.Src.Is4() && r.Dst.Is4():
+			v4 = append(v4, r)
+		case r.Src.Is6() && r.Dst.Is6():
+			v6 = append(v6, r)
+		default:
+			return nil, fmt.Errorf("nfv9: mixed address families in record %v -> %v", r.Src, r.Dst)
+		}
+	}
+
+	buf := make([]byte, headerLen, headerLen+512+len(records)*v6RecordLen)
+
+	count := 0
+	if !e.templatesSent {
+		buf = appendTemplateFlowSet(buf)
+		count += 2 // two template records
+		e.templatesSent = true
+	}
+	if len(v4) > 0 {
+		buf = appendDataFlowSet(buf, TemplateIPv4, v4)
+		count += len(v4)
+	}
+	if len(v6) > 0 {
+		buf = appendDataFlowSet(buf, TemplateIPv6, v6)
+		count += len(v6)
+	}
+
+	binary.BigEndian.PutUint16(buf[0:2], Version)
+	binary.BigEndian.PutUint16(buf[2:4], uint16(count))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(exportTime.Unix())) // sysUptime stand-in
+	binary.BigEndian.PutUint32(buf[8:12], uint32(exportTime.Unix()))
+	binary.BigEndian.PutUint32(buf[12:16], e.seq)
+	binary.BigEndian.PutUint32(buf[16:20], e.sourceID)
+	e.seq += uint32(count)
+	return buf, nil
+}
+
+// appendTemplateFlowSet emits the template FlowSet defining both layouts.
+func appendTemplateFlowSet(buf []byte) []byte {
+	fields := func(v6 bool) [][2]uint16 {
+		srcAddr, dstAddr, addrLen := uint16(fieldIPv4SrcAddr), uint16(fieldIPv4DstAddr), uint16(4)
+		if v6 {
+			srcAddr, dstAddr, addrLen = fieldIPv6SrcAddr, fieldIPv6DstAddr, 16
+		}
+		return [][2]uint16{
+			{srcAddr, addrLen},
+			{dstAddr, addrLen},
+			{fieldL4SrcPort, 2},
+			{fieldL4DstPort, 2},
+			{fieldProtocol, 1},
+			{0, 1}, // padding field (type 0, vendor-reserved here)
+			{fieldInBytes, 8},
+			{fieldInPkts, 8},
+			{fieldFirstSwitched, 8},
+			{fieldLastSwitched, 8},
+		}
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // flowset id 0 + length, filled below
+	for i, tid := range []uint16{TemplateIPv4, TemplateIPv6} {
+		fs := fields(i == 1)
+		buf = be16(buf, tid)
+		buf = be16(buf, uint16(len(fs)))
+		for _, f := range fs {
+			buf = be16(buf, f[0])
+			buf = be16(buf, f[1])
+		}
+	}
+	binary.BigEndian.PutUint16(buf[start:start+2], 0) // template flowset id
+	binary.BigEndian.PutUint16(buf[start+2:start+4], uint16(len(buf)-start))
+	return buf
+}
+
+// appendDataFlowSet emits one data FlowSet of records under a template.
+func appendDataFlowSet(buf []byte, templateID uint16, records []netflow.Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	for _, r := range records {
+		if templateID == TemplateIPv4 {
+			a, b := r.Src.As4(), r.Dst.As4()
+			buf = append(buf, a[:]...)
+			buf = append(buf, b[:]...)
+		} else {
+			a, b := r.Src.As16(), r.Dst.As16()
+			buf = append(buf, a[:]...)
+			buf = append(buf, b[:]...)
+		}
+		buf = be16(buf, r.SrcPort)
+		buf = be16(buf, r.DstPort)
+		buf = append(buf, r.Proto, 0)
+		buf = be64(buf, r.Bytes)
+		buf = be64(buf, r.Packets)
+		buf = be64(buf, uint64(r.First.UnixMilli()))
+		buf = be64(buf, uint64(r.Last.UnixMilli()))
+	}
+	// Pad the flowset to a 4-byte boundary per RFC 3954.
+	for len(buf)%4 != 0 {
+		buf = append(buf, 0)
+	}
+	binary.BigEndian.PutUint16(buf[start:start+2], templateID)
+	binary.BigEndian.PutUint16(buf[start+2:start+4], uint16(len(buf)-start))
+	return buf
+}
+
+func be16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func be64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// templateField is one parsed template field.
+type templateField struct {
+	Type   uint16
+	Length uint16
+}
+
+// Decoder parses export packets. Templates learned from packets persist
+// across calls, as in a real collector; the two well-known templates are
+// pre-installed so decoding works even when the first packets of a stream
+// were lost (a deviation from strict RFC behaviour that keeps the
+// simulation robust, and is how many collectors behave with static
+// configs).
+type Decoder struct {
+	templates map[uint16][]templateField
+	exporter  string
+}
+
+// NewDecoder creates a Decoder; exporter names the records it produces.
+func NewDecoder(exporter string) *Decoder {
+	d := &Decoder{templates: make(map[uint16][]templateField), exporter: exporter}
+	return d
+}
+
+// Decode parses one packet.
+func (d *Decoder) Decode(data []byte) (*Packet, error) {
+	if len(data) < headerLen {
+		return nil, ErrShortPacket
+	}
+	if v := binary.BigEndian.Uint16(data[0:2]); v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	pkt := &Packet{
+		ExportTime:     time.Unix(int64(binary.BigEndian.Uint32(data[8:12])), 0).UTC(),
+		SequenceNumber: binary.BigEndian.Uint32(data[12:16]),
+		SourceID:       binary.BigEndian.Uint32(data[16:20]),
+	}
+	off := headerLen
+	for off+4 <= len(data) {
+		setID := binary.BigEndian.Uint16(data[off : off+2])
+		setLen := int(binary.BigEndian.Uint16(data[off+2 : off+4]))
+		if setLen < 4 || off+setLen > len(data) {
+			return nil, fmt.Errorf("%w: flowset length %d at offset %d", ErrShortPacket, setLen, off)
+		}
+		body := data[off+4 : off+setLen]
+		if setID == 0 {
+			n, err := d.parseTemplates(body)
+			if err != nil {
+				return nil, err
+			}
+			pkt.Templates += n
+		} else if setID > 255 {
+			recs, err := d.parseData(setID, body)
+			if err != nil {
+				return nil, err
+			}
+			pkt.Records = append(pkt.Records, recs...)
+		}
+		off += setLen
+	}
+	return pkt, nil
+}
+
+func (d *Decoder) parseTemplates(body []byte) (int, error) {
+	n := 0
+	off := 0
+	for off+4 <= len(body) {
+		tid := binary.BigEndian.Uint16(body[off : off+2])
+		fieldCount := int(binary.BigEndian.Uint16(body[off+2 : off+4]))
+		off += 4
+		if off+fieldCount*4 > len(body) {
+			return n, fmt.Errorf("%w: truncated template %d", ErrShortPacket, tid)
+		}
+		fields := make([]templateField, fieldCount)
+		for i := 0; i < fieldCount; i++ {
+			fields[i] = templateField{
+				Type:   binary.BigEndian.Uint16(body[off : off+2]),
+				Length: binary.BigEndian.Uint16(body[off+2 : off+4]),
+			}
+			off += 4
+		}
+		d.templates[tid] = fields
+		n++
+	}
+	return n, nil
+}
+
+func (d *Decoder) parseData(tid uint16, body []byte) ([]netflow.Record, error) {
+	fields, ok := d.templates[tid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownTemplate, tid)
+	}
+	recLen := 0
+	for _, f := range fields {
+		recLen += int(f.Length)
+	}
+	if recLen == 0 {
+		return nil, fmt.Errorf("nfv9: template %d has zero record length", tid)
+	}
+	var out []netflow.Record
+	for off := 0; off+recLen <= len(body); off += recLen {
+		rec := netflow.Record{Exporter: d.exporter}
+		fo := off
+		for _, f := range fields {
+			val := body[fo : fo+int(f.Length)]
+			switch f.Type {
+			case fieldIPv4SrcAddr:
+				rec.Src = addr4(val)
+			case fieldIPv4DstAddr:
+				rec.Dst = addr4(val)
+			case fieldIPv6SrcAddr:
+				rec.Src = addr16(val)
+			case fieldIPv6DstAddr:
+				rec.Dst = addr16(val)
+			case fieldL4SrcPort:
+				rec.SrcPort = binary.BigEndian.Uint16(val)
+			case fieldL4DstPort:
+				rec.DstPort = binary.BigEndian.Uint16(val)
+			case fieldProtocol:
+				rec.Proto = val[0]
+			case fieldInBytes:
+				rec.Bytes = binary.BigEndian.Uint64(val)
+			case fieldInPkts:
+				rec.Packets = binary.BigEndian.Uint64(val)
+			case fieldFirstSwitched:
+				rec.First = time.UnixMilli(int64(binary.BigEndian.Uint64(val))).UTC()
+			case fieldLastSwitched:
+				rec.Last = time.UnixMilli(int64(binary.BigEndian.Uint64(val))).UTC()
+			}
+			fo += int(f.Length)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func addr4(b []byte) netip.Addr {
+	var a [4]byte
+	copy(a[:], b)
+	return netip.AddrFrom4(a)
+}
+
+func addr16(b []byte) netip.Addr {
+	var a [16]byte
+	copy(a[:], b)
+	return netip.AddrFrom16(a)
+}

@@ -1,0 +1,163 @@
+package nfv9
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+// maxDatagram bounds export packet sizes; v9 exporters keep datagrams under
+// the typical 1500-byte MTU.
+const maxDatagram = 1400
+
+// maxRecordsPerPacket keeps encoded packets under maxDatagram for the
+// largest (IPv6) record layout plus header and template overhead.
+const maxRecordsPerPacket = (maxDatagram - headerLen - 96) / v6RecordLen
+
+// Exporter sends flow records to a collector over UDP, splitting them into
+// MTU-sized export packets and refreshing templates periodically.
+type Exporter struct {
+	conn net.Conn
+	enc  *Encoder
+	// TemplateRefresh is how many packets go between template resends
+	// (RFC 3954 suggests periodic refresh since UDP is lossy).
+	TemplateRefresh int
+	sent            int
+}
+
+// NewExporter dials the collector address ("host:port").
+func NewExporter(collectorAddr string, sourceID uint32) (*Exporter, error) {
+	conn, err := net.Dial("udp", collectorAddr)
+	if err != nil {
+		return nil, fmt.Errorf("nfv9: dialing collector: %w", err)
+	}
+	return &Exporter{conn: conn, enc: NewEncoder(sourceID), TemplateRefresh: 20}, nil
+}
+
+// Export encodes and sends records, chunked into datagrams.
+func (e *Exporter) Export(records []netflow.Record, now time.Time) error {
+	for len(records) > 0 {
+		n := len(records)
+		if n > maxRecordsPerPacket {
+			n = maxRecordsPerPacket
+		}
+		if e.TemplateRefresh > 0 && e.sent%e.TemplateRefresh == 0 {
+			e.enc.Reset()
+		}
+		pkt, err := e.enc.Encode(records[:n], now)
+		if err != nil {
+			return err
+		}
+		if _, err := e.conn.Write(pkt); err != nil {
+			return fmt.Errorf("nfv9: sending export packet: %w", err)
+		}
+		e.sent++
+		records = records[n:]
+	}
+	return nil
+}
+
+// Close releases the socket.
+func (e *Exporter) Close() error { return e.conn.Close() }
+
+// Collector listens for export packets on UDP and hands decoded records to
+// a sink. One decoder per source address keeps template state per exporter.
+type Collector struct {
+	pc   net.PacketConn
+	sink func([]netflow.Record)
+
+	mu       sync.Mutex
+	decoders map[string]*Decoder
+	packets  int
+	records  int
+	errors   int
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCollector starts a collector on addr ("127.0.0.1:0" for an ephemeral
+// test port). sink receives each packet's records; it is called from the
+// receive goroutine and must not block for long.
+func NewCollector(addr string, sink func([]netflow.Record)) (*Collector, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nfv9: listening: %w", err)
+	}
+	c := &Collector{
+		pc:       pc,
+		sink:     sink,
+		decoders: make(map[string]*Decoder),
+		done:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.loop()
+	return c, nil
+}
+
+// Addr returns the bound listen address.
+func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
+
+func (c *Collector) loop() {
+	defer c.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		_ = c.pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, from, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		c.handle(from.String(), buf[:n])
+	}
+}
+
+func (c *Collector) handle(from string, data []byte) {
+	c.mu.Lock()
+	dec, ok := c.decoders[from]
+	if !ok {
+		dec = NewDecoder(from)
+		c.decoders[from] = dec
+	}
+	c.mu.Unlock()
+
+	pkt, err := dec.Decode(data)
+	if err != nil {
+		c.mu.Lock()
+		c.errors++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	c.packets++
+	c.records += len(pkt.Records)
+	c.mu.Unlock()
+	if len(pkt.Records) > 0 && c.sink != nil {
+		c.sink(pkt.Records)
+	}
+}
+
+// Stats reports received packets, decoded records and decode errors.
+func (c *Collector) Stats() (packets, records, errors int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.packets, c.records, c.errors
+}
+
+// Close stops the receive loop and releases the socket.
+func (c *Collector) Close() error {
+	close(c.done)
+	err := c.pc.Close()
+	c.wg.Wait()
+	return err
+}

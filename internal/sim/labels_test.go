@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/netsim"
+)
+
+func TestGroundTruthLabelsCoverTrafficClients(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) == 0 {
+		t.Fatal("no ground-truth labels")
+	}
+	var app, web int
+	for _, kind := range res.Labels {
+		if kind&LabelApp != 0 {
+			app++
+		}
+		if kind&LabelWeb != 0 {
+			web++
+		}
+	}
+	if app == 0 || web == 0 {
+		t.Fatalf("labels one-sided: app %d, web %d", app, web)
+	}
+	// Every downstream client in the trace should carry a label: clients
+	// only exist because some generator (device or web pool) created
+	// them, and both label at event time.
+	labelled, total := 0, 0
+	for _, r := range res.Records {
+		if !netsim.IsCWAServer(r.Src) || !r.Dst.Is4() || r.Proto != netflow.ProtoTCP {
+			continue
+		}
+		total++
+		if _, ok := res.Labels[r.Dst]; ok {
+			labelled++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no downstream records")
+	}
+	if labelled < total*95/100 {
+		t.Fatalf("only %d/%d downstream clients labelled", labelled, total)
+	}
+}
+
+func TestWebVisitsByDayAccounting(t *testing.T) {
+	cfg := quickConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := int(cfg.End.Sub(cfg.Start).Hours() / 24)
+	if len(res.Stats.WebVisitsByDay) != days {
+		t.Fatalf("WebVisitsByDay length %d, want %d", len(res.Stats.WebVisitsByDay), days)
+	}
+	var sum int
+	for _, n := range res.Stats.WebVisitsByDay {
+		if n < 0 {
+			t.Fatal("negative day count")
+		}
+		sum += n
+	}
+	if sum != res.Stats.WebVisits {
+		t.Fatalf("daily web visits sum %d != total %d", sum, res.Stats.WebVisits)
+	}
+	// Release day (index 1) must out-visit the pre-release day.
+	if res.Stats.WebVisitsByDay[1] <= res.Stats.WebVisitsByDay[0] {
+		t.Fatalf("release day visits %d <= pre-release %d",
+			res.Stats.WebVisitsByDay[1], res.Stats.WebVisitsByDay[0])
+	}
+}
+
+func TestHourPackagesServedAfterFirstKeys(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Scale = 5000
+	cfg.End = entime.StudyEnd // through June 25, past the upload go-live
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Uploads == 0 {
+		t.Fatal("no uploads in the full window")
+	}
+	// With uploads present, hour packages exist for the submission days.
+	sawHours := false
+	for _, day := range res.Backend.AvailableDays() {
+		if len(res.Backend.AvailableHours(day)) > 0 {
+			sawHours = true
+		}
+	}
+	if !sawHours {
+		t.Fatal("keys exist but no hourly packages")
+	}
+}

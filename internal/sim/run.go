@@ -1,0 +1,732 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/cdn"
+	"cwatrace/internal/cryptopan"
+	"cwatrace/internal/cwaserver"
+	"cwatrace/internal/device"
+	"cwatrace/internal/diagkeys"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/epidemic"
+	"cwatrace/internal/exposure"
+	"cwatrace/internal/geo"
+	"cwatrace/internal/geodb"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/netsim"
+)
+
+// event is one scheduled network interaction.
+type event struct {
+	t          time.Time
+	client     netsim.ClientAddr
+	clientHash uint64
+	req        cdn.Request
+	uploadKeys int
+	// realCount events happen at real-world (unscaled) frequency; their
+	// packets are emitted with probability 1/Scale (see device.Event).
+	realCount bool
+	// noise kinds: 0 none, 1 IPv6 flow, 2 non-443 port, 3 QUIC.
+	noise int
+}
+
+// engine holds the mutable state of one Run.
+type engine struct {
+	cfg       Config
+	rng       *rand.Rand
+	model     *geo.Model
+	network   *netsim.Network
+	clock     *entime.SimClock
+	backend   *cwaserver.Backend
+	cdn       *cdn.CDN
+	epi       *epidemic.Series
+	curve     *adoption.Curve
+	attention adoption.Attention
+	sampler   *adoption.Sampler
+	collector *netflow.Collector
+	traffic   device.TrafficModel
+
+	districts []geo.District
+	devices   []*device.Device
+	addrs     []netsim.ClientAddr // by device index
+	byDist    [][]int             // device indices per district index
+
+	webPools        [][]netsim.ClientAddr
+	berlinRegioPool []netsim.ClientAddr
+
+	anon   *cryptopan.Anonymizer
+	labels map[netip.Addr]byte
+
+	caches    map[string]*netflow.Cache
+	routerIDs []string
+
+	installCarry float64
+	stats        Stats
+}
+
+// Run executes the simulation and returns the trace and its companions.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	e.model = geo.Germany()
+	var err error
+	e.network, err = netsim.New(e.model, netsim.DefaultISPs())
+	if err != nil {
+		return nil, err
+	}
+	e.clock = entime.NewSimClock(cfg.Start)
+	e.backend, err = cwaserver.New(cwaserver.DefaultConfig(), e.clock)
+	if err != nil {
+		return nil, err
+	}
+	e.cdn, err = cdn.New(cfg.CDN, e.backend, cwaserver.DefaultWebsite())
+	if err != nil {
+		return nil, err
+	}
+	e.epi, err = epidemic.Run(e.model, cfg.Epidemic)
+	if err != nil {
+		return nil, err
+	}
+	e.curve = adoption.DefaultCurve()
+	e.attention = adoption.DefaultAttention()
+	e.sampler, err = adoption.NewSampler(adoption.DistrictWeights(e.model))
+	if err != nil {
+		return nil, err
+	}
+	anon, err := cryptopan.New(cfg.AnonKey)
+	if err != nil {
+		return nil, err
+	}
+	e.anon = anon
+	e.labels = make(map[netip.Addr]byte)
+	e.collector = netflow.NewCollector(anon, netsim.IsCWAServer)
+	e.traffic = device.DefaultTrafficModel()
+	e.districts = e.model.Districts()
+	e.byDist = make([][]int, len(e.districts))
+	e.webPools = make([][]netsim.ClientAddr, len(e.districts))
+	e.caches = make(map[string]*netflow.Cache)
+	e.stats.KeysByDay = make(map[string]int)
+	e.stats.WebVisitsByDay = make([]int, int(cfg.End.Sub(cfg.Start)/(24*time.Hour)))
+
+	for day := cfg.Start; day.Before(cfg.End); day = day.AddDate(0, 0, 1) {
+		if err := e.runDay(day); err != nil {
+			return nil, err
+		}
+	}
+	e.drainAll()
+
+	// Geolocation database over the full prefix inventory.
+	var infos []geodb.PrefixInfo
+	for p, routerID := range e.network.AllPrefixes() {
+		r, _ := e.network.Router(routerID)
+		infos = append(infos, geodb.PrefixInfo{
+			Prefix: p, RouterID: routerID,
+			DistrictID: r.DistrictID, ISPName: r.ISPName,
+		})
+	}
+	db, err := geodb.Build(e.model, infos, cfg.GeoDB, anon)
+	if err != nil {
+		return nil, err
+	}
+
+	records := e.collector.Records()
+	e.stats.Records = len(records)
+	uploads, fakes := e.backend.Stats()
+	e.stats.Uploads = uploads
+	e.stats.FakeCalls = fakes
+	e.stats.CacheHits, e.stats.CacheMisses = e.cdn.Stats()
+	for _, d := range e.backend.AvailableDays() {
+		e.stats.KeysByDay[d] = e.backend.KeyCount(d)
+	}
+	for _, id := range e.routerIDs {
+		obs, smp := e.caches[id].Stats()
+		e.stats.PacketsObserved += obs
+		e.stats.PacketsSampled += smp
+	}
+	e.stats.Devices = len(e.devices)
+	for _, d := range e.devices {
+		if d.InstalledAt.Before(cfg.End) {
+			e.stats.InstalledByEnd++
+		}
+	}
+
+	return &Result{
+		Records:   records,
+		GeoDB:     db,
+		Labels:    e.labels,
+		Model:     e.model,
+		Network:   e.network,
+		Backend:   e.backend,
+		Curve:     e.curve,
+		Attention: e.attention,
+		Stats:     e.stats,
+	}, nil
+}
+
+// runDay simulates one calendar day.
+func (e *engine) runDay(day time.Time) error {
+	nextDay := day.AddDate(0, 0, 1)
+
+	// Daily address churn for devices and web visitors.
+	for i := range e.addrs {
+		e.addrs[i] = e.network.MaybeReassign(e.rng, e.addrs[i])
+	}
+	for _, pool := range e.webPools {
+		for i := range pool {
+			pool[i] = e.network.MaybeReassign(e.rng, pool[i])
+		}
+	}
+
+	if err := e.createInstalls(day, nextDay); err != nil {
+		return err
+	}
+	positiveToday := e.assignPositives(day)
+
+	var events []event
+
+	// Device-driven events. Devices plan against the completed days; the
+	// running day is covered by hour packages at serve time.
+	published := e.backend.AvailableDays()
+	today := diagkeys.DayKey(day)
+	for len(published) > 0 && published[len(published)-1] >= today {
+		published = published[:len(published)-1]
+	}
+	att := e.attention.At(day.Add(12 * time.Hour))
+	for idx, d := range e.devices {
+		ctx := device.DayContext{
+			Day:                 day,
+			Attention:           att,
+			PublishedDays:       published,
+			PositiveResultToday: positiveToday[idx],
+			RNG:                 e.rng,
+		}
+		devEvents := d.DayEvents(e.cfg.Device, ctx)
+		if len(devEvents) > 0 {
+			e.label(e.addrs[idx].Addr, LabelApp)
+		}
+		for _, ev := range devEvents {
+			t := ev.Time
+			if t.Before(e.cfg.Start) {
+				t = e.cfg.Start.Add(time.Duration(e.rng.Intn(3600)) * time.Second)
+			}
+			events = append(events, event{
+				t:          t,
+				client:     e.addrs[idx],
+				clientHash: uint64(idx)*2654435761 + 17,
+				req:        ev.Req,
+				uploadKeys: ev.UploadKeys,
+				realCount:  ev.RealCount,
+			})
+		}
+	}
+
+	// Population website visits (non-app users), hourly Poisson per
+	// district.
+	webEvents, err := e.websiteVisits(day)
+	if err != nil {
+		return err
+	}
+	events = append(events, webEvents...)
+
+	// Filter-exercising noise.
+	noise := e.noiseEvents(events)
+	events = append(events, noise...)
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
+
+	// Process in order with hourly cache sweeps.
+	sweepAt := day.Add(time.Hour)
+	for _, ev := range events {
+		for !ev.t.Before(sweepAt) {
+			e.sweepAll(sweepAt)
+			sweepAt = sweepAt.Add(time.Hour)
+		}
+		if err := e.serve(ev); err != nil {
+			return err
+		}
+	}
+	for !nextDay.Before(sweepAt) {
+		e.sweepAll(sweepAt)
+		sweepAt = sweepAt.Add(time.Hour)
+	}
+	return nil
+}
+
+// createInstalls turns the national download curve into new devices.
+func (e *engine) createInstalls(day, nextDay time.Time) error {
+	realInstalls := e.curve.InstallsBetween(day, nextDay)
+	want := realInstalls/float64(e.cfg.Scale) + e.installCarry
+	count := int(want)
+	e.installCarry = want - float64(count)
+	for i := 0; i < count; i++ {
+		distIdx := e.sampler.Draw(e.rng)
+		isp := e.network.PickISP(e.rng)
+		addr, err := e.network.Attach(isp, e.districts[distIdx].ID)
+		if err != nil {
+			return err
+		}
+		at := e.installTime(day, nextDay)
+		dev := device.New(len(e.devices), distIdx, at, e.cfg.Device, e.rng)
+		e.devices = append(e.devices, dev)
+		e.addrs = append(e.addrs, addr)
+		e.byDist[distIdx] = append(e.byDist[distIdx], dev.ID)
+	}
+	return nil
+}
+
+// installTime draws a diurnally weighted instant within the day, clamped to
+// after the app release.
+func (e *engine) installTime(day, nextDay time.Time) time.Time {
+	for tries := 0; ; tries++ {
+		m := e.rng.Intn(24 * 60)
+		if e.rng.Float64()*2.2 > adoption.Diurnal(m/60) && tries < 64 {
+			continue
+		}
+		at := day.Add(time.Duration(m)*time.Minute + time.Duration(e.rng.Intn(60))*time.Second)
+		if at.Before(entime.AppRelease) {
+			at = entime.AppRelease.Add(time.Duration(e.rng.Intn(7200)) * time.Second)
+		}
+		if at.Before(nextDay) {
+			return at
+		}
+	}
+}
+
+// assignPositives decides which devices receive a positive lab result
+// today, honoring the verification-pipeline go-live and ramp.
+func (e *engine) assignPositives(day time.Time) map[int]bool {
+	out := make(map[int]bool)
+	if day.Before(e.cfg.UploadGoLive) {
+		return out
+	}
+	ramp := e.cfg.UploadRampPerDay * (1 + float64(int(day.Sub(e.cfg.UploadGoLive)/(24*time.Hour))))
+	if ramp > 1 {
+		ramp = 1
+	}
+	epiDay := e.epi.DayOf(day)
+	if epiDay < 0 {
+		return out
+	}
+	// Expected app-user positives per district.
+	var lambda float64
+	weights := make([]float64, len(e.districts))
+	for i, d := range e.districts {
+		if len(e.byDist[i]) == 0 {
+			continue
+		}
+		installedShare := float64(len(e.byDist[i])*e.cfg.Scale) / float64(d.Population)
+		if installedShare > 1 {
+			installedShare = 1
+		}
+		w := e.epi.Positives(d.ID, epiDay) * installedShare * ramp
+		weights[i] = w
+		lambda += w
+	}
+	if lambda <= 0 {
+		return out
+	}
+	n := poisson(e.rng, lambda)
+	for k := 0; k < n; k++ {
+		x := e.rng.Float64() * lambda
+		var acc float64
+		for i, w := range weights {
+			acc += w
+			if x < acc && len(e.byDist[i]) > 0 {
+				idx := e.byDist[i][e.rng.Intn(len(e.byDist[i]))]
+				out[idx] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// websiteVisits generates the general-population website exchanges,
+// including the two small local effects the paper reports: a "very slight
+// and hardly noticeable" increase in Gütersloh after its June-23 lockdown,
+// and a Berlin June-18 signal that is "only visible for users of a single
+// ISP" (modelled as extra interest from one regional ISP's customers).
+func (e *engine) websiteVisits(day time.Time) ([]event, error) {
+	var out []event
+	for h := 0; h < 24; h++ {
+		at := day.Add(time.Duration(h) * time.Hour)
+		att := e.attention.At(at)
+		diurnal := adoption.Diurnal(h)
+		for i, d := range e.districts {
+			rate := e.cfg.WebVisitorsPerHourPer100k * float64(d.Population) / 100000 *
+				att * diurnal / float64(e.cfg.Scale)
+			rate *= e.localBoost(d, at)
+			n := poisson(e.rng, rate)
+			for v := 0; v < n; v++ {
+				addr, err := e.webClient(i)
+				if err != nil {
+					return nil, err
+				}
+				e.label(addr.Addr, LabelWeb)
+				out = append(out, event{
+					t:          at.Add(time.Duration(e.rng.Intn(3600)) * time.Second),
+					client:     addr,
+					clientHash: uint64(i)*7919 + uint64(v),
+					req:        cdn.Request{Type: cdn.ReqWebsite},
+				})
+			}
+			// Berlin/RegioNet: the single-ISP local effect. The pulse
+			// is sized against RegioNet's small Berlin customer base
+			// (6% market share), so it roughly doubles that ISP's
+			// Berlin traffic while moving the district total by only
+			// a few percent — "only visible for users of a single
+			// ISP and not in the overall traffic".
+			if d.Name == "Berlin" && !at.Before(entime.OutbreakBerlin) {
+				decay := math.Exp(-at.Sub(entime.OutbreakBerlin).Hours() / 24 / 2.5)
+				extra := rate * 2.0 * decay
+				for v := poisson(e.rng, extra); v > 0; v-- {
+					addr, err := e.berlinRegioClient()
+					if err != nil {
+						return nil, err
+					}
+					e.label(addr.Addr, LabelWeb)
+					out = append(out, event{
+						t:          at.Add(time.Duration(e.rng.Intn(3600)) * time.Second),
+						client:     addr,
+						clientHash: 0xBE ^ uint64(v),
+						req:        cdn.Request{Type: cdn.ReqWebsite},
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// localBoost is the district-level interest multiplier: Gütersloh (and a
+// weaker echo in Warendorf) after the June-23 lockdown announcement.
+func (e *engine) localBoost(d geo.District, at time.Time) float64 {
+	if at.Before(entime.OutbreakGuetersloh) {
+		return 1
+	}
+	switch d.Name {
+	case "Gütersloh":
+		return 1.45
+	case "Warendorf":
+		return 1.20
+	default:
+		return 1
+	}
+}
+
+// berlinRegioClient returns a Berlin client pinned to the RegioNet ISP so
+// the June-18 effect is confined to one provider.
+func (e *engine) berlinRegioClient() (netsim.ClientAddr, error) {
+	if len(e.berlinRegioPool) < 24 {
+		isps := e.network.ISPs()
+		regio := isps[len(isps)-1] // RegioNet is last in the default mix
+		addr, err := e.network.Attach(regio, "BE-000")
+		if err != nil {
+			return netsim.ClientAddr{}, err
+		}
+		e.berlinRegioPool = append(e.berlinRegioPool, addr)
+		return addr, nil
+	}
+	return e.berlinRegioPool[e.rng.Intn(len(e.berlinRegioPool))], nil
+}
+
+// webClient returns a (possibly new) website-only client in the district.
+func (e *engine) webClient(distIdx int) (netsim.ClientAddr, error) {
+	pool := e.webPools[distIdx]
+	const maxPool = 48
+	if len(pool) < maxPool && (len(pool) == 0 || e.rng.Float64() < 0.35) {
+		isp := e.network.PickISP(e.rng)
+		addr, err := e.network.Attach(isp, e.districts[distIdx].ID)
+		if err != nil {
+			return netsim.ClientAddr{}, err
+		}
+		e.webPools[distIdx] = append(pool, addr)
+		return addr, nil
+	}
+	return pool[e.rng.Intn(len(pool))], nil
+}
+
+// noiseEvents derives filter-exercising noise from real events: IPv6
+// variants, non-443 ports, QUIC.
+func (e *engine) noiseEvents(real []event) []event {
+	var out []event
+	for _, ev := range real {
+		if e.rng.Float64() >= e.cfg.NoiseFraction {
+			continue
+		}
+		n := ev
+		n.noise = 1 + e.rng.Intn(3)
+		n.t = ev.t.Add(time.Duration(e.rng.Intn(30)) * time.Second)
+		out = append(out, n)
+	}
+	return out
+}
+
+// serve processes one event: it performs the API call against the hosting
+// stack and feeds the synthesized packets through the client's router.
+func (e *engine) serve(ev event) error {
+	e.clock.Set(ev.t)
+
+	if ev.noise != 0 {
+		e.emitNoise(ev)
+		return nil
+	}
+
+	resp, err := e.cdn.Serve(ev.t, ev.clientHash, ev.req)
+	if err != nil {
+		return fmt.Errorf("sim: serving %v: %w", ev.req.Type, err)
+	}
+	e.stats.Exchanges++
+	hourExtra := 0
+	switch ev.req.Type {
+	case cdn.ReqWebsite:
+		e.stats.WebVisits++
+		if d := int(ev.t.Sub(e.cfg.Start) / (24 * time.Hour)); d >= 0 && d < len(e.stats.WebVisitsByDay) {
+			e.stats.WebVisitsByDay[d]++
+		}
+	case cdn.ReqIndex:
+		e.stats.Syncs++
+		// Hour packages: the app follows its index fetch with the
+		// current day's published hour packages, resolved here at serve
+		// time (hours fill up as the day progresses). All of them ride
+		// the index fetch's TLS connection, so only the payload and
+		// header bytes add to that one flow — no extra handshakes, no
+		// extra flow records, matching the real client's connection
+		// reuse.
+		if !ev.req.Fake && ev.noise == 0 {
+			today := diagkeys.DayKey(ev.t)
+			for _, hour := range e.backend.AvailableHours(today) {
+				hreq := cdn.Request{Type: cdn.ReqHourPackage, Day: today, Hour: hour}
+				hresp, err := e.cdn.Serve(ev.t, ev.clientHash, hreq)
+				if err != nil {
+					return fmt.Errorf("sim: serving hour package: %w", err)
+				}
+				e.stats.Exchanges++
+				hourExtra += hresp.Bytes - cdn.TLSServerOverhead
+			}
+		}
+	}
+
+	upstreamExtra := 0
+	if ev.req.Type == cdn.ReqSubmission && !ev.req.Fake {
+		if ev.uploadKeys > 0 {
+			payload, err := e.performUpload(ev.uploadKeys)
+			if err != nil {
+				return err
+			}
+			upstreamExtra = payload
+		} else {
+			// A submission event without keys should not happen for
+			// real requests; treat as decoy-sized.
+			upstreamExtra = 2800
+		}
+	}
+
+	// Real-count events occur at real-world frequency; their backend
+	// side effects (above) always run, but their packets join the scaled
+	// trace at 1/Scale so upload flows stay the vanishing traffic share
+	// they are in the real capture.
+	if ev.realCount && e.rng.Float64() >= 1/float64(e.cfg.Scale) {
+		return nil
+	}
+	e.emitExchange(ev, resp.Edge, resp.Bytes+hourExtra, upstreamExtra)
+	return nil
+}
+
+// performUpload executes the real verification + submission flow against
+// the backend and returns the upload payload size.
+func (e *engine) performUpload(keyCount int) (int, error) {
+	now := e.clock.Now()
+	token := e.backend.RegisterTest(cwaserver.ResultPositive, now.Add(-time.Hour))
+	tan, err := e.backend.IssueTAN(token)
+	if err != nil {
+		return 0, fmt.Errorf("sim: issuing TAN: %w", err)
+	}
+	keys := make([]exposure.DiagnosisKey, keyCount)
+	start := entime.IntervalOf(now).KeyPeriodStart()
+	for i := range keys {
+		e.rng.Read(keys[i].Key[:])
+		keys[i].RollingStart = start.Add(-(keyCount - 1 - i) * entime.EKRollingPeriod)
+		keys[i].RollingPeriod = entime.EKRollingPeriod
+		keys[i].TransmissionRiskLevel = uint8(1 + e.rng.Intn(8))
+	}
+	payload, err := cwaserver.EncodeUpload(keys)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.backend.SubmitKeys(tan, keys); err != nil {
+		return 0, fmt.Errorf("sim: submitting keys: %w", err)
+	}
+	return len(payload), nil
+}
+
+// label records the ground-truth kind of a client address under its
+// anonymized identity, for classifier evaluation.
+func (e *engine) label(addr netip.Addr, kind byte) {
+	e.labels[e.anon.Anonymize(addr)] |= kind
+}
+
+// cacheFor returns (creating on demand) the netflow cache of a router.
+func (e *engine) cacheFor(routerID string) *netflow.Cache {
+	if c, ok := e.caches[routerID]; ok {
+		return c
+	}
+	h := fnv.New64a()
+	h.Write([]byte(routerID))
+	c, err := netflow.NewCache(routerID, e.cfg.Netflow,
+		rand.New(rand.NewSource(e.cfg.Seed^int64(h.Sum64()))))
+	if err != nil {
+		// Config was validated up front; a failure here is a bug.
+		panic("sim: creating flow cache: " + err.Error())
+	}
+	e.caches[routerID] = c
+	e.routerIDs = append(e.routerIDs, routerID)
+	sort.Strings(e.routerIDs)
+	return c
+}
+
+// emitExchange synthesizes the packet exchange of one HTTPS transaction and
+// runs it through the client's router in both directions. Only the
+// downstream (CDN->user) direction survives the measurement filters; the
+// upstream flow exists so the direction filter has something to drop, as in
+// the raw capture.
+func (e *engine) emitExchange(ev event, edge netip.Addr, respBytes, upstreamExtra int) {
+	cache := e.cacheFor(ev.client.RouterID)
+	clientPort := uint16(49152 + e.rng.Intn(16000))
+
+	down := e.traffic.DownstreamPackets(respBytes)
+	up := e.traffic.UpstreamPackets(respBytes)
+	upBytes := e.traffic.UpstreamRequestBytes + upstreamExtra + up*60
+
+	// The exchange spreads over a few hundred milliseconds to ~2 s.
+	dur := time.Duration(200+e.rng.Intn(1800)) * time.Millisecond
+	e.spread(cache, ev.t, dur, down, respBytes, edge, ev.client.Addr, netflow.PortHTTPS, clientPort)
+	e.spread(cache, ev.t, dur, up, upBytes, ev.client.Addr, edge, clientPort, netflow.PortHTTPS)
+}
+
+// spread feeds pkts packets of totalBytes through a cache across dur,
+// ingesting any records the cache exports along the way (evictions,
+// active-timeout splits).
+func (e *engine) spread(c *netflow.Cache, start time.Time, dur time.Duration, pkts, totalBytes int, src, dst netip.Addr, sport, dport uint16) {
+	if pkts <= 0 {
+		return
+	}
+	per := totalBytes / pkts
+	if per < 60 {
+		per = 60
+	}
+	step := dur / time.Duration(pkts)
+	for i := 0; i < pkts; i++ {
+		recs := c.Observe(netflow.Packet{
+			Time:    start.Add(time.Duration(i) * step),
+			Src:     src,
+			Dst:     dst,
+			SrcPort: sport,
+			DstPort: dport,
+			Proto:   netflow.ProtoTCP,
+			Bytes:   per,
+		})
+		if len(recs) > 0 {
+			e.collector.Ingest(recs)
+		}
+	}
+}
+
+// sweepAll expires idle cache entries across all routers.
+func (e *engine) sweepAll(now time.Time) {
+	for _, id := range e.routerIDs {
+		e.collector.Ingest(e.caches[id].Sweep(now))
+	}
+}
+
+// drainAll flushes every cache at the end of the capture.
+func (e *engine) drainAll() {
+	for _, id := range e.routerIDs {
+		e.collector.Ingest(e.caches[id].Drain())
+	}
+}
+
+// emitNoise generates the artifacts the measurement filters must drop.
+func (e *engine) emitNoise(ev event) {
+	cache := e.cacheFor(ev.client.RouterID)
+	now := ev.t
+	observe := func(p netflow.Packet) {
+		if recs := cache.Observe(p); len(recs) > 0 {
+			e.collector.Ingest(recs)
+		}
+	}
+	switch ev.noise {
+	case 1: // IPv6 HTTPS flow (dropped: IPv4-only study)
+		src := v6For(ev.client.Addr)
+		dst := netip.MustParseAddr("2001:db8:ffff::10")
+		for i := 0; i < 6; i++ {
+			observe(netflow.Packet{
+				Time: now.Add(time.Duration(i*50) * time.Millisecond),
+				Src:  dst, Dst: src,
+				SrcPort: 443, DstPort: uint16(50000 + e.rng.Intn(1000)),
+				Proto: netflow.ProtoTCP, Bytes: 1200,
+			})
+		}
+	case 2: // plain HTTP to the hosting prefix (dropped: not 443)
+		for i := 0; i < 4; i++ {
+			observe(netflow.Packet{
+				Time: now.Add(time.Duration(i*50) * time.Millisecond),
+				Src:  netsim.CDNAddr(0), Dst: ev.client.Addr,
+				SrcPort: 80, DstPort: uint16(50000 + e.rng.Intn(1000)),
+				Proto: netflow.ProtoTCP, Bytes: 600,
+			})
+		}
+	case 3: // QUIC (dropped: not TCP)
+		for i := 0; i < 5; i++ {
+			observe(netflow.Packet{
+				Time: now.Add(time.Duration(i*40) * time.Millisecond),
+				Src:  netsim.CDNAddr(1), Dst: ev.client.Addr,
+				SrcPort: 443, DstPort: uint16(50000 + e.rng.Intn(1000)),
+				Proto: netflow.ProtoUDP, Bytes: 1250,
+			})
+		}
+	}
+}
+
+// v6For derives a deterministic IPv6 counterpart of an IPv4 client.
+func v6For(v4 netip.Addr) netip.Addr {
+	b := v4.As4()
+	return netip.AddrFrom16([16]byte{
+		0x20, 0x01, 0x0d, 0xb8, 0, 1, 0, 0, 0, 0, 0, 0, b[0], b[1], b[2], b[3],
+	})
+}
+
+// poisson draws from Poisson(lambda) via Knuth's method for small lambda
+// and a normal approximation above.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

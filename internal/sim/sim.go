@@ -1,0 +1,199 @@
+// Package sim orchestrates the full reproduction pipeline: the geography,
+// the epidemic, app adoption, per-device traffic, the backend + CDN, the
+// access network and the Netflow vantage point. One Run produces the
+// anonymized flow trace the measurement pipeline (internal/core) analyzes —
+// the synthetic stand-in for the data set the paper captured at the CWA
+// hosting infrastructure.
+//
+// Scaling: one simulated device represents Config.Scale real phones. The
+// flow *shape* (diurnal pattern, day-one jump, geographic spread) is scale
+// free; absolute counts are compared to the paper after multiplying by
+// Scale (documented in EXPERIMENTS.md).
+package sim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/cdn"
+	"cwatrace/internal/cwaserver"
+	"cwatrace/internal/device"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/epidemic"
+	"cwatrace/internal/geo"
+	"cwatrace/internal/geodb"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/netsim"
+)
+
+// Config is the single knob hub of the simulation.
+type Config struct {
+	// Scale is how many real users one simulated device represents.
+	Scale int
+	// Seed drives every stochastic choice.
+	Seed int64
+	// Start and End bound the capture window (defaults: the study
+	// window, June 15-26).
+	Start, End time.Time
+
+	// Netflow is the router monitoring configuration.
+	Netflow netflow.Config
+	// Device holds the phone behaviour parameters.
+	Device device.Params
+	// Epidemic configures the background epidemic and outbreaks.
+	Epidemic epidemic.Config
+	// GeoDB configures geolocation database construction.
+	GeoDB geodb.Config
+	// CDN configures the edge layer.
+	CDN cdn.Config
+
+	// UploadGoLive is when the lab-to-app verification pipeline starts
+	// delivering positive results; the paper observes the first diagnosis
+	// keys on June 23.
+	UploadGoLive time.Time
+	// UploadRampPerDay grows upload throughput after go-live (fraction
+	// of eligible positives per day, capped at 1).
+	UploadRampPerDay float64
+
+	// WebVisitorsPerHourPer100k is the base rate of website visits from
+	// the general (non-app) population at attention level 1.
+	WebVisitorsPerHourPer100k float64
+
+	// NoiseFraction adds non-CWA artifacts the paper's filters must
+	// remove: IPv6 flows, non-443 ports, and unrelated destinations, as
+	// a fraction of legitimate exchanges.
+	NoiseFraction float64
+
+	// AnonKey is the 32-byte Crypto-PAn key; client addresses in the
+	// output are anonymized under it.
+	AnonKey []byte
+}
+
+// DefaultConfig returns the calibrated default simulation.
+func DefaultConfig() Config {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i*13 + 7)
+	}
+	return Config{
+		Scale: 2000,
+		Seed:  20200616,
+		Start: entime.StudyStart,
+		End:   entime.StudyEnd,
+		Netflow: netflow.Config{
+			SampleRate:      4,
+			ActiveTimeout:   60 * time.Second,
+			InactiveTimeout: 15 * time.Second,
+			MaxEntries:      65536,
+		},
+		Device:                    device.DefaultParams(),
+		Epidemic:                  epidemic.DefaultConfig(),
+		GeoDB:                     geodb.DefaultConfig(),
+		CDN:                       cdn.DefaultConfig(),
+		UploadGoLive:              entime.FirstKeysObserved,
+		UploadRampPerDay:          0.34,
+		WebVisitorsPerHourPer100k: 9,
+		NoiseFraction:             0.04,
+		AnonKey:                   key,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Scale < 1 {
+		return fmt.Errorf("sim: Scale must be >= 1")
+	}
+	if !c.End.After(c.Start) {
+		return fmt.Errorf("sim: End must be after Start")
+	}
+	if err := c.Netflow.Validate(); err != nil {
+		return err
+	}
+	if err := c.Device.Validate(); err != nil {
+		return err
+	}
+	if err := c.Epidemic.Validate(); err != nil {
+		return err
+	}
+	if c.UploadRampPerDay <= 0 || c.UploadRampPerDay > 1 {
+		return fmt.Errorf("sim: UploadRampPerDay %f out of (0,1]", c.UploadRampPerDay)
+	}
+	if c.WebVisitorsPerHourPer100k < 0 {
+		return fmt.Errorf("sim: negative web visitor rate")
+	}
+	if c.NoiseFraction < 0 || c.NoiseFraction > 1 {
+		return fmt.Errorf("sim: NoiseFraction out of range")
+	}
+	if len(c.AnonKey) != 32 {
+		return fmt.Errorf("sim: AnonKey must be 32 bytes")
+	}
+	return nil
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Devices is the number of simulated phones created.
+	Devices int
+	// InstalledByEnd is devices installed before End.
+	InstalledByEnd int
+	// Uploads is real diagnosis-key submissions performed.
+	Uploads int
+	// FakeCalls is decoy API call sequences served.
+	FakeCalls int
+	// WebVisits counts website exchanges (device- and population-driven).
+	WebVisits int
+	// WebVisitsByDay buckets website exchanges per study day; the
+	// news-correlation experiment uses it as ground truth.
+	WebVisitsByDay []int
+	// Syncs counts daily key-download rounds (index fetches) devices
+	// performed; the background-bug ablation reads sync coverage off it.
+	Syncs int
+	// Exchanges counts all HTTPS request/response pairs.
+	Exchanges int
+	// PacketsObserved/PacketsSampled aggregate router counters.
+	PacketsObserved uint64
+	PacketsSampled  uint64
+	// Records is the number of exported flow records.
+	Records int
+	// KeysByDay is the backend's real (unpadded) key count per DayKey.
+	KeysByDay map[string]int
+	// CacheHits/CacheMisses are CDN edge cache counters.
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// Client-kind label bits for ground-truth evaluation of traffic
+// classification (the paper's future-work idea of identifying app clients
+// by their periodic request pattern).
+const (
+	// LabelApp marks an anonymized address used by an app-running device.
+	LabelApp byte = 1 << iota
+	// LabelWeb marks an anonymized address used by a website-only client.
+	LabelWeb
+)
+
+// Result bundles everything a Run produces.
+type Result struct {
+	// Records is the anonymized flow trace, time ordered.
+	Records []netflow.Record
+	// GeoDB locates anonymized client prefixes.
+	GeoDB *geodb.DB
+	// Labels is the ground truth for classifier evaluation: anonymized
+	// client address -> kind bitmask (LabelApp | LabelWeb). An address
+	// can carry both bits when churn hands it to different client kinds.
+	Labels map[netip.Addr]byte
+	// Model is the geography used.
+	Model *geo.Model
+	// Network is the access network (router inventory).
+	Network *netsim.Network
+	// Backend allows inspecting published packages after the run.
+	Backend *cwaserver.Backend
+	// Curve is the national download curve used for the Figure 2 overlay.
+	Curve *adoption.Curve
+	// Attention is the media-attention signal used.
+	Attention adoption.Attention
+	// Stats are run counters.
+	Stats Stats
+}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"cwatrace/internal/cdn"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/netsim"
+)
+
+// quickConfig shrinks the simulation for fast unit tests: coarse scale,
+// three days around the release.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 20000
+	cfg.Start = entime.StudyStart
+	cfg.End = entime.StudyStart.AddDate(0, 0, 3)
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero scale", func(c *Config) { c.Scale = 0 }},
+		{"inverted window", func(c *Config) { c.End = c.Start.Add(-time.Hour) }},
+		{"bad netflow", func(c *Config) { c.Netflow.SampleRate = 0 }},
+		{"bad device", func(c *Config) { c.Device.UploadConsent = 2 }},
+		{"bad ramp", func(c *Config) { c.UploadRampPerDay = 0 }},
+		{"negative web rate", func(c *Config) { c.WebVisitorsPerHourPer100k = -1 }},
+		{"bad noise", func(c *Config) { c.NoiseFraction = 2 }},
+		{"short anon key", func(c *Config) { c.AnonKey = []byte("short") }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestQuickRunProducesTraffic(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Devices == 0 {
+		t.Fatal("no devices created")
+	}
+	if res.Stats.Records == 0 {
+		t.Fatal("no flow records")
+	}
+	if res.Stats.Exchanges == 0 {
+		t.Fatal("no exchanges")
+	}
+	if res.Stats.WebVisits == 0 {
+		t.Fatal("no website visits")
+	}
+	if len(res.Records) != res.Stats.Records {
+		t.Fatalf("record count mismatch: %d vs %d", len(res.Records), res.Stats.Records)
+	}
+}
+
+func TestReleaseDayJump(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// June 15 (pre-release) must have far fewer downstream flows than
+	// June 16 (release day): the paper reports a 7.5x jump.
+	perDay := make(map[int]int)
+	for _, r := range res.Records {
+		if !netsim.IsCWAServer(r.Src) || r.SrcPort != netflow.PortHTTPS {
+			continue
+		}
+		if d := entime.DayBucket(r.First); d >= 0 {
+			perDay[d]++
+		}
+	}
+	if perDay[1] < perDay[0]*2 {
+		t.Fatalf("release day jump missing: day0=%d day1=%d", perDay[0], perDay[1])
+	}
+}
+
+func TestRecordsTimeOrderedAndInWindow(t *testing.T) {
+	cfg := quickConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Time
+	for i, r := range res.Records {
+		if r.First.Before(prev) {
+			t.Fatalf("record %d out of order", i)
+		}
+		prev = r.First
+		if r.First.Before(cfg.Start.Add(-time.Hour)) || r.First.After(cfg.End.Add(time.Hour)) {
+			t.Fatalf("record %d outside window: %s", i, r.First)
+		}
+		if r.Exporter == "" {
+			t.Fatalf("record %d missing exporter", i)
+		}
+	}
+}
+
+func TestClientAddressesAnonymized(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client space is allocated from 20.0.0.0..24.x /8s; anonymized
+	// addresses should (overwhelmingly) not sit in those ranges while
+	// server addresses must be intact.
+	clientInPlain := 0
+	total := 0
+	for _, r := range res.Records {
+		if !netsim.IsCWAServer(r.Src) || !r.Dst.Is4() {
+			continue
+		}
+		total++
+		b := r.Dst.As4()
+		if b[0] >= 20 && b[0] < 20+5 {
+			clientInPlain++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no downstream records")
+	}
+	if clientInPlain > total/50 {
+		t.Fatalf("%d/%d client addresses look un-anonymized", clientInPlain, total)
+	}
+}
+
+func TestGeoDBCoversClients(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	located, total := 0, 0
+	for _, r := range res.Records {
+		if !netsim.IsCWAServer(r.Src) || !r.Dst.Is4() || r.SrcPort != netflow.PortHTTPS {
+			continue
+		}
+		if r.Proto != netflow.ProtoTCP {
+			continue
+		}
+		total++
+		if _, ok := res.GeoDB.Locate(r.Dst); ok {
+			located++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no downstream records")
+	}
+	if located < total*95/100 {
+		t.Fatalf("geolocation coverage %d/%d too low", located, total)
+	}
+}
+
+func TestNoUploadsBeforeGoLive(t *testing.T) {
+	cfg := quickConfig() // window ends June 18, go-live June 23
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Uploads != 0 {
+		t.Fatalf("uploads before go-live: %d", res.Stats.Uploads)
+	}
+	if len(res.Stats.KeysByDay) != 0 {
+		t.Fatalf("keys published before go-live: %v", res.Stats.KeysByDay)
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	cfg := quickConfig()
+	cfg.End = cfg.Start.AddDate(0, 0, 2)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Records != b.Stats.Records || a.Stats.Exchanges != b.Stats.Exchanges ||
+		a.Stats.Devices != b.Stats.Devices {
+		t.Fatalf("nondeterministic run: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestNoiseFlowsPresent(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v6, udp, port80 int
+	for _, r := range res.Records {
+		if r.Src.Is6() || r.Dst.Is6() {
+			v6++
+		}
+		if r.Proto == netflow.ProtoUDP {
+			udp++
+		}
+		if r.SrcPort == 80 {
+			port80++
+		}
+	}
+	if v6 == 0 || udp == 0 || port80 == 0 {
+		t.Fatalf("noise missing: v6=%d udp=%d port80=%d", v6, udp, port80)
+	}
+}
+
+func TestUploadsAfterGoLive(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Scale = 5000
+	// Window extends past June 23.
+	cfg.End = entime.StudyEnd
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Uploads == 0 {
+		t.Fatal("no uploads after go-live in full window")
+	}
+	for day := range res.Stats.KeysByDay {
+		if day < "2020-06-23" {
+			t.Fatalf("keys published on %s, before go-live", day)
+		}
+	}
+	// Submission traffic exists.
+	subs := 0
+	for _, r := range res.Records {
+		if netsim.CWAServerPrefixes[1].Contains(r.Src) {
+			subs++
+		}
+	}
+	if subs == 0 {
+		t.Fatal("no submission-prefix flows")
+	}
+	_ = cdn.ReqSubmission
+}

@@ -1,0 +1,195 @@
+// Package stats holds the small numerical toolbox used by the measurement
+// pipeline: quantiles, empirical CDFs, normalization, and correlation. The
+// paper's figures are built from exactly these operations — Figure 2 norms
+// hourly series to their minimum, Figure 3 norms district sums to their
+// maximum, and the prefix-persistence result is a pair of CDF quantiles.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by operations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7 estimator, the same the
+// paper's R plots would use). The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// NormalizeToMin divides every element by the smallest strictly positive
+// element, the normalization of the paper's Figure 2 ("normed to the
+// minimum"). Zero elements stay zero. If no element is positive the result
+// is a copy of the input.
+func NormalizeToMin(xs []float64) []float64 {
+	minPos := math.Inf(1)
+	for _, x := range xs {
+		if x > 0 && x < minPos {
+			minPos = x
+		}
+	}
+	out := make([]float64, len(xs))
+	if math.IsInf(minPos, 1) {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / minPos
+	}
+	return out
+}
+
+// NormalizeToMax divides every element by the maximum, the normalization of
+// the paper's Figure 3 ("normalized by maximum"). If the maximum is not
+// positive the result is a copy of the input.
+func NormalizeToMax(xs []float64) []float64 {
+	var max float64
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	out := make([]float64, len(xs))
+	if max <= 0 {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / max
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// xs and ys. It errors if the lengths differ, fewer than two pairs exist, or
+// either side has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("stats: need at least two pairs")
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// CDF is an empirical cumulative distribution function over float64 samples.
+// The zero value is empty and ready to use.
+type CDF struct {
+	sorted []float64
+	dirty  bool
+}
+
+// Add inserts a sample.
+func (c *CDF) Add(x float64) {
+	c.sorted = append(c.sorted, x)
+	c.dirty = true
+}
+
+// Len reports the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+func (c *CDF) ensure() {
+	if c.dirty {
+		sort.Float64s(c.sorted)
+		c.dirty = false
+	}
+}
+
+// P returns the empirical probability P[X <= x].
+func (c *CDF) P(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	c.ensure()
+	// Index of the first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the samples.
+func (c *CDF) Quantile(q float64) (float64, error) {
+	c.ensure()
+	return Quantile(c.sorted, q)
+}
+
+// Values returns the sorted samples. The caller must not modify the result.
+func (c *CDF) Values() []float64 {
+	c.ensure()
+	return c.sorted
+}

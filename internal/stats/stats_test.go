@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("negative q must error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("q > 1 must error")
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); err == nil {
+		t.Error("NaN q must error")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	got, err := Quantile([]float64{7}, 0.9)
+	if err != nil || got != 7 {
+		t.Fatalf("Quantile(single) = %g, %v", got, err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{2, 8, 5}
+	if m, _ := Mean(xs); m != 5 {
+		t.Errorf("Mean = %g", m)
+	}
+	if m, _ := Min(xs); m != 2 {
+		t.Errorf("Min = %g", m)
+	}
+	if m, _ := Max(xs); m != 8 {
+		t.Errorf("Max = %g", m)
+	}
+	for _, f := range []func([]float64) (float64, error){Mean, Min, Max} {
+		if _, err := f(nil); err != ErrEmpty {
+			t.Error("empty input must return ErrEmpty")
+		}
+	}
+}
+
+func TestNormalizeToMin(t *testing.T) {
+	got := NormalizeToMin([]float64{4, 2, 8, 0})
+	want := []float64{2, 1, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizeToMin = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalizeToMinAllZero(t *testing.T) {
+	got := NormalizeToMin([]float64{0, 0})
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("all-zero input must be unchanged, got %v", got)
+	}
+}
+
+func TestNormalizeToMax(t *testing.T) {
+	got := NormalizeToMax([]float64{5, 10, 0})
+	want := []float64{0.5, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizeToMax = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalizePropertyMinIsOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Use absolute values shifted up so a positive min exists.
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			xs[i] = math.Abs(v) + 1
+		}
+		normed := NormalizeToMin(xs)
+		min, err := Min(normed)
+		return err == nil && math.Abs(min-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation: r = %g", r)
+	}
+	inv := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, inv)
+	if err != nil || math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anti-correlation: r = %g, %v", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair must error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance must error")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{1, 2, 3, 4} {
+		c.Add(v)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if p := c.P(2); p != 0.5 {
+		t.Errorf("P(2) = %g, want 0.5", p)
+	}
+	if p := c.P(0.5); p != 0 {
+		t.Errorf("P(0.5) = %g, want 0", p)
+	}
+	if p := c.P(4); p != 1 {
+		t.Errorf("P(4) = %g, want 1", p)
+	}
+	q, err := c.Quantile(0.5)
+	if err != nil || q != 2.5 {
+		t.Errorf("Quantile(0.5) = %g, %v", q, err)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if p := c.P(1); p != 0 {
+		t.Errorf("empty CDF P = %g", p)
+	}
+	if _, err := c.Quantile(0.5); err == nil {
+		t.Error("empty CDF quantile must error")
+	}
+}
+
+func TestCDFInterleavedAddAndQuery(t *testing.T) {
+	var c CDF
+	c.Add(5)
+	if p := c.P(5); p != 1 {
+		t.Fatalf("P(5) = %g", p)
+	}
+	c.Add(1) // triggers re-sort on next query
+	if p := c.P(1); p != 0.5 {
+		t.Fatalf("P(1) after re-add = %g", p)
+	}
+	vs := c.Values()
+	if vs[0] != 1 || vs[1] != 5 {
+		t.Fatalf("Values not sorted: %v", vs)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		var c CDF
+		for _, s := range samples {
+			if math.IsNaN(s) {
+				s = 0
+			}
+			c.Add(s)
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.P(lo) <= c.P(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

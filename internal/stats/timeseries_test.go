@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var origin = time.Date(2020, time.June, 15, 0, 0, 0, 0, time.UTC)
+
+func TestTimeSeriesAdd(t *testing.T) {
+	ts := NewTimeSeries(origin, time.Hour, 24)
+	if !ts.Add(origin, 1) {
+		t.Fatal("Add at origin rejected")
+	}
+	if !ts.Add(origin.Add(30*time.Minute), 2) {
+		t.Fatal("Add mid-bin rejected")
+	}
+	if !ts.Add(origin.Add(23*time.Hour+59*time.Minute), 5) {
+		t.Fatal("Add in last bin rejected")
+	}
+	if ts.Add(origin.Add(24*time.Hour), 1) {
+		t.Fatal("Add past end accepted")
+	}
+	if ts.Add(origin.Add(-time.Second), 1) {
+		t.Fatal("Add before origin accepted")
+	}
+	if got := ts.Bin(0); got != 3 {
+		t.Fatalf("Bin(0) = %g, want 3", got)
+	}
+	if got := ts.Bin(23); got != 5 {
+		t.Fatalf("Bin(23) = %g, want 5", got)
+	}
+	if got := ts.Total(); got != 8 {
+		t.Fatalf("Total = %g, want 8", got)
+	}
+}
+
+func TestTimeSeriesPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero width", func() { NewTimeSeries(origin, 0, 1) })
+	mustPanic("zero bins", func() { NewTimeSeries(origin, time.Hour, 0) })
+}
+
+func TestTimeSeriesBinStart(t *testing.T) {
+	ts := NewTimeSeries(origin, time.Hour, 48)
+	if got := ts.BinStart(25); !got.Equal(origin.Add(25 * time.Hour)) {
+		t.Fatalf("BinStart(25) = %s", got)
+	}
+}
+
+func TestRebin(t *testing.T) {
+	ts := NewTimeSeries(origin, time.Hour, 48)
+	for h := 0; h < 48; h++ {
+		ts.Add(origin.Add(time.Duration(h)*time.Hour), 1)
+	}
+	daily, err := ts.Rebin(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if daily.Len() != 2 {
+		t.Fatalf("daily.Len = %d", daily.Len())
+	}
+	if daily.Bin(0) != 24 || daily.Bin(1) != 24 {
+		t.Fatalf("daily bins = %v", daily.Values())
+	}
+	if _, err := ts.Rebin(0); err == nil {
+		t.Fatal("Rebin(0) must error")
+	}
+}
+
+func TestRebinPartialTail(t *testing.T) {
+	ts := NewTimeSeries(origin, time.Hour, 25)
+	for h := 0; h < 25; h++ {
+		ts.Add(origin.Add(time.Duration(h)*time.Hour), 2)
+	}
+	daily, err := ts.Rebin(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if daily.Len() != 2 {
+		t.Fatalf("want 2 bins (one partial), got %d", daily.Len())
+	}
+	if daily.Bin(1) != 2 {
+		t.Fatalf("partial tail bin = %g, want 2", daily.Bin(1))
+	}
+}
+
+func TestRebinConservesTotal(t *testing.T) {
+	ts := NewTimeSeries(origin, time.Hour, 100)
+	for h := 0; h < 100; h++ {
+		ts.Add(origin.Add(time.Duration(h)*time.Hour), float64(h))
+	}
+	for _, factor := range []int{1, 2, 7, 24, 101} {
+		re, err := ts.Rebin(factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Total() != ts.Total() {
+			t.Fatalf("factor %d: total %g != %g", factor, re.Total(), ts.Total())
+		}
+	}
+}
+
+func TestDayOverDayRatio(t *testing.T) {
+	ts := NewTimeSeries(origin, 24*time.Hour, 3)
+	ts.Add(origin, 100)
+	ts.Add(origin.Add(24*time.Hour), 750)
+	if r := ts.DayOverDayRatio(1); math.Abs(r-7.5) > 1e-12 {
+		t.Fatalf("ratio = %g, want 7.5", r)
+	}
+	if r := ts.DayOverDayRatio(0); r != 0 {
+		t.Fatalf("day 0 ratio = %g, want 0", r)
+	}
+	if r := ts.DayOverDayRatio(2); r != 0 {
+		t.Fatalf("zero/zero ratio = %g, want 0", r)
+	}
+	ts.Add(origin.Add(48*time.Hour), 5)
+	ts2 := NewTimeSeries(origin, 24*time.Hour, 2)
+	ts2.Add(origin.Add(24*time.Hour), 5)
+	if r := ts2.DayOverDayRatio(1); !math.IsInf(r, 1) {
+		t.Fatalf("x/0 ratio = %g, want +Inf", r)
+	}
+}
+
+func TestValuesIsCopy(t *testing.T) {
+	ts := NewTimeSeries(origin, time.Hour, 2)
+	ts.Add(origin, 1)
+	vs := ts.Values()
+	vs[0] = 99
+	if ts.Bin(0) != 1 {
+		t.Fatal("Values must return a copy")
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+// jsonRecord is the JSONL wire form of a flow record.
+type jsonRecord struct {
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	SrcPort  uint16 `json:"sport"`
+	DstPort  uint16 `json:"dport"`
+	Proto    uint8  `json:"proto"`
+	Packets  uint64 `json:"packets"`
+	Bytes    uint64 `json:"bytes"`
+	First    int64  `json:"first_ns"`
+	Last     int64  `json:"last_ns"`
+	Exporter string `json:"exporter"`
+}
+
+// WriteJSONL writes records as one JSON object per line.
+func WriteJSONL(w io.Writer, recs []netflow.Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		jr := jsonRecord{
+			Src: r.Src.String(), Dst: r.Dst.String(),
+			SrcPort: r.SrcPort, DstPort: r.DstPort, Proto: r.Proto,
+			Packets: r.Packets, Bytes: r.Bytes,
+			First: r.First.UnixNano(), Last: r.Last.UnixNano(),
+			Exporter: r.Exporter,
+		}
+		if err := enc.Encode(&jr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace.
+func ReadJSONL(r io.Reader) ([]netflow.Record, error) {
+	var out []netflow.Record
+	dec := json.NewDecoder(r)
+	for {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: jsonl record %d: %w", len(out), err)
+		}
+		src, err := netip.ParseAddr(jr.Src)
+		if err != nil {
+			return nil, fmt.Errorf("trace: jsonl record %d src: %w", len(out), err)
+		}
+		dst, err := netip.ParseAddr(jr.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("trace: jsonl record %d dst: %w", len(out), err)
+		}
+		out = append(out, netflow.Record{
+			Key: netflow.Key{
+				Src: src, Dst: dst,
+				SrcPort: jr.SrcPort, DstPort: jr.DstPort, Proto: jr.Proto,
+			},
+			Packets: jr.Packets, Bytes: jr.Bytes,
+			First: time.Unix(0, jr.First).UTC(), Last: time.Unix(0, jr.Last).UTC(),
+			Exporter: jr.Exporter,
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+// quickRecord maps arbitrary fuzz inputs onto a structurally valid record.
+func quickRecord(src, dst [4]byte, sport, dport uint16, proto uint8,
+	pkts, bytes_ uint32, firstSec int32, durMs uint16, exporter byte) netflow.Record {
+	first := time.Unix(int64(firstSec), 0).UTC()
+	return netflow.Record{
+		Key: netflow.Key{
+			Src:     netip.AddrFrom4(src),
+			Dst:     netip.AddrFrom4(dst),
+			SrcPort: sport,
+			DstPort: dport,
+			Proto:   proto,
+		},
+		Packets:  uint64(pkts),
+		Bytes:    uint64(bytes_),
+		First:    first,
+		Last:     first.Add(time.Duration(durMs) * time.Millisecond),
+		Exporter: string(rune('A' + exporter%26)),
+	}
+}
+
+// TestQuickBinaryRoundTrip: any valid record survives the binary codec.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(src, dst [4]byte, sport, dport uint16, proto uint8,
+		pkts, byteCount uint32, firstSec int32, durMs uint16, exporter byte) bool {
+		rec := quickRecord(src, dst, sport, dport, proto, pkts, byteCount, firstSec, durMs, exporter)
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, []netflow.Record{rec}); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		return err == nil && len(got) == 1 && got[0] == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickJSONLRoundTrip: same property for the JSONL codec.
+func TestQuickJSONLRoundTrip(t *testing.T) {
+	f := func(src, dst [4]byte, sport, dport uint16, proto uint8,
+		pkts, byteCount uint32, firstSec int32, durMs uint16, exporter byte) bool {
+		rec := quickRecord(src, dst, sport, dport, proto, pkts, byteCount, firstSec, durMs, exporter)
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, []netflow.Record{rec}); err != nil {
+			return false
+		}
+		got, err := ReadJSONL(&buf)
+		return err == nil && len(got) == 1 && got[0] == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

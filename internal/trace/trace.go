@@ -1,0 +1,244 @@
+// Package trace defines the on-disk formats for captured flow traces: a
+// compact binary format for the multi-million-record data sets the
+// benchmarks replay (the paper works on ≈3.3M flows) and a JSONL format for
+// debugging and interoperability. Both stream — readers never require the
+// full trace in memory.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+// Magic identifies a binary flow trace.
+var Magic = [8]byte{'C', 'W', 'A', 'F', 'L', 'O', 'W', '1'}
+
+// ErrBadMagic is returned when a binary trace does not start with Magic.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Writer streams flow records into a binary trace.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	count   uint64
+}
+
+// NewWriter creates a Writer on top of w. The header is emitted lazily on
+// the first record (or on Flush for an empty trace).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (w *Writer) ensureHeader() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	_, err := w.w.Write(Magic[:])
+	return err
+}
+
+// Write appends one record.
+func (w *Writer) Write(r netflow.Record) error {
+	if err := w.ensureHeader(); err != nil {
+		return err
+	}
+	var buf [8]byte
+	writeAddr := func(a netip.Addr) error {
+		if a.Is4() || a.Is4In6() {
+			if err := w.w.WriteByte(4); err != nil {
+				return err
+			}
+			b := a.As4()
+			_, err := w.w.Write(b[:])
+			return err
+		}
+		if err := w.w.WriteByte(16); err != nil {
+			return err
+		}
+		b := a.As16()
+		_, err := w.w.Write(b[:])
+		return err
+	}
+	if err := writeAddr(r.Src); err != nil {
+		return err
+	}
+	if err := writeAddr(r.Dst); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint16(buf[:2], r.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], r.DstPort)
+	buf[4] = r.Proto
+	if _, err := w.w.Write(buf[:5]); err != nil {
+		return err
+	}
+	for _, v := range []uint64{r.Packets, r.Bytes, uint64(r.First.UnixNano()), uint64(r.Last.UnixNano())} {
+		binary.BigEndian.PutUint64(buf[:], v)
+		if _, err := w.w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	if len(r.Exporter) > 255 {
+		return fmt.Errorf("trace: exporter name %q too long", r.Exporter)
+	}
+	if err := w.w.WriteByte(byte(len(r.Exporter))); err != nil {
+		return err
+	}
+	if _, err := w.w.WriteString(r.Exporter); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count reports how many records were written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush writes any buffered data (and the header of an empty trace).
+func (w *Writer) Flush() error {
+	if err := w.ensureHeader(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader streams records out of a binary trace.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader creates a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next record, or io.EOF at a clean end of trace.
+func (r *Reader) Next() (netflow.Record, error) {
+	var rec netflow.Record
+	if !r.header {
+		var m [8]byte
+		if _, err := io.ReadFull(r.r, m[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return rec, ErrBadMagic
+			}
+			return rec, err
+		}
+		if m != Magic {
+			return rec, ErrBadMagic
+		}
+		r.header = true
+	}
+	readAddr := func() (netip.Addr, error) {
+		fam, err := r.r.ReadByte()
+		if err != nil {
+			return netip.Addr{}, err
+		}
+		switch fam {
+		case 4:
+			var b [4]byte
+			if _, err := io.ReadFull(r.r, b[:]); err != nil {
+				return netip.Addr{}, unexpected(err)
+			}
+			return netip.AddrFrom4(b), nil
+		case 16:
+			var b [16]byte
+			if _, err := io.ReadFull(r.r, b[:]); err != nil {
+				return netip.Addr{}, unexpected(err)
+			}
+			return netip.AddrFrom16(b), nil
+		default:
+			return netip.Addr{}, fmt.Errorf("trace: unknown address family %d", fam)
+		}
+	}
+	var err error
+	if rec.Src, err = readAddr(); err != nil {
+		return rec, err // io.EOF here is a clean end of trace
+	}
+	if rec.Dst, err = readAddr(); err != nil {
+		return rec, unexpected(err)
+	}
+	var b5 [5]byte
+	if _, err := io.ReadFull(r.r, b5[:]); err != nil {
+		return rec, unexpected(err)
+	}
+	rec.SrcPort = binary.BigEndian.Uint16(b5[:2])
+	rec.DstPort = binary.BigEndian.Uint16(b5[2:4])
+	rec.Proto = b5[4]
+	var b8 [8]byte
+	vals := make([]uint64, 4)
+	for i := range vals {
+		if _, err := io.ReadFull(r.r, b8[:]); err != nil {
+			return rec, unexpected(err)
+		}
+		vals[i] = binary.BigEndian.Uint64(b8[:])
+	}
+	rec.Packets, rec.Bytes = vals[0], vals[1]
+	rec.First = time.Unix(0, int64(vals[2])).UTC()
+	rec.Last = time.Unix(0, int64(vals[3])).UTC()
+	n, err := r.r.ReadByte()
+	if err != nil {
+		return rec, unexpected(err)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(r.r, name); err != nil {
+		return rec, unexpected(err)
+	}
+	rec.Exporter = string(name)
+	return rec, nil
+}
+
+// unexpected converts a mid-record EOF into ErrUnexpectedEOF so callers can
+// distinguish truncation from a clean end.
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ForEach streams every record of the trace to fn, stopping early if fn
+// returns an error.
+func ForEach(r io.Reader, fn func(netflow.Record) error) error {
+	tr := NewReader(r)
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// WriteAll writes all records and flushes.
+func WriteAll(w io.Writer, recs []netflow.Record) error {
+	tw := NewWriter(w)
+	for _, rec := range recs {
+		if err := tw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// ReadAll slurps a whole trace; intended for tests and small traces.
+func ReadAll(r io.Reader) ([]netflow.Record, error) {
+	var out []netflow.Record
+	err := ForEach(r, func(rec netflow.Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+func randomRecords(n int, seed int64) []netflow.Record {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Date(2020, time.June, 16, 0, 0, 0, 0, time.UTC)
+	out := make([]netflow.Record, n)
+	for i := range out {
+		var src [4]byte
+		rng.Read(src[:])
+		var dst [4]byte
+		rng.Read(dst[:])
+		out[i] = netflow.Record{
+			Key: netflow.Key{
+				Src:     netip.AddrFrom4(src),
+				Dst:     netip.AddrFrom4(dst),
+				SrcPort: uint16(rng.Intn(65536)),
+				DstPort: 443,
+				Proto:   netflow.ProtoTCP,
+			},
+			Packets:  uint64(1 + rng.Intn(100)),
+			Bytes:    uint64(40 + rng.Intn(100000)),
+			First:    base.Add(time.Duration(rng.Intn(86400)) * time.Second),
+			Exporter: "Magenta/NW-000",
+		}
+		out[i].Last = out[i].First.Add(time.Duration(rng.Intn(60)) * time.Second)
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := randomRecords(500, 1)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty trace, got %d records", len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("NOTATRACE-REALLY"))); err != ErrBadMagic {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+	if _, err := ReadAll(bytes.NewReader([]byte("FOO"))); err != ErrBadMagic {
+		t.Fatalf("short header: want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	recs := randomRecords(3, 2)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Cut mid-record: after the header plus a few bytes.
+	_, err := ReadAll(bytes.NewReader(data[:len(Magic)+10]))
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated trace must error, got %v", err)
+	}
+}
+
+func TestIPv6Records(t *testing.T) {
+	rec := netflow.Record{
+		Key: netflow.Key{
+			Src:     netip.MustParseAddr("2001:db8::1"),
+			Dst:     netip.MustParseAddr("2001:db8::2"),
+			SrcPort: 443, DstPort: 50000, Proto: netflow.ProtoTCP,
+		},
+		Packets: 3, Bytes: 999,
+		First: time.Unix(0, 12345).UTC(), Last: time.Unix(0, 67890).UTC(),
+		Exporter: "r6",
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []netflow.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != rec {
+		t.Fatalf("IPv6 round trip mismatch: %+v", got[0])
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	recs := randomRecords(10, 3)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	sentinel := io.ErrClosedPipe
+	err := ForEach(&buf, func(netflow.Record) error {
+		count++
+		if count == 4 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || count != 4 {
+		t.Fatalf("early stop failed: count=%d err=%v", count, err)
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	w := NewWriter(io.Discard)
+	recs := randomRecords(7, 4)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 7 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+}
+
+func TestOverlongExporterRejected(t *testing.T) {
+	rec := randomRecords(1, 5)[0]
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	rec.Exporter = string(long)
+	w := NewWriter(io.Discard)
+	if err := w.Write(rec); err == nil {
+		t.Fatal("overlong exporter must fail")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := randomRecords(100, 6)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewReader([]byte("{\"src\": 42}\n"))); err == nil {
+		t.Fatal("bad src type must error")
+	}
+	if _, err := ReadJSONL(bytes.NewReader([]byte("{\"src\":\"nonsense\",\"dst\":\"1.2.3.4\"}\n"))); err == nil {
+		t.Fatal("unparseable address must error")
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	recs := randomRecords(1000, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(io.Discard)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	recs := randomRecords(1000, 8)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := ForEach(bytes.NewReader(data), func(netflow.Record) error {
+			n++
+			return nil
+		})
+		if err != nil || n != 1000 {
+			b.Fatalf("n=%d err=%v", n, err)
+		}
+	}
+}
