@@ -1,0 +1,27 @@
+# Tier-1 verify is `make verify` (build + test); see ROADMAP.md.
+GO ?= go
+
+.PHONY: build test vet race bench verify all
+
+all: verify vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency surface of the sharded engine: the simulator, the flow
+# collector, the backend and the CDN under the race detector.
+race:
+	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/
+
+# One pass over every figure/table/ablation benchmark (see DESIGN.md for
+# the experiment index).
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem .
+
+verify: build test

@@ -29,7 +29,51 @@ import (
 	"cwatrace/internal/entime"
 	"cwatrace/internal/experiments"
 	"cwatrace/internal/exposure"
+	"cwatrace/internal/sim"
 )
+
+// BenchmarkSimRun measures the simulation engine itself — the stage every
+// other benchmark's suite depends on — serial (Workers=1) versus parallel
+// (Workers=0, all CPUs) at Quick scale and at 4x the Quick workload. The
+// parallel/serial ratio at 4xquick is the engine speedup tracked in the
+// bench trajectory; outputs are byte-identical across worker counts, so
+// only wall clock may differ.
+func BenchmarkSimRun(b *testing.B) {
+	sizes := []struct {
+		name string
+		div  int // divide Scale: fewer real users per device = more devices
+	}{
+		{"quick", 1},
+		{"4xquick", 4},
+	}
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	}
+	for _, size := range sizes {
+		for _, mode := range modes {
+			b.Run(size.name+"/"+mode.name, func(b *testing.B) {
+				cfg := experiments.QuickConfig()
+				cfg.Scale /= size.div
+				cfg.Workers = mode.workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				var records int
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					records = res.Stats.Records
+				}
+				b.ReportMetric(float64(records), "records")
+			})
+		}
+	}
+}
 
 // suiteOnce shares one simulated data set across benchmarks; the per-bench
 // loops then measure the analysis stage itself.
@@ -63,6 +107,7 @@ func BenchmarkFigure1Architecture(b *testing.B) {
 	defer srv.Close()
 
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		store := exposure.NewKeyStore(nil)
 		bc := exposure.NewBroadcaster(store, exposure.Metadata{0x40, 8, 0, 0})
@@ -219,6 +264,7 @@ func BenchmarkTable4Outbreaks(b *testing.B) {
 // Umbrella-style top-list observation.
 func BenchmarkTable5DNS(b *testing.B) {
 	b.ReportAllocs()
+	b.ResetTimer()
 	var tab experiments.DNSTable
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -261,6 +307,8 @@ func BenchmarkTable6FirstKeys(b *testing.B) {
 // iteration re-simulates the capture at three rates.
 func BenchmarkAblationSampling(b *testing.B) {
 	base := experiments.QuickConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	var points []experiments.SamplingPoint
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -278,6 +326,7 @@ func BenchmarkAblationSampling(b *testing.B) {
 // BenchmarkAblationCentralized contrasts the two architectures (A2).
 func BenchmarkAblationCentralized(b *testing.B) {
 	b.ReportAllocs()
+	b.ResetTimer()
 	var factor float64
 	var pairs int
 	for i := 0; i < b.N; i++ {
@@ -295,6 +344,8 @@ func BenchmarkAblationCentralized(b *testing.B) {
 // each iteration re-simulates at three shares.
 func BenchmarkAblationBackgroundBug(b *testing.B) {
 	base := experiments.QuickConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	var points []experiments.BugPoint
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -310,6 +361,8 @@ func BenchmarkAblationBackgroundBug(b *testing.B) {
 // BenchmarkAblationAdoptionEfficacy quantifies the paper's motivation (A4):
 // the share of contacts detectable by the app scales with adoption squared.
 func BenchmarkAblationAdoptionEfficacy(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	var points []ble.EfficacyPoint
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -348,6 +401,7 @@ func BenchmarkFutureWorkAppID(b *testing.B) {
 // traffic, from the trace and against ground truth.
 func BenchmarkFutureWorkNewsCorrelation(b *testing.B) {
 	s := benchSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var fromTrace, truth float64
 	for i := 0; i < b.N; i++ {
@@ -364,6 +418,8 @@ func BenchmarkFutureWorkNewsCorrelation(b *testing.B) {
 // BenchmarkFutureWorkLongTerm extends the window to four weeks (FW3) and
 // reports where traffic and human interest head after the launch spike.
 func BenchmarkFutureWorkLongTerm(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	var res experiments.LongTermResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -381,6 +437,7 @@ func BenchmarkDownloadCurve(b *testing.B) {
 	curve := adoption.DefaultCurve()
 	t := entime.AppRelease.Add(36 * time.Hour)
 	b.ReportAllocs()
+	b.ResetTimer()
 	var v float64
 	for i := 0; i < b.N; i++ {
 		v = curve.Cumulative(t)

@@ -26,6 +26,7 @@ func main() {
 		scale   = flag.Int("scale", 0, "population scale (1 device per N real users; 0 = default)")
 		seed    = flag.Int64("seed", 0, "simulation seed (0 = default)")
 		sample  = flag.Int("sample", 0, "router packet sampling 1-in-N (0 = default)")
+		workers = flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs, 1 = serial)")
 		verbose = flag.Bool("v", false, "print run statistics")
 	)
 	flag.Parse()
@@ -40,6 +41,7 @@ func main() {
 	if *sample > 0 {
 		cfg.Netflow.SampleRate = *sample
 	}
+	cfg.Workers = *workers
 
 	res, err := sim.Run(cfg)
 	if err != nil {

@@ -1,0 +1,3 @@
+module cwatrace
+
+go 1.24

@@ -12,6 +12,8 @@ package cdn
 import (
 	"fmt"
 	"net/netip"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cwatrace/internal/cwaserver"
@@ -112,14 +114,26 @@ type cacheEntry struct {
 	fetched time.Time
 }
 
-// CDN fronts a Backend.
+// edgeCache is one edge server's object cache with its own lock, so
+// concurrent requests only contend when they hit the same edge. The
+// simulation engine drives the CDN from its serial control plane, where
+// the striping costs one uncontended lock per request; the striping is for
+// callers that fan requests out (concurrent suites, future HTTP fronting
+// of the distribution service), which would otherwise serialize on a
+// single global mutex.
+type edgeCache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+}
+
+// CDN fronts a Backend. It is safe for concurrent use.
 type CDN struct {
 	cfg     Config
 	backend *cwaserver.Backend
 	website []byte
-	cache   map[string]cacheEntry
-	hits    uint64
-	misses  uint64
+	edges   []*edgeCache
+	hits    atomic.Uint64
+	misses  atomic.Uint64
 }
 
 // New creates a CDN over the given backend.
@@ -133,11 +147,15 @@ func New(cfg Config, backend *cwaserver.Backend, website []byte) (*CDN, error) {
 	if backend == nil {
 		return nil, fmt.Errorf("cdn: backend required")
 	}
+	edges := make([]*edgeCache, cfg.Edges)
+	for i := range edges {
+		edges[i] = &edgeCache{entries: make(map[string]cacheEntry)}
+	}
 	return &CDN{
 		cfg:     cfg,
 		backend: backend,
 		website: website,
-		cache:   make(map[string]cacheEntry),
+		edges:   edges,
 	}, nil
 }
 
@@ -213,21 +231,25 @@ func (c *CDN) Serve(now time.Time, clientHash uint64, req Request) (Response, er
 }
 
 // cached looks an object up in the per-edge cache, fetching from the origin
-// on miss or TTL expiry.
+// on miss or TTL expiry. Only requests landing on the same edge serialize;
+// the edge lock is held across the origin fetch so concurrent misses for
+// one object fetch once.
 func (c *CDN) cached(now time.Time, edge int, object string, fetch func() (int, error)) (size int, hit bool, err error) {
-	key := fmt.Sprintf("%d/%s", edge, object)
-	if e, ok := c.cache[key]; ok && now.Sub(e.fetched) < c.cfg.CacheTTL {
-		c.hits++
+	ec := c.edges[edge]
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if e, ok := ec.entries[object]; ok && now.Sub(e.fetched) < c.cfg.CacheTTL {
+		c.hits.Add(1)
 		return e.size, true, nil
 	}
 	size, err = fetch()
 	if err != nil {
 		return 0, false, err
 	}
-	c.cache[key] = cacheEntry{size: size, fetched: now}
-	c.misses++
+	ec.entries[object] = cacheEntry{size: size, fetched: now}
+	c.misses.Add(1)
 	return size, false, nil
 }
 
 // Stats reports edge cache hits and misses.
-func (c *CDN) Stats() (hits, misses uint64) { return c.hits, c.misses }
+func (c *CDN) Stats() (hits, misses uint64) { return c.hits.Load(), c.misses.Load() }

@@ -1,6 +1,7 @@
 package cdn
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -251,5 +252,47 @@ func TestRequestTypeString(t *testing.T) {
 		if rt.String() != want {
 			t.Errorf("String(%d) = %q, want %q", rt, rt.String(), want)
 		}
+	}
+}
+
+// TestConcurrentServe exercises the per-edge lock striping and atomic
+// counters under the race detector: many goroutines hammer all request
+// types across all edges against a shared CDN and backend.
+func TestConcurrentServe(t *testing.T) {
+	c, backend, clock := newCDN(t)
+	day := submitSomeKeys(t, backend, clock)
+	hours := backend.AvailableHours(day)
+	if len(hours) == 0 {
+		t.Fatal("no hour packages published")
+	}
+	now := clock.Now()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reqs := []Request{
+					{Type: ReqWebsite},
+					{Type: ReqIndex},
+					{Type: ReqDayPackage, Day: day},
+					{Type: ReqHourPackage, Day: day, Hour: hours[0]},
+					{Type: ReqSubmission, Fake: true},
+				}
+				req := reqs[i%len(reqs)]
+				if _, err := c.Serve(now, uint64(g*1000+i), req); err != nil {
+					t.Errorf("concurrent serve %v: %v", req.Type, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits, misses := c.Stats()
+	if hits+misses == 0 {
+		t.Fatal("no cache activity recorded")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	mrand "math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cwatrace/internal/diagkeys"
@@ -78,13 +79,16 @@ func DefaultConfig() Config {
 }
 
 // Backend is the shared state of all three services. All methods are safe
-// for concurrent use.
+// for concurrent use. Read-heavy paths (result polling, package discovery,
+// cached exports) take only a read lock, and the pure counters are atomics,
+// so concurrent readers — the parallel simulation engine, the HTTP handlers
+// — do not serialize on the writers.
 type Backend struct {
 	cfg    Config
 	clock  entime.Clock
 	signer diagkeys.Signer
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	tests map[string]*testRecord // registration token -> record
 	tans  map[string]bool        // issued, unused TANs
 	// keysByHour stores submissions bucketed by DayKey and hour of
@@ -94,8 +98,8 @@ type Backend struct {
 	keysByHour map[string]map[int][]exposure.DiagnosisKey
 	// exportCache invalidates per day when new keys arrive.
 	exportCache map[string][]byte
-	uploads     int
-	fakeCalls   int
+	uploads     atomic.Int64
+	fakeCalls   atomic.Int64
 }
 
 // New creates a Backend. clock may be nil for wall-clock time.
@@ -147,8 +151,8 @@ func (b *Backend) RegisterTest(result TestResult, availableAt time.Time) string 
 // PollResult returns the test state for a registration token, hiding
 // results that are not yet available.
 func (b *Backend) PollResult(token string) (TestResult, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	rec, ok := b.tests[token]
 	if !ok {
 		return ResultPending, ErrUnknownToken
@@ -204,31 +208,29 @@ func (b *Backend) SubmitKeys(tan string, keys []exposure.DiagnosisKey) error {
 	}
 	b.keysByHour[day][now.Hour()] = append(b.keysByHour[day][now.Hour()], keys...)
 	delete(b.exportCache, day)
-	b.uploads++
+	b.uploads.Add(1)
 	return nil
 }
 
 // RecordFakeCall counts a plausible-deniability dummy request (the app
-// sends fakes so observers cannot tell uploaders from non-uploaders).
+// sends fakes so observers cannot tell uploaders from non-uploaders). It is
+// lock-free: decoy traffic is high-volume and must not contend with real
+// submissions.
 func (b *Backend) RecordFakeCall() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.fakeCalls++
+	b.fakeCalls.Add(1)
 }
 
 // Stats reports upload and fake-call counters.
 func (b *Backend) Stats() (uploads, fakeCalls int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.uploads, b.fakeCalls
+	return int(b.uploads.Load()), int(b.fakeCalls.Load())
 }
 
 // AvailableDays lists days (as DayKey strings) with published packages, in
 // ascending order, bounded by the retention window. A day is published once
 // it has ended or holds keys.
 func (b *Backend) AvailableDays() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	now := b.clock.Now().In(entime.Berlin)
 	var days []string
 	for d := range b.keysByHour {
@@ -250,8 +252,8 @@ func (b *Backend) AvailableDays() []string {
 // polls these for the current (still unfinished) day instead of waiting for
 // the complete day package.
 func (b *Backend) AvailableHours(day string) []int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	var hours []int
 	for h := range b.keysByHour[day] {
 		hours = append(hours, h)
@@ -270,10 +272,20 @@ func (b *Backend) Index() (diagkeys.Index, error) {
 }
 
 // ExportForDay returns the signed, padded, shuffled key package for a
-// DayKey. Exports are cached until the day receives new keys.
+// DayKey. Exports are cached until the day receives new keys; the cached
+// path — the overwhelming majority of download traffic — takes only a read
+// lock.
 func (b *Backend) ExportForDay(day string) ([]byte, error) {
+	b.mu.RLock()
+	cached, ok := b.exportCache[day]
+	b.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	// Re-check under the write lock: another goroutine may have built the
+	// export while we waited.
 	if cached, ok := b.exportCache[day]; ok {
 		return cached, nil
 	}
@@ -321,8 +333,8 @@ var ErrNoSuchHour = errors.New("cwaserver: no package for requested hour")
 // carry no plausible-deniability padding (matching the early production
 // behaviour — padding applied to the daily aggregates).
 func (b *Backend) ExportForHour(day string, hour int) ([]byte, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	hours, ok := b.keysByHour[day]
 	if !ok {
 		return nil, ErrNoSuchDay
@@ -349,8 +361,8 @@ func (b *Backend) ExportForHour(day string, hour int) ([]byte, error) {
 
 // KeyCount returns the number of real (unpadded) keys stored for a day.
 func (b *Backend) KeyCount(day string) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	n := 0
 	for _, keys := range b.keysByHour[day] {
 		n += len(keys)

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"cwatrace/internal/netflow"
 	"cwatrace/internal/sim"
 	"cwatrace/internal/stats"
+	"cwatrace/internal/workgroup"
 )
 
 // Suite is one simulated data set with its filtered view.
@@ -66,6 +68,84 @@ func (s *Suite) Outbreaks() *core.OutbreakReport {
 	return core.AnalyzeOutbreaks(s.Kept, s.Result.GeoDB, s.Result.Model)
 }
 
+// Report bundles every per-suite artefact: the figures and tables a single
+// simulated data set yields.
+type Report struct {
+	Fig2             *core.Figure2Result
+	Fig3Full         *core.Figure3Result
+	Fig3DayOne       *core.Figure3Result
+	DayOneSimilarity float64
+	Persistence      core.PersistenceResult
+	Outbreaks        *core.OutbreakReport
+	Adoption         AdoptionTable
+	FirstKeys        FirstKeysTable
+	AppID            AppIDResult
+	// NewsOK reports whether the FW2 correlation could be computed; the
+	// analysis needs at least three days of data and non-degenerate
+	// series, and its absence must not sink the rest of the report.
+	NewsOK    bool
+	NewsTrace float64
+	NewsTruth float64
+}
+
+// Analyze runs every per-suite analysis concurrently. The analyses only
+// read the suite (trace, geolocation database, ground truth), so they are
+// independent; fanning them out regenerates all figures and tables in the
+// wall-clock time of the slowest one.
+func (s *Suite) Analyze() (*Report, error) {
+	var rep Report
+	g := workgroup.WithLimit(runtime.NumCPU())
+	g.Go(func() error {
+		fig2, err := s.Figure2()
+		if err != nil {
+			return fmt.Errorf("figure 2: %w", err)
+		}
+		rep.Fig2 = fig2
+		rep.Adoption = s.adoptionFrom(fig2)
+		return nil
+	})
+	g.Go(func() error {
+		full, dayOne, similarity, err := s.Figure3()
+		if err != nil {
+			return fmt.Errorf("figure 3: %w", err)
+		}
+		rep.Fig3Full, rep.Fig3DayOne, rep.DayOneSimilarity = full, dayOne, similarity
+		return nil
+	})
+	g.Go(func() error {
+		rep.Persistence = s.Persistence()
+		return nil
+	})
+	g.Go(func() error {
+		rep.Outbreaks = s.Outbreaks()
+		return nil
+	})
+	g.Go(func() error {
+		rep.FirstKeys = s.FirstKeys()
+		return nil
+	})
+	g.Go(func() error {
+		appID, err := s.AppID()
+		if err != nil {
+			return fmt.Errorf("app identification: %w", err)
+		}
+		rep.AppID = appID
+		return nil
+	})
+	g.Go(func() error {
+		// FW2 is optional: short or degenerate windows cannot support
+		// the correlation, and that only blanks its section.
+		if fromTrace, truth, err := s.NewsCorrelation(); err == nil {
+			rep.NewsTrace, rep.NewsTruth, rep.NewsOK = fromTrace, truth, true
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // AdoptionTable is T3: the paper's adoption anchors next to the measured
 // release-day jump.
 type AdoptionTable struct {
@@ -80,12 +160,18 @@ func (s *Suite) Adoption() (AdoptionTable, error) {
 	if err != nil {
 		return AdoptionTable{}, err
 	}
+	return s.adoptionFrom(fig2), nil
+}
+
+// adoptionFrom builds T3 from an already-computed Figure 2, so Analyze does
+// not regenerate the timeline twice.
+func (s *Suite) adoptionFrom(fig2 *core.Figure2Result) AdoptionTable {
 	jul24 := time.Date(2020, time.July, 24, 0, 0, 0, 0, entime.Berlin)
 	return AdoptionTable{
 		DownloadsAt36h:      s.Result.Curve.Cumulative(entime.AppRelease.Add(36 * time.Hour)),
 		DownloadsJul24:      s.Result.Curve.Cumulative(jul24),
 		ReleaseDayFlowRatio: fig2.ReleaseDayFlowRatio,
-	}, nil
+	}
 }
 
 // FirstKeysTable is T6.
@@ -144,34 +230,57 @@ type SamplingPoint struct {
 
 // SamplingAblation reruns the capture at different router sampling rates
 // (A1). The base config is shrunk for speed; shapes, not absolutes, are
-// compared.
+// compared. The parameter points are independent simulations, so they fan
+// out over a bounded worker pool; results keep the order of rates.
 func SamplingAblation(base sim.Config, rates []int) ([]SamplingPoint, error) {
-	out := make([]SamplingPoint, 0, len(rates))
-	for _, rate := range rates {
-		cfg := base
-		cfg.Netflow.SampleRate = rate
-		s, err := RunSuite(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sampling ablation rate %d: %w", rate, err)
-		}
-		p := SamplingPoint{SampleRate: rate, KeptFlows: len(s.Kept)}
-		var pkts, single float64
-		for _, r := range s.Kept {
-			pkts += float64(r.Packets)
-			if r.Packets == 1 {
-				single++
+	out := make([]SamplingPoint, len(rates))
+	g := workgroup.WithLimit(ablationWorkers())
+	for i, rate := range rates {
+		i, rate := i, rate
+		g.Go(func() error {
+			cfg := base
+			cfg.Netflow.SampleRate = rate
+			s, err := RunSuite(cfg)
+			if err != nil {
+				return fmt.Errorf("sampling ablation rate %d: %w", rate, err)
 			}
-		}
-		if len(s.Kept) > 0 {
-			p.MeanPktsPerFlow = pkts / float64(len(s.Kept))
-			p.SinglePacketShare = single / float64(len(s.Kept))
-		}
-		pers := s.Persistence()
-		p.MedianPresence = pers.MedianFraction
-		p.P75Presence = pers.P75Fraction
-		out = append(out, p)
+			p := SamplingPoint{SampleRate: rate, KeptFlows: len(s.Kept)}
+			var pkts, single float64
+			for _, r := range s.Kept {
+				pkts += float64(r.Packets)
+				if r.Packets == 1 {
+					single++
+				}
+			}
+			if len(s.Kept) > 0 {
+				p.MeanPktsPerFlow = pkts / float64(len(s.Kept))
+				p.SinglePacketShare = single / float64(len(s.Kept))
+			}
+			pers := s.Persistence()
+			p.MedianPresence = pers.MedianFraction
+			p.P75Presence = pers.P75Fraction
+			out[i] = p
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ablationWorkers bounds the concurrent simulations of a parameter sweep:
+// each point is itself an internally parallel sim.Run, so running every
+// point at once would oversubscribe the machine and spike memory.
+func ablationWorkers() int {
+	n := runtime.NumCPU() / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
 }
 
 // BugPoint is one row of the A3 ablation.
@@ -184,25 +293,34 @@ type BugPoint struct {
 }
 
 // BackgroundBugAblation reruns the simulation at different shares of
-// energy-saving-restricted devices (A3).
+// energy-saving-restricted devices (A3). Parameter points run concurrently;
+// results keep the order of shares.
 func BackgroundBugAblation(base sim.Config, shares []float64) ([]BugPoint, error) {
-	out := make([]BugPoint, 0, len(shares))
+	out := make([]BugPoint, len(shares))
 	days := int(base.End.Sub(base.Start) / (24 * time.Hour))
-	for _, share := range shares {
-		cfg := base
-		cfg.Device.BackgroundBugShare = share
-		s, err := RunSuite(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("bug ablation share %.2f: %w", share, err)
-		}
-		p := BugPoint{BugShare: share, KeptFlows: len(s.Kept)}
-		if s.Result.Stats.Devices > 0 && days > 0 {
-			// Approximate device-days: devices arrive over the
-			// window, so halve.
-			deviceDays := float64(s.Result.Stats.Devices) * float64(days) / 2
-			p.SyncsPerDeviceDay = float64(s.Result.Stats.Syncs) / deviceDays
-		}
-		out = append(out, p)
+	g := workgroup.WithLimit(ablationWorkers())
+	for i, share := range shares {
+		i, share := i, share
+		g.Go(func() error {
+			cfg := base
+			cfg.Device.BackgroundBugShare = share
+			s, err := RunSuite(cfg)
+			if err != nil {
+				return fmt.Errorf("bug ablation share %.2f: %w", share, err)
+			}
+			p := BugPoint{BugShare: share, KeptFlows: len(s.Kept)}
+			if s.Result.Stats.Devices > 0 && days > 0 {
+				// Approximate device-days: devices arrive over the
+				// window, so halve.
+				deviceDays := float64(s.Result.Stats.Devices) * float64(days) / 2
+				p.SyncsPerDeviceDay = float64(s.Result.Stats.Syncs) / deviceDays
+			}
+			out[i] = p
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -11,26 +11,60 @@ import (
 // point and applies the trace-release policy of the data set: client
 // addresses are prefix-preserving anonymized, server addresses (needed for
 // filtering) are left intact.
+//
+// The collector is sharded: each shard owns a private record buffer, so a
+// parallel simulation engine can ingest from many workers without any
+// locking, as long as every shard is driven by at most one goroutine at a
+// time. Shards are merged in shard-index order before the final sort, which
+// keeps the output deterministic regardless of how work was scheduled onto
+// workers.
 type Collector struct {
 	anon *cryptopan.Anonymizer
 	// keep decides which addresses stay un-anonymized (the CWA hosting
 	// prefixes).
-	keep    func(netip.Addr) bool
+	keep   func(netip.Addr) bool
+	shards []*CollectorShard
+}
+
+// CollectorShard is one lock-free ingestion lane of a Collector. A shard
+// must be driven by at most one goroutine at a time; distinct shards may be
+// driven concurrently.
+type CollectorShard struct {
+	parent  *Collector
 	records []Record
 }
 
-// NewCollector creates a collector. anon may be nil to disable
-// anonymization (useful in unit tests); keep may be nil to anonymize
+// NewCollector creates a collector with a single shard. anon may be nil to
+// disable anonymization (useful in unit tests); keep may be nil to anonymize
 // everything.
 func NewCollector(anon *cryptopan.Anonymizer, keep func(netip.Addr) bool) *Collector {
 	if keep == nil {
 		keep = func(netip.Addr) bool { return false }
 	}
-	return &Collector{anon: anon, keep: keep}
+	c := &Collector{anon: anon, keep: keep}
+	c.Resize(1)
+	return c
 }
 
-// Ingest stores records after applying the anonymization policy.
-func (c *Collector) Ingest(recs []Record) {
+// Resize grows the collector to at least n shards. It must not be called
+// concurrently with ingestion; callers size the collector once before the
+// run starts. Existing shards (and their records) are preserved.
+func (c *Collector) Resize(n int) {
+	for len(c.shards) < n {
+		c.shards = append(c.shards, &CollectorShard{parent: c})
+	}
+}
+
+// NumShards reports the current shard count.
+func (c *Collector) NumShards() int { return len(c.shards) }
+
+// Shard returns the i-th ingestion lane.
+func (c *Collector) Shard(i int) *CollectorShard { return c.shards[i] }
+
+// Ingest stores records after applying the anonymization policy. Records
+// land on the shard's private buffer; no locks are taken.
+func (s *CollectorShard) Ingest(recs []Record) {
+	c := s.parent
 	for _, r := range recs {
 		if c.anon != nil {
 			if !c.keep(r.Src) {
@@ -40,20 +74,44 @@ func (c *Collector) Ingest(recs []Record) {
 				r.Dst = c.anon.Anonymize(r.Dst)
 			}
 		}
-		c.records = append(c.records, r)
+		s.records = append(s.records, r)
 	}
 }
 
-// Len reports the number of collected records.
-func (c *Collector) Len() int { return len(c.records) }
+// Len reports the number of records held by this shard.
+func (s *CollectorShard) Len() int { return len(s.records) }
 
-// Records returns the collected records sorted under the package's total
-// record order (deterministic across identical runs). The slice is owned by
-// the collector until this call; callers must not Ingest afterwards while
+// Ingest stores records on shard 0; the single-shard compatibility path for
+// serial callers.
+func (c *Collector) Ingest(recs []Record) { c.shards[0].Ingest(recs) }
+
+// Len reports the number of collected records across all shards.
+func (c *Collector) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		n += len(s.records)
+	}
+	return n
+}
+
+// Records merges every shard (in shard-index order, so ties in the record
+// order resolve deterministically) and returns the records sorted under the
+// package's total record order. The returned slice is owned by the
+// collector until this call; callers must not Ingest afterwards while
 // holding it.
 func (c *Collector) Records() []Record {
-	sort.SliceStable(c.records, func(i, j int) bool {
-		return RecordLess(c.records[i], c.records[j])
+	merged := c.shards[0].records
+	if len(c.shards) > 1 {
+		total := c.Len()
+		merged = make([]Record, 0, total)
+		for _, s := range c.shards {
+			merged = append(merged, s.records...)
+			s.records = nil
+		}
+		c.shards[0].records = merged
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		return RecordLess(merged[i], merged[j])
 	})
-	return c.records
+	return merged
 }

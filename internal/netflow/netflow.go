@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -136,6 +137,41 @@ type entry struct {
 	rec Record
 }
 
+// entryPool recycles cache entries across flows: the simulator creates and
+// expires millions of entries per run, and reusing them removes that
+// allocation churn from the hot path. The pool is shared by all caches
+// (sync.Pool is safe for concurrent use by parallel shard workers).
+var entryPool = sync.Pool{New: func() any { return new(entry) }}
+
+// batchPool recycles the small export batches Observe/Sweep/Drain return.
+// Callers that drive caches in a tight loop (the simulator) hand batches
+// back via RecycleBatch once ingested; callers that keep the records alive
+// simply never recycle.
+var batchPool = sync.Pool{New: func() any { return new([]Record) }}
+
+func getBatch() []Record {
+	return (*batchPool.Get().(*[]Record))[:0]
+}
+
+// RecycleBatch returns an export batch obtained from Observe, Sweep or
+// Drain to the internal pool. The caller must not retain the slice (or any
+// aliases of it) afterwards.
+func RecycleBatch(recs []Record) {
+	if recs == nil {
+		return
+	}
+	recs = recs[:0]
+	batchPool.Put(&recs)
+}
+
+// appendExport lazily takes a pooled batch on the first export of a call.
+func appendExport(out []Record, r Record) []Record {
+	if out == nil {
+		out = getBatch()
+	}
+	return append(out, r)
+}
+
 // Cache is one router's flow cache. It is not safe for concurrent use; the
 // simulator drives each router from its event loop.
 type Cache struct {
@@ -182,21 +218,22 @@ func (c *Cache) Observe(p Packet) []Record {
 	e, ok := c.entries[k]
 	if ok && p.Time.Sub(e.rec.First) >= c.cfg.ActiveTimeout {
 		// Active timeout: export the running record and restart it.
-		out = append(out, e.rec)
-		delete(c.entries, k)
+		out = appendExport(out, e.rec)
+		c.release(k, e)
 		ok = false
 	}
 	if !ok {
 		if len(c.entries) >= c.cfg.MaxEntries {
-			if victim := c.evict(); victim != nil {
-				out = append(out, *victim)
+			if victim, evicted := c.evict(); evicted {
+				out = appendExport(out, victim)
 			}
 		}
-		e = &entry{rec: Record{
+		e = entryPool.Get().(*entry)
+		e.rec = Record{
 			Key:      k,
 			First:    p.Time,
 			Exporter: c.exporter,
-		}}
+		}
 		c.entries[k] = e
 	}
 	e.rec.Packets++
@@ -209,7 +246,7 @@ func (c *Cache) Observe(p Packet) []Record {
 // cache is full, it produces the premature, packet-poor records the paper
 // attributes to "cache eviction settings". Idle-time ties break on the flow
 // key so eviction is deterministic.
-func (c *Cache) evict() *Record {
+func (c *Cache) evict() (Record, bool) {
 	var victimKey Key
 	var victim *entry
 	for k, e := range c.entries {
@@ -219,11 +256,19 @@ func (c *Cache) evict() *Record {
 		}
 	}
 	if victim == nil {
-		return nil
+		return Record{}, false
 	}
-	delete(c.entries, victimKey)
 	rec := victim.rec
-	return &rec
+	c.release(victimKey, victim)
+	return rec, true
+}
+
+// release removes an entry from the cache and returns it to the pool. The
+// caller must have copied the record out first.
+func (c *Cache) release(k Key, e *entry) {
+	delete(c.entries, k)
+	e.rec = Record{}
+	entryPool.Put(e)
 }
 
 // Sweep expires entries idle past the inactive timeout as of now and
@@ -233,8 +278,8 @@ func (c *Cache) Sweep(now time.Time) []Record {
 	var out []Record
 	for k, e := range c.entries {
 		if now.Sub(e.rec.Last) >= c.cfg.InactiveTimeout {
-			out = append(out, e.rec)
-			delete(c.entries, k)
+			out = appendExport(out, e.rec)
+			c.release(k, e)
 		}
 	}
 	sortRecords(out)
@@ -244,10 +289,10 @@ func (c *Cache) Sweep(now time.Time) []Record {
 // Drain exports everything still cached in deterministic order; used at the
 // end of a capture.
 func (c *Cache) Drain() []Record {
-	out := make([]Record, 0, len(c.entries))
+	var out []Record
 	for k, e := range c.entries {
-		out = append(out, e.rec)
-		delete(c.entries, k)
+		out = appendExport(out, e.rec)
+		c.release(k, e)
 	}
 	sortRecords(out)
 	return out

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestWorkerCountInvariance is the determinism contract of the sharded
+// engine: a fixed seed must produce byte-identical results whether the run
+// is fully serial or spread over many workers. Run with -race in CI.
+func TestWorkerCountInvariance(t *testing.T) {
+	cfg := quickConfig()
+	cfg.End = cfg.Start.AddDate(0, 0, 2)
+
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+		t.Fatalf("stats differ between worker counts:\n 1: %+v\n 8: %+v",
+			serial.Stats, parallel.Stats)
+	}
+	if len(serial.Records) != len(parallel.Records) {
+		t.Fatalf("record count differs: %d vs %d", len(serial.Records), len(parallel.Records))
+	}
+	for i := range serial.Records {
+		if serial.Records[i] != parallel.Records[i] {
+			t.Fatalf("record %d differs between worker counts:\n 1: %+v\n 8: %+v",
+				i, serial.Records[i], parallel.Records[i])
+		}
+	}
+	if !reflect.DeepEqual(serial.Labels, parallel.Labels) {
+		t.Fatalf("ground-truth labels differ between worker counts")
+	}
+}
+
+// TestShardSeedStreamsDistinct guards against stream collisions: every
+// (day, shard, purpose) triple must get its own seed.
+func TestShardSeedStreamsDistinct(t *testing.T) {
+	seen := make(map[int64][3]int)
+	for day := 0; day < 30; day++ {
+		for shard := 0; shard < 401; shard++ {
+			for p, purpose := range []uint64{purposeGenerate, purposeEmit} {
+				s := shardSeed(20200616, day, shard, purpose)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d,%d,%d) and %v -> %d",
+						day, shard, p, prev, s)
+				}
+				seen[s] = [3]int{day, shard, p}
+			}
+		}
+	}
+}
+
+// TestEventMergerOrders checks the k-way merge yields the global
+// (time, shard) order over sorted per-shard lists.
+func TestEventMergerOrders(t *testing.T) {
+	base := time.Date(2020, time.June, 15, 0, 0, 0, 0, time.UTC)
+	mk := func(offsets ...int) []event {
+		evs := make([]event, len(offsets))
+		for i, off := range offsets {
+			evs[i] = event{t: base.Add(time.Duration(off) * time.Second), uploadKeys: off}
+		}
+		return evs
+	}
+	shards := []*shard{
+		{idx: 0, events: mk(1, 4, 4, 9)},
+		{idx: 1, events: mk()},
+		{idx: 2, events: mk(0, 4, 7)},
+		{idx: 3, events: mk(2)},
+	}
+	m := newEventMerger(shards)
+	var got []int
+	prev := time.Time{}
+	for ev := m.next(); ev != nil; ev = m.next() {
+		if ev.t.Before(prev) {
+			t.Fatalf("merge emitted out-of-order event at %v", ev.t)
+		}
+		prev = ev.t
+		got = append(got, ev.uploadKeys)
+	}
+	want := []int{0, 1, 2, 4, 4, 4, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order %v, want %v", got, want)
+	}
+}

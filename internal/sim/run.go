@@ -2,10 +2,10 @@ package sim
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"sort"
 	"time"
 
@@ -24,7 +24,10 @@ import (
 	"cwatrace/internal/netsim"
 )
 
-// event is one scheduled network interaction.
+// event is one scheduled network interaction. The generation phase fills
+// the identity fields; the serial control plane annotates the response plan
+// (edge, respBytes, upstreamExtra); the emission phase turns the plan into
+// packets.
 type event struct {
 	t          time.Time
 	client     netsim.ClientAddr
@@ -36,12 +39,18 @@ type event struct {
 	realCount bool
 	// noise kinds: 0 none, 1 IPv6 flow, 2 non-443 port, 3 QUIC.
 	noise int
+
+	// Response plan, filled by the control plane for non-noise events.
+	edge          netip.Addr
+	respBytes     int
+	upstreamExtra int
 }
 
 // engine holds the mutable state of one Run.
 type engine struct {
 	cfg       Config
-	rng       *rand.Rand
+	workers   int
+	rng       *rand.Rand // serial-phase randomness (installs, positives, uploads)
 	model     *geo.Model
 	network   *netsim.Network
 	clock     *entime.SimClock
@@ -57,16 +66,12 @@ type engine struct {
 	districts []geo.District
 	devices   []*device.Device
 	addrs     []netsim.ClientAddr // by device index
-	byDist    [][]int             // device indices per district index
 
-	webPools        [][]netsim.ClientAddr
-	berlinRegioPool []netsim.ClientAddr
+	// shards partition the simulation by district; see parallel.go.
+	shards []*shard
 
 	anon   *cryptopan.Anonymizer
 	labels map[netip.Addr]byte
-
-	caches    map[string]*netflow.Cache
-	routerIDs []string
 
 	installCarry float64
 	stats        Stats
@@ -78,6 +83,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	e := &engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	e.workers = cfg.Workers
+	if e.workers <= 0 {
+		e.workers = runtime.NumCPU()
+	}
 	e.model = geo.Germany()
 	var err error
 	e.network, err = netsim.New(e.model, netsim.DefaultISPs())
@@ -109,12 +118,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 	e.anon = anon
 	e.labels = make(map[netip.Addr]byte)
-	e.collector = netflow.NewCollector(anon, netsim.IsCWAServer)
 	e.traffic = device.DefaultTrafficModel()
 	e.districts = e.model.Districts()
-	e.byDist = make([][]int, len(e.districts))
-	e.webPools = make([][]netsim.ClientAddr, len(e.districts))
-	e.caches = make(map[string]*netflow.Cache)
+	e.collector = netflow.NewCollector(anon, netsim.IsCWAServer)
+	e.collector.Resize(len(e.districts))
+	e.shards = make([]*shard, len(e.districts))
+	for i, d := range e.districts {
+		e.shards[i] = &shard{
+			idx:      i,
+			district: d,
+			caches:   make(map[string]*netflow.Cache),
+			sink:     e.collector.Shard(i),
+			labels:   make(map[netip.Addr]byte),
+		}
+	}
 	e.stats.KeysByDay = make(map[string]int)
 	e.stats.WebVisitsByDay = make([]int, int(cfg.End.Sub(cfg.Start)/(24*time.Hour)))
 
@@ -124,6 +141,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	e.drainAll()
+
+	// Merge shard-local ground-truth labels (bitwise OR is commutative, so
+	// merge order is irrelevant).
+	for _, s := range e.shards {
+		for addr, kind := range s.labels {
+			e.labels[addr] |= kind
+		}
+	}
 
 	// Geolocation database over the full prefix inventory.
 	var infos []geodb.PrefixInfo
@@ -148,10 +173,12 @@ func Run(cfg Config) (*Result, error) {
 	for _, d := range e.backend.AvailableDays() {
 		e.stats.KeysByDay[d] = e.backend.KeyCount(d)
 	}
-	for _, id := range e.routerIDs {
-		obs, smp := e.caches[id].Stats()
-		e.stats.PacketsObserved += obs
-		e.stats.PacketsSampled += smp
+	for _, s := range e.shards {
+		for _, id := range s.cacheOrder {
+			obs, smp := s.caches[id].Stats()
+			e.stats.PacketsObserved += obs
+			e.stats.PacketsSampled += smp
+		}
 	}
 	e.stats.Devices = len(e.devices)
 	for _, d := range e.devices {
@@ -173,56 +200,96 @@ func Run(cfg Config) (*Result, error) {
 	}, nil
 }
 
-// runDay simulates one calendar day.
+// runDay simulates one calendar day in three phases: serial population
+// bookkeeping, parallel per-shard event generation, a serial control plane
+// over the merged timeline, and parallel per-shard packet emission.
 func (e *engine) runDay(day time.Time) error {
 	nextDay := day.AddDate(0, 0, 1)
 
-	// Daily address churn for devices and web visitors.
-	for i := range e.addrs {
-		e.addrs[i] = e.network.MaybeReassign(e.rng, e.addrs[i])
-	}
-	for _, pool := range e.webPools {
-		for i := range pool {
-			pool[i] = e.network.MaybeReassign(e.rng, pool[i])
-		}
-	}
-
+	// Phase 0 (serial): today's installs and positive lab results. Both
+	// consume the engine RNG and mutate global population state.
+	firstNew := len(e.devices)
 	if err := e.createInstalls(day, nextDay); err != nil {
 		return err
 	}
 	positiveToday := e.assignPositives(day)
 
-	var events []event
-
-	// Device-driven events. Devices plan against the completed days; the
-	// running day is covered by hour packages at serve time.
+	// Devices plan against the completed days; the running day is covered
+	// by hour packages at serve time.
 	published := e.backend.AvailableDays()
 	today := diagkeys.DayKey(day)
 	for len(published) > 0 && published[len(published)-1] >= today {
 		published = published[:len(published)-1]
 	}
 	att := e.attention.At(day.Add(12 * time.Hour))
-	for idx, d := range e.devices {
+	dayIdx := int(day.Sub(e.cfg.Start) / (24 * time.Hour))
+
+	// Phase 1 (parallel): per-shard churn, device plans, website visitors,
+	// noise; each shard sorts its own event list.
+	err := runShards(e.workers, len(e.shards), func(i int) error {
+		return e.generateShard(e.shards[i], day, dayIdx, att, published, positiveToday, firstNew)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2 (serial): the hosting-side control plane in global time
+	// order.
+	if err := e.controlPlane(day); err != nil {
+		return err
+	}
+
+	// Phase 3 (parallel): packet synthesis and hourly cache sweeps.
+	return runShards(e.workers, len(e.shards), func(i int) error {
+		e.emitShard(e.shards[i], day, nextDay)
+		return nil
+	})
+}
+
+// generateShard builds one shard's day: address churn, device events, the
+// district's website visits and the derived noise, sorted by time. All
+// randomness comes from the shard's per-day generation stream.
+func (e *engine) generateShard(s *shard, day time.Time, dayIdx int, att float64, published []string, positiveToday map[int]bool, firstNew int) error {
+	s.genRNG = newShardRand(shardSeed(e.cfg.Seed, dayIdx, s.idx, purposeGenerate))
+	s.emitRNG = newShardRand(shardSeed(e.cfg.Seed, dayIdx, s.idx, purposeEmit))
+	rng := s.genRNG
+
+	// Daily address churn for pre-existing devices and web visitors. The
+	// churn only touches this district's routers, so shards never race.
+	for _, id := range s.devIDs {
+		if id < firstNew {
+			e.addrs[id] = e.network.MaybeReassign(rng, e.addrs[id])
+		}
+	}
+	for i := range s.webPool {
+		s.webPool[i] = e.network.MaybeReassign(rng, s.webPool[i])
+	}
+
+	events := getEventSlice()
+
+	// Device-driven events.
+	for _, id := range s.devIDs {
+		d := e.devices[id]
 		ctx := device.DayContext{
 			Day:                 day,
 			Attention:           att,
 			PublishedDays:       published,
-			PositiveResultToday: positiveToday[idx],
-			RNG:                 e.rng,
+			PositiveResultToday: positiveToday[id],
+			RNG:                 rng,
 		}
 		devEvents := d.DayEvents(e.cfg.Device, ctx)
 		if len(devEvents) > 0 {
-			e.label(e.addrs[idx].Addr, LabelApp)
+			s.label(e.anon, e.addrs[id].Addr, LabelApp)
 		}
 		for _, ev := range devEvents {
 			t := ev.Time
 			if t.Before(e.cfg.Start) {
-				t = e.cfg.Start.Add(time.Duration(e.rng.Intn(3600)) * time.Second)
+				t = e.cfg.Start.Add(time.Duration(rng.Intn(3600)) * time.Second)
 			}
 			events = append(events, event{
 				t:          t,
-				client:     e.addrs[idx],
-				clientHash: uint64(idx)*2654435761 + 17,
+				client:     e.addrs[id],
+				clientHash: uint64(id)*2654435761 + 17,
 				req:        ev.Req,
 				uploadKeys: ev.UploadKeys,
 				realCount:  ev.RealCount,
@@ -230,36 +297,127 @@ func (e *engine) runDay(day time.Time) error {
 		}
 	}
 
-	// Population website visits (non-app users), hourly Poisson per
+	// Population website visits (non-app users), hourly Poisson for this
 	// district.
-	webEvents, err := e.websiteVisits(day)
+	events, err := e.websiteVisits(s, day, events)
 	if err != nil {
+		putEventSlice(events)
 		return err
 	}
-	events = append(events, webEvents...)
 
-	// Filter-exercising noise.
-	noise := e.noiseEvents(events)
-	events = append(events, noise...)
+	// Filter-exercising noise, derived from the shard's real events.
+	events = e.noiseEvents(rng, events)
 
 	sort.SliceStable(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
+	s.events = events
+	return nil
+}
 
-	// Process in order with hourly cache sweeps.
-	sweepAt := day.Add(time.Hour)
-	for _, ev := range events {
-		for !ev.t.Before(sweepAt) {
-			e.sweepAll(sweepAt)
-			sweepAt = sweepAt.Add(time.Hour)
+// controlPlane walks the merged timeline and performs all stateful
+// hosting-side work, annotating each event with its response plan.
+func (e *engine) controlPlane(day time.Time) error {
+	m := newEventMerger(e.shards)
+	for ev := m.next(); ev != nil; ev = m.next() {
+		if ev.noise != 0 {
+			continue // noise never reaches the hosting stack
 		}
-		if err := e.serve(ev); err != nil {
+		if err := e.control(ev); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// control performs one event's API call against the hosting stack and
+// stores the response plan for the emission phase.
+func (e *engine) control(ev *event) error {
+	e.clock.Set(ev.t)
+
+	resp, err := e.cdn.Serve(ev.t, ev.clientHash, ev.req)
+	if err != nil {
+		return fmt.Errorf("sim: serving %v: %w", ev.req.Type, err)
+	}
+	e.stats.Exchanges++
+	hourExtra := 0
+	switch ev.req.Type {
+	case cdn.ReqWebsite:
+		e.stats.WebVisits++
+		if d := int(ev.t.Sub(e.cfg.Start) / (24 * time.Hour)); d >= 0 && d < len(e.stats.WebVisitsByDay) {
+			e.stats.WebVisitsByDay[d]++
+		}
+	case cdn.ReqIndex:
+		e.stats.Syncs++
+		// Hour packages: the app follows its index fetch with the
+		// current day's published hour packages, resolved here at serve
+		// time (hours fill up as the day progresses). All of them ride
+		// the index fetch's TLS connection, so only the payload and
+		// header bytes add to that one flow — no extra handshakes, no
+		// extra flow records, matching the real client's connection
+		// reuse.
+		if !ev.req.Fake {
+			today := diagkeys.DayKey(ev.t)
+			for _, hour := range e.backend.AvailableHours(today) {
+				hreq := cdn.Request{Type: cdn.ReqHourPackage, Day: today, Hour: hour}
+				hresp, err := e.cdn.Serve(ev.t, ev.clientHash, hreq)
+				if err != nil {
+					return fmt.Errorf("sim: serving hour package: %w", err)
+				}
+				e.stats.Exchanges++
+				hourExtra += hresp.Bytes - cdn.TLSServerOverhead
+			}
+		}
+	}
+
+	upstreamExtra := 0
+	if ev.req.Type == cdn.ReqSubmission && !ev.req.Fake {
+		if ev.uploadKeys > 0 {
+			payload, err := e.performUpload(ev.uploadKeys)
+			if err != nil {
+				return err
+			}
+			upstreamExtra = payload
+		} else {
+			// A submission event without keys should not happen for
+			// real requests; treat as decoy-sized.
+			upstreamExtra = 2800
+		}
+	}
+
+	ev.edge = resp.Edge
+	ev.respBytes = resp.Bytes + hourExtra
+	ev.upstreamExtra = upstreamExtra
+	return nil
+}
+
+// emitShard replays one shard's events, synthesizing packets through the
+// shard's flow caches with hourly sweeps, then recycles the event slice.
+func (e *engine) emitShard(s *shard, day, nextDay time.Time) {
+	sweepAt := day.Add(time.Hour)
+	for i := range s.events {
+		ev := &s.events[i]
+		for !ev.t.Before(sweepAt) {
+			s.sweep(sweepAt)
+			sweepAt = sweepAt.Add(time.Hour)
+		}
+		if ev.noise != 0 {
+			e.emitNoise(s, ev)
+			continue
+		}
+		// Real-count events occur at real-world frequency; their backend
+		// side effects (control plane) always run, but their packets join
+		// the scaled trace at 1/Scale so upload flows stay the vanishing
+		// traffic share they are in the real capture.
+		if ev.realCount && s.emitRNG.Float64() >= 1/float64(e.cfg.Scale) {
+			continue
+		}
+		e.emitExchange(s, ev)
+	}
 	for !nextDay.Before(sweepAt) {
-		e.sweepAll(sweepAt)
+		s.sweep(sweepAt)
 		sweepAt = sweepAt.Add(time.Hour)
 	}
-	return nil
+	putEventSlice(s.events)
+	s.events = nil
 }
 
 // createInstalls turns the national download curve into new devices.
@@ -279,7 +437,7 @@ func (e *engine) createInstalls(day, nextDay time.Time) error {
 		dev := device.New(len(e.devices), distIdx, at, e.cfg.Device, e.rng)
 		e.devices = append(e.devices, dev)
 		e.addrs = append(e.addrs, addr)
-		e.byDist[distIdx] = append(e.byDist[distIdx], dev.ID)
+		e.shards[distIdx].devIDs = append(e.shards[distIdx].devIDs, dev.ID)
 	}
 	return nil
 }
@@ -321,10 +479,11 @@ func (e *engine) assignPositives(day time.Time) map[int]bool {
 	var lambda float64
 	weights := make([]float64, len(e.districts))
 	for i, d := range e.districts {
-		if len(e.byDist[i]) == 0 {
+		installed := len(e.shards[i].devIDs)
+		if installed == 0 {
 			continue
 		}
-		installedShare := float64(len(e.byDist[i])*e.cfg.Scale) / float64(d.Population)
+		installedShare := float64(installed*e.cfg.Scale) / float64(d.Population)
 		if installedShare > 1 {
 			installedShare = 1
 		}
@@ -341,9 +500,9 @@ func (e *engine) assignPositives(day time.Time) map[int]bool {
 		var acc float64
 		for i, w := range weights {
 			acc += w
-			if x < acc && len(e.byDist[i]) > 0 {
-				idx := e.byDist[i][e.rng.Intn(len(e.byDist[i]))]
-				out[idx] = true
+			if x < acc && len(e.shards[i].devIDs) > 0 {
+				ids := e.shards[i].devIDs
+				out[ids[e.rng.Intn(len(ids))]] = true
 				break
 			}
 		}
@@ -351,61 +510,61 @@ func (e *engine) assignPositives(day time.Time) map[int]bool {
 	return out
 }
 
-// websiteVisits generates the general-population website exchanges,
-// including the two small local effects the paper reports: a "very slight
-// and hardly noticeable" increase in Gütersloh after its June-23 lockdown,
-// and a Berlin June-18 signal that is "only visible for users of a single
-// ISP" (modelled as extra interest from one regional ISP's customers).
-func (e *engine) websiteVisits(day time.Time) ([]event, error) {
-	var out []event
+// websiteVisits generates one district's general-population website
+// exchanges, including the two small local effects the paper reports: a
+// "very slight and hardly noticeable" increase in Gütersloh after its
+// June-23 lockdown, and a Berlin June-18 signal that is "only visible for
+// users of a single ISP" (modelled as extra interest from one regional
+// ISP's customers).
+func (e *engine) websiteVisits(s *shard, day time.Time, events []event) ([]event, error) {
+	d := s.district
+	rng := s.genRNG
 	for h := 0; h < 24; h++ {
 		at := day.Add(time.Duration(h) * time.Hour)
 		att := e.attention.At(at)
 		diurnal := adoption.Diurnal(h)
-		for i, d := range e.districts {
-			rate := e.cfg.WebVisitorsPerHourPer100k * float64(d.Population) / 100000 *
-				att * diurnal / float64(e.cfg.Scale)
-			rate *= e.localBoost(d, at)
-			n := poisson(e.rng, rate)
-			for v := 0; v < n; v++ {
-				addr, err := e.webClient(i)
+		rate := e.cfg.WebVisitorsPerHourPer100k * float64(d.Population) / 100000 *
+			att * diurnal / float64(e.cfg.Scale)
+		rate *= e.localBoost(d, at)
+		n := poisson(rng, rate)
+		for v := 0; v < n; v++ {
+			addr, err := e.webClient(s)
+			if err != nil {
+				return events, err
+			}
+			s.label(e.anon, addr.Addr, LabelWeb)
+			events = append(events, event{
+				t:          at.Add(time.Duration(rng.Intn(3600)) * time.Second),
+				client:     addr,
+				clientHash: uint64(s.idx)*7919 + uint64(v),
+				req:        cdn.Request{Type: cdn.ReqWebsite},
+			})
+		}
+		// Berlin/RegioNet: the single-ISP local effect. The pulse
+		// is sized against RegioNet's small Berlin customer base
+		// (6% market share), so it roughly doubles that ISP's
+		// Berlin traffic while moving the district total by only
+		// a few percent — "only visible for users of a single
+		// ISP and not in the overall traffic".
+		if d.Name == "Berlin" && !at.Before(entime.OutbreakBerlin) {
+			decay := math.Exp(-at.Sub(entime.OutbreakBerlin).Hours() / 24 / 2.5)
+			extra := rate * 2.0 * decay
+			for v := poisson(rng, extra); v > 0; v-- {
+				addr, err := e.berlinRegioClient(s)
 				if err != nil {
-					return nil, err
+					return events, err
 				}
-				e.label(addr.Addr, LabelWeb)
-				out = append(out, event{
-					t:          at.Add(time.Duration(e.rng.Intn(3600)) * time.Second),
+				s.label(e.anon, addr.Addr, LabelWeb)
+				events = append(events, event{
+					t:          at.Add(time.Duration(rng.Intn(3600)) * time.Second),
 					client:     addr,
-					clientHash: uint64(i)*7919 + uint64(v),
+					clientHash: 0xBE ^ uint64(v),
 					req:        cdn.Request{Type: cdn.ReqWebsite},
 				})
 			}
-			// Berlin/RegioNet: the single-ISP local effect. The pulse
-			// is sized against RegioNet's small Berlin customer base
-			// (6% market share), so it roughly doubles that ISP's
-			// Berlin traffic while moving the district total by only
-			// a few percent — "only visible for users of a single
-			// ISP and not in the overall traffic".
-			if d.Name == "Berlin" && !at.Before(entime.OutbreakBerlin) {
-				decay := math.Exp(-at.Sub(entime.OutbreakBerlin).Hours() / 24 / 2.5)
-				extra := rate * 2.0 * decay
-				for v := poisson(e.rng, extra); v > 0; v-- {
-					addr, err := e.berlinRegioClient()
-					if err != nil {
-						return nil, err
-					}
-					e.label(addr.Addr, LabelWeb)
-					out = append(out, event{
-						t:          at.Add(time.Duration(e.rng.Intn(3600)) * time.Second),
-						client:     addr,
-						clientHash: 0xBE ^ uint64(v),
-						req:        cdn.Request{Type: cdn.ReqWebsite},
-					})
-				}
-			}
 		}
 	}
-	return out, nil
+	return events, nil
 }
 
 // localBoost is the district-level interest multiplier: Gütersloh (and a
@@ -425,126 +584,59 @@ func (e *engine) localBoost(d geo.District, at time.Time) float64 {
 }
 
 // berlinRegioClient returns a Berlin client pinned to the RegioNet ISP so
-// the June-18 effect is confined to one provider.
-func (e *engine) berlinRegioClient() (netsim.ClientAddr, error) {
-	if len(e.berlinRegioPool) < 24 {
+// the June-18 effect is confined to one provider. Only the Berlin shard
+// calls this, so the pool needs no locking.
+func (e *engine) berlinRegioClient(s *shard) (netsim.ClientAddr, error) {
+	if len(s.regioPool) < 24 {
 		isps := e.network.ISPs()
 		regio := isps[len(isps)-1] // RegioNet is last in the default mix
 		addr, err := e.network.Attach(regio, "BE-000")
 		if err != nil {
 			return netsim.ClientAddr{}, err
 		}
-		e.berlinRegioPool = append(e.berlinRegioPool, addr)
+		s.regioPool = append(s.regioPool, addr)
 		return addr, nil
 	}
-	return e.berlinRegioPool[e.rng.Intn(len(e.berlinRegioPool))], nil
+	return s.regioPool[s.genRNG.Intn(len(s.regioPool))], nil
 }
 
-// webClient returns a (possibly new) website-only client in the district.
-func (e *engine) webClient(distIdx int) (netsim.ClientAddr, error) {
-	pool := e.webPools[distIdx]
+// webClient returns a (possibly new) website-only client in the shard's
+// district. New clients attach to the district's own routers, so shards
+// never mutate each other's network state.
+func (e *engine) webClient(s *shard) (netsim.ClientAddr, error) {
 	const maxPool = 48
-	if len(pool) < maxPool && (len(pool) == 0 || e.rng.Float64() < 0.35) {
-		isp := e.network.PickISP(e.rng)
-		addr, err := e.network.Attach(isp, e.districts[distIdx].ID)
+	rng := s.genRNG
+	if len(s.webPool) < maxPool && (len(s.webPool) == 0 || rng.Float64() < 0.35) {
+		isp := e.network.PickISP(rng)
+		addr, err := e.network.Attach(isp, s.district.ID)
 		if err != nil {
 			return netsim.ClientAddr{}, err
 		}
-		e.webPools[distIdx] = append(pool, addr)
+		s.webPool = append(s.webPool, addr)
 		return addr, nil
 	}
-	return pool[e.rng.Intn(len(pool))], nil
+	return s.webPool[rng.Intn(len(s.webPool))], nil
 }
 
 // noiseEvents derives filter-exercising noise from real events: IPv6
 // variants, non-443 ports, QUIC.
-func (e *engine) noiseEvents(real []event) []event {
-	var out []event
-	for _, ev := range real {
-		if e.rng.Float64() >= e.cfg.NoiseFraction {
+func (e *engine) noiseEvents(rng *rand.Rand, real []event) []event {
+	n := len(real)
+	for i := 0; i < n; i++ {
+		if rng.Float64() >= e.cfg.NoiseFraction {
 			continue
 		}
-		n := ev
-		n.noise = 1 + e.rng.Intn(3)
-		n.t = ev.t.Add(time.Duration(e.rng.Intn(30)) * time.Second)
-		out = append(out, n)
+		ev := real[i]
+		ev.noise = 1 + rng.Intn(3)
+		ev.t = ev.t.Add(time.Duration(rng.Intn(30)) * time.Second)
+		real = append(real, ev)
 	}
-	return out
-}
-
-// serve processes one event: it performs the API call against the hosting
-// stack and feeds the synthesized packets through the client's router.
-func (e *engine) serve(ev event) error {
-	e.clock.Set(ev.t)
-
-	if ev.noise != 0 {
-		e.emitNoise(ev)
-		return nil
-	}
-
-	resp, err := e.cdn.Serve(ev.t, ev.clientHash, ev.req)
-	if err != nil {
-		return fmt.Errorf("sim: serving %v: %w", ev.req.Type, err)
-	}
-	e.stats.Exchanges++
-	hourExtra := 0
-	switch ev.req.Type {
-	case cdn.ReqWebsite:
-		e.stats.WebVisits++
-		if d := int(ev.t.Sub(e.cfg.Start) / (24 * time.Hour)); d >= 0 && d < len(e.stats.WebVisitsByDay) {
-			e.stats.WebVisitsByDay[d]++
-		}
-	case cdn.ReqIndex:
-		e.stats.Syncs++
-		// Hour packages: the app follows its index fetch with the
-		// current day's published hour packages, resolved here at serve
-		// time (hours fill up as the day progresses). All of them ride
-		// the index fetch's TLS connection, so only the payload and
-		// header bytes add to that one flow — no extra handshakes, no
-		// extra flow records, matching the real client's connection
-		// reuse.
-		if !ev.req.Fake && ev.noise == 0 {
-			today := diagkeys.DayKey(ev.t)
-			for _, hour := range e.backend.AvailableHours(today) {
-				hreq := cdn.Request{Type: cdn.ReqHourPackage, Day: today, Hour: hour}
-				hresp, err := e.cdn.Serve(ev.t, ev.clientHash, hreq)
-				if err != nil {
-					return fmt.Errorf("sim: serving hour package: %w", err)
-				}
-				e.stats.Exchanges++
-				hourExtra += hresp.Bytes - cdn.TLSServerOverhead
-			}
-		}
-	}
-
-	upstreamExtra := 0
-	if ev.req.Type == cdn.ReqSubmission && !ev.req.Fake {
-		if ev.uploadKeys > 0 {
-			payload, err := e.performUpload(ev.uploadKeys)
-			if err != nil {
-				return err
-			}
-			upstreamExtra = payload
-		} else {
-			// A submission event without keys should not happen for
-			// real requests; treat as decoy-sized.
-			upstreamExtra = 2800
-		}
-	}
-
-	// Real-count events occur at real-world frequency; their backend
-	// side effects (above) always run, but their packets join the scaled
-	// trace at 1/Scale so upload flows stay the vanishing traffic share
-	// they are in the real capture.
-	if ev.realCount && e.rng.Float64() >= 1/float64(e.cfg.Scale) {
-		return nil
-	}
-	e.emitExchange(ev, resp.Edge, resp.Bytes+hourExtra, upstreamExtra)
-	return nil
+	return real
 }
 
 // performUpload executes the real verification + submission flow against
-// the backend and returns the upload payload size.
+// the backend and returns the upload payload size. It runs on the serial
+// control plane and consumes the engine RNG.
 func (e *engine) performUpload(keyCount int) (int, error) {
 	now := e.clock.Now()
 	token := e.backend.RegisterTest(cwaserver.ResultPositive, now.Add(-time.Hour))
@@ -570,54 +662,30 @@ func (e *engine) performUpload(keyCount int) (int, error) {
 	return len(payload), nil
 }
 
-// label records the ground-truth kind of a client address under its
-// anonymized identity, for classifier evaluation.
-func (e *engine) label(addr netip.Addr, kind byte) {
-	e.labels[e.anon.Anonymize(addr)] |= kind
-}
-
-// cacheFor returns (creating on demand) the netflow cache of a router.
-func (e *engine) cacheFor(routerID string) *netflow.Cache {
-	if c, ok := e.caches[routerID]; ok {
-		return c
-	}
-	h := fnv.New64a()
-	h.Write([]byte(routerID))
-	c, err := netflow.NewCache(routerID, e.cfg.Netflow,
-		rand.New(rand.NewSource(e.cfg.Seed^int64(h.Sum64()))))
-	if err != nil {
-		// Config was validated up front; a failure here is a bug.
-		panic("sim: creating flow cache: " + err.Error())
-	}
-	e.caches[routerID] = c
-	e.routerIDs = append(e.routerIDs, routerID)
-	sort.Strings(e.routerIDs)
-	return c
-}
-
 // emitExchange synthesizes the packet exchange of one HTTPS transaction and
 // runs it through the client's router in both directions. Only the
 // downstream (CDN->user) direction survives the measurement filters; the
 // upstream flow exists so the direction filter has something to drop, as in
 // the raw capture.
-func (e *engine) emitExchange(ev event, edge netip.Addr, respBytes, upstreamExtra int) {
-	cache := e.cacheFor(ev.client.RouterID)
-	clientPort := uint16(49152 + e.rng.Intn(16000))
+func (e *engine) emitExchange(s *shard, ev *event) {
+	cache := s.cacheFor(ev.client.RouterID, e.cfg.Netflow, e.cfg.Seed)
+	rng := s.emitRNG
+	clientPort := uint16(49152 + rng.Intn(16000))
 
-	down := e.traffic.DownstreamPackets(respBytes)
-	up := e.traffic.UpstreamPackets(respBytes)
-	upBytes := e.traffic.UpstreamRequestBytes + upstreamExtra + up*60
+	down := e.traffic.DownstreamPackets(ev.respBytes)
+	up := e.traffic.UpstreamPackets(ev.respBytes)
+	upBytes := e.traffic.UpstreamRequestBytes + ev.upstreamExtra + up*60
 
 	// The exchange spreads over a few hundred milliseconds to ~2 s.
-	dur := time.Duration(200+e.rng.Intn(1800)) * time.Millisecond
-	e.spread(cache, ev.t, dur, down, respBytes, edge, ev.client.Addr, netflow.PortHTTPS, clientPort)
-	e.spread(cache, ev.t, dur, up, upBytes, ev.client.Addr, edge, clientPort, netflow.PortHTTPS)
+	dur := time.Duration(200+rng.Intn(1800)) * time.Millisecond
+	e.spread(s, cache, ev.t, dur, down, ev.respBytes, ev.edge, ev.client.Addr, netflow.PortHTTPS, clientPort)
+	e.spread(s, cache, ev.t, dur, up, upBytes, ev.client.Addr, ev.edge, clientPort, netflow.PortHTTPS)
 }
 
 // spread feeds pkts packets of totalBytes through a cache across dur,
 // ingesting any records the cache exports along the way (evictions,
 // active-timeout splits).
-func (e *engine) spread(c *netflow.Cache, start time.Time, dur time.Duration, pkts, totalBytes int, src, dst netip.Addr, sport, dport uint16) {
+func (e *engine) spread(s *shard, c *netflow.Cache, start time.Time, dur time.Duration, pkts, totalBytes int, src, dst netip.Addr, sport, dport uint16) {
 	if pkts <= 0 {
 		return
 	}
@@ -637,32 +705,29 @@ func (e *engine) spread(c *netflow.Cache, start time.Time, dur time.Duration, pk
 			Bytes:   per,
 		})
 		if len(recs) > 0 {
-			e.collector.Ingest(recs)
+			s.sink.Ingest(recs)
+			netflow.RecycleBatch(recs)
 		}
 	}
 }
 
-// sweepAll expires idle cache entries across all routers.
-func (e *engine) sweepAll(now time.Time) {
-	for _, id := range e.routerIDs {
-		e.collector.Ingest(e.caches[id].Sweep(now))
-	}
-}
-
-// drainAll flushes every cache at the end of the capture.
+// drainAll flushes every shard's caches at the end of the capture, in shard
+// order so the collector's merge stays deterministic.
 func (e *engine) drainAll() {
-	for _, id := range e.routerIDs {
-		e.collector.Ingest(e.caches[id].Drain())
+	for _, s := range e.shards {
+		s.drain()
 	}
 }
 
 // emitNoise generates the artifacts the measurement filters must drop.
-func (e *engine) emitNoise(ev event) {
-	cache := e.cacheFor(ev.client.RouterID)
+func (e *engine) emitNoise(s *shard, ev *event) {
+	cache := s.cacheFor(ev.client.RouterID, e.cfg.Netflow, e.cfg.Seed)
+	rng := s.emitRNG
 	now := ev.t
 	observe := func(p netflow.Packet) {
 		if recs := cache.Observe(p); len(recs) > 0 {
-			e.collector.Ingest(recs)
+			s.sink.Ingest(recs)
+			netflow.RecycleBatch(recs)
 		}
 	}
 	switch ev.noise {
@@ -673,7 +738,7 @@ func (e *engine) emitNoise(ev event) {
 			observe(netflow.Packet{
 				Time: now.Add(time.Duration(i*50) * time.Millisecond),
 				Src:  dst, Dst: src,
-				SrcPort: 443, DstPort: uint16(50000 + e.rng.Intn(1000)),
+				SrcPort: 443, DstPort: uint16(50000 + rng.Intn(1000)),
 				Proto: netflow.ProtoTCP, Bytes: 1200,
 			})
 		}
@@ -682,7 +747,7 @@ func (e *engine) emitNoise(ev event) {
 			observe(netflow.Packet{
 				Time: now.Add(time.Duration(i*50) * time.Millisecond),
 				Src:  netsim.CDNAddr(0), Dst: ev.client.Addr,
-				SrcPort: 80, DstPort: uint16(50000 + e.rng.Intn(1000)),
+				SrcPort: 80, DstPort: uint16(50000 + rng.Intn(1000)),
 				Proto: netflow.ProtoTCP, Bytes: 600,
 			})
 		}
@@ -691,7 +756,7 @@ func (e *engine) emitNoise(ev event) {
 			observe(netflow.Packet{
 				Time: now.Add(time.Duration(i*40) * time.Millisecond),
 				Src:  netsim.CDNAddr(1), Dst: ev.client.Addr,
-				SrcPort: 443, DstPort: uint16(50000 + e.rng.Intn(1000)),
+				SrcPort: 443, DstPort: uint16(50000 + rng.Intn(1000)),
 				Proto: netflow.ProtoUDP, Bytes: 1250,
 			})
 		}

@@ -34,6 +34,13 @@ type Config struct {
 	Scale int
 	// Seed drives every stochastic choice.
 	Seed int64
+	// Workers bounds the worker pool of the sharded engine: event
+	// generation and packet synthesis run on up to Workers goroutines
+	// (0 = runtime.NumCPU(), 1 = fully serial). Results are byte-identical
+	// for a fixed Seed at any worker count: all randomness is drawn from
+	// per-(day, district) streams or the serial control plane, never from
+	// scheduling order.
+	Workers int
 	// Start and End bound the capture window (defaults: the study
 	// window, June 15-26).
 	Start, End time.Time
@@ -104,6 +111,9 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if c.Scale < 1 {
 		return fmt.Errorf("sim: Scale must be >= 1")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: Workers must be >= 0 (0 = all CPUs)")
 	}
 	if !c.End.After(c.Start) {
 		return fmt.Errorf("sim: End must be after Start")

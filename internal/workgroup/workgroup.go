@@ -1,0 +1,51 @@
+// Package workgroup is a minimal, stdlib-only stand-in for
+// golang.org/x/sync/errgroup: a set of goroutines working on one task,
+// with an optional concurrency limit and first-error propagation. The
+// repository vendors no third-party modules, so the experiment fan-out and
+// any future concurrent drivers share this implementation instead.
+package workgroup
+
+import "sync"
+
+// Group runs tasks on goroutines, optionally bounded, and collects the
+// first error. The zero value is unbounded and ready to use.
+type Group struct {
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+}
+
+// WithLimit returns a Group running at most n tasks concurrently; n < 1 is
+// treated as 1.
+func WithLimit(n int) *Group {
+	if n < 1 {
+		n = 1
+	}
+	return &Group{sem: make(chan struct{}, n)}
+}
+
+// Go schedules fn. When the group has a limit, Go blocks until a slot frees
+// up — backpressure on the producer, exactly like errgroup.SetLimit.
+func (g *Group) Go(fn func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.sem != nil {
+			defer func() { <-g.sem }()
+		}
+		if err := fn(); err != nil {
+			g.once.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task finished and returns the first
+// error any of them produced.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}

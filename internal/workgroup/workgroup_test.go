@@ -1,0 +1,79 @@
+package workgroup
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAllTasksRun(t *testing.T) {
+	var n atomic.Int64
+	g := WithLimit(4)
+	for i := 0; i < 100; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", n.Load())
+	}
+}
+
+func TestFirstErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	g := WithLimit(2)
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+}
+
+func TestLimitBoundsConcurrency(t *testing.T) {
+	var cur, max atomic.Int64
+	g := WithLimit(3)
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if max.Load() > 3 {
+		t.Fatalf("observed %d concurrent tasks, limit 3", max.Load())
+	}
+}
+
+func TestZeroValueGroup(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("ran %d of 8 tasks", n.Load())
+	}
+}
