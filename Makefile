@@ -1,7 +1,7 @@
 # Tier-1 verify is `make verify` (build + test); see ROADMAP.md.
 GO ?= go
 
-.PHONY: build test vet race bench verify all
+.PHONY: build test vet fmt race bench verify ci all
 
 all: verify vet
 
@@ -14,10 +14,16 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fails when any file needs gofmt (same check CI runs).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
 # The concurrency surface of the sharded engine: the simulator, the flow
-# collector, the backend and the CDN under the race detector.
+# collector, the backend, the CDN and the scenario sweep runner under the
+# race detector.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/
+	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/
 
 # One pass over every figure/table/ablation benchmark (see DESIGN.md for
 # the experiment index).
@@ -25,3 +31,7 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem .
 
 verify: build test
+
+# Mirrors .github/workflows/ci.yml: the formatting gate, static checks,
+# the full test suite and the race pass.
+ci: fmt vet build test race

@@ -1,0 +1,186 @@
+// Command scenarios drives the declarative scenario engine: it lists the
+// shipped catalog, validates specs (built-in or external JSON), and runs
+// scenario sweeps, printing a comparison table of key metrics against the
+// paper-baseline scenario.
+//
+// Runs fan out on the workgroup pool with deterministic per-scenario
+// seeds, so the same base seed always produces the identical table.
+//
+// Usage:
+//
+//	scenarios list
+//	scenarios validate [-file spec.json] [name ...]
+//	scenarios run [-quick] [-seed N] [-workers N] [-file spec.json] [-all] [name ...]
+//
+// `scenarios run -all -quick` executes the full catalog at the reduced
+// quick scale; `scenarios run second-wave` runs one scenario next to the
+// auto-included baseline. An external -file spec joins the run the same
+// way a registered scenario would.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cwatrace/internal/experiments"
+	"cwatrace/internal/scenario"
+	"cwatrace/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		fmt.Print(scenario.RenderCatalog(scenario.Catalog()))
+	case "validate":
+		err = validateCmd(os.Args[2:])
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scenarios: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  scenarios list                                             print the catalog
+  scenarios validate [-file spec.json] [name ...]            validate specs (default: whole catalog)
+  scenarios run [-quick] [-seed N] [-workers N]
+                [-file spec.json] [-all] [name ...]          run scenarios, print comparison table
+`)
+}
+
+// loadFile parses and validates one external JSON spec.
+func loadFile(path string) (scenario.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	defer f.Close()
+	return scenario.ParseSpec(f)
+}
+
+func validateCmd(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	file := fs.String("file", "", "validate an external JSON spec file")
+	fs.Parse(args)
+
+	base := sim.DefaultConfig()
+	check := func(sp scenario.Spec) error {
+		// Apply catches errors a spec only exhibits against a real base
+		// configuration (e.g. outbreak dates outside the epidemic window).
+		if _, err := sp.Apply(base); err != nil {
+			return err
+		}
+		fmt.Printf("ok: %s\n", sp.Name)
+		return nil
+	}
+
+	if *file != "" {
+		sp, err := loadFile(*file)
+		if err != nil {
+			return err
+		}
+		if err := check(sp); err != nil {
+			return err
+		}
+	}
+	names := fs.Args()
+	if len(names) == 0 && *file == "" {
+		for _, sp := range scenario.Catalog() {
+			if err := check(sp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, name := range names {
+		sp, err := scenario.Get(name)
+		if err != nil {
+			return err
+		}
+		if err := check(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "use the reduced quick configuration (faster, coarser)")
+	seed := fs.Int64("seed", 0, "override the base seed (0 = calibrated default)")
+	workers := fs.Int("workers", scenario.SweepWorkers(), "concurrent scenario simulations")
+	file := fs.String("file", "", "also run an external JSON spec file")
+	all := fs.Bool("all", false, "run the full catalog")
+	fs.Parse(args)
+
+	base := sim.DefaultConfig()
+	if *quick {
+		base = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		base.Seed = *seed
+	}
+
+	var specs []scenario.Spec
+	switch {
+	case *all:
+		if len(fs.Args()) > 0 {
+			return fmt.Errorf("run: -all and scenario names are mutually exclusive (got %v)", fs.Args())
+		}
+		specs = scenario.Catalog()
+	default:
+		names := fs.Args()
+		if len(names) == 0 && *file == "" {
+			return fmt.Errorf("run: give scenario names, -all, or -file (see `scenarios list`)")
+		}
+		// The baseline always joins the run so the delta columns have a
+		// reference.
+		hasBaseline := false
+		for _, n := range names {
+			if n == scenario.Baseline {
+				hasBaseline = true
+			}
+		}
+		if !hasBaseline {
+			names = append([]string{scenario.Baseline}, names...)
+		}
+		for _, name := range names {
+			sp, err := scenario.Get(name)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, sp)
+		}
+	}
+	if *file != "" {
+		sp, err := loadFile(*file)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, sp)
+	}
+
+	fmt.Printf("=== cwatrace scenario sweep (scale 1:%d, base seed %d, %d scenarios, %d workers) ===\n\n",
+		base.Scale, base.Seed, len(specs), *workers)
+	rows, err := scenario.RunAll(base, specs, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(scenario.RenderComparison(rows))
+	return nil
+}

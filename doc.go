@@ -7,7 +7,69 @@
 // GAEN exposure-notification cryptography, the CWA backend and CDN, a
 // German population/epidemic/adoption simulation, an ISP access network
 // with sampled Netflow export and Crypto-PAn anonymization — plus the
-// paper's measurement pipeline (internal/core) and a benchmark harness
-// that regenerates every figure and table. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured results.
+// paper's measurement pipeline (internal/core), a declarative scenario
+// layer (internal/scenario) and a benchmark harness that regenerates
+// every figure and table. See DESIGN.md for the system inventory,
+// EXPERIMENTS.md for paper-vs-measured results and README.md for the
+// quickstart.
+//
+// # Package index
+//
+// Simulation substrate:
+//
+//   - internal/geo — deterministic model of Germany: 16 states, 401
+//     districts with populations and locations
+//   - internal/epidemic — per-district SEIR model with injected outbreaks
+//     and the lab-testing pipeline
+//   - internal/adoption — the national download curve, media-attention
+//     signal and district install allocation
+//   - internal/device — phone behaviour: daily syncs, website visits,
+//     decoy calls, the upload flow, the background-restriction bug
+//   - internal/sim — the sharded, parallel engine that turns all of the
+//     above into an anonymized flow trace
+//
+// Hosting stack:
+//
+//   - internal/exposure — GAEN cryptography (TEKs, RPIs, risk scoring)
+//   - internal/diagkeys — diagnosis-key packages: wire format, padding,
+//     index documents
+//   - internal/entime — exposure-notification intervals, Berlin time,
+//     study calendar constants
+//   - internal/cwaserver — the CWA backend: verification, submission,
+//     distribution, website, plus an HTTP server facade
+//   - internal/cdn — the edge cache in front of the backend, the layer
+//     the vantage point actually observes
+//
+// Network and measurement:
+//
+//   - internal/netsim — ISPs, aggregation routers, prefixes, address
+//     churn
+//   - internal/netflow — router flow caches: packet sampling, timeouts,
+//     evictions, the sharded collector
+//   - internal/nfv9 — NetFlow v9 export packets (the wire format)
+//   - internal/cryptopan — prefix-preserving address anonymization
+//   - internal/geodb — the anonymized-prefix geolocation database
+//   - internal/core — the paper's analysis: filters, Figure 2/3, prefix
+//     persistence, outbreak analysis, news correlation
+//   - internal/trace — JSONL/binary trace serialization for
+//     cwasim/cwanalyze
+//
+// Experiments and scenarios:
+//
+//   - internal/scenario — declarative what-if specs, the named catalog,
+//     and the sweep runner with its comparison table
+//   - internal/experiments — every figure/table/ablation as a library
+//     function, shared by cmd/experiments and bench_test.go
+//   - internal/appid — the future-work periodicity classifier
+//   - internal/ble — BLE contact process and adoption-efficacy curve
+//   - internal/centralized — the centralized-architecture baseline for
+//     the privacy/traffic comparison
+//   - internal/dnssim — resolver fleet and top-list study (T5)
+//   - internal/stats — time series, quantiles, Pearson correlation
+//   - internal/workgroup — minimal stdlib-only errgroup equivalent
+//
+// Commands: cmd/experiments (regenerate all artefacts), cmd/scenarios
+// (list/validate/run what-if scenarios), cmd/cwasim + cmd/cwanalyze
+// (capture to disk, analyze from disk), cmd/cwabackend (the backend as a
+// live HTTP server).
 package cwatrace

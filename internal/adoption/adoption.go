@@ -78,6 +78,28 @@ func DefaultCurve() *Curve {
 	return c
 }
 
+// Shifted returns a copy of the curve with every anchor moved by d. The
+// scenario layer uses it for release-date counterfactuals (a delayed
+// launch moves the whole download history with it).
+func (c *Curve) Shifted(d time.Duration) *Curve {
+	anchors := make([]Anchor, len(c.anchors))
+	for i, a := range c.anchors {
+		anchors[i] = Anchor{T: a.T.Add(d), Cum: a.Cum}
+	}
+	return &Curve{anchors: anchors}
+}
+
+// Scaled returns a copy of the curve with every cumulative value
+// multiplied by f (f >= 0): the same launch shape at a different uptake
+// level.
+func (c *Curve) Scaled(f float64) *Curve {
+	anchors := make([]Anchor, len(c.anchors))
+	for i, a := range c.anchors {
+		anchors[i] = Anchor{T: a.T, Cum: a.Cum * f}
+	}
+	return &Curve{anchors: anchors}
+}
+
 // Cumulative returns total downloads by t (0 before the first anchor, the
 // final value after the last).
 func (c *Curve) Cumulative(t time.Time) float64 {

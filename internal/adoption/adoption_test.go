@@ -207,3 +207,29 @@ func TestSamplerUnnormalizedWeights(t *testing.T) {
 		t.Fatalf("unnormalized weights mishandled: %f", ratio)
 	}
 }
+
+func TestCurveShiftedAndScaled(t *testing.T) {
+	c := DefaultCurve()
+	at := entime.AppRelease.Add(36 * time.Hour)
+
+	shifted := c.Shifted(72 * time.Hour)
+	if got := shifted.Cumulative(at.Add(72 * time.Hour)); math.Abs(got-c.Cumulative(at)) > 1e-6 {
+		t.Fatalf("shifted curve at t+72h = %f, want %f", got, c.Cumulative(at))
+	}
+	if got := shifted.Cumulative(entime.AppRelease.Add(24 * time.Hour)); got != 0 {
+		t.Fatalf("shifted curve nonzero (%f) before the shifted release", got)
+	}
+
+	scaled := c.Scaled(0.5)
+	if got, want := scaled.Cumulative(at), 0.5*c.Cumulative(at); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("scaled cumulative = %f, want %f", got, want)
+	}
+	if got := scaled.Final(); got != 8_100_000 {
+		t.Fatalf("scaled final = %f, want 8.1M", got)
+	}
+
+	// Originals are untouched (copy semantics).
+	if got := c.Cumulative(at); math.Abs(got-6_400_000) > 1 {
+		t.Fatalf("original curve mutated: %f", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"cwatrace/internal/dnssim"
 	"cwatrace/internal/entime"
 	"cwatrace/internal/netflow"
+	"cwatrace/internal/scenario"
 	"cwatrace/internal/sim"
 	"cwatrace/internal/stats"
 	"cwatrace/internal/workgroup"
@@ -230,16 +231,23 @@ type SamplingPoint struct {
 
 // SamplingAblation reruns the capture at different router sampling rates
 // (A1). The base config is shrunk for speed; shapes, not absolutes, are
-// compared. The parameter points are independent simulations, so they fan
-// out over a bounded worker pool; results keep the order of rates.
+// compared. Each parameter point is a generated scenario spec applied to
+// the base configuration; the points are independent simulations, so they
+// fan out over a bounded worker pool and results keep the order of rates.
 func SamplingAblation(base sim.Config, rates []int) ([]SamplingPoint, error) {
 	out := make([]SamplingPoint, len(rates))
 	g := workgroup.WithLimit(ablationWorkers())
 	for i, rate := range rates {
 		i, rate := i, rate
 		g.Go(func() error {
-			cfg := base
-			cfg.Netflow.SampleRate = rate
+			sp := scenario.Spec{
+				Name:       fmt.Sprintf("sampling-1in%d", rate),
+				SampleRate: rate,
+			}
+			cfg, err := sp.Apply(base)
+			if err != nil {
+				return err
+			}
 			s, err := RunSuite(cfg)
 			if err != nil {
 				return fmt.Errorf("sampling ablation rate %d: %w", rate, err)
@@ -269,18 +277,10 @@ func SamplingAblation(base sim.Config, rates []int) ([]SamplingPoint, error) {
 	return out, nil
 }
 
-// ablationWorkers bounds the concurrent simulations of a parameter sweep:
-// each point is itself an internally parallel sim.Run, so running every
-// point at once would oversubscribe the machine and spike memory.
+// ablationWorkers bounds the concurrent simulations of a parameter sweep;
+// the sizing is shared with the scenario sweeps (scenario.SweepWorkers).
 func ablationWorkers() int {
-	n := runtime.NumCPU() / 2
-	if n < 1 {
-		n = 1
-	}
-	if n > 4 {
-		n = 4
-	}
-	return n
+	return scenario.SweepWorkers()
 }
 
 // BugPoint is one row of the A3 ablation.
@@ -293,8 +293,9 @@ type BugPoint struct {
 }
 
 // BackgroundBugAblation reruns the simulation at different shares of
-// energy-saving-restricted devices (A3). Parameter points run concurrently;
-// results keep the order of shares.
+// energy-saving-restricted devices (A3). Each share becomes a generated
+// scenario spec applied to the base configuration; points run
+// concurrently and results keep the order of shares.
 func BackgroundBugAblation(base sim.Config, shares []float64) ([]BugPoint, error) {
 	out := make([]BugPoint, len(shares))
 	days := int(base.End.Sub(base.Start) / (24 * time.Hour))
@@ -302,8 +303,14 @@ func BackgroundBugAblation(base sim.Config, shares []float64) ([]BugPoint, error
 	for i, share := range shares {
 		i, share := i, share
 		g.Go(func() error {
-			cfg := base
-			cfg.Device.BackgroundBugShare = share
+			sp := scenario.Spec{
+				Name:               fmt.Sprintf("background-bug-%.0f", share*100),
+				BackgroundBugShare: &share,
+			}
+			cfg, err := sp.Apply(base)
+			if err != nil {
+				return err
+			}
 			s, err := RunSuite(cfg)
 			if err != nil {
 				return fmt.Errorf("bug ablation share %.2f: %w", share, err)
@@ -325,16 +332,10 @@ func BackgroundBugAblation(base sim.Config, shares []float64) ([]BugPoint, error
 	return out, nil
 }
 
-// Centralized produces the A2 architecture comparison.
+// Centralized produces the A2 architecture comparison from the canonical
+// declarative workload (scenario.DefaultCentralized).
 func Centralized() (*centralized.Comparison, error) {
-	return centralized.RunComparison(centralized.ScenarioConfig{
-		Users:            5000,
-		Days:             10,
-		EncountersPerDay: 5,
-		PositivesPerDay:  3,
-		KeysPerUpload:    10,
-		Seed:             42,
-	})
+	return centralized.RunComparison(scenario.DefaultCentralized.Config())
 }
 
 // AppIDResult is the future-work experiment FW1: identifying app clients

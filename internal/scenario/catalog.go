@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// registry holds the named scenarios in registration order, so catalog
+// listings and comparison tables stay deterministic.
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Spec
+	order  []string
+}{byName: make(map[string]Spec)}
+
+// Register adds a scenario to the registry. It rejects invalid specs and
+// duplicate names.
+func Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	registry.byName[s.Name] = s
+	registry.order = append(registry.order, s.Name)
+	return nil
+}
+
+// Get returns a registered scenario. Unknown names error with the
+// available catalog, so CLI typos are self-explaining.
+func Get(name string) (Spec, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	s, ok := registry.byName[name]
+	if !ok {
+		known := make([]string, len(registry.order))
+		copy(known, registry.order)
+		sort.Strings(known)
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %s)", name, strings.Join(known, ", "))
+	}
+	return s, nil
+}
+
+// Catalog returns the registered scenarios in registration order.
+func Catalog() []Spec {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Spec, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.byName[name])
+	}
+	return out
+}
+
+// Names returns the registered scenario names in registration order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, len(registry.order))
+	copy(out, registry.order)
+	return out
+}
+
+// Baseline is the scenario every comparison table is diffed against.
+const Baseline = "paper-baseline"
+
+func f(v float64) *float64 { return &v }
+
+// The shipped catalog. paper-baseline is deliberately the empty spec: it
+// inherits the base configuration untouched, which is what makes it
+// byte-identical to the PR-1 experiment pipeline at the same seed.
+var catalog = []Spec{
+	{
+		Name:    Baseline,
+		Summary: "the paper's June 15-26 study window, calibrated defaults, untouched",
+	},
+	{
+		Name:         "second-wave",
+		Summary:      "counterfactual epidemic resurgence: Rt 1.35 instead of 0.85, one extra week",
+		SeedFromName: true,
+		Rt:           f(1.35),
+		ExtendDays:   7,
+	},
+	{
+		Name:         "regional-lockdown-nrw",
+		Summary:      "a Gütersloh-scale outbreak cluster across four NRW districts plus lockdown news coverage",
+		SeedFromName: true,
+		Outbreaks: []OutbreakSpec{
+			{District: "NW-002", Date: "2020-06-19", Infections: 1200, DurationDays: 6},
+			{District: "NW-003", Date: "2020-06-20", Infections: 800, DurationDays: 5},
+			{District: "NW-004", Date: "2020-06-20", Infections: 500, DurationDays: 5},
+			{District: "NW-005", Date: "2020-06-21", Infections: 350, DurationDays: 4},
+		},
+		AttentionPulses: []PulseSpec{
+			{Date: "2020-06-21", Amplitude: 3.0, DecayDays: 2.5},
+		},
+	},
+	{
+		Name:             "delayed-release",
+		Summary:          "the app ships three days late; download curve, release news and upload go-live move together",
+		SeedFromName:     true,
+		ReleaseShiftDays: 3,
+	},
+	{
+		Name:             "tek-upload-surge",
+		Summary:          "verification pipeline at full throughput from day one, near-universal upload consent",
+		SeedFromName:     true,
+		UploadRampPerDay: f(1),
+		UploadConsent:    f(0.95),
+		ReportingRate:    f(0.9),
+	},
+	{
+		Name:         "cdn-edge-outage",
+		Summary:      "CDN degraded to a single edge per service with 2-minute cache TTL",
+		SeedFromName: true,
+		CDNEdges:     1,
+		CDNCacheTTL:  Duration(2 * time.Minute),
+	},
+	{
+		Name:         "coarse-sampling-1in1024",
+		Summary:      "router packet sampling at 1:1024 instead of the partner ISP's 1:4",
+		SeedFromName: true,
+		SampleRate:   1024,
+	},
+	{
+		Name:           "slow-adoption",
+		Summary:        "Germany installs at 45% of the observed rate (weak launch coverage)",
+		SeedFromName:   true,
+		AdoptionFactor: 0.45,
+	},
+	{
+		Name:               "background-bug-fixed",
+		Summary:            "no energy-saving background restriction: every device syncs daily",
+		SeedFromName:       true,
+		BackgroundBugShare: f(0),
+	},
+	{
+		Name:         "ios-majority",
+		Summary:      "inverted device mix: 25% Android, 75% iOS",
+		SeedFromName: true,
+		AndroidShare: f(0.25),
+	},
+}
+
+func init() {
+	for _, s := range catalog {
+		if err := Register(s); err != nil {
+			panic("scenario: catalog: " + err.Error())
+		}
+	}
+}
+
+// DefaultCentralized is the canonical A2 architecture-comparison workload
+// (all defaults); experiments.Centralized consumes it.
+var DefaultCentralized = CentralizedSpec{}

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/sim"
+	"cwatrace/internal/workgroup"
+)
+
+// SweepWorkers bounds the concurrent simulations of a parameter or
+// scenario sweep: each point is itself an internally parallel sim.Run, so
+// running every point at once would oversubscribe the machine and spike
+// memory. Shared by the experiments ablations and cmd/scenarios.
+func SweepWorkers() int {
+	n := runtime.NumCPU() / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}
+
+// Metrics are the key per-scenario outcomes the comparison table reports:
+// the headline numbers of the paper's figures and tables, so scenario
+// deltas read directly against the reproduction's baseline.
+type Metrics struct {
+	// Scenario is the spec name.
+	Scenario string
+	// Seed is the effective simulation seed after derivation.
+	Seed int64
+	// Devices is the number of simulated phones; InstalledByEnd of them
+	// installed inside the capture window.
+	Devices, InstalledByEnd int
+	// RawRecords is the exported flow-record count before filtering;
+	// KeptFlows is after the paper's filter (T1).
+	RawRecords, KeptFlows int
+	// ReleaseDayFlowRatio is the F2 headline (paper: 7.5x).
+	ReleaseDayFlowRatio float64
+	// MedianPresence / P75Presence are the T2 prefix-persistence
+	// quantiles (paper: 0.67 / 0.80).
+	MedianPresence, P75Presence float64
+	// Uploads counts real diagnosis-key submissions (T6 context).
+	Uploads int
+	// FirstKeysDay is the first day with published keys (paper: Jun 23).
+	FirstKeysDay string
+	// Syncs counts daily key-download rounds.
+	Syncs int
+	// WebVisits counts website exchanges.
+	WebVisits int
+	// CacheHitRate is the CDN edge hit fraction.
+	CacheHitRate float64
+}
+
+// Run applies one spec to the base configuration, runs the simulation and
+// the paper's measurement pipeline, and extracts the comparison metrics.
+func Run(base sim.Config, sp Spec) (Metrics, error) {
+	cfg, err := sp.Apply(base)
+	if err != nil {
+		return Metrics{}, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("scenario %s: %w", sp.Name, err)
+	}
+	kept, _ := core.ApplyFilter(res.Records, core.DefaultFilter())
+
+	m := Metrics{
+		Scenario:       sp.Name,
+		Seed:           cfg.Seed,
+		Devices:        res.Stats.Devices,
+		InstalledByEnd: res.Stats.InstalledByEnd,
+		RawRecords:     res.Stats.Records,
+		KeptFlows:      len(kept),
+		Uploads:        res.Stats.Uploads,
+		Syncs:          res.Stats.Syncs,
+		WebVisits:      res.Stats.WebVisits,
+	}
+	if fig2, err := core.Figure2(kept, res.Curve); err == nil {
+		m.ReleaseDayFlowRatio = fig2.ReleaseDayFlowRatio
+	}
+	pers := core.PrefixPersistence(kept)
+	m.MedianPresence = pers.MedianFraction
+	m.P75Presence = pers.P75Fraction
+	if days := res.Backend.AvailableDays(); len(days) > 0 {
+		m.FirstKeysDay = days[0]
+	}
+	if total := res.Stats.CacheHits + res.Stats.CacheMisses; total > 0 {
+		m.CacheHitRate = float64(res.Stats.CacheHits) / float64(total)
+	}
+	return m, nil
+}
+
+// RunAll fans the scenarios out on a bounded workgroup pool — each point
+// is itself an internally parallel sim.Run, so the sweep reuses the
+// ablation sizing — and returns metrics in input order regardless of
+// completion order. Seeds are fixed per scenario by Apply, so the same
+// base configuration always yields the identical metrics set.
+func RunAll(base sim.Config, specs []Spec, workers int) ([]Metrics, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]Metrics, len(specs))
+	g := workgroup.WithLimit(workers)
+	for i, sp := range specs {
+		i, sp := i, sp
+		g.Go(func() error {
+			m, err := Run(base, sp)
+			if err != nil {
+				return err
+			}
+			out[i] = m
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// delta formats a percentage difference against a baseline value.
+func delta(v, base float64) string {
+	if base == 0 {
+		if v == 0 {
+			return "    —"
+		}
+		return "  new"
+	}
+	return fmt.Sprintf("%+5.0f%%", 100*(v-base)/base)
+}
+
+// RenderComparison renders the metrics as a fixed-width table. When a row
+// named Baseline ("paper-baseline") is present, kept-flow, upload and sync
+// columns carry deltas against it; rows keep their input order.
+func RenderComparison(rows []Metrics) string {
+	var base *Metrics
+	for i := range rows {
+		if rows[i].Scenario == Baseline {
+			base = &rows[i]
+			break
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("scenario                  keptFlows     Δbase  rel-day×  p50/p75 pres  uploads     Δbase  firstKeys   syncs  webVisits  hit%\n")
+	for _, m := range rows {
+		dKept, dUp := "      ", "      "
+		if base != nil {
+			dKept = delta(float64(m.KeptFlows), float64(base.KeptFlows))
+			dUp = delta(float64(m.Uploads), float64(base.Uploads))
+		}
+		first := m.FirstKeysDay
+		if first == "" {
+			first = "—"
+		}
+		fmt.Fprintf(&sb, "%-25s %9d  %s  %8.1f  %5.2f /%5.2f  %7d  %s  %-10s %6d  %9d  %4.0f\n",
+			m.Scenario, m.KeptFlows, dKept, m.ReleaseDayFlowRatio,
+			m.MedianPresence, m.P75Presence, m.Uploads, dUp,
+			first, m.Syncs, m.WebVisits, 100*m.CacheHitRate)
+	}
+	if base != nil {
+		sb.WriteString("(Δbase columns are relative to paper-baseline)\n")
+	}
+	return sb.String()
+}
+
+// RenderCatalog renders the registry as a name/summary listing for the
+// CLI and the README's scenario table.
+func RenderCatalog(specs []Spec) string {
+	var sb strings.Builder
+	for _, s := range specs {
+		fmt.Fprintf(&sb, "%-25s %s\n", s.Name, s.Summary)
+	}
+	return sb.String()
+}

@@ -1,0 +1,334 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/sim"
+)
+
+// tinyConfig matches the experiments-package test sizing: very coarse
+// scale, three days around the release.
+func tinyConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scale = 40000
+	cfg.End = cfg.Start.AddDate(0, 0, 3)
+	return cfg
+}
+
+func TestCatalogShipsAndApplies(t *testing.T) {
+	specs := Catalog()
+	if len(specs) < 8 {
+		t.Fatalf("catalog has %d scenarios, want >= 8", len(specs))
+	}
+	base := sim.DefaultConfig()
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+		}
+		if _, err := sp.Apply(base); err != nil {
+			t.Errorf("%s: apply: %v", sp.Name, err)
+		}
+		if sp.Summary == "" {
+			t.Errorf("%s: catalog scenarios need a summary", sp.Name)
+		}
+	}
+}
+
+func TestUnknownScenarioErrors(t *testing.T) {
+	_, err := Get("no-such-scenario")
+	if err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	if !strings.Contains(err.Error(), Baseline) {
+		t.Fatalf("error should list known scenarios, got: %v", err)
+	}
+}
+
+func TestEmptySpecIsIdentity(t *testing.T) {
+	base := tinyConfig()
+	got, err := Spec{Name: "identity"}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Fatalf("empty spec must return the base config unchanged:\n got %+v\nbase %+v", got, base)
+	}
+}
+
+// TestPaperBaselineByteForByte is the acceptance gate: the paper-baseline
+// scenario must reproduce the direct experiment pipeline byte for byte at
+// a fixed seed.
+func TestPaperBaselineByteForByte(t *testing.T) {
+	base := tinyConfig()
+	sp, err := Get(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sp.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, base) {
+		t.Fatal("paper-baseline must not mutate the base configuration")
+	}
+	direct, err := sim.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Records, viaSpec.Records) {
+		t.Fatal("paper-baseline trace differs from the direct pipeline")
+	}
+	if !reflect.DeepEqual(direct.Stats, viaSpec.Stats) {
+		t.Fatalf("paper-baseline stats differ:\n direct %+v\n spec   %+v", direct.Stats, viaSpec.Stats)
+	}
+}
+
+func TestValidationRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{},                          // no name
+		{Name: "Has Spaces"},        // not kebab-case
+		{Name: "x", Scale: -1},      // negative scale
+		{Name: "x", SampleRate: -4}, // negative sampling
+		{Name: "x", ReleaseShiftDays: -1},
+		{Name: "x", ReleaseShiftDays: 90},
+		{Name: "x", AdoptionFactor: -0.5},
+		{Name: "x", Rt: f(-1)},
+		{Name: "x", BackgroundBugShare: f(1.5)},
+		{Name: "x", UploadRampPerDay: f(0)},
+		{Name: "x", NoiseFraction: f(2)},
+		{Name: "x", CDNEdges: -2},
+		{Name: "x", Outbreaks: []OutbreakSpec{{District: "", Date: "2020-06-20", Infections: 10}}},
+		{Name: "x", Outbreaks: []OutbreakSpec{{District: "NW-000", Date: "June 20", Infections: 10}}},
+		{Name: "x", Outbreaks: []OutbreakSpec{{District: "NW-000", Date: "2020-06-20", Infections: 0}}},
+		{Name: "x", AttentionPulses: []PulseSpec{{Date: "2020-06-20", Amplitude: 0}}},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected validation error", i, sp)
+		}
+	}
+}
+
+func TestApplyRejectsOutOfWindowOutbreak(t *testing.T) {
+	sp := Spec{Name: "x", Outbreaks: []OutbreakSpec{
+		{District: "NW-000", Date: "2021-03-01", Infections: 100},
+	}}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("spec alone is valid: %v", err)
+	}
+	if _, err := sp.Apply(sim.DefaultConfig()); err == nil {
+		t.Fatal("outbreak outside the epidemic window must fail at Apply")
+	}
+}
+
+func TestExtendedWindowAcceptsLateOutbreak(t *testing.T) {
+	// The window extension must take effect before outbreak dates are
+	// checked: July 18 is outside the default 45-day epidemic coverage
+	// but inside the extended capture window.
+	sp := Spec{
+		Name:       "late-outbreak",
+		ExtendDays: 25,
+		Outbreaks: []OutbreakSpec{
+			{District: "NW-000", Date: "2020-07-18", Infections: 100},
+		},
+	}
+	cfg, err := sp.Apply(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := cfg.Epidemic.Outbreaks[len(cfg.Epidemic.Outbreaks)-1]
+	if ob.Day >= cfg.Epidemic.Days {
+		t.Fatalf("outbreak day %d not covered by %d epidemic days", ob.Day, cfg.Epidemic.Days)
+	}
+}
+
+func TestApplyOverrides(t *testing.T) {
+	base := sim.DefaultConfig()
+	sp := Spec{
+		Name:               "kitchen-sink",
+		Scale:              4000,
+		SeedFromName:       true,
+		ExtendDays:         7,
+		SampleRate:         256,
+		CDNEdges:           2,
+		CDNCacheTTL:        Duration(5 * time.Minute),
+		AndroidShare:       f(0.5),
+		BackgroundBugShare: f(0.1),
+		Rt:                 f(1.2),
+		Outbreaks: []OutbreakSpec{
+			{District: "BY-000", Date: "2020-06-20", Infections: 250},
+		},
+	}
+	cfg, err := sp.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scale != 4000 || cfg.Netflow.SampleRate != 256 || cfg.CDN.Edges != 2 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if cfg.CDN.CacheTTL != 5*time.Minute {
+		t.Fatalf("ttl = %v", cfg.CDN.CacheTTL)
+	}
+	if cfg.Device.AndroidShare != 0.5 || cfg.Device.BackgroundBugShare != 0.1 {
+		t.Fatalf("device overrides not applied: %+v", cfg.Device)
+	}
+	if cfg.Epidemic.Rt != 1.2 {
+		t.Fatalf("rt = %f", cfg.Epidemic.Rt)
+	}
+	if want := DeriveSeed(base.Seed, "kitchen-sink"); cfg.Seed != want {
+		t.Fatalf("seed = %d, want derived %d", cfg.Seed, want)
+	}
+	if !cfg.End.Equal(base.End.AddDate(0, 0, 7)) {
+		t.Fatalf("end = %v", cfg.End)
+	}
+	// The injected outbreak lands at the right day index and the base's
+	// outbreak list is untouched (copy-on-write).
+	n := len(base.Epidemic.Outbreaks)
+	if len(cfg.Epidemic.Outbreaks) != n+1 {
+		t.Fatalf("outbreaks = %d, want %d", len(cfg.Epidemic.Outbreaks), n+1)
+	}
+	ob := cfg.Epidemic.Outbreaks[n]
+	wantDay := int(time.Date(2020, time.June, 20, 0, 0, 0, 0, entime.Berlin).Sub(cfg.Epidemic.Start) / (24 * time.Hour))
+	if ob.Day != wantDay || ob.DurationDays != 1 {
+		t.Fatalf("outbreak = %+v, want day %d, duration 1", ob, wantDay)
+	}
+	if len(base.Epidemic.Outbreaks) != n {
+		t.Fatal("base outbreak list mutated")
+	}
+	// Epidemic coverage was extended with the window.
+	if need := int(cfg.End.Sub(cfg.Epidemic.Start) / (24 * time.Hour)); cfg.Epidemic.Days < need {
+		t.Fatalf("epidemic days %d < window need %d", cfg.Epidemic.Days, need)
+	}
+}
+
+func TestAdoptionOverrides(t *testing.T) {
+	base := sim.DefaultConfig()
+	at := entime.StudyEnd
+
+	slow, err := Spec{Name: "s", AdoptionFactor: 0.5}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Curve == nil {
+		t.Fatal("adoption factor must install a curve override")
+	}
+	direct, _ := Spec{Name: "d"}.Apply(base)
+	if direct.Curve != nil {
+		t.Fatal("identity spec must not install a curve")
+	}
+	got := slow.Curve.Cumulative(at)
+	want := 0.5 * adoption.DefaultCurve().Cumulative(at)
+	if diff := got - want; diff > 1 || diff < -1 {
+		t.Fatalf("scaled cumulative = %f, want %f", got, want)
+	}
+
+	shift, err := Spec{Name: "late", ReleaseShiftDays: 3}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shift.UploadGoLive.Equal(base.UploadGoLive.AddDate(0, 0, 3)) {
+		t.Fatalf("upload go-live = %v", shift.UploadGoLive)
+	}
+	// Three days after the real release the shifted curve is still at the
+	// real release's starting value.
+	if got := shift.Curve.Cumulative(entime.AppRelease.Add(24 * time.Hour)); got != 0 {
+		t.Fatalf("shifted curve already at %f one day after the real release", got)
+	}
+	if shift.Attention == nil {
+		t.Fatal("release shift must move the release news pulse")
+	}
+	moved := false
+	for _, p := range shift.Attention.Pulses {
+		if p.At.Equal(entime.AppRelease.AddDate(0, 0, 3)) {
+			moved = true
+		}
+		if p.At.Equal(entime.AppRelease) {
+			t.Fatal("release pulse left at the original date")
+		}
+	}
+	if !moved {
+		t.Fatal("no pulse at the shifted release date")
+	}
+}
+
+func TestDeriveSeedStableAndDistinct(t *testing.T) {
+	a := DeriveSeed(20200616, "second-wave")
+	b := DeriveSeed(20200616, "second-wave")
+	c := DeriveSeed(20200616, "slow-adoption")
+	d := DeriveSeed(1, "second-wave")
+	if a != b {
+		t.Fatal("derived seed must be deterministic")
+	}
+	if a == c || a == d {
+		t.Fatal("derived seeds must differ across names and base seeds")
+	}
+}
+
+func TestParseSpecStrict(t *testing.T) {
+	good := `{"name": "from-json", "sample_rate": 64, "cdn_cache_ttl": "2m",
+	          "outbreaks": [{"district": "NW-000", "date": "2020-06-20", "infections": 50}]}`
+	sp, err := ParseSpec(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.SampleRate != 64 || sp.CDNCacheTTL != Duration(2*time.Minute) {
+		t.Fatalf("parsed: %+v", sp)
+	}
+	if _, err := sp.Apply(sim.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ParseSpec(strings.NewReader(`{"name": "x", "smaple_rate": 4}`)); err == nil {
+		t.Fatal("unknown fields must be rejected")
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"name": "x", "cdn_cache_ttl": "2 parsecs"}`)); err == nil {
+		t.Fatal("bad durations must be rejected")
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"name": "BAD NAME"}`)); err == nil {
+		t.Fatal("parsed specs must be validated")
+	}
+}
+
+func TestRunAllOrderAndBaselineDelta(t *testing.T) {
+	base := tinyConfig()
+	specs := []Spec{
+		{Name: Baseline},
+		{Name: "coarse", SampleRate: 1024},
+	}
+	rows, err := RunAll(base, specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Scenario != Baseline || rows[1].Scenario != "coarse" {
+		t.Fatalf("order not preserved: %+v", rows)
+	}
+	if rows[0].KeptFlows == 0 {
+		t.Fatal("baseline produced no flows")
+	}
+	if rows[1].KeptFlows >= rows[0].KeptFlows {
+		t.Fatalf("1:1024 sampling must shrink the trace: %d vs %d",
+			rows[1].KeptFlows, rows[0].KeptFlows)
+	}
+	out := RenderComparison(rows)
+	if !strings.Contains(out, Baseline) || !strings.Contains(out, "Δbase") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register(Spec{Name: Baseline}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if err := Register(Spec{Name: "INVALID"}); err == nil {
+		t.Fatal("invalid spec must not register")
+	}
+}

@@ -1,0 +1,462 @@
+// Package scenario is the declarative what-if layer of the reproduction.
+// A Spec is a named, data-driven description of one counterfactual
+// configuration — adoption-curve overrides, epidemic and outbreak
+// injections, CDN degradation, Netflow sampling rates, release-date
+// shifts, device-mix changes — that maps onto sim.Config mutations via
+// Apply. Zero-valued fields inherit the base configuration, so an empty
+// Spec reproduces the baseline byte for byte.
+//
+// Specs are plain JSON-serializable structs: the shipped catalog
+// (catalog.go) registers them in Go, and cmd/scenarios loads external
+// ones from JSON files, so new workloads need data, not code. The
+// experiments ablations (internal/experiments) are sweeps over generated
+// specs, keeping every configuration path through one validated door.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"regexp"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/centralized"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/epidemic"
+	"cwatrace/internal/sim"
+)
+
+// Duration wraps time.Duration with Go duration-string JSON encoding
+// ("30m", "2h15m"), so specs stay readable as data.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler; it accepts Go duration
+// strings and (for convenience) raw nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like \"30m\"")
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// OutbreakSpec injects one local superspreading event, addressed by
+// district ID and calendar date (Berlin time) instead of the epidemic
+// package's internal day indices.
+type OutbreakSpec struct {
+	// District is the geo district ID, e.g. "NW-000".
+	District string `json:"district"`
+	// Date is the first day of the event, "2006-01-02" format.
+	Date string `json:"date"`
+	// Infections is how many people the event exposes in total.
+	Infections float64 `json:"infections"`
+	// DurationDays spreads the exposures over this many days (default 1).
+	DurationDays int `json:"duration_days,omitempty"`
+}
+
+// PulseSpec adds one media-attention pulse (national news coverage).
+type PulseSpec struct {
+	// Date is the day of the coverage peak, "2006-01-02" format.
+	Date string `json:"date"`
+	// Amplitude is the attention multiple added at the peak.
+	Amplitude float64 `json:"amplitude"`
+	// DecayDays is the exponential decay constant (default 2).
+	DecayDays float64 `json:"decay_days,omitempty"`
+}
+
+// Spec is one declarative scenario. Every field except Name is optional;
+// zero values inherit the base sim.Config passed to Apply.
+type Spec struct {
+	// Name identifies the scenario (kebab-case).
+	Name string `json:"name"`
+	// Summary is the one-line catalog description.
+	Summary string `json:"summary,omitempty"`
+
+	// Scale overrides how many real users one simulated device stands for.
+	Scale int `json:"scale,omitempty"`
+	// Seed pins the simulation seed. When 0 and SeedFromName is false the
+	// base seed is kept.
+	Seed int64 `json:"seed,omitempty"`
+	// SeedFromName derives a deterministic per-scenario seed from the base
+	// seed and the scenario name (DeriveSeed), decorrelating scenarios
+	// from the baseline without hiding a magic number in the spec.
+	SeedFromName bool `json:"seed_from_name,omitempty"`
+	// ExtendDays lengthens (or, negative, shortens) the capture window.
+	ExtendDays int `json:"extend_days,omitempty"`
+
+	// ReleaseShiftDays delays the app release: the download curve and the
+	// verification-pipeline go-live move together. Only delays (>= 0) are
+	// supported; the simulator clamps installs to the real release instant.
+	ReleaseShiftDays int `json:"release_shift_days,omitempty"`
+	// AdoptionFactor multiplies the national download curve (0 = inherit,
+	// 0.5 = half of Germany's actual uptake).
+	AdoptionFactor float64 `json:"adoption_factor,omitempty"`
+	// AttentionPulses appends media-attention events.
+	AttentionPulses []PulseSpec `json:"attention_pulses,omitempty"`
+
+	// Rt overrides the background reproduction number.
+	Rt *float64 `json:"rt,omitempty"`
+	// ReportingRate overrides the infection->positive-test share.
+	ReportingRate *float64 `json:"reporting_rate,omitempty"`
+	// Outbreaks appends local superspreading events.
+	Outbreaks []OutbreakSpec `json:"outbreaks,omitempty"`
+
+	// AndroidShare overrides the device OS mix.
+	AndroidShare *float64 `json:"android_share,omitempty"`
+	// BackgroundBugShare overrides the share of devices whose background
+	// sync is broken by OS energy saving.
+	BackgroundBugShare *float64 `json:"background_bug_share,omitempty"`
+	// UploadConsent overrides the share of positive-tested users who share
+	// their keys.
+	UploadConsent *float64 `json:"upload_consent,omitempty"`
+	// UploadRampPerDay overrides the verification-pipeline ramp.
+	UploadRampPerDay *float64 `json:"upload_ramp_per_day,omitempty"`
+
+	// SampleRate overrides the router packet sampling rate (1:N).
+	SampleRate int `json:"sample_rate,omitempty"`
+	// FlowCacheEntries overrides the router flow-cache capacity.
+	FlowCacheEntries int `json:"flow_cache_entries,omitempty"`
+
+	// CDNEdges overrides the number of edge servers per service.
+	CDNEdges int `json:"cdn_edges,omitempty"`
+	// CDNCacheTTL overrides how long edges serve distribution objects from
+	// cache.
+	CDNCacheTTL Duration `json:"cdn_cache_ttl,omitempty"`
+
+	// WebVisitorsPerHourPer100k overrides the general-population website
+	// visit rate.
+	WebVisitorsPerHourPer100k *float64 `json:"web_visitors_per_hour_per_100k,omitempty"`
+	// NoiseFraction overrides the filter-exercising noise share.
+	NoiseFraction *float64 `json:"noise_fraction,omitempty"`
+}
+
+var nameRE = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
+
+// parseDate reads a "2006-01-02" date in Berlin time.
+func parseDate(s string) (time.Time, error) {
+	t, err := time.ParseInLocation("2006-01-02", s, entime.Berlin)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("scenario: bad date %q (want YYYY-MM-DD): %w", s, err)
+	}
+	return t, nil
+}
+
+// Validate reports spec errors: malformed names, out-of-range overrides,
+// unparseable dates. It validates the spec in isolation; Apply additionally
+// validates the resulting sim.Config.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if !nameRE.MatchString(s.Name) {
+		return fmt.Errorf("scenario %s: name must be kebab-case ([a-z0-9-])", s.Name)
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %s: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Scale < 0 {
+		return fail("scale %d must be >= 0", s.Scale)
+	}
+	if s.ReleaseShiftDays < 0 || s.ReleaseShiftDays > 30 {
+		return fail("release_shift_days %d out of [0,30]", s.ReleaseShiftDays)
+	}
+	if s.AdoptionFactor < 0 {
+		return fail("adoption_factor %f must be >= 0", s.AdoptionFactor)
+	}
+	for _, p := range s.AttentionPulses {
+		if _, err := parseDate(p.Date); err != nil {
+			return fail("attention pulse: %v", err)
+		}
+		if p.Amplitude <= 0 {
+			return fail("attention pulse amplitude %f must be > 0", p.Amplitude)
+		}
+		if p.DecayDays < 0 {
+			return fail("attention pulse decay_days %f must be >= 0", p.DecayDays)
+		}
+	}
+	if s.Rt != nil && *s.Rt < 0 {
+		return fail("rt %f must be >= 0", *s.Rt)
+	}
+	for name, v := range map[string]*float64{
+		"reporting_rate":       s.ReportingRate,
+		"android_share":        s.AndroidShare,
+		"background_bug_share": s.BackgroundBugShare,
+		"upload_consent":       s.UploadConsent,
+	} {
+		if v != nil && (*v < 0 || *v > 1) {
+			return fail("%s %f out of [0,1]", name, *v)
+		}
+	}
+	if s.UploadRampPerDay != nil && (*s.UploadRampPerDay <= 0 || *s.UploadRampPerDay > 1) {
+		return fail("upload_ramp_per_day %f out of (0,1]", *s.UploadRampPerDay)
+	}
+	for _, o := range s.Outbreaks {
+		if o.District == "" {
+			return fail("outbreak needs a district ID")
+		}
+		if _, err := parseDate(o.Date); err != nil {
+			return fail("outbreak: %v", err)
+		}
+		if o.Infections <= 0 {
+			return fail("outbreak infections %f must be > 0", o.Infections)
+		}
+		if o.DurationDays < 0 {
+			return fail("outbreak duration_days %d must be >= 0", o.DurationDays)
+		}
+	}
+	if s.SampleRate < 0 {
+		return fail("sample_rate %d must be >= 0", s.SampleRate)
+	}
+	if s.FlowCacheEntries < 0 {
+		return fail("flow_cache_entries %d must be >= 0", s.FlowCacheEntries)
+	}
+	if s.CDNEdges < 0 {
+		return fail("cdn_edges %d must be >= 0", s.CDNEdges)
+	}
+	if s.CDNCacheTTL < 0 {
+		return fail("cdn_cache_ttl must be >= 0")
+	}
+	if s.WebVisitorsPerHourPer100k != nil && *s.WebVisitorsPerHourPer100k < 0 {
+		return fail("web_visitors_per_hour_per_100k must be >= 0")
+	}
+	if s.NoiseFraction != nil && (*s.NoiseFraction < 0 || *s.NoiseFraction > 1) {
+		return fail("noise_fraction %f out of [0,1]", *s.NoiseFraction)
+	}
+	return nil
+}
+
+// DeriveSeed mixes a base seed with a scenario name into a deterministic
+// per-scenario seed (FNV-1a over the name, splitmix64 finalizer), so
+// sweeps fan out with decorrelated but reproducible randomness.
+func DeriveSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	x := uint64(base) ^ h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// Apply maps the spec onto a base configuration. Untouched fields pass
+// through unchanged (an all-zero spec returns base exactly); the result is
+// re-validated, so a spec can never produce an unrunnable configuration.
+func (s Spec) Apply(base sim.Config) (sim.Config, error) {
+	if err := s.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	out := base
+
+	if s.Scale > 0 {
+		out.Scale = s.Scale
+	}
+	switch {
+	case s.Seed != 0:
+		out.Seed = s.Seed
+	case s.SeedFromName:
+		out.Seed = DeriveSeed(base.Seed, s.Name)
+	}
+	if s.ExtendDays != 0 {
+		out.End = base.End.AddDate(0, 0, s.ExtendDays)
+	}
+
+	// Adoption: release shift and uptake factor compose onto whatever
+	// curve the base carries (nil = the calibrated default).
+	if s.ReleaseShiftDays > 0 || (s.AdoptionFactor > 0 && s.AdoptionFactor != 1) {
+		curve := base.Curve
+		if curve == nil {
+			curve = adoption.DefaultCurve()
+		}
+		if s.ReleaseShiftDays > 0 {
+			shift := time.Duration(s.ReleaseShiftDays) * 24 * time.Hour
+			curve = curve.Shifted(shift)
+			out.UploadGoLive = base.UploadGoLive.Add(shift)
+		}
+		if s.AdoptionFactor > 0 && s.AdoptionFactor != 1 {
+			curve = curve.Scaled(s.AdoptionFactor)
+		}
+		out.Curve = curve
+	}
+	if len(s.AttentionPulses) > 0 || s.ReleaseShiftDays > 0 {
+		att := adoption.DefaultAttention()
+		if base.Attention != nil {
+			att = *base.Attention
+		}
+		pulses := make([]adoption.MediaPulse, len(att.Pulses), len(att.Pulses)+len(s.AttentionPulses))
+		copy(pulses, att.Pulses)
+		if s.ReleaseShiftDays > 0 {
+			// The release-coverage pulse moves with the launch; the
+			// pre-launch announcement buzz and outbreak news keep their
+			// real-world dates.
+			shift := time.Duration(s.ReleaseShiftDays) * 24 * time.Hour
+			for i := range pulses {
+				if pulses[i].At.Equal(entime.AppRelease) {
+					pulses[i].At = pulses[i].At.Add(shift)
+				}
+			}
+		}
+		for _, p := range s.AttentionPulses {
+			at, _ := parseDate(p.Date) // validated above
+			decay := p.DecayDays
+			if decay == 0 {
+				decay = 2
+			}
+			pulses = append(pulses, adoption.MediaPulse{
+				At:        at.Add(12 * time.Hour),
+				Amplitude: p.Amplitude,
+				DecayDays: decay,
+			})
+		}
+		att.Pulses = pulses
+		out.Attention = &att
+	}
+
+	if s.Rt != nil {
+		out.Epidemic.Rt = *s.Rt
+	}
+	if s.ReportingRate != nil {
+		out.Epidemic.ReportingRate = *s.ReportingRate
+	}
+	// Defaulting: a longer capture window silently gets the epidemic
+	// coverage it needs. This runs before outbreak injection so extended
+	// windows accept outbreaks in their extra days.
+	if need := int(out.End.Sub(out.Epidemic.Start) / (24 * time.Hour)); out.Epidemic.Days < need {
+		out.Epidemic.Days = need
+	}
+	if len(s.Outbreaks) > 0 {
+		obs := make([]epidemic.Outbreak, len(base.Epidemic.Outbreaks), len(base.Epidemic.Outbreaks)+len(s.Outbreaks))
+		copy(obs, base.Epidemic.Outbreaks)
+		for _, o := range s.Outbreaks {
+			at, _ := parseDate(o.Date) // validated above
+			day := int(at.Sub(out.Epidemic.Start) / (24 * time.Hour))
+			if day < 0 || day >= out.Epidemic.Days {
+				return sim.Config{}, fmt.Errorf("scenario %s: outbreak date %s outside the epidemic window", s.Name, o.Date)
+			}
+			dur := o.DurationDays
+			if dur == 0 {
+				dur = 1
+			}
+			obs = append(obs, epidemic.Outbreak{
+				DistrictID:   o.District,
+				Day:          day,
+				Infections:   o.Infections,
+				DurationDays: dur,
+			})
+		}
+		out.Epidemic.Outbreaks = obs
+	}
+
+	if s.AndroidShare != nil {
+		out.Device.AndroidShare = *s.AndroidShare
+	}
+	if s.BackgroundBugShare != nil {
+		out.Device.BackgroundBugShare = *s.BackgroundBugShare
+	}
+	if s.UploadConsent != nil {
+		out.Device.UploadConsent = *s.UploadConsent
+	}
+	if s.UploadRampPerDay != nil {
+		out.UploadRampPerDay = *s.UploadRampPerDay
+	}
+
+	if s.SampleRate > 0 {
+		out.Netflow.SampleRate = s.SampleRate
+	}
+	if s.FlowCacheEntries > 0 {
+		out.Netflow.MaxEntries = s.FlowCacheEntries
+	}
+	if s.CDNEdges > 0 {
+		out.CDN.Edges = s.CDNEdges
+	}
+	if s.CDNCacheTTL > 0 {
+		out.CDN.CacheTTL = time.Duration(s.CDNCacheTTL)
+	}
+	if s.WebVisitorsPerHourPer100k != nil {
+		out.WebVisitorsPerHourPer100k = *s.WebVisitorsPerHourPer100k
+	}
+	if s.NoiseFraction != nil {
+		out.NoiseFraction = *s.NoiseFraction
+	}
+
+	if err := out.Validate(); err != nil {
+		return sim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return out, nil
+}
+
+// ParseSpec reads one JSON spec, rejecting unknown fields, and validates
+// it. This is the cmd/scenarios entry point for user-supplied scenarios.
+func ParseSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// CentralizedSpec is the declarative form of the A2 architecture
+// comparison workload (centralized.ScenarioConfig): zero fields default to
+// the canonical comparison the paper-context ablation uses.
+type CentralizedSpec struct {
+	Users            int   `json:"users,omitempty"`
+	Days             int   `json:"days,omitempty"`
+	EncountersPerDay int   `json:"encounters_per_day,omitempty"`
+	PositivesPerDay  int   `json:"positives_per_day,omitempty"`
+	KeysPerUpload    int   `json:"keys_per_upload,omitempty"`
+	Seed             int64 `json:"seed,omitempty"`
+}
+
+// Config applies defaults and returns the runnable workload.
+func (c CentralizedSpec) Config() centralized.ScenarioConfig {
+	out := centralized.ScenarioConfig{
+		Users:            5000,
+		Days:             10,
+		EncountersPerDay: 5,
+		PositivesPerDay:  3,
+		KeysPerUpload:    10,
+		Seed:             42,
+	}
+	if c.Users > 0 {
+		out.Users = c.Users
+	}
+	if c.Days > 0 {
+		out.Days = c.Days
+	}
+	if c.EncountersPerDay > 0 {
+		out.EncountersPerDay = c.EncountersPerDay
+	}
+	if c.PositivesPerDay > 0 {
+		out.PositivesPerDay = c.PositivesPerDay
+	}
+	if c.KeysPerUpload > 0 {
+		out.KeysPerUpload = c.KeysPerUpload
+	}
+	if c.Seed != 0 {
+		out.Seed = c.Seed
+	}
+	return out
+}

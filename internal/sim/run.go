@@ -106,8 +106,14 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.curve = adoption.DefaultCurve()
+	e.curve = cfg.Curve
+	if e.curve == nil {
+		e.curve = adoption.DefaultCurve()
+	}
 	e.attention = adoption.DefaultAttention()
+	if cfg.Attention != nil {
+		e.attention = *cfg.Attention
+	}
 	e.sampler, err = adoption.NewSampler(adoption.DistrictWeights(e.model))
 	if err != nil {
 		return nil, err

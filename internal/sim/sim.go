@@ -56,6 +56,14 @@ type Config struct {
 	// CDN configures the edge layer.
 	CDN cdn.Config
 
+	// Curve optionally overrides the national download curve
+	// (nil = adoption.DefaultCurve()). The scenario layer uses it for
+	// slow-adoption and release-shift counterfactuals.
+	Curve *adoption.Curve
+	// Attention optionally overrides the media-attention signal
+	// (nil = adoption.DefaultAttention()).
+	Attention *adoption.Attention
+
 	// UploadGoLive is when the lab-to-app verification pipeline starts
 	// delivering positive results; the paper observes the first diagnosis
 	// keys on June 23.
