@@ -1,7 +1,7 @@
 # Tier-1 verify is `make verify` (build + test); see ROADMAP.md.
 GO ?= go
 
-.PHONY: build test vet fmt race bench verify ci all
+.PHONY: build test vet fmt race bench bench-ingest verify ci all ingest-demo ingest-demo-quick
 
 all: verify vet
 
@@ -19,19 +19,32 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
-# The concurrency surface of the sharded engine: the simulator, the flow
-# collector, the backend, the CDN and the scenario sweep runner under the
-# race detector.
+# The concurrency surface of the sharded engine and the live collector:
+# the simulator, the flow collector, the backend, the CDN, the scenario
+# sweep runner and the ingest/streaming pipeline under the race detector.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/
+	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/
 
 # One pass over every figure/table/ablation benchmark (see DESIGN.md for
-# the experiment index).
+# the experiment index) plus the ingest throughput benchmark.
 bench:
-	$(GO) test -bench=. -benchtime=1x -benchmem .
+	$(GO) test -run XXX -bench=. -benchtime=1x -benchmem . ./internal/ingest/
+
+# The ingest throughput benchmark alone (the EXPERIMENTS.md snapshot).
+bench-ingest:
+	$(GO) test -run XXX -bench BenchmarkIngestPipeline -benchmem ./internal/ingest/
+
+# Live ingest smoke run: simulate, replay the trace as NFv9/UDP over
+# loopback into the collector pipeline, verify the streaming aggregates
+# against the batch analysis. `-quick` is the smaller CI variant.
+ingest-demo:
+	$(GO) run ./cmd/collectord -demo
+
+ingest-demo-quick:
+	$(GO) run ./cmd/collectord -demo -quick
 
 verify: build test
 
 # Mirrors .github/workflows/ci.yml: the formatting gate, static checks,
-# the full test suite and the race pass.
-ci: fmt vet build test race
+# the full test suite, the race pass and the ingest smoke run.
+ci: fmt vet build test race ingest-demo-quick

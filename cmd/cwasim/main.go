@@ -7,13 +7,21 @@
 //
 //	cwasim -out trace.cwaflow -geodb geodb.jsonl [-scale 2000] [-seed N]
 //	       [-sample 4] [-jsonl trace.jsonl]
+//	       [-export host:port[,host:port] [-export-rate N] [-export-sources K]]
+//
+// With -export the simulator doubles as the live load generator: after the
+// run it replays the trace as NFv9 export packets over UDP to a running
+// collectord, through a pool of emulated exporters.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
+	"cwatrace/internal/ingest"
 	"cwatrace/internal/sim"
 	"cwatrace/internal/trace"
 )
@@ -28,6 +36,10 @@ func main() {
 		sample  = flag.Int("sample", 0, "router packet sampling 1-in-N (0 = default)")
 		workers = flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs, 1 = serial)")
 		verbose = flag.Bool("v", false, "print run statistics")
+
+		export        = flag.String("export", "", "comma-separated collector addresses for a live NFv9 replay")
+		exportRate    = flag.Int("export-rate", 50000, "replay pacing in records/sec (0 = unpaced)")
+		exportSources = flag.Int("export-sources", 8, "emulated exporter pool size for the replay")
 	)
 	flag.Parse()
 
@@ -85,6 +97,21 @@ func main() {
 
 	fmt.Printf("wrote %d flow records to %s (scale 1:%d), geodb to %s\n",
 		len(res.Records), *out, cfg.Scale, *geoOut)
+
+	if *export != "" {
+		addrs := strings.Split(*export, ",")
+		start := time.Now()
+		rs, err := ingest.Replay(addrs, res.Records, ingest.ReplayConfig{
+			Sources:          *exportSources,
+			RecordsPerSecond: *exportRate,
+		})
+		if err != nil {
+			fatal("exporting to collector: %v", err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("exported %d records in %d batches from %d sources to %s in %.2fs\n",
+			rs.Records, rs.Batches, rs.Sources, *export, elapsed.Seconds())
+	}
 	if *verbose {
 		s := res.Stats
 		fmt.Printf("devices=%d installed=%d exchanges=%d webVisits=%d uploads=%d fakeCalls=%d\n",

@@ -51,6 +51,12 @@
 //   - internal/geodb — the anonymized-prefix geolocation database
 //   - internal/core — the paper's analysis: filters, Figure 2/3, prefix
 //     persistence, outbreak analysis, news correlation
+//   - internal/streaming — the same analyses computed online over a
+//     record stream: sliding hourly windows, spike detection, top-K
+//     prefixes, district rollups
+//   - internal/ingest — the live collector pipeline: UDP readers,
+//     per-source NFv9 decoding, bounded sharded fan-out with drop
+//     accounting, and the NFv9 trace replayer
 //   - internal/trace — JSONL/binary trace serialization for
 //     cwasim/cwanalyze
 //
@@ -70,6 +76,7 @@
 //
 // Commands: cmd/experiments (regenerate all artefacts), cmd/scenarios
 // (list/validate/run what-if scenarios), cmd/cwasim + cmd/cwanalyze
-// (capture to disk, analyze from disk), cmd/cwabackend (the backend as a
-// live HTTP server).
+// (capture to disk, analyze from disk; -export replays the trace live),
+// cmd/cwabackend (the backend as a live HTTP server), cmd/collectord
+// (the live NFv9 collector daemon with sliding-window analytics).
 package cwatrace

@@ -50,7 +50,19 @@ func Figure2(records []netflow.Record, curve *adoption.Curve) (*Figure2Result, e
 		flows.Add(r.First, 1)
 		bytes.Add(r.First, float64(r.Bytes))
 	}
+	return Figure2FromSeries(flows, bytes, curve)
+}
 
+// Figure2FromSeries derives the Figure-2 result from pre-binned hourly
+// flow and byte series over the study window. Both the batch path above
+// and the streaming ingest pipeline (internal/streaming) call it, so the
+// derived statistics — normalization, release-day ratio, resurgence — are
+// computed identically no matter how the bins were accumulated.
+func Figure2FromSeries(flows, bytes *stats.TimeSeries, curve *adoption.Curve) (*Figure2Result, error) {
+	hours := entime.StudyHours()
+	if flows.Len() != hours || bytes.Len() != hours {
+		return nil, fmt.Errorf("core: figure 2 needs %d hourly bins, got %d/%d", hours, flows.Len(), bytes.Len())
+	}
 	flowVals := flows.Values()
 	byteVals := bytes.Values()
 	flowNorm := stats.NormalizeToMin(flowVals)

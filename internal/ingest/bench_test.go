@@ -1,0 +1,69 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkIngestPipeline measures the collector's decode→dispatch→ingest
+// path — records/sec through the pipeline, without UDP in the loop — at
+// one worker (serial) versus the full worker pool, with one feeding
+// goroutine per simulated socket. The EXPERIMENTS.md "ingest throughput"
+// snapshot comes from this benchmark.
+func BenchmarkIngestPipeline(b *testing.B) {
+	const (
+		feeders    = 4
+		pktsPerSrc = 500
+		recsPerPkt = 18 // one full MTU-sized datagram
+	)
+	// Pre-encode each simulated socket's packet stream once; the decoder
+	// keeps per-source state, so each feeder gets its own source.
+	streams := make([][][]byte, feeders)
+	for f := range streams {
+		streams[f] = encodePackets(b, pktsPerSrc, recsPerPkt)
+	}
+
+	modes := []struct {
+		name    string
+		workers int
+		feeders int
+	}{
+		{"serial", 1, 1},
+		{"parallel", 0, feeders}, // 0 = NumCPU workers
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			records := mode.feeders * pktsPerSrc * recsPerPkt
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := New(Config{Workers: mode.workers, ShardBuffer: 4096})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for f := 0; f < mode.feeders; f++ {
+					r := p.newLoopReader()
+					from := fmt.Sprintf("203.0.113.%d:2055", f+1)
+					wg.Add(1)
+					go func(stream [][]byte) {
+						defer wg.Done()
+						for _, pkt := range stream {
+							p.handleDatagram(r, from, pkt)
+						}
+					}(streams[f])
+				}
+				wg.Wait()
+				if err := p.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if s := p.Stats(); s.Processed+s.DroppedRecords != uint64(records) {
+					b.Fatalf("lost records: %+v", s)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}

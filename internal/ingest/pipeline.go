@@ -1,0 +1,356 @@
+// Package ingest is the live collector subsystem: it receives NFv9 export
+// datagrams over UDP, decodes them with per-exporter-source template and
+// sequence state, and pushes the records through a bounded, batched,
+// multi-worker pipeline into internal/streaming shards.
+//
+// The shape mirrors the paper's vantage point — border routers exporting
+// sampled Netflow to a collector that analyzes in near-real time — and the
+// ROADMAP's scaling posture: per-socket reader goroutines own the decoder
+// state (no locks on the datagram path beyond one uncontended mutex),
+// records fan out round-robin over bounded per-shard channels, and under
+// backpressure the dispatcher drops batches and counts them instead of
+// blocking the socket, exactly like a real collector protecting its
+// receive buffer. Aggregation is commutative (see internal/streaming), so
+// snapshots are identical at any worker count.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/nfv9"
+	"cwatrace/internal/streaming"
+)
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Listen is the set of UDP listen addresses; each gets its own socket
+	// and reader goroutine ("127.0.0.1:0" picks an ephemeral test port).
+	// Empty means no sockets: records enter only via inject (benchmarks).
+	Listen []string
+	// Workers is the number of analytics shards and worker goroutines
+	// (0 = runtime.NumCPU(), 1 = serial).
+	Workers int
+	// ShardBuffer is the per-shard channel capacity in batches (default
+	// 256). Together with the ≤MTU batch size it bounds pipeline memory.
+	ShardBuffer int
+	// ReadBuffer sizes the socket receive buffer (default 8 MiB) so short
+	// export bursts survive scheduling hiccups.
+	ReadBuffer int
+	// Analytics configures the streaming shards.
+	Analytics streaming.Config
+
+	// workerDelay slows every worker batch; the backpressure tests use it
+	// to simulate an overloaded consumer.
+	workerDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.ShardBuffer <= 0 {
+		c.ShardBuffer = 256
+	}
+	if c.ReadBuffer <= 0 {
+		c.ReadBuffer = 8 << 20
+	}
+	return c
+}
+
+// Stats is a point-in-time view of the pipeline counters.
+type Stats struct {
+	// Packets and Records count decoded datagrams and their records;
+	// DecodeErrors counts datagrams the decoder rejected.
+	Packets      uint64 `json:"packets"`
+	Records      uint64 `json:"records"`
+	DecodeErrors uint64 `json:"decode_errors"`
+	// Processed counts records ingested into analytics shards;
+	// DroppedRecords/DroppedBatches count backpressure losses between the
+	// socket and the shards. Records == Processed + DroppedRecords +
+	// records still queued.
+	Processed      uint64 `json:"processed"`
+	DroppedRecords uint64 `json:"dropped_records"`
+	DroppedBatches uint64 `json:"dropped_batches"`
+	// SocketErrors counts transient receive errors the readers retried.
+	SocketErrors uint64 `json:"socket_errors"`
+	// Sources is the number of distinct exporter sources seen. SeqGaps,
+	// SeqLost and SeqReordered aggregate the per-source sequence audits
+	// (RFC 3954 export loss detection).
+	Sources      int    `json:"sources"`
+	SeqGaps      int    `json:"seq_gaps"`
+	SeqLost      uint64 `json:"seq_lost"`
+	SeqReordered int    `json:"seq_reordered"`
+}
+
+// shardLane is one bounded channel plus the analytics shard draining it.
+type shardLane struct {
+	ch chan []netflow.Record
+
+	// mu guards an: the worker ingests under it, Snapshot reads under it.
+	mu sync.Mutex
+	an *streaming.Analytics
+
+	processed      atomic.Uint64
+	droppedRecords atomic.Uint64
+	droppedBatches atomic.Uint64
+}
+
+// sourceKey identifies one exporter source: the sending address plus the
+// observation-domain SourceID, the scope RFC 3954 gives template tables
+// and sequence numbers.
+type sourceKey struct {
+	from   string
+	domain uint32
+}
+
+// reader owns one socket and the decoder state of every source that sent
+// to it. mu guards sources against Stats; the reader goroutine is the only
+// writer.
+type reader struct {
+	pc net.PacketConn
+
+	mu      sync.Mutex
+	sources map[sourceKey]*nfv9.Decoder
+
+	packets      atomic.Uint64
+	records      atomic.Uint64
+	decodeErrors atomic.Uint64
+	socketErrors atomic.Uint64
+
+	rr int // round-robin dispatch cursor; reader goroutine only
+}
+
+// Pipeline is the running collector: sockets → decoders → shard channels →
+// workers → streaming shards.
+type Pipeline struct {
+	cfg     Config
+	readers []*reader
+	lanes   []*shardLane
+
+	readerWG sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+	closeErr  error
+}
+
+// New starts a pipeline: it binds every listen address and launches the
+// reader and worker goroutines. Callers must Close it.
+func New(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{cfg: cfg}
+
+	for i := 0; i < cfg.Workers; i++ {
+		lane := &shardLane{
+			ch: make(chan []netflow.Record, cfg.ShardBuffer),
+			an: streaming.New(cfg.Analytics),
+		}
+		p.lanes = append(p.lanes, lane)
+		p.workerWG.Add(1)
+		go p.work(lane)
+	}
+
+	for _, addr := range cfg.Listen {
+		pc, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			p.shutdown()
+			return nil, fmt.Errorf("ingest: listening on %s: %w", addr, err)
+		}
+		if uc, ok := pc.(*net.UDPConn); ok {
+			// Best effort: some platforms clamp SO_RCVBUF, which only
+			// raises the drop counters, never corrupts the stream.
+			_ = uc.SetReadBuffer(cfg.ReadBuffer)
+		}
+		r := &reader{pc: pc, sources: make(map[sourceKey]*nfv9.Decoder)}
+		p.readers = append(p.readers, r)
+		p.readerWG.Add(1)
+		go p.read(r)
+	}
+	return p, nil
+}
+
+// Addrs returns the bound listen addresses, in Listen order.
+func (p *Pipeline) Addrs() []string {
+	var out []string
+	for _, r := range p.readers {
+		if r.pc != nil {
+			out = append(out, r.pc.LocalAddr().String())
+		}
+	}
+	return out
+}
+
+// newLoopReader registers a reader with no socket. Benchmarks and the
+// backpressure tests feed it through handleDatagram, measuring the decode
+// and dispatch path without UDP in the way. Call before any traffic flows.
+func (p *Pipeline) newLoopReader() *reader {
+	r := &reader{sources: make(map[sourceKey]*nfv9.Decoder)}
+	p.readers = append(p.readers, r)
+	return r
+}
+
+// read is one socket's receive loop. Only a closed socket ends it:
+// transient errors (ICMP-induced ECONNREFUSED, ENOBUFS, ...) are counted
+// and retried, so a long-running collector never silently loses a socket.
+func (p *Pipeline) read(r *reader) {
+	defer p.readerWG.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := r.pc.ReadFrom(buf)
+		if err != nil {
+			if p.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			r.socketErrors.Add(1)
+			// Breathe before retrying so a persistently failing socket
+			// cannot spin the CPU.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		p.handleDatagram(r, from.String(), buf[:n])
+	}
+}
+
+// handleDatagram decodes one export packet and dispatches its records.
+// The benchmark calls it directly to measure the pipeline without UDP.
+// Decoder state is scoped per (sender address, observation-domain
+// SourceID) as RFC 3954 requires: one router exporting several domains
+// over one socket gets one template table and sequence audit per domain.
+func (p *Pipeline) handleDatagram(r *reader, from string, data []byte) {
+	sourceID, ok := nfv9.PeekSourceID(data)
+	if !ok {
+		r.decodeErrors.Add(1)
+		return
+	}
+	key := sourceKey{from: from, domain: sourceID}
+	r.mu.Lock()
+	dec, known := r.sources[key]
+	if !known {
+		dec = nfv9.NewDecoder(from)
+	}
+	pkt, err := dec.Decode(data)
+	if err == nil && !known {
+		// Per-source state is only retained once a packet from the
+		// source actually decoded, so spoofed or garbage datagrams
+		// cannot grow the map without bound.
+		r.sources[key] = dec
+	}
+	r.mu.Unlock()
+	if err != nil {
+		r.decodeErrors.Add(1)
+		return
+	}
+	r.packets.Add(1)
+	if len(pkt.Records) == 0 {
+		netflow.RecycleBatch(pkt.Records)
+		return
+	}
+	r.records.Add(uint64(len(pkt.Records)))
+
+	lane := p.lanes[r.rr%len(p.lanes)]
+	r.rr++
+	select {
+	case lane.ch <- pkt.Records:
+	default:
+		// Backpressure: never block the socket. Drop the batch, count
+		// it, recycle the storage.
+		lane.droppedBatches.Add(1)
+		lane.droppedRecords.Add(uint64(len(pkt.Records)))
+		netflow.RecycleBatch(pkt.Records)
+	}
+}
+
+// work drains one lane into its analytics shard.
+func (p *Pipeline) work(lane *shardLane) {
+	defer p.workerWG.Done()
+	for batch := range lane.ch {
+		if p.cfg.workerDelay > 0 {
+			time.Sleep(p.cfg.workerDelay)
+		}
+		lane.mu.Lock()
+		lane.an.Ingest(batch)
+		lane.mu.Unlock()
+		lane.processed.Add(uint64(len(batch)))
+		netflow.RecycleBatch(batch)
+	}
+}
+
+// Snapshot merges every shard into one analytics snapshot, holding one
+// lane lock at a time so ingestion keeps flowing on the other lanes while
+// a lane is being merged. On a live pipeline the result is a slightly
+// time-skewed (but internally consistent) view; after Close it is exact.
+func (p *Pipeline) Snapshot() *streaming.Snapshot {
+	m := streaming.New(p.cfg.Analytics)
+	for _, lane := range p.lanes {
+		lane.mu.Lock()
+		m.Merge(lane.an)
+		lane.mu.Unlock()
+	}
+	return m.Snapshot()
+}
+
+// Stats sums the live counters.
+func (p *Pipeline) Stats() Stats {
+	var s Stats
+	for _, r := range p.readers {
+		s.Packets += r.packets.Load()
+		s.Records += r.records.Load()
+		s.DecodeErrors += r.decodeErrors.Load()
+		s.SocketErrors += r.socketErrors.Load()
+		r.mu.Lock()
+		s.Sources += len(r.sources)
+		for _, dec := range r.sources {
+			gaps, lost, reordered := dec.SequenceStats()
+			s.SeqGaps += gaps
+			s.SeqLost += lost
+			s.SeqReordered += reordered
+		}
+		r.mu.Unlock()
+	}
+	for _, lane := range p.lanes {
+		s.Processed += lane.processed.Load()
+		s.DroppedRecords += lane.droppedRecords.Load()
+		s.DroppedBatches += lane.droppedBatches.Load()
+	}
+	return s
+}
+
+// Drained reports whether every record that entered the pipeline has been
+// processed or counted as dropped — i.e. the shard channels are empty.
+func (p *Pipeline) Drained() bool {
+	s := p.Stats()
+	return s.Records == s.Processed+s.DroppedRecords
+}
+
+// Close performs a graceful drain: it stops the sockets, lets the workers
+// finish every queued batch, and only then returns. Snapshot and Stats
+// remain valid (and final) afterwards.
+func (p *Pipeline) Close() error {
+	p.closeOnce.Do(p.shutdown)
+	return p.closeErr
+}
+
+func (p *Pipeline) shutdown() {
+	p.closed.Store(true)
+	for _, r := range p.readers {
+		if r.pc == nil {
+			continue
+		}
+		if err := r.pc.Close(); err != nil && p.closeErr == nil {
+			p.closeErr = err
+		}
+	}
+	p.readerWG.Wait()
+	for _, lane := range p.lanes {
+		close(lane.ch)
+	}
+	p.workerWG.Wait()
+}

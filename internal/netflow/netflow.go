@@ -153,6 +153,14 @@ func getBatch() []Record {
 	return (*batchPool.Get().(*[]Record))[:0]
 }
 
+// GetBatch hands out an empty record batch from the shared pool. External
+// producers (the nfv9 decoder, the ingest pipeline) use it so their
+// steady-state batches recycle through the same pool the caches use; hand
+// batches back with RecycleBatch when done.
+func GetBatch() []Record {
+	return getBatch()
+}
+
 // RecycleBatch returns an export batch obtained from Observe, Sweep or
 // Drain to the internal pool. The caller must not retain the slice (or any
 // aliases of it) afterwards.

@@ -61,7 +61,9 @@ var (
 	ErrUnknownTemplate = errors.New("nfv9: data flowset references unknown template")
 )
 
-// Packet is one decoded export packet.
+// Packet is one decoded export packet. Records is allocated from the
+// shared netflow batch pool; consumers that do not retain it may return it
+// via netflow.RecycleBatch.
 type Packet struct {
 	SequenceNumber uint32
 	SourceID       uint32
@@ -133,7 +135,9 @@ func (e *Encoder) Encode(records []netflow.Record, exportTime time.Time) ([]byte
 	binary.BigEndian.PutUint32(buf[8:12], uint32(exportTime.Unix()))
 	binary.BigEndian.PutUint32(buf[12:16], e.seq)
 	binary.BigEndian.PutUint32(buf[16:20], e.sourceID)
-	e.seq += uint32(count)
+	// RFC 3954 section 5.1: the v9 sequence number counts export
+	// packets per observation domain (unlike v5, which counted flows).
+	e.seq++
 	return buf, nil
 }
 
@@ -221,20 +225,86 @@ type templateField struct {
 }
 
 // Decoder parses export packets. Templates learned from packets persist
-// across calls, as in a real collector; the two well-known templates are
-// pre-installed so decoding works even when the first packets of a stream
-// were lost (a deviation from strict RFC behaviour that keeps the
-// simulation robust, and is how many collectors behave with static
-// configs).
+// across calls, as in a real collector; until the first template FlowSet
+// arrives, data FlowSets fail with ErrUnknownTemplate, so a collector
+// behind a lossy link recovers only at the exporter's next template
+// refresh (RFC 3954 section 9 mandates periodic resends for exactly this
+// reason).
+//
+// The decoder also audits the export stream: v9 sequence numbers count
+// export packets per observation domain, so a jump between consecutive
+// packets means the transport lost (or reordered) export packets.
+// SequenceStats surfaces the running tally.
 type Decoder struct {
 	templates map[uint16][]templateField
 	exporter  string
+
+	// Sequence accounting (RFC 3954: UDP export is unreliable, the
+	// sequence number exists so collectors can detect loss).
+	haveSeq   bool
+	nextSeq   uint32
+	gaps      int
+	lost      uint64
+	reordered int
 }
 
 // NewDecoder creates a Decoder; exporter names the records it produces.
+//
+// RFC 3954 scopes template IDs and sequence numbers per observation
+// domain: collectors must keep one Decoder per (sender address, SourceID)
+// pair, peeking the SourceID with PeekSourceID before choosing the
+// decoder. A shared decoder across domains would interleave independent
+// sequence spaces and report phantom gaps.
 func NewDecoder(exporter string) *Decoder {
 	d := &Decoder{templates: make(map[uint16][]templateField), exporter: exporter}
 	return d
+}
+
+// PeekSourceID extracts the observation-domain SourceID from an export
+// packet header without decoding it, so collectors can route the packet
+// to the right per-domain Decoder. ok is false for short or non-v9
+// packets, letting collectors reject garbage before allocating any
+// per-source state.
+func PeekSourceID(data []byte) (id uint32, ok bool) {
+	if len(data) < headerLen || binary.BigEndian.Uint16(data[0:2]) != Version {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(data[16:20]), true
+}
+
+// SequenceStats reports the sequence audit: gaps is how many packet
+// transitions broke the expected numbering, lost is the net number of
+// export packets that never arrived (a late packet that shows up after
+// being presumed lost is credited back), and reordered counts transitions
+// that went backwards instead of forwards.
+func (d *Decoder) SequenceStats() (gaps int, lost uint64, reordered int) {
+	return d.gaps, d.lost, d.reordered
+}
+
+// trackSequence advances the sequence audit across one decoded packet.
+// Per RFC 3954 the v9 sequence number is an incremental counter of export
+// packets, so the expected next value is always prev+1 and a forward jump
+// of n means n packets were lost in transit.
+func (d *Decoder) trackSequence(seq uint32) {
+	if d.haveSeq && seq != d.nextSeq {
+		d.gaps++
+		if delta := seq - d.nextSeq; delta < 1<<31 {
+			d.lost += uint64(delta)
+		} else {
+			// The stream went backwards: a late, reordered packet
+			// rather than loss. Don't let it poison nextSeq, and
+			// credit back the loss it was charged as when the
+			// forward jump skipped it (benign reordering must not
+			// raise loss alarms).
+			d.reordered++
+			if d.lost > 0 {
+				d.lost--
+			}
+			return
+		}
+	}
+	d.haveSeq = true
+	d.nextSeq = seq + 1
 }
 
 // Decode parses one packet.
@@ -250,26 +320,33 @@ func (d *Decoder) Decode(data []byte) (*Packet, error) {
 		SequenceNumber: binary.BigEndian.Uint32(data[12:16]),
 		SourceID:       binary.BigEndian.Uint32(data[16:20]),
 	}
+	d.trackSequence(pkt.SequenceNumber)
+	// fail recycles any pool-backed batch already taken for this packet,
+	// so malformed peers cannot bleed batches out of the shared pool.
+	fail := func(err error) (*Packet, error) {
+		netflow.RecycleBatch(pkt.Records)
+		return nil, err
+	}
 	off := headerLen
 	for off+4 <= len(data) {
 		setID := binary.BigEndian.Uint16(data[off : off+2])
 		setLen := int(binary.BigEndian.Uint16(data[off+2 : off+4]))
 		if setLen < 4 || off+setLen > len(data) {
-			return nil, fmt.Errorf("%w: flowset length %d at offset %d", ErrShortPacket, setLen, off)
+			return fail(fmt.Errorf("%w: flowset length %d at offset %d", ErrShortPacket, setLen, off))
 		}
 		body := data[off+4 : off+setLen]
 		if setID == 0 {
 			n, err := d.parseTemplates(body)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			pkt.Templates += n
 		} else if setID > 255 {
-			recs, err := d.parseData(setID, body)
+			recs, err := d.parseData(setID, body, pkt.Records)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			pkt.Records = append(pkt.Records, recs...)
+			pkt.Records = recs
 		}
 		off += setLen
 	}
@@ -300,7 +377,11 @@ func (d *Decoder) parseTemplates(body []byte) (int, error) {
 	return n, nil
 }
 
-func (d *Decoder) parseData(tid uint16, body []byte) ([]netflow.Record, error) {
+// parseData decodes one data FlowSet, appending onto out. When out is nil
+// the batch comes from the shared netflow pool, so pipeline consumers that
+// hand packets back via netflow.RecycleBatch run allocation-free in steady
+// state (callers that retain the records simply never recycle).
+func (d *Decoder) parseData(tid uint16, body []byte, out []netflow.Record) ([]netflow.Record, error) {
 	fields, ok := d.templates[tid]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownTemplate, tid)
@@ -312,7 +393,9 @@ func (d *Decoder) parseData(tid uint16, body []byte) ([]netflow.Record, error) {
 	if recLen == 0 {
 		return nil, fmt.Errorf("nfv9: template %d has zero record length", tid)
 	}
-	var out []netflow.Record
+	if out == nil {
+		out = netflow.GetBatch()
+	}
 	for off := 0; off+recLen <= len(body); off += recLen {
 		rec := netflow.Record{Exporter: d.exporter}
 		fo := off

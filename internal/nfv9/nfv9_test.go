@@ -146,19 +146,20 @@ func TestTemplatesOnlyInFirstPacket(t *testing.T) {
 }
 
 func TestSequenceNumbering(t *testing.T) {
+	// RFC 3954: the v9 sequence number counts export packets per
+	// observation domain (not items, unlike v5's flow counter).
 	enc := NewEncoder(3)
 	if _, err := enc.Encode([]netflow.Record{v4Record(0), v4Record(1)}, exportTime); err != nil {
 		t.Fatal(err)
 	}
-	// First packet: 2 templates + 2 records = 4 counted items.
-	if enc.Sequence() != 4 {
-		t.Fatalf("sequence = %d, want 4", enc.Sequence())
+	if enc.Sequence() != 1 {
+		t.Fatalf("sequence = %d, want 1 after one packet", enc.Sequence())
 	}
 	if _, err := enc.Encode([]netflow.Record{v4Record(2)}, exportTime); err != nil {
 		t.Fatal(err)
 	}
-	if enc.Sequence() != 5 {
-		t.Fatalf("sequence = %d, want 5", enc.Sequence())
+	if enc.Sequence() != 2 {
+		t.Fatalf("sequence = %d, want 2 after two packets", enc.Sequence())
 	}
 }
 

@@ -64,19 +64,31 @@ func (e *Exporter) Export(records []netflow.Record, now time.Time) error {
 func (e *Exporter) Close() error { return e.conn.Close() }
 
 // Collector listens for export packets on UDP and hands decoded records to
-// a sink. One decoder per source address keeps template state per exporter.
+// a sink. One decoder per (source address, observation-domain SourceID)
+// keeps template and sequence state per exporter, as RFC 3954 scopes them.
+//
+// This is the minimal transport-level pair for the Exporter, used by the
+// examples and tests; the production ingest path is internal/ingest,
+// which adds bounded multi-worker fan-out, drop accounting and streaming
+// analytics on top of the same per-source Decoder discipline.
 type Collector struct {
 	pc   net.PacketConn
 	sink func([]netflow.Record)
 
 	mu       sync.Mutex
-	decoders map[string]*Decoder
+	decoders map[collectorKey]*Decoder
 	packets  int
 	records  int
 	errors   int
 
 	done chan struct{}
 	wg   sync.WaitGroup
+}
+
+// collectorKey scopes decoder state per RFC 3954 observation domain.
+type collectorKey struct {
+	from   string
+	domain uint32
 }
 
 // NewCollector starts a collector on addr ("127.0.0.1:0" for an ephemeral
@@ -90,7 +102,7 @@ func NewCollector(addr string, sink func([]netflow.Record)) (*Collector, error) 
 	c := &Collector{
 		pc:       pc,
 		sink:     sink,
-		decoders: make(map[string]*Decoder),
+		decoders: make(map[collectorKey]*Decoder),
 		done:     make(chan struct{}),
 	}
 	c.wg.Add(1)
@@ -123,11 +135,18 @@ func (c *Collector) loop() {
 }
 
 func (c *Collector) handle(from string, data []byte) {
-	c.mu.Lock()
-	dec, ok := c.decoders[from]
+	sourceID, ok := PeekSourceID(data)
 	if !ok {
+		c.mu.Lock()
+		c.errors++
+		c.mu.Unlock()
+		return
+	}
+	key := collectorKey{from: from, domain: sourceID}
+	c.mu.Lock()
+	dec, known := c.decoders[key]
+	if !known {
 		dec = NewDecoder(from)
-		c.decoders[from] = dec
 	}
 	c.mu.Unlock()
 
@@ -137,6 +156,13 @@ func (c *Collector) handle(from string, data []byte) {
 		c.errors++
 		c.mu.Unlock()
 		return
+	}
+	if !known {
+		// Retain per-source state only once a packet decoded, so
+		// garbage senders cannot grow the map without bound.
+		c.mu.Lock()
+		c.decoders[key] = dec
+		c.mu.Unlock()
 	}
 	c.mu.Lock()
 	c.packets++

@@ -1,0 +1,463 @@
+// Package streaming computes the paper's analyses online, over a live
+// record stream, instead of in batch over a finished trace. It is the
+// analytics half of the live ingest subsystem (internal/ingest is the
+// transport half): a sliding ring of hourly buckets carries the Figure-2
+// flow/byte series, a per-prefix counter tracks the most active client
+// networks, district rollups reproduce the Figure-3 geography, and a
+// trailing-baseline detector flags launch/attention spikes like the
+// June-16 release jump.
+//
+// An Analytics value is one single-goroutine shard. The ingest pipeline
+// runs one shard per worker and merges them at snapshot time; every
+// aggregate is a commutative sum (flow counts and byte totals are
+// integer-valued, so float64 accumulation is exact and order-free), which
+// makes the merged snapshot byte-identical at any worker count — the
+// property the end-to-end loopback test pins against the batch
+// internal/core results.
+package streaming
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"cwatrace/internal/adoption"
+	"cwatrace/internal/core"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/geo"
+	"cwatrace/internal/geodb"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/stats"
+)
+
+// nReasons sizes the per-shard drop census array.
+const nReasons = int(core.DropUpstream) + 1
+
+// Config parameterizes one analytics shard. The zero value is usable:
+// defaults reproduce the paper's study window and filters.
+type Config struct {
+	// Origin anchors hour bucket 0 (default entime.StudyStart). Records
+	// before Origin, or more than WindowHours behind the newest record,
+	// count as Late and are otherwise ignored.
+	Origin time.Time
+	// WindowHours is the sliding window length in hourly buckets
+	// (default entime.StudyHours(), i.e. the whole study window).
+	WindowHours int
+	// TopK bounds the active-prefix leaderboard in snapshots (default 10).
+	TopK int
+	// PrefixBits is the client aggregation prefix length (default 24).
+	PrefixBits int
+	// SpikeFactor is the flows-over-baseline ratio that flags an hour as
+	// a spike (default 3). SpikeHistory is the trailing-mean length in
+	// hours (default 24); SpikeMinFlows suppresses noise spikes on tiny
+	// absolute volume (default 10).
+	SpikeFactor   float64
+	SpikeHistory  int
+	SpikeMinFlows float64
+	// Filter is the paper's data-set restriction (nil = core.DefaultFilter()).
+	Filter *core.Filter
+	// DB and Model enable per-district rollups; both nil disables them.
+	DB    *geodb.DB
+	Model *geo.Model
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Origin.IsZero() {
+		c.Origin = entime.StudyStart
+	}
+	if c.WindowHours <= 0 {
+		c.WindowHours = entime.StudyHours()
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.PrefixBits <= 0 || c.PrefixBits > 32 {
+		c.PrefixBits = 24
+	}
+	if c.SpikeFactor <= 0 {
+		c.SpikeFactor = 3
+	}
+	if c.SpikeHistory <= 0 {
+		c.SpikeHistory = 24
+	}
+	if c.SpikeMinFlows <= 0 {
+		c.SpikeMinFlows = 10
+	}
+	if c.Filter == nil {
+		f := core.DefaultFilter()
+		c.Filter = &f
+	}
+	return c
+}
+
+// hourBin is one slot of the sliding ring. hour == -1 marks an empty slot.
+type hourBin struct {
+	hour  int
+	flows float64
+	bytes float64
+}
+
+// Analytics is one online-analytics shard. It is not safe for concurrent
+// use; the ingest pipeline drives each shard from a single worker and
+// guards snapshots with the pipeline's own locking.
+type Analytics struct {
+	cfg    Config
+	filter core.Filter
+
+	ring    []hourBin
+	maxHour int // highest hour index seen; -1 before any record
+
+	dropped [nReasons]uint64
+	late    uint64
+
+	prefixes  map[netip.Prefix]uint64
+	districts map[string]uint64
+	located   uint64
+}
+
+// New creates an empty shard.
+func New(cfg Config) *Analytics {
+	cfg = cfg.withDefaults()
+	a := &Analytics{
+		cfg:      cfg,
+		filter:   *cfg.Filter,
+		ring:     make([]hourBin, cfg.WindowHours),
+		maxHour:  -1,
+		prefixes: make(map[netip.Prefix]uint64),
+	}
+	for i := range a.ring {
+		a.ring[i].hour = -1
+	}
+	if cfg.DB != nil && cfg.Model != nil {
+		a.districts = make(map[string]uint64)
+	}
+	return a
+}
+
+// Ingest runs one record batch through the filter and into every live
+// aggregate. The batch is not retained.
+func (a *Analytics) Ingest(recs []netflow.Record) {
+	for i := range recs {
+		a.ingest(&recs[i])
+	}
+}
+
+func (a *Analytics) ingest(r *netflow.Record) {
+	reason := a.filter.Classify(*r)
+	a.dropped[reason]++
+	if reason != core.Kept {
+		return
+	}
+
+	// Sliding hourly window. The bucket index is hours since Origin;
+	// advancing past the ring's head evicts the oldest buckets. The
+	// explicit Before check matters: negative sub-hour durations would
+	// truncate to bucket 0 otherwise.
+	if r.First.Before(a.cfg.Origin) {
+		a.late++
+		return
+	}
+	h := int(r.First.Sub(a.cfg.Origin) / time.Hour)
+	w := a.cfg.WindowHours
+	switch {
+	case a.maxHour >= 0 && h <= a.maxHour-w:
+		a.late++
+		return
+	case h > a.maxHour:
+		// Reset every slot the window slides over (at most w of them).
+		from := a.maxHour + 1
+		if from < h-w+1 {
+			from = h - w + 1
+		}
+		for k := from; k <= h; k++ {
+			a.ring[k%w] = hourBin{hour: -1}
+		}
+		a.maxHour = h
+	}
+	bin := &a.ring[h%w]
+	if bin.hour != h {
+		*bin = hourBin{hour: h}
+	}
+	bin.flows++
+	bin.bytes += float64(r.Bytes)
+
+	// Top-K active client prefixes. Kept records are CDN-to-user, so the
+	// client is the destination.
+	if p, err := r.Dst.Prefix(a.cfg.PrefixBits); err == nil {
+		a.prefixes[p]++
+	}
+
+	// Per-district rollup.
+	if a.districts != nil {
+		if entry, ok := a.cfg.DB.Locate(r.Dst); ok {
+			a.located++
+			a.districts[entry.DistrictID]++
+		}
+	}
+}
+
+// Merge folds other into a without modifying other. Both shards must
+// share one Config. Aggregation is commutative, so any merge order yields
+// the same result; incremental callers (the ingest pipeline's snapshot)
+// merge one locked shard at a time instead of quiescing them all.
+func (a *Analytics) Merge(other *Analytics) {
+	w := a.cfg.WindowHours
+	for i := range other.ring {
+		bin := &other.ring[i]
+		if bin.hour < 0 {
+			continue
+		}
+		h := bin.hour
+		switch {
+		case a.maxHour >= 0 && h <= a.maxHour-w:
+			a.late += uint64(bin.flows)
+			continue
+		case h > a.maxHour:
+			from := a.maxHour + 1
+			if from < h-w+1 {
+				from = h - w + 1
+			}
+			for k := from; k <= h; k++ {
+				a.ring[k%w] = hourBin{hour: -1}
+			}
+			a.maxHour = h
+		}
+		dst := &a.ring[h%w]
+		if dst.hour != h {
+			*dst = hourBin{hour: h}
+		}
+		dst.flows += bin.flows
+		dst.bytes += bin.bytes
+	}
+	for i, n := range other.dropped {
+		a.dropped[i] += n
+	}
+	a.late += other.late
+	for p, n := range other.prefixes {
+		a.prefixes[p] += n
+	}
+	if a.districts != nil && other.districts != nil {
+		for id, n := range other.districts {
+			a.districts[id] += n
+		}
+	}
+	a.located += other.located
+}
+
+// Collect merges the shards (in slice order, so results are reproducible)
+// and renders one Snapshot. The shards are not modified; callers must stop
+// or lock them for the duration.
+func Collect(cfg Config, shards []*Analytics) *Snapshot {
+	m := New(cfg)
+	for _, s := range shards {
+		m.Merge(s)
+	}
+	return m.snapshot()
+}
+
+// Snapshot reports this shard's aggregates alone; the pipeline uses
+// Collect across all shards instead.
+func (a *Analytics) Snapshot() *Snapshot { return a.snapshot() }
+
+func (a *Analytics) snapshot() *Snapshot {
+	cfg := a.cfg
+	s := &Snapshot{
+		Origin:      cfg.Origin,
+		WindowHours: cfg.WindowHours,
+		Late:        a.late,
+		Located:     a.located,
+	}
+
+	// Census in the batch pipeline's shape.
+	s.Census = core.Census{Dropped: make(map[core.DropReason]int)}
+	for i, n := range a.dropped {
+		s.Census.Total += int(n)
+		if core.DropReason(i) == core.Kept {
+			s.Census.Kept = int(n)
+		} else if n > 0 {
+			s.Census.Dropped[core.DropReason(i)] = int(n)
+		}
+	}
+
+	// The populated window, oldest hour first.
+	if a.maxHour >= 0 {
+		lo := a.maxHour - cfg.WindowHours + 1
+		if lo < 0 {
+			lo = 0
+		}
+		s.SeriesStart = lo
+		for h := lo; h <= a.maxHour; h++ {
+			bin := a.ring[h%cfg.WindowHours]
+			p := HourPoint{Hour: h, Time: cfg.Origin.Add(time.Duration(h) * time.Hour)}
+			if bin.hour == h {
+				p.Flows = bin.flows
+				p.Bytes = bin.bytes
+			}
+			s.Hours = append(s.Hours, p)
+		}
+	}
+
+	s.Spikes = detectSpikes(s.Hours, cfg)
+	s.TopPrefixes = topPrefixes(a.prefixes, cfg.TopK)
+
+	if a.districts != nil {
+		ids := make([]string, 0, len(a.districts))
+		for id := range a.districts {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			dc := DistrictCount{ID: id, Flows: a.districts[id]}
+			if d, ok := cfg.Model.DistrictByID(id); ok {
+				dc.Name, dc.StateCode = d.Name, d.StateCode
+			}
+			s.Districts = append(s.Districts, dc)
+		}
+	}
+	return s
+}
+
+// detectSpikes scans the populated window with a trailing-mean baseline.
+// It runs on merged, deterministic bins, so spike output is independent of
+// worker count and arrival order.
+func detectSpikes(hours []HourPoint, cfg Config) []Spike {
+	var out []Spike
+	for i := range hours {
+		if i < cfg.SpikeHistory {
+			continue // not enough local history for a baseline
+		}
+		var sum float64
+		for j := i - cfg.SpikeHistory; j < i; j++ {
+			sum += hours[j].Flows
+		}
+		baseline := sum / float64(cfg.SpikeHistory)
+		if baseline <= 0 || hours[i].Flows < cfg.SpikeMinFlows {
+			continue
+		}
+		ratio := hours[i].Flows / baseline
+		if ratio >= cfg.SpikeFactor {
+			out = append(out, Spike{
+				Hour:     hours[i].Hour,
+				Time:     hours[i].Time,
+				Flows:    hours[i].Flows,
+				Baseline: baseline,
+				Ratio:    ratio,
+			})
+		}
+	}
+	return out
+}
+
+// topPrefixes ranks prefixes by flow count, ties broken by prefix order so
+// the leaderboard is deterministic.
+func topPrefixes(counts map[netip.Prefix]uint64, k int) []PrefixCount {
+	out := make([]PrefixCount, 0, len(counts))
+	for p, n := range counts {
+		out = append(out, PrefixCount{Prefix: p, Flows: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flows != out[j].Flows {
+			return out[i].Flows > out[j].Flows
+		}
+		a, b := out[i].Prefix, out[j].Prefix
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c < 0
+		}
+		return a.Bits() < b.Bits()
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// HourPoint is one bucket of the sliding hourly window.
+type HourPoint struct {
+	Hour  int       `json:"hour"`
+	Time  time.Time `json:"time"`
+	Flows float64   `json:"flows"`
+	Bytes float64   `json:"bytes"`
+}
+
+// Spike is one hour flagged by the launch/attention detector.
+type Spike struct {
+	Hour     int       `json:"hour"`
+	Time     time.Time `json:"time"`
+	Flows    float64   `json:"flows"`
+	Baseline float64   `json:"baseline"`
+	Ratio    float64   `json:"ratio"`
+}
+
+// PrefixCount is one row of the active-prefix leaderboard.
+type PrefixCount struct {
+	Prefix netip.Prefix `json:"prefix"`
+	Flows  uint64       `json:"flows"`
+}
+
+// DistrictCount is one row of the per-district rollup.
+type DistrictCount struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	StateCode string `json:"state"`
+	Flows     uint64 `json:"flows"`
+}
+
+// Snapshot is a consistent view of the merged aggregates, shaped for the
+// collectord /snapshot endpoint and for comparison against internal/core.
+type Snapshot struct {
+	Origin      time.Time `json:"origin"`
+	WindowHours int       `json:"window_hours"`
+	// SeriesStart is the hour index of Hours[0] relative to Origin.
+	SeriesStart int             `json:"series_start"`
+	Hours       []HourPoint     `json:"hours"`
+	Census      core.Census     `json:"census"`
+	Spikes      []Spike         `json:"spikes"`
+	TopPrefixes []PrefixCount   `json:"top_prefixes"`
+	Districts   []DistrictCount `json:"districts,omitempty"`
+	// Late counts kept records that arrived after their bucket left the
+	// window (or predate Origin).
+	Late uint64 `json:"late"`
+	// Located counts kept records the geolocation sidecar could place.
+	Located uint64 `json:"located"`
+}
+
+// Series renders the snapshot's window as flow/byte time series of
+// WindowHours hourly bins. The series origin is Origin when the window has
+// not slid, or the oldest covered hour otherwise.
+func (s *Snapshot) Series() (flows, bytes *stats.TimeSeries) {
+	start := s.Origin.Add(time.Duration(s.SeriesStart) * time.Hour)
+	flows = stats.NewTimeSeries(start, time.Hour, s.WindowHours)
+	bytes = stats.NewTimeSeries(start, time.Hour, s.WindowHours)
+	for _, p := range s.Hours {
+		flows.Add(p.Time, p.Flows)
+		bytes.Add(p.Time, p.Bytes)
+	}
+	return flows, bytes
+}
+
+// Figure2 derives the paper's Figure-2 result from the snapshot series via
+// the same core code path the batch pipeline uses, so a stream that saw
+// every record produces a byte-identical result. It requires an
+// origin-anchored window that still covers every study hour (flows
+// crossing the capture's final midnight land just past the study end, so
+// live configurations size WindowHours with some spill margin); hours
+// beyond the study window are ignored, exactly as the batch pipeline
+// drops records outside it.
+func (s *Snapshot) Figure2(curve *adoption.Curve) (*core.Figure2Result, error) {
+	hours := entime.StudyHours()
+	if !s.Origin.Equal(entime.StudyStart) || s.SeriesStart != 0 || s.WindowHours < hours {
+		return nil, fmt.Errorf("streaming: window [%s +%dh, start %d] does not cover the study hours",
+			s.Origin, s.WindowHours, s.SeriesStart)
+	}
+	flows := stats.NewTimeSeries(entime.StudyStart, time.Hour, hours)
+	bytes := stats.NewTimeSeries(entime.StudyStart, time.Hour, hours)
+	for _, p := range s.Hours {
+		if p.Hour < hours {
+			flows.Add(p.Time, p.Flows)
+			bytes.Add(p.Time, p.Bytes)
+		}
+	}
+	return core.Figure2FromSeries(flows, bytes, curve)
+}

@@ -1,0 +1,179 @@
+package streaming
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+)
+
+// keptRecord fabricates a record the paper's filter keeps: CWA server to
+// an IPv4 client, tcp/443, downstream.
+func keptRecord(t time.Time, client netip.Addr, bytes uint64) netflow.Record {
+	f := core.DefaultFilter()
+	src := f.ServerPrefixes[0].Addr()
+	return netflow.Record{
+		Key: netflow.Key{
+			Src:     src,
+			Dst:     client,
+			SrcPort: netflow.PortHTTPS,
+			DstPort: 50000,
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets:  5,
+		Bytes:    bytes,
+		First:    t,
+		Last:     t.Add(time.Second),
+		Exporter: "ISP/BE-000",
+	}
+}
+
+func client(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{100, 64, byte(i >> 8), byte(i)})
+}
+
+func TestFilterCensusMatchesBatch(t *testing.T) {
+	recs := []netflow.Record{
+		keptRecord(entime.StudyStart.Add(time.Hour), client(1), 1000),
+		// Upstream (client to server): dropped.
+		func() netflow.Record {
+			r := keptRecord(entime.StudyStart.Add(time.Hour), client(2), 500)
+			r.Src, r.Dst = r.Dst, r.Src
+			r.SrcPort, r.DstPort = r.DstPort, r.SrcPort
+			return r
+		}(),
+		// Wrong port: dropped.
+		func() netflow.Record {
+			r := keptRecord(entime.StudyStart.Add(2*time.Hour), client(3), 500)
+			r.SrcPort = 80
+			return r
+		}(),
+	}
+	a := New(Config{})
+	a.Ingest(recs)
+	snap := a.Snapshot()
+
+	_, want := core.ApplyFilter(recs, core.DefaultFilter())
+	if !reflect.DeepEqual(snap.Census, want) {
+		t.Fatalf("census %+v, want %+v", snap.Census, want)
+	}
+}
+
+func TestSlidingWindowEvictsAndCountsLate(t *testing.T) {
+	cfg := Config{WindowHours: 4}
+	a := New(cfg)
+
+	// Hours 0,1,2,3 fill the ring.
+	for h := 0; h < 4; h++ {
+		a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(h)*time.Hour), client(h), 100)})
+	}
+	// Hour 5 slides the window to [2..5], evicting hours 0 and 1.
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(5*time.Hour), client(5), 100)})
+	// A record for hour 1 is now late.
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Hour), client(1), 100)})
+	// As is anything before the origin — including less than an hour
+	// before it, where naive duration division would truncate to bucket 0.
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(-time.Hour), client(9), 100)})
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(-30*time.Minute), client(10), 100)})
+
+	snap := a.Snapshot()
+	if snap.Late != 3 {
+		t.Fatalf("late = %d, want 3", snap.Late)
+	}
+	if snap.SeriesStart != 2 || len(snap.Hours) != 4 {
+		t.Fatalf("window [%d +%d], want [2 +4]", snap.SeriesStart, len(snap.Hours))
+	}
+	wantFlows := []float64{1, 1, 0, 1} // hours 2,3,4(empty),5
+	for i, p := range snap.Hours {
+		if p.Flows != wantFlows[i] {
+			t.Fatalf("hour %d flows = %v, want %v", p.Hour, p.Flows, wantFlows[i])
+		}
+	}
+	// The census still counted the late records as kept: they passed the
+	// filter, only the window had moved on.
+	if snap.Census.Kept != 8 {
+		t.Fatalf("kept = %d, want 8", snap.Census.Kept)
+	}
+}
+
+func TestSpikeDetection(t *testing.T) {
+	cfg := Config{SpikeHistory: 3, SpikeFactor: 3, SpikeMinFlows: 5}
+	a := New(cfg)
+	// Flat baseline of 2 flows/hour for 3 hours, then a 12-flow hour.
+	n := 0
+	add := func(h, count int) {
+		for i := 0; i < count; i++ {
+			a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(h)*time.Hour), client(n), 100)})
+			n++
+		}
+	}
+	add(0, 2)
+	add(1, 2)
+	add(2, 2)
+	add(3, 12)
+
+	snap := a.Snapshot()
+	if len(snap.Spikes) != 1 {
+		t.Fatalf("spikes = %+v, want exactly one", snap.Spikes)
+	}
+	s := snap.Spikes[0]
+	if s.Hour != 3 || s.Flows != 12 || s.Baseline != 2 || s.Ratio != 6 {
+		t.Fatalf("spike = %+v", s)
+	}
+}
+
+func TestTopPrefixesDeterministicOrder(t *testing.T) {
+	a := New(Config{TopK: 2})
+	at := entime.StudyStart.Add(time.Hour)
+	// Three /24s: 203.0.113.x twice, 100.64.0.x twice, 100.64.1.x once.
+	a.Ingest([]netflow.Record{
+		keptRecord(at, netip.AddrFrom4([4]byte{203, 0, 113, 1}), 1),
+		keptRecord(at, netip.AddrFrom4([4]byte{203, 0, 113, 2}), 1),
+		keptRecord(at, netip.AddrFrom4([4]byte{100, 64, 0, 1}), 1),
+		keptRecord(at, netip.AddrFrom4([4]byte{100, 64, 0, 2}), 1),
+		keptRecord(at, netip.AddrFrom4([4]byte{100, 64, 1, 1}), 1),
+	})
+	snap := a.Snapshot()
+	if len(snap.TopPrefixes) != 2 {
+		t.Fatalf("topk = %+v", snap.TopPrefixes)
+	}
+	// Tie at 2 flows: the lower address wins deterministically.
+	if snap.TopPrefixes[0].Prefix.String() != "100.64.0.0/24" || snap.TopPrefixes[1].Prefix.String() != "203.0.113.0/24" {
+		t.Fatalf("topk order = %v", snap.TopPrefixes)
+	}
+}
+
+// TestMergeEqualsSerial splits one stream across three shards and asserts
+// the merged snapshot is identical to a single shard that saw everything —
+// the worker-count-invariance property the pipeline relies on.
+func TestMergeEqualsSerial(t *testing.T) {
+	cfg := Config{TopK: 5}
+	var recs []netflow.Record
+	for i := 0; i < 300; i++ {
+		at := entime.StudyStart.Add(time.Duration(i%48) * time.Hour / 2)
+		recs = append(recs, keptRecord(at, client(i%37), uint64(100+i)))
+	}
+
+	serial := New(cfg)
+	serial.Ingest(recs)
+
+	shards := []*Analytics{New(cfg), New(cfg), New(cfg)}
+	for i, r := range recs {
+		shards[i%3].Ingest([]netflow.Record{r})
+	}
+
+	if !reflect.DeepEqual(Collect(cfg, shards), serial.Snapshot()) {
+		t.Fatal("merged shards differ from the serial shard")
+	}
+}
+
+func TestFigure2RequiresStudyWindow(t *testing.T) {
+	a := New(Config{Origin: entime.StudyStart.Add(time.Hour)})
+	if _, err := a.Snapshot().Figure2(nil); err == nil {
+		t.Fatal("figure 2 from a shifted window must fail")
+	}
+}
