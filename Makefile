@@ -1,7 +1,7 @@
 # Tier-1 verify is `make verify` (build + test); see ROADMAP.md.
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-ingest verify ci all ingest-demo ingest-demo-quick
+.PHONY: build test vet fmt race bench bench-ingest bench-store fuzz-smoke crash-smoke verify ci all ingest-demo ingest-demo-quick
 
 all: verify vet
 
@@ -21,18 +21,37 @@ fmt:
 
 # The concurrency surface of the sharded engine and the live collector:
 # the simulator, the flow collector, the backend, the CDN, the scenario
-# sweep runner and the ingest/streaming pipeline under the race detector.
+# sweep runner, the ingest/streaming pipeline and the durable store
+# (including the crash-recovery byte-identity test) under the race
+# detector.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/
+	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/
 
 # One pass over every figure/table/ablation benchmark (see DESIGN.md for
-# the experiment index) plus the ingest throughput benchmark.
+# the experiment index) plus the ingest and store benchmarks.
 bench:
-	$(GO) test -run XXX -bench=. -benchtime=1x -benchmem . ./internal/ingest/
+	$(GO) test -run XXX -bench=. -benchtime=1x -benchmem . ./internal/ingest/ ./internal/store/
 
 # The ingest throughput benchmark alone (the EXPERIMENTS.md snapshot).
 bench-ingest:
 	$(GO) test -run XXX -bench BenchmarkIngestPipeline -benchmem ./internal/ingest/
+
+# The durable-store benchmarks alone: WAL append per fsync policy and
+# historical range queries (the EXPERIMENTS.md snapshot).
+bench-store:
+	$(GO) test -run XXX -bench 'BenchmarkStoreAppend|BenchmarkQueryRange' -benchmem ./internal/store/
+
+# Short fuzz pass over the two wire/disk decoders: the NFv9 packet
+# decoder and the store record codec. CI runs the same smoke.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run XXX ./internal/nfv9/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run XXX ./internal/store/
+
+# SIGKILL drill: start a durable collector, stream half a trace over
+# UDP, kill -9 mid-capture, restart on the same data dir and require the
+# recovered /snapshot to match the pre-kill accounting.
+crash-smoke:
+	$(GO) test -run TestCrashRecoverySmoke -count=1 -v ./cmd/collectord/
 
 # Live ingest smoke run: simulate, replay the trace as NFv9/UDP over
 # loopback into the collector pipeline, verify the streaming aggregates
@@ -46,5 +65,6 @@ ingest-demo-quick:
 verify: build test
 
 # Mirrors .github/workflows/ci.yml: the formatting gate, static checks,
-# the full test suite, the race pass and the ingest smoke run.
-ci: fmt vet build test race ingest-demo-quick
+# the full test suite, the race pass, the ingest smoke run, the crash
+# drill and the fuzz smoke.
+ci: fmt vet build test race ingest-demo-quick crash-smoke fuzz-smoke

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"cwatrace/internal/experiments"
+	"cwatrace/internal/ingest"
+	"cwatrace/internal/sim"
+)
+
+// collectordProc is one running collectord child process.
+type collectordProc struct {
+	cmd *exec.Cmd
+
+	mu    sync.Mutex
+	lines []string
+}
+
+// startCollectord launches the built daemon and waits until it prints
+// its bound UDP and HTTP addresses.
+func startCollectord(t *testing.T, bin string, args ...string) (*collectordProc, string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &collectordProc{cmd: cmd}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			p.mu.Lock()
+			p.lines = append(p.lines, sc.Text())
+			p.mu.Unlock()
+		}
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+
+	udp, httpAddr := "", ""
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) && (udp == "" || httpAddr == "") {
+		p.mu.Lock()
+		for _, line := range p.lines {
+			if rest, ok := strings.CutPrefix(line, "collectord: ingesting NFv9 on "); ok {
+				udp = strings.TrimSpace(rest)
+			}
+			if rest, ok := strings.CutPrefix(line, "collectord: live state on http://"); ok {
+				httpAddr = strings.TrimSuffix(strings.TrimSpace(rest), "/snapshot")
+			}
+		}
+		p.mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if udp == "" || httpAddr == "" {
+		t.Fatalf("collectord never announced its addresses; stdout so far: %q", p.linesCopy())
+	}
+	return p, udp, httpAddr
+}
+
+func (p *collectordProc) linesCopy() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.lines...)
+}
+
+// snapshotBody is the /snapshot response shape the smoke test compares.
+type snapshotBody struct {
+	Stats    map[string]any `json:"stats"`
+	Snapshot any            `json:"snapshot"`
+}
+
+// waitForMetric polls /metrics until the named sample reaches at least
+// want.
+func waitForMetric(t *testing.T, addr, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, line := range strings.Split(string(body), "\n") {
+				fields := strings.Fields(line)
+				if len(fields) == 2 && fields[0] == name {
+					var v float64
+					if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil && v >= want {
+						return
+					}
+				}
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("metric %s never reached %g", name, want)
+}
+
+func getSnapshot(t *testing.T, addr string) (snapshotBody, bool) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		return snapshotBody{}, false
+	}
+	defer resp.Body.Close()
+	var body snapshotBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return snapshotBody{}, false
+	}
+	return body, true
+}
+
+// TestCrashRecoverySmoke is the end-to-end SIGKILL drill behind `make
+// crash-smoke` and the CI crash-recovery step: start a durable
+// collector, stream half a quick-sim trace into it over real UDP,
+// SIGKILL it mid-capture (no drain, no final checkpoint), restart it on
+// the same data dir and require the recovered /snapshot to match the
+// pre-kill accounting exactly.
+func TestCrashRecoverySmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "collectord")
+	build := exec.Command("go", "build", "-o", bin, "cwatrace/cmd/collectord")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building collectord: %v", err)
+	}
+
+	cfg := experiments.QuickConfig()
+	cfg.Scale *= 3 // demo-quick sized trace
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := res.Records[:len(res.Records)/4]
+	second := res.Records[len(res.Records)/4 : len(res.Records)/2]
+
+	dataDir := t.TempDir()
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-http", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-checkpoint-interval", "1500ms",
+		"-workers", "4",
+	}
+	proc, udp, httpAddr := startCollectord(t, bin, args...)
+
+	// First burst, then wait for the periodic checkpoint to fold it, then
+	// a second burst that (usually) still sits in the WAL tail when the
+	// kill lands — so recovery exercises frames AND WAL replay. The
+	// invariant holds either way; the split only widens the coverage.
+	if _, err := ingest.Replay([]string{udp}, quarter, ingest.ReplayConfig{
+		Sources:          4,
+		RecordsPerSecond: 60000,
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	waitForMetric(t, httpAddr, "store_frames", 1)
+	if _, err := ingest.Replay([]string{udp}, second, ingest.ReplayConfig{
+		Sources:          4,
+		RecordsPerSecond: 60000,
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+
+	// Wait until the daemon has drained everything it received (UDP may
+	// legitimately have dropped some datagrams; the invariant under test
+	// is recovery, not loss-freeness).
+	var preKill snapshotBody
+	stable := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && stable < 3 {
+		body, ok := getSnapshot(t, httpAddr)
+		if !ok {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if reflect.DeepEqual(body.Snapshot, preKill.Snapshot) {
+			stable++
+		} else {
+			stable = 0
+		}
+		preKill = body
+		time.Sleep(100 * time.Millisecond)
+	}
+	if stable < 3 {
+		t.Fatal("snapshot never stabilized after the replay")
+	}
+	if preKill.Snapshot == nil {
+		t.Fatal("no pre-kill snapshot captured")
+	}
+
+	// SIGKILL: no drain, no checkpoint, no flush. Write-through appends
+	// mean the OS still has every accounted byte.
+	if err := proc.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = proc.cmd.Process.Wait()
+
+	// Restart on the same data dir, with no new traffic.
+	proc2, _, httpAddr2 := startCollectord(t, bin, args...)
+	defer func() {
+		_ = proc2.cmd.Process.Kill()
+	}()
+
+	var recovered snapshotBody
+	ok := false
+	deadline = time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) && !ok {
+		recovered, ok = getSnapshot(t, httpAddr2)
+		if !ok {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !ok {
+		t.Fatal("restarted collectord never served /snapshot")
+	}
+
+	if !reflect.DeepEqual(recovered.Snapshot, preKill.Snapshot) {
+		pre, _ := json.Marshal(preKill.Snapshot)
+		post, _ := json.Marshal(recovered.Snapshot)
+		t.Fatalf("recovered snapshot differs from pre-kill accounting\n pre: %.400s\npost: %.400s", pre, post)
+	}
+
+	// The recovery really came from disk: the daemon logged what it
+	// rebuilt, and the WAL/checkpoint machinery saw the records.
+	found := false
+	for _, line := range proc2.linesCopy() {
+		if strings.Contains(line, "recovered") {
+			found = true
+			t.Logf("restart: %s", line)
+		}
+	}
+	if !found {
+		t.Fatal("restarted collectord printed no recovery summary")
+	}
+	fmt.Println("crash smoke: recovered snapshot matches pre-kill accounting")
+}

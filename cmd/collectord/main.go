@@ -3,21 +3,36 @@
 // border routers (or the simulator acting as load generator), pushes them
 // through the bounded multi-worker ingest pipeline and keeps the paper's
 // analyses — hourly Figure-2 series, spike detection, top-K prefixes,
-// district rollups — continuously up to date in memory.
+// district rollups — continuously up to date.
+//
+// With -data-dir the daemon is durable: every ingested batch is appended
+// to a write-ahead log, the analytics state is checkpointed periodically
+// (and on SIGTERM after the drain), a restart recovers the pre-crash
+// state by replaying the WAL tail onto the latest checkpoints, and the
+// /query endpoint serves historical time-range views merged from the
+// checkpoint frames — the longitudinal analyses a purely in-memory
+// collector forgets on every restart.
 //
 // Live state is exposed over HTTP:
 //
-//	GET /healthz   liveness
-//	GET /metrics   pipeline counters, text format
-//	GET /snapshot  merged analytics snapshot, JSON
+//	GET /healthz                liveness
+//	GET /metrics                Prometheus text format
+//	GET /snapshot               merged analytics snapshot, JSON
+//	GET /query?from=&to=        historical range query (RFC 3339 or unix
+//	                            seconds; both bounds optional), JSON;
+//	                            requires -data-dir
 //
 // On SIGINT/SIGTERM the daemon stops the sockets, drains every queued
-// batch and prints the final snapshot summary.
+// batch, checkpoints the store (when durable) and prints the final
+// snapshot summary.
 //
 // Usage:
 //
 //	collectord [-listen 127.0.0.1:2055[,addr2]] [-http 127.0.0.1:8055]
 //	           [-workers N] [-geodb geodb.jsonl] [-window-hours H] [-topk K]
+//	           [-data-dir DIR] [-fsync always|interval|never]
+//	           [-fsync-interval D] [-checkpoint-interval D]
+//	           [-segment-bytes N]
 //
 //	collectord -demo [-quick]
 //
@@ -31,6 +46,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +62,7 @@ import (
 	"cwatrace/internal/geodb"
 	"cwatrace/internal/ingest"
 	"cwatrace/internal/sim"
+	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
 )
 
@@ -60,6 +77,12 @@ func main() {
 		topK        = flag.Int("topk", 10, "active-prefix leaderboard size")
 		demo        = flag.Bool("demo", false, "self-contained sim -> exporter -> pipeline loopback run")
 		quick       = flag.Bool("quick", false, "smaller demo workload (CI smoke mode)")
+
+		dataDir      = flag.String("data-dir", "", "durable store directory (enables WAL, checkpoints and /query)")
+		fsyncPolicy  = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
+		fsyncEvery   = flag.Duration("fsync-interval", time.Second, "fsync cadence under -fsync=interval")
+		ckptEvery    = flag.Duration("checkpoint-interval", 5*time.Minute, "checkpoint/compaction cadence (0 disables the ticker)")
+		segmentBytes = flag.Int64("segment-bytes", 4<<20, "WAL segment rotation size in bytes")
 	)
 	flag.Parse()
 
@@ -85,24 +108,76 @@ func main() {
 		return
 	}
 
-	p, err := ingest.New(ingest.Config{
+	icfg := ingest.Config{
 		Listen:      strings.Split(*listen, ","),
 		Workers:     *workers,
 		ShardBuffer: *shardBuffer,
 		Analytics:   acfg,
-	})
+	}
+
+	var st *store.Store
+	if *dataDir != "" {
+		pol, err := store.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fatal("%v", err)
+		}
+		st, err = store.Open(*dataDir, store.Options{
+			Analytics:    acfg,
+			SegmentBytes: *segmentBytes,
+			Sync:         pol,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		m := st.Metrics()
+		fmt.Printf("collectord: store %s recovered %d checkpoint frames (%d records) and replayed %d WAL records\n",
+			*dataDir, m.RecoveredFrames, m.FrameRecords, m.RecoveredWALRecords)
+		if m.TruncatedBytes > 0 {
+			fmt.Printf("collectord: store truncated %d torn WAL bytes from the previous crash\n", m.TruncatedBytes)
+		}
+		// The store owns all aggregate state; a second in-memory copy in
+		// the lanes would grow without bound over a long capture.
+		icfg.Sink = st
+		icfg.SinkOnly = true
+		if pol == store.SyncInterval {
+			icfg.FlushInterval = *fsyncEvery
+		}
+	}
+
+	p, err := ingest.New(icfg)
 	if err != nil {
 		fatal("%v", err)
 	}
 	fmt.Printf("collectord: ingesting NFv9 on %s\n", strings.Join(p.Addrs(), ", "))
 
+	snapshot := p.Snapshot
+	if st != nil {
+		snapshot = st.Snapshot
+	}
+
 	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal("http: %v", err)
+		}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, newMux(p)); err != nil {
+			if err := http.Serve(ln, newMux(p, st)); err != nil {
 				fatal("http: %v", err)
 			}
 		}()
-		fmt.Printf("collectord: live state on http://%s/snapshot\n", *httpAddr)
+		fmt.Printf("collectord: live state on http://%s/snapshot\n", ln.Addr())
+	}
+
+	if st != nil && *ckptEvery > 0 {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for range t.C {
+				if err := st.Checkpoint(); err != nil {
+					fmt.Fprintf(os.Stderr, "collectord: checkpoint: %v\n", err)
+				}
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -112,38 +187,74 @@ func main() {
 	if err := p.Close(); err != nil {
 		fatal("drain: %v", err)
 	}
-	printSummary(p.Stats(), p.Snapshot())
+	if st != nil {
+		// Checkpoint-on-drain: fold everything the drain flushed into a
+		// frame so the next start replays no WAL at all.
+		if err := st.Checkpoint(); err != nil {
+			fatal("final checkpoint: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			fatal("closing store: %v", err)
+		}
+	}
+	printSummary(p.Stats(), snapshot())
 }
 
-// newMux wires the live-state endpoints.
-func newMux(p *ingest.Pipeline) *http.ServeMux {
+// newMux wires the live-state endpoints. st is nil without -data-dir;
+// /snapshot then serves the pipeline's in-memory state and /query
+// explains what is missing.
+func newMux(p *ingest.Pipeline, st *store.Store) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		s := p.Stats()
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ingest_packets %d\n", s.Packets)
-		fmt.Fprintf(w, "ingest_records %d\n", s.Records)
-		fmt.Fprintf(w, "ingest_records_processed %d\n", s.Processed)
-		fmt.Fprintf(w, "ingest_records_dropped %d\n", s.DroppedRecords)
-		fmt.Fprintf(w, "ingest_batches_dropped %d\n", s.DroppedBatches)
-		fmt.Fprintf(w, "ingest_decode_errors %d\n", s.DecodeErrors)
-		fmt.Fprintf(w, "ingest_socket_errors %d\n", s.SocketErrors)
-		fmt.Fprintf(w, "ingest_sources %d\n", s.Sources)
-		fmt.Fprintf(w, "ingest_seq_gaps %d\n", s.SeqGaps)
-		fmt.Fprintf(w, "ingest_seq_lost %d\n", s.SeqLost)
-		fmt.Fprintf(w, "ingest_seq_reordered %d\n", s.SeqReordered)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics := ingestMetrics(p.Stats())
+		if st != nil {
+			metrics = append(metrics, storeMetrics(st.Metrics(), time.Now())...)
+		}
+		_ = writeMetrics(w, metrics)
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		var snap *streaming.Snapshot
+		if st != nil {
+			snap = st.Snapshot() // SinkOnly mode: the lanes hold nothing
+		} else {
+			snap = p.Snapshot()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(struct {
 			Stats    ingest.Stats        `json:"stats"`
 			Snapshot *streaming.Snapshot `json:"snapshot"`
-		}{p.Stats(), p.Snapshot()})
+		}{p.Stats(), snap})
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if st == nil {
+			http.Error(w, "historical queries need -data-dir", http.StatusNotFound)
+			return
+		}
+		from, err := store.ParseTime(r.URL.Query().Get("from"))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("from: %v", err), http.StatusBadRequest)
+			return
+		}
+		to, err := store.ParseTime(r.URL.Query().Get("to"))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("to: %v", err), http.StatusBadRequest)
+			return
+		}
+		res, err := st.Query(from, to)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(res)
 	})
 	return mux
 }

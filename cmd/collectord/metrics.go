@@ -1,0 +1,69 @@
+package main
+
+// The /metrics endpoint in proper Prometheus text exposition format:
+// every sample is preceded by its # HELP and # TYPE lines, counter names
+// end in _total, and no line carries trailing whitespace. The format is
+// pinned by a parser-based test (metrics_test.go), so a scraper like
+// prometheus/common's expfmt can always consume it.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cwatrace/internal/ingest"
+	"cwatrace/internal/store"
+)
+
+// metric is one fully-described sample.
+type metric struct {
+	name  string
+	typ   string // "counter" or "gauge"
+	help  string
+	value float64
+}
+
+// ingestMetrics renders the pipeline counters.
+func ingestMetrics(s ingest.Stats) []metric {
+	return []metric{
+		{"ingest_packets_total", "counter", "Decoded NFv9 export packets.", float64(s.Packets)},
+		{"ingest_records_total", "counter", "Flow records decoded from export packets.", float64(s.Records)},
+		{"ingest_records_processed_total", "counter", "Records ingested into analytics shards.", float64(s.Processed)},
+		{"ingest_records_dropped_total", "counter", "Records dropped under backpressure.", float64(s.DroppedRecords)},
+		{"ingest_batches_dropped_total", "counter", "Batches dropped under backpressure.", float64(s.DroppedBatches)},
+		{"ingest_decode_errors_total", "counter", "Datagrams the NFv9 decoder rejected.", float64(s.DecodeErrors)},
+		{"ingest_socket_errors_total", "counter", "Transient socket receive errors retried.", float64(s.SocketErrors)},
+		{"ingest_sink_errors_total", "counter", "Failed durable-sink appends and flushes.", float64(s.SinkErrors)},
+		{"ingest_sources", "gauge", "Distinct exporter observation domains seen.", float64(s.Sources)},
+		{"ingest_seq_gaps_total", "counter", "Export sequence gaps across all sources.", float64(s.SeqGaps)},
+		{"ingest_seq_lost_total", "counter", "Export packets lost per the sequence audit.", float64(s.SeqLost)},
+		{"ingest_seq_reordered_total", "counter", "Reordered export packets across all sources.", float64(s.SeqReordered)},
+	}
+}
+
+// storeMetrics renders the durable-store gauges.
+func storeMetrics(m store.Metrics, now time.Time) []metric {
+	return []metric{
+		{"store_segments", "gauge", "Live WAL segment files (sealed plus active).", float64(m.Segments)},
+		{"store_wal_bytes", "gauge", "Total size of live WAL segments on disk.", float64(m.WALBytes)},
+		{"store_frames", "gauge", "Checkpoint frames on disk.", float64(m.Frames)},
+		{"store_tail_records", "gauge", "Records appended since the last checkpoint.", float64(m.TailRecords)},
+		{"store_last_checkpoint_age_seconds", "gauge", "Seconds since the last checkpoint.", now.Sub(m.LastCheckpoint).Seconds()},
+		{"store_appended_records_total", "counter", "Records appended to the WAL this process.", float64(m.AppendedRecords)},
+		{"store_checkpoints_total", "counter", "Checkpoints taken this process.", float64(m.Checkpoints)},
+		{"store_compacted_frames_total", "counter", "Frame pairs folded by compaction.", float64(m.CompactedFrames)},
+		{"store_recovered_wal_records_total", "counter", "WAL records replayed during recovery.", float64(m.RecoveredWALRecords)},
+		{"store_recovered_frames_total", "counter", "Checkpoint frames loaded during recovery.", float64(m.RecoveredFrames)},
+	}
+}
+
+// writeMetrics emits the samples in Prometheus text exposition format.
+func writeMetrics(w io.Writer, metrics []metric) error {
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

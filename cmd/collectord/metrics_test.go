@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cwatrace/internal/ingest"
+	"cwatrace/internal/store"
+)
+
+// parseExposition is a strict parser for the Prometheus text exposition
+// format subset the daemon emits. It returns name -> (type, value) and
+// fails the test on any format violation: samples without HELP/TYPE,
+// invalid metric names, counters not ending in _total, trailing
+// whitespace, or garbage lines.
+func parseExposition(t *testing.T, text string) map[string]struct {
+	typ   string
+	value float64
+} {
+	t.Helper()
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	out := make(map[string]struct {
+		typ   string
+		value float64
+	})
+	var curHelp, curType string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line != strings.TrimRight(line, " \t") {
+			t.Fatalf("trailing whitespace in %q", line)
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || !nameRe.MatchString(parts[0]) || parts[1] == "" {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			curHelp, curType = parts[0], ""
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge") {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if parts[0] != curHelp {
+				t.Fatalf("TYPE for %q does not follow its HELP (last HELP: %q)", parts[0], curHelp)
+			}
+			curType = parts[1]
+		case line == "":
+			t.Fatal("blank line in exposition")
+		default:
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			name := fields[0]
+			if !nameRe.MatchString(name) {
+				t.Fatalf("invalid metric name %q", name)
+			}
+			if name != curHelp || curType == "" {
+				t.Fatalf("sample %q not preceded by its HELP and TYPE", name)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("sample %q value: %v", name, err)
+			}
+			if curType == "counter" && !strings.HasSuffix(name, "_total") {
+				t.Fatalf("counter %q does not end in _total", name)
+			}
+			if _, dup := out[name]; dup {
+				t.Fatalf("duplicate sample %q", name)
+			}
+			out[name] = struct {
+				typ   string
+				value float64
+			}{curType, v}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMetricsExpositionFormat(t *testing.T) {
+	stats := ingest.Stats{
+		Packets: 10, Records: 250, Processed: 240, DroppedRecords: 10,
+		DroppedBatches: 1, DecodeErrors: 2, SocketErrors: 3, SinkErrors: 4,
+		Sources: 5, SeqGaps: 6, SeqLost: 7, SeqReordered: 8,
+	}
+	sm := store.Metrics{
+		Segments: 2, WALBytes: 4096, Frames: 3, TailRecords: 17,
+		AppendedRecords: 240, Checkpoints: 3, CompactedFrames: 1,
+		RecoveredWALRecords: 9, RecoveredFrames: 2,
+		LastCheckpoint: time.Now().Add(-90 * time.Second),
+	}
+	var sb strings.Builder
+	if err := writeMetrics(&sb, append(ingestMetrics(stats), storeMetrics(sm, time.Now())...)); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("exposition does not end in a newline")
+	}
+	samples := parseExposition(t, text)
+
+	// Spot-check values and the store gauges the ISSUE names.
+	checks := map[string]float64{
+		"ingest_packets_total":           10,
+		"ingest_records_total":           250,
+		"ingest_records_processed_total": 240,
+		"ingest_sink_errors_total":       4,
+		"ingest_sources":                 5,
+		"store_segments":                 2,
+		"store_wal_bytes":                4096,
+		"store_frames":                   3,
+		"store_tail_records":             17,
+		"store_appended_records_total":   240,
+	}
+	for name, want := range checks {
+		got, ok := samples[name]
+		if !ok {
+			t.Fatalf("sample %q missing", name)
+		}
+		if got.value != want {
+			t.Fatalf("%s = %v, want %v", name, got.value, want)
+		}
+	}
+	age, ok := samples["store_last_checkpoint_age_seconds"]
+	if !ok || age.typ != "gauge" || age.value < 89 || age.value > 120 {
+		t.Fatalf("store_last_checkpoint_age_seconds = %+v, want a ~90s gauge", age)
+	}
+}
+
+// TestMetricsWithoutStoreOmitsStoreGauges pins the non-durable daemon's
+// exposition: ingest metrics only, still well-formed.
+func TestMetricsWithoutStoreOmitsStoreGauges(t *testing.T) {
+	var sb strings.Builder
+	if err := writeMetrics(&sb, ingestMetrics(ingest.Stats{})); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, sb.String())
+	for name := range samples {
+		if strings.HasPrefix(name, "store_") {
+			t.Fatalf("store gauge %q emitted without a store", name)
+		}
+	}
+	if _, ok := samples["ingest_packets_total"]; !ok {
+		t.Fatal("ingest_packets_total missing")
+	}
+}

@@ -8,18 +8,29 @@
 //	cwanalyze -trace trace.cwaflow -geodb geodb.jsonl [-fig2] [-fig3]
 //	          [-persistence] [-outbreaks] [-census]
 //
+//	cwanalyze -data-dir DIR [-from T] [-to T]
+//
 // Without selection flags every analysis runs.
+//
+// With -data-dir the input is a collectord durable store instead of a
+// trace file: the tool opens the store read-only, merges the checkpoint
+// frames (plus any WAL tail the collector had not folded yet) covering
+// [-from, -to) — RFC 3339 timestamps or unix seconds, both optional —
+// and renders the historical range: census, hourly series, spikes, top
+// prefixes and district rollups.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cwatrace/internal/adoption"
 	"cwatrace/internal/core"
 	"cwatrace/internal/geo"
 	"cwatrace/internal/geodb"
+	"cwatrace/internal/store"
 	"cwatrace/internal/trace"
 )
 
@@ -33,9 +44,20 @@ func main() {
 		outbreaks   = flag.Bool("outbreaks", false, "outbreak analysis (T4)")
 		census      = flag.Bool("census", false, "filter census (T1)")
 		scale       = flag.Int("scale", 2000, "population scale of the trace, for scaled counts")
+
+		dataDir = flag.String("data-dir", "", "collectord durable store directory (replaces -trace)")
+		fromArg = flag.String("from", "", "historical range start (RFC 3339 or unix seconds; empty = store origin)")
+		toArg   = flag.String("to", "", "historical range end (exclusive; empty = end of history)")
 	)
 	flag.Parse()
 	all := !*fig2 && !*fig3 && !*persistence && !*outbreaks && !*census
+
+	if *dataDir != "" {
+		if err := analyzeStore(*dataDir, *geoPath, *fromArg, *toArg, *scale); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	tf, err := os.Open(*tracePath)
 	if err != nil {
@@ -88,6 +110,86 @@ func main() {
 	if all || *outbreaks {
 		fmt.Println(core.RenderOutbreaks(core.AnalyzeOutbreaks(kept, db, model)))
 	}
+}
+
+// analyzeStore serves the historical range straight from a collectord
+// data dir: no trace replay, just checkpoint-frame merging.
+func analyzeStore(dir, geoPath, fromArg, toArg string, scale int) error {
+	from, err := store.ParseTime(fromArg)
+	if err != nil {
+		return fmt.Errorf("-from: %w", err)
+	}
+	to, err := store.ParseTime(toArg)
+	if err != nil {
+		return fmt.Errorf("-to: %w", err)
+	}
+
+	// The geodb sidecar is optional here: district counts live inside the
+	// checkpoint frames, the sidecar only adds names for NEW records, and
+	// a read-only open ingests none. The model still resolves names.
+	opts := store.Options{ReadOnly: true}
+	opts.Analytics.Model = geo.Germany()
+	if f, err := os.Open(geoPath); err == nil {
+		db, rerr := geodb.Read(f)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("reading geodb sidecar: %w", rerr)
+		}
+		opts.Analytics.DB = db
+	}
+
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	m := st.Metrics()
+	fmt.Printf("store %s: %d checkpoint frames (%d records), %d un-checkpointed WAL records\n",
+		dir, m.Frames, m.FrameRecords, m.RecoveredWALRecords)
+
+	res, err := st.Query(from, to)
+	if err != nil {
+		return err
+	}
+	snap := res.Snapshot
+	fmt.Printf("range [%s, %s): merged %d frames (tail included: %v)\n\n",
+		timeBound(from, "origin"), timeBound(to, "end"), res.Frames, res.TailIncluded)
+
+	fmt.Println(core.RenderCensus(snap.Census, scale))
+
+	var flows, bytes float64
+	for _, p := range snap.Hours {
+		flows += p.Flows
+		bytes += p.Bytes
+	}
+	fmt.Printf("hourly series: %d hours", len(snap.Hours))
+	if len(snap.Hours) > 0 {
+		fmt.Printf(" [%s .. %s]", snap.Hours[0].Time.Format(time.RFC3339),
+			snap.Hours[len(snap.Hours)-1].Time.Format(time.RFC3339))
+	}
+	fmt.Printf(", %.0f flows, %.0f bytes\n", flows, bytes)
+	for i, sp := range snap.Spikes {
+		if i >= 5 {
+			fmt.Printf("spikes: ... %d more\n", len(snap.Spikes)-5)
+			break
+		}
+		fmt.Printf("spike: %s flows=%.0f (%.1fx over trailing mean)\n",
+			sp.Time.Format("Jan 02 15:04"), sp.Flows, sp.Ratio)
+	}
+	for i, pc := range snap.TopPrefixes {
+		fmt.Printf("top prefix %d: %s (%d flows)\n", i+1, pc.Prefix, pc.Flows)
+	}
+	if len(snap.Districts) > 0 {
+		fmt.Printf("districts active: %d (located %d flows)\n", len(snap.Districts), snap.Located)
+	}
+	return nil
+}
+
+func timeBound(t time.Time, open string) string {
+	if t.IsZero() {
+		return open
+	}
+	return t.Format(time.RFC3339)
 }
 
 func fatal(format string, args ...any) {

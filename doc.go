@@ -56,7 +56,12 @@
 //     prefixes, district rollups
 //   - internal/ingest — the live collector pipeline: UDP readers,
 //     per-source NFv9 decoding, bounded sharded fan-out with drop
-//     accounting, and the NFv9 trace replayer
+//     accounting, durable-sink and flush hooks, and the NFv9 trace
+//     replayer
+//   - internal/store — the collector's durable state: segment-based WAL,
+//     checkpointed analytics frames with CRC-protected records, crash
+//     recovery, background compaction, and the historical time-range
+//     query engine
 //   - internal/trace — JSONL/binary trace serialization for
 //     cwasim/cwanalyze
 //
@@ -76,7 +81,9 @@
 //
 // Commands: cmd/experiments (regenerate all artefacts), cmd/scenarios
 // (list/validate/run what-if scenarios), cmd/cwasim + cmd/cwanalyze
-// (capture to disk, analyze from disk; -export replays the trace live),
+// (capture to disk, analyze from disk; -export replays the trace live,
+// -data-dir analyzes historical ranges from a collectord store),
 // cmd/cwabackend (the backend as a live HTTP server), cmd/collectord
-// (the live NFv9 collector daemon with sliding-window analytics).
+// (the live NFv9 collector daemon with sliding-window analytics,
+// durable WAL/checkpoint persistence and historical /query).
 package cwatrace

@@ -28,6 +28,22 @@ import (
 	"cwatrace/internal/streaming"
 )
 
+// Sink receives every batch a worker processed — the hook the durable
+// store (internal/store) plugs into. Append must not retain the batch;
+// it is recycled once the worker is done with it. Append runs on worker
+// goroutines, so implementations must be safe for concurrent use.
+type Sink interface {
+	Append(batch []netflow.Record) error
+}
+
+// Flusher is the optional periodic-flush side of a Sink: when the sink
+// implements it and FlushInterval is set, the pipeline calls Flush on
+// that cadence (and once more after the final drain). The store uses it
+// as its interval fsync policy.
+type Flusher interface {
+	Flush() error
+}
+
 // Config parameterizes a Pipeline.
 type Config struct {
 	// Listen is the set of UDP listen addresses; each gets its own socket
@@ -45,6 +61,18 @@ type Config struct {
 	ReadBuffer int
 	// Analytics configures the streaming shards.
 	Analytics streaming.Config
+	// Sink, when set, receives every processed batch (before the lane's
+	// own analytics). Errors are counted as SinkErrors, never fatal: a
+	// full disk degrades durability, it must not stop the collector.
+	Sink Sink
+	// SinkOnly skips the per-lane analytics shards entirely: the sink
+	// owns all aggregate state. The persistent collector runs this way —
+	// keeping a second, unbounded in-memory copy of state the store
+	// already maintains would defeat the point of checkpointing.
+	SinkOnly bool
+	// FlushInterval is the cadence of the periodic flush hook (0
+	// disables). Only meaningful when Sink implements Flusher.
+	FlushInterval time.Duration
 
 	// workerDelay slows every worker batch; the backpressure tests use it
 	// to simulate an overloaded consumer.
@@ -80,6 +108,9 @@ type Stats struct {
 	DroppedBatches uint64 `json:"dropped_batches"`
 	// SocketErrors counts transient receive errors the readers retried.
 	SocketErrors uint64 `json:"socket_errors"`
+	// SinkErrors counts failed sink appends and flushes (batches that
+	// reached the analytics but may not have reached durable storage).
+	SinkErrors uint64 `json:"sink_errors"`
 	// Sources is the number of distinct exporter sources seen. SeqGaps,
 	// SeqLost and SeqReordered aggregate the per-source sequence audits
 	// (RFC 3954 export loss detection).
@@ -100,6 +131,7 @@ type shardLane struct {
 	processed      atomic.Uint64
 	droppedRecords atomic.Uint64
 	droppedBatches atomic.Uint64
+	sinkErrors     atomic.Uint64
 }
 
 // sourceKey identifies one exporter source: the sending address plus the
@@ -137,6 +169,10 @@ type Pipeline struct {
 	readerWG sync.WaitGroup
 	workerWG sync.WaitGroup
 
+	flushStop   chan struct{}
+	flushWG     sync.WaitGroup
+	flushErrors atomic.Uint64
+
 	closeOnce sync.Once
 	closed    atomic.Bool
 	closeErr  error
@@ -156,6 +192,12 @@ func New(cfg Config) (*Pipeline, error) {
 		p.lanes = append(p.lanes, lane)
 		p.workerWG.Add(1)
 		go p.work(lane)
+	}
+
+	if fl, ok := cfg.Sink.(Flusher); ok && cfg.FlushInterval > 0 {
+		p.flushStop = make(chan struct{})
+		p.flushWG.Add(1)
+		go p.flushLoop(fl)
 	}
 
 	for _, addr := range cfg.Listen {
@@ -268,18 +310,50 @@ func (p *Pipeline) handleDatagram(r *reader, from string, data []byte) {
 	}
 }
 
-// work drains one lane into its analytics shard.
+// work drains one lane into the sink and its analytics shard.
 func (p *Pipeline) work(lane *shardLane) {
 	defer p.workerWG.Done()
 	for batch := range lane.ch {
 		if p.cfg.workerDelay > 0 {
 			time.Sleep(p.cfg.workerDelay)
 		}
-		lane.mu.Lock()
-		lane.an.Ingest(batch)
-		lane.mu.Unlock()
+		if p.cfg.Sink != nil {
+			// Durability first: anything the analytics (or the sink's own
+			// state) count is already written through. Errors degrade
+			// durability, never availability.
+			if err := p.cfg.Sink.Append(batch); err != nil {
+				lane.sinkErrors.Add(1)
+			}
+		}
+		if !p.cfg.SinkOnly {
+			lane.mu.Lock()
+			lane.an.Ingest(batch)
+			lane.mu.Unlock()
+		}
 		lane.processed.Add(uint64(len(batch)))
 		netflow.RecycleBatch(batch)
+	}
+}
+
+// flushLoop is the periodic flush hook: it drives the sink's Flush on
+// the configured cadence until shutdown, then once more after the final
+// drain so everything processed is flushed before Close returns.
+func (p *Pipeline) flushLoop(fl Flusher) {
+	defer p.flushWG.Done()
+	t := time.NewTicker(p.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := fl.Flush(); err != nil {
+				p.flushErrors.Add(1)
+			}
+		case <-p.flushStop:
+			if err := fl.Flush(); err != nil {
+				p.flushErrors.Add(1)
+			}
+			return
+		}
 	}
 }
 
@@ -319,7 +393,9 @@ func (p *Pipeline) Stats() Stats {
 		s.Processed += lane.processed.Load()
 		s.DroppedRecords += lane.droppedRecords.Load()
 		s.DroppedBatches += lane.droppedBatches.Load()
+		s.SinkErrors += lane.sinkErrors.Load()
 	}
+	s.SinkErrors += p.flushErrors.Load()
 	return s
 }
 
@@ -353,4 +429,10 @@ func (p *Pipeline) shutdown() {
 		close(lane.ch)
 	}
 	p.workerWG.Wait()
+	if p.flushStop != nil {
+		// Stop the flush hook only after the workers drained, so its
+		// final Flush covers every processed batch.
+		close(p.flushStop)
+		p.flushWG.Wait()
+	}
 }

@@ -1,0 +1,104 @@
+package nfv9
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+// fuzzSeedRecords fabricates the record shapes a quick sim export
+// produces — IPv4 CDN-to-client HTTPS flows plus an IPv6 pair — so the
+// seed corpus covers both templates and realistic field values.
+func fuzzSeedRecords() [][]netflow.Record {
+	at := time.Date(2020, time.June, 16, 9, 0, 0, 0, time.UTC)
+	v4 := func(i int) netflow.Record {
+		return netflow.Record{
+			Key: netflow.Key{
+				Src:     netip.AddrFrom4([4]byte{198, 51, 100, 10}),
+				Dst:     netip.AddrFrom4([4]byte{100, 64, byte(i >> 8), byte(i)}),
+				SrcPort: 443,
+				DstPort: uint16(50000 + i),
+				Proto:   netflow.ProtoTCP,
+			},
+			Packets:  uint64(1 + i%7),
+			Bytes:    uint64(400 + 100*i),
+			First:    at.Add(time.Duration(i) * time.Second),
+			Last:     at.Add(time.Duration(i)*time.Second + 800*time.Millisecond),
+			Exporter: "ISP/BE-000",
+		}
+	}
+	v6 := netflow.Record{
+		Key: netflow.Key{
+			Src:     netip.MustParseAddr("2001:db8::10"),
+			Dst:     netip.MustParseAddr("2001:db8::c1"),
+			SrcPort: 443,
+			DstPort: 51515,
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets:  3,
+		Bytes:    2048,
+		First:    at,
+		Last:     at.Add(2 * time.Second),
+		Exporter: "ISP/BE-001",
+	}
+	return [][]netflow.Record{
+		{v4(0)},
+		{v4(1), v4(2), v4(3)},
+		{v6},
+		{v4(4), v6},
+	}
+}
+
+// FuzzDecode hammers the NFv9 decoder with arbitrary datagrams. The
+// decoder must never panic, and whatever it accepts must be internally
+// consistent (a non-nil packet, records with the exporter name stamped).
+// The seed corpus is real encoder output — with and without template
+// FlowSets — so the fuzzer starts from wire-valid packets and mutates
+// from there.
+func FuzzDecode(f *testing.F) {
+	enc := NewEncoder(7)
+	for _, recs := range fuzzSeedRecords() {
+		pkt, err := enc.Encode(recs, recs[0].First)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(pkt)
+	}
+	// A template-refresh packet and a templateless data packet.
+	enc.Reset()
+	pkt, err := enc.Encode(nil, time.Unix(0, 0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pkt)
+	f.Add([]byte{})
+	f.Add([]byte{0, 9, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder("fuzz")
+		// Two passes through one decoder: template state learned from the
+		// first decode must not corrupt the second.
+		for i := 0; i < 2; i++ {
+			pkt, err := dec.Decode(data)
+			if err != nil {
+				continue
+			}
+			if pkt == nil {
+				t.Fatal("nil packet without error")
+			}
+			for _, r := range pkt.Records {
+				if r.Exporter != "fuzz" {
+					t.Fatalf("record exporter %q", r.Exporter)
+				}
+			}
+			netflow.RecycleBatch(pkt.Records)
+		}
+		// The sequence audit stays sane on arbitrary input.
+		gaps, _, reordered := dec.SequenceStats()
+		if gaps < 0 || reordered < 0 {
+			t.Fatalf("negative sequence stats: %d, %d", gaps, reordered)
+		}
+	})
+}

@@ -377,6 +377,27 @@ func (d *Decoder) parseTemplates(body []byte) (int, error) {
 	return n, nil
 }
 
+// fieldLen returns the wire length this implementation requires for a
+// field type it decodes (0 = any length; the field is skipped). The
+// fixed-width readers below would over-read a template that declares a
+// shorter length — a malformed (or malicious) template must be rejected,
+// not trusted. Found by FuzzDecode.
+func fieldLen(typ uint16) uint16 {
+	switch typ {
+	case fieldIPv4SrcAddr, fieldIPv4DstAddr:
+		return 4
+	case fieldIPv6SrcAddr, fieldIPv6DstAddr:
+		return 16
+	case fieldL4SrcPort, fieldL4DstPort:
+		return 2
+	case fieldProtocol:
+		return 1
+	case fieldInBytes, fieldInPkts, fieldFirstSwitched, fieldLastSwitched:
+		return 8
+	}
+	return 0
+}
+
 // parseData decodes one data FlowSet, appending onto out. When out is nil
 // the batch comes from the shared netflow pool, so pipeline consumers that
 // hand packets back via netflow.RecycleBatch run allocation-free in steady
@@ -388,6 +409,10 @@ func (d *Decoder) parseData(tid uint16, body []byte, out []netflow.Record) ([]ne
 	}
 	recLen := 0
 	for _, f := range fields {
+		if want := fieldLen(f.Type); want != 0 && f.Length != want {
+			return nil, fmt.Errorf("nfv9: template %d declares field %d with length %d, want %d",
+				tid, f.Type, f.Length, want)
+		}
 		recLen += int(f.Length)
 	}
 	if recLen == 0 {

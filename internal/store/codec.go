@@ -1,0 +1,278 @@
+package store
+
+// The store's on-disk record codec: every WAL and checkpoint file is a
+// sequence of length-prefixed, CRC-protected, versioned records, so a
+// reader can always tell a cleanly written record from a torn tail or bit
+// rot. The flow-record payload encoding is compact and deterministic —
+// the same record always encodes to the same bytes — which the crash
+// tests exploit to compare WAL contents as canonical byte strings.
+//
+// Record framing (everything big-endian):
+//
+//	+---------+------+-------------+-----------+
+//	| version | type | payload len | CRC-32    | payload ...
+//	| 1 byte  | 1 B  | 4 bytes     | 4 (IEEE)  |
+//	+---------+------+-------------+-----------+
+//
+// The CRC covers version, type and payload. Record types: recTypeBatch
+// (one appended batch of flow records) and recTypeFrame (one checkpoint
+// frame: metadata + marshaled streaming.Analytics state).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/netip"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+// codecVersion is the record-framing version byte.
+const codecVersion = 1
+
+// Record types.
+const (
+	recTypeBatch byte = 1
+	recTypeFrame byte = 2
+)
+
+// recHeaderLen is the fixed framing header size.
+const recHeaderLen = 1 + 1 + 4 + 4
+
+// maxPayload bounds a single record payload; anything larger is treated
+// as corruption rather than an allocation request.
+const maxPayload = 64 << 20
+
+// Codec errors. ErrTorn marks a record cut off by a crash mid-write (the
+// recoverable case: truncate and move on); ErrCorrupt marks framing or
+// checksum damage inside otherwise intact data.
+var (
+	ErrTorn    = errors.New("store: torn record")
+	ErrCorrupt = errors.New("store: corrupt record")
+)
+
+// appendRecordFrame wraps payload in the record framing.
+func appendRecordFrame(buf []byte, typ byte, payload []byte) []byte {
+	buf = append(buf, codecVersion, typ)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{codecVersion, typ})
+	crc.Write(payload)
+	buf = binary.BigEndian.AppendUint32(buf, crc.Sum32())
+	return append(buf, payload...)
+}
+
+// readRecordFrame parses one framed record at the head of data and
+// returns the record type, its payload (aliasing data) and the total
+// bytes consumed. A header that runs past the end of data is ErrTorn; a
+// bad version, oversized length or CRC mismatch is ErrCorrupt.
+func readRecordFrame(data []byte) (typ byte, payload []byte, n int, err error) {
+	if len(data) < recHeaderLen {
+		return 0, nil, 0, fmt.Errorf("%w: %d header bytes", ErrTorn, len(data))
+	}
+	if data[0] != codecVersion {
+		return 0, nil, 0, fmt.Errorf("%w: record version %d", ErrCorrupt, data[0])
+	}
+	typ = data[1]
+	plen := int(binary.BigEndian.Uint32(data[2:6]))
+	if plen > maxPayload {
+		return 0, nil, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+	}
+	if len(data) < recHeaderLen+plen {
+		return 0, nil, 0, fmt.Errorf("%w: payload %d of %d bytes", ErrTorn, len(data)-recHeaderLen, plen)
+	}
+	payload = data[recHeaderLen : recHeaderLen+plen]
+	crc := crc32.NewIEEE()
+	crc.Write(data[0:2])
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(data[6:10]) {
+		return 0, nil, 0, fmt.Errorf("%w: CRC mismatch on %d-byte record", ErrCorrupt, plen)
+	}
+	return typ, payload, recHeaderLen + plen, nil
+}
+
+// EncodeRecord renders one flow record in the canonical payload encoding.
+// Exported for tooling and tests that need a canonical byte key for
+// record multisets; AppendBatch uses the same encoding internally.
+func EncodeRecord(r netflow.Record) []byte {
+	return appendFlowRecord(nil, &r)
+}
+
+// appendFlowRecord encodes one flow record:
+// fam(1) addr fam(1) addr srcPort(2) dstPort(2) proto(1)
+// packets(8) bytes(8) firstUnixNano(8) lastUnixNano(8) expLen(1) exporter.
+func appendFlowRecord(buf []byte, r *netflow.Record) []byte {
+	appendAddr := func(buf []byte, a netip.Addr) []byte {
+		if a.Is4() || a.Is4In6() {
+			b := a.As4()
+			buf = append(buf, 4)
+			return append(buf, b[:]...)
+		}
+		b := a.As16()
+		buf = append(buf, 16)
+		return append(buf, b[:]...)
+	}
+	buf = appendAddr(buf, r.Src)
+	buf = appendAddr(buf, r.Dst)
+	buf = binary.BigEndian.AppendUint16(buf, r.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, r.DstPort)
+	buf = append(buf, r.Proto)
+	buf = binary.BigEndian.AppendUint64(buf, r.Packets)
+	buf = binary.BigEndian.AppendUint64(buf, r.Bytes)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.First.UnixNano()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Last.UnixNano()))
+	if len(r.Exporter) > 255 {
+		// Mirrors the trace writer's limit; long names are a programming
+		// error upstream, truncation here would silently corrupt replay.
+		panic(fmt.Sprintf("store: exporter name %q too long", r.Exporter))
+	}
+	buf = append(buf, byte(len(r.Exporter)))
+	return append(buf, r.Exporter...)
+}
+
+// decodeFlowRecord parses one flow record at the head of data, returning
+// the bytes consumed.
+func decodeFlowRecord(data []byte) (netflow.Record, int, error) {
+	var rec netflow.Record
+	off := 0
+	readAddr := func() (netip.Addr, error) {
+		if off >= len(data) {
+			return netip.Addr{}, fmt.Errorf("%w: truncated address family", ErrCorrupt)
+		}
+		fam := data[off]
+		off++
+		switch fam {
+		case 4:
+			if off+4 > len(data) {
+				return netip.Addr{}, fmt.Errorf("%w: truncated IPv4 address", ErrCorrupt)
+			}
+			var b [4]byte
+			copy(b[:], data[off:])
+			off += 4
+			return netip.AddrFrom4(b), nil
+		case 16:
+			if off+16 > len(data) {
+				return netip.Addr{}, fmt.Errorf("%w: truncated IPv6 address", ErrCorrupt)
+			}
+			var b [16]byte
+			copy(b[:], data[off:])
+			off += 16
+			return netip.AddrFrom16(b), nil
+		default:
+			return netip.Addr{}, fmt.Errorf("%w: address family %d", ErrCorrupt, fam)
+		}
+	}
+	var err error
+	if rec.Src, err = readAddr(); err != nil {
+		return rec, 0, err
+	}
+	if rec.Dst, err = readAddr(); err != nil {
+		return rec, 0, err
+	}
+	if off+2+2+1+8+8+8+8+1 > len(data) {
+		return rec, 0, fmt.Errorf("%w: truncated flow record", ErrCorrupt)
+	}
+	rec.SrcPort = binary.BigEndian.Uint16(data[off:])
+	rec.DstPort = binary.BigEndian.Uint16(data[off+2:])
+	rec.Proto = data[off+4]
+	off += 5
+	rec.Packets = binary.BigEndian.Uint64(data[off:])
+	rec.Bytes = binary.BigEndian.Uint64(data[off+8:])
+	rec.First = time.Unix(0, int64(binary.BigEndian.Uint64(data[off+16:]))).UTC()
+	rec.Last = time.Unix(0, int64(binary.BigEndian.Uint64(data[off+24:]))).UTC()
+	off += 32
+	nameLen := int(data[off])
+	off++
+	if off+nameLen > len(data) {
+		return rec, 0, fmt.Errorf("%w: truncated exporter name", ErrCorrupt)
+	}
+	rec.Exporter = string(data[off : off+nameLen])
+	return rec, off + nameLen, nil
+}
+
+// appendBatchPayload encodes one batch: count(4) + records.
+func appendBatchPayload(buf []byte, recs []netflow.Record) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(recs)))
+	for i := range recs {
+		buf = appendFlowRecord(buf, &recs[i])
+	}
+	return buf
+}
+
+// decodeBatchPayload streams the records of one batch payload to fn.
+func decodeBatchPayload(payload []byte, fn func(netflow.Record) error) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("%w: batch payload of %d bytes", ErrCorrupt, len(payload))
+	}
+	count := int(binary.BigEndian.Uint32(payload))
+	payload = payload[4:]
+	for i := 0; i < count; i++ {
+		rec, n, err := decodeFlowRecord(payload)
+		if err != nil {
+			return err
+		}
+		payload = payload[n:]
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if len(payload) != 0 {
+		return fmt.Errorf("%w: %d trailing batch bytes", ErrCorrupt, len(payload))
+	}
+	return nil
+}
+
+// frameInfo is the metadata head of a checkpoint-frame payload; the
+// marshaled analytics state follows it.
+type frameInfo struct {
+	// Seq is the frame's unique file identity (monotonically allocated,
+	// never reused).
+	Seq uint64
+	// BaseSeg/CoveredSeg bound the half-open WAL interval the frame
+	// folded: every batch in segments (BaseSeg, CoveredSeg]. Recovery
+	// orders frames by BaseSeg, replays only segments beyond the maximum
+	// CoveredSeg, and uses interval containment to drop frames made
+	// obsolete by a compaction that crashed before cleanup. CoveredOff is
+	// the final size of segment CoveredSeg.
+	BaseSeg    uint64
+	CoveredSeg uint64
+	CoveredOff int64
+	// MinHour/MaxHour bound the kept-record hours aggregated in the frame
+	// (-1 when the frame holds only dropped-record accounting).
+	MinHour, MaxHour int64
+	// Records is the census total folded into the frame.
+	Records uint64
+}
+
+const frameInfoLen = 7 * 8
+
+// appendFramePayload encodes a checkpoint frame payload.
+func appendFramePayload(buf []byte, info frameInfo, state []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, info.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, info.BaseSeg)
+	buf = binary.BigEndian.AppendUint64(buf, info.CoveredSeg)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(info.CoveredOff))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(info.MinHour))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(info.MaxHour))
+	buf = binary.BigEndian.AppendUint64(buf, info.Records)
+	return append(buf, state...)
+}
+
+// decodeFramePayload splits a checkpoint frame payload into its metadata
+// and the marshaled analytics state.
+func decodeFramePayload(payload []byte) (frameInfo, []byte, error) {
+	var info frameInfo
+	if len(payload) < frameInfoLen {
+		return info, nil, fmt.Errorf("%w: frame payload of %d bytes", ErrCorrupt, len(payload))
+	}
+	info.Seq = binary.BigEndian.Uint64(payload)
+	info.BaseSeg = binary.BigEndian.Uint64(payload[8:])
+	info.CoveredSeg = binary.BigEndian.Uint64(payload[16:])
+	info.CoveredOff = int64(binary.BigEndian.Uint64(payload[24:]))
+	info.MinHour = int64(binary.BigEndian.Uint64(payload[32:]))
+	info.MaxHour = int64(binary.BigEndian.Uint64(payload[40:]))
+	info.Records = binary.BigEndian.Uint64(payload[48:])
+	return info, payload[frameInfoLen:], nil
+}

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"cwatrace/internal/netflow"
+)
+
+func sampleRecords() []netflow.Record {
+	v6 := netflow.Record{
+		Key: netflow.Key{
+			Src:     netip.MustParseAddr("2001:db8::1"),
+			Dst:     netip.MustParseAddr("2001:db8::2"),
+			SrcPort: 443,
+			DstPort: 51000,
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets:  2,
+		Bytes:    900,
+		First:    time.Date(2020, 6, 16, 9, 0, 0, 123456789, time.UTC),
+		Last:     time.Date(2020, 6, 16, 9, 0, 2, 0, time.UTC),
+		Exporter: "ISP/BE-001",
+	}
+	return []netflow.Record{
+		keptRecord(3, 7, 1234),
+		droppedRecord(5, 9),
+		v6,
+	}
+}
+
+func TestFlowRecordRoundTrip(t *testing.T) {
+	for i, want := range sampleRecords() {
+		buf := appendFlowRecord(nil, &want)
+		got, n, err := decodeFlowRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("record %d consumed %d of %d bytes", i, n, len(buf))
+		}
+		// The codec canonicalizes timestamps to UTC (same instant).
+		want.First, want.Last = want.First.UTC(), want.Last.UTC()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d round trip:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestEncodeRecordCanonical(t *testing.T) {
+	r := keptRecord(1, 2, 500)
+	if string(EncodeRecord(r)) != string(EncodeRecord(r)) {
+		t.Fatal("EncodeRecord is not deterministic")
+	}
+	other := keptRecord(1, 3, 500)
+	if string(EncodeRecord(r)) == string(EncodeRecord(other)) {
+		t.Fatal("distinct records encode identically")
+	}
+}
+
+func TestBatchPayloadRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	payload := appendBatchPayload(nil, recs)
+	var got []netflow.Record
+	if err := decodeBatchPayload(payload, func(r netflow.Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	// Trailing garbage after the declared count is corruption.
+	if err := decodeBatchPayload(append(payload, 0xAB), func(netflow.Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
+
+func TestRecordFramingDetectsDamage(t *testing.T) {
+	payload := appendBatchPayload(nil, sampleRecords())
+	rec := appendRecordFrame(nil, recTypeBatch, payload)
+
+	typ, got, n, err := readRecordFrame(rec)
+	if err != nil || typ != recTypeBatch || n != len(rec) || len(got) != len(payload) {
+		t.Fatalf("clean frame: typ=%d n=%d err=%v", typ, n, err)
+	}
+
+	// Truncation anywhere is a torn record.
+	for _, cut := range []int{0, 1, recHeaderLen - 1, recHeaderLen, len(rec) - 1} {
+		if _, _, _, err := readRecordFrame(rec[:cut]); !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut at %d: err = %v, want ErrTorn", cut, err)
+		}
+	}
+
+	// A flipped payload byte is corruption, caught by the CRC.
+	bad := append([]byte(nil), rec...)
+	bad[recHeaderLen+3] ^= 0x40
+	if _, _, _, err := readRecordFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload byte: %v", err)
+	}
+
+	// A wrong version byte is corruption.
+	bad = append([]byte(nil), rec...)
+	bad[0] = 99
+	if _, _, _, err := readRecordFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	// An absurd length is corruption, not an allocation.
+	bad = append([]byte(nil), rec...)
+	bad[2], bad[3], bad[4], bad[5] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, _, err := readRecordFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("absurd length: %v", err)
+	}
+}
+
+func TestFramePayloadRoundTrip(t *testing.T) {
+	info := frameInfo{Seq: 7, BaseSeg: 2, CoveredSeg: 5, CoveredOff: 4096, MinHour: 3, MaxHour: 40, Records: 1234}
+	state := []byte("opaque-state")
+	payload := appendFramePayload(nil, info, state)
+	got, gotState, err := decodeFramePayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info || string(gotState) != string(state) {
+		t.Fatalf("round trip: %+v / %q", got, gotState)
+	}
+	if _, _, err := decodeFramePayload(payload[:frameInfoLen-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short frame payload: %v", err)
+	}
+}

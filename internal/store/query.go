@@ -1,0 +1,172 @@
+package store
+
+// The historical time-range query engine. A query merges the checkpoint
+// frames whose hour coverage overlaps the requested range (plus the live
+// tail shard) into one snapshot, then trims the hourly series exactly to
+// the range. The hourly Figure-2 series is therefore hour-exact at any
+// range; the census, top-K prefix and district aggregates are not
+// time-resolved inside a frame, so partial ranges report them at
+// checkpoint-frame granularity (a full-range query is always exact).
+// Because streaming aggregation is commutative, the result is
+// independent of where checkpoints fell — the property the crash
+// recovery test pins byte for byte.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"cwatrace/internal/streaming"
+)
+
+// ParseTime parses a query bound the way every store consumer does
+// (collectord's /query params, cwanalyze's -from/-to flags): RFC 3339
+// or unix seconds, with the empty string meaning an open bound.
+func ParseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(secs, 0).UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("want RFC 3339 or unix seconds, got %q", s)
+}
+
+// QueryResult is one historical range query answer.
+type QueryResult struct {
+	// From/To echo the requested bounds (zero = open end).
+	From time.Time `json:"from"`
+	To   time.Time `json:"to"`
+	// Frames is how many checkpoint frames were merged; TailIncluded
+	// reports whether the live (un-checkpointed) tail contributed.
+	Frames       int  `json:"frames"`
+	TailIncluded bool `json:"tail_included"`
+	// Snapshot is the merged, hour-trimmed view of the range.
+	Snapshot *streaming.Snapshot `json:"snapshot"`
+}
+
+// Query merges the frames overlapping [from, to) with the live tail and
+// renders the range. Zero bounds are open ends: Query(zero, zero) covers
+// the store's whole history. Frames holding only dropped-record
+// accounting (no kept hours) ride along with every query so the census
+// stays complete.
+//
+// Frame files are loaded outside the store mutex — a historical query
+// must never stall the hot Append path (a blocked worker means dropped
+// batches upstream). Frame files are immutable once written, so the
+// only hazard is a concurrent checkpoint's compaction removing one
+// mid-query; that retries against the fresh (equivalent, merged)
+// frame set.
+func (s *Store) Query(from, to time.Time) (*QueryResult, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := s.tryQuery(from, to)
+		if err == nil || attempt >= 2 || !errors.Is(err, os.ErrNotExist) {
+			return res, err
+		}
+	}
+}
+
+func (s *Store) tryQuery(from, to time.Time) (*QueryResult, error) {
+	s.mu.Lock()
+	var frames []frameMeta
+	span := struct{ lo, hi int64 }{-1, -1}
+	cover := func(lo, hi int64) {
+		if lo < 0 {
+			return
+		}
+		if span.lo < 0 || lo < span.lo {
+			span.lo = lo
+		}
+		if hi > span.hi {
+			span.hi = hi
+		}
+	}
+	for _, fr := range s.frames {
+		if s.hoursOverlap(fr.MinHour, fr.MaxHour, from, to) {
+			frames = append(frames, fr)
+			cover(fr.MinHour, fr.MaxHour)
+		}
+	}
+	// The live, un-checkpointed state is the tail plus any checkpoint
+	// fold currently in flight (chronologically between the frames and
+	// the tail).
+	includeLive := false
+	for _, live := range []*streaming.Analytics{s.foldingTail, s.tail} {
+		if live == nil {
+			continue
+		}
+		minH, maxH := int64(-1), int64(-1)
+		if lo, hi, ok := live.Bounds(); ok {
+			minH, maxH = int64(lo), int64(hi)
+		}
+		if s.hoursOverlap(minH, maxH, from, to) {
+			includeLive = true
+			cover(minH, maxH)
+		}
+	}
+	if s.foldingRecords+s.tailRecords == 0 {
+		includeLive = false
+	}
+	// A historical range can span more hours than the live sliding
+	// window (that is the point of the store); merging at the live
+	// window would evict the head of the range. Widen the merge target
+	// to cover every selected hour — checkpoint frames each hold at most
+	// one checkpoint interval of bins, so nothing was lost on disk.
+	qcfg := s.cfg
+	if need := int(span.hi - span.lo + 1); span.lo >= 0 && need > qcfg.WindowHours {
+		qcfg.WindowHours = need
+	}
+	// Clone the live state while locked; the frame loads below run
+	// lock-free, and the clone merges last so any window slide happens
+	// in chronological order (frames, then live), exactly like Snapshot.
+	var tailClone *streaming.Analytics
+	if includeLive {
+		tailClone = streaming.New(qcfg)
+		if s.foldingTail != nil {
+			tailClone.Merge(s.foldingTail)
+		}
+		tailClone.Merge(s.tail)
+	}
+	s.mu.Unlock()
+
+	res := &QueryResult{From: from, To: to}
+	m := streaming.New(qcfg)
+	for _, fr := range frames {
+		_, a, err := loadFrameFile(fr.path, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Merge(a)
+		res.Frames++
+	}
+	if tailClone != nil {
+		m.Merge(tailClone)
+		res.TailIncluded = true
+	}
+	res.Snapshot = m.SnapshotRange(from, to)
+	return res, nil
+}
+
+// hoursOverlap reports whether the inclusive hour-index interval
+// [minHour, maxHour] intersects [from, to). Absent bounds (-1: the frame
+// aggregated no kept records) always overlap — the accounting must reach
+// every query.
+func (s *Store) hoursOverlap(minHour, maxHour int64, from, to time.Time) bool {
+	if minHour < 0 {
+		return true
+	}
+	start := s.cfg.Origin.Add(time.Duration(minHour) * time.Hour)
+	end := s.cfg.Origin.Add(time.Duration(maxHour+1) * time.Hour)
+	if !to.IsZero() && !start.Before(to) {
+		return false
+	}
+	if !from.IsZero() && !end.After(from) {
+		return false
+	}
+	return true
+}

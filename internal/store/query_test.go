@@ -1,0 +1,230 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/streaming"
+)
+
+// buildQueryStore checkpoints three disjoint hour ranges and leaves a
+// tail, mirroring a collector that ran for "weeks" with periodic
+// checkpoints: frame 1 hours 0-3, frame 2 hours 10-13, frame 3 hours
+// 20-23, tail hours 30-31.
+func buildQueryStore(t *testing.T, dir string) (*Store, *streaming.Analytics) {
+	t.Helper()
+	s := mustOpen(t, dir, Options{})
+	ref := streaming.New(testConfig())
+	hourBlocks := [][]int{{0, 1, 2, 3}, {10, 11, 12, 13}, {20, 21, 22, 23}}
+	n := 0
+	for _, hours := range hourBlocks {
+		for _, h := range hours {
+			batch := []netflow.Record{keptRecord(h, n, uint64(100+h)), droppedRecord(h, n)}
+			if err := s.Append(batch); err != nil {
+				t.Fatal(err)
+			}
+			ref.Ingest(batch)
+			n++
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range []int{30, 31} {
+		batch := []netflow.Record{keptRecord(h, n, uint64(100+h))}
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		ref.Ingest(batch)
+		n++
+	}
+	return s, ref
+}
+
+func at(h int) time.Time { return entime.StudyStart.Add(time.Duration(h) * time.Hour) }
+
+func TestQueryFullRangeMatchesSnapshot(t *testing.T) {
+	s, ref := buildQueryStore(t, t.TempDir())
+	defer s.Close()
+	res, err := s.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 3 || !res.TailIncluded {
+		t.Fatalf("full range merged %d frames, tail %v", res.Frames, res.TailIncluded)
+	}
+	if got, want := snapJSON(t, res.Snapshot), snapJSON(t, ref.Snapshot()); got != want {
+		t.Fatalf("full-range query:\n got %s\nwant %s", got, want)
+	}
+	if got, want := snapJSON(t, s.Snapshot()), snapJSON(t, ref.Snapshot()); got != want {
+		t.Fatal("store snapshot diverges from reference")
+	}
+}
+
+func TestQuerySelectsOverlappingFrames(t *testing.T) {
+	s, _ := buildQueryStore(t, t.TempDir())
+	defer s.Close()
+
+	// Hours [10, 14): only the second frame has kept hours there.
+	res, err := s.Query(at(10), at(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 1 || res.TailIncluded {
+		t.Fatalf("range [10,14) merged %d frames, tail %v", res.Frames, res.TailIncluded)
+	}
+	if len(res.Snapshot.Hours) != 4 {
+		t.Fatalf("hours in range: %d, want 4", len(res.Snapshot.Hours))
+	}
+	for i, p := range res.Snapshot.Hours {
+		if p.Hour != 10+i || p.Flows != 1 {
+			t.Fatalf("hour %d: %+v", i, p)
+		}
+	}
+	// The hour series is range-exact even though the frame covers more.
+	if res.Snapshot.SeriesStart != 10 {
+		t.Fatalf("series start %d, want 10", res.Snapshot.SeriesStart)
+	}
+
+	// Hours [12, 22): two frames overlap.
+	res, err = s.Query(at(12), at(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 2 {
+		t.Fatalf("range [12,22) merged %d frames, want 2", res.Frames)
+	}
+	wantHours := []int{12, 13, 20, 21}
+	gotHours := make([]int, 0, len(res.Snapshot.Hours))
+	for _, p := range res.Snapshot.Hours {
+		if p.Flows > 0 {
+			gotHours = append(gotHours, p.Hour)
+		}
+	}
+	if len(gotHours) != len(wantHours) {
+		t.Fatalf("populated hours %v, want %v", gotHours, wantHours)
+	}
+	for i := range wantHours {
+		if gotHours[i] != wantHours[i] {
+			t.Fatalf("populated hours %v, want %v", gotHours, wantHours)
+		}
+	}
+
+	// An open 'from' with a bounded 'to'.
+	res, err = s.Query(time.Time{}, at(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 1 || len(res.Snapshot.Hours) != 4 || res.TailIncluded {
+		t.Fatalf("range [origin,4): frames=%d hours=%d tail=%v", res.Frames, len(res.Snapshot.Hours), res.TailIncluded)
+	}
+
+	// The tail is served like a frame for fresh hours.
+	res, err = s.Query(at(30), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 0 || !res.TailIncluded || len(res.Snapshot.Hours) != 2 {
+		t.Fatalf("tail range: frames=%d tail=%v hours=%d", res.Frames, res.TailIncluded, len(res.Snapshot.Hours))
+	}
+
+	// A range with no coverage at all is empty, not an error.
+	res, err = s.Query(at(40), at(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshot.Hours) != 0 || res.Frames != 0 || res.TailIncluded {
+		t.Fatalf("empty range: %+v", res)
+	}
+}
+
+// TestQueryWiderThanLiveWindow pins the store's core promise: history
+// stays queryable after the live sliding window slid past it. A
+// 6-hour-window collector captures 21 hours with periodic checkpoints;
+// the full-range query must return every populated hour even though the
+// live snapshot only retains the trailing window.
+func TestQueryWiderThanLiveWindow(t *testing.T) {
+	cfg := streaming.Config{WindowHours: 6, TopK: 5}
+	s := mustOpen(t, t.TempDir(), Options{Analytics: cfg})
+	defer s.Close()
+	for h := 0; h <= 20; h++ {
+		if err := s.Append([]netflow.Record{keptRecord(h, h, uint64(100+h))}); err != nil {
+			t.Fatal(err)
+		}
+		if h%4 == 3 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	res, err := s.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populated := 0
+	for _, p := range res.Snapshot.Hours {
+		if p.Flows > 0 {
+			populated++
+		}
+	}
+	if res.Snapshot.SeriesStart != 0 || populated != 21 {
+		t.Fatalf("full-range query over a slid window: start=%d populated=%d, want 0/21",
+			res.Snapshot.SeriesStart, populated)
+	}
+	// A mid-history sub-range that the live window has long evicted.
+	sub, err := s.Query(at(4), at(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Snapshot.Hours) != 6 || sub.Snapshot.SeriesStart != 4 {
+		t.Fatalf("evicted-range query: start=%d hours=%d, want 4/6",
+			sub.Snapshot.SeriesStart, len(sub.Snapshot.Hours))
+	}
+	// The live snapshot, by contrast, only holds the trailing window.
+	if live := s.Snapshot(); len(live.Hours) > 6 {
+		t.Fatalf("live snapshot holds %d hours, window is 6", len(live.Hours))
+	}
+}
+
+// TestQueryIndependentOfCheckpointPlacement pins the commutativity
+// property: the same records with different checkpoint boundaries (or
+// none at all) answer a full-range query identically.
+func TestQueryIndependentOfCheckpointPlacement(t *testing.T) {
+	records := make([][]netflow.Record, 0, 24)
+	for h := 0; h < 24; h++ {
+		records = append(records, []netflow.Record{
+			keptRecord(h, h, uint64(50+h)),
+			droppedRecord(h, 200+h),
+		})
+	}
+	build := func(ckptAfter map[int]bool) string {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{})
+		defer s.Close()
+		for i, batch := range records {
+			if err := s.Append(batch); err != nil {
+				t.Fatal(err)
+			}
+			if ckptAfter[i] {
+				if err := s.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		res, err := s.Query(time.Time{}, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snapJSON(t, res.Snapshot)
+	}
+
+	none := build(nil)
+	every8 := build(map[int]bool{7: true, 15: true, 23: true})
+	lopsided := build(map[int]bool{0: true, 20: true})
+	if none != every8 || none != lopsided {
+		t.Fatal("full-range query depends on checkpoint placement")
+	}
+}

@@ -1,0 +1,1073 @@
+// Package store is the collector's durable state subsystem: an
+// append-only, segment-based write-ahead log of ingested flow-record
+// batches plus periodic checkpoint frames of folded streaming analytics
+// state, with crash recovery and a historical time-range query engine on
+// top.
+//
+// The paper's vantage point ran for weeks; the live collector
+// (internal/ingest + internal/streaming) kept every aggregate in RAM and
+// forgot it on restart. The store closes that gap:
+//
+//   - Every batch the pipeline ingests is appended to the active WAL
+//     segment (write-through to the OS, fsync per policy) and folded into
+//     an in-memory tail shard that mirrors exactly the un-checkpointed
+//     WAL content.
+//   - Checkpoint seals the active segment, persists the tail shard as a
+//     checkpoint frame (full-fidelity streaming state, CRC-protected),
+//     folds the sealed segments away, and starts a fresh segment — the
+//     compaction step that keeps both the WAL and the tail bounded.
+//   - Open replays the surviving frames and the WAL tail in order, so a
+//     restarted collector resumes with byte-identical aggregates, and a
+//     torn record at the end of the last segment (the SIGKILL case) is
+//     truncated, never misread.
+//   - Query merges the checkpoint frames overlapping a time range into
+//     one snapshot — the longitudinal Figure-2/launch-spike view over
+//     simulated weeks that a single in-memory window could never serve.
+//
+// Aggregation is commutative (see internal/streaming), so the recovered
+// state does not depend on how batches interleaved across pipeline
+// workers, and query results do not depend on where checkpoints happened
+// to fall.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/streaming"
+)
+
+// segMagic heads every WAL segment file, followed by the segment
+// sequence number (8 bytes, big-endian).
+var segMagic = [8]byte{'C', 'W', 'A', 'S', 'E', 'G', '0', '1'}
+
+const segHeaderLen = 16
+
+// metaName is the store's configuration descriptor inside the data dir.
+const metaName = "meta.json"
+
+// SyncPolicy selects when WAL appends reach stable storage. Appends are
+// always written through to the OS immediately (surviving a process
+// kill); the policy only governs fsync, i.e. machine-crash durability.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs the active segment after every append.
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval leaves periodic fsync to the caller's flush hook (the
+	// ingest pipeline's FlushInterval calls Store.Flush); the store
+	// itself syncs only on seal, checkpoint and close.
+	SyncInterval SyncPolicy = "interval"
+	// SyncNever syncs only on seal, checkpoint and close.
+	SyncNever SyncPolicy = "never"
+)
+
+// ParseSyncPolicy parses a -fsync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncInterval, SyncNever:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options parameterizes Open.
+type Options struct {
+	// Analytics configures the streaming aggregation the store folds.
+	// Zero fields are adopted from the store's meta file when one exists
+	// (so readers need not repeat the collector's flags); explicitly set
+	// values conflicting with the meta file are an error for the
+	// state-affecting fields (Origin, WindowHours, PrefixBits).
+	Analytics streaming.Config
+	// SegmentBytes rotates the active WAL segment once it grows past
+	// this size (default 4 MiB).
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// MaxFrames bounds the checkpoint-frame count: past it, the oldest
+	// adjacent frames are folded together (default 64).
+	MaxFrames int
+	// ReadOnly opens the store for historical queries only: no WAL
+	// truncation, no new segment, Append/Checkpoint fail.
+	ReadOnly bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Sync == "" {
+		o.Sync = SyncInterval
+	}
+	if o.MaxFrames <= 0 {
+		o.MaxFrames = 64
+	}
+	return o
+}
+
+// Metrics is a point-in-time view of the store gauges and counters.
+type Metrics struct {
+	// Segments counts live WAL segment files (sealed-but-unfolded plus
+	// the active one); WALBytes is their total size on disk.
+	Segments int   `json:"segments"`
+	WALBytes int64 `json:"wal_bytes"`
+	// Frames counts checkpoint frames; FrameRecords is the census total
+	// folded into them.
+	Frames       int    `json:"frames"`
+	FrameRecords uint64 `json:"frame_records"`
+	// TailRecords counts records appended since the last checkpoint (the
+	// WAL replay cost of a crash right now).
+	TailRecords uint64 `json:"tail_records"`
+	// AppendedRecords/AppendedBatches count Append traffic this process.
+	AppendedRecords uint64 `json:"appended_records"`
+	AppendedBatches uint64 `json:"appended_batches"`
+	// RecoveredFrames and RecoveredWALRecords describe what Open rebuilt;
+	// TruncatedBytes is the torn WAL tail discarded during recovery.
+	RecoveredFrames     int    `json:"recovered_frames"`
+	RecoveredWALRecords uint64 `json:"recovered_wal_records"`
+	TruncatedBytes      int64  `json:"truncated_bytes"`
+	// Checkpoints and CompactedFrames count folding activity;
+	// LastCheckpoint stamps the newest frame (or the open time of a
+	// store that has none).
+	Checkpoints     uint64    `json:"checkpoints"`
+	CompactedFrames uint64    `json:"compacted_frames"`
+	LastCheckpoint  time.Time `json:"last_checkpoint"`
+}
+
+// frameMeta is one live checkpoint frame (metadata only; the analytics
+// state stays on disk until a query loads it).
+type frameMeta struct {
+	frameInfo
+	path string
+}
+
+// segInfo is one sealed, not-yet-folded WAL segment.
+type segInfo struct {
+	seq  uint64
+	path string
+	size int64
+}
+
+// metaFile persists the resolved analytics configuration so restarts and
+// read-only opens agree on the state-affecting parameters.
+type metaFile struct {
+	Version       int       `json:"version"`
+	Origin        time.Time `json:"origin"`
+	WindowHours   int       `json:"window_hours"`
+	PrefixBits    int       `json:"prefix_bits"`
+	TopK          int       `json:"topk"`
+	SpikeFactor   float64   `json:"spike_factor"`
+	SpikeHistory  int       `json:"spike_history"`
+	SpikeMinFlows float64   `json:"spike_min_flows"`
+	SegmentBytes  int64     `json:"segment_bytes"`
+}
+
+// Store is an open durable state store. All methods are safe for
+// concurrent use; mu serializes the WAL and in-memory state (the hot
+// Append path), while ckptMu serializes whole checkpoints so their
+// heavy I/O can run outside mu without two folds interleaving. Lock
+// order: ckptMu before mu.
+type Store struct {
+	mu     sync.Mutex
+	ckptMu sync.Mutex
+	dir    string
+	opts   Options
+	cfg    streaming.Config
+
+	frames       []frameMeta // sorted by BaseSeg
+	base         *streaming.Analytics
+	tail         *streaming.Analytics
+	tailRecords  uint64
+	frameRecords uint64
+
+	// foldingTail is the swapped-out tail of an in-flight checkpoint
+	// (chronologically between base and tail). Snapshot and Query merge
+	// it so a fold in progress never makes records transiently invisible.
+	// Reads are safe: the checkpoint only reads it while it is set.
+	foldingTail    *streaming.Analytics
+	foldingRecords uint64
+
+	active    *os.File
+	activeSeq uint64
+	activeOff int64
+	sealed    []segInfo
+	walBytes  int64
+
+	nextSegSeq   uint64
+	nextFrameSeq uint64
+
+	payloadBuf []byte
+	recordBuf  []byte
+
+	appendedRecords uint64
+	appendedBatches uint64
+	recoveredWAL    uint64
+	recoveredFrames int
+	truncatedBytes  int64
+	checkpoints     uint64
+	compacted       uint64
+	lastCheckpoint  time.Time
+
+	closed bool
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.seg", seq))
+}
+
+func ckptPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016d.ck", seq))
+}
+
+// Open opens (or creates) the store in dir and runs crash recovery:
+// checkpoint frames are merged into the in-memory base state, the WAL
+// tail beyond the last durable checkpoint is replayed into the tail
+// shard, a torn record at the end of the last segment is truncated, and
+// (unless ReadOnly) a fresh active segment is started.
+func Open(dir string, opts Options) (*Store, error) {
+	segBytesSet := opts.SegmentBytes > 0
+	opts = opts.withDefaults()
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if meta != nil && !segBytesSet && meta.SegmentBytes > 0 {
+		// Like the analytics fields, the rotation size persists: a
+		// restart without -segment-bytes keeps the store's own setting.
+		opts.SegmentBytes = meta.SegmentBytes
+	}
+	cfg, err := resolveConfig(opts.Analytics, meta)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		cfg:  cfg,
+		base: streaming.New(cfg),
+		tail: streaming.New(cfg),
+	}
+	if meta == nil {
+		if opts.ReadOnly {
+			return nil, fmt.Errorf("store: %s has no %s (not a store, or never initialized)", dir, metaName)
+		}
+		if err := s.writeMeta(); err != nil {
+			return nil, err
+		}
+	}
+
+	segs, ckpts, err := s.scanDir()
+	if err != nil {
+		return nil, err
+	}
+	covered, err := s.loadFrames(ckpts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(segs, covered); err != nil {
+		return nil, err
+	}
+
+	if s.nextFrameSeq == 0 {
+		s.nextFrameSeq = 1
+	}
+	if s.nextSegSeq == 0 {
+		s.nextSegSeq = 1
+	}
+	if s.lastCheckpoint.IsZero() {
+		s.lastCheckpoint = time.Now()
+	}
+	if !opts.ReadOnly {
+		if err := s.openSegmentLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// readMeta loads meta.json, returning nil when the file does not exist.
+func readMeta(dir string) (*metaFile, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var m metaFile
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: parsing %s: %w", metaName, err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("store: %s version %d, want 1", metaName, m.Version)
+	}
+	return &m, nil
+}
+
+// resolveConfig fills zero analytics fields from the meta file, applies
+// defaults, and rejects conflicts on the state-affecting parameters.
+func resolveConfig(cfg streaming.Config, m *metaFile) (streaming.Config, error) {
+	if m != nil {
+		if cfg.Origin.IsZero() {
+			cfg.Origin = m.Origin
+		}
+		if cfg.WindowHours <= 0 {
+			cfg.WindowHours = m.WindowHours
+		}
+		if cfg.PrefixBits <= 0 {
+			cfg.PrefixBits = m.PrefixBits
+		}
+		if cfg.TopK <= 0 {
+			cfg.TopK = m.TopK
+		}
+		if cfg.SpikeFactor <= 0 {
+			cfg.SpikeFactor = m.SpikeFactor
+		}
+		if cfg.SpikeHistory <= 0 {
+			cfg.SpikeHistory = m.SpikeHistory
+		}
+		if cfg.SpikeMinFlows <= 0 {
+			cfg.SpikeMinFlows = m.SpikeMinFlows
+		}
+	}
+	cfg = cfg.WithDefaults()
+	if m != nil && (!cfg.Origin.Equal(m.Origin) || cfg.WindowHours != m.WindowHours || cfg.PrefixBits != m.PrefixBits) {
+		return cfg, fmt.Errorf("store: configured window [%s +%dh /%d] conflicts with stored [%s +%dh /%d]",
+			cfg.Origin, cfg.WindowHours, cfg.PrefixBits, m.Origin, m.WindowHours, m.PrefixBits)
+	}
+	return cfg, nil
+}
+
+func (s *Store) writeMeta() error {
+	m := metaFile{
+		Version:       1,
+		Origin:        s.cfg.Origin,
+		WindowHours:   s.cfg.WindowHours,
+		PrefixBits:    s.cfg.PrefixBits,
+		TopK:          s.cfg.TopK,
+		SpikeFactor:   s.cfg.SpikeFactor,
+		SpikeHistory:  s.cfg.SpikeHistory,
+		SpikeMinFlows: s.cfg.SpikeMinFlows,
+		SegmentBytes:  s.opts.SegmentBytes,
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return atomicWrite(filepath.Join(s.dir, metaName), append(data, '\n'))
+}
+
+// scanDir inventories segment and checkpoint files (sorted by sequence)
+// and, on a writable open, sweeps stale temp files from crashed writes.
+func (s *Store) scanDir() ([]segInfo, []frameMeta, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	var segs []segInfo
+	var ckpts []frameMeta
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case len(name) > 4 && name[len(name)-4:] == ".tmp":
+			if !s.opts.ReadOnly {
+				_ = os.Remove(filepath.Join(s.dir, name))
+			}
+		case matchSeq(name, "wal-", ".seg") != nil:
+			seq := *matchSeq(name, "wal-", ".seg")
+			info, err := e.Info()
+			if err != nil {
+				return nil, nil, fmt.Errorf("store: %w", err)
+			}
+			segs = append(segs, segInfo{seq: seq, path: filepath.Join(s.dir, name), size: info.Size()})
+			if seq >= s.nextSegSeq {
+				s.nextSegSeq = seq + 1
+			}
+		case matchSeq(name, "ckpt-", ".ck") != nil:
+			seq := *matchSeq(name, "ckpt-", ".ck")
+			ckpts = append(ckpts, frameMeta{frameInfo: frameInfo{Seq: seq}, path: filepath.Join(s.dir, name)})
+			if seq >= s.nextFrameSeq {
+				s.nextFrameSeq = seq + 1
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i].Seq < ckpts[j].Seq })
+	return segs, ckpts, nil
+}
+
+// matchSeq parses names like wal-%016d.seg; nil means no match.
+func matchSeq(name, prefix, suffix string) *uint64 {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return nil
+	}
+	var seq uint64
+	for _, c := range name[len(prefix) : len(prefix)+16] {
+		if c < '0' || c > '9' {
+			return nil
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return &seq
+}
+
+// loadFrames reads every checkpoint frame, drops frames whose WAL
+// interval is contained in another's (the half-done-compaction case),
+// merges the survivors into the base state in WAL order, and returns the
+// highest covered segment.
+func (s *Store) loadFrames(ckpts []frameMeta) (uint64, error) {
+	// One read+decode per frame; the analytics ride along until the
+	// obsolete sweep decides which ones merge (recovery is the latency-
+	// critical path, re-reading every file would double its I/O).
+	decoded := make([]*streaming.Analytics, len(ckpts))
+	for i := range ckpts {
+		info, a, err := loadFrameFile(ckpts[i].path, s.cfg)
+		if err != nil {
+			return 0, fmt.Errorf("store: checkpoint %s: %w", filepath.Base(ckpts[i].path), err)
+		}
+		if info.Seq != ckpts[i].Seq {
+			return 0, fmt.Errorf("store: checkpoint %s carries frame seq %d", filepath.Base(ckpts[i].path), info.Seq)
+		}
+		ckpts[i].frameInfo = info
+		decoded[i] = a
+	}
+
+	// A compaction writes the merged frame before removing its inputs; a
+	// crash in between leaves frames whose (BaseSeg, CoveredSeg] interval
+	// is contained in the merged one. Containment with a higher Seq wins.
+	type liveFrame struct {
+		meta frameMeta
+		a    *streaming.Analytics
+	}
+	var live []liveFrame
+	for i := range ckpts {
+		obsolete := false
+		for j := range ckpts {
+			if i == j {
+				continue
+			}
+			o, n := ckpts[i].frameInfo, ckpts[j].frameInfo
+			if n.BaseSeg <= o.BaseSeg && o.CoveredSeg <= n.CoveredSeg && n.Seq > o.Seq {
+				obsolete = true
+				break
+			}
+		}
+		if obsolete {
+			if !s.opts.ReadOnly {
+				_ = os.Remove(ckpts[i].path)
+			}
+			continue
+		}
+		live = append(live, liveFrame{meta: ckpts[i], a: decoded[i]})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].meta.BaseSeg < live[j].meta.BaseSeg })
+
+	var covered uint64
+	for _, fr := range live {
+		s.base.Merge(fr.a)
+		s.frames = append(s.frames, fr.meta)
+		s.frameRecords += fr.meta.Records
+		if fr.meta.CoveredSeg > covered {
+			covered = fr.meta.CoveredSeg
+		}
+		if st, err := os.Stat(fr.meta.path); err == nil && st.ModTime().After(s.lastCheckpoint) {
+			s.lastCheckpoint = st.ModTime()
+		}
+	}
+	s.recoveredFrames = len(s.frames)
+	return covered, nil
+}
+
+// replayWAL folds every batch beyond the covered position into the tail
+// shard. Damage in the final segment is a torn tail: the segment is
+// truncated at the last intact record (the crash contract). Damage in an
+// earlier segment is real corruption and fails the open.
+func (s *Store) replayWAL(segs []segInfo, covered uint64) error {
+	var replay []segInfo
+	for _, seg := range segs {
+		if seg.seq <= covered {
+			// Folded into a checkpoint whose cleanup did not finish.
+			if !s.opts.ReadOnly {
+				_ = os.Remove(seg.path)
+			}
+			continue
+		}
+		replay = append(replay, seg)
+	}
+	for i, seg := range replay {
+		last := i == len(replay)-1
+		if err := s.replaySegment(seg, last); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) replaySegment(seg segInfo, last bool) error {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	torn := func(off int) error {
+		if !last {
+			return fmt.Errorf("store: segment %s damaged at offset %d with later segments intact", filepath.Base(seg.path), off)
+		}
+		s.truncatedBytes += int64(len(data) - off)
+		if s.opts.ReadOnly {
+			s.walBytes += int64(off)
+			return nil
+		}
+		if off == 0 {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			return nil
+		}
+		if err := os.Truncate(seg.path, int64(off)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.sealed = append(s.sealed, segInfo{seq: seg.seq, path: seg.path, size: int64(off)})
+		s.walBytes += int64(off)
+		return nil
+	}
+	if len(data) < segHeaderLen || [8]byte(data[:8]) != segMagic || binary.BigEndian.Uint64(data[8:16]) != seg.seq {
+		return torn(0)
+	}
+	off := segHeaderLen
+	for off < len(data) {
+		typ, payload, n, err := readRecordFrame(data[off:])
+		if err == nil && typ != recTypeBatch {
+			err = fmt.Errorf("%w: record type %d in WAL", ErrCorrupt, typ)
+		}
+		var batch []netflow.Record
+		if err == nil {
+			err = decodeBatchPayload(payload, func(r netflow.Record) error {
+				batch = append(batch, r)
+				return nil
+			})
+		}
+		if err != nil {
+			return torn(off)
+		}
+		s.tail.Ingest(batch)
+		s.tailRecords += uint64(len(batch))
+		s.recoveredWAL += uint64(len(batch))
+		off += n
+	}
+	s.sealed = append(s.sealed, seg)
+	s.walBytes += seg.size
+	return nil
+}
+
+// openSegmentLocked starts a fresh active segment.
+func (s *Store) openSegmentLocked() error {
+	seq := s.nextSegSeq
+	s.nextSegSeq++
+	path := segPath(s.dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic[:])
+	for i := 0; i < 8; i++ {
+		hdr[8+i] = byte(seq >> (56 - 8*i))
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active = f
+	s.activeSeq = seq
+	s.activeOff = segHeaderLen
+	s.walBytes += segHeaderLen
+	return nil
+}
+
+// Append writes one record batch to the WAL (write-through, fsync per
+// policy) and folds it into the tail shard. The batch is not retained.
+// It is the ingest pipeline's Sink.
+func (s *Store) Append(batch []netflow.Record) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if s.opts.ReadOnly {
+		return errors.New("store: read-only")
+	}
+	walErr := s.writeWALLocked(batch)
+	// Availability over durability: the tail — and with it /snapshot,
+	// /query and the next checkpoint — sees the batch even when the WAL
+	// write failed. A WAL error only degrades crash-durability until the
+	// next successful checkpoint folds the tail into a frame; the caller
+	// (the pipeline's SinkErrors counter) surfaces it.
+	s.tail.Ingest(batch)
+	s.tailRecords += uint64(len(batch))
+	s.appendedRecords += uint64(len(batch))
+	s.appendedBatches++
+	if walErr != nil {
+		return walErr
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: WAL sync: %w", err)
+		}
+	}
+	if s.activeOff >= s.opts.SegmentBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// writeWALLocked appends one framed batch record to the active segment,
+// recovering from earlier failures: a missing active segment (a rotation
+// that hit transient ENOSPC) is reopened, and a failed write is rolled
+// back to the last record boundary so the segment stays parseable. A
+// momentary disk problem must never permanently disable persistence.
+func (s *Store) writeWALLocked(batch []netflow.Record) error {
+	if s.active == nil {
+		if err := s.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	s.payloadBuf = appendBatchPayload(s.payloadBuf[:0], batch)
+	s.recordBuf = appendRecordFrame(s.recordBuf[:0], recTypeBatch, s.payloadBuf)
+	if _, err := s.active.Write(s.recordBuf); err != nil {
+		// Roll back the partial record. Truncate trims the file but does
+		// NOT move the fd offset — without the Seek, the next append
+		// would land past a zero-filled hole and recovery would discard
+		// everything after it as a torn tail.
+		terr := s.active.Truncate(s.activeOff)
+		if terr == nil {
+			_, terr = s.active.Seek(s.activeOff, io.SeekStart)
+		}
+		if terr != nil {
+			// Cannot roll back: seal the segment at its last intact
+			// record so the next append starts a fresh one rather than
+			// appending unreachable records behind a torn one; the next
+			// checkpoint sweeps the file away.
+			s.active.Close()
+			s.active = nil
+			s.sealed = append(s.sealed, segInfo{seq: s.activeSeq, path: segPath(s.dir, s.activeSeq), size: s.activeOff})
+		}
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	s.activeOff += int64(len(s.recordBuf))
+	s.walBytes += int64(len(s.recordBuf))
+	return nil
+}
+
+// rotateLocked seals the active segment (if any) and starts the next
+// one.
+func (s *Store) rotateLocked() error {
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: sealing segment: %w", err)
+		}
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("store: sealing segment: %w", err)
+		}
+		s.sealed = append(s.sealed, segInfo{seq: s.activeSeq, path: segPath(s.dir, s.activeSeq), size: s.activeOff})
+		s.active = nil
+	}
+	return s.openSegmentLocked()
+}
+
+// Checkpoint folds the tail shard into a durable checkpoint frame: it
+// seals the active segment, writes the frame (atomically; the WAL is
+// only deleted once the frame is on disk), merges the tail into the
+// in-memory base, deletes the folded segments, starts a fresh segment
+// and compacts old frames past the MaxFrames bound. With no new records
+// since the last checkpoint it only refreshes the checkpoint clock.
+//
+// Only the seal and the state swap run under the append mutex; the
+// expensive part — marshaling megabytes of shard state, writing and
+// fsyncing the frame, compaction — runs lock-free so a checkpoint never
+// stalls the pipeline workers into dropping batches. Appends that land
+// during the fold go to the fresh tail and the new active segment
+// (beyond the covered position), so they are recovery-safe no matter
+// how the fold ends.
+func (s *Store) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	// Phase 1, under mu: seal the WAL position, swap the tail out.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("store: closed")
+	}
+	if s.opts.ReadOnly {
+		s.mu.Unlock()
+		return errors.New("store: read-only")
+	}
+	if s.tailRecords == 0 {
+		s.lastCheckpoint = time.Now()
+		s.mu.Unlock()
+		return nil
+	}
+	// Ensure there is an active segment to seal (a failed rotation can
+	// leave none), so the frame always covers a concrete WAL position.
+	if s.active == nil {
+		if err := s.openSegmentLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	if err := s.rotateLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	coveredSeg := s.sealed[len(s.sealed)-1]
+	sealedCount := len(s.sealed)
+	oldTail, oldCount := s.tail, s.tailRecords
+	s.tail = streaming.New(s.cfg)
+	s.tailRecords = 0
+	s.foldingTail, s.foldingRecords = oldTail, oldCount
+	var baseSeg uint64
+	if n := len(s.frames); n > 0 {
+		baseSeg = s.frames[n-1].CoveredSeg
+	}
+	seq := s.nextFrameSeq
+	s.nextFrameSeq++
+	s.mu.Unlock()
+
+	// Phase 2, lock-free: marshal the swapped-out tail and write the
+	// frame. On failure the tail folds back in chronological order so
+	// the in-memory state again mirrors the un-covered WAL exactly (its
+	// segments were not deleted).
+	restore := func(err error) error {
+		s.mu.Lock()
+		fresh := streaming.New(s.cfg)
+		fresh.Merge(oldTail)
+		fresh.Merge(s.tail)
+		s.tail = fresh
+		s.tailRecords += oldCount
+		s.foldingTail, s.foldingRecords = nil, 0
+		s.mu.Unlock()
+		return err
+	}
+	state, err := oldTail.MarshalBinary()
+	if err != nil {
+		return restore(err)
+	}
+	info := frameInfo{
+		Seq:        seq,
+		BaseSeg:    baseSeg,
+		CoveredSeg: coveredSeg.seq,
+		CoveredOff: coveredSeg.size,
+		MinHour:    -1,
+		MaxHour:    -1,
+		Records:    oldCount,
+	}
+	if minH, maxH, ok := oldTail.Bounds(); ok {
+		info.MinHour, info.MaxHour = int64(minH), int64(maxH)
+	}
+	path := ckptPath(s.dir, info.Seq)
+	rec := appendRecordFrame(nil, recTypeFrame, appendFramePayload(nil, info, state))
+	if err := atomicWrite(path, rec); err != nil {
+		return restore(err)
+	}
+
+	// Phase 3, under mu: the frame is durable — commit, then fold the
+	// covered WAL away (file removal itself needs no lock).
+	s.mu.Lock()
+	s.frames = append(s.frames, frameMeta{frameInfo: info, path: path})
+	s.frameRecords += info.Records
+	s.base.Merge(oldTail)
+	s.foldingTail, s.foldingRecords = nil, 0
+	folded := append([]segInfo(nil), s.sealed[:sealedCount]...)
+	s.sealed = append(s.sealed[:0], s.sealed[sealedCount:]...)
+	for _, seg := range folded {
+		s.walBytes -= seg.size
+	}
+	s.checkpoints++
+	s.lastCheckpoint = time.Now()
+	s.mu.Unlock()
+	for _, seg := range folded {
+		_ = os.Remove(seg.path)
+	}
+	return s.compact()
+}
+
+// compact folds the oldest adjacent frame pairs together until the
+// frame count is back under MaxFrames. The merged frame is written
+// under a fresh sequence before its inputs are removed, so a crash at
+// any point leaves either the inputs or a containing merged frame —
+// never a gap (Open's containment sweep deletes leftovers). Caller
+// holds ckptMu (the only writer of s.frames); file I/O runs outside mu,
+// with queries retrying if they race a removal.
+func (s *Store) compact() error {
+	for {
+		s.mu.Lock()
+		if len(s.frames) <= s.opts.MaxFrames {
+			s.mu.Unlock()
+			return nil
+		}
+		f0, f1 := s.frames[0], s.frames[1]
+		seq := s.nextFrameSeq
+		s.nextFrameSeq++
+		s.mu.Unlock()
+
+		_, a0, err := loadFrameFile(f0.path, s.cfg)
+		if err != nil {
+			return fmt.Errorf("store: compacting %s: %w", filepath.Base(f0.path), err)
+		}
+		_, a1, err := loadFrameFile(f1.path, s.cfg)
+		if err != nil {
+			return fmt.Errorf("store: compacting %s: %w", filepath.Base(f1.path), err)
+		}
+		a0.Merge(a1)
+		state, err := a0.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		info := frameInfo{
+			Seq:        seq,
+			BaseSeg:    f0.BaseSeg,
+			CoveredSeg: f1.CoveredSeg,
+			CoveredOff: f1.CoveredOff,
+			MinHour:    mergeBound(f0.MinHour, f1.MinHour, false),
+			MaxHour:    mergeBound(f0.MaxHour, f1.MaxHour, true),
+			Records:    f0.Records + f1.Records,
+		}
+		path := ckptPath(s.dir, info.Seq)
+		rec := appendRecordFrame(nil, recTypeFrame, appendFramePayload(nil, info, state))
+		if err := atomicWrite(path, rec); err != nil {
+			return err
+		}
+
+		s.mu.Lock()
+		s.frames = append([]frameMeta{{frameInfo: info, path: path}}, s.frames[2:]...)
+		s.compacted++
+		s.mu.Unlock()
+		_ = os.Remove(f0.path)
+		_ = os.Remove(f1.path)
+	}
+}
+
+// mergeBound combines two possibly-absent (-1) hour bounds.
+func mergeBound(a, b int64, max bool) int64 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if max == (a > b) {
+		return a
+	}
+	return b
+}
+
+// Flush fsyncs the active segment. The ingest pipeline's periodic flush
+// hook calls it under the SyncInterval policy.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.opts.ReadOnly || s.active == nil {
+		return nil
+	}
+	return s.active.Sync()
+}
+
+// Snapshot merges the checkpointed base state with the live tail into
+// one full-coverage snapshot — the durable equivalent of the pipeline's
+// in-memory view, and identical to it when both saw the same records.
+func (s *Store) Snapshot() *streaming.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := streaming.New(s.cfg)
+	m.Merge(s.base)
+	if s.foldingTail != nil {
+		m.Merge(s.foldingTail)
+	}
+	m.Merge(s.tail)
+	return m.Snapshot()
+}
+
+// Config reports the resolved analytics configuration (meta-file values
+// merged with the open options).
+func (s *Store) Config() streaming.Config { return s.cfg }
+
+// Metrics reports the store gauges.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		Segments:            len(s.sealed),
+		WALBytes:            s.walBytes,
+		Frames:              len(s.frames),
+		FrameRecords:        s.frameRecords,
+		TailRecords:         s.tailRecords,
+		AppendedRecords:     s.appendedRecords,
+		AppendedBatches:     s.appendedBatches,
+		RecoveredFrames:     s.recoveredFrames,
+		RecoveredWALRecords: s.recoveredWAL,
+		TruncatedBytes:      s.truncatedBytes,
+		Checkpoints:         s.checkpoints,
+		CompactedFrames:     s.compacted,
+		LastCheckpoint:      s.lastCheckpoint,
+	}
+	if s.active != nil {
+		m.Segments++
+	}
+	return m
+}
+
+// Close syncs and closes the active segment. It does not checkpoint;
+// callers wanting a clean fold (the SIGTERM drain path) call Checkpoint
+// first. The WAL makes a close without checkpoint equivalent to a crash
+// with zero data loss.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Sync()
+	if cerr := s.active.Close(); err == nil {
+		err = cerr
+	}
+	s.active = nil
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// loadFrameFile reads and validates one checkpoint frame file.
+func loadFrameFile(path string, cfg streaming.Config) (frameInfo, *streaming.Analytics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return frameInfo{}, nil, err
+	}
+	typ, payload, n, err := readRecordFrame(data)
+	if err != nil {
+		return frameInfo{}, nil, err
+	}
+	if typ != recTypeFrame {
+		return frameInfo{}, nil, fmt.Errorf("%w: record type %d in checkpoint", ErrCorrupt, typ)
+	}
+	if n != len(data) {
+		return frameInfo{}, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-n)
+	}
+	info, state, err := decodeFramePayload(payload)
+	if err != nil {
+		return frameInfo{}, nil, err
+	}
+	a, err := streaming.UnmarshalAnalytics(cfg, state)
+	if err != nil {
+		return frameInfo{}, nil, err
+	}
+	return info, a, nil
+}
+
+// atomicWrite lands data at path via temp file + fsync + rename, with a
+// best-effort directory sync so the rename itself is durable.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WalkWAL streams every intact batch in dir's WAL segments to fn in
+// append order, tolerating a torn tail in the final segment (it stops
+// there, like recovery, but never truncates). Tooling and the crash
+// tests use it to inspect what survived on disk.
+func WalkWAL(dir string, fn func(batch []netflow.Record) error) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		if seq := matchSeq(e.Name(), "wal-", ".seg"); seq != nil {
+			segs = append(segs, segInfo{seq: *seq, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if len(data) < segHeaderLen || [8]byte(data[:8]) != segMagic || binary.BigEndian.Uint64(data[8:16]) != seg.seq {
+			if last {
+				return nil
+			}
+			return fmt.Errorf("store: segment %s has a damaged header", filepath.Base(seg.path))
+		}
+		off := segHeaderLen
+		for off < len(data) {
+			typ, payload, n, err := readRecordFrame(data[off:])
+			if err == nil && typ != recTypeBatch {
+				err = fmt.Errorf("%w: record type %d in WAL", ErrCorrupt, typ)
+			}
+			var batch []netflow.Record
+			if err == nil {
+				err = decodeBatchPayload(payload, func(r netflow.Record) error {
+					batch = append(batch, r)
+					return nil
+				})
+			}
+			if err != nil {
+				if last {
+					return nil
+				}
+				return fmt.Errorf("store: segment %s damaged at offset %d: %w", filepath.Base(seg.path), off, err)
+			}
+			if err := fn(batch); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,480 @@
+package store
+
+import (
+	"encoding/json"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/streaming"
+)
+
+// testConfig is the analytics configuration the store tests share.
+func testConfig() streaming.Config {
+	return streaming.Config{WindowHours: 48, TopK: 5}
+}
+
+// keptRecord fabricates a record the paper's filter keeps, landing in
+// hour h of the study window.
+func keptRecord(h, client int, bytes uint64) netflow.Record {
+	f := core.DefaultFilter()
+	at := entime.StudyStart.Add(time.Duration(h) * time.Hour)
+	return netflow.Record{
+		Key: netflow.Key{
+			Src:     f.ServerPrefixes[0].Addr(),
+			Dst:     netip.AddrFrom4([4]byte{100, 64, byte(client >> 8), byte(client)}),
+			SrcPort: netflow.PortHTTPS,
+			DstPort: uint16(50000 + client%1000),
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets:  5,
+		Bytes:    bytes,
+		First:    at,
+		Last:     at.Add(time.Second),
+		Exporter: "ISP/BE-000",
+	}
+}
+
+// droppedRecord fabricates a record the filter rejects (wrong port).
+func droppedRecord(h, client int) netflow.Record {
+	r := keptRecord(h, client, 100)
+	r.SrcPort = 80
+	return r
+}
+
+// mustOpen opens a store or fails the test.
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.Analytics.WindowHours == 0 && opts.Analytics.Origin.IsZero() {
+		opts.Analytics = testConfig()
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return s
+}
+
+// snapJSON renders a snapshot canonically for byte comparison.
+func snapJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestAppendSnapshotMatchesDirectIngest(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	ref := streaming.New(testConfig())
+	for i := 0; i < 20; i++ {
+		batch := []netflow.Record{
+			keptRecord(i%10, i, uint64(100+i)),
+			droppedRecord(i%10, i),
+		}
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		ref.Ingest(batch)
+	}
+	if got, want := snapJSON(t, s.Snapshot()), snapJSON(t, ref.Snapshot()); got != want {
+		t.Fatalf("store snapshot diverges from direct ingest:\n got %s\nwant %s", got, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryAfterCheckpointAndTail(t *testing.T) {
+	dir := t.TempDir()
+	ref := streaming.New(testConfig())
+
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		batch := []netflow.Record{keptRecord(i, i, 500)}
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		ref.Ingest(batch)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail records after the checkpoint, not folded before the "crash".
+	for i := 10; i < 17; i++ {
+		batch := []netflow.Record{keptRecord(i%20, i, 700)}
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		ref.Ingest(batch)
+	}
+	if err := s.Close(); err != nil { // close without checkpoint == clean crash
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	m := r.Metrics()
+	if m.RecoveredFrames != 1 {
+		t.Fatalf("recovered %d frames, want 1", m.RecoveredFrames)
+	}
+	if m.RecoveredWALRecords != 7 {
+		t.Fatalf("replayed %d WAL records, want 7", m.RecoveredWALRecords)
+	}
+	if got, want := snapJSON(t, r.Snapshot()), snapJSON(t, ref.Snapshot()); got != want {
+		t.Fatalf("recovered snapshot diverges:\n got %s\nwant %s", got, want)
+	}
+	// The recovered store keeps accepting appends.
+	if err := r.Append([]netflow.Record{keptRecord(3, 99, 100)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 8; i++ {
+		if err := s.Append([]netflow.Record{keptRecord(i, i, 300)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := walFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments on disk: %v", segs)
+	}
+	st, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-payload.
+	if err := os.Truncate(segs[0], st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	m := r.Metrics()
+	if m.RecoveredWALRecords != 7 {
+		t.Fatalf("replayed %d records after tear, want 7", m.RecoveredWALRecords)
+	}
+	if m.TruncatedBytes == 0 {
+		t.Fatal("truncated bytes not accounted")
+	}
+	if got := r.Snapshot().Census.Kept; got != 7 {
+		t.Fatalf("recovered census kept %d, want 7", got)
+	}
+	// The torn segment was truncated at the last intact record: walking
+	// the WAL now yields exactly the surviving records.
+	n := 0
+	if err := WalkWAL(dir, func(batch []netflow.Record) error {
+		n += len(batch)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("WalkWAL sees %d records, want 7", n)
+	}
+}
+
+func TestSegmentRotationAndCheckpointFolding(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 256}) // rotate every few batches
+	for i := 0; i < 30; i++ {
+		if err := s.Append([]netflow.Record{keptRecord(i%12, i, 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.Metrics(); m.Segments < 3 {
+		t.Fatalf("segments = %d, rotation never happened", m.Segments)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Segments != 1 || m.Frames != 1 || m.TailRecords != 0 {
+		t.Fatalf("after checkpoint: %+v", m)
+	}
+	if segs := walFiles(t, dir); len(segs) != 1 {
+		t.Fatalf("WAL files on disk after fold: %v", segs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything lives in the frame now; recovery replays no WAL.
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	if rm := r.Metrics(); rm.RecoveredWALRecords != 0 || rm.RecoveredFrames != 1 {
+		t.Fatalf("recovery after clean fold: %+v", rm)
+	}
+	if got := r.Snapshot().Census.Kept; got != 30 {
+		t.Fatalf("kept %d, want 30", got)
+	}
+}
+
+func TestFrameCompactionBoundsFrameCount(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxFrames: 2})
+	ref := streaming.New(testConfig())
+	for ck := 0; ck < 5; ck++ {
+		for i := 0; i < 4; i++ {
+			batch := []netflow.Record{keptRecord(ck*8+i, ck*100+i, 200)}
+			if err := s.Append(batch); err != nil {
+				t.Fatal(err)
+			}
+			ref.Ingest(batch)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.Frames > 2 {
+		t.Fatalf("frames = %d, want <= 2 after compaction", m.Frames)
+	}
+	if m.CompactedFrames == 0 {
+		t.Fatal("compaction never ran")
+	}
+	// Compaction must not change any aggregate.
+	res, err := s.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapJSON(t, res.Snapshot), snapJSON(t, ref.Snapshot()); got != want {
+		t.Fatalf("compacted query diverges:\n got %s\nwant %s", got, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And the compacted store recovers cleanly.
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	if got, want := snapJSON(t, r.Snapshot()), snapJSON(t, ref.Snapshot()); got != want {
+		t.Fatal("compacted store recovers to a different state")
+	}
+}
+
+func TestMetaAdoptionAndConflict(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Analytics: streaming.Config{WindowHours: 48, TopK: 3}})
+	if err := s.Append([]netflow.Record{keptRecord(1, 1, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A zero config adopts the stored parameters.
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("zero-config reopen: %v", err)
+	}
+	if cfg := r.Config(); cfg.WindowHours != 48 || cfg.TopK != 3 {
+		t.Fatalf("adopted config %+v", cfg)
+	}
+	r.Close()
+
+	// A conflicting state-affecting parameter is rejected.
+	if _, err := Open(dir, Options{Analytics: streaming.Config{WindowHours: 24}}); err == nil {
+		t.Fatal("conflicting WindowHours must fail the open")
+	}
+	if _, err := Open(dir, Options{Analytics: streaming.Config{PrefixBits: 16}}); err == nil {
+		t.Fatal("conflicting PrefixBits must fail the open")
+	}
+}
+
+func TestSegmentBytesAdoptedFromMeta(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 200})
+	if err := s.Append([]netflow.Record{keptRecord(1, 1, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopened without -segment-bytes, the store keeps its own rotation
+	// size: a handful of small batches must still rotate segments.
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	for i := 0; i < 10; i++ {
+		if err := r.Append([]netflow.Record{keptRecord(i%12, i, 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := r.Metrics(); m.Segments < 3 {
+		t.Fatalf("segments = %d after reopen; meta segment size not adopted", m.Segments)
+	}
+}
+
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Append([]netflow.Record{keptRecord(i, i, 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := walFiles(t, dir)
+
+	r, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Append([]netflow.Record{keptRecord(1, 1, 1)}); err == nil {
+		t.Fatal("append on a read-only store must fail")
+	}
+	if err := r.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on a read-only store must fail")
+	}
+	res, err := r.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.Census.Kept != 5 {
+		t.Fatalf("read-only query kept %d, want 5", res.Snapshot.Census.Kept)
+	}
+	// No new active segment was created.
+	if after := walFiles(t, dir); !reflect.DeepEqual(after, before) {
+		t.Fatalf("read-only open changed the WAL: %v -> %v", before, after)
+	}
+
+	// Read-only open of a directory that is not a store fails.
+	if _, err := Open(t.TempDir(), Options{ReadOnly: true}); err == nil {
+		t.Fatal("read-only open of an empty dir must fail")
+	}
+}
+
+func TestEmptyCheckpointOnlyRefreshesClock(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.Frames != 0 || m.Checkpoints != 0 {
+		t.Fatalf("empty checkpoint wrote state: %+v", m)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy must fail")
+	}
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParseSyncPolicy(string(pol))
+		if err != nil || got != pol {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", pol, got, err)
+		}
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{Sync: pol})
+		if err := s.Append([]netflow.Record{keptRecord(1, 1, 100)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentAppendCheckpointQuery hammers the three lock domains —
+// Append (mu), Checkpoint (ckptMu + phased mu), Query/Snapshot (mu +
+// lock-free frame loads) — concurrently, then verifies nothing was lost
+// or double-counted. Run under -race via `make race`.
+func TestConcurrentAppendCheckpointQuery(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{SegmentBytes: 2048, MaxFrames: 3})
+	const (
+		writers    = 4
+		perWriter  = 200
+		totalKept  = writers * perWriter
+		ckptRounds = 20
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.Append([]netflow.Record{keptRecord(i%40, w*perWriter+i, 100)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ckptRounds; i++ {
+			if err := s.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := s.Query(time.Time{}, time.Time{}); err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+			_ = s.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.Census.Kept != totalKept {
+		t.Fatalf("kept %d records, want %d", res.Snapshot.Census.Kept, totalKept)
+	}
+	if snap := s.Snapshot(); snap.Census.Kept != totalKept {
+		t.Fatalf("snapshot kept %d records, want %d", snap.Census.Kept, totalKept)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walFiles lists the WAL segment paths in dir, sorted.
+func walFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+// Analytics state (de)serialization: the full-fidelity binary codec the
+// durable store (internal/store) uses for checkpoint frames. A frame must
+// restore *exactly* the shard state — including the complete per-prefix
+// counters, which the rendered Snapshot truncates to TopK — so recovery
+// and historical range queries reproduce live results byte for byte. The
+// encoding is deterministic (maps are emitted in sorted order): the same
+// shard state always marshals to the same bytes, which lets the store CRC
+// frames and lets tests compare checkpoints structurally.
+package streaming
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// stateVersion is the Analytics binary state codec version.
+const stateVersion = 1
+
+// MarshalBinary encodes the shard's complete aggregate state. The shard
+// is not modified; callers must hold whatever lock guards live ingestion.
+func (a *Analytics) MarshalBinary() ([]byte, error) {
+	// Generous pre-size: fixed head + live bins + prefix/district entries.
+	buf := make([]byte, 0, 64+len(a.prefixes)*16+len(a.districts)*24+a.cfg.WindowHours/4)
+	buf = append(buf, stateVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.cfg.Origin.UnixNano()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.cfg.WindowHours))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(a.maxHour)))
+	buf = binary.BigEndian.AppendUint64(buf, a.late)
+	buf = binary.BigEndian.AppendUint64(buf, a.located)
+
+	buf = binary.BigEndian.AppendUint32(buf, uint32(nReasons))
+	for _, n := range a.dropped {
+		buf = binary.BigEndian.AppendUint64(buf, n)
+	}
+
+	// Populated window bins, oldest hour first.
+	var bins []hourBin
+	for _, bin := range a.ring {
+		if bin.hour >= 0 {
+			bins = append(bins, bin)
+		}
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i].hour < bins[j].hour })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(bins)))
+	for _, bin := range bins {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(bin.hour)))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(bin.flows))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(bin.bytes))
+	}
+
+	// Full prefix counters in address order.
+	prefixes := make([]netip.Prefix, 0, len(a.prefixes))
+	for p := range a.prefixes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if c := prefixes[i].Addr().Compare(prefixes[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return prefixes[i].Bits() < prefixes[j].Bits()
+	})
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(prefixes)))
+	for _, p := range prefixes {
+		addr := p.Addr()
+		if addr.Is4() {
+			b := addr.As4()
+			buf = append(buf, 4)
+			buf = append(buf, b[:]...)
+		} else {
+			b := addr.As16()
+			buf = append(buf, 16)
+			buf = append(buf, b[:]...)
+		}
+		buf = append(buf, byte(p.Bits()))
+		buf = binary.BigEndian.AppendUint64(buf, a.prefixes[p])
+	}
+
+	// District rollup (flag + sorted entries).
+	if a.districts == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		ids := make([]string, 0, len(a.districts))
+		for id := range a.districts {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(ids)))
+		for _, id := range ids {
+			if len(id) > math.MaxUint16 {
+				return nil, fmt.Errorf("streaming: district id %q too long", id)
+			}
+			buf = append(buf, byte(len(id)>>8), byte(len(id)))
+			buf = append(buf, id...)
+			buf = binary.BigEndian.AppendUint64(buf, a.districts[id])
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalAnalytics reconstructs a shard from MarshalBinary output. The
+// configuration must resolve to the same Origin and WindowHours the state
+// was captured under (the store's meta file enforces this across
+// restarts); DB and Model may differ — a restored shard keeps district
+// counts even when the reader has no geolocation sidecar.
+func UnmarshalAnalytics(cfg Config, data []byte) (*Analytics, error) {
+	d := stateDecoder{buf: data}
+	if v := d.u8(); v != stateVersion {
+		return nil, fmt.Errorf("streaming: state version %d, want %d", v, stateVersion)
+	}
+	a := New(cfg)
+	origin := time.Unix(0, int64(d.u64())).UTC()
+	window := int(d.u32())
+	if d.err == nil && (!origin.Equal(a.cfg.Origin) || window != a.cfg.WindowHours) {
+		return nil, fmt.Errorf("streaming: state window [%s +%dh] does not match config [%s +%dh]",
+			origin, window, a.cfg.Origin, a.cfg.WindowHours)
+	}
+	a.maxHour = int(int64(d.u64()))
+	a.late = d.u64()
+	a.located = d.u64()
+
+	if n := int(d.u32()); d.err == nil && n != nReasons {
+		return nil, fmt.Errorf("streaming: state has %d drop reasons, want %d", n, nReasons)
+	}
+	for i := range a.dropped {
+		a.dropped[i] = d.u64()
+	}
+
+	nBins := int(d.u32())
+	for i := 0; i < nBins && d.err == nil; i++ {
+		h := int(int64(d.u64()))
+		flows := math.Float64frombits(d.u64())
+		bytes := math.Float64frombits(d.u64())
+		if d.err != nil {
+			break
+		}
+		if h < 0 || h > a.maxHour || (a.maxHour >= 0 && h <= a.maxHour-a.cfg.WindowHours) {
+			return nil, fmt.Errorf("streaming: state bin hour %d outside window ending at %d", h, a.maxHour)
+		}
+		a.ring[h%a.cfg.WindowHours] = hourBin{hour: h, flows: flows, bytes: bytes}
+	}
+
+	nPrefixes := int(d.u32())
+	for i := 0; i < nPrefixes && d.err == nil; i++ {
+		fam := d.u8()
+		var addr netip.Addr
+		switch fam {
+		case 4:
+			var b [4]byte
+			d.bytes(b[:])
+			addr = netip.AddrFrom4(b)
+		case 16:
+			var b [16]byte
+			d.bytes(b[:])
+			addr = netip.AddrFrom16(b)
+		default:
+			if d.err == nil {
+				return nil, fmt.Errorf("streaming: state prefix family %d", fam)
+			}
+		}
+		bits := int(d.u8())
+		count := d.u64()
+		if d.err != nil {
+			break
+		}
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			return nil, fmt.Errorf("streaming: state prefix %s/%d: %v", addr, bits, err)
+		}
+		a.prefixes[p] = count
+	}
+
+	if d.u8() == 1 {
+		if a.districts == nil {
+			a.districts = make(map[string]uint64)
+		}
+		nDistricts := int(d.u32())
+		for i := 0; i < nDistricts && d.err == nil; i++ {
+			idLen := int(d.u8())<<8 | int(d.u8())
+			id := make([]byte, idLen)
+			d.bytes(id)
+			count := d.u64()
+			if d.err != nil {
+				break
+			}
+			a.districts[string(id)] = count
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("streaming: truncated state: %v", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("streaming: %d trailing state bytes", len(d.buf))
+	}
+	return a, nil
+}
+
+// stateDecoder cursors over a state blob, latching the first error so the
+// parse above stays linear instead of error-checking every read.
+type stateDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *stateDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("want %d bytes, have %d", n, len(d.buf))
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *stateDecoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *stateDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *stateDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *stateDecoder) bytes(dst []byte) {
+	b := d.take(len(dst))
+	if b != nil {
+		copy(dst, b)
+	}
+}

@@ -1,0 +1,174 @@
+package streaming
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+)
+
+// populatedShard builds a shard with every aggregate populated: window
+// bins, census drops, late records, prefixes and a district rollup.
+func populatedShard(t *testing.T) (*Analytics, Config) {
+	t.Helper()
+	cfg := Config{WindowHours: 48, TopK: 3}
+	a := New(cfg)
+	for i := 0; i < 40; i++ {
+		a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(i%12)*time.Hour), client(i%7), uint64(100+i))})
+	}
+	// A dropped record and a late one.
+	r := keptRecord(entime.StudyStart, client(1), 10)
+	r.SrcPort = 80
+	a.Ingest([]netflow.Record{r})
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(-time.Hour), client(2), 10)})
+	// District counts, as a restored checkpoint frame would carry them
+	// (white box: the real path needs a geodb sidecar).
+	a.districts = map[string]uint64{"05-113": 7, "09-162": 3}
+	a.located = 10
+	return a, cfg
+}
+
+func TestMarshalRoundTripRestoresState(t *testing.T) {
+	a, cfg := populatedShard(t)
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnmarshalAnalytics(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("restored snapshot differs")
+	}
+
+	// The restored shard must behave identically under further traffic —
+	// the recovery contract, stronger than snapshot equality (top-K
+	// truncation would hide diverging prefix tails).
+	more := []netflow.Record{
+		keptRecord(entime.StudyStart.Add(20*time.Hour), client(4), 900),
+		keptRecord(entime.StudyStart.Add(21*time.Hour), client(50), 901),
+	}
+	a.Ingest(more)
+	b.Ingest(more)
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("restored shard diverges under further ingestion")
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	a, _ := populatedShard(t)
+	b1, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("state marshaling is not deterministic")
+	}
+}
+
+func TestUnmarshalRejectsDamage(t *testing.T) {
+	a, cfg := populatedShard(t)
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalAnalytics(cfg, blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated state must fail")
+	}
+	if _, err := UnmarshalAnalytics(cfg, append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] = 99
+	if _, err := UnmarshalAnalytics(cfg, bad); err == nil {
+		t.Fatal("unknown version must fail")
+	}
+	// A config with a different window cannot adopt the state.
+	if _, err := UnmarshalAnalytics(Config{WindowHours: 24}, blob); err == nil {
+		t.Fatal("window mismatch must fail")
+	}
+}
+
+func TestMergeAdoptsDistrictsIntoDBLessShard(t *testing.T) {
+	a, cfg := populatedShard(t)
+	m := New(cfg) // no DB/Model: districts nil
+	m.Merge(a)
+	snap := m.Snapshot()
+	if len(snap.Districts) != 2 || snap.Located != 10 {
+		t.Fatalf("district rollup lost in merge: %+v", snap.Districts)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	cfg := Config{WindowHours: 8}
+	a := New(cfg)
+	if _, _, ok := a.Bounds(); ok {
+		t.Fatal("empty shard reports bounds")
+	}
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(3*time.Hour), client(1), 10)})
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(6*time.Hour), client(2), 10)})
+	lo, hi, ok := a.Bounds()
+	if !ok || lo != 3 || hi != 6 {
+		t.Fatalf("bounds = [%d, %d] ok=%v, want [3, 6]", lo, hi, ok)
+	}
+	// Sliding the window past hour 3 moves the lower bound.
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(11*time.Hour), client(3), 10)})
+	lo, hi, ok = a.Bounds()
+	if !ok || lo != 6 || hi != 11 {
+		t.Fatalf("bounds after slide = [%d, %d] ok=%v, want [6, 11]", lo, hi, ok)
+	}
+}
+
+func TestSnapshotRangeTrimsExactly(t *testing.T) {
+	cfg := Config{WindowHours: 48, SpikeHistory: 2, SpikeFactor: 3, SpikeMinFlows: 3}
+	a := New(cfg)
+	add := func(h, count int) {
+		for i := 0; i < count; i++ {
+			a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(h)*time.Hour), client(i), 100)})
+		}
+	}
+	add(0, 1)
+	add(1, 1)
+	add(2, 1)
+	add(3, 9) // spike vs hours 1-2
+	add(4, 1)
+
+	from := entime.StudyStart.Add(1 * time.Hour)
+	to := entime.StudyStart.Add(4 * time.Hour)
+	s := a.SnapshotRange(from, to)
+	if len(s.Hours) != 3 || s.SeriesStart != 1 {
+		t.Fatalf("trimmed series: start=%d len=%d", s.SeriesStart, len(s.Hours))
+	}
+	for i, p := range s.Hours {
+		if p.Hour != 1+i {
+			t.Fatalf("hour %d: %+v", i, p)
+		}
+	}
+	// Spikes are re-detected on the trimmed series: hour 3 still spikes
+	// over hours 1-2.
+	if len(s.Spikes) != 1 || s.Spikes[0].Hour != 3 {
+		t.Fatalf("spikes on trimmed range: %+v", s.Spikes)
+	}
+	// The census is shard-granular, untouched by trimming.
+	if s.Census.Kept != 13 {
+		t.Fatalf("census kept %d, want 13", s.Census.Kept)
+	}
+
+	// Open bounds reproduce the full snapshot.
+	if !reflect.DeepEqual(a.SnapshotRange(time.Time{}, time.Time{}), a.Snapshot()) {
+		t.Fatal("open-bounds range differs from full snapshot")
+	}
+
+	// A range with no hours yields an empty series.
+	s = a.SnapshotRange(entime.StudyStart.Add(40*time.Hour), time.Time{})
+	if len(s.Hours) != 0 || s.SeriesStart != 0 {
+		t.Fatalf("empty range: start=%d hours=%+v", s.SeriesStart, s.Hours)
+	}
+}

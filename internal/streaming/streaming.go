@@ -62,6 +62,11 @@ type Config struct {
 	Model *geo.Model
 }
 
+// WithDefaults returns the configuration with every zero field filled in,
+// exactly as New would resolve it. The durable store uses it to persist
+// and validate the resolved analytics parameters across restarts.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills the zero fields.
 func (c Config) withDefaults() Config {
 	if c.Origin.IsZero() {
@@ -189,8 +194,10 @@ func (a *Analytics) ingest(r *netflow.Record) {
 		a.prefixes[p]++
 	}
 
-	// Per-district rollup.
-	if a.districts != nil {
+	// Per-district rollup. A shard can hold a district map without a DB
+	// (restored checkpoint state merged into a sidecar-less reader); it
+	// keeps the counts but cannot locate new records.
+	if a.districts != nil && a.cfg.DB != nil {
 		if entry, ok := a.cfg.DB.Locate(r.Dst); ok {
 			a.located++
 			a.districts[entry.DistrictID]++
@@ -238,7 +245,14 @@ func (a *Analytics) Merge(other *Analytics) {
 	for p, n := range other.prefixes {
 		a.prefixes[p] += n
 	}
-	if a.districts != nil && other.districts != nil {
+	if other.districts != nil {
+		// Adopt the rollup even if this shard has no geolocation sidecar:
+		// restored checkpoint frames carry district counts that must
+		// survive a merge into a DB-less shard (a read-only query opens
+		// the store without the sidecar the collector ran with).
+		if a.districts == nil {
+			a.districts = make(map[string]uint64)
+		}
 		for id, n := range other.districts {
 			a.districts[id] += n
 		}
@@ -260,6 +274,60 @@ func Collect(cfg Config, shards []*Analytics) *Snapshot {
 // Snapshot reports this shard's aggregates alone; the pipeline uses
 // Collect across all shards instead.
 func (a *Analytics) Snapshot() *Snapshot { return a.snapshot() }
+
+// Bounds reports the populated hour coverage of the sliding window as
+// inclusive hour indices relative to Origin. ok is false when no kept
+// record has landed in the window yet. The durable store records the
+// bounds as checkpoint-frame metadata for time-range frame selection.
+func (a *Analytics) Bounds() (minHour, maxHour int, ok bool) {
+	if a.maxHour < 0 {
+		return 0, 0, false
+	}
+	minHour = -1
+	for _, bin := range a.ring {
+		if bin.hour >= 0 && (minHour < 0 || bin.hour < minHour) {
+			minHour = bin.hour
+		}
+	}
+	if minHour < 0 {
+		// Every ring slot is empty: records advanced maxHour but their
+		// own buckets were since evicted, or only Merge moved the window.
+		return 0, 0, false
+	}
+	return minHour, a.maxHour, true
+}
+
+// SnapshotRange renders a snapshot restricted to hours with
+// from <= Time < to. Zero bounds are open: a zero from means "since
+// Origin", a zero to means "until now". Spikes are re-detected on the
+// trimmed series (so head hours of the range lack trailing baseline,
+// exactly like the head of a live window); the census, prefix and
+// district aggregates are not time-resolved and keep shard granularity.
+func (a *Analytics) SnapshotRange(from, to time.Time) *Snapshot {
+	s := a.snapshot()
+	if from.IsZero() && to.IsZero() {
+		return s
+	}
+	kept := s.Hours[:0]
+	for _, p := range s.Hours {
+		if !from.IsZero() && p.Time.Before(from) {
+			continue
+		}
+		if !to.IsZero() && !p.Time.Before(to) {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	s.Hours = kept
+	if len(kept) > 0 {
+		s.SeriesStart = kept[0].Hour
+	} else {
+		s.Hours = nil
+		s.SeriesStart = 0
+	}
+	s.Spikes = detectSpikes(s.Hours, a.cfg)
+	return s
+}
 
 func (a *Analytics) snapshot() *Snapshot {
 	cfg := a.cfg
@@ -310,8 +378,10 @@ func (a *Analytics) snapshot() *Snapshot {
 		sort.Strings(ids)
 		for _, id := range ids {
 			dc := DistrictCount{ID: id, Flows: a.districts[id]}
-			if d, ok := cfg.Model.DistrictByID(id); ok {
-				dc.Name, dc.StateCode = d.Name, d.StateCode
+			if cfg.Model != nil {
+				if d, ok := cfg.Model.DistrictByID(id); ok {
+					dc.Name, dc.StateCode = d.Name, d.StateCode
+				}
 			}
 			s.Districts = append(s.Districts, dc)
 		}

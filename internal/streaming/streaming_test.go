@@ -171,6 +171,126 @@ func TestMergeEqualsSerial(t *testing.T) {
 	}
 }
 
+// TestEvictionDropsHoursOlderThanWindow proves the hourly ring forgets:
+// after the window slides, hours older than WindowHours are gone from
+// the snapshot and their flows are not re-attributed anywhere (only the
+// census remembers they were kept).
+func TestEvictionDropsHoursOlderThanWindow(t *testing.T) {
+	cfg := Config{WindowHours: 4}
+	a := New(cfg)
+	for h := 0; h < 4; h++ {
+		a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(h)*time.Hour), client(h), 100)})
+	}
+	// Jump far past the window (more than 2x WindowHours), so every ring
+	// slot is slid over — including slots whose stale hour index happens
+	// to collide modulo WindowHours with a window hour.
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(11*time.Hour), client(11), 100)})
+
+	snap := a.Snapshot()
+	if snap.SeriesStart != 8 || len(snap.Hours) != 4 {
+		t.Fatalf("window [%d +%d], want [8 +4]", snap.SeriesStart, len(snap.Hours))
+	}
+	var total float64
+	for _, p := range snap.Hours {
+		total += p.Flows
+		if p.Hour < 8 {
+			t.Fatalf("hour %d survived eviction", p.Hour)
+		}
+		// Hours 0..3 filled slots 0..3; hours 8..10 reuse those slots and
+		// must read as empty, not as the stale pre-slide counts.
+		if p.Hour != 11 && p.Flows != 0 {
+			t.Fatalf("evicted slot resurrected as hour %d with %v flows", p.Hour, p.Flows)
+		}
+	}
+	if total != 1 {
+		t.Fatalf("window holds %v flows, want exactly the post-slide record", total)
+	}
+	if snap.Census.Kept != 5 {
+		t.Fatalf("census kept %d, want 5 (eviction must not touch the census)", snap.Census.Kept)
+	}
+}
+
+// TestSnapshotAfterEvictionNeverResurrectsBuckets pins the regression
+// the durable store cares about: a snapshot taken after eviction — and a
+// marshal/restore round trip of that state — must never bring evicted
+// buckets back.
+func TestSnapshotAfterEvictionNeverResurrectsBuckets(t *testing.T) {
+	cfg := Config{WindowHours: 3}
+	a := New(cfg)
+	// Two populated hours, then slides that evict them one at a time.
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart, client(0), 100)})
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Hour), client(1), 100)})
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(3*time.Hour), client(3), 100)}) // evicts hour 0
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(4*time.Hour), client(4), 100)}) // evicts hour 1
+
+	for _, snap := range []*Snapshot{a.Snapshot(), a.Snapshot()} { // stable across repeated snapshots
+		for _, p := range snap.Hours {
+			if p.Hour < 2 {
+				t.Fatalf("evicted hour %d resurrected: %+v", p.Hour, p)
+			}
+		}
+		if snap.SeriesStart != 2 {
+			t.Fatalf("series start %d, want 2", snap.SeriesStart)
+		}
+	}
+
+	// The serialized state agrees: restoring it yields the same window.
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnmarshalAnalytics(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("restored post-eviction state differs")
+	}
+	// And a record for an evicted hour stays evicted on both.
+	late := []netflow.Record{keptRecord(entime.StudyStart.Add(time.Hour), client(9), 100)}
+	a.Ingest(late)
+	b.Ingest(late)
+	if got := a.Snapshot(); got.Late != b.Snapshot().Late || got.Late != 1 {
+		t.Fatalf("late accounting diverged: %d", got.Late)
+	}
+}
+
+// TestMergeEvictsLikeIngest proves window eviction behaves identically
+// whether the slide comes from live records or from merging a shard
+// that is ahead in time.
+func TestMergeEvictsLikeIngest(t *testing.T) {
+	cfg := Config{WindowHours: 4}
+	old := New(cfg)
+	old.Ingest([]netflow.Record{keptRecord(entime.StudyStart, client(0), 100)})
+	old.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Hour), client(1), 100)})
+	ahead := New(cfg)
+	ahead.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(6*time.Hour), client(6), 100)})
+
+	// Merging the ahead shard into the old one slides the window: hours
+	// 0 and 1 fall out and are counted late, exactly as live ingestion
+	// of an hour-6 record would have done.
+	merged := New(cfg)
+	merged.Merge(old)
+	merged.Merge(ahead)
+	snap := merged.Snapshot()
+	if snap.SeriesStart != 3 {
+		t.Fatalf("merged window starts at %d, want 3", snap.SeriesStart)
+	}
+	for _, p := range snap.Hours {
+		if p.Hour < 3 && p.Flows != 0 {
+			t.Fatalf("merged window resurrected hour %d", p.Hour)
+		}
+	}
+
+	live := New(cfg)
+	live.Ingest([]netflow.Record{keptRecord(entime.StudyStart, client(0), 100)})
+	live.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Hour), client(1), 100)})
+	live.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(6*time.Hour), client(6), 100)})
+	if snap.Late != live.Snapshot().Late {
+		t.Fatalf("merge late = %d, live late = %d", snap.Late, live.Snapshot().Late)
+	}
+}
+
 func TestFigure2RequiresStudyWindow(t *testing.T) {
 	a := New(Config{Origin: entime.StudyStart.Add(time.Hour)})
 	if _, err := a.Snapshot().Figure2(nil); err == nil {
