@@ -182,6 +182,12 @@ type Pipeline struct {
 // reader and worker goroutines. Callers must Close it.
 func New(cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
+	if cfg.SinkOnly && cfg.Sink == nil {
+		// Workers would skip the sink AND the per-lane analytics: every
+		// batch counted as processed, then discarded with no state kept
+		// anywhere.
+		return nil, errors.New("ingest: SinkOnly requires a Sink")
+	}
 	p := &Pipeline{cfg: cfg}
 
 	for i := 0; i < cfg.Workers; i++ {

@@ -236,3 +236,12 @@ func TestReplayNoAddr(t *testing.T) {
 		t.Fatal("replay with no addresses must fail")
 	}
 }
+
+// TestSinkOnlyRequiresSink pins the config validation: SinkOnly with no
+// Sink would make workers discard every batch with no state kept
+// anywhere, so New must reject it.
+func TestSinkOnlyRequiresSink(t *testing.T) {
+	if _, err := New(Config{SinkOnly: true}); err == nil {
+		t.Fatal("SinkOnly without a Sink must be rejected")
+	}
+}

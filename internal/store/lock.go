@@ -1,0 +1,19 @@
+package store
+
+// Data-dir exclusivity. Two collectord processes pointed at one data dir
+// would allocate overlapping segment/frame sequence numbers (the active
+// segment is opened with O_TRUNC) and each checkpoint would delete WAL
+// the other still needs — silent corruption from an easy operator
+// mistake. Every writable Open therefore locks a LOCK file in the dir
+// and fails fast when another process holds it. The lock dies with its
+// holder, so a SIGKILLed collector never leaves a stale lock behind
+// (crash recovery stays a plain restart). Read-only opens skip the lock:
+// historical queries against a live collector's dir are a feature.
+//
+// The locking primitive is per-OS: flock(2) where syscall.Flock exists
+// (lock_unix.go); elsewhere — windows, but also solaris/aix, which the
+// broad `unix` build tag would wrongly include — the lock degrades to a
+// best-effort breadcrumb file with no exclusivity (lock_other.go).
+
+// lockName is the advisory lock file writable opens hold in the data dir.
+const lockName = "LOCK"

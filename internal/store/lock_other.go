@@ -1,0 +1,31 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// acquireDirLock on non-unix platforms only leaves a pid breadcrumb: a
+// create-exclusive lock would go stale after a SIGKILL (blocking the
+// crash-recovery restart that is the store's whole point), so without
+// an flock equivalent the double-open guard is not enforced here.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := f.Truncate(0); err == nil {
+		_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = f.Close()
+}

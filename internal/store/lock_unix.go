@@ -1,0 +1,39 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireDirLock takes the exclusive data-dir lock, failing fast (no
+// blocking) when another process holds it.
+func acquireDirLock(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already open for writing by another process (flock %s: %w)", dir, lockName, err)
+	}
+	// Operator breadcrumb only; the flock is the lock.
+	if err := f.Truncate(0); err == nil {
+		_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())
+	}
+	return f, nil
+}
+
+// releaseDirLock drops the lock; closing the descriptor releases the
+// flock even if the explicit unlock fails. nil is a no-op.
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}

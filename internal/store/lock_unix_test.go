@@ -1,0 +1,48 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"cwatrace/internal/netflow"
+)
+
+// TestOpenLocksDataDir proves a second writable open of a live data dir
+// fails fast instead of silently corrupting it, that read-only opens
+// coexist with the writer, and that the lock dies with its holder. Unix
+// only: lock_other.go documents that non-unix builds keep no
+// exclusivity (an flock-less create-exclusive lock would go stale after
+// a SIGKILL and block crash recovery).
+func TestOpenLocksDataDir(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Append([]netflow.Record{keptRecord(1, 1, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, Options{Analytics: testConfig()}); err == nil {
+		t.Fatal("second writable open of a locked data dir must fail")
+	} else if !strings.Contains(err.Error(), "another process") {
+		t.Fatalf("unhelpful lock error: %v", err)
+	}
+	r, err := Open(dir, Options{Analytics: testConfig(), ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only open alongside the writer: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

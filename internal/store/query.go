@@ -94,8 +94,16 @@ func (s *Store) tryQuery(from, to time.Time) (*QueryResult, error) {
 	}
 	// The live, un-checkpointed state is the tail plus any checkpoint
 	// fold currently in flight (chronologically between the frames and
-	// the tail).
+	// the tail). The two merge as one unit: if either overlaps the
+	// range, both are cloned — and every shard that gets merged widens
+	// the merge window, overlap or not, because the newer bins of a
+	// non-overlapping shard would otherwise slide a span-sized window
+	// and evict the in-range bins merged alongside them (SnapshotRange
+	// trims the out-of-range overflow at the end).
+	// Bounds is a linear ring scan (archive tails can be wide) and this
+	// runs under mu against the hot Append path, so scan each shard once.
 	includeLive := false
+	var liveBounds [][2]int64
 	for _, live := range []*streaming.Analytics{s.foldingTail, s.tail} {
 		if live == nil {
 			continue
@@ -103,24 +111,28 @@ func (s *Store) tryQuery(from, to time.Time) (*QueryResult, error) {
 		minH, maxH := int64(-1), int64(-1)
 		if lo, hi, ok := live.Bounds(); ok {
 			minH, maxH = int64(lo), int64(hi)
+			liveBounds = append(liveBounds, [2]int64{minH, maxH})
 		}
 		if s.hoursOverlap(minH, maxH, from, to) {
 			includeLive = true
-			cover(minH, maxH)
 		}
 	}
 	if s.foldingRecords+s.tailRecords == 0 {
 		includeLive = false
 	}
+	if includeLive {
+		for _, b := range liveBounds {
+			cover(b[0], b[1])
+		}
+	}
 	// A historical range can span more hours than the live sliding
 	// window (that is the point of the store); merging at the live
 	// window would evict the head of the range. Widen the merge target
-	// to cover every selected hour — checkpoint frames each hold at most
-	// one checkpoint interval of bins, so nothing was lost on disk.
-	qcfg := s.cfg
-	if need := int(span.hi - span.lo + 1); span.lo >= 0 && need > qcfg.WindowHours {
-		qcfg.WindowHours = need
-	}
+	// to cover every selected hour — frames never lose bins on disk:
+	// tail shards archive without eviction (see Store.newTail), and both
+	// checkpoint and compacted frames persist state at their own window,
+	// however many hours that spans.
+	qcfg := widenWindow(s.cfg, span.lo, span.hi)
 	// Clone the live state while locked; the frame loads below run
 	// lock-free, and the clone merges last so any window slide happens
 	// in chronological order (frames, then live), exactly like Snapshot.
@@ -150,6 +162,21 @@ func (s *Store) tryQuery(from, to time.Time) (*QueryResult, error) {
 	}
 	res.Snapshot = m.SnapshotRange(from, to)
 	return res, nil
+}
+
+// widenWindow returns cfg with WindowHours widened to hold the
+// inclusive hour span [minHour, maxHour] (-1 bounds: no span, cfg
+// unchanged). Every merge target sized from frame metadata or live
+// bounds goes through it — merging archived hours at a window narrower
+// than their span evicts bins, which for compaction means permanent
+// loss. Callers' inputs are bounded (loadFrameFile validates frame
+// metadata, ingest caps record hours), so the result never exceeds
+// streaming.MaxWindowHours.
+func widenWindow(cfg streaming.Config, minHour, maxHour int64) streaming.Config {
+	if need := int(maxHour - minHour + 1); minHour >= 0 && need > cfg.WindowHours {
+		cfg.WindowHours = need
+	}
+	return cfg
 }
 
 // hoursOverlap reports whether the inclusive hour-index interval

@@ -228,3 +228,53 @@ func TestQueryIndependentOfCheckpointPlacement(t *testing.T) {
 		t.Fatal("full-range query depends on checkpoint placement")
 	}
 }
+
+// TestQueryDuringFoldKeepsNonOverlappingTail stages the mid-checkpoint
+// shape directly: the folding tail holds old in-range hours while the
+// live tail has already moved far past the queried range. Merging the
+// live pair must not let the newer (non-overlapping) tail bins slide a
+// span-sized window over the in-range bins — the range is served from
+// memory even though no frame holds it yet.
+func TestQueryDuringFoldKeepsNonOverlappingTail(t *testing.T) {
+	cfg := streaming.Config{WindowHours: 4, TopK: 5}
+	s := mustOpen(t, t.TempDir(), Options{Analytics: cfg})
+	defer s.Close()
+
+	fold := s.newTail()
+	for h := 0; h < 3; h++ {
+		fold.Ingest([]netflow.Record{keptRecord(h, h, 100)})
+	}
+	s.mu.Lock()
+	s.foldingTail, s.foldingRecords = fold, 3
+	s.mu.Unlock()
+	for h := 20; h < 23; h++ {
+		if err := s.Append([]netflow.Record{keptRecord(h, h, 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := s.Query(entime.StudyStart, entime.StudyStart.Add(4*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TailIncluded {
+		t.Fatal("live state not included")
+	}
+	snap := res.Snapshot
+	if len(snap.Hours) != 4 || snap.SeriesStart != 0 {
+		t.Fatalf("range window [%d +%d], want [0 +4]", snap.SeriesStart, len(snap.Hours))
+	}
+	for _, p := range snap.Hours {
+		want := 1.0
+		if p.Hour == 3 {
+			want = 0 // in-range but never populated
+		}
+		if p.Flows != want {
+			t.Fatalf("hour %d holds %v flows, want %v (non-overlapping tail evicted the range)", p.Hour, p.Flows, want)
+		}
+	}
+
+	s.mu.Lock()
+	s.foldingTail, s.foldingRecords = nil, 0
+	s.mu.Unlock()
+}

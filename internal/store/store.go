@@ -196,6 +196,10 @@ type Store struct {
 	foldingTail    *streaming.Analytics
 	foldingRecords uint64
 
+	// lock is the flocked data-dir LOCK file of a writable open (nil when
+	// ReadOnly); see lock.go.
+	lock *os.File
+
 	active    *os.File
 	activeSeq uint64
 	activeOff int64
@@ -220,6 +224,19 @@ type Store struct {
 	closed bool
 }
 
+// newTail builds a tail shard. Tails run in archive mode: the hourly
+// ring grows instead of evicting, because a checkpoint frame must hold
+// *every* hour of the WAL interval whose deletion it authorizes — a
+// burst that ingests more data-hours than the live window between two
+// checkpoints must not lose its head. Memory stays bounded by the
+// checkpoint cadence; the live sliding-window view is re-imposed when
+// Snapshot merges at the live window.
+func (s *Store) newTail() *streaming.Analytics {
+	cfg := s.cfg
+	cfg.Archive = true
+	return streaming.New(cfg)
+}
+
 func segPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("wal-%016d.seg", seq))
 }
@@ -236,11 +253,22 @@ func ckptPath(dir string, seq uint64) string {
 func Open(dir string, opts Options) (*Store, error) {
 	segBytesSet := opts.SegmentBytes > 0
 	opts = opts.withDefaults()
+	var lock *os.File
 	if !opts.ReadOnly {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
+		var err error
+		if lock, err = acquireDirLock(dir); err != nil {
+			return nil, err
+		}
 	}
+	opened := false
+	defer func() {
+		if !opened {
+			releaseDirLock(lock)
+		}
+	}()
 
 	meta, err := readMeta(dir)
 	if err != nil {
@@ -260,8 +288,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts: opts,
 		cfg:  cfg,
 		base: streaming.New(cfg),
-		tail: streaming.New(cfg),
 	}
+	s.tail = s.newTail()
 	if meta == nil {
 		if opts.ReadOnly {
 			return nil, fmt.Errorf("store: %s has no %s (not a store, or never initialized)", dir, metaName)
@@ -297,6 +325,8 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	s.lock = lock
+	opened = true
 	return s, nil
 }
 
@@ -662,13 +692,21 @@ func (s *Store) writeWALLocked(batch []netflow.Record) error {
 			_, terr = s.active.Seek(s.activeOff, io.SeekStart)
 		}
 		if terr != nil {
-			// Cannot roll back: seal the segment at its last intact
-			// record so the next append starts a fresh one rather than
-			// appending unreachable records behind a torn one; the next
-			// checkpoint sweeps the file away.
+			// Cannot roll back through the fd: seal the segment at its
+			// last intact record so the next append starts a fresh one
+			// rather than appending unreachable records behind a torn
+			// one; the next checkpoint sweeps the file away. Retry the
+			// truncate by path after closing — leaving the torn bytes on
+			// disk would make a crash before that checkpoint unrecoverable
+			// (recovery treats damage in a non-final segment as corruption
+			// and fails the whole Open).
 			s.active.Close()
 			s.active = nil
-			s.sealed = append(s.sealed, segInfo{seq: s.activeSeq, path: segPath(s.dir, s.activeSeq), size: s.activeOff})
+			path := segPath(s.dir, s.activeSeq)
+			s.sealed = append(s.sealed, segInfo{seq: s.activeSeq, path: path, size: s.activeOff})
+			if perr := os.Truncate(path, s.activeOff); perr != nil {
+				return fmt.Errorf("store: WAL append: %w (torn bytes remain: rollback failed %v, truncate failed %v)", err, terr, perr)
+			}
 		}
 		return fmt.Errorf("store: WAL append: %w", err)
 	}
@@ -741,7 +779,7 @@ func (s *Store) Checkpoint() error {
 	coveredSeg := s.sealed[len(s.sealed)-1]
 	sealedCount := len(s.sealed)
 	oldTail, oldCount := s.tail, s.tailRecords
-	s.tail = streaming.New(s.cfg)
+	s.tail = s.newTail()
 	s.tailRecords = 0
 	s.foldingTail, s.foldingRecords = oldTail, oldCount
 	var baseSeg uint64
@@ -758,7 +796,7 @@ func (s *Store) Checkpoint() error {
 	// segments were not deleted).
 	restore := func(err error) error {
 		s.mu.Lock()
-		fresh := streaming.New(s.cfg)
+		fresh := s.newTail()
 		fresh.Merge(oldTail)
 		fresh.Merge(s.tail)
 		s.tail = fresh
@@ -837,11 +875,6 @@ func (s *Store) compact() error {
 		if err != nil {
 			return fmt.Errorf("store: compacting %s: %w", filepath.Base(f1.path), err)
 		}
-		a0.Merge(a1)
-		state, err := a0.MarshalBinary()
-		if err != nil {
-			return err
-		}
 		info := frameInfo{
 			Seq:        seq,
 			BaseSeg:    f0.BaseSeg,
@@ -850,6 +883,22 @@ func (s *Store) compact() error {
 			MinHour:    mergeBound(f0.MinHour, f1.MinHour, false),
 			MaxHour:    mergeBound(f0.MaxHour, f1.MaxHour, true),
 			Records:    f0.Records + f1.Records,
+		}
+		// Merge at a window wide enough to hold the pair's combined hour
+		// span. WindowHours is a *live* streaming bound; a compacted frame
+		// is an archive, and folding at the live window would evict — and,
+		// with the input files deleted below, permanently lose — the
+		// oldest hourly bins of any pair spanning more than the window
+		// (inevitable once a capture outlives WindowHours). The merged
+		// state persists its own window; UnmarshalAnalyticsStored adopts
+		// it on load, and queries widen their merge target to the selected
+		// span, so /query serves every hour ever checkpointed.
+		m := streaming.New(widenWindow(s.cfg, info.MinHour, info.MaxHour))
+		m.Merge(a0)
+		m.Merge(a1)
+		state, err := m.MarshalBinary()
+		if err != nil {
+			return err
 		}
 		path := ckptPath(s.dir, info.Seq)
 		rec := appendRecordFrame(nil, recTypeFrame, appendFramePayload(nil, info, state))
@@ -938,14 +987,23 @@ func (s *Store) Metrics() Metrics {
 // Close syncs and closes the active segment. It does not checkpoint;
 // callers wanting a clean fold (the SIGTERM drain path) call Checkpoint
 // first. The WAL makes a close without checkpoint equivalent to a crash
-// with zero data loss.
+// with zero data loss. Close waits for an in-flight checkpoint (ckptMu,
+// honoring the documented lock order): the data-dir lock must not be
+// released while a fold is still writing frames and deleting WAL — a
+// successor process acquiring it would race the tail of the fold.
 func (s *Store) Close() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
 	s.closed = true
+	defer func() {
+		releaseDirLock(s.lock)
+		s.lock = nil
+	}()
 	if s.active == nil {
 		return nil
 	}
@@ -960,7 +1018,10 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// loadFrameFile reads and validates one checkpoint frame file.
+// loadFrameFile reads and validates one checkpoint frame file. The
+// frame's analytics state is restored at its own persisted window length
+// (cfg's Origin must match): compacted frames are archives whose span —
+// and therefore window — can exceed the live sliding window.
 func loadFrameFile(path string, cfg streaming.Config) (frameInfo, *streaming.Analytics, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -980,7 +1041,17 @@ func loadFrameFile(path string, cfg streaming.Config) (frameInfo, *streaming.Ana
 	if err != nil {
 		return frameInfo{}, nil, err
 	}
-	a, err := streaming.UnmarshalAnalytics(cfg, state)
+	// Bound the metadata hour span before anything sizes a merge window
+	// from it (tryQuery, compact): the record-layer CRC does not bound
+	// allocations, so implausible bounds are corruption, not a request
+	// for a multi-GB ring. Valid frames are either both -1 (accounting
+	// only) or 0 <= MinHour <= MaxHour < the plausibility cap ingest
+	// enforces.
+	if (info.MinHour == -1) != (info.MaxHour == -1) ||
+		info.MinHour < -1 || info.MaxHour < info.MinHour || info.MaxHour >= streaming.MaxWindowHours {
+		return frameInfo{}, nil, fmt.Errorf("%w: frame hour bounds [%d, %d]", ErrCorrupt, info.MinHour, info.MaxHour)
+	}
+	a, err := streaming.UnmarshalAnalyticsStored(cfg, state)
 	if err != nil {
 		return frameInfo{}, nil, err
 	}

@@ -478,3 +478,152 @@ func walFiles(t *testing.T, dir string) []string {
 	}
 	return out
 }
+
+// TestCompactionPreservesHoursBeyondWindow pins the archival contract:
+// frame compaction must never evict hourly bins, even once the folded
+// pair spans more hours than the live sliding window (inevitable in a
+// capture that outlives WindowHours). The merged frame persists its own
+// widened window, a full-history query serves every hour ever
+// checkpointed, and recovery accepts the wide frames while the live
+// snapshot stays bounded by the live window.
+func TestCompactionPreservesHoursBeyondWindow(t *testing.T) {
+	dir := t.TempDir()
+	cfg := streaming.Config{WindowHours: 4, TopK: 5}
+	const hours = 12 // 3x the window
+	s := mustOpen(t, dir, Options{Analytics: cfg, MaxFrames: 2})
+	for h := 0; h < hours; h++ {
+		if err := s.Append([]netflow.Record{keptRecord(h, h, 100)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.Metrics(); m.Frames > 2 || m.CompactedFrames == 0 {
+		t.Fatalf("compaction did not bound the frames: %+v", m)
+	}
+
+	check := func(s *Store) {
+		t.Helper()
+		res, err := s.Query(time.Time{}, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := res.Snapshot
+		if snap.SeriesStart != 0 || len(snap.Hours) != hours {
+			t.Fatalf("query window [%d +%d], want [0 +%d]", snap.SeriesStart, len(snap.Hours), hours)
+		}
+		for _, p := range snap.Hours {
+			if p.Flows != 1 {
+				t.Fatalf("hour %d holds %v flows, want 1 (compaction evicted bins)", p.Hour, p.Flows)
+			}
+		}
+		if snap.Late != 0 || snap.Census.Kept != hours {
+			t.Fatalf("late %d kept %d, want 0 and %d", snap.Late, snap.Census.Kept, hours)
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{Analytics: cfg})
+	defer r.Close()
+	check(r)
+	// The live view keeps sliding-window semantics: only the last
+	// WindowHours hours, with the evicted overflow dropped silently (not
+	// re-counted as late), exactly as an uninterrupted run would show.
+	if snap := r.Snapshot(); snap.SeriesStart != hours-cfg.WindowHours || len(snap.Hours) != cfg.WindowHours || snap.Late != 0 {
+		t.Fatalf("recovered live window [%d +%d] late %d, want [%d +%d] late 0",
+			snap.SeriesStart, len(snap.Hours), snap.Late, hours-cfg.WindowHours, cfg.WindowHours)
+	}
+}
+
+// TestCheckpointPreservesBurstBeyondWindow pins the checkpoint-layer
+// half of the archival contract: when a burst ingests more data-hours
+// than the live window between two checkpoints (a replayed capture can
+// push weeks of simulated time in seconds), the tail must not evict —
+// the single frame the checkpoint writes authorizes deleting the WAL
+// that durably held those hours.
+func TestCheckpointPreservesBurstBeyondWindow(t *testing.T) {
+	dir := t.TempDir()
+	cfg := streaming.Config{WindowHours: 4, TopK: 5}
+	const hours = 12 // 3x the window, zero intervening checkpoints
+	s := mustOpen(t, dir, Options{Analytics: cfg})
+	for h := 0; h < hours; h++ {
+		if err := s.Append([]netflow.Record{keptRecord(h, h, 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.Frames != 1 || m.Segments != 1 {
+		t.Fatalf("after the one checkpoint: %+v", m)
+	}
+
+	check := func(s *Store) {
+		t.Helper()
+		res, err := s.Query(time.Time{}, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := res.Snapshot
+		if snap.SeriesStart != 0 || len(snap.Hours) != hours {
+			t.Fatalf("query window [%d +%d], want [0 +%d]", snap.SeriesStart, len(snap.Hours), hours)
+		}
+		for _, p := range snap.Hours {
+			if p.Flows != 1 {
+				t.Fatalf("hour %d holds %v flows, want 1 (checkpoint evicted the burst's head)", p.Hour, p.Flows)
+			}
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, Options{Analytics: cfg})
+	defer r.Close()
+	check(r)
+	if snap := r.Snapshot(); snap.SeriesStart != hours-cfg.WindowHours || len(snap.Hours) != cfg.WindowHours {
+		t.Fatalf("recovered live window [%d +%d], want [%d +%d]",
+			snap.SeriesStart, len(snap.Hours), hours-cfg.WindowHours, cfg.WindowHours)
+	}
+}
+
+// TestForgedTimestampDoesNotBrickStore pins the end-to-end consequence
+// of the plausibility cap: a record forged decades past Origin is
+// counted Late, the checkpoint frame stays loadable, and the store
+// reopens — instead of persisting an archive window so wide that every
+// later frame read (and therefore Open) rejects it.
+func TestForgedTimestampDoesNotBrickStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := streaming.Config{WindowHours: 4, TopK: 5}
+	s := mustOpen(t, dir, Options{Analytics: cfg})
+	if err := s.Append([]netflow.Record{
+		keptRecord(0, 1, 100),
+		keptRecord(21*366*24, 2, 100), // past streaming.MaxWindowHours
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{Analytics: cfg})
+	defer r.Close()
+	res, err := r.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Snapshot
+	if snap.Late != 1 {
+		t.Fatalf("late = %d, want 1 (the forged record)", snap.Late)
+	}
+	if len(snap.Hours) != 1 || snap.Hours[0].Hour != 0 || snap.Hours[0].Flows != 1 {
+		t.Fatalf("recovered window disturbed: %+v", snap.Hours)
+	}
+}

@@ -20,6 +20,18 @@ import (
 // stateVersion is the Analytics binary state codec version.
 const stateVersion = 1
 
+// MaxWindowHours is the plausibility bound on hour indices and window
+// lengths: 20 years of hourly bins past Origin (~4 MB of ring; evenly
+// divisible by archiveGrowQuantum, so grown archive windows never round
+// past it). It caps three things consistently: ingest/merge reject
+// records beyond it as Late (a forged timestamp or garbage exporter
+// clock must not grow an archive ring that later reads reject),
+// UnmarshalAnalyticsStored refuses to adopt a larger declared window
+// (the record-layer CRC does not bound allocations), and the durable
+// store validates frame metadata hour spans against it before sizing
+// merge windows.
+const MaxWindowHours = 20 * 366 * 24
+
 // MarshalBinary encodes the shard's complete aggregate state. The shard
 // is not modified; callers must hold whatever lock guards live ingestion.
 func (a *Analytics) MarshalBinary() ([]byte, error) {
@@ -38,13 +50,7 @@ func (a *Analytics) MarshalBinary() ([]byte, error) {
 	}
 
 	// Populated window bins, oldest hour first.
-	var bins []hourBin
-	for _, bin := range a.ring {
-		if bin.hour >= 0 {
-			bins = append(bins, bin)
-		}
-	}
-	sort.Slice(bins, func(i, j int) bool { return bins[i].hour < bins[j].hour })
+	bins := a.sortedBins()
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(bins)))
 	for _, bin := range bins {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(bin.hour)))
@@ -108,17 +114,38 @@ func (a *Analytics) MarshalBinary() ([]byte, error) {
 // restarts); DB and Model may differ — a restored shard keeps district
 // counts even when the reader has no geolocation sidecar.
 func UnmarshalAnalytics(cfg Config, data []byte) (*Analytics, error) {
+	return unmarshalAnalytics(cfg, data, false)
+}
+
+// UnmarshalAnalyticsStored reconstructs a shard adopting the window
+// length embedded in the state instead of requiring it to match cfg
+// (Origin must still match). The durable store loads checkpoint frames
+// with it: compacted frames are archives persisted at a window wide
+// enough to hold their whole hour span, which can exceed the live
+// sliding window.
+func UnmarshalAnalyticsStored(cfg Config, data []byte) (*Analytics, error) {
+	return unmarshalAnalytics(cfg, data, true)
+}
+
+func unmarshalAnalytics(cfg Config, data []byte, adoptWindow bool) (*Analytics, error) {
 	d := stateDecoder{buf: data}
 	if v := d.u8(); v != stateVersion {
 		return nil, fmt.Errorf("streaming: state version %d, want %d", v, stateVersion)
 	}
-	a := New(cfg)
 	origin := time.Unix(0, int64(d.u64())).UTC()
 	window := int(d.u32())
-	if d.err == nil && (!origin.Equal(a.cfg.Origin) || window != a.cfg.WindowHours) {
-		return nil, fmt.Errorf("streaming: state window [%s +%dh] does not match config [%s +%dh]",
-			origin, window, a.cfg.Origin, a.cfg.WindowHours)
+	cfg = cfg.withDefaults()
+	if d.err == nil {
+		if !origin.Equal(cfg.Origin) || (!adoptWindow && window != cfg.WindowHours) {
+			return nil, fmt.Errorf("streaming: state window [%s +%dh] does not match config [%s +%dh]",
+				origin, window, cfg.Origin, cfg.WindowHours)
+		}
+		if window <= 0 || (adoptWindow && window > MaxWindowHours) {
+			return nil, fmt.Errorf("streaming: implausible state window length %d", window)
+		}
+		cfg.WindowHours = window
 	}
+	a := New(cfg)
 	a.maxHour = int(int64(d.u64()))
 	a.late = d.u64()
 	a.located = d.u64()
@@ -142,6 +169,9 @@ func UnmarshalAnalytics(cfg Config, data []byte) (*Analytics, error) {
 			return nil, fmt.Errorf("streaming: state bin hour %d outside window ending at %d", h, a.maxHour)
 		}
 		a.ring[h%a.cfg.WindowHours] = hourBin{hour: h, flows: flows, bytes: bytes}
+		if a.archiveMin < 0 || h < a.archiveMin {
+			a.archiveMin = h
+		}
 	}
 
 	nPrefixes := int(d.u32())

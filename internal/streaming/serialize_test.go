@@ -172,3 +172,39 @@ func TestSnapshotRangeTrimsExactly(t *testing.T) {
 		t.Fatalf("empty range: start=%d hours=%+v", s.SeriesStart, s.Hours)
 	}
 }
+
+// TestUnmarshalStoredAdoptsWiderWindow pins the archive-frame contract:
+// the strict unmarshal rejects a state window that differs from the
+// configuration, while UnmarshalAnalyticsStored adopts the embedded
+// window — the store's compacted frames span more hours than the live
+// sliding window and must restore without losing a bin.
+func TestUnmarshalStoredAdoptsWiderWindow(t *testing.T) {
+	wide := New(Config{WindowHours: 10})
+	for h := 0; h < 10; h++ {
+		wide.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(h)*time.Hour), client(h), 100)})
+	}
+	blob, err := wide.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	narrow := Config{WindowHours: 4}
+	if _, err := UnmarshalAnalytics(narrow, blob); err == nil {
+		t.Fatal("strict unmarshal must reject a mismatched window")
+	}
+	got, err := UnmarshalAnalyticsStored(narrow, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Snapshot(), wide.Snapshot()) {
+		t.Fatal("stored unmarshal lost state restoring a wider window")
+	}
+
+	// An implausibly large declared window is corruption, not an
+	// allocation request: the ring would be ~100 GB.
+	huge := append([]byte(nil), blob...)
+	huge[9], huge[10], huge[11], huge[12] = 0xFF, 0xFF, 0xFF, 0xFF // window u32 after version+origin
+	if _, err := UnmarshalAnalyticsStored(narrow, huge); err == nil {
+		t.Fatal("stored unmarshal must reject an implausible window length")
+	}
+}

@@ -55,6 +55,16 @@ type Config struct {
 	SpikeFactor   float64
 	SpikeHistory  int
 	SpikeMinFlows float64
+	// Archive disables sliding-window eviction: instead of sliding past
+	// (and silently dropping) the oldest hourly bins, the ring grows to
+	// cover every hour the shard has binned, and WindowHours becomes the
+	// current ring size. The durable store's tail shards run this way —
+	// a checkpoint frame must hold *every* hour of the WAL interval it
+	// lets the store delete, no matter how many data-hours a burst
+	// ingested between checkpoints. Records before Origin still count as
+	// Late; memory is bounded by the shard's lifetime (one checkpoint
+	// interval for the store's tail), not by WindowHours.
+	Archive bool
 	// Filter is the paper's data-set restriction (nil = core.DefaultFilter()).
 	Filter *core.Filter
 	// DB and Model enable per-district rollups; both nil disables them.
@@ -113,6 +123,10 @@ type Analytics struct {
 
 	ring    []hourBin
 	maxHour int // highest hour index seen; -1 before any record
+	// archiveMin is the lowest binned hour of an Archive shard (-1 before
+	// any). Archive shards never evict, so it only ever decreases; the
+	// O(1) grow check in ensureArchiveWindow depends on it.
+	archiveMin int
 
 	dropped [nReasons]uint64
 	late    uint64
@@ -126,11 +140,12 @@ type Analytics struct {
 func New(cfg Config) *Analytics {
 	cfg = cfg.withDefaults()
 	a := &Analytics{
-		cfg:      cfg,
-		filter:   *cfg.Filter,
-		ring:     make([]hourBin, cfg.WindowHours),
-		maxHour:  -1,
-		prefixes: make(map[netip.Prefix]uint64),
+		cfg:        cfg,
+		filter:     *cfg.Filter,
+		ring:       make([]hourBin, cfg.WindowHours),
+		maxHour:    -1,
+		archiveMin: -1,
+		prefixes:   make(map[netip.Prefix]uint64),
 	}
 	for i := range a.ring {
 		a.ring[i].hour = -1
@@ -165,6 +180,16 @@ func (a *Analytics) ingest(r *netflow.Record) {
 		return
 	}
 	h := int(r.First.Sub(a.cfg.Origin) / time.Hour)
+	if h >= MaxWindowHours {
+		// Implausibly far past Origin — a forged timestamp or a garbage
+		// exporter clock. Binning it would grow an archive ring past the
+		// window length reads accept back (bricking a durable store's
+		// frames) or slide a live window over every real bin; count it
+		// Late like a pre-Origin record instead.
+		a.late++
+		return
+	}
+	a.ensureArchiveWindow(h)
 	w := a.cfg.WindowHours
 	switch {
 	case a.maxHour >= 0 && h <= a.maxHour-w:
@@ -205,18 +230,72 @@ func (a *Analytics) ingest(r *netflow.Record) {
 	}
 }
 
+// archiveGrowQuantum rounds archive-window growth up so a long capture
+// reallocates the ring O(span/quantum) times instead of once per new
+// hour. The rounded size is a function of the final hour span alone, so
+// marshaled archive state stays deterministic across arrival orders.
+const archiveGrowQuantum = 64
+
+// ensureArchiveWindow widens an Archive shard's ring so hour h fits
+// without evicting any populated bin. A no-op for live (sliding) shards.
+func (a *Analytics) ensureArchiveWindow(h int) {
+	if !a.cfg.Archive {
+		return
+	}
+	lo, hi := h, h
+	if a.archiveMin >= 0 && a.archiveMin < lo {
+		lo = a.archiveMin
+	}
+	if a.maxHour > hi {
+		hi = a.maxHour
+	}
+	if need := hi - lo + 1; need > a.cfg.WindowHours {
+		w := (need + archiveGrowQuantum - 1) / archiveGrowQuantum * archiveGrowQuantum
+		ring := make([]hourBin, w)
+		for i := range ring {
+			ring[i].hour = -1
+		}
+		for _, bin := range a.ring {
+			if bin.hour >= 0 {
+				ring[bin.hour%w] = bin
+			}
+		}
+		a.ring = ring
+		a.cfg.WindowHours = w
+	}
+	if a.archiveMin < 0 || h < a.archiveMin {
+		a.archiveMin = h
+	}
+}
+
 // Merge folds other into a without modifying other. Both shards must
-// share one Config. Aggregation is commutative, so any merge order yields
-// the same result; incremental callers (the ingest pipeline's snapshot)
-// merge one locked shard at a time instead of quiescing them all.
+// share one Origin; other's window length may differ (a restored archive
+// frame can be wider than the live window — its overflow bins evict or
+// count late against a's window like any arrival). Aggregation is
+// commutative, so any merge order yields the same result; incremental
+// callers (the ingest pipeline's snapshot) merge one locked shard at a
+// time instead of quiescing them all.
 func (a *Analytics) Merge(other *Analytics) {
 	w := a.cfg.WindowHours
-	for i := range other.ring {
-		bin := &other.ring[i]
-		if bin.hour < 0 {
+	// Fold the incoming bins oldest hour first — the order live ingestion
+	// would have seen them. Ring-slot order would let a newer incoming bin
+	// slide the window before an older (but still in-order) one is folded,
+	// miscounting it as late; chronological order keeps merging a shard
+	// that spans more hours than this window (the store's compacted
+	// archive frames) deterministic, with the overflow evicted silently
+	// exactly as live ingestion evicts.
+	bins := other.sortedBins()
+	for i := range bins {
+		bin := &bins[i]
+		h := bin.hour
+		if h >= MaxWindowHours {
+			// Same plausibility bound as ingest: a shard restored from
+			// before the bound (or hand-built) must not poison this one.
+			a.late += uint64(bin.flows)
 			continue
 		}
-		h := bin.hour
+		a.ensureArchiveWindow(h)
+		w = a.cfg.WindowHours
 		switch {
 		case a.maxHour >= 0 && h <= a.maxHour-w:
 			a.late += uint64(bin.flows)
@@ -258,6 +337,19 @@ func (a *Analytics) Merge(other *Analytics) {
 		}
 	}
 	a.located += other.located
+}
+
+// sortedBins returns the populated window bins, oldest hour first — the
+// canonical bin order Merge folds in and MarshalBinary persists.
+func (a *Analytics) sortedBins() []hourBin {
+	bins := make([]hourBin, 0, len(a.ring))
+	for i := range a.ring {
+		if a.ring[i].hour >= 0 {
+			bins = append(bins, a.ring[i])
+		}
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i].hour < bins[j].hour })
+	return bins
 }
 
 // Collect merges the shards (in slice order, so results are reproducible)

@@ -297,3 +297,73 @@ func TestFigure2RequiresStudyWindow(t *testing.T) {
 		t.Fatal("figure 2 from a shifted window must fail")
 	}
 }
+
+// TestArchiveWindowGrowsInsteadOfEvicting pins the Archive contract the
+// durable store's tail shards rely on: the hourly ring widens to cover
+// every binned hour instead of sliding, in-window-stale records are
+// binned rather than counted late, and only pre-Origin records stay
+// Late. A marshal/restore round trip preserves the grown window.
+func TestArchiveWindowGrowsInsteadOfEvicting(t *testing.T) {
+	cfg := Config{WindowHours: 4, Archive: true}
+	a := New(cfg)
+	for h := 0; h < 12; h++ {
+		a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(h)*time.Hour), client(h), 100)})
+	}
+	// A stale-but-post-Origin record: a sliding window would count it
+	// late; the archive bins it.
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart, client(50), 100)})
+	// Pre-Origin is still late.
+	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(-time.Hour), client(51), 100)})
+
+	snap := a.Snapshot()
+	if snap.SeriesStart != 0 || len(snap.Hours) != 12 {
+		t.Fatalf("archive window [%d +%d], want [0 +12]", snap.SeriesStart, len(snap.Hours))
+	}
+	for _, p := range snap.Hours {
+		want := 1.0
+		if p.Hour == 0 {
+			want = 2
+		}
+		if p.Flows != want {
+			t.Fatalf("hour %d holds %v flows, want %v", p.Hour, p.Flows, want)
+		}
+	}
+	if snap.Late != 1 {
+		t.Fatalf("late = %d, want 1 (only the pre-Origin record)", snap.Late)
+	}
+
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnmarshalAnalyticsStored(Config{WindowHours: 4}, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("restored archive state differs")
+	}
+}
+
+// TestImplausibleTimestampCountsLate pins the plausibility cap: a
+// record forged (or clock-skewed) past MaxWindowHours must count Late —
+// in both live and archive shards — instead of sliding a live window
+// over every real bin or growing an archive ring past what stored-state
+// reads accept back.
+func TestImplausibleTimestampCountsLate(t *testing.T) {
+	for _, archive := range []bool{false, true} {
+		a := New(Config{WindowHours: 4, Archive: archive})
+		a.Ingest([]netflow.Record{keptRecord(entime.StudyStart, client(1), 100)})
+		a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(MaxWindowHours)*time.Hour), client(2), 100)})
+		snap := a.Snapshot()
+		if snap.Late != 1 {
+			t.Fatalf("archive=%v: late = %d, want 1", archive, snap.Late)
+		}
+		if len(snap.Hours) != 1 || snap.Hours[0].Hour != 0 || snap.Hours[0].Flows != 1 {
+			t.Fatalf("archive=%v: forged record disturbed the window: %+v", archive, snap.Hours)
+		}
+		if a.cfg.WindowHours > MaxWindowHours {
+			t.Fatalf("archive=%v: window grew past the cap: %d", archive, a.cfg.WindowHours)
+		}
+	}
+}
