@@ -1,7 +1,7 @@
 # Tier-1 verify is `make verify` (build + test); see ROADMAP.md.
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-ingest bench-store fuzz-smoke crash-smoke verify ci all ingest-demo ingest-demo-quick
+.PHONY: build test vet fmt race bench bench-ingest bench-store bench-api bench-api-quick fuzz-smoke crash-smoke api-smoke verify ci all ingest-demo ingest-demo-quick
 
 all: verify vet
 
@@ -25,7 +25,7 @@ fmt:
 # (including the crash-recovery byte-identity test) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/
+	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/ ./internal/api/ ./internal/api/client/
 
 # One pass over every figure/table/ablation benchmark (see DESIGN.md for
 # the experiment index) plus the ingest and store benchmarks.
@@ -40,6 +40,21 @@ bench-ingest:
 # historical range queries (the EXPERIMENTS.md snapshot).
 bench-store:
 	$(GO) test -run XXX -bench 'BenchmarkStoreAppend|BenchmarkQueryRange' -benchmem ./internal/store/
+
+# The API throughput benchmark (the EXPERIMENTS.md snapshot): a durable
+# store + versioned API under live ingest, measuring per-hit marshaling
+# vs the single-flight response cache vs conditional (ETag) 304s.
+bench-api:
+	$(GO) run ./cmd/apiload -self -duration 5s -c 8
+
+bench-api-quick:
+	$(GO) run ./cmd/apiload -self -quick -duration 2s -c 4
+
+# API smoke drill: collectord -demo -quick -serve, then an
+# /api/v1/snapshot If-None-Match round trip asserting the 304. CI runs
+# the same test.
+api-smoke:
+	$(GO) test -run TestAPISmoke -count=1 -v ./cmd/collectord/
 
 # Short fuzz pass over the two wire/disk decoders: the NFv9 packet
 # decoder and the store record codec. CI runs the same smoke.
@@ -66,5 +81,5 @@ verify: build test
 
 # Mirrors .github/workflows/ci.yml: the formatting gate, static checks,
 # the full test suite, the race pass, the ingest smoke run, the crash
-# drill and the fuzz smoke.
-ci: fmt vet build test race ingest-demo-quick crash-smoke fuzz-smoke
+# drill, the API conditional-GET smoke and the fuzz smoke.
+ci: fmt vet build test race ingest-demo-quick crash-smoke api-smoke fuzz-smoke

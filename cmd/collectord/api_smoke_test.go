@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestAPISmoke is the end-to-end drill behind `make api-smoke` and the
+// CI api-smoke step: start collectord in -demo -quick -serve mode (the
+// loopback demo runs, verifies against the batch pipeline, then keeps
+// serving its state), exercise /api/v1/snapshot with an If-None-Match
+// round trip, and assert the 304 with zero body bytes.
+func TestAPISmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "collectord")
+	build := exec.Command("go", "build", "-o", bin, "cwatrace/cmd/collectord")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building collectord: %v", err)
+	}
+
+	proc := launchCollectord(t, bin, "-demo", "-quick", "-serve", "-http", "127.0.0.1:0")
+
+	// The demo simulates and replays before the server comes up; wait for
+	// the address announcement.
+	addr := strings.TrimSuffix(proc.awaitLine("collectord: v1 API on http://", 3*time.Minute), "/api/v1/snapshot")
+	if addr == "" {
+		t.Fatalf("collectord never announced the v1 API; stdout so far: %q", proc.linesCopy())
+	}
+	base := "http://" + addr
+
+	// Health first: the demo server must report ok.
+	resp, body := smokeGet(t, base+"/api/v1/health", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("health: %d %q", resp.StatusCode, body)
+	}
+
+	// Full snapshot: 200 with a strong ETag and compact JSON.
+	resp, body = smokeGet(t, base+"/api/v1/snapshot", "")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("snapshot: %d with %dB", resp.StatusCode, len(body))
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("snapshot carries no ETag")
+	}
+	var snap struct {
+		Hours  []json.RawMessage `json:"hours"`
+		Census json.RawMessage   `json:"census"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("snapshot is not v1 JSON: %v", err)
+	}
+	if len(snap.Hours) == 0 || snap.Census == nil {
+		t.Fatalf("demo snapshot is empty: %.200s", body)
+	}
+
+	// The conditional round trip: If-None-Match must yield 304 and zero
+	// body bytes.
+	resp, body = smokeGet(t, base+"/api/v1/snapshot", etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET: %d, want 304", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Fatalf("304 ETag %q != %q", resp.Header.Get("ETag"), etag)
+	}
+
+	// Field selection keeps the series and drops the other sections.
+	resp, sub := smokeGet(t, base+"/api/v1/snapshot?fields=hourly", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fields=hourly: %d", resp.StatusCode)
+	}
+	var subSnap struct {
+		Hours  []json.RawMessage `json:"hours"`
+		Census json.RawMessage   `json:"census"`
+	}
+	if err := json.Unmarshal(sub, &subSnap); err != nil {
+		t.Fatal(err)
+	}
+	if len(subSnap.Hours) != len(snap.Hours) || subSnap.Census != nil {
+		t.Fatalf("fields=hourly: %d hours, census present=%v", len(subSnap.Hours), subSnap.Census != nil)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := proc.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("collectord exited uncleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("collectord did not exit after SIGTERM")
+	}
+}
+
+// smokeGet runs one GET, optionally conditional.
+func smokeGet(t *testing.T, url, ifNoneMatch string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}

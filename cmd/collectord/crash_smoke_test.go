@@ -29,9 +29,10 @@ type collectordProc struct {
 	lines []string
 }
 
-// startCollectord launches the built daemon and waits until it prints
-// its bound UDP and HTTP addresses.
-func startCollectord(t *testing.T, bin string, args ...string) (*collectordProc, string, string) {
+// launchCollectord starts the built daemon with its stdout captured
+// line by line; callers poll linesCopy (or awaitLine) for the
+// announcement prefixes they care about.
+func launchCollectord(t *testing.T, bin string, args ...string) *collectordProc {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
@@ -56,22 +57,34 @@ func startCollectord(t *testing.T, bin string, args ...string) (*collectordProc,
 		_ = cmd.Process.Kill()
 		_, _ = cmd.Process.Wait()
 	})
+	return p
+}
 
-	udp, httpAddr := "", ""
-	deadline := time.Now().Add(20 * time.Second)
-	for time.Now().Before(deadline) && (udp == "" || httpAddr == "") {
+// awaitLine polls the captured stdout until a line with the prefix
+// appears, returning the trimmed remainder ("" on timeout).
+func (p *collectordProc) awaitLine(prefix string, timeout time.Duration) string {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
 		p.mu.Lock()
 		for _, line := range p.lines {
-			if rest, ok := strings.CutPrefix(line, "collectord: ingesting NFv9 on "); ok {
-				udp = strings.TrimSpace(rest)
-			}
-			if rest, ok := strings.CutPrefix(line, "collectord: live state on http://"); ok {
-				httpAddr = strings.TrimSuffix(strings.TrimSpace(rest), "/snapshot")
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				p.mu.Unlock()
+				return strings.TrimSpace(rest)
 			}
 		}
 		p.mu.Unlock()
 		time.Sleep(20 * time.Millisecond)
 	}
+	return ""
+}
+
+// startCollectord launches the built daemon and waits until it prints
+// its bound UDP and HTTP addresses.
+func startCollectord(t *testing.T, bin string, args ...string) (*collectordProc, string, string) {
+	t.Helper()
+	p := launchCollectord(t, bin, args...)
+	udp := p.awaitLine("collectord: ingesting NFv9 on ", 20*time.Second)
+	httpAddr := strings.TrimSuffix(p.awaitLine("collectord: live state on http://", 20*time.Second), "/snapshot")
 	if udp == "" || httpAddr == "" {
 		t.Fatalf("collectord never announced its addresses; stdout so far: %q", p.linesCopy())
 	}

@@ -13,18 +13,28 @@
 // checkpoint frames — the longitudinal analyses a purely in-memory
 // collector forgets on every restart.
 //
-// Live state is exposed over HTTP:
+// Live state is exposed over HTTP through the versioned analytics API
+// (internal/api): typed JSON with a structured error envelope, strong
+// ETags for conditional GETs (If-None-Match -> 304), gzip, compact
+// encoding by default (?pretty=1 opts into indentation), field
+// selection and top-K truncation:
 //
-//	GET /healthz                liveness
-//	GET /metrics                Prometheus text format
-//	GET /snapshot               merged analytics snapshot, JSON
-//	GET /query?from=&to=        historical range query (RFC 3339 or unix
-//	                            seconds; both bounds optional), JSON;
-//	                            requires -data-dir
+//	GET /api/v1/health           200 ok / 503 draining during shutdown
+//	GET /api/v1/stats            pipeline counters + store gauges
+//	GET /api/v1/snapshot         merged analytics snapshot
+//	    ?fields=hourly,filters,spikes,prefixes,districts  section selection
+//	    ?top=N                   truncate ranked lists    ?pretty=1  indent
+//	GET /api/v1/query?from=&to=  historical range (RFC 3339 or unix
+//	                             seconds; both bounds optional); requires
+//	                             -data-dir; same fields/top/pretty params
+//	GET /metrics                 Prometheus text format
 //
-// On SIGINT/SIGTERM the daemon stops the sockets, drains every queued
-// batch, checkpoints the store (when durable) and prints the final
-// snapshot summary.
+// The pre-v1 endpoints (/healthz, /snapshot, /query) remain as
+// deprecated aliases over the same handlers.
+//
+// On SIGINT/SIGTERM the daemon flips the health endpoints to 503
+// draining, stops the sockets, drains every queued batch, checkpoints
+// the store (when durable) and prints the final snapshot summary.
 //
 // Usage:
 //
@@ -32,20 +42,23 @@
 //	           [-workers N] [-geodb geodb.jsonl] [-window-hours H] [-topk K]
 //	           [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval D] [-checkpoint-interval D]
-//	           [-segment-bytes N]
+//	           [-segment-bytes N] [-http-log]
 //
-//	collectord -demo [-quick]
+//	collectord -demo [-quick] [-serve]
 //
 // Demo mode is the self-contained loopback smoke run behind
 // `make ingest-demo`: it runs the simulator, replays the trace through an
 // exporter pool into its own pipeline over loopback UDP, and checks the
-// streaming aggregates against the batch internal/core analysis.
+// streaming aggregates against the batch internal/core analysis. With
+// -serve the daemon then keeps serving the demo state over HTTP until
+// SIGTERM — the self-contained target the api-smoke CI step curls.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -55,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"cwatrace/internal/api"
 	"cwatrace/internal/core"
 	"cwatrace/internal/entime"
 	"cwatrace/internal/experiments"
@@ -77,6 +91,8 @@ func main() {
 		topK        = flag.Int("topk", 10, "active-prefix leaderboard size")
 		demo        = flag.Bool("demo", false, "self-contained sim -> exporter -> pipeline loopback run")
 		quick       = flag.Bool("quick", false, "smaller demo workload (CI smoke mode)")
+		serve       = flag.Bool("serve", false, "with -demo: keep serving the demo state over HTTP after verification")
+		httpLog     = flag.Bool("http-log", false, "log one access line per HTTP request")
 
 		dataDir      = flag.String("data-dir", "", "durable store directory (enables WAL, checkpoints and /query)")
 		fsyncPolicy  = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
@@ -102,8 +118,39 @@ func main() {
 	}
 
 	if *demo {
-		if err := runDemo(acfg, *workers, *quick); err != nil {
+		p, err := runDemo(acfg, *workers, *quick)
+		if err != nil {
 			fatal("%v", err)
+		}
+		if *serve {
+			// The drained pipeline's state is frozen, which makes it the
+			// perfect conditional-GET demo: every ETag stays valid until
+			// shutdown. Serve it until SIGTERM, then shut down gracefully:
+			// health flips to 503 draining while in-flight responses
+			// finish.
+			srv := newAPIServer(p, nil, *httpLog)
+			ln, err := net.Listen("tcp", *httpAddr)
+			if err != nil {
+				fatal("http: %v", err)
+			}
+			hs := &http.Server{Handler: srv}
+			go func() {
+				if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+					fatal("http: %v", err)
+				}
+			}()
+			fmt.Printf("collectord: live state on http://%s/snapshot\n", ln.Addr())
+			fmt.Printf("collectord: v1 API on http://%s/api/v1/snapshot\n", ln.Addr())
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+			<-sig
+			srv.SetDraining(true)
+			fmt.Println("collectord: draining")
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "collectord: http shutdown: %v\n", err)
+			}
 		}
 		return
 	}
@@ -155,17 +202,20 @@ func main() {
 		snapshot = st.Snapshot
 	}
 
+	var srv *api.Server
 	if *httpAddr != "" {
+		srv = newAPIServer(p, st, *httpLog)
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatal("http: %v", err)
 		}
 		go func() {
-			if err := http.Serve(ln, newMux(p, st)); err != nil {
+			if err := http.Serve(ln, srv); err != nil {
 				fatal("http: %v", err)
 			}
 		}()
 		fmt.Printf("collectord: live state on http://%s/snapshot\n", ln.Addr())
+		fmt.Printf("collectord: v1 API on http://%s/api/v1/snapshot\n", ln.Addr())
 	}
 
 	if st != nil && *ckptEvery > 0 {
@@ -184,6 +234,11 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("collectord: draining")
+	if srv != nil {
+		// Health flips to 503 before the drain starts, so load balancers
+		// stop routing while the daemon checkpoints its way down.
+		srv.SetDraining(true)
+	}
 	if err := p.Close(); err != nil {
 		fatal("drain: %v", err)
 	}
@@ -200,67 +255,40 @@ func main() {
 	printSummary(p.Stats(), snapshot())
 }
 
-// newMux wires the live-state endpoints. st is nil without -data-dir;
-// /snapshot then serves the pipeline's in-memory state and /query
-// explains what is missing.
-func newMux(p *ingest.Pipeline, st *store.Store) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+// newAPIServer builds the versioned analytics API over the pipeline
+// and (when durable) the store, and mounts the Prometheus /metrics
+// endpoint behind the same middleware. st is nil without -data-dir;
+// /api/v1/snapshot then serves the pipeline's in-memory state and
+// /api/v1/query explains what is missing.
+func newAPIServer(p *ingest.Pipeline, st *store.Store, accessLog bool) *api.Server {
+	cfg := api.Config{Live: p}
+	if st != nil {
+		cfg.History = st
+	}
+	if accessLog {
+		cfg.Log = log.New(os.Stderr, "collectord: http: ", log.LstdFlags)
+	}
+	srv, err := api.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	srv.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		metrics := ingestMetrics(p.Stats())
 		if st != nil {
 			metrics = append(metrics, storeMetrics(st.Metrics(), time.Now())...)
 		}
-		_ = writeMetrics(w, metrics)
-	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
-		var snap *streaming.Snapshot
-		if st != nil {
-			snap = st.Snapshot() // SinkOnly mode: the lanes hold nothing
-		} else {
-			snap = p.Snapshot()
+		if err := writeMetrics(w, metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "collectord: writing /metrics: %v\n", err)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			Stats    ingest.Stats        `json:"stats"`
-			Snapshot *streaming.Snapshot `json:"snapshot"`
-		}{p.Stats(), snap})
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		if st == nil {
-			http.Error(w, "historical queries need -data-dir", http.StatusNotFound)
-			return
-		}
-		from, err := store.ParseTime(r.URL.Query().Get("from"))
-		if err != nil {
-			http.Error(w, fmt.Sprintf("from: %v", err), http.StatusBadRequest)
-			return
-		}
-		to, err := store.ParseTime(r.URL.Query().Get("to"))
-		if err != nil {
-			http.Error(w, fmt.Sprintf("to: %v", err), http.StatusBadRequest)
-			return
-		}
-		res, err := st.Query(from, to)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(res)
-	})
-	return mux
+	}))
+	return srv
 }
 
 // runDemo is the loopback smoke run: simulate, export, ingest, verify.
-func runDemo(acfg streaming.Config, workers int, quick bool) error {
+// It returns the drained pipeline so -serve can keep exposing its
+// state.
+func runDemo(acfg streaming.Config, workers int, quick bool) (*ingest.Pipeline, error) {
 	cfg := experiments.QuickConfig()
 	if quick {
 		cfg.Scale *= 3 // fewer devices, smaller trace
@@ -268,7 +296,7 @@ func runDemo(acfg streaming.Config, workers int, quick bool) error {
 	fmt.Printf("demo: simulating the study window (scale 1:%d)\n", cfg.Scale)
 	res, err := sim.Run(cfg)
 	if err != nil {
-		return fmt.Errorf("sim: %w", err)
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 
 	acfg.DB = res.GeoDB
@@ -281,19 +309,21 @@ func runDemo(acfg streaming.Config, workers int, quick bool) error {
 	// replay on a fresh pipeline rather than skipping verification — the
 	// demo's whole point (and its CI role) is the exact-match check.
 	var (
+		p       *ingest.Pipeline
 		stats   ingest.Stats
 		snap    *streaming.Snapshot
 		sources int
 	)
 	for attempt := 1; ; attempt++ {
-		p, err := ingest.New(ingest.Config{
+		var err error
+		p, err = ingest.New(ingest.Config{
 			Listen:      []string{"127.0.0.1:0"},
 			Workers:     workers,
 			ShardBuffer: 4096,
 			Analytics:   acfg,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("demo: replaying %d records over NFv9/UDP loopback to %s\n", len(res.Records), p.Addrs()[0])
 		start := time.Now()
@@ -303,7 +333,7 @@ func runDemo(acfg streaming.Config, workers int, quick bool) error {
 		})
 		if err != nil {
 			p.Close()
-			return fmt.Errorf("replay: %w", err)
+			return nil, fmt.Errorf("replay: %w", err)
 		}
 		deadline := time.Now().Add(10 * time.Second)
 		for time.Now().Before(deadline) {
@@ -313,7 +343,7 @@ func runDemo(acfg streaming.Config, workers int, quick bool) error {
 			time.Sleep(10 * time.Millisecond)
 		}
 		if err := p.Close(); err != nil {
-			return err
+			return nil, err
 		}
 		elapsed := time.Since(start)
 
@@ -327,7 +357,7 @@ func runDemo(acfg streaming.Config, workers int, quick bool) error {
 			break
 		}
 		if attempt >= 3 {
-			return fmt.Errorf("demo: loopback replay stayed lossy after %d attempts (sent %d, stats %+v)",
+			return nil, fmt.Errorf("demo: loopback replay stayed lossy after %d attempts (sent %d, stats %+v)",
 				attempt, rs.Records, stats)
 		}
 		fmt.Printf("demo: attempt %d lost records (sent %d, received %d, dropped %d); retrying\n",
@@ -337,22 +367,22 @@ func runDemo(acfg streaming.Config, workers int, quick bool) error {
 	// Verification against the batch pipeline.
 	kept, census := core.ApplyFilter(res.Records, core.DefaultFilter())
 	if !reflect.DeepEqual(snap.Census, census) {
-		return fmt.Errorf("demo: streaming census %+v != batch %+v", snap.Census, census)
+		return nil, fmt.Errorf("demo: streaming census %+v != batch %+v", snap.Census, census)
 	}
 	batchFig2, err := core.Figure2(kept, res.Curve)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	streamFig2, err := snap.Figure2(res.Curve)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if !reflect.DeepEqual(streamFig2, batchFig2) {
-		return fmt.Errorf("demo: streaming figure-2 series differs from batch")
+		return nil, fmt.Errorf("demo: streaming figure-2 series differs from batch")
 	}
 	fmt.Printf("demo: OK — streaming census and figure-2 series match batch exactly (release-day ratio %.2fx)\n",
 		streamFig2.ReleaseDayFlowRatio)
-	return nil
+	return p, nil
 }
 
 // printSummary renders the drained pipeline's headline state.

@@ -10,6 +10,8 @@
 //
 //	cwanalyze -data-dir DIR [-from T] [-to T]
 //
+//	cwanalyze -addr HOST:PORT [-from T] [-to T]
+//
 // Without selection flags every analysis runs.
 //
 // With -data-dir the input is a collectord durable store instead of a
@@ -17,20 +19,29 @@
 // frames (plus any WAL tail the collector had not folded yet) covering
 // [-from, -to) — RFC 3339 timestamps or unix seconds, both optional —
 // and renders the historical range: census, hourly series, spikes, top
-// prefixes and district rollups.
+// prefixes and district rollups (plus the Figure-2 table whenever the
+// range covers the full study window).
+//
+// With -addr the same historical range comes from a live collectord
+// over its versioned API (/api/v1/query, via the typed internal/api
+// client with retries and ETag-aware caching) — no filesystem access,
+// same output as a local -data-dir read of the same store.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"cwatrace/internal/adoption"
+	"cwatrace/internal/api/client"
 	"cwatrace/internal/core"
 	"cwatrace/internal/geo"
 	"cwatrace/internal/geodb"
 	"cwatrace/internal/store"
+	"cwatrace/internal/streaming"
 	"cwatrace/internal/trace"
 )
 
@@ -46,12 +57,19 @@ func main() {
 		scale       = flag.Int("scale", 2000, "population scale of the trace, for scaled counts")
 
 		dataDir = flag.String("data-dir", "", "collectord durable store directory (replaces -trace)")
-		fromArg = flag.String("from", "", "historical range start (RFC 3339 or unix seconds; empty = store origin)")
-		toArg   = flag.String("to", "", "historical range end (exclusive; empty = end of history)")
+		addr    = flag.String("addr", "", "live collectord API address, e.g. 127.0.0.1:8055 (replaces -trace/-data-dir)")
+		fromArg = flag.String("from", "", "historical range start (RFC 3339, e.g. 2020-06-16T00:00:00Z, or unix seconds, e.g. 1592265600; empty = store origin)")
+		toArg   = flag.String("to", "", "historical range end, exclusive (RFC 3339 or unix seconds; empty = end of history)")
 	)
 	flag.Parse()
 	all := !*fig2 && !*fig3 && !*persistence && !*outbreaks && !*census
 
+	if *addr != "" {
+		if err := analyzeRemote(*addr, *fromArg, *toArg, *scale); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 	if *dataDir != "" {
 		if err := analyzeStore(*dataDir, *geoPath, *fromArg, *toArg, *scale); err != nil {
 			fatal("%v", err)
@@ -151,11 +169,47 @@ func analyzeStore(dir, geoPath, fromArg, toArg string, scale int) error {
 	if err != nil {
 		return err
 	}
-	snap := res.Snapshot
 	fmt.Printf("range [%s, %s): merged %d frames (tail included: %v)\n\n",
 		timeBound(from, "origin"), timeBound(to, "end"), res.Frames, res.TailIncluded)
+	renderRange(res.Snapshot, scale)
+	return nil
+}
 
+// analyzeRemote serves the same historical range from a live collectord
+// over /api/v1/query: identical rendering, no filesystem access.
+func analyzeRemote(addr, fromArg, toArg string, scale int) error {
+	c, err := client.New(addr, nil)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	res, err := c.QueryBounds(ctx, fromArg, toArg, nil)
+	if err != nil {
+		return err
+	}
+	if st, err := c.Stats(ctx); err == nil && st.Store != nil {
+		fmt.Printf("collectord %s: %d checkpoint frames (%d records), %d un-checkpointed records\n",
+			addr, st.Store.Frames, st.Store.FrameRecords, st.Store.TailRecords)
+	}
+	fmt.Printf("range [%s, %s): merged %d frames (tail included: %v)\n\n",
+		timeBound(res.From, "origin"), timeBound(res.To, "end"), res.Frames, res.TailIncluded)
+	renderRange(res.Snapshot.Streaming(), scale)
+	return nil
+}
+
+// renderRange prints a historical range snapshot — shared verbatim by
+// the local (-data-dir) and remote (-addr) paths, so both produce the
+// same tables for the same data.
+func renderRange(snap *streaming.Snapshot, scale int) {
 	fmt.Println(core.RenderCensus(snap.Census, scale))
+
+	// When the range covers the full study window the exact Figure-2
+	// table is derivable; partial ranges fall back to the summary line.
+	if fig2, err := snap.Figure2(adoption.DefaultCurve()); err == nil {
+		fmt.Println(core.RenderFigure2(fig2))
+	}
 
 	var flows, bytes float64
 	for _, p := range snap.Hours {
@@ -182,7 +236,6 @@ func analyzeStore(dir, geoPath, fromArg, toArg string, scale int) error {
 	if len(snap.Districts) > 0 {
 		fmt.Printf("districts active: %d (located %d flows)\n", len(snap.Districts), snap.Located)
 	}
-	return nil
 }
 
 func timeBound(t time.Time, open string) string {

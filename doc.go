@@ -62,6 +62,15 @@
 //     checkpointed analytics frames with CRC-protected records, crash
 //     recovery, background compaction, and the historical time-range
 //     query engine
+//   - internal/api — the versioned analytics API served by collectord:
+//     conditional-GET caching (strong ETags from store generations, a
+//     single-flight response cache), field selection, gzip, timeouts,
+//     method enforcement, deprecated legacy aliases
+//   - internal/api/v1 — the frozen v1 wire schema: typed
+//     request/response structs, the structured error envelope, field
+//     selection vocabulary
+//   - internal/api/client — the typed Go client: retries with backoff,
+//     ETag-aware local caching, structured errors
 //   - internal/trace — JSONL/binary trace serialization for
 //     cwasim/cwanalyze
 //
@@ -82,8 +91,11 @@
 // Commands: cmd/experiments (regenerate all artefacts), cmd/scenarios
 // (list/validate/run what-if scenarios), cmd/cwasim + cmd/cwanalyze
 // (capture to disk, analyze from disk; -export replays the trace live,
-// -data-dir analyzes historical ranges from a collectord store),
-// cmd/cwabackend (the backend as a live HTTP server), cmd/collectord
-// (the live NFv9 collector daemon with sliding-window analytics,
-// durable WAL/checkpoint persistence and historical /query).
+// -data-dir analyzes historical ranges from a collectord store, -addr
+// queries a live collectord over the versioned API), cmd/cwabackend
+// (the backend as a live HTTP server), cmd/collectord (the live NFv9
+// collector daemon with sliding-window analytics, durable
+// WAL/checkpoint persistence and the /api/v1 analytics surface), and
+// cmd/apiload (the concurrent API load generator; -self benchmarks
+// cached vs uncached reads under live ingest).
 package cwatrace

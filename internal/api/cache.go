@@ -1,0 +1,93 @@
+package api
+
+import (
+	"fmt"
+	"sync"
+)
+
+// respCache is the concurrent single-flight response cache: marshaled
+// response bodies keyed by ETag (which already encodes endpoint,
+// request parameters and data generation, so a key can never go stale —
+// it can only fall out of use). N identical dashboard hits between data
+// changes cost one serialization: the first request marshals, everyone
+// else — concurrent or later — gets the cached bytes.
+type respCache struct {
+	mu      sync.Mutex
+	max     int
+	clock   uint64
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry is one body being (or done being) marshaled. ready is
+// closed once body/err are set; waiters block on it, which is the
+// single-flight collapse.
+type cacheEntry struct {
+	ready   chan struct{}
+	body    []byte
+	err     error
+	lastUse uint64
+}
+
+func newRespCache(max int) *respCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &respCache{max: max, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached body for key, running fill exactly once per
+// key across concurrent callers. Failed fills are not cached — the next
+// request retries.
+func (c *respCache) get(key string, fill func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	c.clock++
+	if e, ok := c.entries[key]; ok {
+		e.lastUse = c.clock
+		c.mu.Unlock()
+		<-e.ready
+		return e.body, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{}), lastUse: c.clock}
+	c.entries[key] = e
+	c.evictLocked()
+	c.mu.Unlock()
+
+	func() {
+		// A panicking fill must still release the waiters.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("api: building response: panic: %v", r)
+			}
+			close(e.ready)
+		}()
+		e.body, e.err = fill()
+	}()
+
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.body, e.err
+}
+
+// evictLocked drops least-recently-used entries until the cache fits.
+// Evicting an in-flight entry is safe: its waiters hold the pointer and
+// still get the filled body; only future lookups miss.
+func (c *respCache) evictLocked() {
+	for len(c.entries) > c.max {
+		var (
+			oldestKey string
+			oldest    uint64
+			found     bool
+		)
+		for k, e := range c.entries {
+			if !found || e.lastUse < oldest {
+				oldestKey, oldest, found = k, e.lastUse, true
+			}
+		}
+		delete(c.entries, oldestKey)
+	}
+}

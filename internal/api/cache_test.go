@@ -1,0 +1,95 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheSingleFlight requires N concurrent identical requests to
+// cost exactly one fill.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newRespCache(8)
+	var fills atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			body, err := c.get("k", func() ([]byte, error) {
+				fills.Add(1)
+				return []byte("body"), nil
+			})
+			if err != nil || string(body) != "body" {
+				t.Errorf("get: %q %v", body, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times, want 1", got)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newRespCache(8)
+	calls := 0
+	fill := func() ([]byte, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient")
+		}
+		return []byte("ok"), nil
+	}
+	if _, err := c.get("k", fill); err == nil {
+		t.Fatal("first fill error swallowed")
+	}
+	body, err := c.get("k", fill)
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("retry after error: %q %v", body, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fill ran %d times, want 2", calls)
+	}
+}
+
+func TestCachePanicReleasesWaiters(t *testing.T) {
+	c := newRespCache(8)
+	if _, err := c.get("k", func() ([]byte, error) { panic("boom") }); err == nil {
+		t.Fatal("panicking fill returned no error")
+	}
+	// The key is free again.
+	body, err := c.get("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("after panic: %q %v", body, err)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newRespCache(4)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := c.get(key, func() ([]byte, error) { return []byte(key), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("cache holds %d entries, cap 4", n)
+	}
+	// The most recent key is still served without a refill.
+	refilled := false
+	if _, err := c.get("k9", func() ([]byte, error) { refilled = true; return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if refilled {
+		t.Fatal("LRU evicted the most recently used key")
+	}
+}

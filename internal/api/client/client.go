@@ -1,0 +1,308 @@
+// Package client is the typed Go client for the collectord /api/v1
+// surface — the one way every remote consumer (cwanalyze -addr, the
+// apiload generator, dashboards) reaches the data. It retries transient
+// failures with backoff, surfaces the server's structured errors as
+// *v1.Error values, and keeps a small ETag-aware local cache: repeated
+// reads revalidate with If-None-Match and decode the locally cached
+// body on 304, so an unchanged dashboard poll costs headers, not
+// payload.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/store"
+)
+
+// Options tune a Client; the zero value is usable.
+type Options struct {
+	// HTTPClient overrides the transport (default: a dedicated client
+	// with sane timeouts).
+	HTTPClient *http.Client
+	// Retries is how many times a transient failure (network error, 5xx)
+	// is retried after the first attempt (0 = the default of 3, negative
+	// = never retry).
+	Retries int
+	// Backoff is the base delay between retries, doubled each attempt
+	// (default 100ms).
+	Backoff time.Duration
+}
+
+// cacheLimit bounds the per-URL ETag cache.
+const cacheLimit = 256
+
+// Client talks to one collectord API server. It is safe for concurrent
+// use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+
+	mu    sync.Mutex
+	cache map[string]*cachedResp
+}
+
+// cachedResp is one validated response body.
+type cachedResp struct {
+	etag string
+	body []byte
+}
+
+// New builds a client for addr, which may be a bare host:port or a full
+// http(s) URL.
+func New(addr string, opts *Options) (*Client, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("client: empty address")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil || u.Host == "" {
+		return nil, fmt.Errorf("client: bad address %q", addr)
+	}
+	c := &Client{
+		base:    strings.TrimRight(u.String(), "/"),
+		hc:      &http.Client{Timeout: 60 * time.Second},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+		cache:   make(map[string]*cachedResp),
+	}
+	if opts != nil {
+		if opts.HTTPClient != nil {
+			c.hc = opts.HTTPClient
+		}
+		if opts.Retries > 0 {
+			c.retries = opts.Retries
+		} else if opts.Retries < 0 {
+			c.retries = 0
+		}
+		if opts.Backoff > 0 {
+			c.backoff = opts.Backoff
+		}
+	}
+	return c, nil
+}
+
+// ReqOpts select the response shape of the cacheable endpoints.
+type ReqOpts struct {
+	// Fields selects snapshot sections (zero = everything).
+	Fields v1.FieldSet
+	// Top truncates the ranked lists to the busiest N entries (0 = all).
+	Top int
+}
+
+// values renders the options as query parameters.
+func (o *ReqOpts) values() url.Values {
+	q := url.Values{}
+	if o == nil {
+		return q
+	}
+	if o.Fields != 0 && o.Fields != v1.AllFields {
+		q.Set("fields", o.Fields.String())
+	}
+	if o.Top > 0 {
+		q.Set("top", strconv.Itoa(o.Top))
+	}
+	return q
+}
+
+// Snapshot fetches /api/v1/snapshot.
+func (c *Client) Snapshot(ctx context.Context, opts *ReqOpts) (*v1.Snapshot, error) {
+	var out v1.Snapshot
+	if err := c.getJSON(ctx, "/api/v1/snapshot", opts.values(), true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query fetches /api/v1/query for [from, to); zero bounds are open
+// ends.
+func (c *Client) Query(ctx context.Context, from, to time.Time, opts *ReqOpts) (*v1.QueryResponse, error) {
+	q := opts.values()
+	// RFC3339Nano keeps sub-second bounds lossless; store.ParseTime on
+	// the server accepts the fractional form.
+	if !from.IsZero() {
+		q.Set("from", from.Format(time.RFC3339Nano))
+	}
+	if !to.IsZero() {
+		q.Set("to", to.Format(time.RFC3339Nano))
+	}
+	var out v1.QueryResponse
+	if err := c.getJSON(ctx, "/api/v1/query", q, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryBounds is Query with string bounds in the forms every store
+// consumer accepts (RFC 3339 or unix seconds, empty = open), so CLI
+// flags pass through unparsed.
+func (c *Client) QueryBounds(ctx context.Context, from, to string, opts *ReqOpts) (*v1.QueryResponse, error) {
+	f, err := store.ParseTime(from)
+	if err != nil {
+		return nil, fmt.Errorf("client: from: %w", err)
+	}
+	t, err := store.ParseTime(to)
+	if err != nil {
+		return nil, fmt.Errorf("client: to: %w", err)
+	}
+	return c.Query(ctx, f, t, opts)
+}
+
+// Stats fetches /api/v1/stats (never cached: it changes every packet).
+func (c *Client) Stats(ctx context.Context) (*v1.StatsResponse, error) {
+	var out v1.StatsResponse
+	if err := c.getJSON(ctx, "/api/v1/stats", nil, false, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes /api/v1/health once (no retries — a draining 503 is an
+// answer, not a failure). The response is returned for both 200 and
+// 503 bodies that parse; anything else is an error.
+func (c *Client) Health(ctx context.Context) (*v1.HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/health", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var h v1.HealthResponse
+	if jerr := json.Unmarshal(body, &h); jerr == nil && h.Status != "" {
+		return &h, nil
+	}
+	return nil, apiError(resp.StatusCode, body)
+}
+
+// getJSON is the shared GET path: retries, the ETag cache, and the
+// error-envelope decoding.
+func (c *Client) getJSON(ctx context.Context, path string, q url.Values, cacheable bool, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		body, err := c.try(ctx, u, cacheable)
+		if err == nil {
+			return json.Unmarshal(body, out)
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+	}
+	return lastErr
+}
+
+// try runs one conditional GET against url.
+func (c *Client) try(ctx context.Context, url string, cacheable bool) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	var prior *cachedResp
+	if cacheable {
+		c.mu.Lock()
+		prior = c.cache[url]
+		c.mu.Unlock()
+		if prior != nil {
+			req.Header.Set("If-None-Match", prior.etag)
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, &transportError{err}
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusNotModified {
+		if prior == nil {
+			// A 304 we never asked for; treat as transient.
+			return nil, &transportError{fmt.Errorf("unsolicited 304 from %s", url)}
+		}
+		return prior.body, nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &transportError{err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp.StatusCode, body)
+	}
+	if cacheable {
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			c.mu.Lock()
+			if len(c.cache) >= cacheLimit {
+				for k := range c.cache {
+					delete(c.cache, k)
+					break
+				}
+			}
+			c.cache[url] = &cachedResp{etag: etag, body: body}
+			c.mu.Unlock()
+		}
+	}
+	return body, nil
+}
+
+// transportError marks network-level failures (always retryable).
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "client: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// apiError converts a non-200 response into a *v1.Error, synthesizing
+// an envelope for bodies that carry none (legacy text errors, proxies).
+func apiError(status int, body []byte) error {
+	var env v1.ErrorResponse
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil {
+		env.Error.Status = status
+		return env.Error
+	}
+	return &v1.Error{
+		Code:    http.StatusText(status),
+		Message: strings.TrimSpace(string(body)),
+		Status:  status,
+	}
+}
+
+// retryable reports whether another attempt can help: transport
+// failures and server-side 5xx, never client-side 4xx.
+func retryable(err error) bool {
+	if _, ok := err.(*transportError); ok {
+		return true
+	}
+	if apiErr, ok := err.(*v1.Error); ok {
+		return apiErr.Status >= 500
+	}
+	return false
+}

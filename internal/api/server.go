@@ -1,0 +1,632 @@
+// Package api is the versioned HTTP analytics surface of collectord:
+// the typed /api/v1/{snapshot,query,health,stats} endpoints (wire
+// schema in internal/api/v1), the deprecated legacy aliases (/snapshot,
+// /query, /healthz), and the middleware they share — method
+// enforcement, request timeouts, gzip, access logging, and the
+// performance headline: conditional-GET caching. Every cacheable
+// response carries a strong ETag derived from the data-generation token
+// (store.Version, or a pipeline-stats hash on a memory-only collector)
+// plus the request parameters; repeated reads and CDN front-ends
+// revalidate with If-None-Match and get 304 Not Modified instead of a
+// full re-marshal, and a single-flight response cache collapses N
+// identical concurrent hits into one serialization.
+package api
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/ingest"
+	"cwatrace/internal/store"
+	"cwatrace/internal/streaming"
+)
+
+// Live is the in-memory data source: the ingest pipeline (or anything
+// shaped like it). Stats feeds /api/v1/stats and the legacy /snapshot
+// body; Snapshot serves the analytics on a collector without a durable
+// store.
+type Live interface {
+	Snapshot() *streaming.Snapshot
+	Stats() ingest.Stats
+}
+
+// History is the durable data source: the store of a -data-dir
+// collector. When present it owns the snapshot state (SinkOnly mode)
+// and answers historical range queries; Version feeds the ETag
+// derivation (see store.Version for the exact invalidation contract).
+type History interface {
+	Snapshot() *streaming.Snapshot
+	Query(from, to time.Time) (*store.QueryResult, error)
+	Version(from, to time.Time) uint64
+	Metrics() store.Metrics
+}
+
+// Config parameterizes a Server. At least one of Live and History must
+// be set; a durable collector sets both.
+type Config struct {
+	Live    Live
+	History History
+	// Log receives one access-log line per request (nil disables access
+	// logging; write/encode errors still reach the standard logger).
+	Log *log.Logger
+	// Timeout bounds request handling (default 30s).
+	Timeout time.Duration
+	// CacheEntries bounds the single-flight response cache (default 128).
+	CacheEntries int
+}
+
+// Server is the mounted API surface. It is an http.Handler; extra
+// endpoints (collectord's /metrics) join the same middleware stack via
+// Handle.
+type Server struct {
+	cfg      Config
+	boot     uint64
+	mux      *http.ServeMux
+	handler  http.Handler
+	cache    *respCache
+	draining atomic.Bool
+}
+
+// New builds the server and mounts the v1 surface plus the deprecated
+// legacy aliases.
+func New(cfg Config) (*Server, error) {
+	if cfg.Live == nil && cfg.History == nil {
+		return nil, fmt.Errorf("api: need a Live or History source")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:   cfg,
+		boot:  uint64(time.Now().UnixNano()),
+		mux:   http.NewServeMux(),
+		cache: newRespCache(cfg.CacheEntries),
+	}
+
+	s.mux.Handle("/api/v1/snapshot", s.get(s.handleSnapshot))
+	s.mux.Handle("/api/v1/query", s.get(s.handleQuery))
+	s.mux.Handle("/api/v1/health", s.get(s.handleHealth))
+	s.mux.Handle("/api/v1/stats", s.get(s.handleStats))
+	s.mux.Handle("/api/v1/", s.get(s.handleUnknown))
+
+	// Deprecated aliases over the same plumbing (same sources, cache and
+	// ETags; legacy body shapes and text errors preserved).
+	s.mux.Handle("/snapshot", s.get(s.handleLegacySnapshot))
+	s.mux.Handle("/query", s.get(s.handleLegacyQuery))
+	s.mux.Handle("/healthz", s.get(s.handleLegacyHealth))
+
+	timeoutBody, _ := json.Marshal(v1.ErrorResponse{Error: &v1.Error{
+		Code:    v1.CodeTimeout,
+		Message: "request timed out",
+	}})
+	// The JSON default sits OUTSIDE the timeout handler: on a timeout,
+	// http.TimeoutHandler writes its body straight to the outer writer
+	// with no Content-Type, and content sniffing would label the error
+	// envelope text/plain. Every real handler sets its own type, which
+	// overrides this default on the normal path.
+	s.handler = s.accessLog(jsonDefault(http.TimeoutHandler(s.mux, cfg.Timeout, string(timeoutBody))))
+	return s, nil
+}
+
+// jsonDefault pre-declares application/json so even the timeout
+// handler's synthesized envelope carries the right type.
+func jsonDefault(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Handle mounts an extra GET endpoint behind the shared middleware
+// (method enforcement, timeout, access log).
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, s.get(h.ServeHTTP))
+}
+
+// SetDraining flips the health endpoints between 200 ok and 503
+// draining. collectord sets it at the start of the SIGTERM drain so
+// load balancers stop routing to a daemon that is checkpointing its way
+// down.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// ---- middleware ----
+
+// statusWriter records what the handler produced for the access log and
+// surfaces the first body-write error instead of dropping it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+	err    error
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	if err != nil && sw.err == nil {
+		sw.err = err
+	}
+	return n, err
+}
+
+// accessLog wraps the stack with per-request logging. Body-write
+// failures (a client that went away mid-response) are logged even when
+// access logging is off — a dropped response must never be silent.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("%s %s %d %dB %s", r.Method, r.URL.RequestURI(), sw.status, sw.bytes, time.Since(start).Round(time.Microsecond))
+		}
+		if sw.err != nil {
+			s.errorf("writing %s %s: %v", r.Method, r.URL.Path, sw.err)
+		}
+	})
+}
+
+// get enforces the read-only method contract: anything but GET/HEAD is
+// 405 with an Allow header and the structured error envelope.
+func (s *Server) get(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			s.writeError(w, http.StatusMethodNotAllowed, v1.CodeMethodNotAllowed,
+				"method "+r.Method+" not allowed", "the API is read-only: GET or HEAD")
+			return
+		}
+		h(w, r)
+	})
+}
+
+// errorf reports server-side I/O problems. It prefers the configured
+// logger and falls back to the process logger, so failures surface even
+// on a server built without access logging.
+func (s *Server) errorf(format string, args ...any) {
+	l := s.cfg.Log
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf("api: "+format, args...)
+}
+
+// ---- request parsing ----
+
+// reqParams are the presentation parameters shared by the cacheable
+// endpoints. Their canonical rendering is part of the ETag input.
+type reqParams struct {
+	fields v1.FieldSet
+	top    int
+	pretty bool
+}
+
+// key renders the parameters canonically for ETag derivation.
+func (p reqParams) key() string {
+	return fmt.Sprintf("fields=%s&top=%d&pretty=%t", p.fields, p.top, p.pretty)
+}
+
+// parseParams reads ?fields=, ?top= and ?pretty=; a bad value is a
+// structured 400.
+func (s *Server) parseParams(w http.ResponseWriter, r *http.Request) (reqParams, bool) {
+	q := r.URL.Query()
+	p := reqParams{fields: v1.AllFields}
+	var err error
+	if p.fields, err = v1.ParseFields(q.Get("fields")); err != nil {
+		s.writeError(w, http.StatusBadRequest, v1.CodeBadRequest, "bad fields parameter", err.Error())
+		return p, false
+	}
+	if raw := q.Get("top"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, v1.CodeBadRequest, "bad top parameter",
+				fmt.Sprintf("want a non-negative integer, got %q", raw))
+			return p, false
+		}
+		p.top = n
+	}
+	p.pretty = prettyRequested(q.Get("pretty"))
+	return p, true
+}
+
+// prettyRequested interprets ?pretty=. Compact JSON is the default;
+// pretty=1 (or true) opts into indentation.
+func prettyRequested(v string) bool { return v == "1" || v == "true" }
+
+// ---- handlers ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := v1.HealthResponse{Status: v1.StatusOK}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = v1.StatusDraining
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, r, status, resp, prettyRequested(r.URL.Query().Get("pretty")))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp v1.StatsResponse
+	if s.cfg.Live != nil {
+		resp.Ingest = s.cfg.Live.Stats()
+	}
+	if s.cfg.History != nil {
+		m := s.cfg.History.Metrics()
+		resp.Store = &m
+	}
+	s.writeJSON(w, r, http.StatusOK, resp, prettyRequested(r.URL.Query().Get("pretty")))
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.parseParams(w, r)
+	if !ok {
+		return
+	}
+	s.serveCached(w, r, "v1/snapshot", p.key(), s.snapshotVersion, func() (any, error) {
+		return v1.NewSnapshot(s.snapshotSource()(), p.fields, p.top), nil
+	}, p.pretty)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.History == nil {
+		s.writeError(w, http.StatusNotFound, v1.CodeNotFound,
+			"historical queries need a durable store", "start collectord with -data-dir")
+		return
+	}
+	p, ok := s.parseParams(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	from, err := store.ParseTime(q.Get("from"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, v1.CodeBadRequest, "bad from parameter", err.Error())
+		return
+	}
+	to, err := store.ParseTime(q.Get("to"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, v1.CodeBadRequest, "bad to parameter", err.Error())
+		return
+	}
+	key := fmt.Sprintf("from=%s&to=%s&%s", stamp(from), stamp(to), p.key())
+	version := func() uint64 { return s.cfg.History.Version(from, to) }
+	s.serveCached(w, r, "v1/query", key, version, func() (any, error) {
+		res, err := s.cfg.History.Query(from, to)
+		if err != nil {
+			return nil, err
+		}
+		return &v1.QueryResponse{
+			From:         res.From,
+			To:           res.To,
+			Frames:       res.Frames,
+			TailIncluded: res.TailIncluded,
+			Snapshot:     v1.NewSnapshot(res.Snapshot, p.fields, p.top),
+		}, nil
+	}, p.pretty)
+}
+
+func (s *Server) handleUnknown(w http.ResponseWriter, r *http.Request) {
+	s.writeError(w, http.StatusNotFound, v1.CodeNotFound,
+		"no such endpoint", r.URL.Path+" is not part of the v1 surface")
+}
+
+// ---- legacy aliases ----
+
+// deprecate marks a legacy response with its successor.
+func deprecate(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+}
+
+func (s *Server) handleLegacyHealth(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/api/v1/health")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	body, status := "ok\n", http.StatusOK
+	if s.draining.Load() {
+		body, status = "draining\n", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(status)
+	if r.Method != http.MethodHead {
+		fmt.Fprint(w, body)
+	}
+}
+
+// legacySnapshotBody is the historical /snapshot shape: pipeline stats
+// wrapped around the full snapshot.
+type legacySnapshotBody struct {
+	Stats    ingest.Stats        `json:"stats"`
+	Snapshot *streaming.Snapshot `json:"snapshot"`
+}
+
+func (s *Server) handleLegacySnapshot(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/api/v1/snapshot")
+	pretty := prettyRequested(r.URL.Query().Get("pretty"))
+	// The legacy body embeds the stats, so the validity token must cover
+	// them too: mix the stats hash into the snapshot version. Stats are
+	// fetched inside the build so the body matches the token epoch.
+	version := func() uint64 { return mix64(s.snapshotVersion(), statsHash(s.liveStats())) }
+	key := fmt.Sprintf("pretty=%t", pretty)
+	s.serveCached(w, r, "legacy/snapshot", key, version, func() (any, error) {
+		return legacySnapshotBody{Stats: s.liveStats(), Snapshot: s.snapshotSource()()}, nil
+	}, pretty)
+}
+
+func (s *Server) handleLegacyQuery(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/api/v1/query")
+	if s.cfg.History == nil {
+		http.Error(w, "historical queries need -data-dir", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	from, err := store.ParseTime(q.Get("from"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("from: %v", err), http.StatusBadRequest)
+		return
+	}
+	to, err := store.ParseTime(q.Get("to"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("to: %v", err), http.StatusBadRequest)
+		return
+	}
+	pretty := prettyRequested(q.Get("pretty"))
+	key := fmt.Sprintf("from=%s&to=%s&pretty=%t", stamp(from), stamp(to), pretty)
+	version := func() uint64 { return s.cfg.History.Version(from, to) }
+	s.serveCached(w, r, "legacy/query", key, version, func() (any, error) {
+		return s.cfg.History.Query(from, to)
+	}, pretty)
+}
+
+// ---- data-source plumbing ----
+
+// snapshotSource picks the state owner: the durable store when present
+// (SinkOnly collectors keep nothing in the lanes), the pipeline
+// otherwise.
+func (s *Server) snapshotSource() func() *streaming.Snapshot {
+	if s.cfg.History != nil {
+		return s.cfg.History.Snapshot
+	}
+	return s.cfg.Live.Snapshot
+}
+
+func (s *Server) liveStats() ingest.Stats {
+	if s.cfg.Live == nil {
+		return ingest.Stats{}
+	}
+	return s.cfg.Live.Stats()
+}
+
+// snapshotVersion is the generation token behind /api/v1/snapshot: the
+// store's full-history Version when durable, a hash of the pipeline
+// counters otherwise (any processed record changes them, so the token
+// over-invalidates but never serves stale 304s).
+func (s *Server) snapshotVersion() uint64 {
+	if s.cfg.History != nil {
+		return s.cfg.History.Version(time.Time{}, time.Time{})
+	}
+	return statsHash(s.cfg.Live.Stats())
+}
+
+// statsHash folds the pipeline counters into a version token.
+func statsHash(st ingest.Stats) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", st)
+	return h.Sum64()
+}
+
+// mix64 combines two version tokens order-sensitively.
+func mix64(a, b uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%x:%x", a, b)
+	return h.Sum64()
+}
+
+// stamp renders a query bound for cache keys. The open bound gets a
+// non-numeric sentinel: a unix-epoch bound (ParseTime("0")) also has
+// UnixNano 0, and the two select very different data — they must never
+// share a cache key or validate each other's 304s.
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return "open"
+	}
+	return strconv.FormatInt(t.UnixNano(), 10)
+}
+
+// ---- response writing ----
+
+// gzipMinBytes is the smallest body worth compressing; health-sized
+// responses skip the overhead.
+const gzipMinBytes = 1 << 10
+
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(nil) }}
+
+// serveCached is the conditional-GET core shared by every cacheable
+// endpoint: derive the strong ETag from (endpoint, params, data
+// generation), answer If-None-Match hits with a bodyless 304, and
+// otherwise serve the marshaled body out of the single-flight cache —
+// the ETag is the cache key, so N identical hits between data changes
+// cost one serialization.
+//
+// A strong ETag promises byte-identical bodies, so the generation is
+// re-read AFTER the body is built: a data change that lands between
+// the two reads would otherwise let a newer body travel under the
+// older tag (and, via the cache, be replayed to a shared cache that
+// already holds the genuine older body). On a mismatch the build
+// retries under the fresh tag; under pathological churn the response
+// goes out without a validator rather than with a dishonest one.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, params string, version func() uint64, build func() (any, error), pretty bool) {
+	h := w.Header()
+	h.Set("Cache-Control", "no-cache") // cacheable, but revalidate: ETags are the invalidation channel
+	var (
+		body []byte
+		etag string
+	)
+	for attempt := 0; ; attempt++ {
+		before := version()
+		etag = etagFor(s.boot, endpoint, params, before)
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			h.Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		var err error
+		body, err = s.cache.get(etag, func() ([]byte, error) {
+			v, err := build()
+			if err != nil {
+				return nil, err
+			}
+			return marshalBody(v, pretty)
+		})
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, v1.CodeInternal, "building response failed", err.Error())
+			return
+		}
+		if version() == before {
+			h.Set("ETag", etag)
+			break
+		}
+		if attempt >= 1 {
+			// Generations are moving faster than builds: serve the data,
+			// skip the validator. One retry can buy a validator; more just
+			// multiplies the merge+marshal cost in exactly the hot regime.
+			break
+		}
+	}
+	s.writeBody(w, r, http.StatusOK, body)
+}
+
+// writeJSON marshals and sends an uncached response.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any, pretty bool) {
+	body, err := marshalBody(v, pretty)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, v1.CodeInternal, "encoding response failed", err.Error())
+		return
+	}
+	s.writeBody(w, r, status, body)
+}
+
+// writeBody sends a marshaled JSON body, gzip-compressed when the
+// client accepts it and the body is big enough to bother. Every path
+// that could compress declares Vary, so a shared cache never replays
+// gzip bytes to a client that did not ask for them.
+func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, status int, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Vary", "Accept-Encoding")
+	compress := len(body) >= gzipMinBytes && acceptsGzip(r)
+	if r.Method == http.MethodHead {
+		// Mirror the headers the matching GET would send (RFC 9110):
+		// gzip GETs stream chunked with no Content-Length.
+		if compress {
+			h.Set("Content-Encoding", "gzip")
+		} else {
+			h.Set("Content-Length", strconv.Itoa(len(body)))
+		}
+		w.WriteHeader(status)
+		return
+	}
+	if compress {
+		h.Set("Content-Encoding", "gzip")
+		w.WriteHeader(status)
+		gz := gzipPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		_, werr := gz.Write(body)
+		if cerr := gz.Close(); werr == nil {
+			werr = cerr
+		}
+		gzipPool.Put(gz)
+		if werr != nil {
+			s.errorf("gzip response for %s: %v", r.URL.Path, werr)
+		}
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		s.errorf("response for %s: %v", r.URL.Path, err)
+	}
+}
+
+// writeError sends the structured error envelope every v1 failure path
+// uses.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message, detail string) {
+	body, err := marshalBody(v1.ErrorResponse{Error: &v1.Error{Code: code, Message: message, Detail: detail}}, false)
+	if err != nil { // cannot happen: the envelope always marshals
+		body = []byte(`{"error":{"code":"internal","message":"encoding error envelope failed"}}` + "\n")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Content-Type-Options", "nosniff")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		s.errorf("error envelope for status %d: %v", status, err)
+	}
+}
+
+// marshalBody renders compact JSON (the default) or two-space
+// indentation under ?pretty=1, both newline-terminated like
+// json.Encoder output.
+func marshalBody(v any, pretty bool) ([]byte, error) {
+	var (
+		b   []byte
+		err error
+	)
+	if pretty {
+		b, err = json.MarshalIndent(v, "", "  ")
+	} else {
+		b, err = json.Marshal(v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// acceptsGzip reports whether the client advertises gzip support. A
+// qvalue of 0 is an explicit refusal (RFC 9110 §12.4.2), not support.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(coding) != "gzip" {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if ok && strings.EqualFold(strings.TrimSpace(k), "q") {
+				if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && q == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,631 @@
+package api
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/core"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/ingest"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/store"
+	"cwatrace/internal/streaming"
+)
+
+func testCfg() streaming.Config {
+	return streaming.Config{WindowHours: 48, TopK: 5}
+}
+
+// keptRecord fabricates a record the paper's filter keeps, landing in
+// hour h of the study window.
+func keptRecord(h, client int, bytes uint64) netflow.Record {
+	f := core.DefaultFilter()
+	at := entime.StudyStart.Add(time.Duration(h) * time.Hour)
+	return netflow.Record{
+		Key: netflow.Key{
+			Src:     f.ServerPrefixes[0].Addr(),
+			Dst:     netip.AddrFrom4([4]byte{100, 64, byte(client >> 8), byte(client)}),
+			SrcPort: netflow.PortHTTPS,
+			DstPort: uint16(50000 + client%1000),
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets:  5,
+		Bytes:    bytes,
+		First:    at,
+		Last:     at.Add(time.Second),
+		Exporter: "ISP/BE-000",
+	}
+}
+
+// fakeLive is a Live source with fixed state; delay simulates a slow
+// snapshot merge for the timeout tests.
+type fakeLive struct {
+	snap  *streaming.Snapshot
+	stats ingest.Stats
+	delay time.Duration
+}
+
+func (f *fakeLive) Snapshot() *streaming.Snapshot {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return f.snap
+}
+func (f *fakeLive) Stats() ingest.Stats { return f.stats }
+
+// liveServer builds a server over a fixed snapshot.
+func liveServer(t *testing.T, snap *streaming.Snapshot) *httptest.Server {
+	t.Helper()
+	s, err := New(Config{Live: &fakeLive{snap: snap, stats: ingest.Stats{Records: 42, Processed: 42}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// storeServer builds a durable store with three checkpointed hours 0-3
+// plus a live tail at hours 30-31, and a server over it.
+func storeServer(t *testing.T) (*store.Store, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{Analytics: testCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	for h := 0; h < 4; h++ {
+		if err := st.Append([]netflow.Record{keptRecord(h, h, uint64(100+h))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []int{30, 31} {
+		if err := st.Append([]netflow.Record{keptRecord(h, h, 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(Config{History: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return st, ts
+}
+
+// sampleSnapshot merges n shards fed round-robin, so worker-count
+// invariance is testable at the HTTP layer.
+func sampleSnapshot(t *testing.T, shards int) *streaming.Snapshot {
+	t.Helper()
+	cfg := testCfg()
+	lanes := make([]*streaming.Analytics, shards)
+	for i := range lanes {
+		lanes[i] = streaming.New(cfg)
+	}
+	for i := 0; i < 400; i++ {
+		// client spreads over 7 distinct /24s so the leaderboard has rows.
+		r := keptRecord(i%40, (i%7)*256+i, uint64(400+i))
+		lanes[i%shards].Ingest([]netflow.Record{r})
+		dropped := r
+		dropped.SrcPort = 80
+		lanes[i%shards].Ingest([]netflow.Record{dropped})
+	}
+	return streaming.Collect(cfg, lanes)
+}
+
+// get runs one GET with optional extra headers and returns the response
+// plus its full body.
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	// Disable the transport's transparent gzip so tests see the wire
+	// encoding as a CDN would.
+	tr := &http.Transport{DisableCompression: true}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// decodeError requires the structured envelope and returns it.
+func decodeError(t *testing.T, body []byte) *v1.Error {
+	t.Helper()
+	var env v1.ErrorResponse
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+		t.Fatalf("body is not an error envelope: %v %q", err, body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope misses code or message: %+v", env.Error)
+	}
+	return env.Error
+}
+
+// TestErrorEnvelopeEveryFailurePath walks each v1 failure mode and
+// requires the {code, message, detail} envelope shape.
+func TestErrorEnvelopeEveryFailurePath(t *testing.T) {
+	ts := liveServer(t, sampleSnapshot(t, 1))
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		status int
+		code   string
+	}{
+		{"bad fields", http.MethodGet, "/api/v1/snapshot?fields=bogus", http.StatusBadRequest, v1.CodeBadRequest},
+		{"bad top", http.MethodGet, "/api/v1/snapshot?top=banana", http.StatusBadRequest, v1.CodeBadRequest},
+		{"negative top", http.MethodGet, "/api/v1/snapshot?top=-1", http.StatusBadRequest, v1.CodeBadRequest},
+		{"query without store", http.MethodGet, "/api/v1/query", http.StatusNotFound, v1.CodeNotFound},
+		{"unknown endpoint", http.MethodGet, "/api/v1/nope", http.StatusNotFound, v1.CodeNotFound},
+		{"post", http.MethodPost, "/api/v1/snapshot", http.StatusMethodNotAllowed, v1.CodeMethodNotAllowed},
+		{"delete health", http.MethodDelete, "/api/v1/health", http.StatusMethodNotAllowed, v1.CodeMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		if e := decodeError(t, body); e.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Code, tc.code)
+		}
+		if tc.status == http.StatusMethodNotAllowed && resp.Header.Get("Allow") != "GET, HEAD" {
+			t.Errorf("%s: Allow header %q", tc.name, resp.Header.Get("Allow"))
+		}
+	}
+
+	// Bad time bounds on a store-backed server.
+	_, sts := storeServer(t)
+	resp, body := get(t, sts.URL+"/api/v1/query?from=notatime", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from: status %d", resp.StatusCode)
+	}
+	if e := decodeError(t, body); e.Code != v1.CodeBadRequest || !strings.Contains(e.Detail, "RFC 3339") {
+		t.Fatalf("bad from envelope: %+v", e)
+	}
+}
+
+// TestETagRoundTrip pins the conditional-GET contract on both cacheable
+// endpoints: a second conditional GET returns 304 with zero body bytes;
+// a frames-only query keeps its ETag across out-of-range live appends
+// and loses it at the next checkpoint.
+func TestETagRoundTrip(t *testing.T) {
+	st, ts := storeServer(t)
+
+	origin := entime.StudyStart
+	queryURL := fmt.Sprintf("%s/api/v1/query?from=%d&to=%d",
+		ts.URL, origin.Unix(), origin.Add(4*time.Hour).Unix())
+
+	resp, body := get(t, queryURL, nil)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("first query: %d %q", resp.StatusCode, body)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("query carries no ETag")
+	}
+
+	resp, body = get(t, queryURL, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional query: status %d, want 304", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+
+	// Live ingest outside the queried range does not invalidate.
+	if err := st.Append([]netflow.Record{keptRecord(31, 9, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ = get(t, queryURL, map[string]string{"If-None-Match": etag}); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("out-of-range append broke the ETag: status %d", resp.StatusCode)
+	}
+
+	// The next checkpoint advances the store generation: full 200 again,
+	// new ETag.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(t, queryURL, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("post-checkpoint conditional query: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") == etag {
+		t.Fatal("checkpoint did not change the ETag")
+	}
+
+	// /api/v1/snapshot invalidates on any ingest.
+	resp, _ = get(t, ts.URL+"/api/v1/snapshot", nil)
+	snapTag := resp.Header.Get("ETag")
+	if resp, _ = get(t, ts.URL+"/api/v1/snapshot", map[string]string{"If-None-Match": snapTag}); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("snapshot conditional GET: status %d", resp.StatusCode)
+	}
+	if err := st.Append([]netflow.Record{keptRecord(31, 10, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = get(t, ts.URL+"/api/v1/snapshot", map[string]string{"If-None-Match": snapTag})
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") == snapTag {
+		t.Fatalf("ingest did not invalidate the snapshot ETag: %d %s", resp.StatusCode, resp.Header.Get("ETag"))
+	}
+
+	// Different params, different ETags.
+	resp, _ = get(t, ts.URL+"/api/v1/snapshot?fields=hourly", nil)
+	if resp.Header.Get("ETag") == snapTag {
+		t.Fatal("field selection shares the full snapshot's ETag")
+	}
+}
+
+// TestFieldSelectionSubsets requires each ?fields= subset to equal the
+// matching slice of the full snapshot response.
+func TestFieldSelectionSubsets(t *testing.T) {
+	ts := liveServer(t, sampleSnapshot(t, 2))
+	_, fullBody := get(t, ts.URL+"/api/v1/snapshot", nil)
+	var full map[string]json.RawMessage
+	if err := json.Unmarshal(fullBody, &full); err != nil {
+		t.Fatal(err)
+	}
+	sections := map[string][]string{
+		"hourly":    {"hours", "series_start"},
+		"filters":   {"census"},
+		"prefixes":  {"top_prefixes"},
+		"districts": {},
+		"spikes":    {},
+	}
+	allKeys := map[string]bool{"hours": true, "census": true, "top_prefixes": true, "spikes": true, "districts": true}
+	for field, keys := range sections {
+		_, body := get(t, ts.URL+"/api/v1/snapshot?fields="+field, nil)
+		var sub map[string]json.RawMessage
+		if err := json.Unmarshal(body, &sub); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range keys {
+			if string(sub[key]) != string(full[key]) {
+				t.Errorf("fields=%s: %q differs from the full snapshot's", field, key)
+			}
+		}
+		// No unselected aggregate section leaks in.
+		for key := range allKeys {
+			selected := false
+			for _, k := range keys {
+				if k == key {
+					selected = true
+				}
+			}
+			if _, ok := sub[key]; ok && !selected {
+				t.Errorf("fields=%s leaked %q", field, key)
+			}
+		}
+	}
+
+	// top=N truncates the leaderboard to the leading ranked entries.
+	var fullSnap v1.Snapshot
+	if err := json.Unmarshal(fullBody, &fullSnap); err != nil {
+		t.Fatal(err)
+	}
+	if len(fullSnap.TopPrefixes) < 3 {
+		t.Fatalf("sample has %d prefixes, want ≥3", len(fullSnap.TopPrefixes))
+	}
+	_, topBody := get(t, ts.URL+"/api/v1/snapshot?top=2", nil)
+	var topSnap v1.Snapshot
+	if err := json.Unmarshal(topBody, &topSnap); err != nil {
+		t.Fatal(err)
+	}
+	if len(topSnap.TopPrefixes) != 2 ||
+		topSnap.TopPrefixes[0] != fullSnap.TopPrefixes[0] ||
+		topSnap.TopPrefixes[1] != fullSnap.TopPrefixes[1] {
+		t.Fatalf("top=2 leaderboard %+v is not the leading slice of %+v", topSnap.TopPrefixes, fullSnap.TopPrefixes)
+	}
+	if len(topBody) >= len(fullBody) {
+		t.Fatal("top truncation did not shrink the payload")
+	}
+}
+
+// TestWorkerCountInvariance requires byte-identical API responses from
+// 1-shard and 4-shard analytics over the same records.
+func TestWorkerCountInvariance(t *testing.T) {
+	one := liveServer(t, sampleSnapshot(t, 1))
+	four := liveServer(t, sampleSnapshot(t, 4))
+	for _, path := range []string{
+		"/api/v1/snapshot",
+		"/api/v1/snapshot?fields=hourly,prefixes&top=3",
+		"/api/v1/snapshot?pretty=1",
+		"/snapshot", // legacy alias
+	} {
+		_, a := get(t, one.URL+path, nil)
+		_, b := get(t, four.URL+path, nil)
+		if string(a) != string(b) {
+			t.Errorf("%s differs between 1 and 4 workers:\n %.200s\n %.200s", path, a, b)
+		}
+	}
+}
+
+// TestCompactDefaultPrettyOptIn pins the satellite fix: compact JSON by
+// default, indentation only under ?pretty=1, and the pretty body is
+// strictly larger.
+func TestCompactDefaultPrettyOptIn(t *testing.T) {
+	ts := liveServer(t, sampleSnapshot(t, 2))
+	_, compact := get(t, ts.URL+"/api/v1/snapshot", nil)
+	if strings.Contains(string(compact), "\n  \"") {
+		t.Fatal("default response is indented")
+	}
+	if !strings.HasSuffix(string(compact), "\n") {
+		t.Fatal("body is not newline-terminated")
+	}
+	_, pretty := get(t, ts.URL+"/api/v1/snapshot?pretty=1", nil)
+	if !strings.Contains(string(pretty), "\n  \"") {
+		t.Fatal("?pretty=1 response is not indented")
+	}
+	if len(pretty) <= len(compact) {
+		t.Fatal("pretty body is not larger than compact")
+	}
+	var a, b v1.Snapshot
+	if err := json.Unmarshal(compact, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(pretty, &b); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatal("pretty and compact decode differently")
+	}
+}
+
+// TestEpochBoundIsNotOpenBound pins the stamp() fix: ?to=0 (the unix
+// epoch, a valid bound that excludes everything) must not share a cache
+// key — and therefore an ETag or a cached body — with an open-ended
+// query.
+func TestEpochBoundIsNotOpenBound(t *testing.T) {
+	_, ts := storeServer(t)
+	respOpen, bodyOpen := get(t, ts.URL+"/api/v1/query", nil)
+	respEpoch, bodyEpoch := get(t, ts.URL+"/api/v1/query?to=0", nil)
+	if respOpen.Header.Get("ETag") == respEpoch.Header.Get("ETag") {
+		t.Fatal("open and epoch bounds share an ETag")
+	}
+	if string(bodyOpen) == string(bodyEpoch) {
+		t.Fatal("open and epoch bounds share a body")
+	}
+	var epoch v1.QueryResponse
+	if err := json.Unmarshal(bodyEpoch, &epoch); err != nil {
+		t.Fatal(err)
+	}
+	if len(epoch.Snapshot.Hours) != 0 {
+		t.Fatalf("to=epoch returned %d hours, want none", len(epoch.Snapshot.Hours))
+	}
+	// A validator from one must not 304 the other.
+	resp, _ := get(t, ts.URL+"/api/v1/query?to=0",
+		map[string]string{"If-None-Match": respOpen.Header.Get("ETag")})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open-bound ETag validated the epoch-bound query: %d", resp.StatusCode)
+	}
+}
+
+func TestGzipNegotiation(t *testing.T) {
+	ts := liveServer(t, sampleSnapshot(t, 2))
+	_, plain := get(t, ts.URL+"/api/v1/snapshot", nil)
+	if len(plain) < gzipMinBytes {
+		t.Fatalf("sample body too small (%dB) to exercise gzip", len(plain))
+	}
+	resp, compressed := get(t, ts.URL+"/api/v1/snapshot", map[string]string{"Accept-Encoding": "gzip"})
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip", resp.Header.Get("Content-Encoding"))
+	}
+	if resp.Header.Get("Vary") != "Accept-Encoding" {
+		t.Fatalf("Vary %q", resp.Header.Get("Vary"))
+	}
+	gr, err := gzip.NewReader(strings.NewReader(string(compressed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(inflated) != string(plain) {
+		t.Fatal("gzip body differs from identity body")
+	}
+	if len(compressed) >= len(plain) {
+		t.Fatal("gzip did not shrink the body")
+	}
+
+	// An explicit q=0 refuses gzip (RFC 9110); identity bytes come back.
+	resp, refused := get(t, ts.URL+"/api/v1/snapshot", map[string]string{"Accept-Encoding": "gzip;q=0, identity"})
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		t.Fatal("gzip;q=0 still got a gzip body")
+	}
+	if string(refused) != string(plain) {
+		t.Fatal("identity fallback differs from the plain body")
+	}
+}
+
+// TestTimeoutEnvelope pins the middleware contract on the slowest
+// failure path: a timed-out request still carries the structured JSON
+// envelope with Content-Type application/json (http.TimeoutHandler
+// writes the body itself, so the type must be pre-declared).
+func TestTimeoutEnvelope(t *testing.T) {
+	s, err := New(Config{
+		Live:    &fakeLive{snap: sampleSnapshot(t, 1), delay: 2 * time.Second},
+		Timeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, body := get(t, ts.URL+"/api/v1/snapshot", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timeout status %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("timeout Content-Type %q, want application/json", ct)
+	}
+	if e := decodeError(t, body); e.Code != v1.CodeTimeout {
+		t.Fatalf("timeout code %q, want %q", e.Code, v1.CodeTimeout)
+	}
+}
+
+func TestHealthDraining(t *testing.T) {
+	live := &fakeLive{snap: sampleSnapshot(t, 1)}
+	s, err := New(Config{Live: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL+"/api/v1/health", nil)
+	var h v1.HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != v1.StatusOK {
+		t.Fatalf("healthy: %d %+v", resp.StatusCode, h)
+	}
+	resp, lbody := get(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK || string(lbody) != "ok\n" {
+		t.Fatalf("legacy healthy: %d %q", resp.StatusCode, lbody)
+	}
+
+	s.SetDraining(true)
+	resp, body = get(t, ts.URL+"/api/v1/health", nil)
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != v1.StatusDraining {
+		t.Fatalf("draining: %d %+v", resp.StatusCode, h)
+	}
+	resp, lbody = get(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || string(lbody) != "draining\n" {
+		t.Fatalf("legacy draining: %d %q", resp.StatusCode, lbody)
+	}
+}
+
+// TestLegacyAliases pins the deprecated endpoints: the historical
+// response shapes, the Deprecation/Link headers, and the carried-over
+// hygiene fixes (405, compact by default).
+func TestLegacyAliases(t *testing.T) {
+	st, ts := storeServer(t)
+	_ = st
+
+	resp, body := get(t, ts.URL+"/snapshot", nil)
+	if resp.Header.Get("Deprecation") != "true" || !strings.Contains(resp.Header.Get("Link"), "/api/v1/snapshot") {
+		t.Fatalf("legacy /snapshot lacks deprecation headers: %+v", resp.Header)
+	}
+	var legacy struct {
+		Stats    *ingest.Stats       `json:"stats"`
+		Snapshot *streaming.Snapshot `json:"snapshot"`
+	}
+	if err := json.Unmarshal(body, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Stats == nil || legacy.Snapshot == nil {
+		t.Fatalf("legacy shape lost a member: %q", body)
+	}
+	if strings.Contains(string(body), "\n  \"") {
+		t.Fatal("legacy default is still indented")
+	}
+	if _, pbody := get(t, ts.URL+"/snapshot?pretty=1", nil); !strings.Contains(string(pbody), "\n  \"") {
+		t.Fatal("legacy ?pretty=1 is not indented")
+	}
+
+	// Legacy /query serves the store.QueryResult shape with an ETag.
+	resp, body = get(t, ts.URL+"/query", nil)
+	var qr store.QueryResult
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Snapshot == nil || qr.Frames != 1 {
+		t.Fatalf("legacy query result: %q", body)
+	}
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		if resp, _ := get(t, ts.URL+"/query", map[string]string{"If-None-Match": etag}); resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("legacy conditional query: %d", resp.StatusCode)
+		}
+	} else {
+		t.Fatal("legacy query carries no ETag")
+	}
+
+	// Legacy text errors are preserved (no envelope).
+	resp, body = get(t, ts.URL+"/query?from=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest || strings.Contains(string(body), "{") {
+		t.Fatalf("legacy error changed shape: %d %q", resp.StatusCode, body)
+	}
+
+	// The 405 fix applies to legacy paths too.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/snapshot", nil)
+	mresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("legacy POST: %d, want 405", mresp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := storeServer(t)
+	resp, body := get(t, ts.URL+"/api/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var sr v1.StatsResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Store == nil || sr.Store.Frames != 1 {
+		t.Fatalf("stats misses store gauges: %q", body)
+	}
+	if resp.Header.Get("ETag") != "" {
+		t.Fatal("stats must stay outside the ETag surface")
+	}
+}
+
+func TestHeadRequests(t *testing.T) {
+	ts := liveServer(t, sampleSnapshot(t, 1))
+	req, _ := http.NewRequest(http.MethodHead, ts.URL+"/api/v1/snapshot", nil)
+	tr := &http.Transport{DisableCompression: true}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("HEAD: %d with %dB body", resp.StatusCode, len(body))
+	}
+	if resp.Header.Get("ETag") == "" || resp.Header.Get("Content-Length") == "0" {
+		t.Fatalf("HEAD lost validation headers: %+v", resp.Header)
+	}
+}

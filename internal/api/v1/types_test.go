@@ -1,0 +1,174 @@
+package v1
+
+import (
+	"encoding/json"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/streaming"
+)
+
+// sampleSnapshot aggregates a handful of records (some kept, some
+// filtered) into a merged streaming snapshot with the hourly series,
+// census and prefix leaderboard populated.
+func sampleSnapshot(t *testing.T) *streaming.Snapshot {
+	t.Helper()
+	cfg := streaming.Config{WindowHours: 48, TopK: 5}.WithDefaults()
+	a := streaming.New(cfg)
+	f := core.DefaultFilter()
+	for i := 0; i < 40; i++ {
+		r := netflow.Record{
+			Key: netflow.Key{
+				Src:     f.ServerPrefixes[0].Addr(),
+				Dst:     netip.AddrFrom4([4]byte{100, 64, byte(i % 7), byte(i)}),
+				SrcPort: netflow.PortHTTPS,
+				DstPort: uint16(50000 + i),
+				Proto:   netflow.ProtoTCP,
+			},
+			Packets: 3,
+			Bytes:   uint64(500 + i),
+			First:   cfg.Origin.Add(time.Duration(i%8) * time.Hour),
+		}
+		r.Last = r.First.Add(time.Second)
+		dropped := r
+		dropped.SrcPort = 80
+		a.Ingest([]netflow.Record{r, dropped})
+	}
+	return a.Snapshot()
+}
+
+func TestParseFields(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    FieldSet
+		wantErr bool
+	}{
+		{in: "", want: AllFields},
+		{in: "hourly", want: FieldHourly},
+		{in: "hourly,prefixes", want: FieldHourly | FieldPrefixes},
+		{in: " spikes , districts ", want: FieldSpikes | FieldDistricts},
+		{in: "hourly,hourly", want: FieldHourly},
+		{in: "filters", want: FieldFilters},
+		{in: ",,", want: AllFields},
+		{in: "hourly,bogus", wantErr: true},
+		{in: "Hourly", wantErr: true}, // names are case-sensitive
+	}
+	for _, tc := range cases {
+		got, err := ParseFields(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseFields(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFields(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("ParseFields(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// The canonical rendering round-trips and is order-stable.
+	set, _ := ParseFields("districts,hourly")
+	if set.String() != "hourly,districts" {
+		t.Errorf("canonical form %q, want %q", set.String(), "hourly,districts")
+	}
+	if rt, err := ParseFields(set.String()); err != nil || rt != set {
+		t.Errorf("canonical form does not round-trip: %v %v", rt, err)
+	}
+}
+
+// TestNewSnapshotSubsetting pins the field-selection contract: a
+// selected section is exactly the corresponding slice of the full
+// projection, and unselected sections are absent from the JSON.
+func TestNewSnapshotSubsetting(t *testing.T) {
+	src := sampleSnapshot(t)
+	full := NewSnapshot(src, AllFields, 0)
+	if len(full.Hours) == 0 || full.Census == nil || len(full.TopPrefixes) == 0 {
+		t.Fatalf("sample snapshot too empty to test with: %+v", full)
+	}
+
+	hourly := NewSnapshot(src, FieldHourly, 0)
+	if !reflect.DeepEqual(hourly.Hours, full.Hours) || hourly.SeriesStart != full.SeriesStart {
+		t.Fatal("fields=hourly series differs from the full projection's")
+	}
+	if hourly.Census != nil || hourly.TopPrefixes != nil || hourly.Spikes != nil || hourly.Districts != nil {
+		t.Fatalf("fields=hourly leaked other sections: %+v", hourly)
+	}
+
+	var decoded map[string]any
+	b, err := json.Marshal(hourly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"census", "top_prefixes", "spikes", "districts", "late", "located"} {
+		if _, ok := decoded[absent]; ok {
+			t.Errorf("fields=hourly JSON carries %q", absent)
+		}
+	}
+	for _, present := range []string{"origin", "window_hours", "hours"} {
+		if _, ok := decoded[present]; !ok {
+			t.Errorf("fields=hourly JSON misses %q", present)
+		}
+	}
+
+	filters := NewSnapshot(src, FieldFilters, 0)
+	if !reflect.DeepEqual(*filters.Census, src.Census) {
+		t.Fatal("fields=filters census differs from the source's")
+	}
+}
+
+func TestNewSnapshotTopTruncation(t *testing.T) {
+	src := sampleSnapshot(t)
+	if len(src.TopPrefixes) < 3 {
+		t.Fatalf("want ≥3 prefixes in the sample, got %d", len(src.TopPrefixes))
+	}
+	full := NewSnapshot(src, AllFields, 0)
+	top2 := NewSnapshot(src, AllFields, 2)
+	if len(top2.TopPrefixes) != 2 {
+		t.Fatalf("top=2 kept %d prefixes", len(top2.TopPrefixes))
+	}
+	if !reflect.DeepEqual(top2.TopPrefixes, full.TopPrefixes[:2]) {
+		t.Fatal("top=2 prefixes are not the leading slice of the ranked leaderboard")
+	}
+	// top larger than the list is a no-op.
+	if got := NewSnapshot(src, AllFields, 1000); !reflect.DeepEqual(got.TopPrefixes, full.TopPrefixes) {
+		t.Fatal("oversized top truncated the leaderboard")
+	}
+	// The hourly series is never truncated by top.
+	if !reflect.DeepEqual(top2.Hours, full.Hours) {
+		t.Fatal("top truncated the hourly series")
+	}
+}
+
+func TestSnapshotStreamingRoundTrip(t *testing.T) {
+	src := sampleSnapshot(t)
+	back := NewSnapshot(src, AllFields, 0).Streaming()
+	ga, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ga) != string(gb) {
+		t.Fatalf("v1 round trip altered the snapshot:\n got %.300s\nwant %.300s", ga, gb)
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	e := &Error{Code: CodeBadRequest, Message: "bad from", Detail: "want RFC 3339"}
+	for _, want := range []string{CodeBadRequest, "bad from", "RFC 3339"} {
+		if got := e.Error(); !strings.Contains(got, want) {
+			t.Errorf("Error() = %q missing %q", got, want)
+		}
+	}
+}

@@ -12,8 +12,10 @@ package store
 // recovery test pins byte for byte.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"strconv"
 	"time"
@@ -177,6 +179,58 @@ func widenWindow(cfg streaming.Config, minHour, maxHour int64) streaming.Config 
 		cfg.WindowHours = need
 	}
 	return cfg
+}
+
+// Version reports an opaque generation token for the data a
+// Query(from, to) over the same bounds would serve; Version(zero, zero)
+// covers the full history, i.e. what Snapshot serves. Two equal tokens
+// from one process guarantee byte-identical query results, so the API
+// layer derives conditional-GET ETags from it. The token mixes:
+//
+//   - a per-open boot nonce, so validators never survive a restart;
+//   - the checkpoint generation, bumped whenever the frame set changes
+//     (checkpoint commit, compaction) — the cache-invalidation-on-
+//     checkpoint invariant;
+//   - the tail generation (bumped per Append), but only when the live
+//     tail could contribute to the range — a purely historical range is
+//     served from immutable frames, so its token stays stable under
+//     live ingest until the next checkpoint.
+//
+// The tail-overlap test mirrors tryQuery's inclusion rule exactly: if
+// ingest later grows the tail into a range that was frames-only, the
+// tail generation enters the mix and the token changes with it.
+func (s *Store) Version(from, to time.Time) uint64 {
+	s.mu.Lock()
+	boot, ckptGen, tailGen := s.boot, s.ckptGen, s.tailGen
+	live := false
+	for _, t := range []*streaming.Analytics{s.foldingTail, s.tail} {
+		if t == nil {
+			continue
+		}
+		minH, maxH := int64(-1), int64(-1)
+		if lo, hi, ok := t.Bounds(); ok {
+			minH, maxH = int64(lo), int64(hi)
+		}
+		if s.hoursOverlap(minH, maxH, from, to) {
+			live = true
+		}
+	}
+	if s.foldingRecords+s.tailRecords == 0 {
+		live = false
+	}
+	s.mu.Unlock()
+
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []uint64{boot, ckptGen} {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	if live {
+		binary.BigEndian.PutUint64(buf[:], tailGen)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // hoursOverlap reports whether the inclusive hour-index interval

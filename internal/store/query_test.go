@@ -45,6 +45,111 @@ func buildQueryStore(t *testing.T, dir string) (*Store, *streaming.Analytics) {
 
 func at(h int) time.Time { return entime.StudyStart.Add(time.Duration(h) * time.Hour) }
 
+// TestParseTime pins the two accepted query-bound forms (RFC 3339 and
+// unix seconds) every store consumer documents: collectord's /query and
+// /api/v1/query params, cwanalyze's and apiload's -from/-to flags.
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    time.Time
+		wantErr bool
+	}{
+		{in: "", want: time.Time{}},
+		{in: "2020-06-16T00:00:00Z", want: time.Date(2020, 6, 16, 0, 0, 0, 0, time.UTC)},
+		{in: "2020-06-16T02:00:00+02:00", want: time.Date(2020, 6, 16, 0, 0, 0, 0, time.UTC)},
+		{in: "1592265600", want: time.Date(2020, 6, 16, 0, 0, 0, 0, time.UTC)},
+		{in: "0", want: time.Unix(0, 0).UTC()},
+		{in: "-3600", want: time.Unix(-3600, 0).UTC()},
+		{in: "2020-06-16", wantErr: true},           // date without time
+		{in: "1592265600.5", wantErr: true},         // fractional seconds
+		{in: "16 Jun 2020", wantErr: true},          // prose
+		{in: "0x5ee80000", wantErr: true},           // hex
+		{in: " 1592265600", wantErr: true},          // stray whitespace
+		{in: "99999999999999999999", wantErr: true}, // overflows int64
+	}
+	for _, tc := range cases {
+		got, err := ParseTime(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseTime(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTime(%q): %v", tc.in, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("ParseTime(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestVersionSemantics pins the ETag-feeding generation contract: a
+// frames-only historical range keeps its token across live appends
+// outside the range and loses it on the next checkpoint; any range the
+// tail can serve changes token on every append; and reopening the store
+// changes every token (the boot nonce).
+func TestVersionSemantics(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := buildQueryStore(t, dir) // frames: hours 0-3, 10-13, 20-23; tail: 30-31
+
+	hist := s.Version(at(0), at(4))
+	full := s.Version(time.Time{}, time.Time{})
+	tailRange := s.Version(at(30), time.Time{})
+	if hist == full || hist == tailRange {
+		t.Fatalf("distinct ranges share a token: hist=%x full=%x tail=%x", hist, full, tailRange)
+	}
+	if got := s.Version(at(0), at(4)); got != hist {
+		t.Fatalf("idle token not stable: %x then %x", hist, got)
+	}
+
+	// An append far outside the historical range: frames-only token
+	// stays, full-history and tail-range tokens move.
+	if err := s.Append([]netflow.Record{keptRecord(31, 7, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Version(at(0), at(4)); got != hist {
+		t.Fatal("frames-only token changed on an out-of-range append")
+	}
+	if got := s.Version(time.Time{}, time.Time{}); got == full {
+		t.Fatal("full-history token survived an append")
+	}
+	if got := s.Version(at(30), time.Time{}); got == tailRange {
+		t.Fatal("tail-range token survived an in-range append")
+	}
+
+	// An append that grows the tail INTO the historical range must move
+	// its token even though the frame set is unchanged.
+	histBefore := s.Version(at(0), at(4))
+	if err := s.Append([]netflow.Record{keptRecord(2, 8, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Version(at(0), at(4)); got == histBefore {
+		t.Fatal("token missed the tail growing into a frames-only range")
+	}
+
+	// A checkpoint changes the frame set: every token moves.
+	histBefore = s.Version(at(0), at(4))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Version(at(0), at(4)); got == histBefore {
+		t.Fatal("token survived a checkpoint")
+	}
+
+	// A reopened store never reuses a token (boot nonce).
+	histBefore = s.Version(at(0), at(4))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := s2.Version(at(0), at(4)); got == histBefore {
+		t.Fatal("token survived a restart")
+	}
+}
+
 func TestQueryFullRangeMatchesSnapshot(t *testing.T) {
 	s, ref := buildQueryStore(t, t.TempDir())
 	defer s.Close()

@@ -221,6 +221,15 @@ type Store struct {
 	compacted       uint64
 	lastCheckpoint  time.Time
 
+	// Generation counters feeding Version (the API layer's ETag source).
+	// boot salts every token with this process's open, so validators from
+	// a previous run can never alias a post-restart state; ckptGen bumps
+	// whenever the frame set changes (checkpoint commit, compaction),
+	// tailGen whenever an Append lands in the live tail.
+	boot    uint64
+	ckptGen uint64
+	tailGen uint64
+
 	closed bool
 }
 
@@ -288,6 +297,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts: opts,
 		cfg:  cfg,
 		base: streaming.New(cfg),
+		boot: uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32,
 	}
 	s.tail = s.newTail()
 	if meta == nil {
@@ -653,6 +663,7 @@ func (s *Store) Append(batch []netflow.Record) error {
 	// (the pipeline's SinkErrors counter) surfaces it.
 	s.tail.Ingest(batch)
 	s.tailRecords += uint64(len(batch))
+	s.tailGen++
 	s.appendedRecords += uint64(len(batch))
 	s.appendedBatches++
 	if walErr != nil {
@@ -840,6 +851,7 @@ func (s *Store) Checkpoint() error {
 		s.walBytes -= seg.size
 	}
 	s.checkpoints++
+	s.ckptGen++
 	s.lastCheckpoint = time.Now()
 	s.mu.Unlock()
 	for _, seg := range folded {
@@ -909,6 +921,7 @@ func (s *Store) compact() error {
 		s.mu.Lock()
 		s.frames = append([]frameMeta{{frameInfo: info, path: path}}, s.frames[2:]...)
 		s.compacted++
+		s.ckptGen++
 		s.mu.Unlock()
 		_ = os.Remove(f0.path)
 		_ = os.Remove(f1.path)

@@ -126,6 +126,50 @@ func TestBounds(t *testing.T) {
 	}
 }
 
+// TestBoundsArchive pins the O(1) fast path the store's tails use: an
+// Archive shard's tracked extremes must equal a populated-bin scan at
+// every step, including out-of-order arrivals and Merge-driven growth.
+func TestBoundsArchive(t *testing.T) {
+	cfg := Config{WindowHours: 8, Archive: true}
+	a := New(cfg)
+	if _, _, ok := a.Bounds(); ok {
+		t.Fatal("empty archive shard reports bounds")
+	}
+	scanBounds := func(s *Analytics) (int, int, bool) {
+		lo, hi := -1, -1
+		for _, bin := range s.ring {
+			if bin.hour < 0 {
+				continue
+			}
+			if lo < 0 || bin.hour < lo {
+				lo = bin.hour
+			}
+			if bin.hour > hi {
+				hi = bin.hour
+			}
+		}
+		return lo, hi, lo >= 0
+	}
+	for _, h := range []int{40, 3, 100, 7} { // out of order, beyond the window
+		a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(time.Duration(h)*time.Hour), client(h), 10)})
+		glo, ghi, gok := a.Bounds()
+		slo, shi, sok := scanBounds(a)
+		if glo != slo || ghi != shi || gok != sok {
+			t.Fatalf("after hour %d: fast bounds [%d,%d]%v != scan [%d,%d]%v", h, glo, ghi, gok, slo, shi, sok)
+		}
+	}
+	if lo, hi, ok := a.Bounds(); !ok || lo != 3 || hi != 100 {
+		t.Fatalf("archive bounds = [%d, %d] ok=%v, want [3, 100]", lo, hi, ok)
+	}
+	// Merge-driven growth tracks too.
+	other := New(Config{WindowHours: 8})
+	other.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(200*time.Hour), client(9), 10)})
+	a.Merge(other)
+	if lo, hi, ok := a.Bounds(); !ok || lo != 3 || hi != 200 {
+		t.Fatalf("archive bounds after merge = [%d, %d] ok=%v, want [3, 200]", lo, hi, ok)
+	}
+}
+
 func TestSnapshotRangeTrimsExactly(t *testing.T) {
 	cfg := Config{WindowHours: 48, SpikeHistory: 2, SpikeFactor: 3, SpikeMinFlows: 3}
 	a := New(cfg)

@@ -370,10 +370,22 @@ func (a *Analytics) Snapshot() *Snapshot { return a.snapshot() }
 // Bounds reports the populated hour coverage of the sliding window as
 // inclusive hour indices relative to Origin. ok is false when no kept
 // record has landed in the window yet. The durable store records the
-// bounds as checkpoint-frame metadata for time-range frame selection.
+// bounds as checkpoint-frame metadata for time-range frame selection,
+// and consults the live tails' bounds on every ETag derivation
+// (store.Version) — which is why the Archive fast path below matters.
 func (a *Analytics) Bounds() (minHour, maxHour int, ok bool) {
 	if a.maxHour < 0 {
 		return 0, 0, false
+	}
+	if a.cfg.Archive {
+		// Archive shards never evict, so the tracked extremes are exact:
+		// archiveMin is the lowest binned hour and the bin at maxHour is
+		// populated by construction. O(1) instead of a ring scan — the
+		// store calls this under its append mutex on every API request.
+		if a.archiveMin < 0 {
+			return 0, 0, false
+		}
+		return a.archiveMin, a.maxHour, true
 	}
 	minHour = -1
 	for _, bin := range a.ring {
