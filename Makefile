@@ -1,7 +1,7 @@
 # Tier-1 verify is `make verify` (build + test); see ROADMAP.md.
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-ingest bench-store bench-api bench-api-quick fuzz-smoke crash-smoke api-smoke verify ci all ingest-demo ingest-demo-quick
+.PHONY: build test vet fmt race bench bench-ingest bench-json bench-store bench-api bench-api-quick fuzz-smoke crash-smoke api-smoke verify ci all ingest-demo ingest-demo-quick
 
 all: verify vet
 
@@ -35,6 +35,12 @@ bench:
 # The ingest throughput benchmark alone (the EXPERIMENTS.md snapshot).
 bench-ingest:
 	$(GO) test -run XXX -bench BenchmarkIngestPipeline -benchmem ./internal/ingest/
+
+# The ingest benchmark as machine-readable JSON (BENCH_ingest.json):
+# records/s, ns/op, B/op, allocs/op and derived allocs/record for the
+# serial and parallel pipelines. CI archives the file per commit.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_ingest.json
 
 # The durable-store benchmarks alone: WAL append per fsync policy and
 # historical range queries (the EXPERIMENTS.md snapshot).

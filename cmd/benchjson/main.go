@@ -1,0 +1,145 @@
+// Command benchjson runs the ingest throughput benchmark and writes the
+// result as machine-readable JSON, so CI can archive per-commit numbers
+// (records/s, ns/op, B/op, allocs/op and the derived allocs/record)
+// instead of burying them in log output. The schema is flat on purpose:
+// one object per benchmark, ready for jq or a spreadsheet without a
+// parser for `go test -bench` text.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name          string  `json:"name"`
+	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	// RecordsPerOp and AllocsPerRecord are derived from records/s and
+	// ns/op; zero when the benchmark does not report records/s.
+	RecordsPerOp    float64 `json:"records_per_op,omitempty"`
+	AllocsPerRecord float64 `json:"allocs_per_record,omitempty"`
+}
+
+// report is the file schema.
+type report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Bench       string   `json:"bench"`
+	Package     string   `json:"package"`
+	Count       int      `json:"count"`
+	Results     []result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkIngestPipeline", "benchmark regexp passed to go test -bench")
+	pkg := flag.String("pkg", "./internal/ingest/", "package to benchmark")
+	count := flag.Int("count", 1, "benchmark repetitions (-count)")
+	out := flag.String("o", "BENCH_ingest.json", "output file")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "XXX",
+		"-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count), *pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n%s", err, buf.Bytes())
+		os.Exit(1)
+	}
+	os.Stdout.Write(buf.Bytes())
+
+	results := parseBench(buf.String())
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines matched %q\n", *bench)
+		os.Exit(1)
+	}
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Bench:       *bench,
+		Package:     *pkg,
+		Count:       *count,
+		Results:     results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results)\n", *out, len(results))
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output. Each
+// line is "BenchmarkName-P  iterations  value unit  value unit ...";
+// units tag the values, so column order does not matter.
+func parseBench(out string) []result {
+	var results []result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: trimProcs(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "records/s":
+				r.RecordsPerSec = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		if r.RecordsPerSec > 0 && r.NsPerOp > 0 {
+			r.RecordsPerOp = r.RecordsPerSec * r.NsPerOp / 1e9
+			r.AllocsPerRecord = r.AllocsPerOp / r.RecordsPerOp
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// trimProcs drops the trailing GOMAXPROCS suffix ("-8") the bench runner
+// appends, keeping names stable across machines.
+func trimProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -160,6 +160,7 @@ func main() {
 		Workers:     *workers,
 		ShardBuffer: *shardBuffer,
 		Analytics:   acfg,
+		Logf:        log.Printf,
 	}
 
 	var st *store.Store

@@ -73,11 +73,26 @@ type Config struct {
 	// FlushInterval is the cadence of the periodic flush hook (0
 	// disables). Only meaningful when Sink implements Flusher.
 	FlushInterval time.Duration
+	// Logf, when set, receives operational log lines (log.Printf
+	// signature): effective socket buffer sizes, clamping warnings. Nil
+	// disables logging.
+	Logf func(format string, args ...any)
 
 	// workerDelay slows every worker batch; the backpressure tests use it
 	// to simulate an overloaded consumer.
 	workerDelay time.Duration
 }
+
+// logf forwards to cfg.Logf when configured.
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// maxDatagramLen bounds one UDP datagram (65535 payload bytes); receive
+// buffers are sized to it so no export packet is ever truncated.
+const maxDatagramLen = 65536
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -121,8 +136,11 @@ type Stats struct {
 }
 
 // shardLane is one bounded channel plus the analytics shard draining it.
+// Lanes carry slabs, not bare slices: the slab travels from decode through
+// the worker and back into the shared pool with its storage attached, so
+// the steady-state round trip allocates nothing.
 type shardLane struct {
-	ch chan []netflow.Record
+	ch chan *netflow.Slab
 
 	// mu guards an: the worker ingests under it, Snapshot reads under it.
 	mu sync.Mutex
@@ -150,6 +168,11 @@ type reader struct {
 
 	mu      sync.Mutex
 	sources map[sourceKey]*nfv9.Decoder
+	// lastKey/lastDec memoize the most recent source lookup (guarded by
+	// mu like the map): exporters send packet trains, so consecutive
+	// datagrams overwhelmingly repeat the source and skip the map probe.
+	lastKey sourceKey
+	lastDec *nfv9.Decoder
 
 	packets      atomic.Uint64
 	records      atomic.Uint64
@@ -192,7 +215,7 @@ func New(cfg Config) (*Pipeline, error) {
 
 	for i := 0; i < cfg.Workers; i++ {
 		lane := &shardLane{
-			ch: make(chan []netflow.Record, cfg.ShardBuffer),
+			ch: make(chan *netflow.Slab, cfg.ShardBuffer),
 			an: streaming.New(cfg.Analytics),
 		}
 		p.lanes = append(p.lanes, lane)
@@ -212,11 +235,11 @@ func New(cfg Config) (*Pipeline, error) {
 			p.shutdown()
 			return nil, fmt.Errorf("ingest: listening on %s: %w", addr, err)
 		}
-		if uc, ok := pc.(*net.UDPConn); ok {
-			// Best effort: some platforms clamp SO_RCVBUF, which only
-			// raises the drop counters, never corrupts the stream.
-			_ = uc.SetReadBuffer(cfg.ReadBuffer)
-		}
+		// Size the receive buffer and report what the kernel actually
+		// granted — a silently clamped buffer only shows up later as
+		// mysterious burst drops. Clamping is still non-fatal: it raises
+		// the drop counters, never corrupts the stream.
+		setReadBuffer(pc, cfg.ReadBuffer, p.cfg.logf)
 		r := &reader{pc: pc, sources: make(map[sourceKey]*nfv9.Decoder)}
 		p.readers = append(p.readers, r)
 		p.readerWG.Add(1)
@@ -245,12 +268,21 @@ func (p *Pipeline) newLoopReader() *reader {
 	return r
 }
 
-// read is one socket's receive loop. Only a closed socket ends it:
-// transient errors (ICMP-induced ECONNREFUSED, ENOBUFS, ...) are counted
-// and retried, so a long-running collector never silently loses a socket.
+// read is one socket's receive loop; the actual loop body is
+// platform-selected (recvmmsg batching on linux, the portable
+// one-datagram ReadFrom loop elsewhere — see sockread_linux.go and
+// sockread_other.go). Only a closed socket ends it: transient errors
+// (ICMP-induced ECONNREFUSED, ENOBUFS, ...) are counted and retried, so a
+// long-running collector never silently loses a socket.
 func (p *Pipeline) read(r *reader) {
 	defer p.readerWG.Done()
-	buf := make([]byte, 65536)
+	p.readLoop(r)
+}
+
+// readPortable is the fallback receive loop: one datagram per syscall.
+// The linux batched reader also falls back to it for non-UDP sockets.
+func (p *Pipeline) readPortable(r *reader) {
+	buf := make([]byte, maxDatagramLen)
 	for {
 		n, from, err := r.pc.ReadFrom(buf)
 		if err != nil {
@@ -279,47 +311,57 @@ func (p *Pipeline) handleDatagram(r *reader, from string, data []byte) {
 		return
 	}
 	key := sourceKey{from: from, domain: sourceID}
+	slab := netflow.GetSlab()
 	r.mu.Lock()
-	dec, known := r.sources[key]
-	if !known {
+	var dec *nfv9.Decoder
+	known := true
+	if r.lastDec != nil && key == r.lastKey {
+		dec = r.lastDec
+	} else if dec, known = r.sources[key]; !known {
 		dec = nfv9.NewDecoder(from)
 	}
-	pkt, err := dec.Decode(data)
+	recs, _, err := dec.DecodeInto(data, slab.Recs)
+	slab.Recs = recs
 	if err == nil && !known {
 		// Per-source state is only retained once a packet from the
 		// source actually decoded, so spoofed or garbage datagrams
 		// cannot grow the map without bound.
 		r.sources[key] = dec
 	}
+	if err == nil {
+		r.lastKey, r.lastDec = key, dec
+	}
 	r.mu.Unlock()
 	if err != nil {
 		r.decodeErrors.Add(1)
+		netflow.RecycleSlab(slab)
 		return
 	}
 	r.packets.Add(1)
-	if len(pkt.Records) == 0 {
-		netflow.RecycleBatch(pkt.Records)
+	if len(slab.Recs) == 0 {
+		netflow.RecycleSlab(slab)
 		return
 	}
-	r.records.Add(uint64(len(pkt.Records)))
+	r.records.Add(uint64(len(slab.Recs)))
 
 	lane := p.lanes[r.rr%len(p.lanes)]
 	r.rr++
 	select {
-	case lane.ch <- pkt.Records:
+	case lane.ch <- slab:
 	default:
 		// Backpressure: never block the socket. Drop the batch, count
 		// it, recycle the storage.
 		lane.droppedBatches.Add(1)
-		lane.droppedRecords.Add(uint64(len(pkt.Records)))
-		netflow.RecycleBatch(pkt.Records)
+		lane.droppedRecords.Add(uint64(len(slab.Recs)))
+		netflow.RecycleSlab(slab)
 	}
 }
 
 // work drains one lane into the sink and its analytics shard.
 func (p *Pipeline) work(lane *shardLane) {
 	defer p.workerWG.Done()
-	for batch := range lane.ch {
+	for slab := range lane.ch {
+		batch := slab.Recs
 		if p.cfg.workerDelay > 0 {
 			time.Sleep(p.cfg.workerDelay)
 		}
@@ -337,7 +379,7 @@ func (p *Pipeline) work(lane *shardLane) {
 			lane.mu.Unlock()
 		}
 		lane.processed.Add(uint64(len(batch)))
-		netflow.RecycleBatch(batch)
+		netflow.RecycleSlab(slab)
 	}
 }
 

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package ingest
+
+import "net"
+
+// readLoop on non-linux platforms is the portable one-datagram-per-syscall
+// loop; the batched recvmmsg reader is linux-only (see sockread_linux.go).
+func (p *Pipeline) readLoop(r *reader) {
+	p.readPortable(r)
+}
+
+// setReadBuffer sizes the socket receive buffer, best effort. Without a
+// portable way to read the granted size back, clamping goes undetected
+// here; the linux build reads it back and reports.
+func setReadBuffer(pc net.PacketConn, want int, logf func(format string, args ...any)) {
+	if uc, ok := pc.(*net.UDPConn); ok {
+		if err := uc.SetReadBuffer(want); err != nil {
+			logf("ingest: set socket receive buffer to %d bytes: %v", want, err)
+		}
+	}
+}

@@ -172,6 +172,47 @@ func RecycleBatch(recs []Record) {
 	batchPool.Put(&recs)
 }
 
+// Slab is the batch pool's slab mode: a record buffer that travels
+// together with its backing storage. The plain GetBatch/RecycleBatch pair
+// hands out bare slices, which forces RecycleBatch to re-box the slice
+// header on every Put — one heap allocation per batch. A Slab keeps the
+// header boxed for its whole life, so the ingest pipeline's
+// datagram→decode→dispatch→recycle round trip allocates nothing in steady
+// state, and the slab's capacity grows to the largest batch it ever
+// carried instead of being reallocated per batch.
+type Slab struct {
+	// Recs is the slab's live records. Producers append with
+	// Recs = append(Recs[:0], ...); consumers must not retain the slice
+	// past RecycleSlab.
+	Recs []Record
+}
+
+// slabPool recycles slabs across datagrams; shared by all pipeline
+// readers and workers (sync.Pool is safe for concurrent use).
+var slabPool = sync.Pool{New: func() any { return new(Slab) }}
+
+// GetSlab hands out an empty slab from the shared pool.
+func GetSlab() *Slab {
+	s := slabPool.Get().(*Slab)
+	s.Recs = s.Recs[:0]
+	return s
+}
+
+// RecycleSlab returns a slab to the pool. The caller must not retain the
+// slab or its Recs slice (or any aliases) afterwards. The records are not
+// zeroed — a parked slab can pin the (small, long-lived) Exporter strings
+// of its last batch, which is the price of keeping the recycle path a
+// pointer push instead of a per-batch memclr; consumers of reused slabs
+// (nfv9.Decoder.DecodeInto) overwrite every field of every slot they
+// return, so stale state never leaks into decoded records.
+func RecycleSlab(s *Slab) {
+	if s == nil {
+		return
+	}
+	s.Recs = s.Recs[:0]
+	slabPool.Put(s)
+}
+
 // appendExport lazily takes a pooled batch on the first export of a call.
 func appendExport(out []Record, r Record) []Record {
 	if out == nil {

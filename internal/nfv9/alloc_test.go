@@ -1,0 +1,68 @@
+package nfv9
+
+import (
+	"testing"
+
+	"cwatrace/internal/netflow"
+)
+
+// decodeIntoAllocs measures steady-state allocations per DecodeInto call
+// for one wire packet: templates learned, slab grown to capacity.
+func decodeIntoAllocs(t *testing.T, data []byte) float64 {
+	t.Helper()
+	dec := NewDecoder("alloc")
+	slab := netflow.GetSlab()
+	defer netflow.RecycleSlab(slab)
+	recs, _, err := dec.DecodeInto(data, slab.Recs[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("warmup decoded no records")
+	}
+	slab.Recs = recs
+	return testing.AllocsPerRun(100, func() {
+		recs, _, err := dec.DecodeInto(data, slab.Recs[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab.Recs = recs
+	})
+}
+
+// TestDecodeIntoZeroAlloc pins the decode fast path at zero allocations
+// per packet once the decoder has learned the templates and the caller's
+// slab has capacity — the regression guard for the slab/compiled-template
+// design. Any per-record or per-packet allocation sneaking back into the
+// hot path fails here before it shows up in production profiles.
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	enc := NewEncoder(1)
+	var v4recs, mixed []netflow.Record
+	for i := 0; i < 20; i++ {
+		v4recs = append(v4recs, v4Record(i))
+		if i%2 == 0 {
+			mixed = append(mixed, v4Record(i))
+		} else {
+			mixed = append(mixed, v6Record(i))
+		}
+	}
+	cases := []struct {
+		name string
+		recs []netflow.Record
+	}{
+		{"v4", v4recs},
+		{"mixed", mixed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc.Reset()
+			data, err := enc.Encode(tc.recs, exportTime)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if allocs := decodeIntoAllocs(t, data); allocs != 0 {
+				t.Fatalf("DecodeInto allocated %.1f times per packet, want 0", allocs)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"slices"
 	"time"
 
 	"cwatrace/internal/netflow"
@@ -141,35 +142,50 @@ func (e *Encoder) Encode(records []netflow.Record, exportTime time.Time) ([]byte
 	return buf, nil
 }
 
+// canonicalV4Fields and canonicalV6Fields are the two record layouts this
+// package's encoder emits. The decoder compares learned templates against
+// them to select the unrolled fast-path decoders.
+var (
+	canonicalV4Fields = []templateField{
+		{fieldIPv4SrcAddr, 4},
+		{fieldIPv4DstAddr, 4},
+		{fieldL4SrcPort, 2},
+		{fieldL4DstPort, 2},
+		{fieldProtocol, 1},
+		{0, 1}, // padding field (type 0, vendor-reserved here)
+		{fieldInBytes, 8},
+		{fieldInPkts, 8},
+		{fieldFirstSwitched, 8},
+		{fieldLastSwitched, 8},
+	}
+	canonicalV6Fields = []templateField{
+		{fieldIPv6SrcAddr, 16},
+		{fieldIPv6DstAddr, 16},
+		{fieldL4SrcPort, 2},
+		{fieldL4DstPort, 2},
+		{fieldProtocol, 1},
+		{0, 1},
+		{fieldInBytes, 8},
+		{fieldInPkts, 8},
+		{fieldFirstSwitched, 8},
+		{fieldLastSwitched, 8},
+	}
+)
+
 // appendTemplateFlowSet emits the template FlowSet defining both layouts.
 func appendTemplateFlowSet(buf []byte) []byte {
-	fields := func(v6 bool) [][2]uint16 {
-		srcAddr, dstAddr, addrLen := uint16(fieldIPv4SrcAddr), uint16(fieldIPv4DstAddr), uint16(4)
-		if v6 {
-			srcAddr, dstAddr, addrLen = fieldIPv6SrcAddr, fieldIPv6DstAddr, 16
-		}
-		return [][2]uint16{
-			{srcAddr, addrLen},
-			{dstAddr, addrLen},
-			{fieldL4SrcPort, 2},
-			{fieldL4DstPort, 2},
-			{fieldProtocol, 1},
-			{0, 1}, // padding field (type 0, vendor-reserved here)
-			{fieldInBytes, 8},
-			{fieldInPkts, 8},
-			{fieldFirstSwitched, 8},
-			{fieldLastSwitched, 8},
-		}
-	}
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // flowset id 0 + length, filled below
 	for i, tid := range []uint16{TemplateIPv4, TemplateIPv6} {
-		fs := fields(i == 1)
+		fs := canonicalV4Fields
+		if i == 1 {
+			fs = canonicalV6Fields
+		}
 		buf = be16(buf, tid)
 		buf = be16(buf, uint16(len(fs)))
 		for _, f := range fs {
-			buf = be16(buf, f[0])
-			buf = be16(buf, f[1])
+			buf = be16(buf, f.Type)
+			buf = be16(buf, f.Length)
 		}
 	}
 	binary.BigEndian.PutUint16(buf[start:start+2], 0) // template flowset id
@@ -224,6 +240,139 @@ type templateField struct {
 	Length uint16
 }
 
+// Accessor kinds for compiled template programs, one per field type this
+// implementation decodes.
+const (
+	opSrc4 uint8 = iota
+	opDst4
+	opSrc6
+	opDst6
+	opSrcPort
+	opDstPort
+	opProto
+	opBytes
+	opPackets
+	opFirst
+	opLast
+)
+
+// fieldOp is one compiled accessor: read the field at a pre-resolved
+// record offset straight out of the wire buffer.
+type fieldOp struct {
+	off  uint32
+	kind uint8
+}
+
+// Record layouts the decoder specializes.
+const (
+	layoutGeneric uint8 = iota
+	layoutV4            // canonicalV4Fields exactly
+	layoutV6            // canonicalV6Fields exactly
+)
+
+// template is one learned template compiled for the decode hot path:
+// field offsets are resolved once here, at template-parse time, so the
+// per-record loop never walks the field list doing offset arithmetic.
+// Length validation also moves here — but a malformed template is only
+// *reported* when a data FlowSet references it (err below), preserving
+// the wire behavior of the interpreting decoder.
+type template struct {
+	fields []templateField // raw wire definition
+	recLen int             // bytes per record
+	ops    []fieldOp       // accessors for the fields this implementation decodes
+	layout uint8           // fast-path selector
+	err    error           // compile-time rejection, surfaced on first data use
+}
+
+// kindOf maps a decodable field type to its accessor kind. Callers must
+// only pass types with fieldLen != 0.
+func kindOf(typ uint16) uint8 {
+	switch typ {
+	case fieldIPv4SrcAddr:
+		return opSrc4
+	case fieldIPv4DstAddr:
+		return opDst4
+	case fieldIPv6SrcAddr:
+		return opSrc6
+	case fieldIPv6DstAddr:
+		return opDst6
+	case fieldL4SrcPort:
+		return opSrcPort
+	case fieldL4DstPort:
+		return opDstPort
+	case fieldProtocol:
+		return opProto
+	case fieldInBytes:
+		return opBytes
+	case fieldInPkts:
+		return opPackets
+	case fieldFirstSwitched:
+		return opFirst
+	}
+	return opLast
+}
+
+// compileTemplate builds the accessor table for a template definition.
+func compileTemplate(tid uint16, fields []templateField) *template {
+	t := &template{fields: fields}
+	off := 0
+	for _, f := range fields {
+		if want := fieldLen(f.Type); want != 0 {
+			if f.Length != want {
+				// The fixed-width accessors would over-read a template that
+				// declares a shorter length — a malformed (or malicious)
+				// template must be rejected, not trusted. Found by
+				// FuzzDecode.
+				t.err = fmt.Errorf("nfv9: template %d declares field %d with length %d, want %d",
+					tid, f.Type, f.Length, want)
+				return t
+			}
+			t.ops = append(t.ops, fieldOp{off: uint32(off), kind: kindOf(f.Type)})
+		}
+		off += int(f.Length)
+	}
+	t.recLen = off
+	if t.recLen == 0 {
+		t.err = fmt.Errorf("nfv9: template %d has zero record length", tid)
+		return t
+	}
+	switch {
+	case equalFields(fields, canonicalV4Fields):
+		t.layout = layoutV4
+	case equalFields(fields, canonicalV6Fields):
+		t.layout = layoutV6
+	}
+	return t
+}
+
+// matchesWire reports whether the raw field list b (4 bytes per field,
+// as it appears in a template FlowSet) declares exactly this template's
+// fields, without materializing a parsed copy.
+func (t *template) matchesWire(b []byte) bool {
+	if len(b) != 4*len(t.fields) {
+		return false
+	}
+	for i := range t.fields {
+		if binary.BigEndian.Uint16(b[4*i:4*i+2]) != t.fields[i].Type ||
+			binary.BigEndian.Uint16(b[4*i+2:4*i+4]) != t.fields[i].Length {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFields(a, b []templateField) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Decoder parses export packets. Templates learned from packets persist
 // across calls, as in a real collector; until the first template FlowSet
 // arrives, data FlowSets fail with ErrUnknownTemplate, so a collector
@@ -236,7 +385,7 @@ type templateField struct {
 // packets means the transport lost (or reordered) export packets.
 // SequenceStats surfaces the running tally.
 type Decoder struct {
-	templates map[uint16][]templateField
+	templates map[uint16]*template
 	exporter  string
 
 	// Sequence accounting (RFC 3954: UDP export is unreliable, the
@@ -256,7 +405,7 @@ type Decoder struct {
 // decoder. A shared decoder across domains would interleave independent
 // sequence spaces and report phantom gaps.
 func NewDecoder(exporter string) *Decoder {
-	d := &Decoder{templates: make(map[uint16][]templateField), exporter: exporter}
+	d := &Decoder{templates: make(map[uint16]*template), exporter: exporter}
 	return d
 }
 
@@ -307,50 +456,92 @@ func (d *Decoder) trackSequence(seq uint32) {
 	d.nextSeq = seq + 1
 }
 
-// Decode parses one packet.
+// PacketMeta is the header-and-census view of one decoded packet, the
+// allocation-free counterpart of Packet for the DecodeInto fast path.
+type PacketMeta struct {
+	SequenceNumber uint32
+	SourceID       uint32
+	ExportTime     time.Time
+	// Templates counts template definitions seen in the packet.
+	Templates int
+}
+
+// Decode parses one packet. Records are taken from the shared netflow
+// batch pool; pipeline consumers that do not retain them should hand them
+// back via netflow.RecycleBatch.
 func (d *Decoder) Decode(data []byte) (*Packet, error) {
-	if len(data) < headerLen {
-		return nil, ErrShortPacket
-	}
-	if v := binary.BigEndian.Uint16(data[0:2]); v != Version {
-		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, v)
-	}
-	pkt := &Packet{
-		ExportTime:     time.Unix(int64(binary.BigEndian.Uint32(data[8:12])), 0).UTC(),
-		SequenceNumber: binary.BigEndian.Uint32(data[12:16]),
-		SourceID:       binary.BigEndian.Uint32(data[16:20]),
-	}
-	d.trackSequence(pkt.SequenceNumber)
-	// fail recycles any pool-backed batch already taken for this packet,
-	// so malformed peers cannot bleed batches out of the shared pool.
-	fail := func(err error) (*Packet, error) {
-		netflow.RecycleBatch(pkt.Records)
+	recs, meta, err := d.decode(data, nil, true)
+	if err != nil {
+		// Recycle any pool-backed batch already taken for this packet, so
+		// malformed peers cannot bleed batches out of the shared pool.
+		netflow.RecycleBatch(recs)
 		return nil, err
 	}
+	return &Packet{
+		SequenceNumber: meta.SequenceNumber,
+		SourceID:       meta.SourceID,
+		ExportTime:     meta.ExportTime,
+		Records:        recs,
+		Templates:      meta.Templates,
+	}, nil
+}
+
+// DecodeInto is the zero-allocation fast path: it parses one packet
+// appending records onto the caller-owned slice (typically a
+// netflow.Slab the caller recycles), and returns the packet header as a
+// value instead of an allocated Packet. Every field of every appended
+// record is written, so reused storage never leaks stale state. On error
+// the returned slice is out truncated back to its original length — the
+// caller keeps ownership either way, and any records appended before the
+// error are discarded, exactly as Decode recycles its partial batch.
+func (d *Decoder) DecodeInto(data []byte, out []netflow.Record) ([]netflow.Record, PacketMeta, error) {
+	base := len(out)
+	recs, meta, err := d.decode(data, out, false)
+	if err != nil {
+		return recs[:base], meta, err
+	}
+	return recs, meta, nil
+}
+
+// decode is the shared packet walk. lazyPool selects the legacy Decode
+// contract: out is nil until the first data FlowSet, which takes a batch
+// from the shared pool.
+func (d *Decoder) decode(data []byte, out []netflow.Record, lazyPool bool) ([]netflow.Record, PacketMeta, error) {
+	var meta PacketMeta
+	if len(data) < headerLen {
+		return out, meta, ErrShortPacket
+	}
+	if v := binary.BigEndian.Uint16(data[0:2]); v != Version {
+		return out, meta, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	meta.ExportTime = time.Unix(int64(binary.BigEndian.Uint32(data[8:12])), 0).UTC()
+	meta.SequenceNumber = binary.BigEndian.Uint32(data[12:16])
+	meta.SourceID = binary.BigEndian.Uint32(data[16:20])
+	d.trackSequence(meta.SequenceNumber)
 	off := headerLen
 	for off+4 <= len(data) {
 		setID := binary.BigEndian.Uint16(data[off : off+2])
 		setLen := int(binary.BigEndian.Uint16(data[off+2 : off+4]))
 		if setLen < 4 || off+setLen > len(data) {
-			return fail(fmt.Errorf("%w: flowset length %d at offset %d", ErrShortPacket, setLen, off))
+			return out, meta, fmt.Errorf("%w: flowset length %d at offset %d", ErrShortPacket, setLen, off)
 		}
 		body := data[off+4 : off+setLen]
 		if setID == 0 {
 			n, err := d.parseTemplates(body)
 			if err != nil {
-				return fail(err)
+				return out, meta, err
 			}
-			pkt.Templates += n
+			meta.Templates += n
 		} else if setID > 255 {
-			recs, err := d.parseData(setID, body, pkt.Records)
+			recs, err := d.parseData(setID, body, out, lazyPool)
 			if err != nil {
-				return fail(err)
+				return out, meta, err
 			}
-			pkt.Records = recs
+			out = recs
 		}
 		off += setLen
 	}
-	return pkt, nil
+	return out, meta, nil
 }
 
 func (d *Decoder) parseTemplates(body []byte) (int, error) {
@@ -363,6 +554,15 @@ func (d *Decoder) parseTemplates(body []byte) (int, error) {
 		if off+fieldCount*4 > len(body) {
 			return n, fmt.Errorf("%w: truncated template %d", ErrShortPacket, tid)
 		}
+		// An identical refresh of a known template — the periodic resend
+		// RFC 3954 requires — keeps the compiled accessor table and
+		// allocates nothing, so template-bearing packets stay on the
+		// zero-alloc path in the steady state.
+		if old, ok := d.templates[tid]; ok && old.matchesWire(body[off:off+fieldCount*4]) {
+			off += fieldCount * 4
+			n++
+			continue
+		}
 		fields := make([]templateField, fieldCount)
 		for i := 0; i < fieldCount; i++ {
 			fields[i] = templateField{
@@ -371,7 +571,7 @@ func (d *Decoder) parseTemplates(body []byte) (int, error) {
 			}
 			off += 4
 		}
-		d.templates[tid] = fields
+		d.templates[tid] = compileTemplate(tid, fields)
 		n++
 	}
 	return n, nil
@@ -398,73 +598,125 @@ func fieldLen(typ uint16) uint16 {
 	return 0
 }
 
-// parseData decodes one data FlowSet, appending onto out. When out is nil
-// the batch comes from the shared netflow pool, so pipeline consumers that
-// hand packets back via netflow.RecycleBatch run allocation-free in steady
-// state (callers that retain the records simply never recycle).
-func (d *Decoder) parseData(tid uint16, body []byte, out []netflow.Record) ([]netflow.Record, error) {
-	fields, ok := d.templates[tid]
+// parseData decodes one data FlowSet, appending onto out. When lazyPool is
+// set and out is nil the batch comes from the shared netflow pool, so
+// pipeline consumers that hand packets back via netflow.RecycleBatch run
+// allocation-free in steady state (callers that retain the records simply
+// never recycle). The per-record work runs over the template's compiled
+// accessor table; the two canonical layouts this package's encoder emits
+// additionally get fully unrolled decoders.
+func (d *Decoder) parseData(tid uint16, body []byte, out []netflow.Record, lazyPool bool) ([]netflow.Record, error) {
+	t, ok := d.templates[tid]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownTemplate, tid)
+		return out, fmt.Errorf("%w: %d", ErrUnknownTemplate, tid)
 	}
-	recLen := 0
-	for _, f := range fields {
-		if want := fieldLen(f.Type); want != 0 && f.Length != want {
-			return nil, fmt.Errorf("nfv9: template %d declares field %d with length %d, want %d",
-				tid, f.Type, f.Length, want)
-		}
-		recLen += int(f.Length)
+	if t.err != nil {
+		return out, t.err
 	}
-	if recLen == 0 {
-		return nil, fmt.Errorf("nfv9: template %d has zero record length", tid)
-	}
-	if out == nil {
+	if out == nil && lazyPool {
 		out = netflow.GetBatch()
 	}
-	for off := 0; off+recLen <= len(body); off += recLen {
-		rec := netflow.Record{Exporter: d.exporter}
-		fo := off
-		for _, f := range fields {
-			val := body[fo : fo+int(f.Length)]
-			switch f.Type {
-			case fieldIPv4SrcAddr:
-				rec.Src = addr4(val)
-			case fieldIPv4DstAddr:
-				rec.Dst = addr4(val)
-			case fieldIPv6SrcAddr:
-				rec.Src = addr16(val)
-			case fieldIPv6DstAddr:
-				rec.Dst = addr16(val)
-			case fieldL4SrcPort:
-				rec.SrcPort = binary.BigEndian.Uint16(val)
-			case fieldL4DstPort:
-				rec.DstPort = binary.BigEndian.Uint16(val)
-			case fieldProtocol:
-				rec.Proto = val[0]
-			case fieldInBytes:
-				rec.Bytes = binary.BigEndian.Uint64(val)
-			case fieldInPkts:
-				rec.Packets = binary.BigEndian.Uint64(val)
-			case fieldFirstSwitched:
-				rec.First = time.UnixMilli(int64(binary.BigEndian.Uint64(val))).UTC()
-			case fieldLastSwitched:
-				rec.Last = time.UnixMilli(int64(binary.BigEndian.Uint64(val))).UTC()
-			}
-			fo += int(f.Length)
-		}
-		out = append(out, rec)
+	n := len(body) / t.recLen
+	if n == 0 {
+		return out, nil
+	}
+	base := len(out)
+	out = slices.Grow(out, n)
+	out = out[:base+n]
+	dst := out[base:]
+	switch t.layout {
+	case layoutV4:
+		d.decodeV4(body, dst)
+	case layoutV6:
+		d.decodeV6(body, dst)
+	default:
+		d.decodeGeneric(t, body, dst)
 	}
 	return out, nil
 }
 
-func addr4(b []byte) netip.Addr {
-	var a [4]byte
-	copy(a[:], b)
-	return netip.AddrFrom4(a)
+// decodeV4 decodes records in the canonical IPv4 layout. The offsets are
+// those of canonicalV4Fields: src 0, dst 4, ports 8/10, proto 12, pad 13,
+// bytes 14, pkts 22, first 30, last 38; 46 bytes per record. Writing
+// through a pointer into the slab (rather than building a Record value and
+// copying it in) keeps the 112-byte struct copy off the hot path.
+func (d *Decoder) decodeV4(body []byte, dst []netflow.Record) {
+	off := 0
+	for i := range dst {
+		rec := body[off : off+v4RecordLen : off+v4RecordLen]
+		r := &dst[i]
+		r.Src = netip.AddrFrom4([4]byte(rec[0:4]))
+		r.Dst = netip.AddrFrom4([4]byte(rec[4:8]))
+		r.SrcPort = binary.BigEndian.Uint16(rec[8:10])
+		r.DstPort = binary.BigEndian.Uint16(rec[10:12])
+		r.Proto = rec[12]
+		r.Bytes = binary.BigEndian.Uint64(rec[14:22])
+		r.Packets = binary.BigEndian.Uint64(rec[22:30])
+		r.First = time.UnixMilli(int64(binary.BigEndian.Uint64(rec[30:38]))).UTC()
+		r.Last = time.UnixMilli(int64(binary.BigEndian.Uint64(rec[38:46]))).UTC()
+		r.Exporter = d.exporter
+		off += v4RecordLen
+	}
 }
 
-func addr16(b []byte) netip.Addr {
-	var a [16]byte
-	copy(a[:], b)
-	return netip.AddrFrom16(a)
+// decodeV6 decodes records in the canonical IPv6 layout: src 0, dst 16,
+// ports 32/34, proto 36, pad 37, bytes 38, pkts 46, first 54, last 62; 70
+// bytes per record.
+func (d *Decoder) decodeV6(body []byte, dst []netflow.Record) {
+	off := 0
+	for i := range dst {
+		rec := body[off : off+v6RecordLen : off+v6RecordLen]
+		r := &dst[i]
+		r.Src = netip.AddrFrom16([16]byte(rec[0:16]))
+		r.Dst = netip.AddrFrom16([16]byte(rec[16:32]))
+		r.SrcPort = binary.BigEndian.Uint16(rec[32:34])
+		r.DstPort = binary.BigEndian.Uint16(rec[34:36])
+		r.Proto = rec[36]
+		r.Bytes = binary.BigEndian.Uint64(rec[38:46])
+		r.Packets = binary.BigEndian.Uint64(rec[46:54])
+		r.First = time.UnixMilli(int64(binary.BigEndian.Uint64(rec[54:62]))).UTC()
+		r.Last = time.UnixMilli(int64(binary.BigEndian.Uint64(rec[62:70]))).UTC()
+		r.Exporter = d.exporter
+		off += v6RecordLen
+	}
+}
+
+// decodeGeneric decodes records under an arbitrary compiled template by
+// walking its accessor table. Each slot is fully reset first so reused
+// slab storage never leaks fields the template doesn't carry.
+func (d *Decoder) decodeGeneric(t *template, body []byte, dst []netflow.Record) {
+	off := 0
+	for i := range dst {
+		rec := body[off : off+t.recLen : off+t.recLen]
+		r := &dst[i]
+		*r = netflow.Record{Exporter: d.exporter}
+		for _, op := range t.ops {
+			val := rec[op.off:]
+			switch op.kind {
+			case opSrc4:
+				r.Src = netip.AddrFrom4([4]byte(val[:4]))
+			case opDst4:
+				r.Dst = netip.AddrFrom4([4]byte(val[:4]))
+			case opSrc6:
+				r.Src = netip.AddrFrom16([16]byte(val[:16]))
+			case opDst6:
+				r.Dst = netip.AddrFrom16([16]byte(val[:16]))
+			case opSrcPort:
+				r.SrcPort = binary.BigEndian.Uint16(val[:2])
+			case opDstPort:
+				r.DstPort = binary.BigEndian.Uint16(val[:2])
+			case opProto:
+				r.Proto = val[0]
+			case opBytes:
+				r.Bytes = binary.BigEndian.Uint64(val[:8])
+			case opPackets:
+				r.Packets = binary.BigEndian.Uint64(val[:8])
+			case opFirst:
+				r.First = time.UnixMilli(int64(binary.BigEndian.Uint64(val[:8]))).UTC()
+			case opLast:
+				r.Last = time.UnixMilli(int64(binary.BigEndian.Uint64(val[:8]))).UTC()
+			}
+		}
+		off += t.recLen
+	}
 }

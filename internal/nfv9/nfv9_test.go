@@ -314,3 +314,27 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkDecodeInto(b *testing.B) {
+	enc := NewEncoder(1)
+	var recs []netflow.Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, v4Record(i))
+	}
+	data, err := enc.Encode(recs, exportTime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := NewDecoder("bench")
+	slab := netflow.GetSlab()
+	defer netflow.RecycleSlab(slab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := dec.DecodeInto(data, slab.Recs[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		slab.Recs = out
+	}
+}

@@ -1,0 +1,36 @@
+package streaming
+
+import (
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+)
+
+// TestIngestZeroAllocSteadyState pins the per-record streaming update at
+// zero allocations once the shard is warm: the hour bin claimed, every
+// prefix interned. This is the regression guard for the columnar-ring
+// design — a map growing, an interface boxing, or a time.Duration round
+// trip reappearing in ingest() fails here, not in a profile weeks later.
+func TestIngestZeroAllocSteadyState(t *testing.T) {
+	a := New(Config{})
+	base := entime.StudyStart.Add(time.Hour)
+	recs := make([]netflow.Record, 64)
+	for i := range recs {
+		// Spread clients across several /24s so the run exercises both
+		// the last-prefix memo and the interned-index map lookups.
+		recs[i] = keptRecord(base.Add(time.Duration(i)*time.Second), client(i*16), uint64(500+i))
+	}
+	// Two dropped shapes keep the filter-classification path in the loop.
+	recs[10].SrcPort = 80
+	recs[20].Src, recs[20].Dst = recs[20].Dst, recs[20].Src
+
+	// Warm: claim the bin, intern every prefix the run will touch.
+	a.Ingest(recs)
+
+	allocs := testing.AllocsPerRun(100, func() { a.Ingest(recs) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Ingest of %d records allocated %.1f times per run, want 0", len(recs), allocs)
+	}
+}

@@ -36,7 +36,7 @@ const MaxWindowHours = 20 * 366 * 24
 // is not modified; callers must hold whatever lock guards live ingestion.
 func (a *Analytics) MarshalBinary() ([]byte, error) {
 	// Generous pre-size: fixed head + live bins + prefix/district entries.
-	buf := make([]byte, 0, 64+len(a.prefixes)*16+len(a.districts)*24+a.cfg.WindowHours/4)
+	buf := make([]byte, 0, 64+len(a.prefixList)*16+len(a.districtIDs)*24+a.cfg.WindowHours/4)
 	buf = append(buf, stateVersion)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(a.cfg.Origin.UnixNano()))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(a.cfg.WindowHours))
@@ -59,10 +59,8 @@ func (a *Analytics) MarshalBinary() ([]byte, error) {
 	}
 
 	// Full prefix counters in address order.
-	prefixes := make([]netip.Prefix, 0, len(a.prefixes))
-	for p := range a.prefixes {
-		prefixes = append(prefixes, p)
-	}
+	prefixes := make([]netip.Prefix, 0, len(a.prefixList))
+	prefixes = append(prefixes, a.prefixList...)
 	sort.Slice(prefixes, func(i, j int) bool {
 		if c := prefixes[i].Addr().Compare(prefixes[j].Addr()); c != 0 {
 			return c < 0
@@ -82,18 +80,15 @@ func (a *Analytics) MarshalBinary() ([]byte, error) {
 			buf = append(buf, b[:]...)
 		}
 		buf = append(buf, byte(p.Bits()))
-		buf = binary.BigEndian.AppendUint64(buf, a.prefixes[p])
+		buf = binary.BigEndian.AppendUint64(buf, a.prefixCount[a.prefixIdx[p]])
 	}
 
 	// District rollup (flag + sorted entries).
-	if a.districts == nil {
+	if !a.hasDistricts {
 		buf = append(buf, 0)
 	} else {
 		buf = append(buf, 1)
-		ids := make([]string, 0, len(a.districts))
-		for id := range a.districts {
-			ids = append(ids, id)
-		}
+		ids := append([]string(nil), a.districtIDs...)
 		sort.Strings(ids)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(ids)))
 		for _, id := range ids {
@@ -102,7 +97,7 @@ func (a *Analytics) MarshalBinary() ([]byte, error) {
 			}
 			buf = append(buf, byte(len(id)>>8), byte(len(id)))
 			buf = append(buf, id...)
-			buf = binary.BigEndian.AppendUint64(buf, a.districts[id])
+			buf = binary.BigEndian.AppendUint64(buf, a.districtCount[a.districtIdx[id]])
 		}
 	}
 	return buf, nil
@@ -168,7 +163,10 @@ func unmarshalAnalytics(cfg Config, data []byte, adoptWindow bool) (*Analytics, 
 		if h < 0 || h > a.maxHour || (a.maxHour >= 0 && h <= a.maxHour-a.cfg.WindowHours) {
 			return nil, fmt.Errorf("streaming: state bin hour %d outside window ending at %d", h, a.maxHour)
 		}
-		a.ring[h%a.cfg.WindowHours] = hourBin{hour: h, flows: flows, bytes: bytes}
+		slot := h % a.cfg.WindowHours
+		a.binHour[slot] = int32(h)
+		a.binFlows[slot] = flows
+		a.binBytes[slot] = bytes
 		if a.archiveMin < 0 || h < a.archiveMin {
 			a.archiveMin = h
 		}
@@ -201,13 +199,11 @@ func unmarshalAnalytics(cfg Config, data []byte, adoptWindow bool) (*Analytics, 
 		if err != nil {
 			return nil, fmt.Errorf("streaming: state prefix %s/%d: %v", addr, bits, err)
 		}
-		a.prefixes[p] = count
+		a.prefixCount[a.internPrefix(p)] = count
 	}
 
 	if d.u8() == 1 {
-		if a.districts == nil {
-			a.districts = make(map[string]uint64)
-		}
+		a.enableDistricts()
 		nDistricts := int(d.u32())
 		for i := 0; i < nDistricts && d.err == nil; i++ {
 			idLen := int(d.u8())<<8 | int(d.u8())
@@ -217,7 +213,7 @@ func unmarshalAnalytics(cfg Config, data []byte, adoptWindow bool) (*Analytics, 
 			if d.err != nil {
 				break
 			}
-			a.districts[string(id)] = count
+			a.districtCount[a.internDistrict(string(id))] = count
 		}
 	}
 	if d.err != nil {

@@ -25,7 +25,9 @@ func populatedShard(t *testing.T) (*Analytics, Config) {
 	a.Ingest([]netflow.Record{keptRecord(entime.StudyStart.Add(-time.Hour), client(2), 10)})
 	// District counts, as a restored checkpoint frame would carry them
 	// (white box: the real path needs a geodb sidecar).
-	a.districts = map[string]uint64{"05-113": 7, "09-162": 3}
+	a.enableDistricts()
+	a.districtCount[a.internDistrict("05-113")] = 7
+	a.districtCount[a.internDistrict("09-162")] = 3
 	a.located = 10
 	return a, cfg
 }
@@ -137,15 +139,15 @@ func TestBoundsArchive(t *testing.T) {
 	}
 	scanBounds := func(s *Analytics) (int, int, bool) {
 		lo, hi := -1, -1
-		for _, bin := range s.ring {
-			if bin.hour < 0 {
+		for _, h := range s.binHour {
+			if h < 0 {
 				continue
 			}
-			if lo < 0 || bin.hour < lo {
-				lo = bin.hour
+			if lo < 0 || int(h) < lo {
+				lo = int(h)
 			}
-			if bin.hour > hi {
-				hi = bin.hour
+			if int(h) > hi {
+				hi = int(h)
 			}
 		}
 		return lo, hi, lo >= 0

@@ -17,6 +17,7 @@
 package streaming
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -107,7 +108,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// hourBin is one slot of the sliding ring. hour == -1 marks an empty slot.
+// hourBin is one populated hourly bucket in canonical (row) form. The live
+// ring stores bins column-wise (see Analytics); hourBin remains the unit
+// sortedBins, Merge and the state codec exchange.
 type hourBin struct {
 	hour  int
 	flows float64
@@ -117,23 +120,74 @@ type hourBin struct {
 // Analytics is one online-analytics shard. It is not safe for concurrent
 // use; the ingest pipeline drives each shard from a single worker and
 // guards snapshots with the pipeline's own locking.
+//
+// The hot-path state is laid out columnar (struct-of-arrays): the hourly
+// ring is three parallel slices instead of a []hourBin, and the prefix and
+// district counters are flat count arrays keyed by interned indexes, with
+// the maps reduced to string/prefix → index lookups. A per-record update
+// is then a handful of array writes; the only map the steady state touches
+// is the int-keyed prefix fast index, whose lookups need no hashing of
+// 40-byte netip.Prefix values and whose hits never call mapassign.
 type Analytics struct {
-	cfg    Config
-	filter core.Filter
+	cfg     Config
+	filter  core.Filter
+	cfilter core.CompiledFilter
 
-	ring    []hourBin
+	// originSec enables the integer-seconds hour binning fast path; it is
+	// only valid when originWhole is set (Origin has no sub-second part —
+	// otherwise second-truncated math would disagree with Sub/time.Hour
+	// and the slow path runs).
+	originSec   int64
+	originWhole bool
+
+	// The hourly ring, column-wise. binHour[s] is the hour index occupying
+	// slot s (-1 empty); binFlows/binBytes are only meaningful where
+	// binHour agrees with the probed hour, exactly like hourBin.hour did.
+	binHour  []int32
+	binFlows []float64
+	binBytes []float64
+
 	maxHour int // highest hour index seen; -1 before any record
 	// archiveMin is the lowest binned hour of an Archive shard (-1 before
 	// any). Archive shards never evict, so it only ever decreases; the
 	// O(1) grow check in ensureArchiveWindow depends on it.
 	archiveMin int
 
+	// curHour/curSlot memoize the last binFor resolution: export streams
+	// are near-time-ordered, so consecutive records overwhelmingly share
+	// an hour and skip the slide/claim logic entirely. curHour is -1 when
+	// the memo is invalid (fresh shard, or the ring was reshaped).
+	curHour int
+	curSlot int
+
 	dropped [nReasons]uint64
 	late    uint64
 
-	prefixes  map[netip.Prefix]uint64
-	districts map[string]uint64
-	located   uint64
+	// Interned prefix counters. prefixIdx is the canonical index over every
+	// prefix this shard has seen; prefix4Idx is the hot-path shortcut for
+	// IPv4 prefixes at exactly cfg.PrefixBits (every kept record's prefix —
+	// the filter only keeps IPv4), keyed by the masked big-endian address
+	// word. internPrefix keeps the two in sync.
+	prefixIdx   map[netip.Prefix]uint32
+	prefix4Idx  map[uint32]uint32
+	prefix4Mask uint32
+	prefixList  []netip.Prefix
+	prefixCount []uint64
+	// lastPrefKey/lastPrefIdx memoize the most recent fast-index hit:
+	// client records cluster by network, so runs of records share a
+	// prefix and skip even the int-keyed map probe. Indexes are
+	// append-only, so a memoized entry never goes stale.
+	lastPrefKey uint32
+	lastPrefIdx uint32
+	lastPrefOK  bool
+
+	// Interned district counters; hasDistricts plays the role the nil-ness
+	// of the old district map played (rollup enabled).
+	hasDistricts  bool
+	districtIdx   map[string]uint32
+	districtIDs   []string
+	districtCount []uint64
+	located       uint64
 }
 
 // New creates an empty shard.
@@ -142,18 +196,68 @@ func New(cfg Config) *Analytics {
 	a := &Analytics{
 		cfg:        cfg,
 		filter:     *cfg.Filter,
-		ring:       make([]hourBin, cfg.WindowHours),
+		cfilter:    cfg.Filter.Compile(),
+		binHour:    make([]int32, cfg.WindowHours),
+		binFlows:   make([]float64, cfg.WindowHours),
+		binBytes:   make([]float64, cfg.WindowHours),
 		maxHour:    -1,
 		archiveMin: -1,
-		prefixes:   make(map[netip.Prefix]uint64),
+		curHour:    -1,
+		prefixIdx:  make(map[netip.Prefix]uint32),
+		prefix4Idx: make(map[uint32]uint32),
 	}
-	for i := range a.ring {
-		a.ring[i].hour = -1
+	for i := range a.binHour {
+		a.binHour[i] = -1
+	}
+	a.prefix4Mask = ^uint32(0) << (32 - cfg.PrefixBits)
+	if cfg.Origin.Nanosecond() == 0 {
+		a.originSec = cfg.Origin.Unix()
+		a.originWhole = true
 	}
 	if cfg.DB != nil && cfg.Model != nil {
-		a.districts = make(map[string]uint64)
+		a.enableDistricts()
 	}
 	return a
+}
+
+// enableDistricts turns the per-district rollup on (idempotent).
+func (a *Analytics) enableDistricts() {
+	if a.hasDistricts {
+		return
+	}
+	a.hasDistricts = true
+	a.districtIdx = make(map[string]uint32)
+}
+
+// internPrefix returns the counter index for p, allocating one on first
+// sight and registering the IPv4 fast-index entry when p matches the
+// hot-path shape.
+func (a *Analytics) internPrefix(p netip.Prefix) uint32 {
+	if idx, ok := a.prefixIdx[p]; ok {
+		return idx
+	}
+	idx := uint32(len(a.prefixList))
+	a.prefixIdx[p] = idx
+	a.prefixList = append(a.prefixList, p)
+	a.prefixCount = append(a.prefixCount, 0)
+	if p.Bits() == a.cfg.PrefixBits && p.Addr().Is4() {
+		b := p.Addr().As4()
+		a.prefix4Idx[binary.BigEndian.Uint32(b[:])] = idx
+	}
+	return idx
+}
+
+// internDistrict returns the counter index for a district ID, allocating
+// one on first sight.
+func (a *Analytics) internDistrict(id string) uint32 {
+	if idx, ok := a.districtIdx[id]; ok {
+		return idx
+	}
+	idx := uint32(len(a.districtIDs))
+	a.districtIdx[id] = idx
+	a.districtIDs = append(a.districtIDs, id)
+	a.districtCount = append(a.districtCount, 0)
+	return idx
 }
 
 // Ingest runs one record batch through the filter and into every live
@@ -165,7 +269,7 @@ func (a *Analytics) Ingest(recs []netflow.Record) {
 }
 
 func (a *Analytics) ingest(r *netflow.Record) {
-	reason := a.filter.Classify(*r)
+	reason := a.cfilter.Classify(r)
 	a.dropped[reason]++
 	if reason != core.Kept {
 		return
@@ -173,28 +277,89 @@ func (a *Analytics) ingest(r *netflow.Record) {
 
 	// Sliding hourly window. The bucket index is hours since Origin;
 	// advancing past the ring's head evicts the oldest buckets. The
-	// explicit Before check matters: negative sub-hour durations would
-	// truncate to bucket 0 otherwise.
-	if r.First.Before(a.cfg.Origin) {
-		a.late++
-		return
+	// explicit before-Origin check matters: negative sub-hour durations
+	// would truncate to bucket 0 otherwise. For whole-second Origins the
+	// binning runs on integer seconds — Unix() floors toward -inf, so
+	// sec < originSec is exactly First.Before(Origin), and for the
+	// non-negative remainder the sub-second part can never push the
+	// division across an hour boundary.
+	var h int
+	if a.originWhole {
+		sec := r.First.Unix()
+		if sec < a.originSec {
+			a.late++
+			return
+		}
+		h = int((sec - a.originSec) / 3600)
+	} else {
+		if r.First.Before(a.cfg.Origin) {
+			a.late++
+			return
+		}
+		h = int(r.First.Sub(a.cfg.Origin) / time.Hour)
 	}
-	h := int(r.First.Sub(a.cfg.Origin) / time.Hour)
+	slot := a.curSlot
+	if h != a.curHour {
+		slot = a.binFor(h)
+		if slot < 0 {
+			a.late++
+			return
+		}
+	}
+	a.binFlows[slot]++
+	a.binBytes[slot] += float64(r.Bytes)
+
+	// Top-K active client prefixes. Kept records are CDN-to-user, so the
+	// client is the destination — and always IPv4 (the filter drops the
+	// rest), so the masked-word fast index covers the whole kept stream.
+	b := r.Dst.As4()
+	key := binary.BigEndian.Uint32(b[:]) & a.prefix4Mask
+	if a.lastPrefOK && key == a.lastPrefKey {
+		a.prefixCount[a.lastPrefIdx]++
+	} else {
+		idx, ok := a.prefix4Idx[key]
+		if !ok {
+			if p, err := r.Dst.Prefix(a.cfg.PrefixBits); err == nil {
+				idx, ok = a.internPrefix(p), true
+			}
+		}
+		if ok {
+			a.prefixCount[idx]++
+			a.lastPrefKey, a.lastPrefIdx, a.lastPrefOK = key, idx, true
+		}
+	}
+
+	// Per-district rollup. A shard can hold district counts without a DB
+	// (restored checkpoint state merged into a sidecar-less reader); it
+	// keeps the counts but cannot locate new records.
+	if a.hasDistricts && a.cfg.DB != nil {
+		if entry, ok := a.cfg.DB.Locate(r.Dst); ok {
+			a.located++
+			a.districtCount[a.internDistrict(entry.DistrictID)]++
+		}
+	}
+}
+
+// binFor resolves hour h to its ring slot, growing an archive window or
+// sliding a live one as needed (resetting every slot slid over), and
+// claims the slot if its previous occupant was evicted. It returns -1 when
+// h is too late for the current window — including implausibly far-future
+// hours (>= MaxWindowHours: a forged timestamp or garbage exporter clock
+// must not grow an archive ring past the length reads accept back, nor
+// slide a live window over every real bin). The caller counts the record
+// (or merged bin) as Late. Shared by ingest and Merge so the two advance
+// the window byte-identically.
+func (a *Analytics) binFor(h int) int {
 	if h >= MaxWindowHours {
-		// Implausibly far past Origin — a forged timestamp or a garbage
-		// exporter clock. Binning it would grow an archive ring past the
-		// window length reads accept back (bricking a durable store's
-		// frames) or slide a live window over every real bin; count it
-		// Late like a pre-Origin record instead.
-		a.late++
-		return
+		return -1
 	}
-	a.ensureArchiveWindow(h)
+	if a.cfg.Archive {
+		a.ensureArchiveWindow(h)
+	}
 	w := a.cfg.WindowHours
 	switch {
 	case a.maxHour >= 0 && h <= a.maxHour-w:
-		a.late++
-		return
+		return -1
 	case h > a.maxHour:
 		// Reset every slot the window slides over (at most w of them).
 		from := a.maxHour + 1
@@ -202,32 +367,18 @@ func (a *Analytics) ingest(r *netflow.Record) {
 			from = h - w + 1
 		}
 		for k := from; k <= h; k++ {
-			a.ring[k%w] = hourBin{hour: -1}
+			a.binHour[k%w] = -1
 		}
 		a.maxHour = h
 	}
-	bin := &a.ring[h%w]
-	if bin.hour != h {
-		*bin = hourBin{hour: h}
+	slot := h % w
+	if a.binHour[slot] != int32(h) {
+		a.binHour[slot] = int32(h)
+		a.binFlows[slot] = 0
+		a.binBytes[slot] = 0
 	}
-	bin.flows++
-	bin.bytes += float64(r.Bytes)
-
-	// Top-K active client prefixes. Kept records are CDN-to-user, so the
-	// client is the destination.
-	if p, err := r.Dst.Prefix(a.cfg.PrefixBits); err == nil {
-		a.prefixes[p]++
-	}
-
-	// Per-district rollup. A shard can hold a district map without a DB
-	// (restored checkpoint state merged into a sidecar-less reader); it
-	// keeps the counts but cannot locate new records.
-	if a.districts != nil && a.cfg.DB != nil {
-		if entry, ok := a.cfg.DB.Locate(r.Dst); ok {
-			a.located++
-			a.districts[entry.DistrictID]++
-		}
-	}
+	a.curHour, a.curSlot = h, slot
+	return slot
 }
 
 // archiveGrowQuantum rounds archive-window growth up so a long capture
@@ -251,17 +402,24 @@ func (a *Analytics) ensureArchiveWindow(h int) {
 	}
 	if need := hi - lo + 1; need > a.cfg.WindowHours {
 		w := (need + archiveGrowQuantum - 1) / archiveGrowQuantum * archiveGrowQuantum
-		ring := make([]hourBin, w)
-		for i := range ring {
-			ring[i].hour = -1
+		hour := make([]int32, w)
+		flows := make([]float64, w)
+		bytes := make([]float64, w)
+		for i := range hour {
+			hour[i] = -1
 		}
-		for _, bin := range a.ring {
-			if bin.hour >= 0 {
-				ring[bin.hour%w] = bin
+		for s, bh := range a.binHour {
+			if bh >= 0 {
+				d := int(bh) % w
+				hour[d] = bh
+				flows[d] = a.binFlows[s]
+				bytes[d] = a.binBytes[s]
 			}
 		}
-		a.ring = ring
+		a.binHour, a.binFlows, a.binBytes = hour, flows, bytes
 		a.cfg.WindowHours = w
+		// The ring was reshaped: every memoized slot is stale.
+		a.curHour = -1
 	}
 	if a.archiveMin < 0 || h < a.archiveMin {
 		a.archiveMin = h
@@ -276,64 +434,41 @@ func (a *Analytics) ensureArchiveWindow(h int) {
 // callers (the ingest pipeline's snapshot) merge one locked shard at a
 // time instead of quiescing them all.
 func (a *Analytics) Merge(other *Analytics) {
-	w := a.cfg.WindowHours
 	// Fold the incoming bins oldest hour first — the order live ingestion
 	// would have seen them. Ring-slot order would let a newer incoming bin
 	// slide the window before an older (but still in-order) one is folded,
 	// miscounting it as late; chronological order keeps merging a shard
 	// that spans more hours than this window (the store's compacted
 	// archive frames) deterministic, with the overflow evicted silently
-	// exactly as live ingestion evicts.
+	// exactly as live ingestion evicts. binFor applies the same
+	// MaxWindowHours plausibility bound as ingest: a shard restored from
+	// before the bound (or hand-built) must not poison this one.
 	bins := other.sortedBins()
 	for i := range bins {
 		bin := &bins[i]
-		h := bin.hour
-		if h >= MaxWindowHours {
-			// Same plausibility bound as ingest: a shard restored from
-			// before the bound (or hand-built) must not poison this one.
+		slot := a.binFor(bin.hour)
+		if slot < 0 {
 			a.late += uint64(bin.flows)
 			continue
 		}
-		a.ensureArchiveWindow(h)
-		w = a.cfg.WindowHours
-		switch {
-		case a.maxHour >= 0 && h <= a.maxHour-w:
-			a.late += uint64(bin.flows)
-			continue
-		case h > a.maxHour:
-			from := a.maxHour + 1
-			if from < h-w+1 {
-				from = h - w + 1
-			}
-			for k := from; k <= h; k++ {
-				a.ring[k%w] = hourBin{hour: -1}
-			}
-			a.maxHour = h
-		}
-		dst := &a.ring[h%w]
-		if dst.hour != h {
-			*dst = hourBin{hour: h}
-		}
-		dst.flows += bin.flows
-		dst.bytes += bin.bytes
+		a.binFlows[slot] += bin.flows
+		a.binBytes[slot] += bin.bytes
 	}
 	for i, n := range other.dropped {
 		a.dropped[i] += n
 	}
 	a.late += other.late
-	for p, n := range other.prefixes {
-		a.prefixes[p] += n
+	for i, p := range other.prefixList {
+		a.prefixCount[a.internPrefix(p)] += other.prefixCount[i]
 	}
-	if other.districts != nil {
+	if other.hasDistricts {
 		// Adopt the rollup even if this shard has no geolocation sidecar:
 		// restored checkpoint frames carry district counts that must
 		// survive a merge into a DB-less shard (a read-only query opens
 		// the store without the sidecar the collector ran with).
-		if a.districts == nil {
-			a.districts = make(map[string]uint64)
-		}
-		for id, n := range other.districts {
-			a.districts[id] += n
+		a.enableDistricts()
+		for i, id := range other.districtIDs {
+			a.districtCount[a.internDistrict(id)] += other.districtCount[i]
 		}
 	}
 	a.located += other.located
@@ -342,10 +477,10 @@ func (a *Analytics) Merge(other *Analytics) {
 // sortedBins returns the populated window bins, oldest hour first — the
 // canonical bin order Merge folds in and MarshalBinary persists.
 func (a *Analytics) sortedBins() []hourBin {
-	bins := make([]hourBin, 0, len(a.ring))
-	for i := range a.ring {
-		if a.ring[i].hour >= 0 {
-			bins = append(bins, a.ring[i])
+	bins := make([]hourBin, 0, len(a.binHour))
+	for s, h := range a.binHour {
+		if h >= 0 {
+			bins = append(bins, hourBin{hour: int(h), flows: a.binFlows[s], bytes: a.binBytes[s]})
 		}
 	}
 	sort.Slice(bins, func(i, j int) bool { return bins[i].hour < bins[j].hour })
@@ -388,9 +523,9 @@ func (a *Analytics) Bounds() (minHour, maxHour int, ok bool) {
 		return a.archiveMin, a.maxHour, true
 	}
 	minHour = -1
-	for _, bin := range a.ring {
-		if bin.hour >= 0 && (minHour < 0 || bin.hour < minHour) {
-			minHour = bin.hour
+	for _, h := range a.binHour {
+		if h >= 0 && (minHour < 0 || int(h) < minHour) {
+			minHour = int(h)
 		}
 	}
 	if minHour < 0 {
@@ -461,27 +596,28 @@ func (a *Analytics) snapshot() *Snapshot {
 		}
 		s.SeriesStart = lo
 		for h := lo; h <= a.maxHour; h++ {
-			bin := a.ring[h%cfg.WindowHours]
+			slot := h % cfg.WindowHours
 			p := HourPoint{Hour: h, Time: cfg.Origin.Add(time.Duration(h) * time.Hour)}
-			if bin.hour == h {
-				p.Flows = bin.flows
-				p.Bytes = bin.bytes
+			if a.binHour[slot] == int32(h) {
+				p.Flows = a.binFlows[slot]
+				p.Bytes = a.binBytes[slot]
 			}
 			s.Hours = append(s.Hours, p)
 		}
 	}
 
 	s.Spikes = detectSpikes(s.Hours, cfg)
-	s.TopPrefixes = topPrefixes(a.prefixes, cfg.TopK)
+	counts := make([]PrefixCount, len(a.prefixList))
+	for i, p := range a.prefixList {
+		counts[i] = PrefixCount{Prefix: p, Flows: a.prefixCount[i]}
+	}
+	s.TopPrefixes = topPrefixes(counts, cfg.TopK)
 
-	if a.districts != nil {
-		ids := make([]string, 0, len(a.districts))
-		for id := range a.districts {
-			ids = append(ids, id)
-		}
+	if a.hasDistricts {
+		ids := append([]string(nil), a.districtIDs...)
 		sort.Strings(ids)
 		for _, id := range ids {
-			dc := DistrictCount{ID: id, Flows: a.districts[id]}
+			dc := DistrictCount{ID: id, Flows: a.districtCount[a.districtIdx[id]]}
 			if cfg.Model != nil {
 				if d, ok := cfg.Model.DistrictByID(id); ok {
 					dc.Name, dc.StateCode = d.Name, d.StateCode
@@ -525,12 +661,9 @@ func detectSpikes(hours []HourPoint, cfg Config) []Spike {
 }
 
 // topPrefixes ranks prefixes by flow count, ties broken by prefix order so
-// the leaderboard is deterministic.
-func topPrefixes(counts map[netip.Prefix]uint64, k int) []PrefixCount {
-	out := make([]PrefixCount, 0, len(counts))
-	for p, n := range counts {
-		out = append(out, PrefixCount{Prefix: p, Flows: n})
-	}
+// the leaderboard is deterministic. It sorts counts in place.
+func topPrefixes(counts []PrefixCount, k int) []PrefixCount {
+	out := counts
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Flows != out[j].Flows {
 			return out[i].Flows > out[j].Flows
