@@ -1,7 +1,7 @@
 # Tier-1 verify is `make verify` (build + test); see ROADMAP.md.
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-ingest bench-json bench-store bench-api bench-api-quick fuzz-smoke crash-smoke api-smoke verify ci all ingest-demo ingest-demo-quick
+.PHONY: build test vet fmt race bench bench-ingest bench-json bench-store bench-api bench-api-quick fuzz-smoke crash-smoke api-smoke cluster-smoke verify ci all ingest-demo ingest-demo-quick
 
 all: verify vet
 
@@ -25,7 +25,7 @@ fmt:
 # (including the crash-recovery byte-identity test) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/ ./internal/api/ ./internal/api/client/
+	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/ ./internal/api/ ./internal/api/client/ ./internal/cluster/
 
 # One pass over every figure/table/ablation benchmark (see DESIGN.md for
 # the experiment index) plus the ingest and store benchmarks.
@@ -36,11 +36,13 @@ bench:
 bench-ingest:
 	$(GO) test -run XXX -bench BenchmarkIngestPipeline -benchmem ./internal/ingest/
 
-# The ingest benchmark as machine-readable JSON (BENCH_ingest.json):
-# records/s, ns/op, B/op, allocs/op and derived allocs/record for the
-# serial and parallel pipelines. CI archives the file per commit.
+# The ingest benchmark as machine-readable JSON (BENCH_ingest.json)
+# plus the cluster fan-out latency snapshot (BENCH_cluster.json):
+# scatter-gather p50/p99 through a real router at 1/2/4 nodes. CI
+# archives both files per commit.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_ingest.json
+	$(GO) run ./cmd/benchjson -cluster -o BENCH_cluster.json
 
 # The durable-store benchmarks alone: WAL append per fsync policy and
 # historical range queries (the EXPERIMENTS.md snapshot).
@@ -74,6 +76,13 @@ fuzz-smoke:
 crash-smoke:
 	$(GO) test -run TestCrashRecoverySmoke -count=1 -v ./cmd/collectord/
 
+# Cluster drill: three sharded collectord processes plus a queryrouterd,
+# real NFv9/UDP traffic into every node, SIGKILL one shard and require
+# the documented degraded envelope (206 + missing_shards), then restart
+# it on the same data dir/ports and require byte-identical recovery.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/queryrouterd/
+
 # Live ingest smoke run: simulate, replay the trace as NFv9/UDP over
 # loopback into the collector pipeline, verify the streaming aggregates
 # against the batch analysis. `-quick` is the smaller CI variant.
@@ -87,5 +96,6 @@ verify: build test
 
 # Mirrors .github/workflows/ci.yml: the formatting gate, static checks,
 # the full test suite, the race pass, the ingest smoke run, the crash
-# drill, the API conditional-GET smoke and the fuzz smoke.
-ci: fmt vet build test race ingest-demo-quick crash-smoke api-smoke fuzz-smoke
+# drill, the API conditional-GET smoke, the cluster kill/recovery drill
+# and the fuzz smoke.
+ci: fmt vet build test race ingest-demo-quick crash-smoke api-smoke cluster-smoke fuzz-smoke

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"cwatrace/internal/api"
+	"cwatrace/internal/cluster"
+	"cwatrace/internal/experiments"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/sim"
+	"cwatrace/internal/store"
+	"cwatrace/internal/streaming"
+)
+
+// clusterResult is one latency distribution: a router endpoint hit over
+// a fleet of a given size.
+type clusterResult struct {
+	Name       string  `json:"name"`
+	Nodes      int     `json:"nodes"`
+	Iterations int     `json:"iterations"`
+	P50Ns      float64 `json:"p50_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+	MeanNs     float64 `json:"mean_ns"`
+}
+
+// clusterReport is the BENCH_cluster.json schema: flat like the ingest
+// report, one object per (endpoint mode, fleet size).
+type clusterReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	NumCPU      int             `json:"num_cpu"`
+	Records     int             `json:"records"`
+	Results     []clusterResult `json:"results"`
+}
+
+// runCluster measures scatter-gather latency through a real router HTTP
+// surface at fleet sizes 1, 2 and 4: in-process API nodes over durable
+// stores holding a sharded quick-sim trace, fronted by a cluster fleet.
+// Two modes per size: a full fetch (fan-out + merge + render) and a
+// revalidation (fan-out + composite validator match, bodyless 304).
+func runCluster(out string, iters int) error {
+	cfg := experiments.QuickConfig()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	rep := clusterReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Records:     len(res.Records),
+	}
+	acfg := streaming.Config{
+		Origin:      cfg.Start,
+		WindowHours: int(cfg.End.Sub(cfg.Start)/time.Hour) + 24,
+		DB:          res.GeoDB,
+	}
+	for _, n := range []int{1, 2, 4} {
+		results, err := benchFleet(n, iters, acfg, res)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, results...)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results)\n", out, len(rep.Results))
+	return nil
+}
+
+// benchFleet stands up n shard nodes plus a router and times the two
+// router request modes.
+func benchFleet(n, iters int, acfg streaming.Config, res *sim.Result) ([]clusterResult, error) {
+	shards := make([][]netflow.Record, n)
+	for i := range res.Records {
+		s := cluster.Owner(&res.Records[i], res.GeoDB, n)
+		shards[s] = append(shards[s], res.Records[i])
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "benchcluster")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir, store.Options{Analytics: acfg, Sync: store.SyncNever})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		if err := st.Append(shards[i]); err != nil {
+			return nil, err
+		}
+		srv, err := api.New(api.Config{History: st})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		addrs[i] = ts.Listener.Addr().String()
+	}
+	fleet, err := cluster.New(addrs, cluster.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rsrv, err := api.New(api.Config{Fanout: fleet})
+	if err != nil {
+		return nil, err
+	}
+	router := httptest.NewServer(rsrv)
+	defer router.Close()
+	url := router.URL + "/api/v1/snapshot"
+
+	// Warm once and capture the composite validator for the 304 mode.
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag == "" {
+		return nil, fmt.Errorf("warm-up fetch: status %d, etag %q", resp.StatusCode, etag)
+	}
+
+	full, err := timeRequests(url, "", iters, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	reval, err := timeRequests(url, etag, iters, http.StatusNotModified)
+	if err != nil {
+		return nil, err
+	}
+	return []clusterResult{
+		summarize("fanout_full", n, full),
+		summarize("fanout_304", n, reval),
+	}, nil
+}
+
+// timeRequests issues iters sequential GETs and returns per-request
+// wall-clock latencies.
+func timeRequests(url, etag string, iters, wantStatus int) ([]time.Duration, error) {
+	lat := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			return nil, fmt.Errorf("request %d: status %d, want %d", i, resp.StatusCode, wantStatus)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	return lat, nil
+}
+
+func summarize(name string, nodes int, lat []time.Duration) clusterResult {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i])
+	}
+	return clusterResult{
+		Name:       fmt.Sprintf("%s/nodes=%d", name, nodes),
+		Nodes:      nodes,
+		Iterations: len(lat),
+		P50Ns:      pct(0.50),
+		P99Ns:      pct(0.99),
+		MeanNs:     float64(sum) / float64(len(lat)),
+	}
+}

@@ -51,7 +51,17 @@ func main() {
 	pkg := flag.String("pkg", "./internal/ingest/", "package to benchmark")
 	count := flag.Int("count", 1, "benchmark repetitions (-count)")
 	out := flag.String("o", "BENCH_ingest.json", "output file")
+	clusterMode := flag.Bool("cluster", false, "measure router scatter-gather latency at 1/2/4 nodes instead of go test -bench")
+	iters := flag.Int("iters", 150, "requests per latency distribution under -cluster")
 	flag.Parse()
+
+	if *clusterMode {
+		if err := runCluster(*out, *iters); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cmd := exec.Command("go", "test", "-run", "XXX",
 		"-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count), *pkg)

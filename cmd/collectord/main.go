@@ -13,6 +13,13 @@
 // checkpoint frames — the longitudinal analyses a purely in-memory
 // collector forgets on every restart.
 //
+// With -shard i/N the daemon runs as one node of an N-way cluster: the
+// ingest pipeline keeps only the records this shard owns under the
+// 401-district partition (internal/cluster) and drops the rest (counted
+// as shard_filtered, not lost). A stateless cmd/queryrouterd in front of
+// the fleet merges the shards back into responses byte-identical to a
+// single collector's.
+//
 // Live state is exposed over HTTP through the versioned analytics API
 // (internal/api): typed JSON with a structured error envelope, strong
 // ETags for conditional GETs (If-None-Match -> 304), gzip, compact
@@ -40,7 +47,7 @@
 //
 //	collectord [-listen 127.0.0.1:2055[,addr2]] [-http 127.0.0.1:8055]
 //	           [-workers N] [-geodb geodb.jsonl] [-window-hours H] [-topk K]
-//	           [-data-dir DIR] [-fsync always|interval|never]
+//	           [-shard i/N] [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval D] [-checkpoint-interval D]
 //	           [-segment-bytes N] [-http-log]
 //
@@ -69,6 +76,7 @@ import (
 	"time"
 
 	"cwatrace/internal/api"
+	"cwatrace/internal/cluster"
 	"cwatrace/internal/core"
 	"cwatrace/internal/entime"
 	"cwatrace/internal/experiments"
@@ -89,6 +97,7 @@ func main() {
 		geoPath     = flag.String("geodb", "", "geolocation sidecar enabling per-district rollups")
 		windowHours = flag.Int("window-hours", entime.StudyHours()+24, "sliding window length in hours")
 		topK        = flag.Int("topk", 10, "active-prefix leaderboard size")
+		shard       = flag.String("shard", "", "cluster shard assignment i/N (e.g. 0/3): keep only this node's records")
 		demo        = flag.Bool("demo", false, "self-contained sim -> exporter -> pipeline loopback run")
 		quick       = flag.Bool("quick", false, "smaller demo workload (CI smoke mode)")
 		serve       = flag.Bool("serve", false, "with -demo: keep serving the demo state over HTTP after verification")
@@ -161,6 +170,16 @@ func main() {
 		ShardBuffer: *shardBuffer,
 		Analytics:   acfg,
 		Logf:        log.Printf,
+	}
+	if *shard != "" {
+		asn, err := cluster.ParseAssignment(*shard)
+		if err != nil {
+			fatal("%v", err)
+		}
+		icfg.ShardFilter = asn.Filter(acfg.DB)
+		if icfg.ShardFilter != nil {
+			fmt.Printf("collectord: cluster shard %s (district partition)\n", asn)
+		}
 	}
 
 	var st *store.Store

@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/experiments"
+	"cwatrace/internal/ingest"
+	"cwatrace/internal/sim"
+)
+
+// proc is one running child daemon with line-captured stdout.
+type proc struct {
+	cmd *exec.Cmd
+
+	mu    sync.Mutex
+	lines []string
+}
+
+func launch(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			p.mu.Lock()
+			p.lines = append(p.lines, sc.Text())
+			p.mu.Unlock()
+		}
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	return p
+}
+
+// awaitLine polls the captured stdout for a line with the prefix,
+// returning the trimmed remainder ("" on timeout).
+func (p *proc) awaitLine(prefix string, timeout time.Duration) string {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		p.mu.Lock()
+		for _, line := range p.lines {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				p.mu.Unlock()
+				return strings.TrimSpace(rest)
+			}
+		}
+		p.mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+	}
+	return ""
+}
+
+func (p *proc) linesCopy() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.lines...)
+}
+
+func buildBinary(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building %s: %v", pkg, err)
+	}
+	return bin
+}
+
+// startShard launches one collectord shard node and returns its bound
+// UDP and HTTP addresses.
+func startShard(t *testing.T, bin string, args ...string) (*proc, string, string) {
+	t.Helper()
+	p := launch(t, bin, args...)
+	udp := p.awaitLine("collectord: ingesting NFv9 on ", 20*time.Second)
+	httpAddr := strings.TrimSuffix(p.awaitLine("collectord: live state on http://", 20*time.Second), "/snapshot")
+	if udp == "" || httpAddr == "" {
+		t.Fatalf("collectord never announced its addresses; stdout so far: %q", p.linesCopy())
+	}
+	if shard := p.awaitLine("collectord: cluster shard ", 5*time.Second); shard == "" {
+		t.Fatalf("collectord never announced its shard assignment; stdout: %q", p.linesCopy())
+	}
+	return p, udp, httpAddr
+}
+
+// routerGet fetches one router URL, tolerating transient connection
+// errors (the router may still be binding).
+func routerGet(t *testing.T, url string, hdr map[string]string) (int, http.Header, []byte, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, body, nil
+}
+
+// TestClusterSmoke is the end-to-end process-level drill behind `make
+// cluster-smoke` and the CI cluster step: three real collectord shard
+// processes (each -shard i/3 over a shared geodb sidecar, write-through
+// WAL), one real queryrouterd over their HTTP addresses, real NFv9/UDP
+// traffic into every node. It then SIGKILLs one shard and requires the
+// documented partial envelope (206, missing_shards, no-store, no ETag),
+// and restarts the shard on the same data dir and ports to require full
+// recovery: 200 with a fresh validator and a body byte-identical to the
+// pre-kill cluster response.
+func TestClusterSmoke(t *testing.T) {
+	collectord := buildBinary(t, "cwatrace/cmd/collectord")
+	queryrouterd := buildBinary(t, "cwatrace/cmd/queryrouterd")
+
+	// A quick-sim trace brings its own geo database; the shards split on
+	// its district mapping.
+	cfg := experiments.QuickConfig()
+	cfg.Scale *= 3
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := res.Records[:len(res.Records)/3]
+	geoPath := filepath.Join(t.TempDir(), "geodb.jsonl")
+	gf, err := os.Create(geoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.GeoDB.Write(gf); err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 3
+	shards := make([]*proc, n)
+	udps := make([]string, n)
+	https := make([]string, n)
+	dataDirs := make([]string, n)
+	shardArgs := func(i int, listen, httpAddr string) []string {
+		return []string{
+			"-listen", listen,
+			"-http", httpAddr,
+			"-shard", fmt.Sprintf("%d/%d", i, n),
+			"-geodb", geoPath,
+			"-data-dir", dataDirs[i],
+			"-fsync", "always",
+			"-checkpoint-interval", "0",
+			"-workers", "2",
+		}
+	}
+	for i := 0; i < n; i++ {
+		dataDirs[i] = t.TempDir()
+		shards[i], udps[i], https[i] = startShard(t, collectord, shardArgs(i, "127.0.0.1:0", "127.0.0.1:0")...)
+	}
+
+	// Every node receives the SAME stream; the -shard filter keeps each
+	// node's own share.
+	for i := 0; i < n; i++ {
+		if _, err := ingest.Replay([]string{udps[i]}, records, ingest.ReplayConfig{
+			Sources:          4,
+			RecordsPerSecond: 60000,
+		}); err != nil {
+			t.Fatalf("replay to shard %d: %v", i, err)
+		}
+	}
+
+	router := launch(t, queryrouterd,
+		"-nodes", strings.Join(https, ","),
+		"-http", "127.0.0.1:0",
+		"-timeout", "5s",
+		"-retries=-1",
+	)
+	routerURL := strings.TrimSuffix(router.awaitLine("queryrouterd: v1 API on http://", 20*time.Second), "/api/v1/snapshot")
+	if routerURL == "" {
+		t.Fatalf("queryrouterd never announced; stdout: %q", router.linesCopy())
+	}
+	snapURL := "http://" + routerURL + "/api/v1/snapshot"
+
+	// Wait for the merged view to stabilize (drained shards), then pin
+	// the healthy contract: 200, a validator, a bodyless 304.
+	var healthyBody []byte
+	var healthyTag string
+	stable := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && stable < 3 {
+		status, hdr, body, err := routerGet(t, snapURL, nil)
+		if err != nil || status != http.StatusOK {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if bytes.Equal(body, healthyBody) {
+			stable++
+		} else {
+			stable = 0
+		}
+		healthyBody, healthyTag = body, hdr.Get("ETag")
+		time.Sleep(150 * time.Millisecond)
+	}
+	if stable < 3 {
+		t.Fatal("cluster snapshot never stabilized after the replay")
+	}
+	if healthyTag == "" {
+		t.Fatal("healthy cluster response carries no ETag")
+	}
+	if st, _, body, err := routerGet(t, snapURL, map[string]string{"If-None-Match": healthyTag}); err != nil || st != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("revalidation: %d (err %v, %d body bytes), want bodyless 304", st, err, len(body))
+	}
+	var healthySnap v1.Snapshot
+	if err := json.Unmarshal(healthyBody, &healthySnap); err != nil {
+		t.Fatal(err)
+	}
+	if healthySnap.Census == nil || healthySnap.Census.Kept == 0 {
+		t.Fatal("cluster saw no kept traffic; the drill would be vacuous")
+	}
+
+	// SIGKILL shard 1: no drain, no checkpoint.
+	if err := shards[1].cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = shards[1].cmd.Process.Wait()
+
+	var degraded v1.Snapshot
+	deadline = time.Now().Add(20 * time.Second)
+	sawDegraded := false
+	for time.Now().Before(deadline) {
+		status, hdr, body, err := routerGet(t, snapURL, nil)
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if status != http.StatusPartialContent {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if cc := hdr.Get("Cache-Control"); cc != "no-store" {
+			t.Fatalf("degraded Cache-Control = %q, want no-store", cc)
+		}
+		if etag := hdr.Get("ETag"); etag != "" {
+			t.Fatalf("degraded response carries ETag %q", etag)
+		}
+		if err := json.Unmarshal(body, &degraded); err != nil {
+			t.Fatal(err)
+		}
+		sawDegraded = true
+		break
+	}
+	if !sawDegraded {
+		t.Fatal("router never served the degraded envelope after the kill")
+	}
+	if degraded.Degraded == nil || len(degraded.Degraded.MissingShards) != 1 || degraded.Degraded.MissingShards[0] != 1 {
+		t.Fatalf("degraded marker = %+v, want missing_shards [1]", degraded.Degraded)
+	}
+	if degraded.Census == nil || degraded.Census.Kept >= healthySnap.Census.Kept {
+		t.Fatalf("degraded kept %v not below healthy %d: the partial total silently includes the dead shard",
+			degraded.Census, healthySnap.Census.Kept)
+	}
+
+	// Restart shard 1 on its old data dir AND its old ports (the
+	// router's node list is fixed). Write-through WAL + replay-on-open
+	// restore its exact pre-kill state, so the cluster response returns
+	// to the pre-kill bytes — under a fresh validator (new node boot),
+	// which must still revalidate.
+	shards[1], _, _ = startShard(t, collectord, shardArgs(1, udps[1], https[1])...)
+
+	deadline = time.Now().Add(30 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		status, hdr, body, err := routerGet(t, snapURL, nil)
+		if err != nil || status != http.StatusOK {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if !bytes.Equal(body, healthyBody) {
+			t.Fatalf("recovered cluster body differs from pre-kill body\n pre: %.300s\npost: %.300s", healthyBody, body)
+		}
+		newTag := hdr.Get("ETag")
+		if newTag == "" {
+			t.Fatal("recovered response carries no ETag")
+		}
+		if st, _, b304, err := routerGet(t, snapURL, map[string]string{"If-None-Match": newTag}); err != nil || st != http.StatusNotModified || len(b304) != 0 {
+			t.Fatalf("recovered revalidation: %d (err %v)", st, err)
+		}
+		recovered = true
+		break
+	}
+	if !recovered {
+		t.Fatal("router never returned to complete responses after the shard restart")
+	}
+	t.Log("cluster smoke: degraded envelope honest, recovery byte-identical")
+}

@@ -1,0 +1,117 @@
+// Command queryrouterd is the stateless scatter-gather front of a
+// collectord cluster. Each collectord node runs with -shard i/N and owns
+// one slice of the 401-district partition; the router fans every
+// /api/v1 read out over the fleet with the typed client, merges the
+// shards' aggregates with the commutative streaming merge, and serves
+// the same versioned API a single collector would — byte-identical
+// bodies (the cluster conformance suite in internal/cluster pins this),
+// strong conditional GETs backed by a composite validator over the
+// per-shard ETags, and an explicit partial-failure envelope when a
+// shard is down: HTTP 206 + a degraded marker naming the missing
+// shards, Cache-Control: no-store, no ETag — never a silently wrong
+// total.
+//
+//	GET /api/v1/health           200 ok / 200 degraded (some shards down)
+//	                             503 degraded (all down) / 503 draining
+//	GET /api/v1/stats            field-wise sum over reachable shards
+//	GET /api/v1/snapshot         merged cluster snapshot (fields/top/pretty)
+//	GET /api/v1/query?from=&to=  merged historical range (durable shards)
+//
+// Usage:
+//
+//	queryrouterd -nodes host1:8055,host2:8055,host3:8055
+//	             [-http 127.0.0.1:8056] [-topk K] [-timeout D]
+//	             [-retries N] [-http-log]
+//
+// -nodes lists the shard nodes in shard order: the i-th address must be
+// the node running -shard i/N. -topk must match the nodes' -topk for
+// the merged leaderboard to be exact (both default to 10).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cwatrace/internal/api"
+	"cwatrace/internal/api/client"
+	"cwatrace/internal/cluster"
+)
+
+func main() {
+	var (
+		nodes    = flag.String("nodes", "", "comma-separated shard node addresses, in shard order (required)")
+		httpAddr = flag.String("http", "127.0.0.1:8056", "HTTP listen address")
+		topK     = flag.Int("topk", 10, "merged leaderboard size (must match the nodes' -topk)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-shard request timeout")
+		retries  = flag.Int("retries", 0, "per-shard retries on transient failures (0 = client default, negative = none)")
+		httpLog  = flag.Bool("http-log", false, "log one access line per HTTP request")
+	)
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*nodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatal("no -nodes given (want a comma-separated shard list, e.g. -nodes host1:8055,host2:8055)")
+	}
+
+	fleet, err := cluster.New(addrs, cluster.Options{
+		TopK:          *topK,
+		Timeout:       *timeout,
+		ClientOptions: &client.Options{Retries: *retries},
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	cfg := api.Config{Fanout: fleet}
+	if *httpLog {
+		cfg.Log = log.New(os.Stderr, "queryrouterd: http: ", log.LstdFlags)
+	}
+	srv, err := api.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fatal("http: %v", err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal("http: %v", err)
+		}
+	}()
+	fmt.Printf("queryrouterd: fronting %d shards: %s\n", fleet.NumShards(), strings.Join(fleet.Nodes(), ", "))
+	fmt.Printf("queryrouterd: v1 API on http://%s/api/v1/snapshot\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("queryrouterd: draining")
+	srv.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "queryrouterd: http shutdown: %v\n", err)
+	}
+}
+
+// fatal prints and exits non-zero.
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "queryrouterd: "+format+"\n", args...)
+	os.Exit(1)
+}

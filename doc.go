@@ -71,6 +71,10 @@
 //     selection vocabulary
 //   - internal/api/client — the typed Go client: retries with backoff,
 //     ETag-aware local caching, structured errors
+//   - internal/cluster — the shard ownership map (401-district
+//     partition plus /24 hashing) and the scatter-gather fleet behind
+//     queryrouterd: commutative merge via streaming.Merge, composite
+//     validators, honest degraded-mode accounting
 //   - internal/trace — JSONL/binary trace serialization for
 //     cwasim/cwanalyze
 //
@@ -95,7 +99,11 @@
 // queries a live collectord over the versioned API), cmd/cwabackend
 // (the backend as a live HTTP server), cmd/collectord (the live NFv9
 // collector daemon with sliding-window analytics, durable
-// WAL/checkpoint persistence and the /api/v1 analytics surface), and
-// cmd/apiload (the concurrent API load generator; -self benchmarks
-// cached vs uncached reads under live ingest).
+// WAL/checkpoint persistence and the /api/v1 analytics surface;
+// -shard i/N keeps one cluster shard's slice), cmd/queryrouterd (the
+// stateless cluster query router: scatter-gather over sharded
+// collectors, byte-identical merged responses, composite ETags,
+// partial-failure envelopes), and cmd/apiload (the concurrent API load
+// generator; -self benchmarks cached vs uncached reads under live
+// ingest).
 package cwatrace

@@ -120,16 +120,33 @@ func (o *ReqOpts) values() url.Values {
 
 // Snapshot fetches /api/v1/snapshot.
 func (c *Client) Snapshot(ctx context.Context, opts *ReqOpts) (*v1.Snapshot, error) {
+	out, _, err := c.SnapshotTag(ctx, opts)
+	return out, err
+}
+
+// SnapshotTag is Snapshot plus the response's strong ETag. The cluster
+// query router composes the per-shard tags into its cluster-wide
+// validator, so it needs them surfaced, not just cached. The tag is
+// empty when the server sent none (a degraded upstream, or validator
+// churn).
+func (c *Client) SnapshotTag(ctx context.Context, opts *ReqOpts) (*v1.Snapshot, string, error) {
 	var out v1.Snapshot
-	if err := c.getJSON(ctx, "/api/v1/snapshot", opts.values(), true, &out); err != nil {
-		return nil, err
+	etag, err := c.getJSON(ctx, "/api/v1/snapshot", opts.values(), true, &out)
+	if err != nil {
+		return nil, "", err
 	}
-	return &out, nil
+	return &out, etag, nil
 }
 
 // Query fetches /api/v1/query for [from, to); zero bounds are open
 // ends.
 func (c *Client) Query(ctx context.Context, from, to time.Time, opts *ReqOpts) (*v1.QueryResponse, error) {
+	out, _, err := c.QueryTag(ctx, from, to, opts)
+	return out, err
+}
+
+// QueryTag is Query plus the response's strong ETag (see SnapshotTag).
+func (c *Client) QueryTag(ctx context.Context, from, to time.Time, opts *ReqOpts) (*v1.QueryResponse, string, error) {
 	q := opts.values()
 	// RFC3339Nano keeps sub-second bounds lossless; store.ParseTime on
 	// the server accepts the fractional form.
@@ -140,10 +157,11 @@ func (c *Client) Query(ctx context.Context, from, to time.Time, opts *ReqOpts) (
 		q.Set("to", to.Format(time.RFC3339Nano))
 	}
 	var out v1.QueryResponse
-	if err := c.getJSON(ctx, "/api/v1/query", q, true, &out); err != nil {
-		return nil, err
+	etag, err := c.getJSON(ctx, "/api/v1/query", q, true, &out)
+	if err != nil {
+		return nil, "", err
 	}
-	return &out, nil
+	return &out, etag, nil
 }
 
 // QueryBounds is Query with string bounds in the forms every store
@@ -164,7 +182,7 @@ func (c *Client) QueryBounds(ctx context.Context, from, to string, opts *ReqOpts
 // Stats fetches /api/v1/stats (never cached: it changes every packet).
 func (c *Client) Stats(ctx context.Context) (*v1.StatsResponse, error) {
 	var out v1.StatsResponse
-	if err := c.getJSON(ctx, "/api/v1/stats", nil, false, &out); err != nil {
+	if _, err := c.getJSON(ctx, "/api/v1/stats", nil, false, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -195,8 +213,9 @@ func (c *Client) Health(ctx context.Context) (*v1.HealthResponse, error) {
 }
 
 // getJSON is the shared GET path: retries, the ETag cache, and the
-// error-envelope decoding.
-func (c *Client) getJSON(ctx context.Context, path string, q url.Values, cacheable bool, out any) error {
+// error-envelope decoding. It returns the response's ETag ("" when the
+// server sent none — including every degraded partial response).
+func (c *Client) getJSON(ctx context.Context, path string, q url.Values, cacheable bool, out any) (string, error) {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -207,27 +226,27 @@ func (c *Client) getJSON(ctx context.Context, path string, q url.Values, cacheab
 			delay := c.backoff << (attempt - 1)
 			select {
 			case <-ctx.Done():
-				return ctx.Err()
+				return "", ctx.Err()
 			case <-time.After(delay):
 			}
 		}
-		body, err := c.try(ctx, u, cacheable)
+		body, etag, err := c.try(ctx, u, cacheable)
 		if err == nil {
-			return json.Unmarshal(body, out)
+			return etag, json.Unmarshal(body, out)
 		}
 		lastErr = err
 		if !retryable(err) {
 			break
 		}
 	}
-	return lastErr
+	return "", lastErr
 }
 
 // try runs one conditional GET against url.
-func (c *Client) try(ctx context.Context, url string, cacheable bool) ([]byte, error) {
+func (c *Client) try(ctx context.Context, url string, cacheable bool) ([]byte, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var prior *cachedResp
 	if cacheable {
@@ -240,38 +259,40 @@ func (c *Client) try(ctx context.Context, url string, cacheable bool) ([]byte, e
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, &transportError{err}
+		return nil, "", &transportError{err}
 	}
 	defer resp.Body.Close()
 
 	if resp.StatusCode == http.StatusNotModified {
 		if prior == nil {
 			// A 304 we never asked for; treat as transient.
-			return nil, &transportError{fmt.Errorf("unsolicited 304 from %s", url)}
+			return nil, "", &transportError{fmt.Errorf("unsolicited 304 from %s", url)}
 		}
-		return prior.body, nil
+		return prior.body, prior.etag, nil
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, &transportError{err}
+		return nil, "", &transportError{err}
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp.StatusCode, body)
+	// 206 Partial Content is a clustered router's documented degraded
+	// envelope: a valid typed body (with a Degraded marker), not an
+	// error. It never carries an ETag and must not enter the cache.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		return nil, "", apiError(resp.StatusCode, body)
 	}
-	if cacheable {
-		if etag := resp.Header.Get("ETag"); etag != "" {
-			c.mu.Lock()
-			if len(c.cache) >= cacheLimit {
-				for k := range c.cache {
-					delete(c.cache, k)
-					break
-				}
+	etag := resp.Header.Get("ETag")
+	if cacheable && resp.StatusCode == http.StatusOK && etag != "" {
+		c.mu.Lock()
+		if len(c.cache) >= cacheLimit {
+			for k := range c.cache {
+				delete(c.cache, k)
+				break
 			}
-			c.cache[url] = &cachedResp{etag: etag, body: body}
-			c.mu.Unlock()
 		}
+		c.cache[url] = &cachedResp{etag: etag, body: body}
+		c.mu.Unlock()
 	}
-	return body, nil
+	return body, etag, nil
 }
 
 // transportError marks network-level failures (always retryable).

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	v1 "cwatrace/internal/api/v1"
+)
+
+// TestSnapshotTagSurfacesETag pins the tag-surfacing contract the
+// cluster router composes its validator from: the first fetch returns
+// the server's ETag, and a 304-revalidated fetch returns the SAME tag
+// with the cached body — the tag identifies bytes, not transfers.
+func TestSnapshotTagSurfacesETag(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Header.Get("If-None-Match") == `"abc"` {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", `"abc"`)
+		json.NewEncoder(w).Encode(v1.Snapshot{WindowHours: 4})
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, etag, err := c.SnapshotTag(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != `"abc"` || snap.WindowHours != 4 {
+		t.Fatalf("first fetch: etag %q, window %d", etag, snap.WindowHours)
+	}
+	snap, etag, err = c.SnapshotTag(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != `"abc"` || snap.WindowHours != 4 {
+		t.Fatalf("revalidated fetch: etag %q, window %d", etag, snap.WindowHours)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+// TestDegraded206DecodesWithoutCaching pins the partial-response
+// handling: a 206 body decodes as a success (the typed degraded
+// envelope, not an error), carries no tag, and never enters the ETag
+// cache — a later 200 must not be answered from partial bytes.
+func TestDegraded206DecodesWithoutCaching(t *testing.T) {
+	degraded := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-None-Match") != "" {
+			t.Errorf("client revalidated against a partial response")
+		}
+		if degraded {
+			w.Header().Set("Cache-Control", "no-store")
+			w.WriteHeader(http.StatusPartialContent)
+			json.NewEncoder(w).Encode(v1.Snapshot{
+				WindowHours: 4,
+				Degraded:    &v1.Degraded{MissingShards: []int{1}},
+			})
+			return
+		}
+		w.Header().Set("ETag", `"full"`)
+		json.NewEncoder(w).Encode(v1.Snapshot{WindowHours: 8})
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, etag, err := c.SnapshotTag(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("206 should decode, not error: %v", err)
+	}
+	if etag != "" || snap.Degraded == nil || len(snap.Degraded.MissingShards) != 1 {
+		t.Fatalf("degraded fetch: etag %q, marker %+v", etag, snap.Degraded)
+	}
+	degraded = false
+	snap, etag, err = c.SnapshotTag(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != `"full"` || snap.WindowHours != 8 || snap.Degraded != nil {
+		t.Fatalf("recovered fetch: etag %q, %+v", etag, snap)
+	}
+}

@@ -1,0 +1,245 @@
+// The clustered side of the API surface: a Server built with
+// Config.Fanout fronts N shard collectors instead of a local pipeline or
+// store. The Fanout implementation (internal/cluster.Fleet) gathers every
+// shard's full response, merges the aggregates deterministically, and
+// composes the per-shard strong ETags into one cluster-wide validator;
+// the handlers here translate its results into the v1 wire contract —
+// including the partial-failure envelope, which is the part that keeps a
+// degraded cluster honest: a response missing shards is 206 with
+// Cache-Control: no-store and no ETag, never a silently wrong total.
+package api
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/ingest"
+	"cwatrace/internal/store"
+	"cwatrace/internal/streaming"
+)
+
+// ShardError describes one shard that did not contribute to a fan-out.
+type ShardError struct {
+	// Shard is the shard index (position in the router's node list).
+	Shard int
+	// Node is the shard's address.
+	Node string
+	// Err is the failure, as text.
+	Err string
+}
+
+// FanResult is one gathered-and-merged data fan-out (snapshot or query).
+type FanResult struct {
+	// Snapshot is the merged analytics over every shard that answered;
+	// nil when none did.
+	Snapshot *streaming.Snapshot
+	// Frames and TailIncluded aggregate the per-shard query metadata
+	// (sum and logical OR); both are zero for snapshot fan-outs.
+	Frames       int
+	TailIncluded bool
+	// Version is the composite validator token: a hash over the
+	// per-shard strong ETags in shard order. Validated reports whether
+	// it may be served as a strong validator — every shard answered and
+	// every answer carried an ETag. The token and the merged body derive
+	// from the same gather, so unlike the single-node path no
+	// re-validation read is needed: each per-shard strong ETag pins the
+	// exact upstream bytes, and the merged body is a pure function of
+	// them.
+	Version   uint64
+	Validated bool
+	// Missing lists the shards that did not answer, ascending by index.
+	Missing []ShardError
+}
+
+// FanStats is a gathered /api/v1/stats fan-out: the field-wise sum of
+// the reachable shards' counters.
+type FanStats struct {
+	Ingest ingest.Stats
+	// Store is the summed store gauges, present only when every
+	// reachable shard is durable.
+	Store   *store.Metrics
+	Missing []ShardError
+}
+
+// Fanout is the multi-upstream data source of a clustered query router
+// (implemented by internal/cluster.Fleet). Implementations must be safe
+// for concurrent use.
+type Fanout interface {
+	// NumShards is the fleet size.
+	NumShards() int
+	// Nonce is a boot-nonce substitute that is stable across router
+	// restarts and identical for every router fronting the same node
+	// list, so independent routers emit interchangeable validators.
+	Nonce() uint64
+	// Snapshot gathers and merges /api/v1/snapshot across the fleet.
+	Snapshot(ctx context.Context) (*FanResult, error)
+	// Query gathers and merges /api/v1/query?from=&to= across the fleet.
+	Query(ctx context.Context, from, to time.Time) (*FanResult, error)
+	// Stats gathers and sums /api/v1/stats across the fleet.
+	Stats(ctx context.Context) (*FanStats, error)
+	// Health probes every shard; the returned slice names the shards
+	// that are unreachable or not reporting StatusOK.
+	Health(ctx context.Context) []ShardError
+}
+
+// degradedOf renders the partial-failure marker, nil when nothing is
+// missing.
+func degradedOf(missing []ShardError) *v1.Degraded {
+	if len(missing) == 0 {
+		return nil
+	}
+	sorted := append([]ShardError(nil), missing...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	d := &v1.Degraded{Detail: sorted[0].Err}
+	for _, m := range sorted {
+		d.MissingShards = append(d.MissingShards, m.Shard)
+		d.Nodes = append(d.Nodes, m.Node)
+	}
+	return d
+}
+
+// shardDetail summarizes the missing shards for an error envelope.
+func shardDetail(missing []ShardError) string {
+	if len(missing) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d shards unreachable; shard %d (%s): %s",
+		len(missing), missing[0].Shard, missing[0].Node, missing[0].Err)
+}
+
+// handleFanSnapshot is /api/v1/snapshot in fan-out mode.
+func (s *Server) handleFanSnapshot(w http.ResponseWriter, r *http.Request, p reqParams) {
+	res, err := s.cfg.Fanout.Snapshot(r.Context())
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, v1.CodeInternal, "fan-out failed", err.Error())
+		return
+	}
+	if res.Snapshot == nil {
+		s.writeError(w, http.StatusServiceUnavailable, v1.CodeUnavailable,
+			"no shard reachable", shardDetail(res.Missing))
+		return
+	}
+	build := func() (any, error) {
+		snap := v1.NewSnapshot(res.Snapshot, p.fields, p.top)
+		snap.Degraded = degradedOf(res.Missing)
+		return snap, nil
+	}
+	s.serveFanned(w, r, "v1/snapshot", p.key(), res, build, p.pretty)
+}
+
+// handleFanQuery is /api/v1/query in fan-out mode. from/to are already
+// parsed by the caller.
+func (s *Server) handleFanQuery(w http.ResponseWriter, r *http.Request, p reqParams, from, to time.Time) {
+	res, err := s.cfg.Fanout.Query(r.Context(), from, to)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, v1.CodeInternal, "fan-out failed", err.Error())
+		return
+	}
+	if res.Snapshot == nil {
+		s.writeError(w, http.StatusServiceUnavailable, v1.CodeUnavailable,
+			"no shard reachable", shardDetail(res.Missing))
+		return
+	}
+	key := fmt.Sprintf("from=%s&to=%s&%s", stamp(from), stamp(to), p.key())
+	build := func() (any, error) {
+		return &v1.QueryResponse{
+			From:         from,
+			To:           to,
+			Frames:       res.Frames,
+			TailIncluded: res.TailIncluded,
+			Snapshot:     v1.NewSnapshot(res.Snapshot, p.fields, p.top),
+			Degraded:     degradedOf(res.Missing),
+		}, nil
+	}
+	s.serveFanned(w, r, "v1/query", key, res, build, p.pretty)
+}
+
+// serveFanned finishes a data fan-out: the complete path mirrors
+// serveCached (strong composite ETag, If-None-Match -> bodyless 304,
+// single-flight body cache), the degraded path serves 206 Partial
+// Content with Cache-Control: no-store and no validator — a partial
+// body must never 304-revalidate, be cached, or be replayed as a
+// complete one.
+func (s *Server) serveFanned(w http.ResponseWriter, r *http.Request, endpoint, params string, res *FanResult, build func() (any, error), pretty bool) {
+	h := w.Header()
+	if len(res.Missing) > 0 || !res.Validated {
+		status := http.StatusOK
+		if len(res.Missing) > 0 {
+			h.Set("Cache-Control", "no-store")
+			status = http.StatusPartialContent
+		}
+		v, err := build()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, v1.CodeInternal, "building response failed", err.Error())
+			return
+		}
+		s.writeJSON(w, r, status, v, pretty)
+		return
+	}
+	h.Set("Cache-Control", "no-cache")
+	etag := etagFor(s.boot, endpoint, params, res.Version)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		h.Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, err := s.cache.get(etag, func() ([]byte, error) {
+		v, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(v, pretty)
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, v1.CodeInternal, "building response failed", err.Error())
+		return
+	}
+	h.Set("ETag", etag)
+	s.writeBody(w, r, http.StatusOK, body)
+}
+
+// handleFanStats is /api/v1/stats in fan-out mode: the field-wise sum
+// over the reachable shards, 206-marked when some are missing.
+func (s *Server) handleFanStats(w http.ResponseWriter, r *http.Request) {
+	fs, err := s.cfg.Fanout.Stats(r.Context())
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, v1.CodeInternal, "fan-out failed", err.Error())
+		return
+	}
+	if len(fs.Missing) >= s.cfg.Fanout.NumShards() {
+		s.writeError(w, http.StatusServiceUnavailable, v1.CodeUnavailable,
+			"no shard reachable", shardDetail(fs.Missing))
+		return
+	}
+	resp := v1.StatsResponse{Ingest: fs.Ingest, Store: fs.Store, Degraded: degradedOf(fs.Missing)}
+	status := http.StatusOK
+	if resp.Degraded != nil {
+		w.Header().Set("Cache-Control", "no-store")
+		status = http.StatusPartialContent
+	}
+	s.writeJSON(w, r, status, resp, prettyRequested(r.URL.Query().Get("pretty")))
+}
+
+// handleFanHealth is /api/v1/health in fan-out mode. The router's own
+// drain trumps everything; otherwise the fleet's reachability decides:
+// all shards up is ok/200, some down is degraded/200 (the router still
+// serves partial envelopes), all down is degraded/503.
+func (s *Server) handleFanHealth(w http.ResponseWriter, r *http.Request) {
+	resp := v1.HealthResponse{Status: v1.StatusOK}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = v1.StatusDraining
+		status = http.StatusServiceUnavailable
+	} else if missing := s.cfg.Fanout.Health(r.Context()); len(missing) > 0 {
+		resp.Status = v1.StatusDegraded
+		resp.Degraded = degradedOf(missing)
+		if len(missing) >= s.cfg.Fanout.NumShards() {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	s.writeJSON(w, r, status, resp, prettyRequested(r.URL.Query().Get("pretty")))
+}

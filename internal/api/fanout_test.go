@@ -1,0 +1,182 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/streaming"
+)
+
+// fakeFanout is a scripted Fanout for exercising the handler contract
+// without a fleet.
+type fakeFanout struct {
+	shards  int
+	res     FanResult
+	stats   FanStats
+	missing []ShardError
+}
+
+func (f *fakeFanout) NumShards() int { return f.shards }
+func (f *fakeFanout) Nonce() uint64  { return 42 }
+func (f *fakeFanout) Snapshot(context.Context) (*FanResult, error) {
+	r := f.res
+	return &r, nil
+}
+func (f *fakeFanout) Query(context.Context, time.Time, time.Time) (*FanResult, error) {
+	r := f.res
+	return &r, nil
+}
+func (f *fakeFanout) Stats(context.Context) (*FanStats, error) {
+	s := f.stats
+	return &s, nil
+}
+func (f *fakeFanout) Health(context.Context) []ShardError { return f.missing }
+
+func fanServer(t *testing.T, f *fakeFanout) *Server {
+	t.Helper()
+	s, err := New(Config{Fanout: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fanGet(t *testing.T, s *Server, url string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func emptySnap() *streaming.Snapshot {
+	return streaming.New(streaming.Config{WindowHours: 8}).Snapshot()
+}
+
+// TestFanoutUnvalidatedServesWithoutETag pins the honesty rule for a
+// complete-but-unvalidatable gather (a shard answered without an ETag):
+// the body is served as 200, but with no validator — a composite over
+// missing shard tags could collide across states.
+func TestFanoutUnvalidatedServesWithoutETag(t *testing.T) {
+	f := &fakeFanout{shards: 2, res: FanResult{Snapshot: emptySnap(), Version: 7, Validated: false}}
+	s := fanServer(t, f)
+	w := fanGet(t, s, "/api/v1/snapshot", nil)
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	if etag := w.Header().Get("ETag"); etag != "" {
+		t.Fatalf("unvalidated fan-out carries ETag %q", etag)
+	}
+}
+
+// TestFanoutDegradedEnvelope pins the wire shape of a partial response:
+// 206, no-store, no ETag, degraded marker naming shard and node.
+func TestFanoutDegradedEnvelope(t *testing.T) {
+	f := &fakeFanout{shards: 3, res: FanResult{
+		Snapshot: emptySnap(),
+		Missing:  []ShardError{{Shard: 2, Node: "host2:8055", Err: "connection refused"}},
+	}}
+	s := fanServer(t, f)
+	w := fanGet(t, s, "/api/v1/snapshot", nil)
+	if w.Code != 206 || w.Header().Get("Cache-Control") != "no-store" || w.Header().Get("ETag") != "" {
+		t.Fatalf("degraded response: %d %q %q", w.Code, w.Header().Get("Cache-Control"), w.Header().Get("ETag"))
+	}
+	var snap v1.Snapshot
+	if err := json.NewDecoder(w.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	d := snap.Degraded
+	if d == nil || len(d.MissingShards) != 1 || d.MissingShards[0] != 2 ||
+		len(d.Nodes) != 1 || d.Nodes[0] != "host2:8055" || d.Detail != "connection refused" {
+		t.Fatalf("degraded marker: %+v", d)
+	}
+}
+
+// TestFanoutAllDownIsUnavailable: no shard at all is an explicit 503
+// error envelope, never an empty 200.
+func TestFanoutAllDownIsUnavailable(t *testing.T) {
+	f := &fakeFanout{shards: 2, res: FanResult{
+		Missing: []ShardError{{Shard: 0, Node: "a", Err: "x"}, {Shard: 1, Node: "b", Err: "y"}},
+	}}
+	s := fanServer(t, f)
+	w := fanGet(t, s, "/api/v1/query", nil)
+	var env v1.ErrorResponse
+	if err := json.NewDecoder(w.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if w.Code != 503 || env.Error == nil || env.Error.Code != v1.CodeUnavailable {
+		t.Fatalf("all-down response: %d %+v", w.Code, env.Error)
+	}
+}
+
+// TestFanoutValidatedRoundTrip pins the composite-validator path: a
+// validated gather serves a strong ETag and a bodyless 304 on
+// If-None-Match.
+func TestFanoutValidatedRoundTrip(t *testing.T) {
+	f := &fakeFanout{shards: 2, res: FanResult{Snapshot: emptySnap(), Version: 99, Validated: true}}
+	s := fanServer(t, f)
+	w := fanGet(t, s, "/api/v1/snapshot", nil)
+	etag := w.Header().Get("ETag")
+	if w.Code != 200 || etag == "" || w.Header().Get("Cache-Control") != "no-cache" {
+		t.Fatalf("validated response: %d %q %q", w.Code, etag, w.Header().Get("Cache-Control"))
+	}
+	w = fanGet(t, s, "/api/v1/snapshot", map[string]string{"If-None-Match": etag})
+	if w.Code != 304 || w.Body.Len() != 0 {
+		t.Fatalf("revalidation: %d with %d body bytes", w.Code, w.Body.Len())
+	}
+	// A version bump invalidates.
+	f.res.Version = 100
+	w = fanGet(t, s, "/api/v1/snapshot", map[string]string{"If-None-Match": etag})
+	if w.Code != 200 || w.Header().Get("ETag") == etag {
+		t.Fatalf("post-bump revalidation: %d %q", w.Code, w.Header().Get("ETag"))
+	}
+}
+
+// TestFanoutHealthStates walks the router health ladder: ok, degraded
+// (200), all-down degraded (503), draining (503, trumps the fleet).
+func TestFanoutHealthStates(t *testing.T) {
+	f := &fakeFanout{shards: 2}
+	s := fanServer(t, f)
+
+	check := func(wantCode int, wantStatus string) {
+		t.Helper()
+		w := fanGet(t, s, "/api/v1/health", nil)
+		var h v1.HealthResponse
+		if err := json.NewDecoder(w.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		if w.Code != wantCode || h.Status != wantStatus {
+			t.Fatalf("health = %d %q, want %d %q", w.Code, h.Status, wantCode, wantStatus)
+		}
+	}
+	check(200, v1.StatusOK)
+	f.missing = []ShardError{{Shard: 1, Node: "b", Err: "x"}}
+	check(200, v1.StatusDegraded)
+	f.missing = append(f.missing, ShardError{Shard: 0, Node: "a", Err: "y"})
+	check(503, v1.StatusDegraded)
+	s.SetDraining(true)
+	check(503, v1.StatusDraining)
+}
+
+// TestFanoutLegacyEndpointsGone: a router has no legacy body sources;
+// the deprecated aliases answer with a pointer to the v1 surface.
+func TestFanoutLegacyEndpointsGone(t *testing.T) {
+	f := &fakeFanout{shards: 1, res: FanResult{Snapshot: emptySnap(), Validated: true}}
+	s := fanServer(t, f)
+	w := fanGet(t, s, "/snapshot", nil)
+	if w.Code != 404 {
+		t.Fatalf("legacy /snapshot on a router: %d", w.Code)
+	}
+	body, _ := io.ReadAll(w.Body)
+	if len(body) == 0 {
+		t.Fatal("legacy 404 should explain where to go")
+	}
+}

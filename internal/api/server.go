@@ -51,11 +51,21 @@ type History interface {
 	Metrics() store.Metrics
 }
 
-// Config parameterizes a Server. At least one of Live and History must
-// be set; a durable collector sets both.
+// Config parameterizes a Server. At least one of Live, History and
+// Fanout must be set; a durable collector sets Live and History, a
+// clustered query router sets Fanout alone.
 type Config struct {
 	Live    Live
 	History History
+	// Fanout turns the server into a clustered query router: the data
+	// endpoints gather-and-merge across shard nodes instead of reading a
+	// local source (see Fanout in fanout.go). Live and History are
+	// ignored by the v1 data endpoints when set.
+	Fanout Fanout
+	// BootNonce overrides the ETag boot nonce (0 = time-based, or the
+	// Fanout's fleet nonce in fan-out mode). Tests use it to pin
+	// validators.
+	BootNonce uint64
 	// Log receives one access-log line per request (nil disables access
 	// logging; write/encode errors still reach the standard logger).
 	Log *log.Logger
@@ -80,15 +90,26 @@ type Server struct {
 // New builds the server and mounts the v1 surface plus the deprecated
 // legacy aliases.
 func New(cfg Config) (*Server, error) {
-	if cfg.Live == nil && cfg.History == nil {
-		return nil, fmt.Errorf("api: need a Live or History source")
+	if cfg.Live == nil && cfg.History == nil && cfg.Fanout == nil {
+		return nil, fmt.Errorf("api: need a Live, History or Fanout source")
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	// The boot nonce scopes ETags to one state lineage. A router derives
+	// it from the fleet instead of its own start time, so two routers
+	// fronting the same nodes (and one router across restarts) emit
+	// interchangeable validators.
+	boot := uint64(time.Now().UnixNano())
+	if cfg.Fanout != nil {
+		boot = cfg.Fanout.Nonce()
+	}
+	if cfg.BootNonce != 0 {
+		boot = cfg.BootNonce
+	}
 	s := &Server{
 		cfg:   cfg,
-		boot:  uint64(time.Now().UnixNano()),
+		boot:  boot,
 		mux:   http.NewServeMux(),
 		cache: newRespCache(cfg.CacheEntries),
 	}
@@ -264,6 +285,10 @@ func prettyRequested(v string) bool { return v == "1" || v == "true" }
 // ---- handlers ----
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Fanout != nil {
+		s.handleFanHealth(w, r)
+		return
+	}
 	resp := v1.HealthResponse{Status: v1.StatusOK}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -274,6 +299,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Fanout != nil {
+		s.handleFanStats(w, r)
+		return
+	}
 	var resp v1.StatsResponse
 	if s.cfg.Live != nil {
 		resp.Ingest = s.cfg.Live.Stats()
@@ -290,13 +319,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.cfg.Fanout != nil {
+		s.handleFanSnapshot(w, r, p)
+		return
+	}
 	s.serveCached(w, r, "v1/snapshot", p.key(), s.snapshotVersion, func() (any, error) {
 		return v1.NewSnapshot(s.snapshotSource()(), p.fields, p.top), nil
 	}, p.pretty)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.History == nil {
+	if s.cfg.History == nil && s.cfg.Fanout == nil {
 		s.writeError(w, http.StatusNotFound, v1.CodeNotFound,
 			"historical queries need a durable store", "start collectord with -data-dir")
 		return
@@ -314,6 +347,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	to, err := store.ParseTime(q.Get("to"))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, v1.CodeBadRequest, "bad to parameter", err.Error())
+		return
+	}
+	if s.cfg.Fanout != nil {
+		s.handleFanQuery(w, r, p, from, to)
 		return
 	}
 	key := fmt.Sprintf("from=%s&to=%s&%s", stamp(from), stamp(to), p.key())
@@ -368,6 +405,12 @@ type legacySnapshotBody struct {
 
 func (s *Server) handleLegacySnapshot(w http.ResponseWriter, r *http.Request) {
 	deprecate(w, "/api/v1/snapshot")
+	if s.cfg.Live == nil && s.cfg.History == nil {
+		// A pure fan-out router has no local state for the legacy shape to
+		// wrap; the v1 surface is the only one it serves.
+		http.Error(w, "legacy endpoints are not served in fan-out mode; use /api/v1/snapshot", http.StatusNotFound)
+		return
+	}
 	pretty := prettyRequested(r.URL.Query().Get("pretty"))
 	// The legacy body embeds the stats, so the validity token must cover
 	// them too: mix the stats hash into the snapshot version. Stats are

@@ -53,6 +53,9 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeTimeout          = "timeout"
 	CodeInternal         = "internal"
+	// CodeUnavailable is a clustered router with no reachable shard: the
+	// response cannot even be partial.
+	CodeUnavailable = "unavailable"
 )
 
 // Error is the structured error the API returns on every failure path,
@@ -88,23 +91,51 @@ type ErrorResponse struct {
 const (
 	StatusOK       = "ok"
 	StatusDraining = "draining"
+	// StatusDegraded is a clustered router that is serving, but with one
+	// or more shards unreachable (partial data; see Degraded).
+	StatusDegraded = "degraded"
 )
+
+// Degraded is the partial-failure contract of the clustered query
+// router: when one or more shard nodes cannot be reached, data
+// responses still merge every shard that answered, but they carry this
+// marker (HTTP 206 Partial Content, Cache-Control: no-store, no ETag)
+// so a partial total can never be cached — or consumed — as a complete
+// one. Single-node responses never carry it (the field is omitted, so
+// healthy-path bytes are unchanged).
+type Degraded struct {
+	// MissingShards are the shard indexes that did not answer, ascending.
+	MissingShards []int `json:"missing_shards"`
+	// Nodes are the unreachable nodes' addresses, parallel to
+	// MissingShards.
+	Nodes []string `json:"nodes,omitempty"`
+	// Detail carries the first per-shard error, for operators.
+	Detail string `json:"detail,omitempty"`
+}
 
 // HealthResponse is the /api/v1/health body. Status is StatusOK on a
 // serving daemon (HTTP 200) and StatusDraining once SIGTERM drain has
 // begun (HTTP 503), so load balancers stop routing to a daemon that is
-// checkpointing its way down.
+// checkpointing its way down. A clustered router additionally reports
+// StatusDegraded when some (HTTP 200) or all (HTTP 503) shards are
+// unreachable.
 type HealthResponse struct {
 	Status string `json:"status"`
+	// Degraded names the unreachable shards on a clustered router.
+	Degraded *Degraded `json:"degraded,omitempty"`
 }
 
 // StatsResponse is the /api/v1/stats body: the live pipeline counters
 // plus, on a durable collector, the store gauges. Stats are a
 // diagnostic side channel — they change with every packet, so the
-// endpoint is deliberately outside the cacheable/ETagged surface.
+// endpoint is deliberately outside the cacheable/ETagged surface. A
+// clustered router serves the field-wise sum over its shard nodes
+// (store gauges only when every reachable node is durable).
 type StatsResponse struct {
 	Ingest IngestStats   `json:"ingest"`
 	Store  *StoreMetrics `json:"store,omitempty"`
+	// Degraded marks a partial sum (unreachable shards excluded).
+	Degraded *Degraded `json:"degraded,omitempty"`
 }
 
 // Snapshot is the analytics view served by /api/v1/snapshot and
@@ -130,6 +161,9 @@ type Snapshot struct {
 	// Districts and Located carry the Figure-3 rollup (FieldDistricts).
 	Districts []DistrictCount `json:"districts,omitempty"`
 	Located   uint64          `json:"located,omitempty"`
+
+	// Degraded marks a partial clustered response (see Degraded).
+	Degraded *Degraded `json:"degraded,omitempty"`
 }
 
 // QueryResponse is the /api/v1/query body — store.QueryResult in v1
@@ -144,6 +178,8 @@ type QueryResponse struct {
 	TailIncluded bool `json:"tail_included"`
 	// Snapshot is the merged, hour-trimmed view of the range.
 	Snapshot *Snapshot `json:"snapshot"`
+	// Degraded marks a partial clustered response (see Degraded).
+	Degraded *Degraded `json:"degraded,omitempty"`
 }
 
 // FieldSet selects snapshot sections (?fields=hourly,prefixes,...).

@@ -1,0 +1,315 @@
+// The query-router half of the package: Fleet gathers every shard's
+// full API response over the typed client, reconstructs per-shard
+// streaming state with streaming.FromSnapshot, folds it with the
+// commutative Merge, and composes the per-shard strong ETags into one
+// cluster-wide validator. It implements api.Fanout, so cmd/queryrouterd
+// is just api.New(Config{Fanout: fleet}).
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"cwatrace/internal/api"
+	"cwatrace/internal/api/client"
+	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/store"
+	"cwatrace/internal/streaming"
+)
+
+// Options tune a Fleet; the zero value is usable.
+type Options struct {
+	// TopK bounds the merged prefix leaderboard. It must match the
+	// shard nodes' own top-K for the cluster to be byte-identical to a
+	// union collector (default 10, the collectord default).
+	TopK int
+	// Timeout bounds each per-shard request (default 10s).
+	Timeout time.Duration
+	// ClientOptions override the per-shard client settings (retries,
+	// backoff, transport); nil uses the client defaults.
+	ClientOptions *client.Options
+}
+
+// Fleet fans requests out over the shard nodes of one cluster. It is
+// stateless between requests (the clients' ETag caches are the only
+// memory) and safe for concurrent use.
+type Fleet struct {
+	nodes   []string
+	clients []*client.Client
+	topK    int
+	timeout time.Duration
+	nonce   uint64
+}
+
+// New builds a Fleet over the shard nodes, in shard order: nodes[i]
+// serves shard i of len(nodes).
+func New(nodes []string, opts Options) (*Fleet, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	f := &Fleet{
+		nodes:   append([]string(nil), nodes...),
+		topK:    opts.TopK,
+		timeout: opts.Timeout,
+	}
+	if f.topK <= 0 {
+		f.topK = 10
+	}
+	if f.timeout <= 0 {
+		f.timeout = 10 * time.Second
+	}
+	for _, n := range nodes {
+		c, err := client.New(n, opts.ClientOptions)
+		if err != nil {
+			return nil, err
+		}
+		f.clients = append(f.clients, c)
+	}
+	// The boot-nonce substitute: a pure function of the node list, so a
+	// router restart — or a second router fronting the same fleet —
+	// emits interchangeable validators. (A single node's API seeds its
+	// ETags with a per-process boot nonce instead; the router does not
+	// need one because its validators already churn with the shards'.)
+	h := fnv.New64a()
+	h.Write([]byte("cwatrace/cluster:"))
+	for _, n := range nodes {
+		h.Write([]byte(n))
+		h.Write([]byte{'\n'})
+	}
+	f.nonce = h.Sum64()
+	return f, nil
+}
+
+// NumShards implements api.Fanout.
+func (f *Fleet) NumShards() int { return len(f.clients) }
+
+// Nonce implements api.Fanout.
+func (f *Fleet) Nonce() uint64 { return f.nonce }
+
+// Nodes reports the shard addresses, in shard order.
+func (f *Fleet) Nodes() []string { return append([]string(nil), f.nodes...) }
+
+// eachShard runs fn against every shard concurrently, each under the
+// per-shard timeout, and reports the shards that failed (ascending).
+func (f *Fleet) eachShard(ctx context.Context, fn func(ctx context.Context, i int, c *client.Client) error) []api.ShardError {
+	errs := make([]error, len(f.clients))
+	var wg sync.WaitGroup
+	for i, c := range f.clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, f.timeout)
+			defer cancel()
+			errs[i] = fn(cctx, i, c)
+		}(i, c)
+	}
+	wg.Wait()
+	var missing []api.ShardError
+	for i, err := range errs {
+		if err != nil {
+			missing = append(missing, api.ShardError{Shard: i, Node: f.nodes[i], Err: err.Error()})
+		}
+	}
+	return missing
+}
+
+// part is one shard's contribution to a data fan-out.
+type part struct {
+	snap         *v1.Snapshot
+	etag         string
+	frames       int
+	tailIncluded bool
+}
+
+// fullFields requests everything untruncated — the merge needs complete
+// per-shard state; field selection and top-K truncation are re-applied
+// by the router's own renderer.
+var fullFields = &client.ReqOpts{Fields: v1.AllFields, Top: 0}
+
+// Snapshot implements api.Fanout.
+func (f *Fleet) Snapshot(ctx context.Context) (*api.FanResult, error) {
+	parts := make([]*part, len(f.clients))
+	missing := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
+		snap, etag, err := c.SnapshotTag(ctx, fullFields)
+		if err != nil {
+			return err
+		}
+		parts[i] = &part{snap: snap, etag: etag}
+		return nil
+	})
+	return f.merge(parts, missing, time.Time{}, time.Time{})
+}
+
+// Query implements api.Fanout.
+func (f *Fleet) Query(ctx context.Context, from, to time.Time) (*api.FanResult, error) {
+	parts := make([]*part, len(f.clients))
+	missing := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
+		resp, etag, err := c.QueryTag(ctx, from, to, fullFields)
+		if err != nil {
+			return err
+		}
+		if resp.Snapshot == nil {
+			return fmt.Errorf("cluster: shard query returned no snapshot")
+		}
+		parts[i] = &part{snap: resp.Snapshot, etag: etag, frames: resp.Frames, tailIncluded: resp.TailIncluded}
+		return nil
+	})
+	return f.merge(parts, missing, from, to)
+}
+
+// merge folds the gathered parts into one FanResult. The range bounds
+// re-trim the merged hour series for queries (FromSnapshot reconstructs
+// zero-gap hours as populated-empty bins; a fresh SnapshotRange drops
+// the ones outside every shard's actual range, exactly as the union
+// collector's own query path would).
+func (f *Fleet) merge(parts []*part, missing []api.ShardError, from, to time.Time) (*api.FanResult, error) {
+	res := &api.FanResult{Missing: missing}
+	type nameEntry struct{ name, state string }
+	var (
+		m      *streaming.Analytics
+		origin time.Time
+		names  map[string]nameEntry
+		etags  = make([]string, len(parts))
+		tagged int
+	)
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		etags[i] = p.etag
+		if p.etag != "" {
+			tagged++
+		}
+		res.Frames += p.frames
+		res.TailIncluded = res.TailIncluded || p.tailIncluded
+		if m == nil {
+			origin = p.snap.Origin
+			m = streaming.New(streaming.Config{
+				Origin:      origin,
+				WindowHours: p.snap.WindowHours,
+				TopK:        f.topK,
+			})
+			names = make(map[string]nameEntry)
+		} else if !p.snap.Origin.Equal(origin) {
+			return nil, fmt.Errorf("cluster: shard %d origin %s differs from fleet origin %s",
+				i, p.snap.Origin, origin)
+		}
+		for _, dc := range p.snap.Districts {
+			if dc.Name != "" || dc.StateCode != "" {
+				names[dc.ID] = nameEntry{dc.Name, dc.StateCode}
+			}
+		}
+		m.Merge(streaming.FromSnapshot(p.snap.Streaming()))
+	}
+	if m == nil {
+		return res, nil // every shard missing; the handler turns this into 503
+	}
+	snap := m.SnapshotRange(from, to)
+	// The merged analytics carries no geo model; re-attach the district
+	// names the shards rendered.
+	for i := range snap.Districts {
+		if e, ok := names[snap.Districts[i].ID]; ok {
+			snap.Districts[i].Name = e.name
+			snap.Districts[i].StateCode = e.state
+		}
+	}
+	res.Snapshot = snap
+	res.Version = composeVersion(etags)
+	res.Validated = len(missing) == 0 && tagged == len(parts)
+	return res, nil
+}
+
+// composeVersion hashes the per-shard strong ETags, in shard order,
+// into the cluster-wide validator token. Any shard's ETag changing —
+// new data, a checkpoint bumping its store version, a node restart —
+// changes the composite, so the router's 304s are exactly as strong as
+// every shard's.
+func composeVersion(etags []string) uint64 {
+	h := fnv.New64a()
+	for i, e := range etags {
+		fmt.Fprintf(h, "%d:%s;", i, e)
+	}
+	return h.Sum64()
+}
+
+// Stats implements api.Fanout: the field-wise sum over the reachable
+// shards. Store gauges are summed only when every reachable shard is
+// durable (a mixed fleet's partial store sum would be misleading);
+// LastCheckpoint is the newest across the fleet.
+func (f *Fleet) Stats(ctx context.Context) (*api.FanStats, error) {
+	resps := make([]*v1.StatsResponse, len(f.clients))
+	missing := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
+		resp, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		resps[i] = resp
+		return nil
+	})
+	out := &api.FanStats{Missing: missing}
+	allDurable := true
+	sawAny := false
+	var sum store.Metrics
+	for _, resp := range resps {
+		if resp == nil {
+			continue
+		}
+		sawAny = true
+		s := &out.Ingest
+		in := resp.Ingest
+		s.Packets += in.Packets
+		s.Records += in.Records
+		s.DecodeErrors += in.DecodeErrors
+		s.Processed += in.Processed
+		s.DroppedRecords += in.DroppedRecords
+		s.DroppedBatches += in.DroppedBatches
+		s.ShardFiltered += in.ShardFiltered
+		s.SocketErrors += in.SocketErrors
+		s.SinkErrors += in.SinkErrors
+		s.Sources += in.Sources
+		s.SeqGaps += in.SeqGaps
+		s.SeqLost += in.SeqLost
+		s.SeqReordered += in.SeqReordered
+		if resp.Store == nil {
+			allDurable = false
+			continue
+		}
+		sum.Segments += resp.Store.Segments
+		sum.WALBytes += resp.Store.WALBytes
+		sum.Frames += resp.Store.Frames
+		sum.FrameRecords += resp.Store.FrameRecords
+		sum.TailRecords += resp.Store.TailRecords
+		sum.AppendedRecords += resp.Store.AppendedRecords
+		sum.AppendedBatches += resp.Store.AppendedBatches
+		sum.RecoveredFrames += resp.Store.RecoveredFrames
+		sum.RecoveredWALRecords += resp.Store.RecoveredWALRecords
+		sum.TruncatedBytes += resp.Store.TruncatedBytes
+		sum.Checkpoints += resp.Store.Checkpoints
+		sum.CompactedFrames += resp.Store.CompactedFrames
+		if resp.Store.LastCheckpoint.After(sum.LastCheckpoint) {
+			sum.LastCheckpoint = resp.Store.LastCheckpoint
+		}
+	}
+	if sawAny && allDurable {
+		out.Store = &sum
+	}
+	return out, nil
+}
+
+// Health implements api.Fanout: every shard that is unreachable or not
+// reporting StatusOK.
+func (f *Fleet) Health(ctx context.Context) []api.ShardError {
+	return f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		if h.Status != v1.StatusOK {
+			return fmt.Errorf("status %q", h.Status)
+		}
+		return nil
+	})
+}

@@ -70,6 +70,12 @@ type Config struct {
 	// keeping a second, unbounded in-memory copy of state the store
 	// already maintains would defeat the point of checkpointing.
 	SinkOnly bool
+	// ShardFilter, when set, drops every record this node does not own
+	// under a cluster partition (internal/cluster.Assignment.Filter)
+	// before it reaches the sink or the analytics. Discards are counted
+	// as ShardFiltered — they are part of the cluster contract, not a
+	// loss. Nil keeps everything (the unsharded default).
+	ShardFilter func(r *netflow.Record) bool
 	// FlushInterval is the cadence of the periodic flush hook (0
 	// disables). Only meaningful when Sink implements Flusher.
 	FlushInterval time.Duration
@@ -121,6 +127,10 @@ type Stats struct {
 	Processed      uint64 `json:"processed"`
 	DroppedRecords uint64 `json:"dropped_records"`
 	DroppedBatches uint64 `json:"dropped_batches"`
+	// ShardFiltered counts processed records discarded by the cluster
+	// shard filter (records another node owns); they are included in
+	// Processed, so the drain invariant above is unchanged.
+	ShardFiltered uint64 `json:"shard_filtered,omitempty"`
 	// SocketErrors counts transient receive errors the readers retried.
 	SocketErrors uint64 `json:"socket_errors"`
 	// SinkErrors counts failed sink appends and flushes (batches that
@@ -149,6 +159,7 @@ type shardLane struct {
 	processed      atomic.Uint64
 	droppedRecords atomic.Uint64
 	droppedBatches atomic.Uint64
+	shardFiltered  atomic.Uint64
 	sinkErrors     atomic.Uint64
 }
 
@@ -365,7 +376,20 @@ func (p *Pipeline) work(lane *shardLane) {
 		if p.cfg.workerDelay > 0 {
 			time.Sleep(p.cfg.workerDelay)
 		}
-		if p.cfg.Sink != nil {
+		received := len(batch)
+		if p.cfg.ShardFilter != nil {
+			// Compact in place: kept trails the read index, so this never
+			// clobbers an unread record, and the slab keeps its storage.
+			kept := batch[:0]
+			for i := range batch {
+				if p.cfg.ShardFilter(&batch[i]) {
+					kept = append(kept, batch[i])
+				}
+			}
+			lane.shardFiltered.Add(uint64(received - len(kept)))
+			batch = kept
+		}
+		if p.cfg.Sink != nil && len(batch) > 0 {
 			// Durability first: anything the analytics (or the sink's own
 			// state) count is already written through. Errors degrade
 			// durability, never availability.
@@ -378,7 +402,9 @@ func (p *Pipeline) work(lane *shardLane) {
 			lane.an.Ingest(batch)
 			lane.mu.Unlock()
 		}
-		lane.processed.Add(uint64(len(batch)))
+		// Processed counts everything the worker consumed, shard-filtered
+		// records included, so Drained's invariant survives sharding.
+		lane.processed.Add(uint64(received))
 		netflow.RecycleSlab(slab)
 	}
 }
@@ -441,6 +467,7 @@ func (p *Pipeline) Stats() Stats {
 		s.Processed += lane.processed.Load()
 		s.DroppedRecords += lane.droppedRecords.Load()
 		s.DroppedBatches += lane.droppedBatches.Load()
+		s.ShardFiltered += lane.shardFiltered.Load()
 		s.SinkErrors += lane.sinkErrors.Load()
 	}
 	s.SinkErrors += p.flushErrors.Load()
