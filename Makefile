@@ -25,7 +25,7 @@ fmt:
 # (including the crash-recovery byte-identity test) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/ ./internal/api/ ./internal/api/client/ ./internal/cluster/
+	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/ ./internal/api/ ./internal/api/client/ ./internal/cluster/ ./internal/obs/
 
 # One pass over every figure/table/ablation benchmark (see DESIGN.md for
 # the experiment index) plus the ingest and store benchmarks.
@@ -43,6 +43,7 @@ bench-ingest:
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_ingest.json
 	$(GO) run ./cmd/benchjson -cluster -o BENCH_cluster.json
+	$(GO) run ./cmd/benchjson -obs -o BENCH_obs.json
 
 # The durable-store benchmarks alone: WAL append per fsync policy and
 # historical range queries (the EXPERIMENTS.md snapshot).

@@ -53,10 +53,19 @@ func main() {
 	out := flag.String("o", "BENCH_ingest.json", "output file")
 	clusterMode := flag.Bool("cluster", false, "measure router scatter-gather latency at 1/2/4 nodes instead of go test -bench")
 	iters := flag.Int("iters", 150, "requests per latency distribution under -cluster")
+	obsMode := flag.Bool("obs", false, "compare instrumented vs disabled ingest modes and report telemetry overhead")
+	maxOverhead := flag.Float64("max-overhead-pct", 3, "with -obs: fail when instrumentation overhead exceeds this percentage (0 disables the gate)")
 	flag.Parse()
 
 	if *clusterMode {
 		if err := runCluster(*out, *iters); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsMode {
+		if err := runObs(*out, *count, *maxOverhead); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

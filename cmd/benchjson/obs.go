@@ -1,0 +1,147 @@
+package main
+
+// The -obs mode: proof that the telemetry layer is effectively free.
+// BenchmarkIngestPipeline runs each ingest mode twice — once with
+// obs.Disabled (a nil registry, every instrument a no-op) and once with
+// a live registry (sampled stage histograms, per-lane gauges, watermark
+// tracking) — and this mode pairs them up and reports the throughput
+// delta as overhead_pct. The gate (default 3%) fails the run when the
+// instrumented pipeline falls more than that behind the baseline.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// obsPair is one ingest mode's baseline/instrumented comparison.
+type obsPair struct {
+	Mode         string `json:"mode"`
+	Baseline     result `json:"baseline"`
+	Instrumented result `json:"instrumented"`
+	// OverheadPct is the throughput cost of instrumentation in percent:
+	// (baseline - instrumented) / baseline * 100 over records/s.
+	// Negative values are run-to-run noise in the instrumented run's
+	// favor.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// obsReport is the BENCH_obs.json schema.
+type obsReport struct {
+	GeneratedAt    string    `json:"generated_at"`
+	GoVersion      string    `json:"go_version"`
+	GOOS           string    `json:"goos"`
+	GOARCH         string    `json:"goarch"`
+	NumCPU         int       `json:"num_cpu"`
+	Count          int       `json:"count"`
+	MaxOverheadPct float64   `json:"max_overhead_pct"`
+	Pairs          []obsPair `json:"pairs"`
+}
+
+// runObs benchmarks the instrumented ingest modes against their
+// disabled baselines and writes the comparison to out.
+//
+// Each (mode, variant) runs as its own short go-test invocation, the
+// baseline/instrumented order alternates between rounds, and the
+// per-variant MEDIAN records/s decides the comparison. All three choices
+// fight the same enemy: on a busy or thermally drifting machine, run
+// order and outlier runs systematically masquerade as instrumentation
+// overhead (both signs were observed during development). Alternation
+// cancels ordering bias, medians drop the outliers.
+func runObs(out string, count int, maxOverheadPct float64) error {
+	if count < 5 {
+		count = 5 // medians need repetitions; one or two runs is all noise
+	}
+	samples := make(map[string][]result)
+	runOne := func(name string) error {
+		cmd := exec.Command("go", "test", "-run", "XXX",
+			"-bench", "^BenchmarkIngestPipeline$/^"+name+"$", "-benchmem",
+			"-benchtime", "0.5s", "./internal/ingest/")
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("%v\n%s", err, buf.Bytes())
+		}
+		os.Stdout.Write(buf.Bytes())
+		for _, r := range parseBench(buf.String()) {
+			samples[r.Name] = append(samples[r.Name], r)
+		}
+		return nil
+	}
+	for round := 0; round < count; round++ {
+		for _, mode := range []string{"serial", "parallel"} {
+			pair := []string{mode, mode + "_instrumented"}
+			if round%2 == 1 {
+				pair[0], pair[1] = pair[1], pair[0]
+			}
+			for _, name := range pair {
+				if err := runOne(name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Median per benchmark name.
+	best := make(map[string]result)
+	for name, rs := range samples {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].RecordsPerSec < rs[j].RecordsPerSec })
+		best[name] = rs[len(rs)/2]
+	}
+
+	rep := obsReport{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		Count:          count,
+		MaxOverheadPct: maxOverheadPct,
+	}
+	const prefix = "BenchmarkIngestPipeline/"
+	for _, mode := range []string{"serial", "parallel"} {
+		base, ok := best[prefix+mode]
+		if !ok || base.RecordsPerSec == 0 {
+			return fmt.Errorf("no baseline result for mode %q", mode)
+		}
+		instr, ok := best[prefix+mode+"_instrumented"]
+		if !ok || instr.RecordsPerSec == 0 {
+			return fmt.Errorf("no instrumented result for mode %q", mode)
+		}
+		rep.Pairs = append(rep.Pairs, obsPair{
+			Mode:         mode,
+			Baseline:     base,
+			Instrumented: instr,
+			OverheadPct:  (base.RecordsPerSec - instr.RecordsPerSec) / base.RecordsPerSec * 100,
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, p := range rep.Pairs {
+		fmt.Fprintf(os.Stderr, "benchjson: obs %s overhead %.2f%% (%.0f -> %.0f records/s)\n",
+			p.Mode, p.OverheadPct, p.Baseline.RecordsPerSec, p.Instrumented.RecordsPerSec)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d pairs)\n", out, len(rep.Pairs))
+	if maxOverheadPct > 0 {
+		for _, p := range rep.Pairs {
+			if p.OverheadPct > maxOverheadPct {
+				return fmt.Errorf("mode %s: instrumentation overhead %.2f%% exceeds the %.0f%% budget",
+					p.Mode, p.OverheadPct, maxOverheadPct)
+			}
+		}
+	}
+	return nil
+}

@@ -49,7 +49,7 @@
 //	           [-workers N] [-geodb geodb.jsonl] [-window-hours H] [-topk K]
 //	           [-shard i/N] [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval D] [-checkpoint-interval D]
-//	           [-segment-bytes N] [-http-log]
+//	           [-segment-bytes N] [-http-log] [-pprof] [-slow-query D]
 //
 //	collectord -demo [-quick] [-serve]
 //
@@ -68,6 +68,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"reflect"
@@ -83,6 +84,7 @@ import (
 	"cwatrace/internal/geo"
 	"cwatrace/internal/geodb"
 	"cwatrace/internal/ingest"
+	"cwatrace/internal/obs"
 	"cwatrace/internal/sim"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
@@ -102,6 +104,8 @@ func main() {
 		quick       = flag.Bool("quick", false, "smaller demo workload (CI smoke mode)")
 		serve       = flag.Bool("serve", false, "with -demo: keep serving the demo state over HTTP after verification")
 		httpLog     = flag.Bool("http-log", false, "log one access line per HTTP request")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the HTTP server")
+		slowQuery   = flag.Duration("slow-query", 0, "log any request at least this slow (0 disables)")
 
 		dataDir      = flag.String("data-dir", "", "durable store directory (enables WAL, checkpoints and /query)")
 		fsyncPolicy  = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
@@ -137,7 +141,9 @@ func main() {
 			// shutdown. Serve it until SIGTERM, then shut down gracefully:
 			// health flips to 503 draining while in-flight responses
 			// finish.
-			srv := newAPIServer(p, nil, *httpLog)
+			reg := obs.NewRegistry()
+			p.RegisterMetrics(reg) // safe: the demo pipeline is drained
+			srv := newAPIServer(p, nil, reg, *httpLog, *slowQuery, *pprofOn)
 			ln, err := net.Listen("tcp", *httpAddr)
 			if err != nil {
 				fatal("http: %v", err)
@@ -164,12 +170,18 @@ func main() {
 		return
 	}
 
+	// One registry spans every layer, so /metrics is a single page:
+	// ingest stage timings and counters, store durability gauges, API
+	// latency histograms.
+	reg := obs.NewRegistry()
+
 	icfg := ingest.Config{
 		Listen:      strings.Split(*listen, ","),
 		Workers:     *workers,
 		ShardBuffer: *shardBuffer,
 		Analytics:   acfg,
 		Logf:        log.Printf,
+		Metrics:     reg,
 	}
 	if *shard != "" {
 		asn, err := cluster.ParseAssignment(*shard)
@@ -192,6 +204,7 @@ func main() {
 			Analytics:    acfg,
 			SegmentBytes: *segmentBytes,
 			Sync:         pol,
+			Metrics:      reg,
 		})
 		if err != nil {
 			fatal("%v", err)
@@ -224,7 +237,7 @@ func main() {
 
 	var srv *api.Server
 	if *httpAddr != "" {
-		srv = newAPIServer(p, st, *httpLog)
+		srv = newAPIServer(p, st, reg, *httpLog, *slowQuery, *pprofOn)
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatal("http: %v", err)
@@ -276,12 +289,13 @@ func main() {
 }
 
 // newAPIServer builds the versioned analytics API over the pipeline
-// and (when durable) the store, and mounts the Prometheus /metrics
-// endpoint behind the same middleware. st is nil without -data-dir;
-// /api/v1/snapshot then serves the pipeline's in-memory state and
-// /api/v1/query explains what is missing.
-func newAPIServer(p *ingest.Pipeline, st *store.Store, accessLog bool) *api.Server {
-	cfg := api.Config{Live: p}
+// and (when durable) the store, and mounts the registry-backed
+// Prometheus /metrics endpoint (plus, opted in, /debug/pprof) behind
+// the same middleware. st is nil without -data-dir; /api/v1/snapshot
+// then serves the pipeline's in-memory state and /api/v1/query explains
+// what is missing.
+func newAPIServer(p *ingest.Pipeline, st *store.Store, reg *obs.Registry, accessLog bool, slowQuery time.Duration, pprofOn bool) *api.Server {
+	cfg := api.Config{Live: p, Metrics: reg, SlowQuery: slowQuery}
 	if st != nil {
 		cfg.History = st
 	}
@@ -292,17 +306,22 @@ func newAPIServer(p *ingest.Pipeline, st *store.Store, accessLog bool) *api.Serv
 	if err != nil {
 		fatal("%v", err)
 	}
-	srv.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		metrics := ingestMetrics(p.Stats())
-		if st != nil {
-			metrics = append(metrics, storeMetrics(st.Metrics(), time.Now())...)
-		}
-		if err := writeMetrics(w, metrics); err != nil {
-			fmt.Fprintf(os.Stderr, "collectord: writing /metrics: %v\n", err)
-		}
-	}))
+	srv.Handle("/metrics", reg.Handler())
+	if pprofOn {
+		mountPprof(srv)
+	}
 	return srv
+}
+
+// mountPprof exposes the runtime profiles behind the shared middleware.
+// Opt-in (-pprof): the endpoints reveal internals and cost CPU, so a
+// production daemon keeps them off unless a human is debugging.
+func mountPprof(srv *api.Server) {
+	srv.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	srv.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	srv.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	srv.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	srv.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
 }
 
 // runDemo is the loopback smoke run: simulate, export, ingest, verify.

@@ -1,155 +1,193 @@
 package main
 
 import (
-	"bufio"
-	"regexp"
-	"strconv"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"net/netip"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/entime"
 	"cwatrace/internal/ingest"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/obs"
 	"cwatrace/internal/store"
+	"cwatrace/internal/streaming"
 )
 
-// parseExposition is a strict parser for the Prometheus text exposition
-// format subset the daemon emits. It returns name -> (type, value) and
-// fails the test on any format violation: samples without HELP/TYPE,
-// invalid metric names, counters not ending in _total, trailing
-// whitespace, or garbage lines.
-func parseExposition(t *testing.T, text string) map[string]struct {
-	typ   string
-	value float64
-} {
+// scrape fetches /metrics from ts, requires the Prometheus content
+// type, and returns the page parsed by the strict exposition linter —
+// the parser-enforced contract: HELP/TYPE before every sample, counter
+// names ending in _total, no duplicate series, no trailing whitespace.
+func scrape(t *testing.T, ts *httptest.Server) *obs.Exposition {
 	t.Helper()
-	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	out := make(map[string]struct {
-		typ   string
-		value float64
-	})
-	var curHelp, curType string
-	sc := bufio.NewScanner(strings.NewReader(text))
-	for sc.Scan() {
-		line := sc.Text()
-		if line != strings.TrimRight(line, " \t") {
-			t.Fatalf("trailing whitespace in %q", line)
-		}
-		switch {
-		case strings.HasPrefix(line, "# HELP "):
-			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
-			if len(parts) != 2 || !nameRe.MatchString(parts[0]) || parts[1] == "" {
-				t.Fatalf("malformed HELP line %q", line)
-			}
-			curHelp, curType = parts[0], ""
-		case strings.HasPrefix(line, "# TYPE "):
-			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
-			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge") {
-				t.Fatalf("malformed TYPE line %q", line)
-			}
-			if parts[0] != curHelp {
-				t.Fatalf("TYPE for %q does not follow its HELP (last HELP: %q)", parts[0], curHelp)
-			}
-			curType = parts[1]
-		case line == "":
-			t.Fatal("blank line in exposition")
-		default:
-			fields := strings.Fields(line)
-			if len(fields) != 2 {
-				t.Fatalf("malformed sample line %q", line)
-			}
-			name := fields[0]
-			if !nameRe.MatchString(name) {
-				t.Fatalf("invalid metric name %q", name)
-			}
-			if name != curHelp || curType == "" {
-				t.Fatalf("sample %q not preceded by its HELP and TYPE", name)
-			}
-			v, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				t.Fatalf("sample %q value: %v", name, err)
-			}
-			if curType == "counter" && !strings.HasSuffix(name, "_total") {
-				t.Fatalf("counter %q does not end in _total", name)
-			}
-			if _, dup := out[name]; dup {
-				t.Fatalf("duplicate sample %q", name)
-			}
-			out[name] = struct {
-				typ   string
-				value float64
-			}{curType, v}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
 		t.Fatal(err)
 	}
-	return out
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, errs := obs.Lint(string(body))
+	for _, e := range errs {
+		t.Errorf("exposition lint: %v", e)
+	}
+	return exp
 }
 
-func TestMetricsExpositionFormat(t *testing.T) {
-	stats := ingest.Stats{
-		Packets: 10, Records: 250, Processed: 240, DroppedRecords: 10,
-		DroppedBatches: 1, DecodeErrors: 2, SocketErrors: 3, SinkErrors: 4,
-		Sources: 5, SeqGaps: 6, SeqLost: 7, SeqReordered: 8,
+// daemonServer assembles the collectord composition under test: a real
+// loopback pipeline, optionally a durable store, one shared registry,
+// and the API server exactly as main() wires it.
+func daemonServer(t *testing.T, durable bool) (*httptest.Server, *store.Store) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	acfg := streaming.Config{WindowHours: 48, TopK: 5}
+	icfg := ingest.Config{
+		Listen:    []string{"127.0.0.1:0"},
+		Workers:   2,
+		Analytics: acfg,
+		Metrics:   reg,
 	}
-	sm := store.Metrics{
-		Segments: 2, WALBytes: 4096, Frames: 3, TailRecords: 17,
-		AppendedRecords: 240, Checkpoints: 3, CompactedFrames: 1,
-		RecoveredWALRecords: 9, RecoveredFrames: 2,
-		LastCheckpoint: time.Now().Add(-90 * time.Second),
+	var st *store.Store
+	if durable {
+		var err error
+		st, err = store.Open(t.TempDir(), store.Options{Analytics: acfg, Sync: store.SyncNever, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		icfg.Sink = st
+		icfg.SinkOnly = true
 	}
-	var sb strings.Builder
-	if err := writeMetrics(&sb, append(ingestMetrics(stats), storeMetrics(sm, time.Now())...)); err != nil {
+	p, err := ingest.New(icfg)
+	if err != nil {
 		t.Fatal(err)
 	}
-	text := sb.String()
-	if !strings.HasSuffix(text, "\n") {
-		t.Fatal("exposition does not end in a newline")
-	}
-	samples := parseExposition(t, text)
+	t.Cleanup(func() { p.Close() })
+	srv := newAPIServer(p, st, reg, false, 0, false)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, st
+}
 
-	// Spot-check values and the store gauges the ISSUE names.
-	checks := map[string]float64{
-		"ingest_packets_total":           10,
-		"ingest_records_total":           250,
-		"ingest_records_processed_total": 240,
-		"ingest_sink_errors_total":       4,
-		"ingest_sources":                 5,
-		"store_segments":                 2,
-		"store_wal_bytes":                4096,
-		"store_frames":                   3,
-		"store_tail_records":             17,
-		"store_appended_records_total":   240,
+// TestMetricsExpositionFormat scrapes the durable daemon's /metrics and
+// enforces the format contract plus the frozen metric names: the
+// registry port kept every pre-registry name byte-identical, so
+// dashboards and the crash drill's waitForMetric keep working.
+func TestMetricsExpositionFormat(t *testing.T) {
+	ts, st := daemonServer(t, true)
+	f := core.DefaultFilter()
+	if err := st.Append([]netflow.Record{{
+		Key: netflow.Key{
+			Src:     f.ServerPrefixes[0].Addr(),
+			Dst:     netip.AddrFrom4([4]byte{100, 64, 0, 9}),
+			SrcPort: netflow.PortHTTPS,
+			DstPort: 50000,
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets:  1,
+		Bytes:    100,
+		First:    entime.StudyStart,
+		Last:     entime.StudyStart.Add(time.Second),
+		Exporter: "ISP/BE-000",
+	}}); err != nil {
+		t.Fatal(err)
 	}
-	for name, want := range checks {
-		got, ok := samples[name]
-		if !ok {
-			t.Fatalf("sample %q missing", name)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	exp := scrape(t, ts)
+
+	counters := []string{
+		"ingest_packets_total", "ingest_records_total",
+		"ingest_records_processed_total", "ingest_records_dropped_total",
+		"ingest_batches_dropped_total", "ingest_decode_errors_total",
+		"ingest_socket_errors_total", "ingest_sink_errors_total",
+		"ingest_seq_gaps_total", "ingest_seq_lost_total", "ingest_seq_reordered_total",
+		"store_appended_records_total", "store_checkpoints_total",
+		"store_compacted_frames_total", "store_recovered_wal_records_total",
+		"store_recovered_frames_total",
+	}
+	for _, name := range counters {
+		if typ := exp.Types[name]; typ != "counter" {
+			t.Errorf("%s: type %q, want counter", name, typ)
 		}
-		if got.value != want {
-			t.Fatalf("%s = %v, want %v", name, got.value, want)
+		if _, ok := exp.Value(name, ""); !ok {
+			t.Errorf("%s: sample missing", name)
 		}
 	}
-	age, ok := samples["store_last_checkpoint_age_seconds"]
-	if !ok || age.typ != "gauge" || age.value < 89 || age.value > 120 {
-		t.Fatalf("store_last_checkpoint_age_seconds = %+v, want a ~90s gauge", age)
+	gauges := []string{
+		"ingest_sources", "ingest_watermark_timestamp_seconds",
+		"store_segments", "store_wal_bytes", "store_frames",
+		"store_tail_records", "store_last_checkpoint_age_seconds",
+		"store_watermark_timestamp_seconds",
+	}
+	for _, name := range gauges {
+		if typ := exp.Types[name]; typ != "gauge" {
+			t.Errorf("%s: type %q, want gauge", name, typ)
+		}
+	}
+	if v, ok := exp.Value("store_checkpoints_total", ""); !ok || v != 1 {
+		t.Fatalf("store_checkpoints_total = %v (found=%t), want 1", v, ok)
+	}
+	if v, ok := exp.Value("store_watermark_timestamp_seconds", ""); !ok || v != float64(entime.StudyStart.UnixNano())/1e9 {
+		t.Fatalf("store_watermark_timestamp_seconds = %v (found=%t), want the appended record's First", v, ok)
+	}
+	if _, ok := exp.Value("store_fsync_seconds_count", ""); !ok {
+		t.Error("store_fsync_seconds histogram missing")
+	}
+	if _, ok := exp.Value("api_inflight_requests", ""); !ok {
+		t.Error("api_inflight_requests missing — the API layer is uninstrumented")
 	}
 }
 
 // TestMetricsWithoutStoreOmitsStoreGauges pins the non-durable daemon's
-// exposition: ingest metrics only, still well-formed.
+// exposition: ingest and API metrics only, still well-formed.
 func TestMetricsWithoutStoreOmitsStoreGauges(t *testing.T) {
-	var sb strings.Builder
-	if err := writeMetrics(&sb, ingestMetrics(ingest.Stats{})); err != nil {
-		t.Fatal(err)
-	}
-	samples := parseExposition(t, sb.String())
-	for name := range samples {
+	ts, _ := daemonServer(t, false)
+	exp := scrape(t, ts)
+	for name := range exp.Types {
 		if strings.HasPrefix(name, "store_") {
-			t.Fatalf("store gauge %q emitted without a store", name)
+			t.Fatalf("store metric %q emitted without a store", name)
 		}
 	}
-	if _, ok := samples["ingest_packets_total"]; !ok {
+	if _, ok := exp.Value("ingest_packets_total", ""); !ok {
 		t.Fatal("ingest_packets_total missing")
+	}
+}
+
+// TestMetricsNamesStableAcrossRestart rebuilds the daemon composition
+// and requires the same series set in the same order — the byte-stable
+// name contract a restart must not break.
+func TestMetricsNamesStableAcrossRestart(t *testing.T) {
+	names := func() []string {
+		ts, _ := daemonServer(t, true)
+		exp := scrape(t, ts)
+		out := make([]string, 0, len(exp.Samples))
+		for _, s := range exp.Samples {
+			out = append(out, s.Name+s.Labels)
+		}
+		return out
+	}
+	a, b := names(), names()
+	if len(a) != len(b) {
+		t.Fatalf("series count changed across restart: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("series %d changed across restart: %q vs %q", i, a[i], b[i])
+		}
 	}
 }

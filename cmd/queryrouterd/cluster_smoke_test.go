@@ -22,12 +22,24 @@ import (
 	"cwatrace/internal/sim"
 )
 
-// proc is one running child daemon with line-captured stdout.
+// proc is one running child daemon with line-captured stdout and
+// stderr (the access log, under -http-log, goes to stderr).
 type proc struct {
 	cmd *exec.Cmd
 
-	mu    sync.Mutex
-	lines []string
+	mu       sync.Mutex
+	lines    []string
+	errLines []string
+}
+
+func (p *proc) capture(r io.Reader, into *[]string) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		p.mu.Lock()
+		*into = append(*into, sc.Text())
+		p.mu.Unlock()
+	}
+	_, _ = io.Copy(io.Discard, r)
 }
 
 func launch(t *testing.T, bin string, args ...string) *proc {
@@ -37,25 +49,45 @@ func launch(t *testing.T, bin string, args ...string) *proc {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = os.Stderr
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
 	p := &proc{cmd: cmd}
-	go func() {
-		sc := bufio.NewScanner(stdout)
-		for sc.Scan() {
-			p.mu.Lock()
-			p.lines = append(p.lines, sc.Text())
-			p.mu.Unlock()
-		}
-		_, _ = io.Copy(io.Discard, stdout)
-	}()
+	go p.capture(stdout, &p.lines)
+	go p.capture(stderr, &p.errLines)
 	t.Cleanup(func() {
 		_ = cmd.Process.Kill()
 		_, _ = cmd.Process.Wait()
 	})
 	return p
+}
+
+// awaitErrContaining polls the captured stderr for a line containing
+// substr, returning it ("" on timeout).
+func (p *proc) awaitErrContaining(substr string, timeout time.Duration) string {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		p.mu.Lock()
+		for _, line := range p.errLines {
+			if strings.Contains(line, substr) {
+				p.mu.Unlock()
+				return line
+			}
+		}
+		p.mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+	}
+	return ""
+}
+
+func (p *proc) errLinesCopy() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.errLines...)
 }
 
 // awaitLine polls the captured stdout for a line with the prefix,
@@ -181,6 +213,7 @@ func TestClusterSmoke(t *testing.T) {
 			"-fsync", "always",
 			"-checkpoint-interval", "0",
 			"-workers", "2",
+			"-http-log",
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -204,6 +237,7 @@ func TestClusterSmoke(t *testing.T) {
 		"-http", "127.0.0.1:0",
 		"-timeout", "5s",
 		"-retries=-1",
+		"-http-log",
 	)
 	routerURL := strings.TrimSuffix(router.awaitLine("queryrouterd: v1 API on http://", 20*time.Second), "/api/v1/snapshot")
 	if routerURL == "" {
@@ -248,17 +282,45 @@ func TestClusterSmoke(t *testing.T) {
 		t.Fatal("cluster saw no kept traffic; the drill would be vacuous")
 	}
 
+	// Cross-shard tracing: one traced request at the router edge must
+	// surface its X-Request-Id in the router's access log AND every
+	// shard's (the fan-out client forwards it), echo the id on the
+	// response, and report per-shard gather durations in Server-Timing.
+	const traceID = "smoke-trace-0001"
+	status, hdr, _, err := routerGet(t, snapURL, map[string]string{"X-Request-Id": traceID})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("traced request: %d (err %v)", status, err)
+	}
+	if got := hdr.Get("X-Request-Id"); got != traceID {
+		t.Fatalf("router echoed X-Request-Id %q, want %q", got, traceID)
+	}
+	st := hdr.Get("Server-Timing")
+	for i := 0; i < n; i++ {
+		if want := fmt.Sprintf("shard%d;dur=", i); !strings.Contains(st, want) {
+			t.Fatalf("Server-Timing %q misses %q", st, want)
+		}
+	}
+	if line := router.awaitErrContaining("id="+traceID, 10*time.Second); line == "" {
+		t.Fatalf("router access log never showed id=%s; stderr: %q", traceID, router.errLinesCopy())
+	}
+	for i := 0; i < n; i++ {
+		if line := shards[i].awaitErrContaining("id="+traceID, 10*time.Second); line == "" {
+			t.Fatalf("shard %d access log never showed id=%s; stderr: %q", i, traceID, shards[i].errLinesCopy())
+		}
+	}
+
 	// SIGKILL shard 1: no drain, no checkpoint.
 	if err := shards[1].cmd.Process.Signal(syscall.SIGKILL); err != nil {
 		t.Fatal(err)
 	}
 	_, _ = shards[1].cmd.Process.Wait()
 
+	const degradedTraceID = "smoke-trace-degraded"
 	var degraded v1.Snapshot
 	deadline = time.Now().Add(20 * time.Second)
 	sawDegraded := false
 	for time.Now().Before(deadline) {
-		status, hdr, body, err := routerGet(t, snapURL, nil)
+		status, hdr, body, err := routerGet(t, snapURL, map[string]string{"X-Request-Id": degradedTraceID})
 		if err != nil {
 			time.Sleep(100 * time.Millisecond)
 			continue
@@ -284,6 +346,11 @@ func TestClusterSmoke(t *testing.T) {
 	}
 	if degraded.Degraded == nil || len(degraded.Degraded.MissingShards) != 1 || degraded.Degraded.MissingShards[0] != 1 {
 		t.Fatalf("degraded marker = %+v, want missing_shards [1]", degraded.Degraded)
+	}
+	// The partial envelope names the request it failed, so the body an
+	// operator is holding links straight to the access-log trail.
+	if degraded.Degraded.RequestID != degradedTraceID {
+		t.Fatalf("degraded request_id = %q, want %q", degraded.Degraded.RequestID, degradedTraceID)
 	}
 	if degraded.Census == nil || degraded.Census.Kept >= healthySnap.Census.Kept {
 		t.Fatalf("degraded kept %v not below healthy %d: the partial total silently includes the dead shard",

@@ -16,12 +16,15 @@
 //	GET /api/v1/stats            field-wise sum over reachable shards
 //	GET /api/v1/snapshot         merged cluster snapshot (fields/top/pretty)
 //	GET /api/v1/query?from=&to=  merged historical range (durable shards)
+//	GET /metrics                 Prometheus text format (fan-out latency
+//	                             per shard, error counters, freshness
+//	                             watermarks — fleet min, never a sum)
 //
 // Usage:
 //
 //	queryrouterd -nodes host1:8055,host2:8055,host3:8055
 //	             [-http 127.0.0.1:8056] [-topk K] [-timeout D]
-//	             [-retries N] [-http-log]
+//	             [-retries N] [-http-log] [-pprof] [-slow-query D]
 //
 // -nodes lists the shard nodes in shard order: the i-th address must be
 // the node running -shard i/N. -topk must match the nodes' -topk for
@@ -35,6 +38,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,16 +48,19 @@ import (
 	"cwatrace/internal/api"
 	"cwatrace/internal/api/client"
 	"cwatrace/internal/cluster"
+	"cwatrace/internal/obs"
 )
 
 func main() {
 	var (
-		nodes    = flag.String("nodes", "", "comma-separated shard node addresses, in shard order (required)")
-		httpAddr = flag.String("http", "127.0.0.1:8056", "HTTP listen address")
-		topK     = flag.Int("topk", 10, "merged leaderboard size (must match the nodes' -topk)")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-shard request timeout")
-		retries  = flag.Int("retries", 0, "per-shard retries on transient failures (0 = client default, negative = none)")
-		httpLog  = flag.Bool("http-log", false, "log one access line per HTTP request")
+		nodes     = flag.String("nodes", "", "comma-separated shard node addresses, in shard order (required)")
+		httpAddr  = flag.String("http", "127.0.0.1:8056", "HTTP listen address")
+		topK      = flag.Int("topk", 10, "merged leaderboard size (must match the nodes' -topk)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-shard request timeout")
+		retries   = flag.Int("retries", 0, "per-shard retries on transient failures (0 = client default, negative = none)")
+		httpLog   = flag.Bool("http-log", false, "log one access line per HTTP request")
+		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof on the HTTP server")
+		slowQuery = flag.Duration("slow-query", 0, "log any request at least this slow (0 disables)")
 	)
 	flag.Parse()
 
@@ -67,23 +74,18 @@ func main() {
 		fatal("no -nodes given (want a comma-separated shard list, e.g. -nodes host1:8055,host2:8055)")
 	}
 
+	reg := obs.NewRegistry()
 	fleet, err := cluster.New(addrs, cluster.Options{
 		TopK:          *topK,
 		Timeout:       *timeout,
 		ClientOptions: &client.Options{Retries: *retries},
+		Metrics:       reg,
 	})
 	if err != nil {
 		fatal("%v", err)
 	}
 
-	cfg := api.Config{Fanout: fleet}
-	if *httpLog {
-		cfg.Log = log.New(os.Stderr, "queryrouterd: http: ", log.LstdFlags)
-	}
-	srv, err := api.New(cfg)
-	if err != nil {
-		fatal("%v", err)
-	}
+	srv := newRouterServer(fleet, reg, *httpLog, *slowQuery, *pprofOn)
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
@@ -108,6 +110,37 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "queryrouterd: http shutdown: %v\n", err)
 	}
+}
+
+// newRouterServer builds the router's API server: the fan-out surface,
+// the registry-backed /metrics endpoint, and (opted in) /debug/pprof,
+// all behind the shared middleware.
+func newRouterServer(fleet *cluster.Fleet, reg *obs.Registry, accessLog bool, slowQuery time.Duration, pprofOn bool) *api.Server {
+	cfg := api.Config{Fanout: fleet, Metrics: reg, SlowQuery: slowQuery}
+	if accessLog {
+		cfg.Log = log.New(os.Stderr, "queryrouterd: http: ", log.LstdFlags)
+	}
+	srv, err := api.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	// The watermark gauges only move on a stats gather; refresh them on
+	// every scrape (bounded by the per-shard timeout) so Prometheus sees
+	// current freshness even on an otherwise idle router.
+	srv.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := fleet.Stats(r.Context()); err != nil {
+			fmt.Fprintf(os.Stderr, "queryrouterd: stats gather for /metrics: %v\n", err)
+		}
+		reg.Handler().ServeHTTP(w, r)
+	}))
+	if pprofOn {
+		srv.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+		srv.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+		srv.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+		srv.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+		srv.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+	}
+	return srv
 }
 
 // fatal prints and exits non-zero.

@@ -75,6 +75,11 @@
 //     partition plus /24 hashing) and the scatter-gather fleet behind
 //     queryrouterd: commutative merge via streaming.Merge, composite
 //     validators, honest degraded-mode accounting
+//   - internal/obs — the dependency-free telemetry core shared by both
+//     daemons: atomic counters/gauges and lock-free histograms on a
+//     Prometheus text registry (nil registry = free no-op), X-Request-Id
+//     tracing, freshness watermarks, and the strict exposition linter
+//     the daemon tests scrape /metrics through
 //   - internal/trace — JSONL/binary trace serialization for
 //     cwasim/cwanalyze
 //

@@ -3,6 +3,8 @@ package api
 import (
 	"fmt"
 	"sync"
+
+	"cwatrace/internal/obs"
 )
 
 // respCache is the concurrent single-flight response cache: marshaled
@@ -16,6 +18,11 @@ type respCache struct {
 	max     int
 	clock   uint64
 	entries map[string]*cacheEntry
+
+	// hits/misses are the effectiveness counters, set once at server
+	// construction (nil = uninstrumented).
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 // cacheEntry is one body being (or done being) marshaled. ready is
@@ -44,6 +51,7 @@ func (c *respCache) get(key string, fill func() ([]byte, error)) ([]byte, error)
 	if e, ok := c.entries[key]; ok {
 		e.lastUse = c.clock
 		c.mu.Unlock()
+		c.hits.Inc()
 		<-e.ready
 		return e.body, e.err
 	}
@@ -51,6 +59,7 @@ func (c *respCache) get(key string, fill func() ([]byte, error)) ([]byte, error)
 	c.entries[key] = e
 	c.evictLocked()
 	c.mu.Unlock()
+	c.misses.Inc()
 
 	func() {
 		// A panicking fill must still release the waiters.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/obs"
 	"cwatrace/internal/store"
 )
 
@@ -196,6 +197,7 @@ func (c *Client) Health(ctx context.Context) (*v1.HealthResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	setRequestID(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -242,12 +244,22 @@ func (c *Client) getJSON(ctx context.Context, path string, q url.Values, cacheab
 	return "", lastErr
 }
 
+// setRequestID forwards the request id riding the context (a router
+// fanning out on behalf of a traced request), so one X-Request-Id
+// appears in the edge's and every shard's access log.
+func setRequestID(req *http.Request) {
+	if id := obs.RequestID(req.Context()); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
+}
+
 // try runs one conditional GET against url.
 func (c *Client) try(ctx context.Context, url string, cacheable bool) ([]byte, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, "", err
 	}
+	setRequestID(req)
 	var prior *cachedResp
 	if cacheable {
 		c.mu.Lock()

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	v1 "cwatrace/internal/api/v1"
 	"cwatrace/internal/ingest"
+	"cwatrace/internal/obs"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
 )
@@ -30,6 +32,16 @@ type ShardError struct {
 	Node string
 	// Err is the failure, as text.
 	Err string
+}
+
+// ShardTiming is one shard's contribution time to a fan-out, reported
+// back to the caller in a Server-Timing response header.
+type ShardTiming struct {
+	// Shard is the shard index; Node its address.
+	Shard int
+	Node  string
+	// D is how long the shard's request took (success or failure).
+	D time.Duration
 }
 
 // FanResult is one gathered-and-merged data fan-out (snapshot or query).
@@ -53,6 +65,9 @@ type FanResult struct {
 	Validated bool
 	// Missing lists the shards that did not answer, ascending by index.
 	Missing []ShardError
+	// Timings reports every shard's request duration, ascending by
+	// index, for the Server-Timing response header.
+	Timings []ShardTiming
 }
 
 // FanStats is a gathered /api/v1/stats fan-out: the field-wise sum of
@@ -87,19 +102,36 @@ type Fanout interface {
 }
 
 // degradedOf renders the partial-failure marker, nil when nothing is
-// missing.
-func degradedOf(missing []ShardError) *v1.Degraded {
+// missing. The request id rides along so a partial body can be traced
+// back through the router and shard access logs.
+func degradedOf(missing []ShardError, requestID string) *v1.Degraded {
 	if len(missing) == 0 {
 		return nil
 	}
 	sorted := append([]ShardError(nil), missing...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
-	d := &v1.Degraded{Detail: sorted[0].Err}
+	d := &v1.Degraded{Detail: sorted[0].Err, RequestID: requestID}
 	for _, m := range sorted {
 		d.MissingShards = append(d.MissingShards, m.Shard)
 		d.Nodes = append(d.Nodes, m.Node)
 	}
 	return d
+}
+
+// setServerTiming reports the per-shard fan-out durations in a
+// Server-Timing header (RFC 8941 shape: `shard0;dur=12.3, ...`, dur in
+// milliseconds), so a traced client sees where a slow gather spent its
+// time without any extra round trip. Headers travel outside the body,
+// keeping degraded-path and byte-identity body contracts untouched.
+func setServerTiming(h http.Header, timings []ShardTiming) {
+	if len(timings) == 0 {
+		return
+	}
+	parts := make([]string, len(timings))
+	for i, t := range timings {
+		parts[i] = fmt.Sprintf("shard%d;dur=%.1f", t.Shard, float64(t.D.Microseconds())/1e3)
+	}
+	h.Set("Server-Timing", strings.Join(parts, ", "))
 }
 
 // shardDetail summarizes the missing shards for an error envelope.
@@ -125,7 +157,7 @@ func (s *Server) handleFanSnapshot(w http.ResponseWriter, r *http.Request, p req
 	}
 	build := func() (any, error) {
 		snap := v1.NewSnapshot(res.Snapshot, p.fields, p.top)
-		snap.Degraded = degradedOf(res.Missing)
+		snap.Degraded = degradedOf(res.Missing, obs.RequestID(r.Context()))
 		return snap, nil
 	}
 	s.serveFanned(w, r, "v1/snapshot", p.key(), res, build, p.pretty)
@@ -152,7 +184,7 @@ func (s *Server) handleFanQuery(w http.ResponseWriter, r *http.Request, p reqPar
 			Frames:       res.Frames,
 			TailIncluded: res.TailIncluded,
 			Snapshot:     v1.NewSnapshot(res.Snapshot, p.fields, p.top),
-			Degraded:     degradedOf(res.Missing),
+			Degraded:     degradedOf(res.Missing, obs.RequestID(r.Context())),
 		}, nil
 	}
 	s.serveFanned(w, r, "v1/query", key, res, build, p.pretty)
@@ -166,6 +198,7 @@ func (s *Server) handleFanQuery(w http.ResponseWriter, r *http.Request, p reqPar
 // complete one.
 func (s *Server) serveFanned(w http.ResponseWriter, r *http.Request, endpoint, params string, res *FanResult, build func() (any, error), pretty bool) {
 	h := w.Header()
+	setServerTiming(h, res.Timings)
 	if len(res.Missing) > 0 || !res.Validated {
 		status := http.StatusOK
 		if len(res.Missing) > 0 {
@@ -215,7 +248,7 @@ func (s *Server) handleFanStats(w http.ResponseWriter, r *http.Request) {
 			"no shard reachable", shardDetail(fs.Missing))
 		return
 	}
-	resp := v1.StatsResponse{Ingest: fs.Ingest, Store: fs.Store, Degraded: degradedOf(fs.Missing)}
+	resp := v1.StatsResponse{Ingest: fs.Ingest, Store: fs.Store, Degraded: degradedOf(fs.Missing, obs.RequestID(r.Context()))}
 	status := http.StatusOK
 	if resp.Degraded != nil {
 		w.Header().Set("Cache-Control", "no-store")
@@ -236,7 +269,7 @@ func (s *Server) handleFanHealth(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	} else if missing := s.cfg.Fanout.Health(r.Context()); len(missing) > 0 {
 		resp.Status = v1.StatusDegraded
-		resp.Degraded = degradedOf(missing)
+		resp.Degraded = degradedOf(missing, obs.RequestID(r.Context()))
 		if len(missing) >= s.cfg.Fanout.NumShards() {
 			status = http.StatusServiceUnavailable
 		}

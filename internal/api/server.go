@@ -27,6 +27,7 @@ import (
 
 	v1 "cwatrace/internal/api/v1"
 	"cwatrace/internal/ingest"
+	"cwatrace/internal/obs"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
 )
@@ -73,6 +74,13 @@ type Config struct {
 	Timeout time.Duration
 	// CacheEntries bounds the single-flight response cache (default 128).
 	CacheEntries int
+	// Metrics, when set, registers the API telemetry on the registry
+	// (see metrics.go for the catalogue). Nil runs uninstrumented.
+	Metrics *obs.Registry
+	// SlowQuery logs any request that takes at least this long (via the
+	// error logger, so it surfaces even without access logging). Zero
+	// disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 // Server is the mounted API surface. It is an http.Handler; extra
@@ -84,6 +92,7 @@ type Server struct {
 	mux      *http.ServeMux
 	handler  http.Handler
 	cache    *respCache
+	m        apiMetrics
 	draining atomic.Bool
 }
 
@@ -113,6 +122,8 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 		cache: newRespCache(cfg.CacheEntries),
 	}
+	s.m.register(cfg.Metrics)
+	s.cache.hits, s.cache.misses = s.m.cacheHits, s.m.cacheMisses
 
 	s.mux.Handle("/api/v1/snapshot", s.get(s.handleSnapshot))
 	s.mux.Handle("/api/v1/query", s.get(s.handleQuery))
@@ -135,8 +146,26 @@ func New(cfg Config) (*Server, error) {
 	// with no Content-Type, and content sniffing would label the error
 	// envelope text/plain. Every real handler sets its own type, which
 	// overrides this default on the normal path.
-	s.handler = s.accessLog(jsonDefault(http.TimeoutHandler(s.mux, cfg.Timeout, string(timeoutBody))))
+	// The request-id middleware sits outermost so the id is in the
+	// context (and on the response) for everything below it, the access
+	// log included.
+	s.handler = s.requestID(s.accessLog(jsonDefault(http.TimeoutHandler(s.mux, cfg.Timeout, string(timeoutBody)))))
 	return s, nil
+}
+
+// requestID adopts a valid client-supplied X-Request-Id (a router
+// fanning out on behalf of a traced request) or mints one at this edge,
+// threads it through the context, and echoes it on the response so
+// callers learn the id their request traveled under.
+func (s *Server) requestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.RequestIDHeader)
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	})
 }
 
 // jsonDefault pre-declares application/json so even the timeout
@@ -195,19 +224,35 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// accessLog wraps the stack with per-request logging. Body-write
-// failures (a client that went away mid-response) are logged even when
-// access logging is off — a dropped response must never be silent.
+// accessLog wraps the stack with per-request logging, the per-endpoint
+// metrics, and the slow-query log. The line format is part of the
+// operational contract (TestAccessLogFormat pins it):
+//
+//	METHOD REQUEST-URI STATUS BYTESB DURATIONus id=REQUEST-ID
+//
+// Body-write failures (a client that went away mid-response) are logged
+// even when access logging is off — a dropped response must never be
+// silent.
 func (s *Server) accessLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		s.m.inFlight.Add(1)
 		next.ServeHTTP(sw, r)
+		s.m.inFlight.Add(-1)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		dur := time.Since(start)
+		id := obs.RequestID(r.Context())
 		if s.cfg.Log != nil {
-			s.cfg.Log.Printf("%s %s %d %dB %s", r.Method, r.URL.RequestURI(), sw.status, sw.bytes, time.Since(start).Round(time.Microsecond))
+			s.cfg.Log.Printf("%s %s %d %dB %dus id=%s",
+				r.Method, r.URL.RequestURI(), sw.status, sw.bytes, dur.Microseconds(), id)
+		}
+		s.m.observe(r.URL.Path, sw.status, dur)
+		if s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery {
+			s.errorf("slow query: %s %s %d %dus id=%s",
+				r.Method, r.URL.RequestURI(), sw.status, dur.Microseconds(), id)
 		}
 		if sw.err != nil {
 			s.errorf("writing %s %s: %v", r.Method, r.URL.Path, sw.err)

@@ -111,6 +111,11 @@ type Degraded struct {
 	Nodes []string `json:"nodes,omitempty"`
 	// Detail carries the first per-shard error, for operators.
 	Detail string `json:"detail,omitempty"`
+	// RequestID echoes the X-Request-Id of the request that observed the
+	// degradation, so a partial response in a dashboard can be traced
+	// back through the router and shard access logs. Optional (added
+	// after v1 froze; see the versioning policy above).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // HealthResponse is the /api/v1/health body. Status is StatusOK on a

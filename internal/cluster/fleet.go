@@ -16,6 +16,7 @@ import (
 	"cwatrace/internal/api"
 	"cwatrace/internal/api/client"
 	v1 "cwatrace/internal/api/v1"
+	"cwatrace/internal/obs"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
 )
@@ -31,6 +32,10 @@ type Options struct {
 	// ClientOptions override the per-shard client settings (retries,
 	// backoff, transport); nil uses the client defaults.
 	ClientOptions *client.Options
+	// Metrics registers the fleet's instruments (per-shard fan-out
+	// latency, error counters, watermarks) on the registry; nil disables
+	// instrumentation.
+	Metrics *obs.Registry
 }
 
 // Fleet fans requests out over the shard nodes of one cluster. It is
@@ -42,6 +47,7 @@ type Fleet struct {
 	topK    int
 	timeout time.Duration
 	nonce   uint64
+	m       fleetMetrics
 }
 
 // New builds a Fleet over the shard nodes, in shard order: nodes[i]
@@ -80,6 +86,7 @@ func New(nodes []string, opts Options) (*Fleet, error) {
 		h.Write([]byte{'\n'})
 	}
 	f.nonce = h.Sum64()
+	f.m.register(opts.Metrics, len(f.clients))
 	return f, nil
 }
 
@@ -93,9 +100,13 @@ func (f *Fleet) Nonce() uint64 { return f.nonce }
 func (f *Fleet) Nodes() []string { return append([]string(nil), f.nodes...) }
 
 // eachShard runs fn against every shard concurrently, each under the
-// per-shard timeout, and reports the shards that failed (ascending).
-func (f *Fleet) eachShard(ctx context.Context, fn func(ctx context.Context, i int, c *client.Client) error) []api.ShardError {
+// per-shard timeout, and reports the shards that failed (ascending)
+// plus every shard's request duration (in shard order). Each duration
+// feeds the per-shard latency histogram; failures bump the per-shard
+// error counter.
+func (f *Fleet) eachShard(ctx context.Context, fn func(ctx context.Context, i int, c *client.Client) error) ([]api.ShardError, []api.ShardTiming) {
 	errs := make([]error, len(f.clients))
+	timings := make([]api.ShardTiming, len(f.clients))
 	var wg sync.WaitGroup
 	for i, c := range f.clients {
 		wg.Add(1)
@@ -103,7 +114,11 @@ func (f *Fleet) eachShard(ctx context.Context, fn func(ctx context.Context, i in
 			defer wg.Done()
 			cctx, cancel := context.WithTimeout(ctx, f.timeout)
 			defer cancel()
+			t0 := time.Now()
 			errs[i] = fn(cctx, i, c)
+			d := time.Since(t0)
+			timings[i] = api.ShardTiming{Shard: i, Node: f.nodes[i], D: d}
+			f.m.observeShard(i, d, errs[i] != nil)
 		}(i, c)
 	}
 	wg.Wait()
@@ -113,7 +128,8 @@ func (f *Fleet) eachShard(ctx context.Context, fn func(ctx context.Context, i in
 			missing = append(missing, api.ShardError{Shard: i, Node: f.nodes[i], Err: err.Error()})
 		}
 	}
-	return missing
+	f.m.observeFanout(len(missing) > 0)
+	return missing, timings
 }
 
 // part is one shard's contribution to a data fan-out.
@@ -132,7 +148,7 @@ var fullFields = &client.ReqOpts{Fields: v1.AllFields, Top: 0}
 // Snapshot implements api.Fanout.
 func (f *Fleet) Snapshot(ctx context.Context) (*api.FanResult, error) {
 	parts := make([]*part, len(f.clients))
-	missing := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
+	missing, timings := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
 		snap, etag, err := c.SnapshotTag(ctx, fullFields)
 		if err != nil {
 			return err
@@ -140,13 +156,13 @@ func (f *Fleet) Snapshot(ctx context.Context) (*api.FanResult, error) {
 		parts[i] = &part{snap: snap, etag: etag}
 		return nil
 	})
-	return f.merge(parts, missing, time.Time{}, time.Time{})
+	return f.merge(parts, missing, timings, time.Time{}, time.Time{})
 }
 
 // Query implements api.Fanout.
 func (f *Fleet) Query(ctx context.Context, from, to time.Time) (*api.FanResult, error) {
 	parts := make([]*part, len(f.clients))
-	missing := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
+	missing, timings := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
 		resp, etag, err := c.QueryTag(ctx, from, to, fullFields)
 		if err != nil {
 			return err
@@ -157,7 +173,7 @@ func (f *Fleet) Query(ctx context.Context, from, to time.Time) (*api.FanResult, 
 		parts[i] = &part{snap: resp.Snapshot, etag: etag, frames: resp.Frames, tailIncluded: resp.TailIncluded}
 		return nil
 	})
-	return f.merge(parts, missing, from, to)
+	return f.merge(parts, missing, timings, from, to)
 }
 
 // merge folds the gathered parts into one FanResult. The range bounds
@@ -165,8 +181,8 @@ func (f *Fleet) Query(ctx context.Context, from, to time.Time) (*api.FanResult, 
 // zero-gap hours as populated-empty bins; a fresh SnapshotRange drops
 // the ones outside every shard's actual range, exactly as the union
 // collector's own query path would).
-func (f *Fleet) merge(parts []*part, missing []api.ShardError, from, to time.Time) (*api.FanResult, error) {
-	res := &api.FanResult{Missing: missing}
+func (f *Fleet) merge(parts []*part, missing []api.ShardError, timings []api.ShardTiming, from, to time.Time) (*api.FanResult, error) {
+	res := &api.FanResult{Missing: missing, Timings: timings}
 	type nameEntry struct{ name, state string }
 	var (
 		m      *streaming.Analytics
@@ -241,7 +257,7 @@ func composeVersion(etags []string) uint64 {
 // LastCheckpoint is the newest across the fleet.
 func (f *Fleet) Stats(ctx context.Context) (*api.FanStats, error) {
 	resps := make([]*v1.StatsResponse, len(f.clients))
-	missing := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
+	missing, _ := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
 		resp, err := c.Stats(ctx)
 		if err != nil {
 			return err
@@ -253,9 +269,18 @@ func (f *Fleet) Stats(ctx context.Context) (*api.FanStats, error) {
 	allDurable := true
 	sawAny := false
 	var sum store.Metrics
-	for _, resp := range resps {
+	// The watermark is the one counter that must NOT be summed: the
+	// fleet's freshness is the minimum over its shards — the cluster has
+	// the data up to t only when every shard does.
+	shardWm := make([]int64, len(resps))
+	fleetWm := int64(0)
+	for i, resp := range resps {
 		if resp == nil {
 			continue
+		}
+		shardWm[i] = resp.Ingest.WatermarkUnixNano
+		if !sawAny || resp.Ingest.WatermarkUnixNano < fleetWm {
+			fleetWm = resp.Ingest.WatermarkUnixNano
 		}
 		sawAny = true
 		s := &out.Ingest
@@ -293,6 +318,8 @@ func (f *Fleet) Stats(ctx context.Context) (*api.FanStats, error) {
 			sum.LastCheckpoint = resp.Store.LastCheckpoint
 		}
 	}
+	out.Ingest.WatermarkUnixNano = fleetWm
+	f.m.setWatermarks(shardWm, fleetWm)
 	if sawAny && allDurable {
 		out.Store = &sum
 	}
@@ -302,7 +329,7 @@ func (f *Fleet) Stats(ctx context.Context) (*api.FanStats, error) {
 // Health implements api.Fanout: every shard that is unreachable or not
 // reporting StatusOK.
 func (f *Fleet) Health(ctx context.Context) []api.ShardError {
-	return f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
+	missing, _ := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
 		h, err := c.Health(ctx)
 		if err != nil {
 			return err
@@ -312,4 +339,5 @@ func (f *Fleet) Health(ctx context.Context) []api.ShardError {
 		}
 		return nil
 	})
+	return missing
 }

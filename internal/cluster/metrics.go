@@ -1,0 +1,85 @@
+// The router's metric catalogue: per-shard fan-out latency and error
+// counters (labeled by shard index — a closed vocabulary fixed at boot,
+// one series per node), fan-out totals, and the freshness watermarks
+// gathered from shard stats. The fleet watermark is the MINIMUM over
+// the shards, never a sum: the cluster is only as fresh as its stalest
+// shard, and an aggregate that averaged or summed would hide exactly
+// the lagging node an operator needs to find.
+package cluster
+
+import (
+	"strconv"
+	"time"
+
+	"cwatrace/internal/obs"
+)
+
+// fleetMetrics holds a Fleet's instruments. The zero value (nil slices,
+// nil instruments) is the disabled mode; every method is no-op safe.
+type fleetMetrics struct {
+	fanouts  *obs.Counter
+	degraded *obs.Counter
+
+	// Indexed by shard; nil when uninstrumented.
+	shardSeconds   []*obs.Histogram
+	shardErrors    []*obs.Counter
+	shardWatermark []*obs.Gauge
+
+	fleetWatermark *obs.Gauge
+}
+
+func (m *fleetMetrics) register(reg *obs.Registry, shards int) {
+	if reg == nil {
+		return
+	}
+	m.fanouts = reg.Counter("cluster_fanouts_total",
+		"Fan-out gathers started (snapshot, query, stats, or health).")
+	m.degraded = reg.Counter("cluster_degraded_fanouts_total",
+		"Fan-out gathers that came back with at least one shard missing.")
+	m.fleetWatermark = reg.Gauge("cluster_fleet_watermark_timestamp_seconds",
+		"Minimum shard ingest watermark (the fleet is as fresh as its stalest shard); 0 until a stats gather succeeds.")
+	m.shardSeconds = make([]*obs.Histogram, shards)
+	m.shardErrors = make([]*obs.Counter, shards)
+	m.shardWatermark = make([]*obs.Gauge, shards)
+	for i := 0; i < shards; i++ {
+		l := obs.L("shard", strconv.Itoa(i))
+		m.shardSeconds[i] = reg.Histogram("cluster_shard_request_seconds",
+			"Per-shard fan-out request latency (success or failure).", obs.DurationBuckets, l)
+		m.shardErrors[i] = reg.Counter("cluster_shard_errors_total",
+			"Per-shard fan-out failures (the shard went missing from a gather).", l)
+		m.shardWatermark[i] = reg.Gauge("cluster_shard_watermark_timestamp_seconds",
+			"Per-shard ingest watermark from the last stats gather; 0 until one succeeds.", l)
+	}
+}
+
+// observeShard records one shard's contribution to a gather.
+func (m *fleetMetrics) observeShard(i int, d time.Duration, failed bool) {
+	if m.shardSeconds == nil {
+		return
+	}
+	m.shardSeconds[i].Observe(d.Seconds())
+	if failed {
+		m.shardErrors[i].Inc()
+	}
+}
+
+// observeFanout records one finished gather.
+func (m *fleetMetrics) observeFanout(degraded bool) {
+	m.fanouts.Inc()
+	if degraded {
+		m.degraded.Inc()
+	}
+}
+
+// setWatermarks publishes the per-shard watermarks from a stats gather
+// (0 for shards that were missing or have seen no traffic) and the
+// fleet minimum over the shards that answered.
+func (m *fleetMetrics) setWatermarks(perShard []int64, fleetMin int64) {
+	if m.shardWatermark == nil {
+		return
+	}
+	for i, wm := range perShard {
+		m.shardWatermark[i].Set(float64(wm) / 1e9)
+	}
+	m.fleetWatermark.Set(float64(fleetMin) / 1e9)
+}

@@ -25,6 +25,7 @@ import (
 
 	"cwatrace/internal/netflow"
 	"cwatrace/internal/nfv9"
+	"cwatrace/internal/obs"
 	"cwatrace/internal/streaming"
 )
 
@@ -83,6 +84,11 @@ type Config struct {
 	// signature): effective socket buffer sizes, clamping warnings. Nil
 	// disables logging.
 	Logf func(format string, args ...any)
+	// Metrics, when set, registers the pipeline's telemetry on the
+	// registry (see metrics.go for the catalogue). Nil (obs.Disabled)
+	// runs uninstrumented: the hot paths then pay one nil check per
+	// event and nothing else — the contract BENCH_obs.json audits.
+	Metrics *obs.Registry
 
 	// workerDelay slows every worker batch; the backpressure tests use it
 	// to simulate an overloaded consumer.
@@ -143,6 +149,12 @@ type Stats struct {
 	SeqGaps      int    `json:"seq_gaps"`
 	SeqLost      uint64 `json:"seq_lost"`
 	SeqReordered int    `json:"seq_reordered"`
+	// WatermarkUnixNano is the freshness watermark: the newest record
+	// start timestamp (UnixNano) any worker has consumed, maxed over the
+	// shard lanes. Zero until the first batch lands. Wall clock minus
+	// the watermark is how far behind the wire the served analytics are;
+	// the cluster router takes the fleet-wide min of its shards' values.
+	WatermarkUnixNano int64 `json:"watermark_unix_nano,omitempty"`
 }
 
 // shardLane is one bounded channel plus the analytics shard draining it.
@@ -161,6 +173,12 @@ type shardLane struct {
 	droppedBatches atomic.Uint64
 	shardFiltered  atomic.Uint64
 	sinkErrors     atomic.Uint64
+	// watermark is the newest record start timestamp (UnixNano) this
+	// lane's worker has consumed — written by the single worker
+	// goroutine, read by Stats and the metrics render.
+	watermark atomic.Int64
+
+	tick uint64 // batch-timing sample counter; worker goroutine only
 }
 
 // sourceKey identifies one exporter source: the sending address plus the
@@ -190,7 +208,8 @@ type reader struct {
 	decodeErrors atomic.Uint64
 	socketErrors atomic.Uint64
 
-	rr int // round-robin dispatch cursor; reader goroutine only
+	rr   int    // round-robin dispatch cursor; reader goroutine only
+	tick uint64 // decode-timing sample counter; reader goroutine only
 }
 
 // Pipeline is the running collector: sockets → decoders → shard channels →
@@ -199,6 +218,7 @@ type Pipeline struct {
 	cfg     Config
 	readers []*reader
 	lanes   []*shardLane
+	m       pipelineMetrics
 
 	readerWG sync.WaitGroup
 	workerWG sync.WaitGroup
@@ -223,6 +243,7 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, errors.New("ingest: SinkOnly requires a Sink")
 	}
 	p := &Pipeline{cfg: cfg}
+	p.m.register(cfg.Metrics)
 
 	for i := 0; i < cfg.Workers; i++ {
 		lane := &shardLane{
@@ -240,6 +261,9 @@ func New(cfg Config) (*Pipeline, error) {
 		go p.flushLoop(fl)
 	}
 
+	// Sockets bind after the lanes so the registry-backed gauges (which
+	// walk p.lanes) are complete before the first datagram can arrive.
+	registerPipelineFuncs(cfg.Metrics, p)
 	for _, addr := range cfg.Listen {
 		pc, err := net.ListenPacket("udp", addr)
 		if err != nil {
@@ -316,6 +340,17 @@ func (p *Pipeline) readPortable(r *reader) {
 // SourceID) as RFC 3954 requires: one router exporting several domains
 // over one socket gets one template table and sequence audit per domain.
 func (p *Pipeline) handleDatagram(r *reader, from string, data []byte) {
+	// Sampled stage timing: every 64th datagram pays two clock reads and
+	// one observation into the shared histogram; the rest pay one
+	// increment and a nil check. The thin rate matters under parallel
+	// readers — the histogram's sum is a shared CAS cache line, and
+	// sampling it any denser shows up in the benjson -obs overhead gate.
+	timed := p.m.decodeSeconds != nil && r.tick&0x3f == 0
+	r.tick++
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	sourceID, ok := nfv9.PeekSourceID(data)
 	if !ok {
 		r.decodeErrors.Add(1)
@@ -349,6 +384,9 @@ func (p *Pipeline) handleDatagram(r *reader, from string, data []byte) {
 		return
 	}
 	r.packets.Add(1)
+	if timed {
+		p.m.decodeSeconds.ObserveSince(t0)
+	}
 	if len(slab.Recs) == 0 {
 		netflow.RecycleSlab(slab)
 		return
@@ -361,9 +399,16 @@ func (p *Pipeline) handleDatagram(r *reader, from string, data []byte) {
 	case lane.ch <- slab:
 	default:
 		// Backpressure: never block the socket. Drop the batch, count
-		// it, recycle the storage.
-		lane.droppedBatches.Add(1)
+		// it, recycle the storage. The loss-size histogram is sampled
+		// 1-in-64 off the drop counter itself: under sustained
+		// overload drops ARE the hot path, and an unsampled Observe
+		// here is a measurable throughput tax exactly when the
+		// collector can least afford one.
+		n := lane.droppedBatches.Add(1)
 		lane.droppedRecords.Add(uint64(len(slab.Recs)))
+		if p.m.droppedBatchRecords != nil && n&0x3f == 1 {
+			p.m.droppedBatchRecords.Observe(float64(len(slab.Recs)))
+		}
 		netflow.RecycleSlab(slab)
 	}
 }
@@ -375,6 +420,26 @@ func (p *Pipeline) work(lane *shardLane) {
 		batch := slab.Recs
 		if p.cfg.workerDelay > 0 {
 			time.Sleep(p.cfg.workerDelay)
+		}
+		timed := p.m.batchSeconds != nil && lane.tick&0x3f == 0
+		lane.tick++
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		// Freshness watermark: the newest record start time in the batch,
+		// taken before the shard filter — staleness is measured against
+		// what arrived off the wire, whoever owns it. One branch per
+		// record over memory the worker is about to walk anyway, and the
+		// lane has a single worker, so a plain load/store suffices.
+		var wm int64
+		for i := range batch {
+			if n := batch[i].First.UnixNano(); n > wm {
+				wm = n
+			}
+		}
+		if wm > lane.watermark.Load() {
+			lane.watermark.Store(wm)
 		}
 		received := len(batch)
 		if p.cfg.ShardFilter != nil {
@@ -406,6 +471,9 @@ func (p *Pipeline) work(lane *shardLane) {
 		// records included, so Drained's invariant survives sharding.
 		lane.processed.Add(uint64(received))
 		netflow.RecycleSlab(slab)
+		if timed {
+			p.m.batchSeconds.ObserveSince(t0)
+		}
 	}
 }
 
@@ -429,6 +497,16 @@ func (p *Pipeline) flushLoop(fl Flusher) {
 			return
 		}
 	}
+}
+
+// RegisterMetrics registers the pipeline's telemetry on reg after
+// construction — the route for a pipeline whose state is frozen (the
+// drained demo pipeline collectord -demo -serve keeps exposing). A live
+// pipeline must use Config.Metrics instead: this path installs the
+// stage-timing histograms without synchronizing with running workers.
+func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
+	p.m.register(reg)
+	registerPipelineFuncs(reg, p)
 }
 
 // Snapshot merges every shard into one analytics snapshot, holding one
@@ -469,6 +547,9 @@ func (p *Pipeline) Stats() Stats {
 		s.DroppedBatches += lane.droppedBatches.Load()
 		s.ShardFiltered += lane.shardFiltered.Load()
 		s.SinkErrors += lane.sinkErrors.Load()
+		if wm := lane.watermark.Load(); wm > s.WatermarkUnixNano {
+			s.WatermarkUnixNano = wm
+		}
 	}
 	s.SinkErrors += p.flushErrors.Load()
 	return s

@@ -1,0 +1,384 @@
+// The exposition linter: a strict parser for the Prometheus text format
+// that both daemons' /metrics tests run against their live endpoints.
+// It is deliberately harsher than a real scraper — duplicate series,
+// counters without the _total suffix, HELP/TYPE mismatches, histogram
+// buckets that are missing +Inf or not cumulative, and stray whitespace
+// are all hard errors — so the exposition contract is enforced by test,
+// not convention.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels string // rendered label set as it appeared, "" for none
+	Value  float64
+}
+
+// Exposition is a lint-validated /metrics page.
+type Exposition struct {
+	Types   map[string]string // family name -> counter|gauge|histogram
+	Help    map[string]string
+	Samples []Sample
+}
+
+// Value returns the value of the sample with the given full name and
+// rendered label set, and whether it exists.
+func (e *Exposition) Value(name, labels string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name == name && s.Labels == labels {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Lint parses text as Prometheus exposition format and returns every
+// violation of the contract. A clean page yields an empty slice; the
+// parsed exposition is returned even when there are errors, for
+// spot-checking values.
+func Lint(text string) (*Exposition, []error) {
+	exp := &Exposition{Types: make(map[string]string), Help: make(map[string]string)}
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	type seriesKey struct{ name, labels string }
+	seen := make(map[seriesKey]struct{})
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "" {
+		fail("exposition must end with a newline")
+	} else {
+		lines = lines[:len(lines)-1]
+	}
+	for i, line := range lines {
+		lno := i + 1
+		if line == "" {
+			fail("line %d: blank line", lno)
+			continue
+		}
+		if strings.TrimRight(line, " \t") != line {
+			fail("line %d: trailing whitespace", lno)
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				fail("line %d: HELP without text: %q", lno, line)
+				continue
+			}
+			if !nameRe.MatchString(name) {
+				fail("line %d: invalid metric name %q", lno, name)
+			}
+			if _, dup := exp.Help[name]; dup {
+				fail("line %d: duplicate HELP for %s", lno, name)
+			}
+			exp.Help[name] = help
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				fail("line %d: malformed TYPE line: %q", lno, line)
+				continue
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				fail("line %d: unsupported metric type %q", lno, typ)
+			}
+			if _, dup := exp.Types[name]; dup {
+				fail("line %d: duplicate TYPE for %s", lno, name)
+			}
+			if _, ok := exp.Help[name]; !ok {
+				fail("line %d: TYPE %s without preceding HELP", lno, name)
+			}
+			exp.Types[name] = typ
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				fail("line %d: counter %s lacks the _total suffix", lno, name)
+			}
+			if typ != "counter" {
+				for _, suffix := range []string{"_total", "_bucket", "_sum", "_count"} {
+					if strings.HasSuffix(name, suffix) {
+						fail("line %d: %s %s ends in the reserved suffix %s", lno, typ, name, suffix)
+					}
+				}
+			}
+		case strings.HasPrefix(line, "#"):
+			fail("line %d: unexpected comment %q", lno, line)
+		default:
+			sample, err := parseSample(line)
+			if err != nil {
+				fail("line %d: %v", lno, err)
+				continue
+			}
+			fam, suffix := familyOf(sample.Name, exp.Types)
+			typ, ok := exp.Types[fam]
+			if !ok {
+				fail("line %d: sample %s has no TYPE declaration", lno, sample.Name)
+			} else if typ == "histogram" {
+				if suffix == "" {
+					fail("line %d: histogram %s sample lacks _bucket/_sum/_count suffix", lno, fam)
+				}
+			} else if suffix != "" {
+				fail("line %d: %s %s has reserved histogram suffix %s", lno, typ, fam, suffix)
+			}
+			key := seriesKey{sample.Name, sample.Labels}
+			if _, dup := seen[key]; dup {
+				fail("line %d: duplicate sample %s%s", lno, sample.Name, sample.Labels)
+			}
+			seen[key] = struct{}{}
+			exp.Samples = append(exp.Samples, sample)
+		}
+	}
+	// Families declared but never sampled, and histogram invariants.
+	sampled := make(map[string]bool)
+	for _, s := range exp.Samples {
+		fam, _ := familyOf(s.Name, exp.Types)
+		sampled[fam] = true
+	}
+	var fams []string
+	for name := range exp.Types {
+		fams = append(fams, name)
+	}
+	sort.Strings(fams)
+	for _, name := range fams {
+		if !sampled[name] {
+			fail("family %s declared but has no samples", name)
+		}
+		if exp.Types[name] == "histogram" {
+			lintHistogram(name, exp, fail)
+		}
+	}
+	return exp, errs
+}
+
+// familyOf maps a sample name to its declared family, peeling histogram
+// suffixes only when the base name is a declared histogram. Returns the
+// family name and the suffix consumed ("" for scalar samples).
+func familyOf(sample string, types map[string]string) (string, string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok && types[base] == "histogram" {
+			return base, suffix
+		}
+	}
+	return sample, ""
+}
+
+// parseSample splits "name{labels} value" into its parts, validating
+// the name, every label pair, and the value.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	if !nameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		s.Labels = rest[:end+1]
+		if err := lintLabels(s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	if len(rest) < 2 || rest[0] != ' ' {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	valStr := rest[1:]
+	if strings.ContainsRune(valStr, ' ') {
+		return s, fmt.Errorf("extra fields after value in %q", line)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		if valStr == "+Inf" || valStr == "-Inf" || valStr == "NaN" {
+			return s, fmt.Errorf("non-finite sample value %q", valStr)
+		}
+		return s, fmt.Errorf("bad sample value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// lintLabels validates a rendered {k="v",...} label set.
+func lintLabels(ls string) error {
+	body := ls[1 : len(ls)-1]
+	if body == "" {
+		return fmt.Errorf("empty label set {}")
+	}
+	seen := make(map[string]bool)
+	for body != "" {
+		eq := strings.Index(body, "=\"")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %s", ls)
+		}
+		key := body[:eq]
+		if !labelRe.MatchString(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		if seen[key] {
+			return fmt.Errorf("duplicate label %q in %s", key, ls)
+		}
+		seen[key] = true
+		rest := body[eq+2:]
+		// Scan to the closing quote, honoring backslash escapes.
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %s", ls)
+		}
+		body = rest[end+1:]
+		if body != "" {
+			if body[0] != ',' {
+				return fmt.Errorf("missing comma between labels in %s", ls)
+			}
+			body = body[1:]
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks one histogram family: every series must have a
+// +Inf bucket, cumulative (non-decreasing) bucket counts, and a _count
+// equal to its +Inf bucket.
+func lintHistogram(name string, exp *Exposition, fail func(string, ...any)) {
+	type hseries struct {
+		bounds  []float64
+		counts  []float64
+		infSeen bool
+		inf     float64
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+	}
+	byLabels := make(map[string]*hseries)
+	get := func(labels string) *hseries {
+		h := byLabels[labels]
+		if h == nil {
+			h = &hseries{}
+			byLabels[labels] = h
+		}
+		return h
+	}
+	for _, s := range exp.Samples {
+		switch s.Name {
+		case name + "_bucket":
+			le, base, err := splitLE(s.Labels)
+			if err != nil {
+				fail("histogram %s: %v", name, err)
+				continue
+			}
+			h := get(base)
+			if le == "+Inf" {
+				h.infSeen = true
+				h.inf = s.Value
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					fail("histogram %s: bad le=%q", name, le)
+					continue
+				}
+				h.bounds = append(h.bounds, bound)
+				h.counts = append(h.counts, s.Value)
+			}
+		case name + "_sum":
+			get(s.Labels).hasSum = true
+		case name + "_count":
+			h := get(s.Labels)
+			h.hasCnt = true
+			h.count = s.Value
+		}
+	}
+	for labels, h := range byLabels {
+		tag := name
+		if labels != "" {
+			tag += labels
+		}
+		if !h.infSeen {
+			fail("histogram %s missing le=\"+Inf\" bucket", tag)
+			continue
+		}
+		if !h.hasSum || !h.hasCnt {
+			fail("histogram %s missing _sum or _count", tag)
+			continue
+		}
+		prev := 0.0
+		for i, c := range h.counts {
+			if c < prev {
+				fail("histogram %s buckets not cumulative at le=%g", tag, h.bounds[i])
+			}
+			prev = c
+		}
+		if h.inf < prev {
+			fail("histogram %s +Inf bucket below preceding bucket", tag)
+		}
+		if h.count != h.inf {
+			fail("histogram %s _count %g != +Inf bucket %g", tag, h.count, h.inf)
+		}
+	}
+}
+
+// splitLE removes the le label from a bucket label set, returning the
+// le value and the remaining (base) label set.
+func splitLE(labels string) (le, base string, err error) {
+	if labels == "" {
+		return "", "", fmt.Errorf("bucket sample without le label")
+	}
+	body := labels[1 : len(labels)-1]
+	var kept []string
+	for _, pair := range splitPairs(body) {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("bucket sample %s without le label", labels)
+	}
+	if len(kept) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}
+
+// splitPairs splits a label body on commas outside quoted values.
+func splitPairs(body string) []string {
+	var pairs []string
+	start, depth := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				pairs = append(pairs, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(pairs, body[start:])
+}

@@ -1,0 +1,61 @@
+// Request tracing: the X-Request-Id that the edge (whichever daemon
+// first sees the request) generates, the client forwards through the
+// fleet fan-out, and every access log echoes. IDs ride the context so
+// the api, client and cluster layers need no new plumbing parameters.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// RequestIDHeader is the HTTP header carrying the request id across
+// the router -> shard hop.
+const RequestIDHeader = "X-Request-Id"
+
+// ctxKey is the private context key type for request ids.
+type ctxKey struct{}
+
+// NewRequestID returns a fresh 16-hex-character request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the platforms we run on; a zero id
+		// is still a valid (if unlucky) trace token.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied id is safe to echo
+// into logs and headers: 1-64 characters of [0-9A-Za-z_.-]. Anything
+// else is discarded and replaced at the edge, so log lines stay
+// single-line and grep-safe.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '_', c == '.', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WithRequestID returns a context carrying the request id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request id carried by ctx, or "" when the
+// request was never traced (internal callers, tests).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

@@ -1,0 +1,108 @@
+// The store metric catalogue: the scalar names predate the registry
+// (cmd/collectord rendered them from Metrics() by hand) and are frozen
+// by the daemons' exposition tests; the duration histograms cover the
+// four I/O stages an operator tunes against — append (WAL write-through
+// under the hot mutex), fsync (the policy-driven durability cost),
+// checkpoint (tail fold + frame write) and compaction (frame-pair
+// folds). Everything scalar reads the store's existing counters under
+// mu at render time, so the append path carries only the histogram
+// clocks.
+package store
+
+import (
+	"time"
+
+	"cwatrace/internal/obs"
+)
+
+// storeObsMetrics holds the store's hot-path instruments. The zero
+// value (all nil) is the disabled mode.
+type storeObsMetrics struct {
+	appendSeconds     *obs.Histogram
+	fsyncSeconds      *obs.Histogram
+	checkpointSeconds *obs.Histogram
+	compactionSeconds *obs.Histogram
+}
+
+func (m *storeObsMetrics) register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.appendSeconds = reg.Histogram("store_append_seconds",
+		"WAL append latency: framing, segment write, tail fold (per batch).",
+		obs.DurationBuckets)
+	m.fsyncSeconds = reg.Histogram("store_fsync_seconds",
+		"Active-segment fsync latency (SyncAlways appends and periodic flushes).",
+		obs.DurationBuckets)
+	m.checkpointSeconds = reg.Histogram("store_checkpoint_seconds",
+		"Checkpoint latency: seal, tail marshal, frame write, WAL fold.",
+		obs.DurationBuckets)
+	m.compactionSeconds = reg.Histogram("store_compaction_seconds",
+		"Frame-pair compaction latency (per fold).",
+		obs.DurationBuckets)
+}
+
+// registerStoreFuncs wires the render-time samples onto the registry.
+// Each sample takes the store mutex exactly like Metrics() — render
+// cadence, never the append path.
+func registerStoreFuncs(reg *obs.Registry, s *Store) {
+	if reg == nil {
+		return
+	}
+	gauge := func(name, help string, pick func() float64) {
+		reg.GaugeFunc(name, help, pick)
+	}
+	counter := func(name, help string, pick func() float64) {
+		reg.CounterFunc(name, help, pick)
+	}
+	locked := func(pick func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return pick()
+		}
+	}
+	gauge("store_segments", "Live WAL segment files (sealed plus active).",
+		locked(func() float64 {
+			n := len(s.sealed)
+			if s.active != nil {
+				n++
+			}
+			return float64(n)
+		}))
+	gauge("store_wal_bytes", "Total WAL bytes on disk.",
+		locked(func() float64 { return float64(s.walBytes) }))
+	gauge("store_frames", "Checkpoint frames on disk.",
+		locked(func() float64 { return float64(len(s.frames)) }))
+	gauge("store_tail_records", "Records appended since the last checkpoint (crash replay cost).",
+		locked(func() float64 { return float64(s.tailRecords) }))
+	gauge("store_last_checkpoint_age_seconds", "Seconds since the newest checkpoint frame.",
+		locked(func() float64 { return time.Since(s.lastCheckpoint).Seconds() }))
+	gauge("store_watermark_timestamp_seconds",
+		"Newest record start timestamp folded into the store (unix seconds; 0 before traffic).",
+		locked(func() float64 {
+			wm := s.base.Watermark()
+			if s.foldingTail != nil {
+				if w := s.foldingTail.Watermark(); w.After(wm) {
+					wm = w
+				}
+			}
+			if w := s.tail.Watermark(); w.After(wm) {
+				wm = w
+			}
+			if wm.IsZero() {
+				return 0
+			}
+			return float64(wm.UnixNano()) / 1e9
+		}))
+	counter("store_appended_records_total", "Records appended this process.",
+		locked(func() float64 { return float64(s.appendedRecords) }))
+	counter("store_checkpoints_total", "Checkpoints folded this process.",
+		locked(func() float64 { return float64(s.checkpoints) }))
+	counter("store_compacted_frames_total", "Frame pairs compacted this process.",
+		locked(func() float64 { return float64(s.compacted) }))
+	counter("store_recovered_wal_records_total", "WAL records replayed at open.",
+		locked(func() float64 { return float64(s.recoveredWAL) }))
+	counter("store_recovered_frames_total", "Checkpoint frames loaded at open.",
+		locked(func() float64 { return float64(s.recoveredFrames) }))
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"cwatrace/internal/netflow"
+	"cwatrace/internal/obs"
 	"cwatrace/internal/streaming"
 )
 
@@ -99,6 +100,9 @@ type Options struct {
 	// ReadOnly opens the store for historical queries only: no WAL
 	// truncation, no new segment, Append/Checkpoint fail.
 	ReadOnly bool
+	// Metrics, when set, registers the store's telemetry on the registry
+	// (see metrics.go for the catalogue). Nil runs uninstrumented.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -230,6 +234,8 @@ type Store struct {
 	ckptGen uint64
 	tailGen uint64
 
+	om storeObsMetrics
+
 	closed bool
 }
 
@@ -336,6 +342,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	s.lock = lock
+	s.om.register(opts.Metrics)
+	registerStoreFuncs(opts.Metrics, s)
 	opened = true
 	return s, nil
 }
@@ -647,6 +655,14 @@ func (s *Store) Append(batch []netflow.Record) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	// Unsampled timing: an append is already a framed write syscall, so
+	// two clock reads vanish in the noise (unlike the ingest decode path,
+	// which samples).
+	var t0 time.Time
+	if s.om.appendSeconds != nil {
+		t0 = time.Now()
+		defer func() { s.om.appendSeconds.ObserveSince(t0) }()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -670,7 +686,7 @@ func (s *Store) Append(batch []netflow.Record) error {
 		return walErr
 	}
 	if s.opts.Sync == SyncAlways {
-		if err := s.active.Sync(); err != nil {
+		if err := s.syncActiveLocked(); err != nil {
 			return fmt.Errorf("store: WAL sync: %w", err)
 		}
 	}
@@ -678,6 +694,20 @@ func (s *Store) Append(batch []netflow.Record) error {
 		return s.rotateLocked()
 	}
 	return nil
+}
+
+// syncActiveLocked fsyncs the active segment, timing the policy-driven
+// durability cost.
+func (s *Store) syncActiveLocked() error {
+	var t0 time.Time
+	if s.om.fsyncSeconds != nil {
+		t0 = time.Now()
+	}
+	err := s.active.Sync()
+	if s.om.fsyncSeconds != nil {
+		s.om.fsyncSeconds.ObserveSince(t0)
+	}
+	return err
 }
 
 // writeWALLocked appends one framed batch record to the active segment,
@@ -759,6 +789,12 @@ func (s *Store) rotateLocked() error {
 func (s *Store) Checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	// Times the real fold only: the empty-tail clock refresh returns
+	// before the observation and never skews the distribution.
+	var t0 time.Time
+	if s.om.checkpointSeconds != nil {
+		t0 = time.Now()
+	}
 
 	// Phase 1, under mu: seal the WAL position, swap the tail out.
 	s.mu.Lock()
@@ -857,6 +893,9 @@ func (s *Store) Checkpoint() error {
 	for _, seg := range folded {
 		_ = os.Remove(seg.path)
 	}
+	if s.om.checkpointSeconds != nil {
+		s.om.checkpointSeconds.ObserveSince(t0)
+	}
 	return s.compact()
 }
 
@@ -878,6 +917,9 @@ func (s *Store) compact() error {
 		seq := s.nextFrameSeq
 		s.nextFrameSeq++
 		s.mu.Unlock()
+		// Compaction is rare, heavy I/O; the unconditional clock read is
+		// noise even uninstrumented.
+		foldStart := time.Now()
 
 		_, a0, err := loadFrameFile(f0.path, s.cfg)
 		if err != nil {
@@ -925,6 +967,7 @@ func (s *Store) compact() error {
 		s.mu.Unlock()
 		_ = os.Remove(f0.path)
 		_ = os.Remove(f1.path)
+		s.om.compactionSeconds.ObserveSince(foldStart)
 	}
 }
 
@@ -950,7 +993,7 @@ func (s *Store) Flush() error {
 	if s.closed || s.opts.ReadOnly || s.active == nil {
 		return nil
 	}
-	return s.active.Sync()
+	return s.syncActiveLocked()
 }
 
 // Snapshot merges the checkpointed base state with the live tail into

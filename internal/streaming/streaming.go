@@ -163,6 +163,13 @@ type Analytics struct {
 	dropped [nReasons]uint64
 	late    uint64
 
+	// newestNano is the freshness watermark: the newest First timestamp
+	// (UnixNano) of any record binned into this shard. In-memory only —
+	// it is intentionally NOT serialized (frame byte-compatibility) and
+	// a restored shard starts cold, exactly like its bins' recency must
+	// be re-proven by live traffic.
+	newestNano int64
+
 	// Interned prefix counters. prefixIdx is the canonical index over every
 	// prefix this shard has seen; prefix4Idx is the hot-path shortcut for
 	// IPv4 prefixes at exactly cfg.PrefixBits (every kept record's prefix —
@@ -308,6 +315,9 @@ func (a *Analytics) ingest(r *netflow.Record) {
 	}
 	a.binFlows[slot]++
 	a.binBytes[slot] += float64(r.Bytes)
+	if n := r.First.UnixNano(); n > a.newestNano {
+		a.newestNano = n
+	}
 
 	// Top-K active client prefixes. Kept records are CDN-to-user, so the
 	// client is the destination — and always IPv4 (the filter drops the
@@ -472,6 +482,18 @@ func (a *Analytics) Merge(other *Analytics) {
 		}
 	}
 	a.located += other.located
+	if other.newestNano > a.newestNano {
+		a.newestNano = other.newestNano
+	}
+}
+
+// Watermark returns the newest record start timestamp binned into this
+// shard (the freshness watermark), or the zero time before any.
+func (a *Analytics) Watermark() time.Time {
+	if a.newestNano == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, a.newestNano)
 }
 
 // sortedBins returns the populated window bins, oldest hour first — the
