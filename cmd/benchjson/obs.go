@@ -3,10 +3,13 @@ package main
 // The -obs mode: proof that the telemetry layer is effectively free.
 // BenchmarkIngestPipeline runs each ingest mode twice — once with
 // obs.Disabled (a nil registry, every instrument a no-op) and once with
-// a live registry (sampled stage histograms, per-lane gauges, watermark
-// tracking) — and this mode pairs them up and reports the throughput
-// delta as overhead_pct. The gate (default 3%) fails the run when the
-// instrumented pipeline falls more than that behind the baseline.
+// the full observability stack: a live registry (sampled stage
+// histograms, per-lane gauges, watermark tracking) plus the flight
+// recorder's span tracer and event ring — and this mode pairs them up
+// and reports the throughput delta as overhead_pct. The gate (default
+// 3%) fails the run when the instrumented pipeline falls more than
+// that behind the baseline, so the <3% contract covers span tracing
+// too.
 
 import (
 	"bytes"

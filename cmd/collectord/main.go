@@ -35,9 +35,13 @@
 //	                             seconds; both bounds optional); requires
 //	                             -data-dir; same fields/top/pretty params
 //	GET /metrics                 Prometheus text format
+//	GET /debug/traces[?id=ID]    flight recorder: tail-sampled span traces
+//	GET /debug/events            flight recorder: one-shot event ring
 //
 // The pre-v1 endpoints (/healthz, /snapshot, /query) remain as
-// deprecated aliases over the same handlers.
+// deprecated aliases over the same handlers. The /debug endpoints
+// share the -http listener with /metrics; bind it to loopback or an
+// internal interface, never publicly.
 //
 // On SIGINT/SIGTERM the daemon flips the health endpoints to 503
 // draining, stops the sockets, drains every queued batch, checkpoints
@@ -50,6 +54,8 @@
 //	           [-shard i/N] [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval D] [-checkpoint-interval D]
 //	           [-segment-bytes N] [-http-log] [-pprof] [-slow-query D]
+//	           [-trace-ring N] [-trace-slow D] [-trace-sample N]
+//	           [-event-ring N]
 //
 //	collectord -demo [-quick] [-serve]
 //
@@ -107,6 +113,11 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the HTTP server")
 		slowQuery   = flag.Duration("slow-query", 0, "log any request at least this slow (0 disables)")
 
+		traceRing   = flag.Int("trace-ring", 256, "flight-recorder trace ring capacity (0 disables span tracing)")
+		traceSlow   = flag.Duration("trace-slow", 500*time.Millisecond, "tail-sampling slow threshold: keep any trace at least this slow (negative disables the slow rule)")
+		traceSample = flag.Int("trace-sample", 64, "keep 1-in-N healthy traces as baseline (0 disables)")
+		eventRing   = flag.Int("event-ring", 512, "flight-recorder event ring capacity (0 disables events)")
+
 		dataDir      = flag.String("data-dir", "", "durable store directory (enables WAL, checkpoints and /query)")
 		fsyncPolicy  = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
 		fsyncEvery   = flag.Duration("fsync-interval", time.Second, "fsync cadence under -fsync=interval")
@@ -114,6 +125,13 @@ func main() {
 		segmentBytes = flag.Int64("segment-bytes", 4<<20, "WAL segment rotation size in bytes")
 	)
 	flag.Parse()
+
+	// One observability stack for whichever mode runs below: the
+	// registry, the flight recorder's trace/event rings, the SIGQUIT
+	// crash dump and the panic dump on the main goroutine.
+	o := newObsStack(*traceRing, *traceSlow, *traceSample, *eventRing)
+	obs.InstallCrashDump(o.events, os.Stderr)
+	defer obs.DumpOnPanic(o.events, os.Stderr)
 
 	acfg := streaming.Config{WindowHours: *windowHours, TopK: *topK}
 	if *geoPath != "" {
@@ -141,9 +159,8 @@ func main() {
 			// shutdown. Serve it until SIGTERM, then shut down gracefully:
 			// health flips to 503 draining while in-flight responses
 			// finish.
-			reg := obs.NewRegistry()
-			p.RegisterMetrics(reg) // safe: the demo pipeline is drained
-			srv := newAPIServer(p, nil, reg, *httpLog, *slowQuery, *pprofOn)
+			p.RegisterMetrics(o.reg) // safe: the demo pipeline is drained
+			srv := newAPIServer(p, nil, o, *httpLog, *slowQuery, *pprofOn)
 			ln, err := net.Listen("tcp", *httpAddr)
 			if err != nil {
 				fatal("http: %v", err)
@@ -172,16 +189,16 @@ func main() {
 
 	// One registry spans every layer, so /metrics is a single page:
 	// ingest stage timings and counters, store durability gauges, API
-	// latency histograms.
-	reg := obs.NewRegistry()
-
+	// latency histograms, runtime health, flight-recorder accounting.
 	icfg := ingest.Config{
 		Listen:      strings.Split(*listen, ","),
 		Workers:     *workers,
 		ShardBuffer: *shardBuffer,
 		Analytics:   acfg,
 		Logf:        log.Printf,
-		Metrics:     reg,
+		Metrics:     o.reg,
+		Tracer:      o.tracer,
+		Events:      o.events,
 	}
 	if *shard != "" {
 		asn, err := cluster.ParseAssignment(*shard)
@@ -204,7 +221,9 @@ func main() {
 			Analytics:    acfg,
 			SegmentBytes: *segmentBytes,
 			Sync:         pol,
-			Metrics:      reg,
+			Metrics:      o.reg,
+			Tracer:       o.tracer,
+			Events:       o.events,
 		})
 		if err != nil {
 			fatal("%v", err)
@@ -237,7 +256,7 @@ func main() {
 
 	var srv *api.Server
 	if *httpAddr != "" {
-		srv = newAPIServer(p, st, reg, *httpLog, *slowQuery, *pprofOn)
+		srv = newAPIServer(p, st, o, *httpLog, *slowQuery, *pprofOn)
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatal("http: %v", err)
@@ -288,14 +307,43 @@ func main() {
 	printSummary(p.Stats(), snapshot())
 }
 
+// obsStack bundles the daemon's observability plumbing: the metrics
+// registry plus the flight recorder's trace and event rings (nil when
+// disabled by their ring-size flags; every consumer is nil-safe).
+type obsStack struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	events *obs.EventRing
+}
+
+// newObsStack builds the registry, the tracer and the event ring from
+// the flight-recorder flags, and registers the runtime-health gauges
+// and the recorder's own accounting on the registry.
+func newObsStack(traceRing int, traceSlow time.Duration, traceSample, eventRing int) obsStack {
+	o := obsStack{reg: obs.NewRegistry()}
+	obs.RegisterRuntimeMetrics(o.reg)
+	if traceRing > 0 {
+		o.tracer = obs.NewTracer(obs.TracerConfig{
+			RingSize: traceRing,
+			Policy:   obs.Policy{Slow: traceSlow, KeepOneIn: traceSample},
+		})
+		o.tracer.RegisterMetrics(o.reg)
+	}
+	if eventRing > 0 {
+		o.events = obs.NewEventRing(eventRing)
+		o.events.RegisterMetrics(o.reg)
+	}
+	return o
+}
+
 // newAPIServer builds the versioned analytics API over the pipeline
 // and (when durable) the store, and mounts the registry-backed
-// Prometheus /metrics endpoint (plus, opted in, /debug/pprof) behind
-// the same middleware. st is nil without -data-dir; /api/v1/snapshot
-// then serves the pipeline's in-memory state and /api/v1/query explains
-// what is missing.
-func newAPIServer(p *ingest.Pipeline, st *store.Store, reg *obs.Registry, accessLog bool, slowQuery time.Duration, pprofOn bool) *api.Server {
-	cfg := api.Config{Live: p, Metrics: reg, SlowQuery: slowQuery}
+// Prometheus /metrics endpoint and the flight-recorder debug endpoints
+// (plus, opted in, /debug/pprof) behind the same middleware. st is nil
+// without -data-dir; /api/v1/snapshot then serves the pipeline's
+// in-memory state and /api/v1/query explains what is missing.
+func newAPIServer(p *ingest.Pipeline, st *store.Store, o obsStack, accessLog bool, slowQuery time.Duration, pprofOn bool) *api.Server {
+	cfg := api.Config{Live: p, Metrics: o.reg, SlowQuery: slowQuery, Tracer: o.tracer}
 	if st != nil {
 		cfg.History = st
 	}
@@ -306,7 +354,11 @@ func newAPIServer(p *ingest.Pipeline, st *store.Store, reg *obs.Registry, access
 	if err != nil {
 		fatal("%v", err)
 	}
-	srv.Handle("/metrics", reg.Handler())
+	srv.Handle("/metrics", o.reg.Handler())
+	// The debug endpoints share the metrics listener: bind -http to
+	// loopback or an internal interface, never publicly.
+	srv.Handle("/debug/traces", o.tracer.Handler())
+	srv.Handle("/debug/events", o.events.Handler())
 	if pprofOn {
 		mountPprof(srv)
 	}

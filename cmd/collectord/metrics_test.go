@@ -52,7 +52,8 @@ func scrape(t *testing.T, ts *httptest.Server) *obs.Exposition {
 // and the API server exactly as main() wires it.
 func daemonServer(t *testing.T, durable bool) (*httptest.Server, *store.Store) {
 	t.Helper()
-	reg := obs.NewRegistry()
+	o := newObsStack(256, 500*time.Millisecond, 64, 512)
+	reg := o.reg
 	acfg := streaming.Config{WindowHours: 48, TopK: 5}
 	icfg := ingest.Config{
 		Listen:    []string{"127.0.0.1:0"},
@@ -76,7 +77,7 @@ func daemonServer(t *testing.T, durable bool) (*httptest.Server, *store.Store) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { p.Close() })
-	srv := newAPIServer(p, st, reg, false, 0, false)
+	srv := newAPIServer(p, st, o, false, 0, false)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts, st

@@ -141,6 +141,53 @@ func startShard(t *testing.T, bin string, args ...string) (*proc, string, string
 	return p, udp, httpAddr
 }
 
+// smokeTrace is the slice of the /debug/traces?id= JSON the drill
+// asserts on.
+type smokeTrace struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name"`
+	Degraded bool     `json:"degraded"`
+	Keep     []string `json:"keep"`
+	Spans    []struct {
+		ID     string `json:"id"`
+		Parent string `json:"parent"`
+		Name   string `json:"name"`
+		Node   string `json:"node"`
+	} `json:"spans"`
+}
+
+func fetchSmokeTrace(t *testing.T, url string) (smokeTrace, error) {
+	t.Helper()
+	var tr smokeTrace
+	status, _, body, err := routerGet(t, url, nil)
+	if err != nil {
+		return tr, err
+	}
+	if status != http.StatusOK {
+		return tr, fmt.Errorf("status %d: %.200s", status, body)
+	}
+	return tr, json.Unmarshal(body, &tr)
+}
+
+// smokeTreeComplete reports whether a merged trace holds the full
+// cross-process shape: one root, n fanout children, n node-tagged
+// shard spans.
+func smokeTreeComplete(tr smokeTrace, n int) bool {
+	roots, fanouts, shardSpans := 0, 0, 0
+	for _, sp := range tr.Spans {
+		switch {
+		case sp.Parent == "":
+			roots++
+		case sp.Name == "fanout.shard":
+			fanouts++
+		}
+		if sp.Node != "" && sp.Name == "v1_snapshot" {
+			shardSpans++
+		}
+	}
+	return roots == 1 && fanouts == n && shardSpans == n
+}
+
 // routerGet fetches one router URL, tolerating transient connection
 // errors (the router may still be binding).
 func routerGet(t *testing.T, url string, hdr map[string]string) (int, http.Header, []byte, error) {
@@ -214,6 +261,8 @@ func TestClusterSmoke(t *testing.T) {
 			"-checkpoint-interval", "0",
 			"-workers", "2",
 			"-http-log",
+			// keep every trace: the drill asserts on /debug/traces
+			"-trace-slow", "1ns",
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -238,6 +287,7 @@ func TestClusterSmoke(t *testing.T) {
 		"-timeout", "5s",
 		"-retries=-1",
 		"-http-log",
+		"-trace-slow", "1ns",
 	)
 	routerURL := strings.TrimSuffix(router.awaitLine("queryrouterd: v1 API on http://", 20*time.Second), "/api/v1/snapshot")
 	if routerURL == "" {
@@ -309,6 +359,65 @@ func TestClusterSmoke(t *testing.T) {
 		}
 	}
 
+	// Flight recorder, healthy half: the router's /debug/traces?id= must
+	// return the MERGED cross-process tree for the traced request — the
+	// router's root span, one fanout child per shard, and each shard's
+	// own spans grafted in (node-tagged) because the fan-out client
+	// forwarded X-Trace-Parent next to X-Request-Id. Poll: the root span
+	// ends after the response bytes are already on the wire.
+	tracesURL := "http://" + routerURL + "/debug/traces?id="
+	var tree smokeTrace
+	deadline = time.Now().Add(10 * time.Second)
+	treeOK := false
+	for time.Now().Before(deadline) && !treeOK {
+		if tr, err := fetchSmokeTrace(t, tracesURL+traceID); err == nil {
+			tree = tr
+			treeOK = smokeTreeComplete(tr, n)
+		}
+		if !treeOK {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if !treeOK {
+		t.Fatalf("router never served the full cross-process tree for %s; last: %+v", traceID, tree)
+	}
+	rootID := ""
+	fanouts := map[string]bool{}
+	for _, sp := range tree.Spans {
+		if sp.Parent == "" {
+			rootID = sp.ID
+		}
+		if sp.Name == "fanout.shard" {
+			fanouts[sp.ID] = true
+		}
+	}
+	shardRoots := 0
+	for _, sp := range tree.Spans {
+		switch {
+		case sp.Name == "fanout.shard":
+			if sp.Parent != rootID {
+				t.Fatalf("fanout span %s parented under %q, want router root %q", sp.ID, sp.Parent, rootID)
+			}
+		case sp.Node != "" && sp.Name == "v1_snapshot":
+			if !fanouts[sp.Parent] {
+				t.Fatalf("shard root span on %s parented under %q, not a fanout span", sp.Node, sp.Parent)
+			}
+			shardRoots++
+		}
+	}
+	if shardRoots != n {
+		t.Fatalf("merged tree has %d shard root spans, want %d; spans: %+v", shardRoots, n, tree.Spans)
+	}
+	// And the shard's own half, queried directly, shows the propagated
+	// parent: its root span is NOT an orphan.
+	shardTr, err := fetchSmokeTrace(t, "http://"+https[0]+"/debug/traces?id="+traceID)
+	if err != nil {
+		t.Fatalf("shard 0 /debug/traces: %v", err)
+	}
+	if len(shardTr.Spans) == 0 || shardTr.Spans[0].Parent == "" {
+		t.Fatalf("shard 0 trace root has no cross-process parent: %+v", shardTr.Spans)
+	}
+
 	// SIGKILL shard 1: no drain, no checkpoint.
 	if err := shards[1].cmd.Process.Signal(syscall.SIGKILL); err != nil {
 		t.Fatal(err)
@@ -355,6 +464,48 @@ func TestClusterSmoke(t *testing.T) {
 	if degraded.Census == nil || degraded.Census.Kept >= healthySnap.Census.Kept {
 		t.Fatalf("degraded kept %v not below healthy %d: the partial total silently includes the dead shard",
 			degraded.Census, healthySnap.Census.Kept)
+	}
+
+	// Flight recorder, degraded half: tail sampling must have retained
+	// the 206 trace (reason "degraded") even with a shard SIGKILLed, and
+	// the router's event ring must carry the shard_dead transition.
+	deadline = time.Now().Add(10 * time.Second)
+	keptDegraded := false
+	for time.Now().Before(deadline) && !keptDegraded {
+		if tr, err := fetchSmokeTrace(t, tracesURL+degradedTraceID); err == nil && tr.Degraded {
+			for _, k := range tr.Keep {
+				if k == "degraded" {
+					keptDegraded = true
+				}
+			}
+		}
+		if !keptDegraded {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if !keptDegraded {
+		t.Fatalf("degraded trace %s not retained with keep reason \"degraded\"", degradedTraceID)
+	}
+	_, _, evBody, err := routerGet(t, "http://"+routerURL+"/debug/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs struct {
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(evBody, &evs); err != nil {
+		t.Fatal(err)
+	}
+	sawDead := false
+	for _, ev := range evs.Events {
+		if ev.Kind == "shard_dead" {
+			sawDead = true
+		}
+	}
+	if !sawDead {
+		t.Fatalf("router /debug/events has no shard_dead after the kill: %s", evBody)
 	}
 
 	// Restart shard 1 on its old data dir AND its old ports (the

@@ -19,12 +19,24 @@
 //	GET /metrics                 Prometheus text format (fan-out latency
 //	                             per shard, error counters, freshness
 //	                             watermarks — fleet min, never a sum)
+//	GET /debug/traces[?id=ID]    flight recorder: tail-sampled span traces;
+//	                             with ?id= the router also gathers the
+//	                             shards' spans for that request id and
+//	                             serves the merged cross-process tree
+//	GET /debug/events            flight recorder: one-shot event ring
+//	                             (shard_dead / shard_recovered edges)
+//
+// The /debug endpoints (pprof included) share the -http listener with
+// /metrics; bind it to loopback or an internal interface, never
+// publicly.
 //
 // Usage:
 //
 //	queryrouterd -nodes host1:8055,host2:8055,host3:8055
 //	             [-http 127.0.0.1:8056] [-topk K] [-timeout D]
 //	             [-retries N] [-http-log] [-pprof] [-slow-query D]
+//	             [-trace-ring N] [-trace-slow D] [-trace-sample N]
+//	             [-event-ring N]
 //
 // -nodes lists the shard nodes in shard order: the i-th address must be
 // the node running -shard i/N. -topk must match the nodes' -topk for
@@ -33,14 +45,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -61,6 +77,11 @@ func main() {
 		httpLog   = flag.Bool("http-log", false, "log one access line per HTTP request")
 		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof on the HTTP server")
 		slowQuery = flag.Duration("slow-query", 0, "log any request at least this slow (0 disables)")
+
+		traceRing   = flag.Int("trace-ring", 256, "flight-recorder trace ring capacity (0 disables span tracing)")
+		traceSlow   = flag.Duration("trace-slow", 500*time.Millisecond, "tail-sampling slow threshold: keep any trace at least this slow (negative disables the slow rule)")
+		traceSample = flag.Int("trace-sample", 64, "keep 1-in-N healthy traces as baseline (0 disables)")
+		eventRing   = flag.Int("event-ring", 512, "flight-recorder event ring capacity (0 disables events)")
 	)
 	flag.Parse()
 
@@ -74,18 +95,22 @@ func main() {
 		fatal("no -nodes given (want a comma-separated shard list, e.g. -nodes host1:8055,host2:8055)")
 	}
 
-	reg := obs.NewRegistry()
+	o := newObsStack(*traceRing, *traceSlow, *traceSample, *eventRing)
+	obs.InstallCrashDump(o.events, os.Stderr)
+	defer obs.DumpOnPanic(o.events, os.Stderr)
+
 	fleet, err := cluster.New(addrs, cluster.Options{
 		TopK:          *topK,
 		Timeout:       *timeout,
 		ClientOptions: &client.Options{Retries: *retries},
-		Metrics:       reg,
+		Metrics:       o.reg,
+		Events:        o.events,
 	})
 	if err != nil {
 		fatal("%v", err)
 	}
 
-	srv := newRouterServer(fleet, reg, *httpLog, *slowQuery, *pprofOn)
+	srv := newRouterServer(fleet, o, *httpLog, *slowQuery, *pprofOn)
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
@@ -112,11 +137,41 @@ func main() {
 	}
 }
 
+// obsStack bundles the router's observability plumbing: the metrics
+// registry plus the flight recorder's trace and event rings (nil when
+// disabled by their ring-size flags; every consumer is nil-safe).
+type obsStack struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	events *obs.EventRing
+}
+
+// newObsStack builds the registry, the tracer and the event ring from
+// the flight-recorder flags, and registers the runtime-health gauges
+// and the recorder's own accounting on the registry.
+func newObsStack(traceRing int, traceSlow time.Duration, traceSample, eventRing int) obsStack {
+	o := obsStack{reg: obs.NewRegistry()}
+	obs.RegisterRuntimeMetrics(o.reg)
+	if traceRing > 0 {
+		o.tracer = obs.NewTracer(obs.TracerConfig{
+			RingSize: traceRing,
+			Policy:   obs.Policy{Slow: traceSlow, KeepOneIn: traceSample},
+		})
+		o.tracer.RegisterMetrics(o.reg)
+	}
+	if eventRing > 0 {
+		o.events = obs.NewEventRing(eventRing)
+		o.events.RegisterMetrics(o.reg)
+	}
+	return o
+}
+
 // newRouterServer builds the router's API server: the fan-out surface,
-// the registry-backed /metrics endpoint, and (opted in) /debug/pprof,
-// all behind the shared middleware.
-func newRouterServer(fleet *cluster.Fleet, reg *obs.Registry, accessLog bool, slowQuery time.Duration, pprofOn bool) *api.Server {
-	cfg := api.Config{Fanout: fleet, Metrics: reg, SlowQuery: slowQuery}
+// the registry-backed /metrics endpoint, the flight-recorder debug
+// endpoints, and (opted in) /debug/pprof, all behind the shared
+// middleware.
+func newRouterServer(fleet *cluster.Fleet, o obsStack, accessLog bool, slowQuery time.Duration, pprofOn bool) *api.Server {
+	cfg := api.Config{Fanout: fleet, Metrics: o.reg, SlowQuery: slowQuery, Tracer: o.tracer}
 	if accessLog {
 		cfg.Log = log.New(os.Stderr, "queryrouterd: http: ", log.LstdFlags)
 	}
@@ -131,8 +186,10 @@ func newRouterServer(fleet *cluster.Fleet, reg *obs.Registry, accessLog bool, sl
 		if _, err := fleet.Stats(r.Context()); err != nil {
 			fmt.Fprintf(os.Stderr, "queryrouterd: stats gather for /metrics: %v\n", err)
 		}
-		reg.Handler().ServeHTTP(w, r)
+		o.reg.Handler().ServeHTTP(w, r)
 	}))
+	srv.Handle("/debug/traces", traceHandler(o.tracer, fleet.Nodes()))
+	srv.Handle("/debug/events", o.events.Handler())
 	if pprofOn {
 		srv.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
 		srv.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
@@ -141,6 +198,86 @@ func newRouterServer(fleet *cluster.Fleet, reg *obs.Registry, accessLog bool, sl
 		srv.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
 	}
 	return srv
+}
+
+// traceHandler serves the router's /debug/traces. Without ?id= it
+// lists the locally retained traces; with ?id= it also asks every
+// shard's debug endpoint for the same request id and grafts the shard
+// spans (labelled with their node address) into the router's trace, so
+// one id yields the full cross-process tree — router root, fan-out
+// children, and each shard's own spans nested under them via the
+// X-Trace-Parent linkage.
+func traceHandler(tracer *obs.Tracer, nodes []string) http.Handler {
+	local := tracer.Handler()
+	hc := &http.Client{Timeout: 2 * time.Second}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" || tracer == nil {
+			local.ServeHTTP(w, r)
+			return
+		}
+		var merged *obs.Trace
+		if tr := tracer.Lookup(id); tr != nil {
+			cp := *tr
+			cp.Spans = append([]obs.SpanData(nil), tr.Spans...)
+			merged = &cp
+		}
+		for _, node := range nodes {
+			tr, err := fetchShardTrace(hc, node, id)
+			if err != nil || tr == nil {
+				continue // a dead shard has no spans to contribute
+			}
+			if merged == nil {
+				// The router's own ring evicted (or never kept) the trace;
+				// the shard halves are still worth serving.
+				cp := *tr
+				cp.Spans = nil
+				merged = &cp
+			}
+			for _, sp := range tr.Spans {
+				if sp.Node == "" {
+					sp.Node = node
+				}
+				merged.Spans = append(merged.Spans, sp)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		if merged == nil {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "trace not retained", "id": id})
+			return
+		}
+		sort.Slice(merged.Spans, func(i, j int) bool {
+			return merged.Spans[i].Start.Before(merged.Spans[j].Start)
+		})
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(merged)
+	})
+}
+
+// fetchShardTrace asks one shard for its half of a trace. Any failure
+// (shard down, trace not retained there) yields (nil, err-or-nil): the
+// merge simply proceeds without that shard's spans.
+func fetchShardTrace(hc *http.Client, node, id string) (*obs.Trace, error) {
+	base := node
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := hc.Get(base + "/debug/traces?id=" + url.QueryEscape(id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil
+	}
+	var tr obs.Trace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // fatal prints and exits non-zero.

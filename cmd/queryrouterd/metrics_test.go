@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"strings"
 	"testing"
+	"time"
 
 	"cwatrace/internal/api"
 	"cwatrace/internal/api/client"
@@ -69,15 +70,16 @@ func TestRouterMetricsExposition(t *testing.T) {
 	s0 := shardServer(t, 100e9)
 	s1 := shardServer(t, 50e9)
 
-	reg := obs.NewRegistry()
+	o := newObsStack(256, 500*time.Millisecond, 64, 512)
 	fleet, err := cluster.New([]string{s0.URL, s1.URL}, cluster.Options{
-		Metrics:       reg,
+		Metrics:       o.reg,
+		Events:        o.events,
 		ClientOptions: &client.Options{Retries: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	router := httptest.NewServer(newRouterServer(fleet, reg, false, 0, false))
+	router := httptest.NewServer(newRouterServer(fleet, o, false, 0, false))
 	t.Cleanup(router.Close)
 
 	// One data fan-out so the request histograms have observations.

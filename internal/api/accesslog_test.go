@@ -125,4 +125,41 @@ func TestSlowQueryLog(t *testing.T) {
 	if !strings.Contains(out, "id="+id) {
 		t.Fatalf("slow-query log output %q misses request id %q", out, id)
 	}
+	// A non-fan-out response carries no Server-Timing, so the line must
+	// not grow the shards field.
+	if strings.Contains(out, "shards=") {
+		t.Fatalf("slow-query line for a shard-local request grew a shards field: %q", out)
+	}
+}
+
+// TestSlowQueryLogShardBreakdown: when the response carries the
+// router's Server-Timing per-shard breakdown, the slow-query line is
+// enriched with it so one grep explains where the time went.
+func TestSlowQueryLogShardBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := New(Config{
+		Live:      &fakeLive{snap: sampleSnapshot(t, 1), stats: ingest.Stats{Records: 1}},
+		Log:       log.New(&buf, "", 0),
+		SlowQuery: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Handle("/debug/slowprobe", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Server-Timing", "shard0;dur=12.5, shard1;dur=3.1")
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	resp, _ := get(t, ts.URL+"/debug/slowprobe", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow query: GET /debug/slowprobe 200 ") {
+		t.Fatalf("log output %q misses slow-query line", out)
+	}
+	if !strings.Contains(out, ` shards="shard0;dur=12.5, shard1;dur=3.1"`) {
+		t.Fatalf("slow-query line not enriched with Server-Timing: %q", out)
+	}
 }

@@ -244,12 +244,17 @@ func (c *Client) getJSON(ctx context.Context, path string, q url.Values, cacheab
 	return "", lastErr
 }
 
-// setRequestID forwards the request id riding the context (a router
-// fanning out on behalf of a traced request), so one X-Request-Id
-// appears in the edge's and every shard's access log.
+// setRequestID forwards the trace context riding the request's
+// context: the request id (so one X-Request-Id appears in the edge's
+// and every shard's access log) and the current span id as
+// X-Trace-Parent (so the shard's root span nests under the router's
+// fan-out span in the merged cross-process tree).
 func setRequestID(req *http.Request) {
 	if id := obs.RequestID(req.Context()); id != "" {
 		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	if sid := obs.ContextSpanID(req.Context()); sid != 0 {
+		req.Header.Set(obs.TraceParentHeader, obs.FormatSpanID(sid))
 	}
 }
 

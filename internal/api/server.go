@@ -14,6 +14,7 @@ package api
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -81,6 +82,12 @@ type Config struct {
 	// error logger, so it surfaces even without access logging). Zero
 	// disables the slow-query log.
 	SlowQuery time.Duration
+	// Tracer, when set, records one span tree per request into the
+	// flight recorder's trace ring (tail-sampled; see obs.Tracer). The
+	// root span is named by the endpoint vocabulary and parented under
+	// a caller's X-Trace-Parent, so router and shard traces merge into
+	// one cross-process tree. Nil disables span tracing.
+	Tracer *obs.Tracer
 }
 
 // Server is the mounted API surface. It is an http.Handler; extra
@@ -237,6 +244,19 @@ func (s *Server) accessLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		// The root span shares the request id as its trace id (the
+		// requestID middleware outside us already threaded it), named by
+		// the same endpoint vocabulary as the metrics, and parented under
+		// a fanning-out router's span when X-Trace-Parent arrived with
+		// the request.
+		var sp *obs.Span
+		if s.cfg.Tracer != nil {
+			parent, _ := obs.ParseSpanID(r.Header.Get(obs.TraceParentHeader))
+			var ctx context.Context
+			ctx, sp = s.cfg.Tracer.StartTrace(r.Context(), endpointLabel(r.URL.Path), parent)
+			sp.Set(obs.Str("method", r.Method), obs.Str("uri", r.URL.RequestURI()))
+			r = r.WithContext(ctx)
+		}
 		s.m.inFlight.Add(1)
 		next.ServeHTTP(sw, r)
 		s.m.inFlight.Add(-1)
@@ -245,14 +265,27 @@ func (s *Server) accessLog(next http.Handler) http.Handler {
 		}
 		dur := time.Since(start)
 		id := obs.RequestID(r.Context())
+		if sp != nil {
+			sp.SetStatus(sw.status)
+			sp.Set(obs.Int("bytes", int64(sw.bytes)))
+			sp.End()
+		}
 		if s.cfg.Log != nil {
 			s.cfg.Log.Printf("%s %s %d %dB %dus id=%s",
 				r.Method, r.URL.RequestURI(), sw.status, sw.bytes, dur.Microseconds(), id)
 		}
 		s.m.observe(r.URL.Path, sw.status, dur)
 		if s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery {
-			s.errorf("slow query: %s %s %d %dus id=%s",
-				r.Method, r.URL.RequestURI(), sw.status, dur.Microseconds(), id)
+			// A slow fan-out names its slow shard right in the log line:
+			// the per-shard breakdown is already on the response as
+			// Server-Timing, so quote it instead of recomputing.
+			if shards := sw.Header().Get("Server-Timing"); shards != "" {
+				s.errorf("slow query: %s %s %d %dus id=%s shards=%q",
+					r.Method, r.URL.RequestURI(), sw.status, dur.Microseconds(), id, shards)
+			} else {
+				s.errorf("slow query: %s %s %d %dus id=%s",
+					r.Method, r.URL.RequestURI(), sw.status, dur.Microseconds(), id)
+			}
 		}
 		if sw.err != nil {
 			s.errorf("writing %s %s: %v", r.Method, r.URL.Path, sw.err)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cwatrace/internal/api"
@@ -36,6 +37,10 @@ type Options struct {
 	// latency, error counters, watermarks) on the registry; nil disables
 	// instrumentation.
 	Metrics *obs.Registry
+	// Events, when set, receives shard_dead/shard_recovered flight-
+	// recorder events on reachability transitions (recorded once per
+	// transition, not per failed request); nil disables them.
+	Events *obs.EventRing
 }
 
 // Fleet fans requests out over the shard nodes of one cluster. It is
@@ -48,6 +53,11 @@ type Fleet struct {
 	timeout time.Duration
 	nonce   uint64
 	m       fleetMetrics
+	events  *obs.EventRing
+	// down tracks per-shard reachability purely for event edges: a
+	// shard_dead event fires on the first failure, shard_recovered on
+	// the first success after failures.
+	down []atomic.Bool
 }
 
 // New builds a Fleet over the shard nodes, in shard order: nodes[i]
@@ -60,6 +70,8 @@ func New(nodes []string, opts Options) (*Fleet, error) {
 		nodes:   append([]string(nil), nodes...),
 		topK:    opts.TopK,
 		timeout: opts.Timeout,
+		events:  opts.Events,
+		down:    make([]atomic.Bool, len(nodes)),
 	}
 	if f.topK <= 0 {
 		f.topK = 10
@@ -114,11 +126,21 @@ func (f *Fleet) eachShard(ctx context.Context, fn func(ctx context.Context, i in
 			defer wg.Done()
 			cctx, cancel := context.WithTimeout(ctx, f.timeout)
 			defer cancel()
+			// One child span per shard RPC, on the context the client
+			// propagates — its span id rides to the shard as
+			// X-Trace-Parent, linking the shard's root span under this
+			// one in the merged cross-process tree. Free when the request
+			// carries no active trace.
+			sctx, sp := obs.StartSpan(cctx, "fanout.shard")
+			sp.Set(obs.Int("shard", int64(i)), obs.Str("node", f.nodes[i]))
 			t0 := time.Now()
-			errs[i] = fn(cctx, i, c)
+			errs[i] = fn(sctx, i, c)
 			d := time.Since(t0)
+			sp.Fail(errs[i])
+			sp.End()
 			timings[i] = api.ShardTiming{Shard: i, Node: f.nodes[i], D: d}
 			f.m.observeShard(i, d, errs[i] != nil)
+			f.noteShard(i, errs[i])
 		}(i, c)
 	}
 	wg.Wait()
@@ -130,6 +152,24 @@ func (f *Fleet) eachShard(ctx context.Context, fn func(ctx context.Context, i in
 	}
 	f.m.observeFanout(len(missing) > 0)
 	return missing, timings
+}
+
+// noteShard records the reachability edge events: shard_dead on the
+// first failure after successes, shard_recovered on the first success
+// after failures. The atomic swap makes each transition fire exactly
+// once even under concurrent fan-outs.
+func (f *Fleet) noteShard(i int, err error) {
+	if err != nil {
+		if !f.down[i].Swap(true) {
+			f.events.Record("shard_dead", "shard stopped answering",
+				obs.Int("shard", int64(i)), obs.Str("node", f.nodes[i]), obs.Str("err", err.Error()))
+		}
+		return
+	}
+	if f.down[i].Swap(false) {
+		f.events.Record("shard_recovered", "shard answering again",
+			obs.Int("shard", int64(i)), obs.Str("node", f.nodes[i]))
+	}
 }
 
 // part is one shard's contribution to a data fan-out.

@@ -27,9 +27,10 @@ func BenchmarkIngestPipeline(b *testing.B) {
 	}
 
 	// The instrumented modes run with a live metrics registry (sampled
-	// stage histograms, per-lane gauges, watermark) — benchjson -obs
-	// compares them against the obs.Disabled baselines to prove the
-	// instrumentation overhead stays under 3%.
+	// stage histograms, per-lane gauges, watermark) AND the flight
+	// recorder (span tracer + event ring) — benchjson -obs compares them
+	// against the obs.Disabled baselines to prove the full
+	// observability overhead, tracing included, stays under 3%.
 	modes := []struct {
 		name       string
 		workers    int
@@ -51,11 +52,18 @@ func BenchmarkIngestPipeline(b *testing.B) {
 			// the measured loop. Each iteration replays every stream once;
 			// per-source decoder state and the analytics bins reach steady
 			// state after the first pass.
-			var reg *obs.Registry
+			var (
+				reg    *obs.Registry
+				tracer *obs.Tracer
+				events *obs.EventRing
+			)
 			if mode.registries {
 				reg = obs.NewRegistry()
+				tracer = obs.NewTracer(obs.TracerConfig{})
+				events = obs.NewEventRing(0)
 			}
-			p, err := New(Config{Workers: mode.workers, ShardBuffer: 4096, Metrics: reg})
+			p, err := New(Config{Workers: mode.workers, ShardBuffer: 4096,
+				Metrics: reg, Tracer: tracer, Events: events})
 			if err != nil {
 				b.Fatal(err)
 			}

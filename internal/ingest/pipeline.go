@@ -15,6 +15,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -89,6 +90,17 @@ type Config struct {
 	// runs uninstrumented: the hot paths then pay one nil check per
 	// event and nothing else — the contract BENCH_obs.json audits.
 	Metrics *obs.Registry
+	// Tracer, when set, records background traces for the coarse
+	// pipeline operations: one per sink flush, one for the Close drain.
+	// Nothing per-record or per-batch — the hot path stays span-free,
+	// which is how the BENCH_obs.json overhead gate holds with tracing
+	// enabled. Nil disables.
+	Tracer *obs.Tracer
+	// Events, when set, receives drop_storm flight-recorder events: one
+	// at backpressure onset, then rate-limited while the storm lasts
+	// (the drop branch is the hot path under overload, so it must not
+	// record per drop). Nil disables.
+	Events *obs.EventRing
 
 	// workerDelay slows every worker batch; the backpressure tests use it
 	// to simulate an overloaded consumer.
@@ -226,6 +238,11 @@ type Pipeline struct {
 	flushStop   chan struct{}
 	flushWG     sync.WaitGroup
 	flushErrors atomic.Uint64
+
+	// dropStormAt is the unix-nano stamp of the last drop_storm event;
+	// the CAS in noteDropStorm rate-limits the storm events to one per
+	// 10s however many lanes are dropping.
+	dropStormAt atomic.Int64
 
 	closeOnce sync.Once
 	closed    atomic.Bool
@@ -409,8 +426,37 @@ func (p *Pipeline) handleDatagram(r *reader, from string, data []byte) {
 		if p.m.droppedBatchRecords != nil && n&0x3f == 1 {
 			p.m.droppedBatchRecords.Observe(float64(len(slab.Recs)))
 		}
+		// The flight-recorder event rides the same 1-in-64 sample gate
+		// (plus its own 10s rate limit inside), so the storm's onset is
+		// recorded without taxing every drop.
+		if p.cfg.Events != nil && n&0x3f == 1 {
+			p.noteDropStorm()
+		}
 		netflow.RecycleSlab(slab)
 	}
+}
+
+// noteDropStorm records the drop_storm flight-recorder event: the
+// first drop of a storm fires immediately (dropStormAt starts 0), then
+// at most one event per 10s while drops continue. The CAS hands the
+// record to exactly one caller per window.
+func (p *Pipeline) noteDropStorm() {
+	now := time.Now().UnixNano()
+	last := p.dropStormAt.Load()
+	if now-last < int64(10*time.Second) {
+		return
+	}
+	if !p.dropStormAt.CompareAndSwap(last, now) {
+		return
+	}
+	var batches, records uint64
+	for _, l := range p.lanes {
+		batches += l.droppedBatches.Load()
+		records += l.droppedRecords.Load()
+	}
+	p.cfg.Events.Record("drop_storm", "backpressure is dropping batches",
+		obs.Int("dropped_batches", int64(batches)),
+		obs.Int("dropped_records", int64(records)))
 }
 
 // work drains one lane into the sink and its analytics shard.
@@ -484,16 +530,23 @@ func (p *Pipeline) flushLoop(fl Flusher) {
 	defer p.flushWG.Done()
 	t := time.NewTicker(p.cfg.FlushInterval)
 	defer t.Stop()
+	// Each flush is its own background trace (tail-sampled like any
+	// other: a slow or failing fsync cadence surfaces in the ring).
+	flush := func(final bool) {
+		_, sp := p.cfg.Tracer.StartTrace(context.Background(), "ingest.sink_flush", 0)
+		sp.Set(obs.Bool("final", final))
+		if err := fl.Flush(); err != nil {
+			p.flushErrors.Add(1)
+			sp.Fail(err)
+		}
+		sp.End()
+	}
 	for {
 		select {
 		case <-t.C:
-			if err := fl.Flush(); err != nil {
-				p.flushErrors.Add(1)
-			}
+			flush(false)
 		case <-p.flushStop:
-			if err := fl.Flush(); err != nil {
-				p.flushErrors.Add(1)
-			}
+			flush(true)
 			return
 		}
 	}
@@ -571,6 +624,16 @@ func (p *Pipeline) Close() error {
 }
 
 func (p *Pipeline) shutdown() {
+	// The drain is one background trace: how long the queued work took
+	// to finish is exactly what a slow SIGTERM postmortem asks.
+	_, sp := p.cfg.Tracer.StartTrace(context.Background(), "ingest.drain", 0)
+	defer func() {
+		s := p.Stats()
+		sp.Set(obs.Int("processed", int64(s.Processed)),
+			obs.Int("dropped_records", int64(s.DroppedRecords)))
+		sp.Fail(p.closeErr)
+		sp.End()
+	}()
 	p.closed.Store(true)
 	for _, r := range p.readers {
 		if r.pc == nil {

@@ -1,0 +1,162 @@
+// The event half of the flight recorder: a lock-free ring of
+// structured one-shot events — the state transitions a metrics scrape
+// aggregates away and a trace ring ties to one request. Checkpoint
+// commits, shards declared dead, WAL rollbacks, drop-storm onsets:
+// each is recorded once at the transition, cheap enough to leave on in
+// production, and the whole ring dumps to stderr on panic or SIGQUIT
+// so a crashing process leaves its last N decisions behind.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Event is one recorded flight-recorder event.
+type Event struct {
+	Time time.Time `json:"time"`
+	// Kind is a stable machine-matchable tag ("checkpoint_committed",
+	// "shard_dead", "wal_rollback", "drop_storm", ...); Msg is the
+	// one-line human reading.
+	Kind  string         `json:"kind"`
+	Msg   string         `json:"msg"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+
+	// line is the pre-rendered text form for the crash dump, built at
+	// Record time so a dump under panic does no formatting of shared
+	// state.
+	line string
+}
+
+// EventRing is a fixed-size lock-free ring of events. A nil *EventRing
+// is the disabled mode: Record is a no-op.
+type EventRing struct {
+	ring     []atomic.Pointer[Event]
+	cursor   atomic.Uint64
+	recorded atomic.Uint64
+}
+
+// NewEventRing builds a ring retaining the last size events
+// (default 512).
+func NewEventRing(size int) *EventRing {
+	if size <= 0 {
+		size = 512
+	}
+	return &EventRing{ring: make([]atomic.Pointer[Event], size)}
+}
+
+// RegisterMetrics exposes the ring's accounting on the registry.
+func (r *EventRing) RegisterMetrics(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("events_recorded_total", "Flight-recorder events recorded.",
+		func() float64 { return float64(r.recorded.Load()) })
+}
+
+// Record appends one event. Safe for concurrent use and on a nil ring.
+func (r *EventRing) Record(kind, msg string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	ev := &Event{Time: time.Now(), Kind: kind, Msg: msg, Attrs: attrMap(attrs)}
+	line := ev.Time.UTC().Format(time.RFC3339Nano) + " " + kind + " " + msg
+	for _, a := range attrs {
+		line += " " + a.String()
+	}
+	ev.line = line
+	r.recorded.Add(1)
+	i := r.cursor.Add(1) - 1
+	r.ring[i%uint64(len(r.ring))].Store(ev)
+}
+
+// Events snapshots the retained events, oldest first.
+func (r *EventRing) Events() []*Event {
+	if r == nil {
+		return nil
+	}
+	n := len(r.ring)
+	out := make([]*Event, 0, n)
+	cur := r.cursor.Load()
+	for i := 0; i < n; i++ {
+		// oldest live slot first: the cursor names the next overwrite
+		slot := (cur + uint64(i)) % uint64(n)
+		if ev := r.ring[slot].Load(); ev != nil {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Handler serves the event ring as JSON, oldest first.
+func (r *EventRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		events := r.Events()
+		if events == nil {
+			events = []*Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"events": events})
+	})
+}
+
+// Dump writes the retained events as text, one per line, oldest first.
+// Uses only pre-rendered lines so it is safe to call while panicking.
+func (r *EventRing) Dump(w io.Writer) {
+	events := r.Events()
+	fmt.Fprintf(w, "flight recorder: %d events\n", len(events))
+	for _, ev := range events {
+		fmt.Fprintln(w, ev.line)
+	}
+}
+
+// InstallCrashDump arranges for the event ring (followed by all
+// goroutine stacks) to be dumped to w on SIGQUIT, then exits with
+// status 2 — the flight-recorder replacement for the runtime's own
+// SIGQUIT dump. Returns a stop function that uninstalls the handler
+// (tests; daemons never call it).
+func InstallCrashDump(r *EventRing, w io.Writer) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			return
+		case <-ch:
+		}
+		r.Dump(w)
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		w.Write(buf[:n])
+		os.Exit(2)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// DumpOnPanic is the panic half of the crash dump: deferred at the top
+// of main, it dumps the event ring to w when the main goroutine is
+// unwinding under a panic, then re-panics so the runtime still prints
+// the stack and exits non-zero. It only sees panics on the goroutine
+// it is deferred on; InstallCrashDump's SIGQUIT path covers hung or
+// wedged processes regardless of goroutine.
+func DumpOnPanic(r *EventRing, w io.Writer) {
+	if v := recover(); v != nil {
+		r.Dump(w)
+		panic(v)
+	}
+}

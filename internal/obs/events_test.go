@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventRingRecordAndWrap(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 6; i++ {
+		r.Record("k", fmt.Sprintf("m%d", i), Int("i", int64(i)))
+	}
+	got := r.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want ring size 4", len(got))
+	}
+	// Oldest first: 0 and 1 were overwritten.
+	for i, ev := range got {
+		if want := fmt.Sprintf("m%d", i+2); ev.Msg != want {
+			t.Errorf("event[%d].Msg = %q, want %q", i, ev.Msg, want)
+		}
+		if ev.Kind != "k" || ev.Time.IsZero() {
+			t.Errorf("event[%d] = %+v", i, ev)
+		}
+	}
+	if got[0].Attrs["i"] != int64(2) {
+		t.Errorf("attrs = %#v", got[0].Attrs)
+	}
+}
+
+func TestEventRingNilIsNoOp(t *testing.T) {
+	var r *EventRing
+	r.Record("k", "m")
+	if r.Events() != nil {
+		t.Fatal("nil ring returned events")
+	}
+	var sb strings.Builder
+	r.Dump(&sb)
+	if !strings.Contains(sb.String(), "0 events") {
+		t.Errorf("nil Dump = %q", sb.String())
+	}
+	r.RegisterMetrics(NewRegistry())
+}
+
+func TestEventRingDump(t *testing.T) {
+	r := NewEventRing(8)
+	r.Record("shard_dead", "shard stopped answering", Int("shard", 1), Str("node", "n1"))
+	r.Record("wal_rollback", "short write rolled back")
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "flight recorder: 2 events" {
+		t.Fatalf("dump = %q", out)
+	}
+	if !strings.Contains(lines[1], "shard_dead shard stopped answering shard=1 node=\"n1\"") {
+		t.Errorf("dump line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "wal_rollback") {
+		t.Errorf("dump line = %q", lines[2])
+	}
+}
+
+func TestEventRingHandler(t *testing.T) {
+	r := NewEventRing(8)
+	r.Record("checkpoint_committed", "frame sealed", Int("frame_seq", 3))
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	var body struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+	}
+	if len(body.Events) != 1 || body.Events[0].Kind != "checkpoint_committed" {
+		t.Fatalf("events = %+v", body.Events)
+	}
+	// Attrs survive the JSON hop (ints arrive as float64 — fine for a
+	// debug endpoint).
+	if body.Events[0].Attrs["frame_seq"] != float64(3) {
+		t.Errorf("attrs = %#v", body.Events[0].Attrs)
+	}
+}
+
+func TestEventRingConcurrentRecord(t *testing.T) {
+	r := NewEventRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("k", "m", Int("g", int64(g)))
+				r.Events()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Events(); len(got) != 16 {
+		t.Fatalf("retained %d events, want 16 (full)", len(got))
+	}
+	exp := mustLint(t, render(t, func() *Registry {
+		reg := NewRegistry()
+		r.RegisterMetrics(reg)
+		return reg
+	}()))
+	if v, _ := exp.Value("events_recorded_total", ""); v != 800 {
+		t.Errorf("events_recorded_total = %v, want 800", v)
+	}
+}
+
+func TestDumpOnPanic(t *testing.T) {
+	r := NewEventRing(8)
+	r.Record("drop_storm", "lanes saturated")
+	var sb strings.Builder
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DumpOnPanic swallowed the panic")
+			}
+		}()
+		defer DumpOnPanic(r, &sb)
+		panic("boom")
+	}()
+	if !strings.Contains(sb.String(), "drop_storm") {
+		t.Errorf("panic dump = %q", sb.String())
+	}
+
+	// Without a panic it must write nothing.
+	sb.Reset()
+	func() {
+		defer DumpOnPanic(r, &sb)
+	}()
+	if sb.Len() != 0 {
+		t.Errorf("clean return still dumped: %q", sb.String())
+	}
+}
+
+func TestInstallCrashDumpStop(t *testing.T) {
+	// Can't deliver SIGQUIT in-process (the handler would os.Exit), but
+	// install/stop must not leak the watcher goroutine. The first
+	// signal.Notify in a process starts a permanent runtime goroutine, so
+	// warm it up before taking the baseline.
+	InstallCrashDump(NewEventRing(4), &strings.Builder{})()
+	time.Sleep(10 * time.Millisecond)
+	before := runtime.NumGoroutine()
+	stop := InstallCrashDump(NewEventRing(4), &strings.Builder{})
+	stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines %d -> %d after stop", before, n)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	runtime.GC() // make the gc counters non-trivial
+	exp := mustLint(t, render(t, reg))
+	if v, ok := exp.Value("go_goroutines", ""); !ok || v < 1 {
+		t.Errorf("go_goroutines = %v (found=%t), want >= 1", v, ok)
+	}
+	if v, ok := exp.Value("go_heap_objects_bytes", ""); !ok || v <= 0 {
+		t.Errorf("go_heap_objects_bytes = %v (found=%t), want > 0", v, ok)
+	}
+	if v, ok := exp.Value("go_gc_cycles_total", ""); !ok || v < 1 {
+		t.Errorf("go_gc_cycles_total = %v (found=%t), want >= 1", v, ok)
+	}
+	// The p99 gauges must render (value may be 0 on a quiet runtime).
+	for _, name := range []string{"go_gc_pause_p99_seconds", "go_sched_latency_p99_seconds"} {
+		if _, ok := exp.Value(name, ""); !ok {
+			t.Errorf("%s missing from exposition", name)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	// histQuantile is pure — drive it directly with a synthetic histogram.
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{90, 9, 1},
+		Buckets: []float64{0, 0.001, 0.01, 0.1},
+	}
+	if got := histQuantile(h, 0.5); got != 0.001 {
+		t.Errorf("p50 = %v, want 0.001", got)
+	}
+	if got := histQuantile(h, 0.99); got != 0.01 {
+		t.Errorf("p99 = %v, want 0.01", got)
+	}
+	if got := histQuantile(h, 1.0); got != 0.1 {
+		t.Errorf("p100 = %v, want 0.1", got)
+	}
+	if got := histQuantile(&metrics.Float64Histogram{}, 0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %v, want 0", got)
+	}
+	if got := histQuantile(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram p99 = %v, want 0", got)
+	}
+}

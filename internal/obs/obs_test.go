@@ -104,6 +104,15 @@ func TestRegistrationPanics(t *testing.T) {
 		}},
 		{"unordered buckets", func(r *Registry) { r.Histogram("h_seconds", "H.", []float64{2, 1}) }},
 		{"empty buckets", func(r *Registry) { r.Histogram("h_seconds", "H.", nil) }},
+		{"duplicate func series", func(r *Registry) {
+			f := func() float64 { return 0 }
+			r.CounterFunc("f_total", "F.", f)
+			r.CounterFunc("f_total", "F.", f)
+		}},
+		{"func clashes with instrument", func(r *Registry) {
+			r.Gauge("x", "X.")
+			r.GaugeFunc("x", "X.", func() float64 { return 0 })
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -235,7 +244,8 @@ func TestRequestID(t *testing.T) {
 			t.Errorf("ValidRequestID(%q) = false, want true", ok)
 		}
 	}
-	for _, bad := range []string{"", "a b", "x\n", "{evil}", strings.Repeat("x", 65)} {
+	for _, bad := range []string{"", "a b", "x\n", "{evil}", strings.Repeat("x", 65),
+		"id-ä", "日本", "x\x80y"} {
 		if ValidRequestID(bad) {
 			t.Errorf("ValidRequestID(%q) = true, want false", bad)
 		}

@@ -1,0 +1,140 @@
+// Runtime telemetry: Go runtime health gauges on the registry, backed
+// by the runtime/metrics package. Sampling is batched and cached — one
+// metrics.Read per scrape burst refreshes every gauge, so a registry
+// render costs one runtime read no matter how many go_* series it
+// serves, and an aggressive scraper cannot turn gauge reads into
+// stop-the-world pressure.
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// the runtime/metrics names the gauges sample, indexed by the
+// constants below.
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/gc/cycles/total:gc-cycles",
+}
+
+const (
+	rsHeapBytes = iota
+	rsGCPauses
+	rsSchedLatencies
+	rsGCCycles
+)
+
+// runtimeSampler caches one metrics.Read for maxAge so a scrape of N
+// go_* series costs one runtime read, not N.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	stamp   time.Time
+	maxAge  time.Duration
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{maxAge: 100 * time.Millisecond}
+	s.samples = make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		s.samples[i].Name = name
+	}
+	return s
+}
+
+// value returns the idx'th sample, refreshing the batch when stale.
+// The returned Value is never written after return (metrics.Read
+// replaces whole Sample values), so callers may read it unlocked.
+func (s *runtimeSampler) value(idx int) metrics.Value {
+	s.mu.Lock()
+	if time.Since(s.stamp) > s.maxAge {
+		metrics.Read(s.samples)
+		s.stamp = time.Now()
+	}
+	v := s.samples[idx].Value
+	s.mu.Unlock()
+	return v
+}
+
+func (s *runtimeSampler) uint64At(idx int) float64 {
+	if v := s.value(idx); v.Kind() == metrics.KindUint64 {
+		return float64(v.Uint64())
+	}
+	return 0
+}
+
+func (s *runtimeSampler) quantileAt(idx int, q float64) float64 {
+	v := s.value(idx)
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	return histQuantile(v.Float64Histogram(), q)
+}
+
+// histQuantile returns the q-quantile upper bucket bound of a
+// runtime/metrics histogram: the same "p99 is the bucket edge"
+// semantics Prometheus users expect. 0 on an empty histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Buckets has len(Counts)+1 edges; i's upper edge is i+1.
+			edge := h.Buckets[i+1]
+			if math.IsInf(edge, +1) {
+				edge = h.Buckets[i] // the last finite lower edge
+			}
+			return edge
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// RegisterRuntimeMetrics registers the Go runtime health gauges:
+//
+//	go_goroutines                   live goroutine count
+//	go_heap_objects_bytes           live heap (runtime/metrics heap objects)
+//	go_gc_pause_p99_seconds         p99 stop-the-world GC pause, process lifetime
+//	go_sched_latency_p99_seconds    p99 goroutine scheduling latency, process lifetime
+//	go_gc_cycles_total              completed GC cycles
+//
+// One call per registry; a second call panics on the duplicate names,
+// same as any double registration.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	s := newRuntimeSampler()
+	reg.GaugeFunc("go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_objects_bytes", "Bytes of live heap objects.",
+		func() float64 { return s.uint64At(rsHeapBytes) })
+	reg.GaugeFunc("go_gc_pause_p99_seconds",
+		"p99 stop-the-world GC pause over the process lifetime.",
+		func() float64 { return s.quantileAt(rsGCPauses, 0.99) })
+	reg.GaugeFunc("go_sched_latency_p99_seconds",
+		"p99 goroutine scheduling latency over the process lifetime.",
+		func() float64 { return s.quantileAt(rsSchedLatencies, 0.99) })
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return s.uint64At(rsGCCycles) })
+}

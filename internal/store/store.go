@@ -31,6 +31,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -103,6 +104,13 @@ type Options struct {
 	// Metrics, when set, registers the store's telemetry on the registry
 	// (see metrics.go for the catalogue). Nil runs uninstrumented.
 	Metrics *obs.Registry
+	// Tracer, when set, records background traces for the store's I/O
+	// operations: one per checkpoint fold (with compaction folds as
+	// child spans) and one per policy-driven fsync. Nil disables.
+	Tracer *obs.Tracer
+	// Events, when set, receives checkpoint_committed and wal_rollback
+	// flight-recorder events. Nil disables.
+	Events *obs.EventRing
 }
 
 func (o Options) withDefaults() Options {
@@ -697,8 +705,12 @@ func (s *Store) Append(batch []netflow.Record) error {
 }
 
 // syncActiveLocked fsyncs the active segment, timing the policy-driven
-// durability cost.
+// durability cost. Each fsync is its own background trace (nil-safe
+// no-op when the store runs untraced), so a device whose sync latency
+// degrades shows up in the tail-sampled ring as slow store.fsync
+// traces.
 func (s *Store) syncActiveLocked() error {
+	_, sp := s.opts.Tracer.StartTrace(context.Background(), "store.fsync", 0)
 	var t0 time.Time
 	if s.om.fsyncSeconds != nil {
 		t0 = time.Now()
@@ -707,6 +719,8 @@ func (s *Store) syncActiveLocked() error {
 	if s.om.fsyncSeconds != nil {
 		s.om.fsyncSeconds.ObserveSince(t0)
 	}
+	sp.Fail(err)
+	sp.End()
 	return err
 }
 
@@ -728,6 +742,10 @@ func (s *Store) writeWALLocked(batch []netflow.Record) error {
 		// NOT move the fd offset — without the Seek, the next append
 		// would land past a zero-filled hole and recovery would discard
 		// everything after it as a torn tail.
+		s.opts.Events.Record("wal_rollback", "WAL append failed, rolling back to last record boundary",
+			obs.Int("segment_seq", int64(s.activeSeq)),
+			obs.Int("offset", s.activeOff),
+			obs.Str("err", err.Error()))
 		terr := s.active.Truncate(s.activeOff)
 		if terr == nil {
 			_, terr = s.active.Seek(s.activeOff, io.SeekStart)
@@ -789,6 +807,17 @@ func (s *Store) rotateLocked() error {
 func (s *Store) Checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	// The whole fold is one background trace (compaction folds are its
+	// children); the empty-tail clock refresh is traced too, but at
+	// microseconds it only survives as the 1-in-N baseline.
+	ctx, sp := s.opts.Tracer.StartTrace(context.Background(), "store.checkpoint", 0)
+	err := s.checkpointLocked(ctx, sp)
+	sp.Fail(err)
+	sp.End()
+	return err
+}
+
+func (s *Store) checkpointLocked(ctx context.Context, sp *obs.Span) error {
 	// Times the real fold only: the empty-tail clock refresh returns
 	// before the observation and never skews the distribution.
 	var t0 time.Time
@@ -893,10 +922,15 @@ func (s *Store) Checkpoint() error {
 	for _, seg := range folded {
 		_ = os.Remove(seg.path)
 	}
+	s.opts.Events.Record("checkpoint_committed", "tail folded into a durable frame",
+		obs.Int("frame_seq", int64(info.Seq)),
+		obs.Int("records", int64(info.Records)),
+		obs.Int("segments_folded", int64(len(folded))))
+	sp.Set(obs.Int("frame_seq", int64(info.Seq)), obs.Int("records", int64(info.Records)))
 	if s.om.checkpointSeconds != nil {
 		s.om.checkpointSeconds.ObserveSince(t0)
 	}
-	return s.compact()
+	return s.compact(ctx)
 }
 
 // compact folds the oldest adjacent frame pairs together until the
@@ -906,69 +940,87 @@ func (s *Store) Checkpoint() error {
 // never a gap (Open's containment sweep deletes leftovers). Caller
 // holds ckptMu (the only writer of s.frames); file I/O runs outside mu,
 // with queries retrying if they race a removal.
-func (s *Store) compact() error {
+func (s *Store) compact(ctx context.Context) error {
 	for {
-		s.mu.Lock()
-		if len(s.frames) <= s.opts.MaxFrames {
-			s.mu.Unlock()
-			return nil
-		}
-		f0, f1 := s.frames[0], s.frames[1]
-		seq := s.nextFrameSeq
-		s.nextFrameSeq++
-		s.mu.Unlock()
-		// Compaction is rare, heavy I/O; the unconditional clock read is
-		// noise even uninstrumented.
-		foldStart := time.Now()
-
-		_, a0, err := loadFrameFile(f0.path, s.cfg)
-		if err != nil {
-			return fmt.Errorf("store: compacting %s: %w", filepath.Base(f0.path), err)
-		}
-		_, a1, err := loadFrameFile(f1.path, s.cfg)
-		if err != nil {
-			return fmt.Errorf("store: compacting %s: %w", filepath.Base(f1.path), err)
-		}
-		info := frameInfo{
-			Seq:        seq,
-			BaseSeg:    f0.BaseSeg,
-			CoveredSeg: f1.CoveredSeg,
-			CoveredOff: f1.CoveredOff,
-			MinHour:    mergeBound(f0.MinHour, f1.MinHour, false),
-			MaxHour:    mergeBound(f0.MaxHour, f1.MaxHour, true),
-			Records:    f0.Records + f1.Records,
-		}
-		// Merge at a window wide enough to hold the pair's combined hour
-		// span. WindowHours is a *live* streaming bound; a compacted frame
-		// is an archive, and folding at the live window would evict — and,
-		// with the input files deleted below, permanently lose — the
-		// oldest hourly bins of any pair spanning more than the window
-		// (inevitable once a capture outlives WindowHours). The merged
-		// state persists its own window; UnmarshalAnalyticsStored adopts
-		// it on load, and queries widen their merge target to the selected
-		// span, so /query serves every hour ever checkpointed.
-		m := streaming.New(widenWindow(s.cfg, info.MinHour, info.MaxHour))
-		m.Merge(a0)
-		m.Merge(a1)
-		state, err := m.MarshalBinary()
-		if err != nil {
+		done, err := s.compactOnce(ctx)
+		if done || err != nil {
 			return err
 		}
-		path := ckptPath(s.dir, info.Seq)
-		rec := appendRecordFrame(nil, recTypeFrame, appendFramePayload(nil, info, state))
-		if err := atomicWrite(path, rec); err != nil {
-			return err
-		}
-
-		s.mu.Lock()
-		s.frames = append([]frameMeta{{frameInfo: info, path: path}}, s.frames[2:]...)
-		s.compacted++
-		s.ckptGen++
-		s.mu.Unlock()
-		_ = os.Remove(f0.path)
-		_ = os.Remove(f1.path)
-		s.om.compactionSeconds.ObserveSince(foldStart)
 	}
+}
+
+// compactOnce folds the single oldest adjacent frame pair, as its own
+// child span under the checkpoint trace; done reports the frame count
+// is back under the bound.
+func (s *Store) compactOnce(ctx context.Context) (done bool, err error) {
+	s.mu.Lock()
+	if len(s.frames) <= s.opts.MaxFrames {
+		s.mu.Unlock()
+		return true, nil
+	}
+	f0, f1 := s.frames[0], s.frames[1]
+	seq := s.nextFrameSeq
+	s.nextFrameSeq++
+	s.mu.Unlock()
+	_, sp := obs.StartSpan(ctx, "store.compact")
+	sp.Set(obs.Int("frame_seq", int64(seq)),
+		obs.Int("records", int64(f0.Records+f1.Records)))
+	defer func() {
+		sp.Fail(err)
+		sp.End()
+	}()
+	// Compaction is rare, heavy I/O; the unconditional clock read is
+	// noise even uninstrumented.
+	foldStart := time.Now()
+
+	_, a0, err := loadFrameFile(f0.path, s.cfg)
+	if err != nil {
+		return false, fmt.Errorf("store: compacting %s: %w", filepath.Base(f0.path), err)
+	}
+	_, a1, err := loadFrameFile(f1.path, s.cfg)
+	if err != nil {
+		return false, fmt.Errorf("store: compacting %s: %w", filepath.Base(f1.path), err)
+	}
+	info := frameInfo{
+		Seq:        seq,
+		BaseSeg:    f0.BaseSeg,
+		CoveredSeg: f1.CoveredSeg,
+		CoveredOff: f1.CoveredOff,
+		MinHour:    mergeBound(f0.MinHour, f1.MinHour, false),
+		MaxHour:    mergeBound(f0.MaxHour, f1.MaxHour, true),
+		Records:    f0.Records + f1.Records,
+	}
+	// Merge at a window wide enough to hold the pair's combined hour
+	// span. WindowHours is a *live* streaming bound; a compacted frame
+	// is an archive, and folding at the live window would evict — and,
+	// with the input files deleted below, permanently lose — the
+	// oldest hourly bins of any pair spanning more than the window
+	// (inevitable once a capture outlives WindowHours). The merged
+	// state persists its own window; UnmarshalAnalyticsStored adopts
+	// it on load, and queries widen their merge target to the selected
+	// span, so /query serves every hour ever checkpointed.
+	m := streaming.New(widenWindow(s.cfg, info.MinHour, info.MaxHour))
+	m.Merge(a0)
+	m.Merge(a1)
+	state, err := m.MarshalBinary()
+	if err != nil {
+		return false, err
+	}
+	path := ckptPath(s.dir, info.Seq)
+	rec := appendRecordFrame(nil, recTypeFrame, appendFramePayload(nil, info, state))
+	if err := atomicWrite(path, rec); err != nil {
+		return false, err
+	}
+
+	s.mu.Lock()
+	s.frames = append([]frameMeta{{frameInfo: info, path: path}}, s.frames[2:]...)
+	s.compacted++
+	s.ckptGen++
+	s.mu.Unlock()
+	_ = os.Remove(f0.path)
+	_ = os.Remove(f1.path)
+	s.om.compactionSeconds.ObserveSince(foldStart)
+	return false, nil
 }
 
 // mergeBound combines two possibly-absent (-1) hour bounds.
