@@ -25,7 +25,7 @@ fmt:
 # (including the crash-recovery byte-identity test) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/ ./internal/api/ ./internal/api/client/ ./internal/cluster/ ./internal/obs/
+	$(GO) test -race ./internal/sim/ ./internal/netflow/ ./internal/cwaserver/ ./internal/cdn/ ./internal/workgroup/ ./internal/scenario/ ./internal/ingest/ ./internal/streaming/ ./internal/store/ ./internal/tier/ ./internal/sketch/ ./internal/api/ ./internal/api/client/ ./internal/cluster/ ./internal/obs/
 
 # One pass over every figure/table/ablation benchmark (see DESIGN.md for
 # the experiment index) plus the ingest and store benchmarks.
@@ -38,12 +38,15 @@ bench-ingest:
 
 # The ingest benchmark as machine-readable JSON (BENCH_ingest.json)
 # plus the cluster fan-out latency snapshot (BENCH_cluster.json):
-# scatter-gather p50/p99 through a real router at 1/2/4 nodes. CI
-# archives both files per commit.
+# scatter-gather p50/p99 through a real router at 1/2/4 nodes, and the
+# long-horizon query snapshot (BENCH_query.json): raw vs tiered
+# resolutions over a simulated year, with sketch error bounds. CI
+# archives the files per commit.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_ingest.json
 	$(GO) run ./cmd/benchjson -cluster -o BENCH_cluster.json
 	$(GO) run ./cmd/benchjson -obs -o BENCH_obs.json
+	$(GO) run ./cmd/benchjson -query -o BENCH_query.json
 
 # The durable-store benchmarks alone: WAL append per fsync policy and
 # historical range queries (the EXPERIMENTS.md snapshot).
@@ -73,9 +76,12 @@ fuzz-smoke:
 
 # SIGKILL drill: start a durable collector, stream half a trace over
 # UDP, kill -9 mid-capture, restart on the same data dir and require the
-# recovered /snapshot to match the pre-kill accounting.
+# recovered /snapshot to match the pre-kill accounting. The tier half
+# crashes a month-long store mid-tier-fold (torn temp file, lost day
+# frame), serves it through the real daemon, SIGKILLs that too, and
+# requires the long-horizon answer unchanged throughout.
 crash-smoke:
-	$(GO) test -run TestCrashRecoverySmoke -count=1 -v ./cmd/collectord/
+	$(GO) test -run 'TestCrashRecoverySmoke|TestTierCrashSmoke' -count=1 -v ./cmd/collectord/
 
 # Cluster drill: three sharded collectord processes plus a queryrouterd,
 # real NFv9/UDP traffic into every node, SIGKILL one shard and require

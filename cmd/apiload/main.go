@@ -8,8 +8,8 @@
 // Usage:
 //
 //	apiload -addr HOST:PORT [-endpoint snapshot|query] [-from T] [-to T]
-//	        [-fields hourly,prefixes,...] [-top N] [-c workers]
-//	        [-duration D] [-conditional]
+//	        [-resolution hour|day|week|auto] [-fields hourly,prefixes,...]
+//	        [-top N] [-c workers] [-duration D] [-conditional]
 //
 //	apiload -self [-quick] [-c workers] [-duration D]
 //
@@ -45,6 +45,7 @@ import (
 	"cwatrace/internal/sim"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 		endpoint    = flag.String("endpoint", "snapshot", "endpoint to load: snapshot or query")
 		fromArg     = flag.String("from", "", "query range start (RFC 3339 or unix seconds; empty = store origin)")
 		toArg       = flag.String("to", "", "query range end, exclusive (RFC 3339 or unix seconds; empty = end of history)")
+		resolution  = flag.String("resolution", "", "query answer resolution: hour (exact, default), day, week or auto")
 		fields      = flag.String("fields", "", "comma-separated field selection ("+v1.FieldList()+"; empty = all)")
 		top         = flag.Int("top", 0, "top-K truncation of ranked lists (0 = all)")
 		workers     = flag.Int("c", 8, "concurrent workers")
@@ -73,7 +75,7 @@ func main() {
 		fatal("need -addr (or -self); see -h")
 	}
 
-	path, err := buildPath(*endpoint, *fromArg, *toArg, *fields, *top)
+	path, err := buildPath(*endpoint, *fromArg, *toArg, *resolution, *fields, *top)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -87,7 +89,7 @@ func main() {
 
 // buildPath assembles the request path, validating the parameters the
 // way the server would.
-func buildPath(endpoint, from, to, fields string, top int) (string, error) {
+func buildPath(endpoint, from, to, resolution, fields string, top int) (string, error) {
 	if _, err := v1.ParseFields(fields); err != nil {
 		return "", err
 	}
@@ -97,6 +99,9 @@ func buildPath(endpoint, from, to, fields string, top int) (string, error) {
 	if _, err := store.ParseTime(to); err != nil {
 		return "", fmt.Errorf("-to: %w", err)
 	}
+	if _, err := tier.ParseResolution(resolution); err != nil {
+		return "", fmt.Errorf("-resolution: %w", err)
+	}
 	var params []string
 	add := func(k, v string) {
 		if v != "" {
@@ -105,12 +110,13 @@ func buildPath(endpoint, from, to, fields string, top int) (string, error) {
 	}
 	switch endpoint {
 	case "snapshot":
-		if from != "" || to != "" {
-			return "", fmt.Errorf("-from/-to only apply to -endpoint query")
+		if from != "" || to != "" || resolution != "" {
+			return "", fmt.Errorf("-from/-to/-resolution only apply to -endpoint query")
 		}
 	case "query":
 		add("from", from)
 		add("to", to)
+		add("resolution", resolution)
 	default:
 		return "", fmt.Errorf("unknown endpoint %q (want snapshot or query)", endpoint)
 	}

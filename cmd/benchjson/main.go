@@ -54,6 +54,8 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "measure router scatter-gather latency at 1/2/4 nodes instead of go test -bench")
 	iters := flag.Int("iters", 150, "requests per latency distribution under -cluster")
 	obsMode := flag.Bool("obs", false, "compare instrumented vs disabled ingest modes and report telemetry overhead")
+	queryMode := flag.Bool("query", false, "measure long-horizon query latency (raw vs tiered resolutions over a simulated year) instead of go test -bench")
+	days := flag.Int("days", 364, "with -query: days of simulated history to build")
 	maxOverhead := flag.Float64("max-overhead-pct", 3, "with -obs: fail when instrumentation overhead exceeds this percentage (0 disables the gate)")
 	flag.Parse()
 
@@ -66,6 +68,13 @@ func main() {
 	}
 	if *obsMode {
 		if err := runObs(*out, *count, *maxOverhead); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *queryMode {
+		if err := runQuery(*out, *days, *iters); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

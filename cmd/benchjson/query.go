@@ -1,0 +1,257 @@
+package main
+
+// The long-horizon query benchmark behind `benchjson -query`
+// (BENCH_query.json): a durable store holding a simulated year of daily-
+// checkpointed traffic, queried at 1-week, 1-month and 1-year spans at
+// every resolution — hour (the exact raw path, merging checkpoint
+// frames) against day and week (the tiered planner over downsampled
+// frames plus the raw residual). Each configuration reports p50/p99/mean
+// latency; the sketched distinct-prefix count is checked against the
+// generator's exact ground truth wherever the selected frames align
+// with the span, so the error bound lands in the same file as the
+// speedup it buys.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/store"
+	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
+)
+
+// queryResult is one (span, resolution) latency distribution.
+type queryResult struct {
+	Name       string  `json:"name"`
+	SpanDays   int     `json:"span_days"`
+	Resolution string  `json:"resolution"`
+	Iterations int     `json:"iterations"`
+	P50Ns      float64 `json:"p50_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+	MeanNs     float64 `json:"mean_ns"`
+	// Frames counts raw checkpoint frames merged (the whole answer at
+	// hour resolution, the residual tail otherwise); TierFrames the
+	// downsampled frames the planner selected.
+	Frames     int `json:"frames"`
+	TierFrames int `json:"tier_frames,omitempty"`
+	// DistinctEstimate is the sketched distinct-prefix count of a tiered
+	// answer. DistinctExact/DistinctErrPct are filled only when the
+	// selected frames align with the span (day resolution, or any
+	// resolution over the full history), so the comparison is honest.
+	DistinctEstimate uint64  `json:"distinct_estimate,omitempty"`
+	DistinctExact    uint64  `json:"distinct_exact,omitempty"`
+	DistinctErrPct   float64 `json:"distinct_err_pct,omitempty"`
+}
+
+// queryReport is the BENCH_query.json schema.
+type queryReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	Days        int           `json:"days"`
+	Records     int           `json:"records"`
+	RawFrames   int           `json:"raw_frames"`
+	DayFrames   int           `json:"day_frames"`
+	WeekFrames  int           `json:"week_frames"`
+	Results     []queryResult `json:"results"`
+}
+
+// Per-day workload shape: newClients fresh /24 prefixes every day plus
+// persistent prefixes present every day, across busyHours hours — small
+// enough to build a year in seconds, structured enough that distinct
+// counts have exact closed forms (day d introduces newClients prefixes
+// nobody else uses, so D aligned days hold D*newClients+persistent).
+const (
+	benchNewClients = 6
+	benchPersistent = 8
+	benchBusyHours  = 3
+)
+
+// benchRecord fabricates a kept record in hour h from prefix-id id
+// (each id owns its own /24: the id fills the second and third octets).
+func benchRecord(h int64, id int, bytes uint64) netflow.Record {
+	at := entime.StudyStart.Add(time.Duration(h) * time.Hour)
+	return netflow.Record{
+		Key: netflow.Key{
+			Src:     core.DefaultFilter().ServerPrefixes[0].Addr(),
+			Dst:     netip.AddrFrom4([4]byte{10, byte(id >> 8), byte(id), 1}),
+			SrcPort: netflow.PortHTTPS,
+			DstPort: uint16(40000 + id%20000),
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets:  3,
+		Bytes:    bytes,
+		First:    at,
+		Last:     at.Add(time.Second),
+		Exporter: "ISP/BE-000",
+	}
+}
+
+// buildYearStore ingests days of synthetic traffic with one checkpoint
+// per day, so the store folds day and week tier frames exactly as a
+// year-long capture would.
+func buildYearStore(dir string, days int) (*store.Store, int, error) {
+	st, err := store.Open(dir, store.Options{
+		Analytics: streaming.Config{WindowHours: days*24 + 48, TopK: 10},
+		Sync:      store.SyncNever,
+		Tier:      true,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	records := 0
+	for d := 0; d < days; d++ {
+		var batch []netflow.Record
+		for hh := 0; hh < benchBusyHours; hh++ {
+			h := int64(d*24 + hh*7)
+			for c := 0; c < benchNewClients; c++ {
+				batch = append(batch, benchRecord(h, d*benchNewClients+c, uint64(500+c)))
+			}
+			for p := 0; p < benchPersistent; p++ {
+				batch = append(batch, benchRecord(h, 60000+p, 700))
+			}
+		}
+		if err := st.Append(batch); err != nil {
+			st.Close()
+			return nil, 0, err
+		}
+		records += len(batch)
+		if err := st.Checkpoint(); err != nil {
+			st.Close()
+			return nil, 0, err
+		}
+	}
+	return st, records, nil
+}
+
+// runQuery is the `-query` mode.
+func runQuery(out string, days, iters int) error {
+	if days < 14 {
+		return fmt.Errorf("-days %d: need at least two weeks", days)
+	}
+	dir, err := os.MkdirTemp("", "benchquery")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	t0 := time.Now()
+	st, records, err := buildYearStore(dir, days)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	m := st.Metrics()
+	fmt.Fprintf(os.Stderr, "benchjson: built %d-day store in %s: %d records, %d raw / %d day / %d week frames\n",
+		days, time.Since(t0).Round(time.Millisecond), records, m.Frames, m.TierFramesDay, m.TierFramesWeek)
+
+	rep := queryReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Days:        days,
+		Records:     records,
+		RawFrames:   m.Frames,
+		DayFrames:   m.TierFramesDay,
+		WeekFrames:  m.TierFramesWeek,
+	}
+
+	end := entime.StudyStart.Add(time.Duration(days) * 24 * time.Hour)
+	spans := []struct {
+		name string
+		days int
+	}{
+		{"1-week", 7},
+		{"1-month", 30},
+		{"1-year", days},
+	}
+	resolutions := []tier.Resolution{tier.ResolutionHour, tier.ResolutionDay, tier.ResolutionWeek}
+	for _, span := range spans {
+		from := end.Add(-time.Duration(span.days) * 24 * time.Hour)
+		for _, res := range resolutions {
+			qr, err := benchQuerySpan(st, from, end, res, span.name, span.days, days, iters)
+			if err != nil {
+				return fmt.Errorf("%s at %s: %w", span.name, res, err)
+			}
+			rep.Results = append(rep.Results, *qr)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results)\n", out, len(rep.Results))
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "  %-22s p50=%.2fms p99=%.2fms", r.Name,
+			r.P50Ns/1e6, r.P99Ns/1e6)
+		if r.DistinctExact > 0 {
+			fmt.Fprintf(os.Stderr, " distinct ~%d vs %d exact (%.2f%% err)",
+				r.DistinctEstimate, r.DistinctExact, r.DistinctErrPct)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	return nil
+}
+
+// benchQuerySpan times one (span, resolution) configuration and checks
+// the sketch against ground truth where the coverage aligns.
+func benchQuerySpan(st *store.Store, from, to time.Time, res tier.Resolution, spanName string, spanDays, totalDays, iters int) (*queryResult, error) {
+	lat := make([]time.Duration, 0, iters)
+	var last *store.QueryResult
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		r, err := st.QueryResolution(from, to, res)
+		if err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(start))
+		last = r
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pct := func(p float64) float64 { return float64(lat[int(p*float64(len(lat)-1))]) }
+	qr := &queryResult{
+		Name:       fmt.Sprintf("%s/%s", spanName, res),
+		SpanDays:   spanDays,
+		Resolution: string(res),
+		Iterations: len(lat),
+		P50Ns:      pct(0.50),
+		P99Ns:      pct(0.99),
+		MeanNs:     float64(sum) / float64(len(lat)),
+		Frames:     last.Frames,
+	}
+	if last.LongHorizon != nil {
+		qr.TierFrames = last.LongHorizon.TierFrames
+		qr.DistinctEstimate = last.LongHorizon.DistinctPrefixes
+		// Ground truth is well-defined only when the selected frames
+		// cover exactly the span: day frames align with any whole-day
+		// span; coarser frames align when the span is the whole history.
+		// (A week frame straddling the span start would honestly cover
+		// extra days, so comparing it to the span's count would be
+		// reporting planner semantics as sketch error.)
+		if res == tier.ResolutionDay || spanDays == totalDays {
+			qr.DistinctExact = uint64(spanDays*benchNewClients + benchPersistent)
+			qr.DistinctErrPct = 100 * (float64(qr.DistinctEstimate) - float64(qr.DistinctExact)) / float64(qr.DistinctExact)
+		}
+	}
+	return qr, nil
+}

@@ -122,6 +122,7 @@ func main() {
 		fsyncPolicy  = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
 		fsyncEvery   = flag.Duration("fsync-interval", time.Second, "fsync cadence under -fsync=interval")
 		ckptEvery    = flag.Duration("checkpoint-interval", 5*time.Minute, "checkpoint/compaction cadence (0 disables the ticker)")
+		tierOn       = flag.Bool("tier", true, "fold long-horizon day/week tier frames at checkpoint time (enables resolution=day|week|auto queries)")
 		segmentBytes = flag.Int64("segment-bytes", 4<<20, "WAL segment rotation size in bytes")
 	)
 	flag.Parse()
@@ -221,6 +222,7 @@ func main() {
 			Analytics:    acfg,
 			SegmentBytes: *segmentBytes,
 			Sync:         pol,
+			Tier:         *tierOn,
 			Metrics:      o.reg,
 			Tracer:       o.tracer,
 			Events:       o.events,

@@ -8,9 +8,9 @@
 //	cwanalyze -trace trace.cwaflow -geodb geodb.jsonl [-fig2] [-fig3]
 //	          [-persistence] [-outbreaks] [-census]
 //
-//	cwanalyze -data-dir DIR [-from T] [-to T]
+//	cwanalyze -data-dir DIR [-from T] [-to T] [-resolution R]
 //
-//	cwanalyze -addr HOST:PORT [-from T] [-to T]
+//	cwanalyze -addr HOST:PORT [-from T] [-to T] [-resolution R]
 //
 // Without selection flags every analysis runs.
 //
@@ -26,6 +26,12 @@
 // over its versioned API (/api/v1/query, via the typed internal/api
 // client with retries and ETag-aware caching) — no filesystem access,
 // same output as a local -data-dir read of the same store.
+//
+// -resolution picks the answer resolution on both historical paths:
+// hour (the exact default), day or week (downsampled tier frames plus
+// the exact raw residual, with sketch-estimated distinct-prefix and
+// presence figures), or auto (pick by span). Day/week answers print the
+// long-horizon summary instead of the hourly tables.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"cwatrace/internal/geodb"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 	"cwatrace/internal/trace"
 )
 
@@ -60,18 +67,23 @@ func main() {
 		addr    = flag.String("addr", "", "live collectord API address, e.g. 127.0.0.1:8055 (replaces -trace/-data-dir)")
 		fromArg = flag.String("from", "", "historical range start (RFC 3339, e.g. 2020-06-16T00:00:00Z, or unix seconds, e.g. 1592265600; empty = store origin)")
 		toArg   = flag.String("to", "", "historical range end, exclusive (RFC 3339 or unix seconds; empty = end of history)")
+		resArg  = flag.String("resolution", "", "answer resolution: hour (exact, default), day, week or auto")
 	)
 	flag.Parse()
 	all := !*fig2 && !*fig3 && !*persistence && !*outbreaks && !*census
 
+	resolution, err := tier.ParseResolution(*resArg)
+	if err != nil {
+		fatal("-resolution: %v", err)
+	}
 	if *addr != "" {
-		if err := analyzeRemote(*addr, *fromArg, *toArg, *scale); err != nil {
+		if err := analyzeRemote(*addr, *fromArg, *toArg, *resArg, *scale); err != nil {
 			fatal("%v", err)
 		}
 		return
 	}
 	if *dataDir != "" {
-		if err := analyzeStore(*dataDir, *geoPath, *fromArg, *toArg, *scale); err != nil {
+		if err := analyzeStore(*dataDir, *geoPath, *fromArg, *toArg, resolution, *scale); err != nil {
 			fatal("%v", err)
 		}
 		return
@@ -132,7 +144,7 @@ func main() {
 
 // analyzeStore serves the historical range straight from a collectord
 // data dir: no trace replay, just checkpoint-frame merging.
-func analyzeStore(dir, geoPath, fromArg, toArg string, scale int) error {
+func analyzeStore(dir, geoPath, fromArg, toArg string, resolution tier.Resolution, scale int) error {
 	from, err := store.ParseTime(fromArg)
 	if err != nil {
 		return fmt.Errorf("-from: %w", err)
@@ -165,19 +177,23 @@ func analyzeStore(dir, geoPath, fromArg, toArg string, scale int) error {
 	fmt.Printf("store %s: %d checkpoint frames (%d records), %d un-checkpointed WAL records\n",
 		dir, m.Frames, m.FrameRecords, m.RecoveredWALRecords)
 
-	res, err := st.Query(from, to)
+	res, err := st.QueryResolution(from, to, resolution)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("range [%s, %s): merged %d frames (tail included: %v)\n\n",
 		timeBound(from, "origin"), timeBound(to, "end"), res.Frames, res.TailIncluded)
+	if res.LongHorizon != nil {
+		renderLongHorizon(res.LongHorizon, scale)
+		return nil
+	}
 	renderRange(res.Snapshot, scale)
 	return nil
 }
 
 // analyzeRemote serves the same historical range from a live collectord
 // over /api/v1/query: identical rendering, no filesystem access.
-func analyzeRemote(addr, fromArg, toArg string, scale int) error {
+func analyzeRemote(addr, fromArg, toArg, resolution string, scale int) error {
 	c, err := client.New(addr, nil)
 	if err != nil {
 		return err
@@ -185,7 +201,7 @@ func analyzeRemote(addr, fromArg, toArg string, scale int) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
-	res, err := c.QueryBounds(ctx, fromArg, toArg, nil)
+	res, err := c.QueryBounds(ctx, fromArg, toArg, &client.ReqOpts{Resolution: resolution})
 	if err != nil {
 		return err
 	}
@@ -195,8 +211,38 @@ func analyzeRemote(addr, fromArg, toArg string, scale int) error {
 	}
 	fmt.Printf("range [%s, %s): merged %d frames (tail included: %v)\n\n",
 		timeBound(res.From, "origin"), timeBound(res.To, "end"), res.Frames, res.TailIncluded)
+	if res.LongHorizon != nil {
+		renderLongHorizon(res.LongHorizon, scale)
+		return nil
+	}
 	renderRange(res.Snapshot.Streaming(), scale)
 	return nil
+}
+
+// renderLongHorizon prints a day/week-resolution answer: the exact
+// downsampled series and census, then the sketched estimates with their
+// honest approximate label — shared by the local and remote paths.
+func renderLongHorizon(ans *tier.Answer, scale int) {
+	fmt.Println(core.RenderCensus(ans.Census, scale))
+	fmt.Printf("%s series: %d buckets (%dh each)", ans.Resolution, len(ans.Buckets), ans.BucketHours)
+	if len(ans.Buckets) > 0 {
+		fmt.Printf(" [%s .. %s]", ans.Buckets[0].Time.Format(time.RFC3339),
+			ans.Buckets[len(ans.Buckets)-1].Time.Format(time.RFC3339))
+	}
+	var flows, bytes float64
+	for _, b := range ans.Buckets {
+		flows += b.Flows
+		bytes += b.Bytes
+	}
+	fmt.Printf(", %.0f flows, %.0f bytes\n", flows, bytes)
+	fmt.Printf("sources: %d tier frames + %d raw residual frames\n", ans.TierFrames, ans.RawFrames)
+	fmt.Printf("distinct client prefixes: ~%d (HLL estimate)\n", ans.DistinctPrefixes)
+	p := ans.Presence
+	fmt.Printf("prefix presence (per-frame observations): n=%d p50=%d p90=%d p99=%d max=%d\n",
+		p.Count, p.P50, p.P90, p.P99, p.Max)
+	if len(ans.Districts) > 0 {
+		fmt.Printf("districts active: %d (located %d flows)\n", len(ans.Districts), ans.Located)
+	}
 }
 
 // renderRange prints a historical range snapshot — shared verbatim by

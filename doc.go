@@ -62,6 +62,14 @@
 //     checkpointed analytics frames with CRC-protected records, crash
 //     recovery, background compaction, and the historical time-range
 //     query engine
+//   - internal/tier — the long-horizon history layer over the store:
+//     day/week tier frames folded additively from checkpoint frames,
+//     versioned CRC-protected codec, and the span-aware query planner
+//     behind resolution=hour|day|week|auto
+//   - internal/sketch — the bounded-memory estimators tier frames
+//     carry: HyperLogLog distinct-prefix cardinality and a compressing
+//     presence-quantile sketch, both with associative, order-invariant
+//     merges
 //   - internal/api — the versioned analytics API served by collectord:
 //     conditional-GET caching (strong ETags from store generations, a
 //     single-flight response cache), field selection, gzip, timeouts,

@@ -102,6 +102,9 @@ type ReqOpts struct {
 	Fields v1.FieldSet
 	// Top truncates the ranked lists to the busiest N entries (0 = all).
 	Top int
+	// Resolution selects the query answer resolution (hour, day, week,
+	// auto; empty = the exact hourly default). Query endpoints only.
+	Resolution string
 }
 
 // values renders the options as query parameters.
@@ -115,6 +118,9 @@ func (o *ReqOpts) values() url.Values {
 	}
 	if o.Top > 0 {
 		q.Set("top", strconv.Itoa(o.Top))
+	}
+	if o.Resolution != "" {
+		q.Set("resolution", o.Resolution)
 	}
 	return q
 }

@@ -22,6 +22,7 @@ import (
 	"cwatrace/internal/obs"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 )
 
 // ShardError describes one shard that did not contribute to a fan-out.
@@ -53,6 +54,12 @@ type FanResult struct {
 	// (sum and logical OR); both are zero for snapshot fan-outs.
 	Frames       int
 	TailIncluded bool
+	// Resolution and LongHorizon carry the merged long-horizon answer of
+	// a day/week/auto-resolution query fan-out (sketches merge across
+	// shards; see tier.Builder.MergeAnswer). Both are empty on the exact
+	// hourly path and for snapshot fan-outs.
+	Resolution  string
+	LongHorizon *tier.Answer
 	// Version is the composite validator token: a hash over the
 	// per-shard strong ETags in shard order. Validated reports whether
 	// it may be served as a strong validator — every shard answered and
@@ -92,8 +99,11 @@ type Fanout interface {
 	Nonce() uint64
 	// Snapshot gathers and merges /api/v1/snapshot across the fleet.
 	Snapshot(ctx context.Context) (*FanResult, error)
-	// Query gathers and merges /api/v1/query?from=&to= across the fleet.
-	Query(ctx context.Context, from, to time.Time) (*FanResult, error)
+	// Query gathers and merges /api/v1/query?from=&to=&resolution=
+	// across the fleet. res is forwarded to every shard verbatim (hour is
+	// the exact path); the merged long-horizon answer rides back on
+	// FanResult.LongHorizon.
+	Query(ctx context.Context, from, to time.Time, res tier.Resolution) (*FanResult, error)
 	// Stats gathers and sums /api/v1/stats across the fleet.
 	Stats(ctx context.Context) (*FanStats, error)
 	// Health probes every shard; the returned slice names the shards
@@ -163,10 +173,10 @@ func (s *Server) handleFanSnapshot(w http.ResponseWriter, r *http.Request, p req
 	s.serveFanned(w, r, "v1/snapshot", p.key(), res, build, p.pretty)
 }
 
-// handleFanQuery is /api/v1/query in fan-out mode. from/to are already
-// parsed by the caller.
-func (s *Server) handleFanQuery(w http.ResponseWriter, r *http.Request, p reqParams, from, to time.Time) {
-	res, err := s.cfg.Fanout.Query(r.Context(), from, to)
+// handleFanQuery is /api/v1/query in fan-out mode. from/to/resolution
+// are already parsed by the caller.
+func (s *Server) handleFanQuery(w http.ResponseWriter, r *http.Request, p reqParams, from, to time.Time, resolution tier.Resolution) {
+	res, err := s.cfg.Fanout.Query(r.Context(), from, to, resolution)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, v1.CodeInternal, "fan-out failed", err.Error())
 		return
@@ -176,7 +186,7 @@ func (s *Server) handleFanQuery(w http.ResponseWriter, r *http.Request, p reqPar
 			"no shard reachable", shardDetail(res.Missing))
 		return
 	}
-	key := fmt.Sprintf("from=%s&to=%s&%s", stamp(from), stamp(to), p.key())
+	key := fmt.Sprintf("from=%s&to=%s&resolution=%s&%s", stamp(from), stamp(to), resolution, p.key())
 	build := func() (any, error) {
 		return &v1.QueryResponse{
 			From:         from,
@@ -184,6 +194,8 @@ func (s *Server) handleFanQuery(w http.ResponseWriter, r *http.Request, p reqPar
 			Frames:       res.Frames,
 			TailIncluded: res.TailIncluded,
 			Snapshot:     v1.NewSnapshot(res.Snapshot, p.fields, p.top),
+			Resolution:   res.Resolution,
+			LongHorizon:  res.LongHorizon,
 			Degraded:     degradedOf(res.Missing, obs.RequestID(r.Context())),
 		}, nil
 	}

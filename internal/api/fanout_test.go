@@ -10,6 +10,7 @@ import (
 
 	v1 "cwatrace/internal/api/v1"
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 )
 
 // fakeFanout is a scripted Fanout for exercising the handler contract
@@ -27,7 +28,7 @@ func (f *fakeFanout) Snapshot(context.Context) (*FanResult, error) {
 	r := f.res
 	return &r, nil
 }
-func (f *fakeFanout) Query(context.Context, time.Time, time.Time) (*FanResult, error) {
+func (f *fakeFanout) Query(context.Context, time.Time, time.Time, tier.Resolution) (*FanResult, error) {
 	r := f.res
 	return &r, nil
 }

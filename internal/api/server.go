@@ -31,6 +31,7 @@ import (
 	"cwatrace/internal/obs"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 )
 
 // Live is the in-memory data source: the ingest pipeline (or anything
@@ -49,6 +50,10 @@ type Live interface {
 type History interface {
 	Snapshot() *streaming.Snapshot
 	Query(from, to time.Time) (*store.QueryResult, error)
+	// QueryResolution is Query with a resolution: hour is the exact
+	// path, day/week answer from the downsampled tier frames plus the
+	// exact raw residual, auto picks by span (see store.QueryResolution).
+	QueryResolution(from, to time.Time, res tier.Resolution) (*store.QueryResult, error)
 	Version(from, to time.Time) uint64
 	Metrics() store.Metrics
 }
@@ -427,14 +432,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, v1.CodeBadRequest, "bad to parameter", err.Error())
 		return
 	}
-	if s.cfg.Fanout != nil {
-		s.handleFanQuery(w, r, p, from, to)
+	resolution, err := tier.ParseResolution(q.Get("resolution"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, v1.CodeBadRequest, "bad resolution parameter", err.Error())
 		return
 	}
-	key := fmt.Sprintf("from=%s&to=%s&%s", stamp(from), stamp(to), p.key())
+	if s.cfg.Fanout != nil {
+		s.handleFanQuery(w, r, p, from, to, resolution)
+		return
+	}
+	key := fmt.Sprintf("from=%s&to=%s&resolution=%s&%s", stamp(from), stamp(to), resolution, p.key())
 	version := func() uint64 { return s.cfg.History.Version(from, to) }
 	s.serveCached(w, r, "v1/query", key, version, func() (any, error) {
-		res, err := s.cfg.History.Query(from, to)
+		res, err := s.cfg.History.QueryResolution(from, to, resolution)
 		if err != nil {
 			return nil, err
 		}
@@ -444,6 +454,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Frames:       res.Frames,
 			TailIncluded: res.TailIncluded,
 			Snapshot:     v1.NewSnapshot(res.Snapshot, p.fields, p.top),
+			Resolution:   string(res.Resolution),
+			LongHorizon:  res.LongHorizon,
 		}, nil
 	}, p.pretty)
 }
@@ -507,6 +519,13 @@ func (s *Server) handleLegacyQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	// The legacy shape has no place for the long-horizon answer, so
+	// silently ignoring ?resolution= would quietly serve the exact hourly
+	// body under a tiered-looking URL. Reject it loudly instead.
+	if q.Get("resolution") != "" {
+		http.Error(w, "resolution is not supported on the legacy endpoint; use /api/v1/query", http.StatusBadRequest)
+		return
+	}
 	from, err := store.ParseTime(q.Get("from"))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("from: %v", err), http.StatusBadRequest)

@@ -23,6 +23,7 @@ import (
 	"cwatrace/internal/ingest"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 )
 
 // Re-exported aggregate rows. The JSON encodings of these types are
@@ -42,6 +43,11 @@ type (
 	IngestStats = ingest.Stats
 	// StoreMetrics are the durable-store gauges.
 	StoreMetrics = store.Metrics
+	// LongHorizon is the tiered day/week-resolution answer block (see
+	// internal/tier.Answer): exact downsampled buckets and census plus
+	// the sketched distinct-prefix and presence estimates, carried with
+	// the marshaled sketch state so routers can merge across shards.
+	LongHorizon = tier.Answer
 )
 
 // Error codes carried in the error envelope. A draining daemon is not
@@ -181,8 +187,15 @@ type QueryResponse struct {
 	// reports whether the live (un-checkpointed) tail contributed.
 	Frames       int  `json:"frames"`
 	TailIncluded bool `json:"tail_included"`
-	// Snapshot is the merged, hour-trimmed view of the range.
+	// Snapshot is the merged, hour-trimmed view of the range. Under a
+	// day/week resolution it holds only the exact raw residual beyond
+	// tier coverage; the tiered aggregates live in LongHorizon.
 	Snapshot *Snapshot `json:"snapshot"`
+	// Resolution echoes the effective answer resolution and LongHorizon
+	// carries the tiered answer; both are absent on the exact hourly
+	// path (?resolution omitted, hour, or a store without tiers).
+	Resolution  string       `json:"resolution,omitempty"`
+	LongHorizon *LongHorizon `json:"long_horizon,omitempty"`
 	// Degraded marks a partial clustered response (see Degraded).
 	Degraded *Degraded `json:"degraded,omitempty"`
 }

@@ -20,6 +20,7 @@ import (
 	"cwatrace/internal/obs"
 	"cwatrace/internal/store"
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 )
 
 // Options tune a Fleet; the zero value is usable.
@@ -178,7 +179,15 @@ type part struct {
 	etag         string
 	frames       int
 	tailIncluded bool
+	// resolution/longHorizon carry the shard's long-horizon block for
+	// day/week-resolution query fan-outs (empty on the exact path).
+	resolution  string
+	longHorizon *tier.Answer
 }
+
+// districtName is a shard-rendered district label, keyed by district id
+// in the merge's name map.
+type districtName struct{ name, state string }
 
 // fullFields requests everything untruncated — the merge needs complete
 // per-shard state; field selection and top-K truncation are re-applied
@@ -199,18 +208,32 @@ func (f *Fleet) Snapshot(ctx context.Context) (*api.FanResult, error) {
 	return f.merge(parts, missing, timings, time.Time{}, time.Time{})
 }
 
-// Query implements api.Fanout.
-func (f *Fleet) Query(ctx context.Context, from, to time.Time) (*api.FanResult, error) {
+// Query implements api.Fanout. res is forwarded to every shard
+// verbatim; each durable shard answers from its own tiers and the
+// carried sketch state merges here (estimates cannot be summed across
+// shards, sketches can).
+func (f *Fleet) Query(ctx context.Context, from, to time.Time, res tier.Resolution) (*api.FanResult, error) {
+	opts := *fullFields
+	if res != "" && res != tier.ResolutionHour {
+		opts.Resolution = string(res)
+	}
 	parts := make([]*part, len(f.clients))
 	missing, timings := f.eachShard(ctx, func(ctx context.Context, i int, c *client.Client) error {
-		resp, etag, err := c.QueryTag(ctx, from, to, fullFields)
+		resp, etag, err := c.QueryTag(ctx, from, to, &opts)
 		if err != nil {
 			return err
 		}
 		if resp.Snapshot == nil {
 			return fmt.Errorf("cluster: shard query returned no snapshot")
 		}
-		parts[i] = &part{snap: resp.Snapshot, etag: etag, frames: resp.Frames, tailIncluded: resp.TailIncluded}
+		parts[i] = &part{
+			snap:         resp.Snapshot,
+			etag:         etag,
+			frames:       resp.Frames,
+			tailIncluded: resp.TailIncluded,
+			resolution:   resp.Resolution,
+			longHorizon:  resp.LongHorizon,
+		}
 		return nil
 	})
 	return f.merge(parts, missing, timings, from, to)
@@ -223,11 +246,10 @@ func (f *Fleet) Query(ctx context.Context, from, to time.Time) (*api.FanResult, 
 // collector's own query path would).
 func (f *Fleet) merge(parts []*part, missing []api.ShardError, timings []api.ShardTiming, from, to time.Time) (*api.FanResult, error) {
 	res := &api.FanResult{Missing: missing, Timings: timings}
-	type nameEntry struct{ name, state string }
 	var (
 		m      *streaming.Analytics
 		origin time.Time
-		names  map[string]nameEntry
+		names  map[string]districtName
 		etags  = make([]string, len(parts))
 		tagged int
 	)
@@ -248,14 +270,14 @@ func (f *Fleet) merge(parts []*part, missing []api.ShardError, timings []api.Sha
 				WindowHours: p.snap.WindowHours,
 				TopK:        f.topK,
 			})
-			names = make(map[string]nameEntry)
+			names = make(map[string]districtName)
 		} else if !p.snap.Origin.Equal(origin) {
 			return nil, fmt.Errorf("cluster: shard %d origin %s differs from fleet origin %s",
 				i, p.snap.Origin, origin)
 		}
 		for _, dc := range p.snap.Districts {
 			if dc.Name != "" || dc.StateCode != "" {
-				names[dc.ID] = nameEntry{dc.Name, dc.StateCode}
+				names[dc.ID] = districtName{dc.Name, dc.StateCode}
 			}
 		}
 		m.Merge(streaming.FromSnapshot(p.snap.Streaming()))
@@ -273,9 +295,64 @@ func (f *Fleet) merge(parts []*part, missing []api.ShardError, timings []api.Sha
 		}
 	}
 	res.Snapshot = snap
+	if err := f.mergeLongHorizon(res, parts, origin, names); err != nil {
+		return nil, err
+	}
 	res.Version = composeVersion(etags)
 	res.Validated = len(missing) == 0 && tagged == len(parts)
 	return res, nil
+}
+
+// mergeLongHorizon folds the shards' long-horizon answers into one. The
+// answering shards must agree on the effective resolution — with a
+// concrete day/week request they always do; an auto request against a
+// fleet whose shards hold very different history spans can disagree,
+// and a mixed-resolution merge would silently sum day buckets into week
+// buckets, so it is an error instead. Sketch state merges through
+// tier.Builder.MergeAnswer; corrupt sketch bytes from a shard fail the
+// fan-out rather than merging garbage.
+func (f *Fleet) mergeLongHorizon(res *api.FanResult, parts []*part, origin time.Time, names map[string]districtName) error {
+	resolution := ""
+	any := false
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		if !any {
+			resolution = p.resolution
+			any = true
+		} else if p.resolution != resolution {
+			return fmt.Errorf("cluster: shard %d answered at resolution %q, fleet at %q (retry with an explicit resolution)",
+				i, p.resolution, resolution)
+		}
+	}
+	if !any || resolution == "" {
+		return nil // exact hourly path: no long-horizon block to merge
+	}
+	b := tier.NewBuilder(tier.Resolution(resolution), origin)
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		if p.longHorizon == nil {
+			return fmt.Errorf("cluster: shard %d answered at resolution %q without a long-horizon block", i, resolution)
+		}
+		if err := b.MergeAnswer(p.longHorizon); err != nil {
+			return fmt.Errorf("cluster: shard %d long-horizon sketches: %w", i, err)
+		}
+	}
+	ans := b.Answer()
+	// The builder carries no geo model; re-attach the names the shards
+	// rendered, same as the merged snapshot's districts.
+	for i := range ans.Districts {
+		if e, ok := names[ans.Districts[i].ID]; ok {
+			ans.Districts[i].Name = e.name
+			ans.Districts[i].StateCode = e.state
+		}
+	}
+	res.Resolution = resolution
+	res.LongHorizon = ans
+	return nil
 }
 
 // composeVersion hashes the per-shard strong ETags, in shard order,
@@ -354,6 +431,9 @@ func (f *Fleet) Stats(ctx context.Context) (*api.FanStats, error) {
 		sum.TruncatedBytes += resp.Store.TruncatedBytes
 		sum.Checkpoints += resp.Store.Checkpoints
 		sum.CompactedFrames += resp.Store.CompactedFrames
+		sum.TierFramesDay += resp.Store.TierFramesDay
+		sum.TierFramesWeek += resp.Store.TierFramesWeek
+		sum.TierFolds += resp.Store.TierFolds
 		if resp.Store.LastCheckpoint.After(sum.LastCheckpoint) {
 			sum.LastCheckpoint = resp.Store.LastCheckpoint
 		}

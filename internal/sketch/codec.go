@@ -1,0 +1,170 @@
+package sketch
+
+// The sketch wire/disk codec. Every marshaled sketch is one versioned,
+// CRC-framed record, mirroring the store's record framing so a reader
+// can always tell a cleanly written sketch from bit rot:
+//
+//	+---------+------+-------------+-----------+
+//	| version | kind | payload len | CRC-32    | payload ...
+//	| 1 byte  | 1 B  | 4 bytes     | 4 (IEEE)  |
+//	+---------+------+-------------+-----------+
+//
+// The CRC covers version, kind and payload. A corrupted sketch is
+// rejected with ErrCorrupt — it must never be merged into a healthy
+// estimate (registers full of garbage would silently inflate a
+// cardinality forever, since HLL merge is max). Decoding arbitrary
+// bytes never panics; the fuzz target pins that.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// codecVersion is the sketch framing version. Bumping it (a register
+// count change, a bucket layout change) makes old bytes unreadable
+// rather than misread.
+const codecVersion = 1
+
+// Sketch kinds.
+const (
+	kindHLL      byte = 1
+	kindQuantile byte = 2
+)
+
+const headerLen = 1 + 1 + 4 + 4
+
+// maxPayload bounds a sketch payload; anything larger is corruption,
+// not an allocation request.
+const maxPayload = 1 << 20
+
+// ErrCorrupt marks framing or checksum damage in a marshaled sketch.
+var ErrCorrupt = errors.New("sketch: corrupt")
+
+// appendFrame wraps payload in the sketch framing.
+func appendFrame(buf []byte, kind byte, payload []byte) []byte {
+	buf = append(buf, codecVersion, kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{codecVersion, kind})
+	crc.Write(payload)
+	buf = binary.BigEndian.AppendUint32(buf, crc.Sum32())
+	return append(buf, payload...)
+}
+
+// readFrame parses one framed sketch at the head of data, returning the
+// kind, the payload (aliasing data) and the bytes consumed.
+func readFrame(data []byte) (kind byte, payload []byte, n int, err error) {
+	if len(data) < headerLen {
+		return 0, nil, 0, fmt.Errorf("%w: %d header bytes", ErrCorrupt, len(data))
+	}
+	if data[0] != codecVersion {
+		return 0, nil, 0, fmt.Errorf("%w: sketch version %d", ErrCorrupt, data[0])
+	}
+	kind = data[1]
+	plen := int(binary.BigEndian.Uint32(data[2:6]))
+	if plen > maxPayload {
+		return 0, nil, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+	}
+	if len(data) < headerLen+plen {
+		return 0, nil, 0, fmt.Errorf("%w: payload %d of %d bytes", ErrCorrupt, len(data)-headerLen, plen)
+	}
+	payload = data[headerLen : headerLen+plen]
+	crc := crc32.NewIEEE()
+	crc.Write(data[0:2])
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(data[6:10]) {
+		return 0, nil, 0, fmt.Errorf("%w: CRC mismatch on %d-byte sketch", ErrCorrupt, plen)
+	}
+	return kind, payload, headerLen + plen, nil
+}
+
+// AppendBinary appends the framed encoding of h to buf. The encoding is
+// deterministic: equal sketches encode to equal bytes, which is what
+// lets the associativity tests compare merges bitwise.
+func (h *HLL) AppendBinary(buf []byte) []byte {
+	return appendFrame(buf, kindHLL, h.reg[:])
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *HLL) MarshalBinary() ([]byte, error) { return h.AppendBinary(nil), nil }
+
+// DecodeHLL parses one framed HLL at the head of data, returning the
+// bytes consumed. Arbitrary input yields an error, never a panic.
+func DecodeHLL(data []byte) (*HLL, int, error) {
+	kind, payload, n, err := readFrame(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if kind != kindHLL {
+		return nil, 0, fmt.Errorf("%w: kind %d, want HLL", ErrCorrupt, kind)
+	}
+	if len(payload) != hllM {
+		return nil, 0, fmt.Errorf("%w: %d HLL registers, want %d", ErrCorrupt, len(payload), hllM)
+	}
+	h := &HLL{}
+	copy(h.reg[:], payload)
+	// A register can never exceed the max rank AddHash produces. The CRC
+	// already catches transmission damage; this bound rejects a sketch
+	// that was CRC-framed by something other than this encoder, so a
+	// hand-crafted register file cannot poison every future merge.
+	const maxRank = 64 - hllP + 1
+	for i, r := range h.reg {
+		if r > maxRank {
+			return nil, 0, fmt.Errorf("%w: register %d rank %d exceeds %d", ErrCorrupt, i, r, maxRank)
+		}
+	}
+	return h, n, nil
+}
+
+// AppendBinary appends the framed encoding of q to buf (bucket count,
+// then the counts; the layout itself is pinned by codecVersion).
+func (q *Quantile) AppendBinary(buf []byte) []byte {
+	payload := make([]byte, 0, 4+8*len(q.counts))
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(q.counts)))
+	for _, c := range q.counts {
+		payload = binary.BigEndian.AppendUint64(payload, c)
+	}
+	return appendFrame(buf, kindQuantile, payload)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (q *Quantile) MarshalBinary() ([]byte, error) { return q.AppendBinary(nil), nil }
+
+// DecodeQuantile parses one framed quantile histogram at the head of
+// data, returning the bytes consumed. The bucket count must match this
+// version's layout exactly — counts under a different layout have a
+// different meaning, and merging them would corrupt quantiles silently.
+func DecodeQuantile(data []byte) (*Quantile, int, error) {
+	kind, payload, n, err := readFrame(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if kind != kindQuantile {
+		return nil, 0, fmt.Errorf("%w: kind %d, want quantile", ErrCorrupt, kind)
+	}
+	if len(payload) < 4 {
+		return nil, 0, fmt.Errorf("%w: quantile payload of %d bytes", ErrCorrupt, len(payload))
+	}
+	nb := int(binary.BigEndian.Uint32(payload))
+	if nb != len(quantBounds) {
+		return nil, 0, fmt.Errorf("%w: %d quantile buckets, want %d", ErrCorrupt, nb, len(quantBounds))
+	}
+	if len(payload) != 4+8*nb {
+		return nil, 0, fmt.Errorf("%w: quantile payload %d bytes, want %d", ErrCorrupt, len(payload), 4+8*nb)
+	}
+	q := NewQuantile()
+	var total uint64
+	for i := 0; i < nb; i++ {
+		c := binary.BigEndian.Uint64(payload[4+8*i:])
+		q.counts[i] = c
+		next := total + c
+		if next < total {
+			return nil, 0, fmt.Errorf("%w: quantile counts overflow", ErrCorrupt)
+		}
+		total = next
+	}
+	q.total = total
+	return q, n, nil
+}

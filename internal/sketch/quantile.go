@@ -1,0 +1,172 @@
+package sketch
+
+// The quantile half of the package: a fixed-bucket histogram over
+// per-prefix presence hours. Unlike general-purpose quantile sketches
+// (t-digest, KLL), whose merge results depend on insertion order, a
+// static bucket layout makes merge a bucket-wise add — bitwise
+// associative and commutative, which the cluster scatter-gather
+// requires. The domain is bounded (presence hours never exceed
+// streaming.MaxWindowHours), so a static layout loses nothing: values
+// up to quantExactMax count exactly, larger values land in geometric
+// buckets whose relative width pins the quantization error.
+
+import "math"
+
+// quantExactMax is the largest value with its own unit-width bucket:
+// presence counts up to two days resolve exactly, which covers the mass
+// of the paper's short-lived prefixes.
+const quantExactMax = 48
+
+// quantRatio is the geometric bucket growth factor above quantExactMax:
+// 2^(1/8), i.e. at most ~9.1% bucket width, at most ~4.5% midpoint
+// error — the bound the error-table test pins.
+var quantRatio = math.Pow(2, 1.0/8)
+
+// quantBuckets is the full bucket count; quantBounds[i] is the inclusive
+// upper bound of bucket i. Both are fixed at init and versioned by the
+// codec: changing the layout is a new sketch version, never a silent
+// reinterpretation of old counts.
+var quantBounds = buildQuantBounds()
+
+func buildQuantBounds() []uint64 {
+	var bounds []uint64
+	for v := uint64(1); v <= quantExactMax; v++ {
+		bounds = append(bounds, v)
+	}
+	// Geometric buckets up to just past MaxWindowHours (20 years of
+	// hourly presence; see streaming.MaxWindowHours). The literal spares
+	// an import cycle and is pinned by a test against the real constant.
+	const maxHours = 20 * 366 * 24
+	ub := float64(quantExactMax)
+	for bounds[len(bounds)-1] < maxHours {
+		ub *= quantRatio
+		next := uint64(math.Ceil(ub))
+		if next <= bounds[len(bounds)-1] {
+			next = bounds[len(bounds)-1] + 1
+		}
+		bounds = append(bounds, next)
+	}
+	return bounds
+}
+
+// Quantile is a mergeable fixed-bucket histogram over positive integer
+// values (presence hours). The zero value... does not exist: counts is
+// sized by NewQuantile and the codec, so use those.
+type Quantile struct {
+	counts []uint64
+	total  uint64
+}
+
+// NewQuantile builds an empty histogram.
+func NewQuantile() *Quantile {
+	return &Quantile{counts: make([]uint64, len(quantBounds))}
+}
+
+// bucketOf maps a value to its bucket index. Zero clamps to the first
+// bucket (presence is at least one hour by construction); values past
+// the last bound clamp to the final bucket.
+func bucketOf(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	if v <= quantExactMax {
+		return int(v) - 1
+	}
+	// Binary search the geometric tail.
+	lo, hi := quantExactMax, len(quantBounds)-1
+	if v > quantBounds[hi] {
+		return hi
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if quantBounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Add records n observations of value v.
+func (q *Quantile) Add(v uint64, n uint64) {
+	q.counts[bucketOf(v)] += n
+	q.total += n
+}
+
+// Merge folds other into q (bucket-wise add): associative and
+// commutative, so fold order never changes the result.
+func (q *Quantile) Merge(other *Quantile) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		q.counts[i] += c
+	}
+	q.total += other.total
+}
+
+// Count reports the number of observations.
+func (q *Quantile) Count() uint64 { return q.total }
+
+// At returns the value at quantile p (0 <= p <= 1): the representative
+// value of the bucket holding the p-th ranked observation. Exact for
+// values up to quantExactMax; within the quantRatio midpoint bound
+// above. Zero observations yield zero.
+func (q *Quantile) At(p float64) uint64 {
+	if q.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(q.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range q.counts {
+		cum += c
+		if cum >= rank {
+			return representative(i)
+		}
+	}
+	return representative(len(quantBounds) - 1)
+}
+
+// representative is the value reported for a bucket: the exact value in
+// the unit-width range, the midpoint of (lower, upper] above it.
+func representative(i int) uint64 {
+	if i < quantExactMax {
+		return quantBounds[i]
+	}
+	lower := quantBounds[i-1]
+	return (lower + 1 + quantBounds[i]) / 2
+}
+
+// Summary is the rendered view of a presence distribution, shaped for
+// the long-horizon API response.
+type Summary struct {
+	// Count is the number of observations (prefix-periods).
+	Count uint64 `json:"count"`
+	// P50/P90/P99 are presence-hour quantiles; Max is the top bucket's
+	// representative value.
+	P50 uint64 `json:"p50"`
+	P90 uint64 `json:"p90"`
+	P99 uint64 `json:"p99"`
+	Max uint64 `json:"max"`
+}
+
+// Summarize renders the standard quantile summary.
+func (q *Quantile) Summarize() Summary {
+	return Summary{
+		Count: q.total,
+		P50:   q.At(0.50),
+		P90:   q.At(0.90),
+		P99:   q.At(0.99),
+		Max:   q.At(1),
+	}
+}

@@ -1,0 +1,229 @@
+package sketch
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cwatrace/internal/streaming"
+)
+
+// enc marshals any sketch for bitwise comparison.
+func enc(t *testing.T, m interface{ MarshalBinary() ([]byte, error) }) []byte {
+	t.Helper()
+	b, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestHLLMergeAssociativity pins merge(a, merge(b, c)) ==
+// merge(merge(a, b), c) bitwise, plus order invariance — the property
+// streaming.Merge and the cluster scatter-gather rely on, since shards
+// answer in arbitrary order.
+func TestHLLMergeAssociativity(t *testing.T) {
+	mk := func(seed int64, n int) *HLL {
+		h := NewHLL()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			h.Add(fmt.Sprintf("10.%d.%d.0/24", rng.Intn(256), rng.Intn(256)))
+		}
+		return h
+	}
+	a, b, c := mk(1, 5000), mk(2, 3000), mk(3, 7000)
+
+	left := NewHLL()
+	left.Merge(a)
+	ab := NewHLL()
+	ab.Merge(b)
+	ab.Merge(c)
+	left.Merge(ab)
+
+	right := NewHLL()
+	right.Merge(a)
+	right.Merge(b)
+	right.Merge(c)
+
+	if !bytes.Equal(enc(t, left), enc(t, right)) {
+		t.Fatal("HLL merge is not associative bitwise")
+	}
+
+	rev := NewHLL()
+	rev.Merge(c)
+	rev.Merge(b)
+	rev.Merge(a)
+	if !bytes.Equal(enc(t, rev), enc(t, right)) {
+		t.Fatal("HLL merge is not order-invariant bitwise")
+	}
+
+	// Idempotence: merging a sketch twice changes nothing (register max).
+	twice := NewHLL()
+	twice.Merge(a)
+	twice.Merge(a)
+	once := NewHLL()
+	once.Merge(a)
+	if !bytes.Equal(enc(t, twice), enc(t, once)) {
+		t.Fatal("HLL merge is not idempotent")
+	}
+}
+
+// TestQuantileMergeAssociativity is the quantile half of the bitwise
+// associativity contract.
+func TestQuantileMergeAssociativity(t *testing.T) {
+	mk := func(seed int64, n int) *Quantile {
+		q := NewQuantile()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			q.Add(uint64(rng.Intn(8760))+1, 1)
+		}
+		return q
+	}
+	a, b, c := mk(1, 4000), mk(2, 2000), mk(3, 6000)
+
+	left := NewQuantile()
+	left.Merge(a)
+	bc := NewQuantile()
+	bc.Merge(b)
+	bc.Merge(c)
+	left.Merge(bc)
+
+	right := NewQuantile()
+	right.Merge(a)
+	right.Merge(b)
+	right.Merge(c)
+
+	if !bytes.Equal(enc(t, left), enc(t, right)) {
+		t.Fatal("quantile merge is not associative bitwise")
+	}
+
+	rev := NewQuantile()
+	rev.Merge(c)
+	rev.Merge(b)
+	rev.Merge(a)
+	if !bytes.Equal(enc(t, rev), enc(t, right)) {
+		t.Fatal("quantile merge is not order-invariant bitwise")
+	}
+}
+
+// TestHLLErrorBounds is the error table: estimated vs exact distinct
+// counts across four decades of cardinality, each within the pinned 5%
+// relative bound (typical HLL error at 4096 registers is 1.6%; 5%
+// leaves deterministic-hash headroom without hiding a broken
+// estimator).
+func TestHLLErrorBounds(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		h := NewHLL()
+		for i := 0; i < n; i++ {
+			// Distinct /24-shaped strings, like the real prefix feed.
+			h.Add(fmt.Sprintf("%d.%d.%d.0/24", i>>16&255, i>>8&255, i&255))
+		}
+		got := float64(h.Estimate())
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		t.Logf("n=%6d estimate=%6.0f relative error=%.3f%%", n, got, 100*relErr)
+		if relErr > 0.05 {
+			t.Errorf("n=%d: estimate %0.f, relative error %.2f%% exceeds 5%%", n, got, 100*relErr)
+		}
+	}
+}
+
+// TestQuantileErrorBounds is the quantile error table against exact
+// recomputation: values up to quantExactMax are exact, larger values
+// are within the geometric bucket's midpoint bound (~4.5%; pinned at
+// 6% for rank-boundary slack).
+func TestQuantileErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var exact []uint64
+	q := NewQuantile()
+	for i := 0; i < 50000; i++ {
+		// Presence-hours-shaped distribution: mostly short-lived
+		// prefixes, a long tail of persistent ones (the paper's T2).
+		v := uint64(math.Exp(rng.Float64()*math.Log(8760))) + 1
+		exact = append(exact, v)
+		q.Add(v, 1)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, p := range []float64{0.10, 0.25, 0.50, 0.90, 0.99} {
+		rank := int(math.Ceil(p*float64(len(exact)))) - 1
+		want := exact[rank]
+		got := q.At(p)
+		relErr := math.Abs(float64(got)-float64(want)) / float64(want)
+		t.Logf("p=%.2f exact=%5d sketch=%5d relative error=%.3f%%", p, want, got, 100*relErr)
+		if want <= quantExactMax {
+			if got != want {
+				t.Errorf("p=%.2f: exact-range value %d reported as %d", p, want, got)
+			}
+		} else if relErr > 0.06 {
+			t.Errorf("p=%.2f: exact %d, sketch %d, relative error %.2f%% exceeds 6%%", p, want, got, 100*relErr)
+		}
+	}
+	if q.Count() != uint64(len(exact)) {
+		t.Errorf("count %d, want %d", q.Count(), len(exact))
+	}
+}
+
+// TestQuantileBoundsCoverMaxWindow pins the bucket layout's reach to
+// the real streaming plausibility cap, which the layout mirrors as a
+// literal to avoid the import the other way.
+func TestQuantileBoundsCoverMaxWindow(t *testing.T) {
+	top := quantBounds[len(quantBounds)-1]
+	if top < uint64(streaming.MaxWindowHours) {
+		t.Fatalf("quantile top bound %d does not cover MaxWindowHours %d", top, streaming.MaxWindowHours)
+	}
+}
+
+// TestSketchRoundTrip pins encode→decode for both kinds, and that a
+// flipped payload byte is rejected rather than decoded.
+func TestSketchRoundTrip(t *testing.T) {
+	h := NewHLL()
+	for i := 0; i < 1000; i++ {
+		h.Add(fmt.Sprintf("host-%d", i))
+	}
+	hb := enc(t, h)
+	h2, n, err := DecodeHLL(hb)
+	if err != nil || n != len(hb) {
+		t.Fatalf("DecodeHLL: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(enc(t, h2), hb) {
+		t.Fatal("HLL round trip changed bytes")
+	}
+
+	q := NewQuantile()
+	for i := uint64(1); i < 500; i++ {
+		q.Add(i*3, i)
+	}
+	qb := enc(t, q)
+	q2, n, err := DecodeQuantile(qb)
+	if err != nil || n != len(qb) {
+		t.Fatalf("DecodeQuantile: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(enc(t, q2), qb) {
+		t.Fatal("quantile round trip changed bytes")
+	}
+
+	// Corrupt one payload byte: the CRC must reject it.
+	for _, b := range [][]byte{hb, qb} {
+		bad := append([]byte(nil), b...)
+		bad[len(bad)-1] ^= 0x40
+		if _, _, err := DecodeHLL(bad); err == nil {
+			if _, _, err := DecodeQuantile(bad); err == nil {
+				t.Fatal("corrupted sketch decoded cleanly")
+			}
+		}
+	}
+}
+
+// TestHLLEstimateMonotoneSmall pins the linear-counting small range: a
+// handful of distinct items estimates exactly.
+func TestHLLEstimateMonotoneSmall(t *testing.T) {
+	h := NewHLL()
+	for i := 0; i < 10; i++ {
+		h.Add(fmt.Sprintf("x%d", i))
+		if est := h.Estimate(); est != uint64(i+1) {
+			t.Fatalf("after %d adds: estimate %d", i+1, est)
+		}
+	}
+}

@@ -22,6 +22,7 @@ type storeObsMetrics struct {
 	fsyncSeconds      *obs.Histogram
 	checkpointSeconds *obs.Histogram
 	compactionSeconds *obs.Histogram
+	tierFoldSeconds   *obs.Histogram
 }
 
 func (m *storeObsMetrics) register(reg *obs.Registry) {
@@ -39,6 +40,9 @@ func (m *storeObsMetrics) register(reg *obs.Registry) {
 		obs.DurationBuckets)
 	m.compactionSeconds = reg.Histogram("store_compaction_seconds",
 		"Frame-pair compaction latency (per fold).",
+		obs.DurationBuckets)
+	m.tierFoldSeconds = reg.Histogram("store_tier_fold_seconds",
+		"Long-horizon tier fold latency (per day or week frame).",
 		obs.DurationBuckets)
 }
 
@@ -105,4 +109,12 @@ func registerStoreFuncs(reg *obs.Registry, s *Store) {
 		locked(func() float64 { return float64(s.recoveredWAL) }))
 	counter("store_recovered_frames_total", "Checkpoint frames loaded at open.",
 		locked(func() float64 { return float64(s.recoveredFrames) }))
+	gauge("store_tier_frames_day", "Day tier frames on disk.",
+		locked(func() float64 { return float64(len(s.tierDay)) }))
+	gauge("store_tier_frames_week", "Week tier frames on disk.",
+		locked(func() float64 { return float64(len(s.tierWeek)) }))
+	counter("store_tier_folds_day_total", "Day tier folds this process.",
+		locked(func() float64 { return float64(s.tierFoldsDay) }))
+	counter("store_tier_folds_week_total", "Week tier folds this process.",
+		locked(func() float64 { return float64(s.tierFoldsWeek) }))
 }

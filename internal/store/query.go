@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 )
 
 // ParseTime parses a query bound the way every store consumer does
@@ -48,8 +49,16 @@ type QueryResult struct {
 	// reports whether the live (un-checkpointed) tail contributed.
 	Frames       int  `json:"frames"`
 	TailIncluded bool `json:"tail_included"`
-	// Snapshot is the merged, hour-trimmed view of the range.
+	// Snapshot is the merged, hour-trimmed view of the range. At hour
+	// resolution it covers every selected frame; at day/week resolution
+	// it holds only the exact raw residual (tiered history lives in
+	// LongHorizon), so Frames then counts residual frames only.
 	Snapshot *streaming.Snapshot `json:"snapshot"`
+	// Resolution and LongHorizon are set by QueryResolution for day- and
+	// week-resolution answers (see internal/tier); both are empty on the
+	// exact hourly path, keeping the v1 wire schema unchanged.
+	Resolution  tier.Resolution `json:"resolution,omitempty"`
+	LongHorizon *tier.Answer    `json:"long_horizon,omitempty"`
 }
 
 // Query merges the frames overlapping [from, to) with the live tail and

@@ -46,6 +46,7 @@ import (
 	"cwatrace/internal/netflow"
 	"cwatrace/internal/obs"
 	"cwatrace/internal/streaming"
+	"cwatrace/internal/tier"
 )
 
 // segMagic heads every WAL segment file, followed by the segment
@@ -101,6 +102,12 @@ type Options struct {
 	// ReadOnly opens the store for historical queries only: no WAL
 	// truncation, no new segment, Append/Checkpoint fail.
 	ReadOnly bool
+	// Tier enables long-horizon folding: checkpoints additionally fold
+	// closed day runs of checkpoint frames into day tier frames, and
+	// closed weeks of day frames into week frames (see internal/tier).
+	// Existing tier frames are always loaded and served regardless — the
+	// flag gates only the production of new ones.
+	Tier bool
 	// Metrics, when set, registers the store's telemetry on the registry
 	// (see metrics.go for the catalogue). Nil runs uninstrumented.
 	Metrics *obs.Registry
@@ -153,6 +160,11 @@ type Metrics struct {
 	Checkpoints     uint64    `json:"checkpoints"`
 	CompactedFrames uint64    `json:"compacted_frames"`
 	LastCheckpoint  time.Time `json:"last_checkpoint"`
+	// Long-horizon tier state: live frames per level and folds this
+	// process (omitted while zero — the fields postdate the v1 schema).
+	TierFramesDay  int    `json:"tier_frames_day,omitempty"`
+	TierFramesWeek int    `json:"tier_frames_week,omitempty"`
+	TierFolds      uint64 `json:"tier_folds,omitempty"`
 }
 
 // frameMeta is one live checkpoint frame (metadata only; the analytics
@@ -242,6 +254,15 @@ type Store struct {
 	ckptGen uint64
 	tailGen uint64
 
+	// Long-horizon tier frames per level (sorted by BaseSeg, under mu)
+	// and the decoded-frame cache (tier files are immutable; the cache
+	// is keyed by Seq, which is unique across levels).
+	tierDay       []tierFrameMeta
+	tierWeek      []tierFrameMeta
+	tierCache     sync.Map
+	tierFoldsDay  uint64
+	tierFoldsWeek uint64
+
 	om storeObsMetrics
 
 	closed bool
@@ -323,12 +344,15 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 
-	segs, ckpts, err := s.scanDir()
+	segs, ckpts, tiers, err := s.scanDir()
 	if err != nil {
 		return nil, err
 	}
 	covered, err := s.loadFrames(ckpts)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.loadTierFrames(tiers); err != nil {
 		return nil, err
 	}
 	if err := s.replayWAL(segs, covered); err != nil {
@@ -428,15 +452,17 @@ func (s *Store) writeMeta() error {
 	return atomicWrite(filepath.Join(s.dir, metaName), append(data, '\n'))
 }
 
-// scanDir inventories segment and checkpoint files (sorted by sequence)
-// and, on a writable open, sweeps stale temp files from crashed writes.
-func (s *Store) scanDir() ([]segInfo, []frameMeta, error) {
+// scanDir inventories segment, checkpoint and tier files (sorted by
+// sequence) and, on a writable open, sweeps stale temp files from
+// crashed writes.
+func (s *Store) scanDir() ([]segInfo, []frameMeta, []tierFrameMeta, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: %w", err)
+		return nil, nil, nil, fmt.Errorf("store: %w", err)
 	}
 	var segs []segInfo
 	var ckpts []frameMeta
+	var tiers []tierFrameMeta
 	for _, e := range entries {
 		name := e.Name()
 		switch {
@@ -448,7 +474,7 @@ func (s *Store) scanDir() ([]segInfo, []frameMeta, error) {
 			seq := *matchSeq(name, "wal-", ".seg")
 			info, err := e.Info()
 			if err != nil {
-				return nil, nil, fmt.Errorf("store: %w", err)
+				return nil, nil, nil, fmt.Errorf("store: %w", err)
 			}
 			segs = append(segs, segInfo{seq: seq, path: filepath.Join(s.dir, name), size: info.Size()})
 			if seq >= s.nextSegSeq {
@@ -460,11 +486,27 @@ func (s *Store) scanDir() ([]segInfo, []frameMeta, error) {
 			if seq >= s.nextFrameSeq {
 				s.nextFrameSeq = seq + 1
 			}
+		case matchSeq(name, "tier-d-", ".tf") != nil:
+			seq := *matchSeq(name, "tier-d-", ".tf")
+			tiers = append(tiers, tierFrameMeta{
+				FrameMeta: tier.FrameMeta{Level: tier.LevelDay, Seq: seq},
+				path:      filepath.Join(s.dir, name)})
+			if seq >= s.nextFrameSeq {
+				s.nextFrameSeq = seq + 1
+			}
+		case matchSeq(name, "tier-w-", ".tf") != nil:
+			seq := *matchSeq(name, "tier-w-", ".tf")
+			tiers = append(tiers, tierFrameMeta{
+				FrameMeta: tier.FrameMeta{Level: tier.LevelWeek, Seq: seq},
+				path:      filepath.Join(s.dir, name)})
+			if seq >= s.nextFrameSeq {
+				s.nextFrameSeq = seq + 1
+			}
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
 	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i].Seq < ckpts[j].Seq })
-	return segs, ckpts, nil
+	return segs, ckpts, tiers, nil
 }
 
 // matchSeq parses names like wal-%016d.seg; nil means no match.
@@ -930,7 +972,10 @@ func (s *Store) checkpointLocked(ctx context.Context, sp *obs.Span) error {
 	if s.om.checkpointSeconds != nil {
 		s.om.checkpointSeconds.ObserveSince(t0)
 	}
-	return s.compact(ctx)
+	if err := s.compact(ctx); err != nil {
+		return err
+	}
+	return s.tierFold(ctx)
 }
 
 // compact folds the oldest adjacent frame pairs together until the
@@ -958,7 +1003,26 @@ func (s *Store) compactOnce(ctx context.Context) (done bool, err error) {
 		s.mu.Unlock()
 		return true, nil
 	}
-	f0, f1 := s.frames[0], s.frames[1]
+	// Straddle guard: never merge a pair whose combined WAL interval
+	// crosses the day-tier coverage horizon. The tier planner separates
+	// tiered history from the raw residual by a single segment floor;
+	// a frame spanning both sides would be half double-counted, half
+	// missing from every day/week answer. Skip to the first adjacent
+	// pair clear of the horizon (at most one pair straddles it).
+	dayCovered := tierCovered(s.tierDay)
+	idx := -1
+	for i := 0; i+1 < len(s.frames); i++ {
+		if s.frames[i].BaseSeg < dayCovered && dayCovered < s.frames[i+1].CoveredSeg {
+			continue
+		}
+		idx = i
+		break
+	}
+	if idx < 0 {
+		s.mu.Unlock()
+		return true, nil
+	}
+	f0, f1 := s.frames[idx], s.frames[idx+1]
 	seq := s.nextFrameSeq
 	s.nextFrameSeq++
 	s.mu.Unlock()
@@ -1013,7 +1077,11 @@ func (s *Store) compactOnce(ctx context.Context) (done bool, err error) {
 	}
 
 	s.mu.Lock()
-	s.frames = append([]frameMeta{{frameInfo: info, path: path}}, s.frames[2:]...)
+	merged := make([]frameMeta, 0, len(s.frames)-1)
+	merged = append(merged, s.frames[:idx]...)
+	merged = append(merged, frameMeta{frameInfo: info, path: path})
+	merged = append(merged, s.frames[idx+2:]...)
+	s.frames = merged
 	s.compacted++
 	s.ckptGen++
 	s.mu.Unlock()
@@ -1085,6 +1153,9 @@ func (s *Store) Metrics() Metrics {
 		Checkpoints:         s.checkpoints,
 		CompactedFrames:     s.compacted,
 		LastCheckpoint:      s.lastCheckpoint,
+		TierFramesDay:       len(s.tierDay),
+		TierFramesWeek:      len(s.tierWeek),
+		TierFolds:           s.tierFoldsDay + s.tierFoldsWeek,
 	}
 	if s.active != nil {
 		m.Segments++

@@ -1,0 +1,435 @@
+package store
+
+// Store-level tests of the long-horizon tier layer: fold scheduling on
+// checkpoint, planner-backed day/week answers against exact raw
+// recomputation, byte-identical folds across batch interleavings,
+// crash/reopen survival, the obsolete-duplicate sweep and the
+// compaction straddle guard.
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/tier"
+)
+
+// fillDay appends one day's worth of deterministic traffic (three busy
+// hours, a rotating client population, one dropped record) and
+// checkpoints, so each day becomes exactly one raw checkpoint frame.
+func fillDay(t *testing.T, s *Store, day int) {
+	t.Helper()
+	var batch []netflow.Record
+	for _, h := range []int{0, 5, 10} {
+		hour := day*24 + h
+		for c := 0; c < 5; c++ {
+			// Overlapping client sets across days, each client in its
+			// own /24 (keptRecord puts client>>8 in the third octet).
+			client := (day*3 + c) * 256
+			batch = append(batch, keptRecord(hour, client, uint64(100+10*c)))
+		}
+	}
+	batch = append(batch, droppedRecord(day*24, day))
+	if err := s.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// exactBuckets aggregates the exact hourly series of a raw full-range
+// query into width-aligned buckets — the reference the tier answers
+// must match bucket for bucket.
+func exactBuckets(t *testing.T, s *Store, width int64) map[int64][2]float64 {
+	t.Helper()
+	raw, err := s.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int64][2]float64{}
+	for _, p := range raw.Snapshot.Hours {
+		if p.Flows == 0 && p.Bytes == 0 {
+			continue
+		}
+		start := int64(p.Hour) - int64(p.Hour)%width
+		b := out[start]
+		out[start] = [2]float64{b[0] + p.Flows, b[1] + p.Bytes}
+	}
+	return out
+}
+
+func checkAnswerExact(t *testing.T, s *Store, r *QueryResult, res tier.Resolution) {
+	t.Helper()
+	ans := r.LongHorizon
+	if ans == nil || r.Resolution != res {
+		t.Fatalf("resolution %s: got resolution %q, long_horizon %v", res, r.Resolution, ans != nil)
+	}
+	if !ans.Approximate {
+		t.Fatal("tiered answers must be flagged approximate")
+	}
+	raw, err := s.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Census.Total != raw.Snapshot.Census.Total || ans.Census.Kept != raw.Snapshot.Census.Kept {
+		t.Fatalf("census diverges from exact: got %+v want %+v", ans.Census, raw.Snapshot.Census)
+	}
+	for reason, n := range raw.Snapshot.Census.Dropped {
+		if ans.Census.Dropped[reason] != n {
+			t.Fatalf("dropped[%v] = %d, want %d", reason, ans.Census.Dropped[reason], n)
+		}
+	}
+	want := exactBuckets(t, s, int64(res.Level().BucketHours()))
+	if len(ans.Buckets) != len(want) {
+		t.Fatalf("%d buckets, want %d", len(ans.Buckets), len(want))
+	}
+	for _, b := range ans.Buckets {
+		w, ok := want[b.StartHour]
+		if !ok || b.Flows != w[0] || b.Bytes != w[1] {
+			t.Fatalf("bucket %d = {%v %v}, want %v", b.StartHour, b.Flows, b.Bytes, w)
+		}
+	}
+	// District rollups are exact sums too.
+	wantD := map[string]uint64{}
+	for _, d := range raw.Snapshot.Districts {
+		wantD[d.ID] = d.Flows
+	}
+	if len(ans.Districts) != len(wantD) {
+		t.Fatalf("%d districts, want %d", len(ans.Districts), len(wantD))
+	}
+	for _, d := range ans.Districts {
+		if wantD[d.ID] != d.Flows {
+			t.Fatalf("district %s = %d, want %d", d.ID, d.Flows, wantD[d.ID])
+		}
+	}
+}
+
+func TestTierFoldOnCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Tier: true})
+	const days = 10
+	for d := 0; d < days; d++ {
+		fillDay(t, s, d)
+	}
+	// Each checkpoint closes the previous day's run; the trailing day
+	// stays open as the raw residual.
+	m := s.Metrics()
+	if m.TierFramesDay != days-1 {
+		t.Fatalf("%d day frames, want %d", m.TierFramesDay, days-1)
+	}
+	if m.TierFramesWeek != 1 {
+		t.Fatalf("%d week frames, want 1 (days 0-6 closed by day 7)", m.TierFramesWeek)
+	}
+	if m.TierFolds != uint64(days-1+1) {
+		t.Fatalf("TierFolds = %d, want %d", m.TierFolds, days-1+1)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "tier-d-*.tf"))
+	if len(files) != days-1 {
+		t.Fatalf("%d tier-d files on disk, want %d", len(files), days-1)
+	}
+
+	rd, err := s.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAnswerExact(t, s, rd, tier.ResolutionDay)
+	if rd.LongHorizon.TierFrames != days-1 {
+		t.Fatalf("day answer merged %d tier frames, want %d", rd.LongHorizon.TierFrames, days-1)
+	}
+	rw, err := s.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAnswerExact(t, s, rw, tier.ResolutionWeek)
+	// Week plan: 1 week frame (days 0-6) + day frames beyond week
+	// coverage (days 7, 8).
+	if rw.LongHorizon.TierFrames != 3 {
+		t.Fatalf("week answer merged %d tier frames, want 3", rw.LongHorizon.TierFrames)
+	}
+
+	// Distinct prefixes: HLL small-range estimates must stay within the
+	// pinned bound of the exact distinct count.
+	exact := map[int]bool{}
+	for d := 0; d < days; d++ {
+		for c := 0; c < 5; c++ {
+			exact[d*3+c] = true
+		}
+	}
+	got, want := float64(rd.LongHorizon.DistinctPrefixes), float64(len(exact))
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("distinct prefixes %v, exact %v (>5%% off)", got, want)
+	}
+
+	// Hour resolution must be the untouched exact path.
+	rh, err := s.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.LongHorizon != nil || rh.Resolution != "" {
+		t.Fatal("hour resolution must not produce a long-horizon block")
+	}
+	raw, err := s.Query(time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapJSON(t, rh) != snapJSON(t, raw) {
+		t.Fatal("hour-resolution answer diverges from Query")
+	}
+
+	// Auto resolution resolves from the span: 10 days of history with
+	// open bounds → day.
+	ra, err := s.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Resolution != tier.ResolutionDay {
+		t.Fatalf("auto over 10 days resolved to %q, want day", ra.Resolution)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTierFoldDeterministicAcrossBatching(t *testing.T) {
+	// Same records, same checkpoint boundaries, different batch splits
+	// (one batch per day vs one batch per record, reversed) — the
+	// commutativity the ingest workers rely on. Tier frame files must be
+	// byte-identical.
+	build := func(dir string, perRecord bool) {
+		s := mustOpen(t, dir, Options{Tier: true})
+		defer s.Close()
+		for d := 0; d < 5; d++ {
+			var batch []netflow.Record
+			for _, h := range []int{2, 7} {
+				for c := 0; c < 4; c++ {
+					batch = append(batch, keptRecord(d*24+h, d+c, uint64(50+c)))
+				}
+			}
+			if perRecord {
+				for i := len(batch) - 1; i >= 0; i-- {
+					if err := s.Append(batch[i : i+1]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else if err := s.Append(batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	build(dirA, false)
+	build(dirB, true)
+	filesA, _ := filepath.Glob(filepath.Join(dirA, "tier-*.tf"))
+	if len(filesA) == 0 {
+		t.Fatal("no tier frames produced")
+	}
+	for _, fa := range filesA {
+		fb := filepath.Join(dirB, filepath.Base(fa))
+		a, err := os.ReadFile(fa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(fb)
+		if err != nil {
+			t.Fatalf("tier frame missing under per-record batching: %v", err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s differs across batch interleavings", filepath.Base(fa))
+		}
+	}
+}
+
+func TestTierCrashReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Tier: true})
+	for d := 0; d < 9; d++ {
+		fillDay(t, s, d)
+	}
+	before, err := s.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := snapJSON(t, before)
+	nDay, nWeek := s.Metrics().TierFramesDay, s.Metrics().TierFramesWeek
+	// Abandon without Close — the SIGKILL shape (no flush, no seal).
+	releaseDirLock(s.lock)
+
+	s2 := mustOpen(t, dir, Options{Tier: true})
+	m := s2.Metrics()
+	if m.TierFramesDay != nDay || m.TierFramesWeek != nWeek {
+		t.Fatalf("reopen lost tier frames: %d/%d, want %d/%d", m.TierFramesDay, m.TierFramesWeek, nDay, nWeek)
+	}
+	after, err := s2.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapJSON(t, after) != wantJSON {
+		t.Fatal("week-resolution answer changed across crash/reopen")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A read-only open serves tiered queries too (folding disabled, but
+	// existing frames load).
+	ro := mustOpen(t, dir, Options{ReadOnly: true})
+	r, err := ro.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LongHorizon == nil || r.LongHorizon.TierFrames == 0 {
+		t.Fatal("read-only open did not serve tier frames")
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTierObsoleteSweep(t *testing.T) {
+	// A crashed refold leaves a newer frame containing an older one's
+	// WAL interval; Open must keep the newer frame and sweep the older,
+	// mirroring the checkpoint containment sweep.
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Tier: true})
+	for d := 0; d < 4; d++ {
+		fillDay(t, s, d)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "tier-d-*.tf"))
+	if len(files) < 2 {
+		t.Fatalf("want ≥2 day frames, got %d", len(files))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the "newer containing frame": re-encode the first day
+	// frame under a fresh, higher seq with the same coverage.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := tier.DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Seq = 1000
+	dup := tierPath(dir, tier.LevelDay, f.Seq)
+	if err := os.WriteFile(dup, tier.EncodeFrame(f), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{Tier: true})
+	defer s2.Close()
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Fatalf("contained older frame %s not swept", filepath.Base(files[0]))
+	}
+	if _, err := os.Stat(dup); err != nil {
+		t.Fatalf("containing frame swept instead: %v", err)
+	}
+	if got, want := s2.Metrics().TierFramesDay, len(files); got != want {
+		t.Fatalf("%d day frames after sweep, want %d", got, want)
+	}
+	r, err := s2.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAnswerExact(t, s2, r, tier.ResolutionDay)
+}
+
+func TestCompactionStraddleGuard(t *testing.T) {
+	// A tight frame budget forces compaction every checkpoint; the guard
+	// must never let a merged raw frame straddle the day-tier coverage
+	// horizon, and tiered answers must stay exact throughout.
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Tier: true, MaxFrames: 2})
+	defer s.Close()
+	for d := 0; d < 8; d++ {
+		fillDay(t, s, d)
+		s.mu.Lock()
+		covered := tierCovered(s.tierDay)
+		for _, fr := range s.frames {
+			if fr.BaseSeg < covered && covered < fr.CoveredSeg {
+				s.mu.Unlock()
+				t.Fatalf("day %d: raw frame (%d,%d] straddles tier horizon %d", d, fr.BaseSeg, fr.CoveredSeg, covered)
+			}
+		}
+		s.mu.Unlock()
+	}
+	r, err := s.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAnswerExact(t, s, r, tier.ResolutionDay)
+}
+
+func TestTierDisabledStillServes(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Tier: true})
+	for d := 0; d < 5; d++ {
+		fillDay(t, s, d)
+	}
+	nDay := s.Metrics().TierFramesDay
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{}) // Tier off
+	defer s2.Close()
+	if got := s2.Metrics().TierFramesDay; got != nDay {
+		t.Fatalf("tier frames not loaded with folding disabled: %d, want %d", got, nDay)
+	}
+	fillDay(t, s2, 5)
+	if got := s2.Metrics().TierFramesDay; got != nDay {
+		t.Fatalf("folding ran with Tier off: %d frames, want %d", got, nDay)
+	}
+	r, err := s2.QueryResolution(time.Time{}, time.Time{}, tier.ResolutionDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAnswerExact(t, s2, r, tier.ResolutionDay)
+}
+
+// TestTierRangeQueryBuckets pins partial-range behaviour: bucket series
+// are trimmed to overlapping frames, and the residual snapshot stays
+// hour-exact inside the range.
+func TestTierRangeQueryBuckets(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Tier: true})
+	defer s.Close()
+	for d := 0; d < 6; d++ {
+		fillDay(t, s, d)
+	}
+	from := entime.StudyStart.Add(2 * 24 * time.Hour)
+	to := entime.StudyStart.Add(4 * 24 * time.Hour)
+	r, err := s.QueryResolution(from, to, tier.ResolutionDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LongHorizon == nil {
+		t.Fatal("no long-horizon block")
+	}
+	// Days 2 and 3 overlap; each contributes its exact bucket.
+	want := map[int64]bool{48: true, 72: true}
+	for _, b := range r.LongHorizon.Buckets {
+		if !want[b.StartHour] {
+			t.Fatalf("unexpected bucket at hour %d", b.StartHour)
+		}
+		delete(want, b.StartHour)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing buckets: %v", want)
+	}
+	// Exact per-day flow count: 3 busy hours × 5 clients.
+	for _, b := range r.LongHorizon.Buckets {
+		if b.Flows != 15 {
+			t.Fatalf("bucket %d flows %v, want 15", b.StartHour, b.Flows)
+		}
+	}
+}

@@ -487,6 +487,17 @@ func (a *Analytics) Merge(other *Analytics) {
 	}
 }
 
+// EachPrefix calls fn for every interned client prefix with its kept
+// flow count, in interning order. Snapshots truncate the prefix table at
+// TopK for transport; the tier folds need the full set to feed the
+// cardinality and persistence sketches, which this enumerates without
+// materializing a sorted copy.
+func (a *Analytics) EachPrefix(fn func(p netip.Prefix, flows uint64)) {
+	for i, p := range a.prefixList {
+		fn(p, a.prefixCount[i])
+	}
+}
+
 // Watermark returns the newest record start timestamp binned into this
 // shard (the freshness watermark), or the zero time before any.
 func (a *Analytics) Watermark() time.Time {

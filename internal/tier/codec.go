@@ -1,0 +1,259 @@
+package tier
+
+// The tier frame disk codec: one versioned, CRC-framed record per tier
+// file, the same framing discipline as the store's WAL records and the
+// sketch codec. Encoding is canonical — districts sorted by ID, buckets
+// by StartHour, fixed-width integers big-endian — so byte-identical
+// frames mean identical content, which the determinism tests compare
+// directly. Decoding arbitrary bytes returns ErrCorrupt, never panics;
+// FuzzTierDecode pins that.
+//
+//	+---------+-------+-------------+-----------+
+//	| version | level | payload len | CRC-32    | payload ...
+//	| 1 byte  | 1 B   | 4 bytes     | 4 (IEEE)  |
+//	+---------+-------+-------------+-----------+
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"cwatrace/internal/sketch"
+)
+
+// codecVersion is the tier frame framing version.
+const codecVersion = 1
+
+const headerLen = 1 + 1 + 4 + 4
+
+// maxPayload bounds one tier frame payload; larger lengths are treated
+// as corruption, not allocation requests. A year of hourly buckets plus
+// both sketches is well under a mebibyte; 64 MiB matches the store's
+// record bound.
+const maxPayload = 64 << 20
+
+// maxDistricts bounds the decoded district list (the live system has
+// ~400; the bound only rejects corrupt counts).
+const maxDistricts = 1 << 16
+
+// maxBuckets bounds the decoded bucket list (20 years of daily buckets
+// is ~7300).
+const maxBuckets = 1 << 20
+
+// ErrCorrupt marks framing or checksum damage in a tier frame.
+var ErrCorrupt = errors.New("tier: corrupt frame")
+
+// EncodeFrame renders the canonical framed encoding of f.
+func EncodeFrame(f *Frame) []byte {
+	payload := make([]byte, 0, 256+24*len(f.Districts)+24*len(f.Buckets))
+	payload = binary.BigEndian.AppendUint64(payload, f.Seq)
+	payload = binary.BigEndian.AppendUint64(payload, f.BaseSeg)
+	payload = binary.BigEndian.AppendUint64(payload, f.CoveredSeg)
+	payload = binary.BigEndian.AppendUint64(payload, uint64(f.MinHour))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(f.MaxHour))
+	payload = binary.BigEndian.AppendUint32(payload, f.Inputs)
+	payload = binary.BigEndian.AppendUint64(payload, f.Total)
+	payload = binary.BigEndian.AppendUint64(payload, f.Kept)
+	payload = append(payload, byte(nReasons))
+	for r := 0; r < nReasons; r++ {
+		var n uint64
+		if r < len(f.Dropped) {
+			n = f.Dropped[r]
+		}
+		payload = binary.BigEndian.AppendUint64(payload, n)
+	}
+	payload = binary.BigEndian.AppendUint64(payload, f.Late)
+	payload = binary.BigEndian.AppendUint64(payload, f.Located)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(f.Districts)))
+	for _, d := range f.Districts {
+		payload = append(payload, byte(len(d.ID)))
+		payload = append(payload, d.ID...)
+		payload = binary.BigEndian.AppendUint64(payload, d.Flows)
+	}
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(f.Buckets)))
+	for _, b := range f.Buckets {
+		payload = binary.BigEndian.AppendUint64(payload, uint64(b.StartHour))
+		payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(b.Flows))
+		payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(b.Bytes))
+	}
+	payload = f.Prefixes.AppendBinary(payload)
+	payload = f.Presence.AppendBinary(payload)
+
+	buf := make([]byte, 0, headerLen+len(payload))
+	buf = append(buf, codecVersion, byte(f.Level))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{codecVersion, byte(f.Level)})
+	crc.Write(payload)
+	buf = binary.BigEndian.AppendUint32(buf, crc.Sum32())
+	return append(buf, payload...)
+}
+
+// decoder is a bounds-checked big-endian reader over a payload.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.data) {
+		d.fail("truncated at byte %d of %d", d.off, len(d.data))
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.BigEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *decoder) u32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.BigEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *decoder) u8() byte {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (d *decoder) f64() float64 {
+	v := math.Float64frombits(d.u64())
+	if d.err == nil && (math.IsNaN(v) || math.IsInf(v, 0) || v < 0) {
+		d.fail("implausible float %v", v)
+	}
+	return v
+}
+
+// DecodeFrame parses one framed tier frame. Arbitrary input yields
+// ErrCorrupt, never a panic; a successful decode consumed the payload
+// exactly and re-encodes to the same bytes (canonical form).
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d header bytes", ErrCorrupt, len(data))
+	}
+	if data[0] != codecVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, data[0])
+	}
+	level := Level(data[1])
+	if level != LevelDay && level != LevelWeek {
+		return nil, fmt.Errorf("%w: level %d", ErrCorrupt, data[1])
+	}
+	plen := int(binary.BigEndian.Uint32(data[2:6]))
+	if plen > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+	}
+	if len(data) != headerLen+plen {
+		return nil, fmt.Errorf("%w: payload %d of %d bytes", ErrCorrupt, len(data)-headerLen, plen)
+	}
+	payload := data[headerLen:]
+	crc := crc32.NewIEEE()
+	crc.Write(data[0:2])
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(data[6:10]) {
+		return nil, fmt.Errorf("%w: CRC mismatch on %d-byte frame", ErrCorrupt, plen)
+	}
+
+	f := &Frame{Level: level}
+	d := &decoder{data: payload}
+	f.Seq = d.u64()
+	f.BaseSeg = d.u64()
+	f.CoveredSeg = d.u64()
+	f.MinHour = int64(d.u64())
+	f.MaxHour = int64(d.u64())
+	f.Inputs = d.u32()
+	f.Total = d.u64()
+	f.Kept = d.u64()
+	if nr := int(d.u8()); d.err == nil && nr != nReasons {
+		// The reason set is part of the version; counts under a
+		// different set mean something else and must not be summed.
+		d.fail("%d drop reasons, want %d", nr, nReasons)
+	}
+	f.Dropped = make([]uint64, nReasons)
+	for r := 0; r < nReasons && d.err == nil; r++ {
+		f.Dropped[r] = d.u64()
+	}
+	f.Late = d.u64()
+	f.Located = d.u64()
+
+	nd := int(d.u32())
+	if d.err == nil && nd > maxDistricts {
+		d.fail("%d districts", nd)
+	}
+	var prevID string
+	for i := 0; i < nd && d.err == nil; i++ {
+		idLen := int(d.u8())
+		id := string(d.take(idLen))
+		if d.err == nil && i > 0 && id <= prevID {
+			d.fail("district order %q after %q", id, prevID)
+		}
+		prevID = id
+		f.Districts = append(f.Districts, District{ID: id, Flows: d.u64()})
+	}
+
+	nb := int(d.u32())
+	if d.err == nil && nb > maxBuckets {
+		d.fail("%d buckets", nb)
+	}
+	width := int64(level.BucketHours())
+	prevStart := int64(-1)
+	for i := 0; i < nb && d.err == nil; i++ {
+		b := Bucket{StartHour: int64(d.u64())}
+		if d.err == nil && (b.StartHour < 0 || b.StartHour%width != 0 || b.StartHour <= prevStart) {
+			d.fail("bucket start %d after %d at width %d", b.StartHour, prevStart, width)
+		}
+		prevStart = b.StartHour
+		b.Flows = d.f64()
+		b.Bytes = d.f64()
+		f.Buckets = append(f.Buckets, b)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+
+	hll, n, err := sketch.DecodeHLL(payload[d.off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: prefix sketch: %v", ErrCorrupt, err)
+	}
+	d.off += n
+	quant, n, err := sketch.DecodeQuantile(payload[d.off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: presence sketch: %v", ErrCorrupt, err)
+	}
+	d.off += n
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload)-d.off)
+	}
+	f.Prefixes, f.Presence = hll, quant
+
+	// Cross-field sanity the CRC cannot provide: the metadata must
+	// describe a frame a fold could have produced.
+	if f.CoveredSeg < f.BaseSeg {
+		return nil, fmt.Errorf("%w: covered segment %d below base %d", ErrCorrupt, f.CoveredSeg, f.BaseSeg)
+	}
+	if (f.MinHour < 0) != (f.MaxHour < 0) || f.MaxHour < f.MinHour {
+		return nil, fmt.Errorf("%w: hour bounds [%d, %d]", ErrCorrupt, f.MinHour, f.MaxHour)
+	}
+	return f, nil
+}

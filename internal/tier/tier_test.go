@@ -1,0 +1,388 @@
+package tier
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"cwatrace/internal/core"
+	"cwatrace/internal/entime"
+	"cwatrace/internal/netflow"
+	"cwatrace/internal/streaming"
+)
+
+func testCfg() streaming.Config {
+	return streaming.Config{WindowHours: 48, TopK: 3, Archive: true}
+}
+
+// keptRecord fabricates a record the paper's filter keeps, landing in
+// hour h with client /24 number c.
+func keptRecord(h, c int, byteCount uint64) netflow.Record {
+	f := core.DefaultFilter()
+	at := entime.StudyStart.Add(time.Duration(h) * time.Hour)
+	return netflow.Record{
+		Key: netflow.Key{
+			Src:     f.ServerPrefixes[0].Addr(),
+			Dst:     netip.AddrFrom4([4]byte{100, 64, byte(c), 1}),
+			SrcPort: netflow.PortHTTPS,
+			DstPort: 50000,
+			Proto:   netflow.ProtoTCP,
+		},
+		Packets:  5,
+		Bytes:    byteCount,
+		First:    at,
+		Last:     at.Add(time.Second),
+		Exporter: "ISP/BE-000",
+	}
+}
+
+// droppedRecord fabricates a record the filter rejects (wrong protocol).
+func droppedRecord(h int) netflow.Record {
+	r := keptRecord(h, 0, 1)
+	r.Proto = 17
+	return r
+}
+
+// shard builds one archive analytics shard from records.
+func shard(recs ...netflow.Record) *streaming.Analytics {
+	a := streaming.New(testCfg())
+	a.Ingest(recs)
+	return a
+}
+
+// input wraps a shard as a fold input covering WAL interval (seg, seg+1]
+// with the given hour bounds.
+func input(seg uint64, minHour, maxHour int64, state *streaming.Analytics) Input {
+	return Input{
+		Meta:  Meta{Seq: seg, BaseSeg: seg, CoveredSeg: seg + 1, MinHour: minHour, MaxHour: maxHour},
+		State: state,
+	}
+}
+
+func TestCloseRuns(t *testing.T) {
+	metas := []Meta{
+		{MinHour: 0, MaxHour: 0},
+		{MinHour: 5, MaxHour: 6},
+		{MinHour: -1, MaxHour: -1}, // accounting rides along
+		{MinHour: 23, MaxHour: 24}, // spills past midnight; still day 0
+		{MinHour: 25, MaxHour: 25}, // proves day 0 complete
+		{MinHour: 26, MaxHour: 30},
+		{MinHour: 49, MaxHour: 50}, // proves day 1 complete; itself open
+	}
+	got := CloseRuns(LevelDay, metas)
+	want := [][2]int{{0, 4}, {4, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CloseRuns = %v, want %v", got, want)
+	}
+
+	// Leading accounting frames join the first run.
+	metas2 := []Meta{{MinHour: -1, MaxHour: -1}, {MinHour: 3, MaxHour: 3}, {MinHour: 30, MaxHour: 31}}
+	if got := CloseRuns(LevelDay, metas2); !reflect.DeepEqual(got, [][2]int{{0, 2}}) {
+		t.Fatalf("CloseRuns with leading accounting = %v", got)
+	}
+
+	// No later period yet: everything stays open.
+	if got := CloseRuns(LevelDay, metas[:4]); got != nil {
+		t.Fatalf("open run folded: %v", got)
+	}
+}
+
+func TestFoldRawExact(t *testing.T) {
+	// Three hourly checkpoint frames: prefix 1 persists in all three,
+	// prefixes 2 and 3 appear once each; hour 30 spills to a second day
+	// bucket.
+	inputs := []Input{
+		input(0, 1, 1, shard(keptRecord(1, 1, 100), keptRecord(1, 2, 50), droppedRecord(1))),
+		input(1, 5, 5, shard(keptRecord(5, 1, 10))),
+		input(2, 5, 30, shard(keptRecord(5, 1, 10), keptRecord(30, 3, 70))),
+	}
+	f, err := FoldRaw(LevelDay, 99, testCfg(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seq != 99 || f.Level != LevelDay || f.BaseSeg != 0 || f.CoveredSeg != 3 {
+		t.Fatalf("frame identity: %+v", f)
+	}
+	if f.MinHour != 1 || f.MaxHour != 30 || f.Inputs != 3 {
+		t.Fatalf("frame coverage: %+v", f)
+	}
+	if f.Total != 6 || f.Kept != 5 || f.Dropped[core.DropNotTCP] != 1 {
+		t.Fatalf("census: total=%d kept=%d dropped=%v", f.Total, f.Kept, f.Dropped)
+	}
+	wantBuckets := []Bucket{
+		{StartHour: 0, Flows: 4, Bytes: 170},
+		{StartHour: 24, Flows: 1, Bytes: 70},
+	}
+	if !reflect.DeepEqual(f.Buckets, wantBuckets) {
+		t.Fatalf("buckets = %+v, want %+v", f.Buckets, wantBuckets)
+	}
+	// Three distinct /24s: linear counting is exact at this range.
+	if est := f.Prefixes.Estimate(); est != 3 {
+		t.Fatalf("distinct prefixes = %d, want 3", est)
+	}
+	// Presence observations: prefix 1 in 3 frames, 2 and 3 in 1 each.
+	sum := f.Presence.Summarize()
+	if sum.Count != 3 || sum.Max != 3 || sum.P50 != 1 {
+		t.Fatalf("presence = %+v", sum)
+	}
+}
+
+// TestFoldDeterministic pins byte-identity across worker counts: input
+// frames whose state was merged from sub-shards in different orders
+// fold to identical bytes.
+func TestFoldDeterministic(t *testing.T) {
+	mk := func(flip bool) []byte {
+		s1 := shard(keptRecord(2, 1, 100), keptRecord(3, 2, 10))
+		s2 := shard(keptRecord(2, 3, 30), droppedRecord(4))
+		m := streaming.New(testCfg())
+		if flip {
+			m.Merge(s2)
+			m.Merge(s1)
+		} else {
+			m.Merge(s1)
+			m.Merge(s2)
+		}
+		f, err := FoldRaw(LevelDay, 7, testCfg(), []Input{input(0, 2, 4, m)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return EncodeFrame(f)
+	}
+	if !bytes.Equal(mk(false), mk(true)) {
+		t.Fatal("fold output depends on shard merge order")
+	}
+}
+
+func TestFoldFramesWeek(t *testing.T) {
+	mkDay := func(seq, base uint64, minHour int64) *Frame {
+		f, err := FoldRaw(LevelDay, seq, testCfg(), []Input{
+			input(base, minHour, minHour, shard(keptRecord(int(minHour), int(seq), 100))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	d1 := mkDay(10, 0, 2)
+	d2 := mkDay(11, 1, 26)
+	w, err := FoldFrames(LevelWeek, 20, []*Frame{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Level != LevelWeek || w.BaseSeg != 0 || w.CoveredSeg != 2 || w.Inputs != 2 {
+		t.Fatalf("week identity: %+v", w)
+	}
+	if w.Kept != 2 || w.MinHour != 2 || w.MaxHour != 26 {
+		t.Fatalf("week aggregates: %+v", w)
+	}
+	// Both day buckets fall in week bucket 0.
+	if len(w.Buckets) != 1 || w.Buckets[0].StartHour != 0 || w.Buckets[0].Flows != 2 {
+		t.Fatalf("week buckets = %+v", w.Buckets)
+	}
+	if est := w.Prefixes.Estimate(); est != 2 {
+		t.Fatalf("week distinct prefixes = %d", est)
+	}
+
+	// A broken WAL chain must refuse to fold.
+	d3 := mkDay(12, 5, 50)
+	if _, err := FoldFrames(LevelWeek, 21, []*Frame{d1, d3}); err == nil {
+		t.Fatal("fold across a WAL gap succeeded")
+	}
+	// Level mismatch must refuse too.
+	if _, err := FoldFrames(LevelWeek, 22, []*Frame{w}); err == nil {
+		t.Fatal("fold of week frame into week frame succeeded")
+	}
+}
+
+func TestBuildPlan(t *testing.T) {
+	origin := entime.StudyStart
+	weeks := []FrameMeta{{Level: LevelWeek, Seq: 100, BaseSeg: 0, CoveredSeg: 14, MinHour: 0, MaxHour: 167}}
+	days := []FrameMeta{
+		{Level: LevelDay, Seq: 10, BaseSeg: 0, CoveredSeg: 7, MinHour: 0, MaxHour: 23},
+		{Level: LevelDay, Seq: 11, BaseSeg: 7, CoveredSeg: 14, MinHour: 24, MaxHour: 167},
+		{Level: LevelDay, Seq: 12, BaseSeg: 14, CoveredSeg: 16, MinHour: 168, MaxHour: 191},
+	}
+
+	p := BuildPlan(ResolutionWeek, origin, time.Time{}, time.Time{}, weeks, days)
+	if !reflect.DeepEqual(p.Week, []uint64{100}) || !reflect.DeepEqual(p.Day, []uint64{12}) || p.RawFloor != 16 {
+		t.Fatalf("week plan = %+v", p)
+	}
+
+	p = BuildPlan(ResolutionDay, origin, time.Time{}, time.Time{}, weeks, days)
+	if p.Week != nil || !reflect.DeepEqual(p.Day, []uint64{10, 11, 12}) || p.RawFloor != 16 {
+		t.Fatalf("day plan = %+v", p)
+	}
+
+	// A range past every tier selects nothing but keeps the floor.
+	from := origin.Add(400 * time.Hour)
+	p = BuildPlan(ResolutionDay, origin, from, time.Time{}, weeks, days)
+	if p.Day != nil || p.RawFloor != 16 {
+		t.Fatalf("out-of-range day plan = %+v", p)
+	}
+
+	// Hour resolution: zero plan, raw path untouched.
+	p = BuildPlan(ResolutionHour, origin, time.Time{}, time.Time{}, weeks, days)
+	if p.Week != nil || p.Day != nil || p.RawFloor != 0 {
+		t.Fatalf("hour plan = %+v", p)
+	}
+}
+
+func TestAutoSpan(t *testing.T) {
+	base := entime.StudyStart
+	cases := []struct {
+		span time.Duration
+		want Resolution
+	}{
+		{24 * time.Hour, ResolutionHour},
+		{8 * 24 * time.Hour, ResolutionHour},
+		{9 * 24 * time.Hour, ResolutionDay},
+		{62 * 24 * time.Hour, ResolutionDay},
+		{90 * 24 * time.Hour, ResolutionWeek},
+		{366 * 24 * time.Hour, ResolutionWeek},
+	}
+	for _, c := range cases {
+		if got := AutoSpan(base, base.Add(c.span), time.Time{}, time.Time{}); got != c.want {
+			t.Errorf("AutoSpan(%v) = %v, want %v", c.span, got, c.want)
+		}
+	}
+	// Open bounds fill from history.
+	if got := AutoSpan(time.Time{}, time.Time{}, base, base.Add(365*24*time.Hour)); got != ResolutionWeek {
+		t.Errorf("open-bound year = %v", got)
+	}
+	// Empty store: stay exact.
+	if got := AutoSpan(time.Time{}, time.Time{}, time.Time{}, time.Time{}); got != ResolutionHour {
+		t.Errorf("empty history = %v", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f, err := FoldRaw(LevelDay, 42, testCfg(), []Input{
+		input(3, 1, 1, shard(keptRecord(1, 1, 100), keptRecord(1, 2, 50), droppedRecord(1))),
+		input(4, 26, 26, shard(keptRecord(26, 1, 10))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeFrame(f)
+	got, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("round trip changed frame:\n got %+v\nwant %+v", got, f)
+	}
+	if !bytes.Equal(EncodeFrame(got), enc) {
+		t.Fatal("round trip changed bytes")
+	}
+
+	// A flipped byte anywhere must be rejected as ErrCorrupt.
+	for _, pos := range []int{0, 1, 5, 9, len(enc) / 2, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[pos] ^= 0x20
+		if _, err := DecodeFrame(bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("corruption at byte %d: err = %v", pos, err)
+		}
+	}
+	if _, err := DecodeFrame(enc[:len(enc)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated frame: err = %v", err)
+	}
+}
+
+// TestBuilderMergeAnswer pins the cluster path: merging two shard
+// answers through their carried sketch state equals building one answer
+// from everything — including the estimates, because sketches merge
+// where estimates cannot.
+func TestBuilderMergeAnswer(t *testing.T) {
+	origin := entime.StudyStart
+	mkFrame := func(seq, base uint64, h int64, clients ...int) *Frame {
+		recs := make([]netflow.Record, 0, len(clients))
+		for _, c := range clients {
+			recs = append(recs, keptRecord(int(h), c, 100))
+		}
+		f, err := FoldRaw(LevelDay, seq, testCfg(), []Input{input(base, h, h, shard(recs...))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Overlapping prefix sets across "shards" — the case where summing
+	// per-shard estimates would overcount.
+	f1 := mkFrame(1, 0, 2, 1, 2, 3)
+	f2 := mkFrame(2, 0, 2, 2, 3, 4)
+
+	b1 := NewBuilder(ResolutionDay, origin)
+	b1.AddFrame(f1)
+	b2 := NewBuilder(ResolutionDay, origin)
+	b2.AddFrame(f2)
+
+	merged := NewBuilder(ResolutionDay, origin)
+	if err := merged.MergeAnswer(b1.Answer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MergeAnswer(b2.Answer()); err != nil {
+		t.Fatal(err)
+	}
+
+	whole := NewBuilder(ResolutionDay, origin)
+	whole.AddFrame(f1)
+	whole.AddFrame(f2)
+
+	if !reflect.DeepEqual(merged.Answer(), whole.Answer()) {
+		t.Fatalf("scatter-gather drift:\n got %+v\nwant %+v", merged.Answer(), whole.Answer())
+	}
+	if got := merged.Answer().DistinctPrefixes; got != 4 {
+		t.Fatalf("merged distinct prefixes = %d, want 4", got)
+	}
+
+	// Corrupt sketch state from a peer must be an error, not a merge.
+	bad := b1.Answer()
+	bad.PrefixSketch[len(bad.PrefixSketch)-1] ^= 0x10
+	if err := NewBuilder(ResolutionDay, origin).MergeAnswer(bad); err == nil {
+		t.Fatal("corrupt peer sketch merged cleanly")
+	}
+}
+
+// TestBuilderResidual pins the exact/approximate stitch: tier frame
+// census plus residual snapshot census sum exactly, and residual
+// prefixes reach the sketches.
+func TestBuilderResidual(t *testing.T) {
+	origin := entime.StudyStart
+	f, err := FoldRaw(LevelDay, 1, testCfg(), []Input{
+		input(0, 1, 1, shard(keptRecord(1, 1, 100), droppedRecord(1))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := shard(keptRecord(30, 1, 10), keptRecord(30, 9, 20))
+	acc := NewSketchAccum()
+	acc.AddShard(resid)
+
+	b := NewBuilder(ResolutionDay, origin)
+	b.AddFrame(f)
+	b.AddResidual(resid.Snapshot(), acc, 1)
+	ans := b.Answer()
+
+	if ans.Census.Total != 4 || ans.Census.Kept != 3 {
+		t.Fatalf("census = %+v", ans.Census)
+	}
+	if ans.TierFrames != 1 || ans.RawFrames != 1 {
+		t.Fatalf("source counts: %+v", ans)
+	}
+	// Prefix 1 in both sources, prefix 9 residual-only: 2 distinct.
+	if ans.DistinctPrefixes != 2 {
+		t.Fatalf("distinct prefixes = %d, want 2", ans.DistinctPrefixes)
+	}
+	wantBuckets := []Bucket{
+		{StartHour: 0, Time: origin, Flows: 1, Bytes: 100},
+		{StartHour: 24, Time: origin.Add(24 * time.Hour), Flows: 2, Bytes: 30},
+	}
+	if !reflect.DeepEqual(ans.Buckets, wantBuckets) {
+		t.Fatalf("buckets = %+v, want %+v", ans.Buckets, wantBuckets)
+	}
+	if !ans.Approximate {
+		t.Fatal("tiered answer not flagged approximate")
+	}
+}
